@@ -1,0 +1,44 @@
+//! Criterion bench for the SEC-DED codec: encode/decode throughput per
+//! 64-bit lane, clean and with injected errors.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hbm_ecc::Hamming7264;
+
+fn bench_codec(c: &mut Criterion) {
+    let payloads: Vec<u64> = (0..1024u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+    let encoded: Vec<(u64, u8)> = payloads.iter().map(|&d| (d, Hamming7264::encode(d))).collect();
+
+    let mut group = c.benchmark_group("ecc_codec");
+    group.throughput(Throughput::Elements(payloads.len() as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for &d in &payloads {
+                acc ^= Hamming7264::encode(d);
+            }
+            acc
+        });
+    });
+    group.bench_function("decode_clean", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(d, check) in &encoded {
+                acc ^= Hamming7264::decode(d, check).data();
+            }
+            acc
+        });
+    });
+    group.bench_function("decode_single_error", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (i, &(d, check)) in encoded.iter().enumerate() {
+                acc ^= Hamming7264::decode(d ^ (1u64 << (i % 64)), check).data();
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench for the Fig. 2 pipeline: the full power sweep
+//! (36 voltages × 5 utilization steps) against the simulated platform.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbm_undervolt::{Platform, PowerSweep};
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_power_sweep");
+    group.sample_size(10);
+    group.bench_function("date21_full_sweep", |b| {
+        b.iter(|| {
+            let mut platform = Platform::builder().seed(7).build();
+            PowerSweep::date21()
+                .run(&mut platform)
+                .expect("power sweep")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

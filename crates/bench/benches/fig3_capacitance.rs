@@ -1,0 +1,23 @@
+//! Criterion bench for the Fig. 3 pipeline: α·C_L·f extraction and
+//! normalization from a finished power sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbm_undervolt::{Platform, PowerSweep};
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut platform = Platform::builder().seed(7).build();
+    let report = PowerSweep::date21().run(&mut platform).expect("power sweep");
+
+    let mut group = c.benchmark_group("fig3_acf_extraction");
+    group.bench_function("acf_series_all_steps", |b| {
+        b.iter(|| {
+            for &ports in &report.port_steps {
+                std::hint::black_box(report.acf_series(ports));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for the Fig. 4 pipeline: per-stack faulty-fraction
+//! series over the full sweep at the full-scale geometry.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbm_undervolt::{characterization::stack_fraction_series, Platform, VoltageSweep};
+use hbm_units::Millivolts;
+
+fn bench_fig4(c: &mut Criterion) {
+    let platform = Platform::builder().seed(7).build();
+    let sweep = VoltageSweep::new(Millivolts(980), Millivolts(810), Millivolts(10))
+        .expect("sweep valid");
+
+    let mut group = c.benchmark_group("fig4_stack_fractions");
+    group.sample_size(20);
+    group.bench_function("full_scale_series", |b| {
+        b.iter(|| {
+            std::hint::black_box(stack_fraction_series(
+                platform.full_scale_predictor(),
+                sweep,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

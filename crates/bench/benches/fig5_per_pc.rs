@@ -1,0 +1,31 @@
+//! Criterion bench for the Fig. 5 pipeline: the 32-PC × 14-voltage fault
+//! table for both patterns at the full-scale geometry.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbm_traffic::DataPattern;
+use hbm_undervolt::{characterization::PcFaultTable, Platform, VoltageSweep};
+use hbm_units::Millivolts;
+
+fn bench_fig5(c: &mut Criterion) {
+    let platform = Platform::builder().seed(7).build();
+    let sweep = VoltageSweep::new(Millivolts(970), Millivolts(840), Millivolts(10))
+        .expect("sweep valid");
+
+    let mut group = c.benchmark_group("fig5_pc_table");
+    group.sample_size(20);
+    group.bench_function("both_patterns", |b| {
+        b.iter(|| {
+            for pattern in [DataPattern::AllOnes, DataPattern::AllZeros] {
+                std::hint::black_box(PcFaultTable::from_predictor(
+                    platform.full_scale_predictor(),
+                    sweep,
+                    pattern,
+                ));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

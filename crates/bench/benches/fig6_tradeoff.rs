@@ -1,0 +1,40 @@
+//! Criterion bench for the Fig. 6 pipeline: fault-map construction plus the
+//! usable-PC curve family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbm_faults::FaultMap;
+use hbm_power::HbmPowerModel;
+use hbm_undervolt::{Platform, TradeOffAnalysis};
+use hbm_units::Millivolts;
+
+fn bench_fig6(c: &mut Criterion) {
+    let platform = Platform::builder().seed(7).build();
+
+    let mut group = c.benchmark_group("fig6_tradeoff");
+    group.sample_size(20);
+    group.bench_function("fault_map_construction", |b| {
+        b.iter(|| {
+            std::hint::black_box(FaultMap::from_predictor(
+                platform.full_scale_predictor(),
+                Millivolts(980),
+                Millivolts(810),
+                Millivolts(10),
+            ))
+        });
+    });
+
+    let map = FaultMap::from_predictor(
+        platform.full_scale_predictor(),
+        Millivolts(980),
+        Millivolts(810),
+        Millivolts(10),
+    );
+    let analysis = TradeOffAnalysis::new(map, HbmPowerModel::date21());
+    group.bench_function("usable_pc_curves", |b| {
+        b.iter(|| std::hint::black_box(analysis.usable_pc_curves(&hbm_bench::fig6_tolerances())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for the fault injector: stuck-mask throughput across the
+//! fault-density regimes (guardband, onset, exponential, saturation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hbm_device::{HbmGeometry, PcIndex, WordOffset};
+use hbm_faults::{FaultInjector, FaultModelParams};
+use hbm_units::Millivolts;
+
+fn bench_injector(c: &mut Criterion) {
+    let injector = FaultInjector::new(
+        FaultModelParams::date21(),
+        HbmGeometry::vcu128_reduced(),
+        7,
+    );
+    let pc = PcIndex::new(0).expect("valid pc");
+    let words = 4096u64;
+
+    let mut group = c.benchmark_group("injector_stuck_masks");
+    group.throughput(Throughput::Elements(words));
+    for mv in [1000u32, 950, 900, 860, 830] {
+        group.bench_with_input(BenchmarkId::from_parameter(mv), &mv, |b, &mv| {
+            let v = Millivolts(mv);
+            b.iter(|| {
+                let mut acc = 0u64;
+                for w in 0..words {
+                    let (s0, s1) = injector.stuck_masks(pc, WordOffset(w), v);
+                    acc += u64::from(s0.count_ones() + s1.count_ones());
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_injector);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for the march memory tests over the fault-injecting
+//! platform port.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hbm_device::PortId;
+use hbm_traffic::MarchTest;
+use hbm_undervolt::Platform;
+use hbm_units::Millivolts;
+
+fn bench_march(c: &mut Criterion) {
+    let words = 1024u64;
+    let mut group = c.benchmark_group("march_c_minus");
+    group.throughput(Throughput::Elements(words * 10)); // 10n operations
+    for mv in [980u32, 900, 860] {
+        group.bench_with_input(BenchmarkId::from_parameter(mv), &mv, |b, &mv| {
+            let mut platform = Platform::builder().seed(7).build();
+            platform.set_voltage(Millivolts(mv)).expect("set voltage");
+            let port = PortId::new(0).expect("port 0");
+            let test = MarchTest::march_c_minus();
+            b.iter(|| {
+                test.run(&mut platform.port(port), 0..words)
+                    .expect("march run")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_march);
+criterion_main!(benches);

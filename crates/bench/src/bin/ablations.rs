@@ -1,0 +1,27 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//! clustering, per-PC variation strength and polarity asymmetry.
+
+use hbm_units::Millivolts;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(hbm_bench::DEFAULT_SEED);
+
+    println!("== Ablation: spatial clustering (fault concentration at 0.93 V) ==");
+    let (with, without) = hbm_bench::ablation_clustering(seed, Millivolts(930));
+    println!("fault share of weakest 5% regions, with clustering:    {with:.3}");
+    println!("fault share of weakest 5% regions, without clustering: {without:.3}\n");
+
+    println!("== Ablation: per-PC variation sigma vs fault-free PCs at 0.95 V ==");
+    for (sigma, pcs) in hbm_bench::ablation_variation(seed, &[0, 4, 8, 16, 24]) {
+        println!("sigma {:>6.3} V -> {pcs:>2} fault-free PCs (paper example: 7)", sigma);
+    }
+    println!();
+
+    println!("== Ablation: polarity asymmetry (mean 0->1 / 1->0 ratio) ==");
+    let (asym, sym) = hbm_bench::ablation_polarity(seed);
+    println!("calibrated curves: {asym:.2} (paper: 1.21)");
+    println!("symmetric curves:  {sym:.2} (expected ~1.0)");
+}

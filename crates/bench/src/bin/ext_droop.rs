@@ -1,0 +1,49 @@
+//! Extension experiment: power-delivery droop vs undervolting margin.
+//!
+//! The study assumes ideal regulation; a real power-delivery network sags
+//! under load (load line / droop). This sweep shows, per droop resistance,
+//! the lowest *commanded* set-point that keeps the device inside the
+//! fault-free guardband even at full load — the margin a deployment must
+//! reserve on top of the paper's V_min.
+
+use hbm_undervolt::Platform;
+use hbm_units::{Millivolts, Ohms, Ratio};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(hbm_bench::DEFAULT_SEED);
+
+    println!("Droop vs undervolting margin (seed {seed}; guardband floor 0.980 V)\n");
+    println!("{:>10} {:>18} {:>16}", "load line", "safe set-point", "margin vs ideal");
+
+    for r_mohm in [0u32, 1, 2, 4, 8] {
+        let r = Ohms(f64::from(r_mohm) / 1000.0);
+        let mut platform = Platform::builder().seed(seed).build();
+        platform.set_load_line(r);
+
+        // Find the lowest commanded voltage whose full-load drooped output
+        // stays at or above V_min.
+        let mut safe = Millivolts(1200);
+        let mut v = Millivolts(1200);
+        while v >= Millivolts(900) {
+            platform.set_voltage(v).expect("set voltage");
+            platform.measure_power(Ratio::ONE).expect("measure");
+            if platform.voltage() >= Millivolts(980) {
+                safe = v;
+            } else {
+                break;
+            }
+            v = v.saturating_sub(Millivolts(10));
+        }
+        println!(
+            "{:>8} mΩ {:>18} {:>13} mV",
+            r_mohm,
+            safe.to_string(),
+            safe.as_u32() as i64 - 980,
+        );
+    }
+    println!("\nevery milliohm of load line costs set-point margin: deployments");
+    println!("must command above the paper's V_min by their worst-case droop.");
+}

@@ -1,0 +1,33 @@
+//! Extension experiment: temperature sensitivity of undervolting faults.
+//!
+//! The study holds the stacks at 35 ± 1 °C; this sweep shows how the fault
+//! onset voltage and the mid-region fault rate move with operating
+//! temperature under the model's 1 mV/°C weak-bit sensitivity.
+
+use hbm_faults::FaultModelParams;
+use hbm_undervolt::characterization::temperature_sweep;
+use hbm_units::Celsius;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(hbm_bench::DEFAULT_SEED);
+    let temps: Vec<Celsius> = [0.0, 25.0, 35.0, 45.0, 55.0, 70.0, 85.0]
+        .into_iter()
+        .map(Celsius)
+        .collect();
+    let points = temperature_sweep(&FaultModelParams::date21(), seed, &temps);
+
+    println!("Temperature sensitivity (seed {seed}; study ambient: 35 °C)\n");
+    println!("{:>8} {:>12} {:>16}", "T", "fault onset", "rate @ 0.90 V");
+    for p in points {
+        println!(
+            "{:>8} {:>12} {:>16.3e}",
+            format!("{}", p.temperature),
+            p.onset.map_or("none".to_owned(), |v| v.to_string()),
+            p.rate_at_900mv.as_f64(),
+        );
+    }
+    println!("\nhotter silicon faults earlier: budget guardband for the worst case.");
+}

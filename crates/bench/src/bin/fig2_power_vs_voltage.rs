@@ -1,0 +1,22 @@
+//! Regenerates Fig. 2: normalized HBM power vs supply voltage at
+//! 0/25/50/75/100 % bandwidth utilization, normalized to 1.20 V / 310 GB/s.
+
+fn main() {
+    let seed = seed_from_args();
+    let (report, rendered) = hbm_bench::fig2(seed).expect("fig2 pipeline");
+    println!("Fig. 2 — normalized HBM power by undervolting (seed {seed})");
+    println!("reference: {:.3} at 1.20 V, 100% utilization\n", report.reference);
+    print!("{rendered}");
+    println!(
+        "\nsavings: 1.5x target at 0.98 V -> {:.2}x ; 2.3x target at 0.85 V -> {:.2}x",
+        report.saving(hbm_units::Millivolts(980), 32).expect("0.98 V swept"),
+        report.saving(hbm_units::Millivolts(850), 32).expect("0.85 V swept"),
+    );
+}
+
+fn seed_from_args() -> u64 {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(hbm_bench::DEFAULT_SEED)
+}

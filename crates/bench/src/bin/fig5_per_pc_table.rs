@@ -1,0 +1,17 @@
+//! Regenerates Fig. 5: percentage of faulty memory cells per AXI port
+//! (pseudo channel) at different supply voltages, for both data patterns.
+//! Values below 1 % print as 0; "NF" means no fault expected.
+
+fn main() {
+    let seed = seed_from_args();
+    let (_, rendered) = hbm_bench::fig5(seed).expect("fig5 pipeline");
+    println!("Fig. 5 — faulty cells per AXI port / PC (seed {seed})\n");
+    print!("{rendered}");
+}
+
+fn seed_from_args() -> u64 {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(hbm_bench::DEFAULT_SEED)
+}

@@ -1,0 +1,302 @@
+//! Figure-regeneration library: one function per figure of the paper,
+//! shared by the `fig*` binaries and the Criterion benchmarks.
+//!
+//! Every function takes a deterministic device seed and returns both the
+//! structured data and a rendered table whose rows/series correspond to
+//! what the paper plots. Absolute numbers come from the simulation substrate
+//! (see `DESIGN.md` for the substitution table); the *shapes* — who wins,
+//! by what factor, where the curves bend — are the reproduction targets
+//! recorded in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hbm_traffic::DataPattern;
+use hbm_undervolt::characterization::{
+    stack_fraction_series, variation_summary, PcFaultTable, StackFractionPoint, VariationSummary,
+};
+use hbm_undervolt::report::{
+    self, headline_metrics, HeadlineMetrics,
+};
+use hbm_undervolt::{
+    ExperimentError, GuardbandFinder, Platform, PowerSweep, PowerSweepReport, TradeOffAnalysis,
+    UsablePcCurve, VoltageSweep,
+};
+use hbm_faults::{FaultMap, FaultModelParams, RatePredictor, VariationModel};
+use hbm_power::HbmPowerModel;
+use hbm_units::{Millivolts, Ratio};
+
+/// The default device seed used by all figure binaries (the "specimen"
+/// every table in `EXPERIMENTS.md` was recorded from).
+pub const DEFAULT_SEED: u64 = 7;
+
+/// Builds the standard platform for a seed.
+#[must_use]
+pub fn platform(seed: u64) -> Platform {
+    Platform::builder().seed(seed).build()
+}
+
+/// Fig. 2 — normalized HBM power vs supply voltage at 0/25/50/75/100 %
+/// bandwidth utilization.
+///
+/// # Errors
+///
+/// Propagates experiment errors.
+pub fn fig2(seed: u64) -> Result<(PowerSweepReport, String), ExperimentError> {
+    let mut platform = platform(seed);
+    let report = PowerSweep::date21().run(&mut platform)?;
+    let rendered = report::render_power_table(&report);
+    Ok((report, rendered))
+}
+
+/// Fig. 3 — normalized effective `α·C_L·f` vs supply voltage per
+/// utilization.
+///
+/// # Errors
+///
+/// Propagates experiment errors.
+pub fn fig3(seed: u64) -> Result<(PowerSweepReport, String), ExperimentError> {
+    let mut platform = platform(seed);
+    let report = PowerSweep::date21().run(&mut platform)?;
+    let rendered = report::render_acf_table(&report);
+    Ok((report, rendered))
+}
+
+/// Fig. 4 — fraction of faulty bits per stack vs supply voltage
+/// (0.98 V down to 0.81 V).
+///
+/// # Errors
+///
+/// Propagates experiment errors (sweep construction).
+pub fn fig4(seed: u64) -> Result<(Vec<StackFractionPoint>, String), ExperimentError> {
+    let platform = platform(seed);
+    let sweep = VoltageSweep::new(Millivolts(980), Millivolts(810), Millivolts(10))?;
+    let series = stack_fraction_series(platform.full_scale_predictor(), sweep);
+    let rendered = report::render_stack_fractions(&series);
+    Ok((series, rendered))
+}
+
+/// Fig. 5 — percentage of faulty cells per AXI port (pseudo channel) per
+/// voltage, one table per data pattern (all-1s → 1→0 flips; all-0s → 0→1).
+///
+/// # Errors
+///
+/// Propagates experiment errors (sweep construction).
+pub fn fig5(seed: u64) -> Result<(Vec<PcFaultTable>, String), ExperimentError> {
+    let platform = platform(seed);
+    let sweep = VoltageSweep::new(Millivolts(970), Millivolts(840), Millivolts(10))?;
+    let tables: Vec<PcFaultTable> = [DataPattern::AllOnes, DataPattern::AllZeros]
+        .into_iter()
+        .map(|pattern| {
+            PcFaultTable::from_predictor(platform.full_scale_predictor(), sweep, pattern)
+        })
+        .collect();
+    let rendered = tables
+        .iter()
+        .map(report::render_pc_table)
+        .collect::<Vec<_>>()
+        .join("\n");
+    Ok((tables, rendered))
+}
+
+/// The tolerable fault rates Fig. 6 plots (0 %, 10⁻⁴ %, 10⁻² %, 1 %, 10 %,
+/// 50 %).
+#[must_use]
+pub fn fig6_tolerances() -> Vec<Ratio> {
+    vec![
+        Ratio::ZERO,
+        Ratio(1e-6),
+        Ratio(1e-4),
+        Ratio(0.01),
+        Ratio(0.1),
+        Ratio(0.5),
+    ]
+}
+
+/// Fig. 6 — number of usable pseudo channels (of 32) vs supply voltage,
+/// one series per tolerable fault rate.
+///
+/// # Errors
+///
+/// Propagates experiment errors.
+pub fn fig6(seed: u64) -> Result<(Vec<UsablePcCurve>, String), ExperimentError> {
+    let platform = platform(seed);
+    let map = FaultMap::from_predictor(
+        platform.full_scale_predictor(),
+        Millivolts(980),
+        Millivolts(810),
+        Millivolts(10),
+    );
+    let analysis = TradeOffAnalysis::new(map, HbmPowerModel::date21());
+    let curves = analysis.usable_pc_curves(&fig6_tolerances());
+    let rendered = report::render_usable_pc_curves(&curves);
+    Ok((curves, rendered))
+}
+
+/// The §III headline numbers (guardband %, 1.5×, 2.3×, idle ⅓, −14 %
+/// capacitance).
+///
+/// # Errors
+///
+/// Propagates experiment errors.
+pub fn headlines(seed: u64) -> Result<HeadlineMetrics, ExperimentError> {
+    let mut p = platform(seed);
+    let guardband = GuardbandFinder::new().run(&mut p)?;
+    let power = PowerSweep::date21().run(&mut p)?;
+    headline_metrics(&power, &guardband)
+}
+
+/// The §III-B variation summary (onset voltages, polarity ratio, stack
+/// ratio).
+#[must_use]
+pub fn characterization(seed: u64) -> VariationSummary {
+    let p = platform(seed);
+    variation_summary(p.full_scale_predictor())
+}
+
+/// Ablation: spatial clustering. Returns the fraction of a pseudo
+/// channel's expected faults that reside in its weakest 5 % of row regions,
+/// `(with clustering, without)`. The paper observes that "most faults are
+/// clustered together in small regions"; with the clustering term enabled
+/// the top regions concentrate the bulk of the faults, without it the
+/// share collapses towards the uniform 5 %.
+#[must_use]
+pub fn ablation_clustering(seed: u64, voltage: Millivolts) -> (f64, f64) {
+    let with = FaultModelParams::date21();
+    let mut without_var = VariationModel::date21();
+    without_var.weak_region_probability = 0.0;
+    without_var.normal_region_relief_volts = 0.0;
+    let without = FaultModelParams::date21().with_variation(without_var);
+    (
+        weak_region_fault_share(&with, seed, voltage),
+        weak_region_fault_share(&without, seed, voltage),
+    )
+}
+
+/// Expected fault share of the weakest 5 % of regions of PC0.
+fn weak_region_fault_share(params: &FaultModelParams, seed: u64, voltage: Millivolts) -> f64 {
+    use hbm_device::{BankId, HbmGeometry, PcIndex, RowId};
+    use hbm_faults::ShiftTable;
+
+    let geometry = HbmGeometry::vcu128();
+    let pc = PcIndex::new(0).expect("PC0 valid");
+    let table = ShiftTable::new(&params.variation, seed, geometry);
+    let pc_shift = table.pc_shift_volts(pc);
+    let v = f64::from(voltage.as_u32()) / 1000.0;
+
+    let mut rates = Vec::new();
+    let regions_per_bank = geometry.rows_per_bank() / params.variation.region_rows.max(1);
+    for bank in 0..geometry.banks_per_pc() {
+        let bank_id = BankId(bank);
+        let bank_shift = params.variation.bank_shift_volts(seed, pc, bank_id);
+        for region in 0..regions_per_bank {
+            let row = RowId(region * params.variation.region_rows.max(1));
+            let shift = pc_shift
+                + bank_shift
+                + params.variation.region_shift_volts(seed, pc, bank_id, row);
+            let rate = params.stuck0_share
+                * params.class_probability(&params.curve_stuck0, v, shift)
+                + params.stuck1_share()
+                    * params.class_probability(&params.curve_stuck1, v, shift);
+            rates.push(rate);
+        }
+    }
+    rates.sort_by(|a, b| b.total_cmp(a));
+    let total: f64 = rates.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let top = rates.len().div_ceil(20);
+    rates[..top].iter().sum::<f64>() / total
+}
+
+/// Ablation: Fig. 6 zero-tolerance usable-PC count at 0.95 V as a function
+/// of the per-PC variation σ. Returns `(sigma_volts, usable_pcs)` pairs.
+#[must_use]
+pub fn ablation_variation(seed: u64, sigmas_mv: &[u32]) -> Vec<(f64, usize)> {
+    sigmas_mv
+        .iter()
+        .map(|&mv| {
+            let mut var = VariationModel::date21();
+            var.pc_sigma_volts = f64::from(mv) / 1000.0;
+            let params = FaultModelParams::date21().with_variation(var);
+            let predictor =
+                RatePredictor::new(params, hbm_device::HbmGeometry::vcu128(), seed);
+            let map = FaultMap::from_predictor(
+                &predictor,
+                Millivolts(980),
+                Millivolts(900),
+                Millivolts(10),
+            );
+            (
+                f64::from(mv) / 1000.0,
+                map.usable_pc_count(Millivolts(950), Ratio::ZERO),
+            )
+        })
+        .collect()
+}
+
+/// Ablation: the polarity asymmetry — mean 0→1 / 1→0 ratio with the
+/// calibrated curves versus the symmetric ablation.
+#[must_use]
+pub fn ablation_polarity(seed: u64) -> (f64, f64) {
+    let asym = RatePredictor::new(
+        FaultModelParams::date21(),
+        hbm_device::HbmGeometry::vcu128(),
+        seed,
+    );
+    let sym = RatePredictor::new(
+        FaultModelParams::date21().without_polarity_asymmetry(),
+        hbm_device::HbmGeometry::vcu128(),
+        seed,
+    );
+    (polarity_ratio(&asym), polarity_ratio(&sym))
+}
+
+fn polarity_ratio(predictor: &RatePredictor) -> f64 {
+    let summary = variation_summary(predictor);
+    summary.polarity_ratio
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_series_has_paper_shape() {
+        let (series, rendered) = fig4(DEFAULT_SEED).unwrap();
+        assert_eq!(series.len(), 18);
+        assert!(rendered.contains("HBM0"));
+        assert_eq!(series[0].hbm0, Ratio::ZERO); // 0.98 V: guardband edge
+        assert!(series.last().unwrap().hbm0.as_f64() > 0.99); // 0.81 V
+    }
+
+    #[test]
+    fn fig6_examples_have_paper_shape() {
+        let (curves, rendered) = fig6(DEFAULT_SEED).unwrap();
+        assert_eq!(curves.len(), 6);
+        assert!(rendered.contains("0.98"));
+        // Zero tolerance at 0.95 V: some but not all PCs usable (paper: 7).
+        let zero = &curves[0];
+        let n = zero.at(Millivolts(950)).unwrap();
+        assert!((1..32).contains(&n), "fault-free PCs at 0.95 V: {n}");
+        // 50 % tolerance keeps all PCs deep into the collapse and most of
+        // them even at 0.85 V.
+        let loose = &curves[5];
+        assert_eq!(loose.at(Millivolts(870)), Some(32));
+        assert!(loose.at(Millivolts(850)).unwrap() >= 25);
+    }
+
+    #[test]
+    fn ablations_move_the_right_direction() {
+        let (with, without) = ablation_clustering(DEFAULT_SEED, Millivolts(930));
+        assert!(
+            with > 0.45 && without < 0.15,
+            "clustering must concentrate faults: {with} vs {without}"
+        );
+
+        let (asym, sym) = ablation_polarity(DEFAULT_SEED);
+        assert!(asym > 1.05, "calibrated ratio {asym}");
+        assert!((sym - 1.0).abs() < 0.35, "symmetric ablation ratio {sym}");
+    }
+}

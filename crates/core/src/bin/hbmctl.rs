@@ -1,0 +1,243 @@
+//! `hbmctl` — host-side control tool for the simulated HBM undervolting
+//! platform, mirroring the custom host interface the study built to drive
+//! its experiments.
+//!
+//! ```text
+//! hbmctl guardband   [--seed N]
+//! hbmctl power-sweep [--seed N]
+//! hbmctl reliability [--seed N] [--from MV] [--to MV] [--step MV]
+//!                    [--batch N] [--words N]
+//! hbmctl fault-map   [--seed N] [--out FILE]
+//! hbmctl plan        [--seed N] --capacity-gb G --tolerance RATE
+//! ```
+
+use std::process::ExitCode;
+
+use hbm_faults::FaultMap;
+use hbm_power::HbmPowerModel;
+use hbm_traffic::DataPattern;
+use hbm_undervolt::report::{render_power_table, to_json};
+use hbm_undervolt::{
+    GuardbandFinder, Platform, PowerSweep, ReliabilityConfig, ReliabilityTester, TestScope,
+    TradeOffAnalysis, VoltageSweep,
+};
+use hbm_units::{Millivolts, Ratio};
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse() -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut iter = std::env::args().skip(1);
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                flags.push((name.to_owned(), value));
+            } else {
+                positional.push(arg);
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn flag<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.iter().find(|(n, _)| n == name) {
+            None => Ok(default),
+            Some((_, raw)) => raw
+                .parse()
+                .map_err(|_| format!("invalid value for --{name}: {raw}")),
+        }
+    }
+
+    fn required<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        let (_, raw) = self
+            .flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .ok_or_else(|| format!("missing required flag --{name}"))?;
+        raw.parse()
+            .map_err(|_| format!("invalid value for --{name}: {raw}"))
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("hbmctl: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  hbmctl guardband   [--seed N]
+  hbmctl power-sweep [--seed N]
+  hbmctl reliability [--seed N] [--from MV] [--to MV] [--step MV] [--batch N] [--words N]
+  hbmctl fault-map   [--seed N] [--out FILE]
+  hbmctl plan        [--seed N] --capacity-gb G --tolerance RATE";
+
+fn run() -> Result<(), String> {
+    let args = Args::parse()?;
+    let command = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .ok_or("no command given")?;
+    let seed: u64 = args.flag("seed", 7)?;
+
+    match command {
+        "guardband" => guardband(seed),
+        "power-sweep" => power_sweep(seed),
+        "reliability" => reliability(seed, &args),
+        "fault-map" => fault_map(seed, &args),
+        "plan" => plan(seed, &args),
+        other => Err(format!("unknown command: {other}")),
+    }
+}
+
+fn platform(seed: u64) -> Platform {
+    Platform::builder().seed(seed).build()
+}
+
+fn guardband(seed: u64) -> Result<(), String> {
+    let mut p = platform(seed);
+    let report = GuardbandFinder::new()
+        .run(&mut p)
+        .map_err(|e| e.to_string())?;
+    println!("specimen seed {seed}");
+    println!("V_min      = {}", report.v_min);
+    println!("V_critical = {}", report.v_critical);
+    println!(
+        "guardband  = {} ({:.1}% of nominal)",
+        report.guardband(),
+        report.guardband_fraction().as_percent()
+    );
+    Ok(())
+}
+
+fn power_sweep(seed: u64) -> Result<(), String> {
+    let mut p = platform(seed);
+    let report = PowerSweep::date21()
+        .run(&mut p)
+        .map_err(|e| e.to_string())?;
+    print!("{}", render_power_table(&report));
+    println!(
+        "\nsaving at 0.98 V: {:.2}x   saving at 0.85 V: {:.2}x",
+        report.saving(Millivolts(980), 32).expect("0.98 V swept"),
+        report.saving(Millivolts(850), 32).expect("0.85 V swept"),
+    );
+    Ok(())
+}
+
+fn reliability(seed: u64, args: &Args) -> Result<(), String> {
+    let from: u32 = args.flag("from", 980)?;
+    let to: u32 = args.flag("to", 850)?;
+    let step: u32 = args.flag("step", 10)?;
+    let batch: usize = args.flag("batch", 1)?;
+    let words: u64 = args.flag("words", 1024)?;
+
+    let config = ReliabilityConfig {
+        sweep: VoltageSweep::new(Millivolts(from), Millivolts(to), Millivolts(step))
+            .map_err(|e| e.to_string())?,
+        batch_size: batch,
+        patterns: vec![DataPattern::AllOnes, DataPattern::AllZeros],
+        scope: TestScope::EntireHbm,
+        words_per_pc: Some(words),
+    };
+    let tester = ReliabilityTester::new(config).map_err(|e| e.to_string())?;
+    let mut p = platform(seed);
+    let report = tester.run(&mut p).map_err(|e| e.to_string())?;
+
+    println!(
+        "reliability sweep (seed {seed}, {} bits checked per run)\n",
+        report.checked_bits_per_run
+    );
+    println!("{:>8} {:>14} {:>14} {:>12}", "V", "1->0 flips", "0->1 flips", "rate");
+    for point in &report.points {
+        if point.crashed {
+            println!("{:>8} {:>14}", point.voltage, "CRASHED");
+            continue;
+        }
+        let f10 = point
+            .outcome(DataPattern::AllOnes)
+            .map_or(0, |o| o.flips_1to0);
+        let f01 = point
+            .outcome(DataPattern::AllZeros)
+            .map_or(0, |o| o.flips_0to1);
+        println!(
+            "{:>8} {:>14} {:>14} {:>12.3e}",
+            point.voltage,
+            f10,
+            f01,
+            point.total_mean_faults() / report.checked_bits_per_run as f64,
+        );
+    }
+    Ok(())
+}
+
+fn fault_map(seed: u64, args: &Args) -> Result<(), String> {
+    let p = platform(seed);
+    let map = FaultMap::from_predictor(
+        p.full_scale_predictor(),
+        Millivolts(980),
+        Millivolts(810),
+        Millivolts(10),
+    );
+    let json = to_json(&map).map_err(|e| e.to_string())?;
+    match args.flags.iter().find(|(n, _)| n == "out") {
+        Some((_, path)) => {
+            std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+            println!(
+                "fault map for seed {seed}: {} PCs x {} voltages -> {path}",
+                map.profiles.len(),
+                map.voltages.len()
+            );
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn plan(seed: u64, args: &Args) -> Result<(), String> {
+    let capacity_gb: f64 = args.required("capacity-gb")?;
+    let tolerance: f64 = args.required("tolerance")?;
+    if !(0.0..=1.0).contains(&tolerance) {
+        return Err("tolerance must be a fraction in [0, 1]".to_owned());
+    }
+
+    let p = platform(seed);
+    let map = FaultMap::from_predictor(
+        p.full_scale_predictor(),
+        Millivolts(980),
+        Millivolts(810),
+        Millivolts(10),
+    );
+    let analysis = TradeOffAnalysis::new(map, HbmPowerModel::date21());
+    let bytes = (capacity_gb * (1u64 << 30) as f64) as u64;
+    match analysis.plan(bytes, Ratio(tolerance)) {
+        Some(point) => {
+            println!("operating point for ≥{capacity_gb} GB at ≤{tolerance} fault rate:");
+            println!("  voltage        {}", point.voltage);
+            println!(
+                "  usable PCs     {} ({} GB)",
+                point.usable_pcs.len(),
+                point.capacity_bytes >> 30
+            );
+            println!("  power saving   {:.2}x vs nominal", point.saving_factor);
+            println!("  worst PC rate  {:.3e}", point.worst_fault_rate.as_f64());
+            Ok(())
+        }
+        None => Err(format!(
+            "no swept voltage provides {capacity_gb} GB within fault rate {tolerance}"
+        )),
+    }
+}

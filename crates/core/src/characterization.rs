@@ -1,0 +1,418 @@
+//! Fault characterization: the per-PC fault table (Fig. 5), the per-stack
+//! fault fractions (Fig. 4) and the variation statistics of §III-B.
+
+use hbm_device::{PcIndex, StackId};
+use hbm_faults::RatePredictor;
+use hbm_traffic::DataPattern;
+use hbm_units::{Millivolts, Ratio};
+use serde::{Deserialize, Serialize};
+
+use crate::sweep::VoltageSweep;
+
+/// One cell of the per-PC fault table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CellValue {
+    /// No fault expected (fewer than half an expected faulty bit) — the
+    /// paper's "NF".
+    NoFault,
+    /// Faulty cells as a percentage of the pseudo channel.
+    Percent(f64),
+}
+
+impl CellValue {
+    /// Formats like the paper's Fig. 5: "NF", or the percentage with values
+    /// below 1 % rounded to "0".
+    #[must_use]
+    pub fn display(&self) -> String {
+        match *self {
+            CellValue::NoFault => "NF".to_owned(),
+            CellValue::Percent(p) if p < 1.0 => "0".to_owned(),
+            CellValue::Percent(p) => format!("{}", p.round() as u64),
+        }
+    }
+
+    /// The raw fraction (0 for NF).
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        match *self {
+            CellValue::NoFault => 0.0,
+            CellValue::Percent(p) => p / 100.0,
+        }
+    }
+}
+
+/// One row of the per-PC table: a port/PC across the swept voltages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PcRow {
+    /// Port / pseudo-channel index.
+    pub port: u8,
+    /// One cell per swept voltage, in sweep order.
+    pub cells: Vec<CellValue>,
+}
+
+/// The paper's Fig. 5: percentage of faulty cells per AXI port (PC) per
+/// voltage, for one data pattern.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_undervolt::characterization::PcFaultTable;
+/// use hbm_undervolt::{Platform, VoltageSweep};
+/// use hbm_traffic::DataPattern;
+/// use hbm_units::Millivolts;
+///
+/// # fn main() -> Result<(), hbm_undervolt::ExperimentError> {
+/// let platform = Platform::builder().seed(7).build();
+/// let sweep = VoltageSweep::new(Millivolts(970), Millivolts(840), Millivolts(10))?;
+/// let table = PcFaultTable::from_predictor(
+///     platform.full_scale_predictor(),
+///     sweep,
+///     DataPattern::AllOnes,
+/// );
+/// assert_eq!(table.rows.len(), 32);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PcFaultTable {
+    /// The pattern the table was measured with.
+    pub pattern: DataPattern,
+    /// Swept voltages (columns), descending.
+    pub voltages: Vec<Millivolts>,
+    /// One row per port, index order (PC0–PC15 = HBM0, PC16–PC31 = HBM1).
+    pub rows: Vec<PcRow>,
+}
+
+impl PcFaultTable {
+    /// Builds the table analytically at the predictor's geometry (use the
+    /// full-scale predictor for paper-comparable absolute counts).
+    #[must_use]
+    pub fn from_predictor(
+        predictor: &RatePredictor,
+        sweep: VoltageSweep,
+        pattern: DataPattern,
+    ) -> Self {
+        let geometry = predictor.geometry();
+        let bits = geometry.bits_per_pc() as f64;
+        let voltages: Vec<Millivolts> = sweep.iter().collect();
+        let rows = PcIndex::all(geometry)
+            .map(|pc| PcRow {
+                port: pc.as_u8(),
+                cells: voltages
+                    .iter()
+                    .map(|&v| {
+                        let rates = predictor.pc_rates(pc, v);
+                        let rate = match pattern {
+                            DataPattern::AllZeros => rates.rate_0to1,
+                            _ => rates.rate_1to0,
+                        };
+                        if rate.as_f64() * bits < 0.5 {
+                            CellValue::NoFault
+                        } else {
+                            CellValue::Percent(rate.as_percent())
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        PcFaultTable {
+            pattern,
+            voltages,
+            rows,
+        }
+    }
+
+    /// The cell for `(port, voltage)`, if swept.
+    #[must_use]
+    pub fn cell(&self, port: u8, voltage: Millivolts) -> Option<CellValue> {
+        let col = self.voltages.iter().position(|&v| v == voltage)?;
+        self.rows
+            .iter()
+            .find(|r| r.port == port)
+            .map(|r| r.cells[col])
+    }
+
+    /// Ports with no expected faults at a voltage.
+    #[must_use]
+    pub fn fault_free_ports(&self, voltage: Millivolts) -> Vec<u8> {
+        let Some(col) = self.voltages.iter().position(|&v| v == voltage) else {
+            return Vec::new();
+        };
+        self.rows
+            .iter()
+            .filter(|r| matches!(r.cells[col], CellValue::NoFault))
+            .map(|r| r.port)
+            .collect()
+    }
+}
+
+/// One point of the per-stack faulty-fraction curves (Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StackFractionPoint {
+    /// Supply voltage.
+    pub voltage: Millivolts,
+    /// Union faulty fraction of HBM0.
+    pub hbm0: Ratio,
+    /// Union faulty fraction of HBM1.
+    pub hbm1: Ratio,
+}
+
+/// Builds the Fig. 4 series: fraction of faulty bits per stack across a
+/// sweep.
+#[must_use]
+pub fn stack_fraction_series(
+    predictor: &RatePredictor,
+    sweep: VoltageSweep,
+) -> Vec<StackFractionPoint> {
+    sweep
+        .iter()
+        .map(|voltage| StackFractionPoint {
+            voltage,
+            hbm0: predictor.stack_rate(StackId(0), voltage),
+            hbm1: predictor.stack_rate(StackId(1), voltage),
+        })
+        .collect()
+}
+
+/// The §III-B variation statistics, derived from the analytic model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationSummary {
+    /// Highest voltage with ≥1 expected 1→0 flip device-wide.
+    pub onset_1to0: Option<Millivolts>,
+    /// Highest voltage with ≥1 expected 0→1 flip device-wide.
+    pub onset_0to1: Option<Millivolts>,
+    /// Mean 0→1 / 1→0 rate ratio over the unsafe region (paper: ≈1.21).
+    pub polarity_ratio: f64,
+    /// Mean HBM1 / HBM0 fault-rate ratio over the unsafe region
+    /// (paper: HBM0 ≈13 % lower → ratio ≈1.13).
+    pub stack_ratio: f64,
+}
+
+/// Computes the variation summary over the unsafe region.
+#[must_use]
+pub fn variation_summary(predictor: &RatePredictor) -> VariationSummary {
+    let geometry = predictor.geometry();
+    let bits = geometry.total_bits() as f64;
+    let sweep = VoltageSweep::unsafe_region();
+
+    let mut onset_1to0 = None;
+    let mut onset_0to1 = None;
+    let mut sum10 = 0.0;
+    let mut sum01 = 0.0;
+    let mut stack_ratios = Vec::new();
+
+    for v in sweep.iter() {
+        let mut device10 = 0.0;
+        let mut device01 = 0.0;
+        for pc in PcIndex::all(geometry) {
+            let rates = predictor.pc_rates(pc, v);
+            device10 += rates.rate_1to0.as_f64();
+            device01 += rates.rate_0to1.as_f64();
+        }
+        let n = f64::from(geometry.total_pcs());
+        device10 /= n;
+        device01 /= n;
+
+        if onset_1to0.is_none() && device10 * bits >= 1.0 {
+            onset_1to0 = Some(v);
+        }
+        if onset_0to1.is_none() && device01 * bits >= 1.0 {
+            onset_0to1 = Some(v);
+        }
+        sum10 += device10;
+        sum01 += device01;
+
+        let r0 = predictor.stack_rate(StackId(0), v).as_f64();
+        let r1 = predictor.stack_rate(StackId(1), v).as_f64();
+        if r0 > 0.0 && r0 < 1.0 {
+            stack_ratios.push(r1 / r0);
+        }
+    }
+
+    VariationSummary {
+        onset_1to0,
+        onset_0to1,
+        polarity_ratio: if sum10 > 0.0 { sum01 / sum10 } else { 0.0 },
+        stack_ratio: if stack_ratios.is_empty() {
+            1.0
+        } else {
+            stack_ratios.iter().sum::<f64>() / stack_ratios.len() as f64
+        },
+    }
+}
+
+/// One point of the temperature-sensitivity study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TemperaturePoint {
+    /// Operating temperature.
+    pub temperature: hbm_units::Celsius,
+    /// Highest voltage with ≥1 expected device-wide fault.
+    pub onset: Option<Millivolts>,
+    /// Device union fault rate at 0.90 V.
+    pub rate_at_900mv: Ratio,
+}
+
+/// Temperature sensitivity of the fault behaviour: the study pins the
+/// stacks at 35 ± 1 °C; this extension sweeps the operating temperature
+/// (the model's 1 mV/°C weak-bit sensitivity) and reports how the fault
+/// onset and mid-region rates move.
+#[must_use]
+pub fn temperature_sweep(
+    params: &hbm_faults::FaultModelParams,
+    seed: u64,
+    temperatures: &[hbm_units::Celsius],
+) -> Vec<TemperaturePoint> {
+    use hbm_device::HbmGeometry;
+
+    temperatures
+        .iter()
+        .map(|&temperature| {
+            let mut predictor =
+                RatePredictor::new(params.clone(), HbmGeometry::vcu128(), seed);
+            predictor.set_temperature(temperature);
+            let bits = predictor.geometry().total_bits() as f64;
+            let onset = VoltageSweep::unsafe_region()
+                .iter()
+                .find(|&v| predictor.device_rate(v).as_f64() * bits >= 1.0);
+            TemperaturePoint {
+                temperature,
+                onset,
+                rate_at_900mv: predictor.device_rate(Millivolts(900)),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+
+    fn predictor() -> RatePredictor {
+        let platform = Platform::builder().seed(7).build();
+        platform.full_scale_predictor().clone()
+    }
+
+    fn fig5_sweep() -> VoltageSweep {
+        VoltageSweep::new(Millivolts(970), Millivolts(840), Millivolts(10)).unwrap()
+    }
+
+    #[test]
+    fn cell_display_rules() {
+        assert_eq!(CellValue::NoFault.display(), "NF");
+        assert_eq!(CellValue::Percent(0.4).display(), "0");
+        assert_eq!(CellValue::Percent(3.6).display(), "4");
+        assert_eq!(CellValue::Percent(100.0).display(), "100");
+        assert_eq!(CellValue::NoFault.fraction(), 0.0);
+        assert!((CellValue::Percent(50.0).fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_shape_and_orientation() {
+        let table = PcFaultTable::from_predictor(&predictor(), fig5_sweep(), DataPattern::AllOnes);
+        assert_eq!(table.rows.len(), 32);
+        assert_eq!(table.voltages.len(), 14);
+        for row in &table.rows {
+            assert_eq!(row.cells.len(), 14);
+        }
+    }
+
+    #[test]
+    fn sensitive_pcs_fault_earlier_than_typical_pcs() {
+        let table = PcFaultTable::from_predictor(&predictor(), fig5_sweep(), DataPattern::AllOnes);
+        // At a mid voltage, the sensitive PCs must not be NF while many
+        // normal PCs still are.
+        let v = Millivolts(950);
+        let free = table.fault_free_ports(v);
+        for sensitive in [4u8, 5, 18, 19, 20] {
+            assert!(
+                !free.contains(&sensitive),
+                "sensitive PC{sensitive} should show faults at {v}"
+            );
+        }
+        assert!(!free.is_empty(), "some normal PCs should still be NF at {v}");
+    }
+
+    #[test]
+    fn everything_faulty_at_the_bottom() {
+        let table = PcFaultTable::from_predictor(&predictor(), fig5_sweep(), DataPattern::AllOnes);
+        // At 0.84 V every PC shows faults (no NF cells) and the device mean
+        // is far into the collapse; by 0.83 V (one step below the table)
+        // saturation is total — asserted by the stack-series test.
+        let mut mean = 0.0;
+        for row in &table.rows {
+            let cell = table.cell(row.port, Millivolts(840)).unwrap();
+            assert!(cell.fraction() > 0.0, "PC{} must be faulty at 0.84 V", row.port);
+            mean += cell.fraction();
+        }
+        mean /= table.rows.len() as f64;
+        // All-ones pattern sees the stuck-at-0 share (≈47 %) of a nearly
+        // fully collapsed population.
+        assert!(mean > 0.25, "mean 1→0 fraction at 0.84 V: {mean}");
+    }
+
+    #[test]
+    fn stack_series_shape() {
+        let series = stack_fraction_series(&predictor(), VoltageSweep::unsafe_region());
+        assert_eq!(series.len(), 17);
+        // Monotone growth for both stacks.
+        for w in series.windows(2) {
+            assert!(w[1].hbm0 >= w[0].hbm0);
+            assert!(w[1].hbm1 >= w[0].hbm1);
+        }
+        // Saturation at the bottom.
+        let last = series.last().unwrap();
+        assert!(last.hbm0.as_f64() > 0.99 && last.hbm1.as_f64() > 0.99);
+        // HBM1 weaker through the exponential region.
+        let mid = series.iter().find(|p| p.voltage == Millivolts(900)).unwrap();
+        assert!(mid.hbm1 > mid.hbm0);
+    }
+
+    #[test]
+    fn hotter_devices_fault_earlier_and_harder() {
+        use hbm_units::Celsius;
+        let params = hbm_faults::FaultModelParams::date21();
+        let points = temperature_sweep(
+            &params,
+            7,
+            &[Celsius(25.0), Celsius(35.0), Celsius(55.0), Celsius(85.0)],
+        );
+        assert_eq!(points.len(), 4);
+        // Rates grow monotonically with temperature.
+        for w in points.windows(2) {
+            assert!(
+                w[1].rate_at_900mv >= w[0].rate_at_900mv,
+                "rate must grow with temperature: {w:?}"
+            );
+        }
+        // Onset voltages never decrease with temperature.
+        for w in points.windows(2) {
+            assert!(w[1].onset >= w[0].onset, "onset must not drop: {w:?}");
+        }
+        // At the study's 35 °C the onset stays the paper's 0.97 V.
+        assert_eq!(points[1].onset, Some(Millivolts(970)));
+        // A server-hot 85 °C device faults visibly earlier.
+        assert!(points[3].rate_at_900mv.as_f64() > 5.0 * points[1].rate_at_900mv.as_f64());
+    }
+
+    #[test]
+    fn variation_summary_matches_paper_shape() {
+        let summary = variation_summary(&predictor());
+        // Onsets: 1→0 first (0.97 V), 0→1 one step later (0.96 V).
+        assert_eq!(summary.onset_1to0, Some(Millivolts(970)));
+        let onset_01 = summary.onset_0to1.unwrap();
+        assert!(onset_01 < Millivolts(970) && onset_01 >= Millivolts(950));
+        // Polarity ratio near the paper's +21 %.
+        assert!(
+            (1.05..1.45).contains(&summary.polarity_ratio),
+            "polarity ratio {}",
+            summary.polarity_ratio
+        );
+        // Stack ratio near the paper's 13 %.
+        assert!(
+            (1.05..1.25).contains(&summary.stack_ratio),
+            "stack ratio {}",
+            summary.stack_ratio
+        );
+    }
+}

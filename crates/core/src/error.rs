@@ -1,0 +1,111 @@
+//! Error type spanning the whole experiment stack.
+
+use std::error::Error;
+use std::fmt;
+
+use hbm_device::DeviceError;
+use hbm_vreg::PmbusError;
+
+/// Any error an experiment can hit: device-side (crash, bad address),
+/// board-side (PMBus transaction), or a configuration problem.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_device::DeviceError;
+/// use hbm_undervolt::ExperimentError;
+///
+/// let err = ExperimentError::from(DeviceError::Crashed);
+/// assert!(err.to_string().contains("crashed"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExperimentError {
+    /// The HBM device reported an error.
+    Device(DeviceError),
+    /// A PMBus/I²C transaction failed.
+    Pmbus(PmbusError),
+    /// The experiment configuration is invalid.
+    Config {
+        /// What is wrong with it.
+        reason: String,
+    },
+}
+
+impl ExperimentError {
+    /// Convenience constructor for configuration errors.
+    #[must_use]
+    pub fn config(reason: impl Into<String>) -> Self {
+        ExperimentError::Config {
+            reason: reason.into(),
+        }
+    }
+
+    /// `true` if the underlying cause is a device crash (the expected
+    /// outcome below V_critical, handled by power-cycling).
+    #[must_use]
+    pub fn is_crash(&self) -> bool {
+        matches!(self, ExperimentError::Device(DeviceError::Crashed))
+    }
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Device(e) => write!(f, "device error: {e}"),
+            ExperimentError::Pmbus(e) => write!(f, "pmbus error: {e}"),
+            ExperimentError::Config { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExperimentError::Device(e) => Some(e),
+            ExperimentError::Pmbus(e) => Some(e),
+            ExperimentError::Config { .. } => None,
+        }
+    }
+}
+
+impl From<DeviceError> for ExperimentError {
+    fn from(e: DeviceError) -> Self {
+        ExperimentError::Device(e)
+    }
+}
+
+impl From<PmbusError> for ExperimentError {
+    fn from(e: PmbusError) -> Self {
+        ExperimentError::Pmbus(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_source() {
+        let device: ExperimentError = DeviceError::Crashed.into();
+        assert!(device.is_crash());
+        assert!(device.source().is_some());
+
+        let pmbus: ExperimentError = PmbusError::UnsupportedCommand { code: 1 }.into();
+        assert!(!pmbus.is_crash());
+        assert!(pmbus.source().is_some());
+
+        let config = ExperimentError::config("step must divide the range");
+        assert!(config.source().is_none());
+        assert_eq!(
+            config.to_string(),
+            "invalid configuration: step must divide the range"
+        );
+    }
+
+    #[test]
+    fn error_is_well_behaved() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<ExperimentError>();
+    }
+}

@@ -1,0 +1,235 @@
+//! A closed-loop undervolting governor.
+//!
+//! The paper's user-level implication (§III-C) is that applications can
+//! pick an operating voltage from the fault map. This extension closes the
+//! loop at run time instead: the governor steps the supply down while a
+//! *canary* probe (a write/read-back pass over a small region of every
+//! pseudo channel) stays clean, then backs off one safety margin — the
+//! standard canary-based voltage-scaling pattern from the undervolting
+//! literature, implemented against this workspace's platform.
+
+use hbm_traffic::{DataPattern, MacroProgram, TrafficGenerator};
+use hbm_units::{Millivolts, Ratio};
+use serde::{Deserialize, Serialize};
+
+use crate::error::ExperimentError;
+use crate::platform::Platform;
+
+/// Configuration of the governor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GovernorConfig {
+    /// Voltage step per iteration.
+    pub step: Millivolts,
+    /// Words probed per pseudo channel per canary pass.
+    pub canary_words: u64,
+    /// Hard floor the governor never crosses (stay above V_critical).
+    pub floor: Millivolts,
+    /// Safety margin added back on top of the last clean voltage.
+    pub margin: Millivolts,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        GovernorConfig {
+            step: Millivolts(10),
+            canary_words: 512,
+            floor: Millivolts(840),
+            margin: Millivolts(10),
+        }
+    }
+}
+
+/// The governor's verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GovernorOutcome {
+    /// The operating voltage the governor settled on.
+    pub settled: Millivolts,
+    /// The lowest voltage whose canary was still clean.
+    pub lowest_clean: Millivolts,
+    /// The first voltage whose canary tripped, if the descent got that far.
+    pub tripped_at: Option<Millivolts>,
+    /// Total canary bit flips observed during the descent.
+    pub canary_flips: u64,
+}
+
+/// Closed-loop undervolting: descend until the canary trips, back off by
+/// the margin, and leave the platform at the settled voltage.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_undervolt::{Platform, UndervoltGovernor};
+/// use hbm_units::Millivolts;
+///
+/// # fn main() -> Result<(), hbm_undervolt::ExperimentError> {
+/// let mut platform = Platform::builder().seed(7).build();
+/// let outcome = UndervoltGovernor::default().run(&mut platform)?;
+/// // Settles safely below nominal but above the crash floor.
+/// assert!(outcome.settled < Millivolts(1200));
+/// assert!(outcome.settled >= Millivolts(840));
+/// assert_eq!(platform.voltage(), outcome.settled);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct UndervoltGovernor {
+    config: GovernorConfig,
+}
+
+impl UndervoltGovernor {
+    /// Creates a governor with an explicit configuration.
+    #[must_use]
+    pub fn new(config: GovernorConfig) -> Self {
+        UndervoltGovernor { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> GovernorConfig {
+        self.config
+    }
+
+    /// Runs the descent from the platform's present voltage. On return the
+    /// platform operates at [`GovernorOutcome::settled`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates PMBus/device errors from the probes; a canary trip is the
+    /// expected terminal condition, not an error.
+    pub fn run(&self, platform: &mut Platform) -> Result<GovernorOutcome, ExperimentError> {
+        let mut lowest_clean = platform.voltage();
+        let mut tripped_at = None;
+        let mut canary_flips = 0u64;
+
+        let mut v = platform.voltage();
+        while v >= self.config.floor + self.config.step {
+            let next = v - self.config.step;
+            platform.set_voltage(next)?;
+            if platform.is_crashed() {
+                // Defensive: floor should prevent this, but recover anyway.
+                platform.power_cycle(lowest_clean)?;
+                tripped_at = Some(next);
+                break;
+            }
+            let flips = self.canary_pass(platform)?;
+            if flips > 0 {
+                canary_flips += flips;
+                tripped_at = Some(next);
+                break;
+            }
+            lowest_clean = next;
+            v = next;
+        }
+
+        let settled = (lowest_clean + self.config.margin).clamp(self.config.floor, Millivolts(1200));
+        platform.set_voltage(settled)?;
+        Ok(GovernorOutcome {
+            settled,
+            lowest_clean,
+            tripped_at,
+            canary_flips,
+        })
+    }
+
+    /// One canary pass: both uniform patterns over the canary region of
+    /// every enabled port. Returns total observed flips.
+    fn canary_pass(&self, platform: &mut Platform) -> Result<u64, ExperimentError> {
+        let ids: Vec<_> = platform.device().ports().enabled_ids().collect();
+        let mut flips = 0u64;
+        for pattern in [DataPattern::AllOnes, DataPattern::AllZeros] {
+            let program = MacroProgram::write_then_check(0..self.config.canary_words, pattern);
+            for &port in &ids {
+                let mut tg = TrafficGenerator::new(port);
+                let stats = tg
+                    .run(&program, &mut platform.port(port))
+                    .map_err(ExperimentError::from)?;
+                flips += stats.total_flips();
+            }
+        }
+        Ok(flips)
+    }
+}
+
+/// Estimated power saving of the governor's outcome at full utilization.
+#[must_use]
+pub fn outcome_saving(platform: &Platform, outcome: &GovernorOutcome) -> f64 {
+    platform.power_model().saving_factor(
+        outcome.settled,
+        Ratio::ONE,
+        platform.predictor().device_rate(outcome.settled),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbm_units::Ohms;
+
+    fn platform() -> Platform {
+        Platform::builder().seed(7).build()
+    }
+
+    #[test]
+    fn governor_settles_between_onset_and_floor() {
+        let mut p = platform();
+        let outcome = UndervoltGovernor::default().run(&mut p).unwrap();
+        // It must find real savings (well below nominal) …
+        assert!(outcome.settled <= Millivolts(1000), "{:?}", outcome);
+        // … while staying above the floor.
+        assert!(outcome.settled >= Millivolts(840));
+        assert_eq!(p.voltage(), outcome.settled);
+        assert!(!p.is_crashed());
+        // The settled point sits one margin above the lowest clean voltage.
+        assert_eq!(outcome.settled, outcome.lowest_clean + Millivolts(10));
+    }
+
+    #[test]
+    fn settled_point_is_actually_clean() {
+        let mut p = platform();
+        let governor = UndervoltGovernor::default();
+        let outcome = governor.run(&mut p).unwrap();
+        // Re-probing at the settled voltage shows no faults.
+        let flips = governor.canary_pass(&mut p).unwrap();
+        assert_eq!(flips, 0, "settled at {} but canary trips", outcome.settled);
+    }
+
+    #[test]
+    fn descent_trips_or_reaches_floor() {
+        let mut p = platform();
+        let outcome = UndervoltGovernor::default().run(&mut p).unwrap();
+        match outcome.tripped_at {
+            Some(trip) => {
+                assert!(outcome.canary_flips > 0);
+                assert_eq!(outcome.lowest_clean, trip + Millivolts(10));
+            }
+            None => assert!(outcome.lowest_clean < Millivolts(850)),
+        }
+    }
+
+    #[test]
+    fn droop_makes_the_governor_conservative() {
+        // Under load-line droop the canary sees the sagged voltage, so the
+        // governor must settle at an equal or higher set-point.
+        let mut ideal = platform();
+        let ideal_outcome = UndervoltGovernor::default().run(&mut ideal).unwrap();
+
+        let mut droopy = platform();
+        droopy.set_load_line(Ohms(0.008));
+        // Load the rail so the droop is visible to the device.
+        droopy.measure_power(Ratio::ONE).unwrap();
+        let droopy_outcome = UndervoltGovernor::default().run(&mut droopy).unwrap();
+
+        assert!(
+            droopy_outcome.settled >= ideal_outcome.settled,
+            "droop {droopy_outcome:?} vs ideal {ideal_outcome:?}"
+        );
+    }
+
+    #[test]
+    fn saving_estimate_positive() {
+        let mut p = platform();
+        let outcome = UndervoltGovernor::default().run(&mut p).unwrap();
+        let saving = outcome_saving(&p, &outcome);
+        assert!(saving > 1.2, "saving {saving}");
+    }
+}

@@ -1,0 +1,275 @@
+//! Locating the voltage landmarks: V_min (guardband floor) and V_critical
+//! (crash floor).
+
+use hbm_traffic::{DataPattern, MacroProgram, TrafficGenerator};
+use hbm_units::{Millivolts, Ratio};
+use serde::{Deserialize, Serialize};
+
+use crate::error::ExperimentError;
+use crate::platform::Platform;
+use crate::sweep::VoltageSweep;
+
+/// The measured landmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuardbandReport {
+    /// Nominal voltage the search started from.
+    pub v_nom: Millivolts,
+    /// Minimum safe voltage: lowest voltage with zero (expected) faults.
+    pub v_min: Millivolts,
+    /// Minimum working voltage: lowest voltage at which the device still
+    /// responds.
+    pub v_critical: Millivolts,
+}
+
+impl GuardbandReport {
+    /// Guardband width.
+    #[must_use]
+    pub fn guardband(&self) -> Millivolts {
+        self.v_nom.saturating_sub(self.v_min)
+    }
+
+    /// Guardband as a fraction of nominal (the paper's "19 %").
+    #[must_use]
+    pub fn guardband_fraction(&self) -> Ratio {
+        Ratio(f64::from(self.guardband().as_u32()) / f64::from(self.v_nom.as_u32()))
+    }
+}
+
+/// Finds V_min and V_critical on a platform.
+///
+/// Two V_min strategies are provided:
+///
+/// - **predicted** (default for reports): uses the full-scale analytic
+///   predictor, whose absolute fault counts match the paper's 8 GB device —
+///   this reproduces V_min = 0.98 V;
+/// - **measured**: actually runs write/read-back probes on the platform's
+///   (possibly reduced) geometry. With fewer bits the observable onset sits
+///   lower, exactly as a smaller real device would behave.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_undervolt::{GuardbandFinder, Platform};
+/// use hbm_units::Millivolts;
+///
+/// # fn main() -> Result<(), hbm_undervolt::ExperimentError> {
+/// let mut platform = Platform::builder().seed(7).build();
+/// let report = GuardbandFinder::new().run(&mut platform)?;
+/// assert_eq!(report.v_min, Millivolts(980));
+/// assert_eq!(report.v_critical, Millivolts(810));
+/// // 220 mV ≈ 18.3 % of nominal, reported by the paper as "19 %".
+/// assert!((report.guardband_fraction().as_f64() - 0.183).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GuardbandFinder {
+    /// Voltage resolution of the searches.
+    pub step: Millivolts,
+    /// Expected-fault threshold below which a voltage counts as fault-free
+    /// (in expected faulty bits on the full-scale device).
+    pub fault_free_threshold: f64,
+    /// Words probed per pseudo channel in measured mode.
+    pub probe_words: u64,
+}
+
+impl GuardbandFinder {
+    /// The study's setup: 10 mV resolution.
+    #[must_use]
+    pub fn new() -> Self {
+        GuardbandFinder {
+            step: Millivolts(10),
+            fault_free_threshold: 0.5,
+            probe_words: 1024,
+        }
+    }
+
+    /// Runs both searches: predicted V_min plus crash-probing V_critical.
+    /// Leaves the platform power-cycled back at nominal voltage.
+    ///
+    /// # Errors
+    ///
+    /// PMBus errors from voltage control.
+    pub fn run(&self, platform: &mut Platform) -> Result<GuardbandReport, ExperimentError> {
+        let v_min = self.find_vmin_predicted(platform);
+        let v_critical = self.find_vcritical(platform)?;
+        Ok(GuardbandReport {
+            v_nom: Millivolts(1200),
+            v_min,
+            v_critical,
+        })
+    }
+
+    /// V_min from the full-scale analytic predictor: the lowest voltage at
+    /// which the expected device-wide fault count stays below the
+    /// threshold, scanning down from nominal.
+    #[must_use]
+    pub fn find_vmin_predicted(&self, platform: &Platform) -> Millivolts {
+        let predictor = platform.full_scale_predictor();
+        let bits = predictor.geometry().total_bits() as f64;
+        let mut v = Millivolts(1200);
+        loop {
+            let next = v.saturating_sub(self.step);
+            let expected = predictor.device_rate(next).as_f64() * bits;
+            if expected >= self.fault_free_threshold || next == Millivolts::ZERO {
+                return v;
+            }
+            v = next;
+        }
+    }
+
+    /// Binary-search refinement of the predicted V_min to 1 mV resolution
+    /// (an extension beyond the paper's linear 10 mV scan).
+    #[must_use]
+    pub fn binary_search_vmin(&self, platform: &Platform) -> Millivolts {
+        let predictor = platform.full_scale_predictor();
+        let bits = predictor.geometry().total_bits() as f64;
+        let faulty = |v: Millivolts| predictor.device_rate(v).as_f64() * bits >= self.fault_free_threshold;
+        let (mut lo, mut hi) = (Millivolts(810), Millivolts(1200));
+        // Invariant: faulty(lo), !faulty(hi).
+        if !faulty(lo) {
+            return lo;
+        }
+        while hi - lo > Millivolts(1) {
+            let mid = Millivolts((lo.as_u32() + hi.as_u32()) / 2);
+            if faulty(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        hi
+    }
+
+    /// Measured V_min: the highest probed voltage below which the platform
+    /// shows actual bit flips. Scans down in `step`s running a write/read
+    /// probe over `probe_words` per PC.
+    ///
+    /// # Errors
+    ///
+    /// PMBus/device errors from the probes.
+    pub fn find_vmin_measured(
+        &self,
+        platform: &mut Platform,
+    ) -> Result<Millivolts, ExperimentError> {
+        let sweep = VoltageSweep::new(Millivolts(1200), Millivolts(810), self.step)
+            .map_err(|_| ExperimentError::config("step must divide 390 mV"))?;
+        let mut last_clean = Millivolts(1200);
+        for voltage in sweep.iter() {
+            platform.set_voltage(voltage)?;
+            if self.probe_flips(platform)? > 0 {
+                platform.set_voltage(Millivolts(1200))?;
+                return Ok(last_clean);
+            }
+            last_clean = voltage;
+        }
+        platform.set_voltage(Millivolts(1200))?;
+        Ok(last_clean)
+    }
+
+    fn probe_flips(&self, platform: &mut Platform) -> Result<u64, ExperimentError> {
+        let mut total = 0;
+        let ids: Vec<_> = platform.device().ports().enabled_ids().collect();
+        for pattern in [DataPattern::AllOnes, DataPattern::AllZeros] {
+            let program = MacroProgram::write_then_check(0..self.probe_words, pattern);
+            for &port in &ids {
+                let mut tg = TrafficGenerator::new(port);
+                let stats = tg
+                    .run(&program, &mut platform.port(port))
+                    .map_err(ExperimentError::from)?;
+                total += stats.total_flips();
+            }
+        }
+        Ok(total)
+    }
+
+    /// V_critical: steps the voltage down from 0.85 V until the device
+    /// stops responding; the last responding voltage is V_critical. The
+    /// platform is power-cycled back to nominal afterwards (as the study
+    /// had to do).
+    ///
+    /// # Errors
+    ///
+    /// PMBus errors from voltage control.
+    pub fn find_vcritical(&self, platform: &mut Platform) -> Result<Millivolts, ExperimentError> {
+        let mut v = Millivolts(850);
+        let mut last_alive = v;
+        loop {
+            platform.set_voltage(v)?;
+            if platform.is_crashed() {
+                platform.power_cycle(Millivolts(1200))?;
+                return Ok(last_alive);
+            }
+            last_alive = v;
+            if v == Millivolts::ZERO {
+                return Ok(last_alive);
+            }
+            v = v.saturating_sub(self.step);
+        }
+    }
+}
+
+impl Default for GuardbandFinder {
+    fn default() -> Self {
+        GuardbandFinder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform() -> Platform {
+        Platform::builder().seed(7).build()
+    }
+
+    #[test]
+    fn predicted_vmin_matches_paper() {
+        let p = platform();
+        let finder = GuardbandFinder::new();
+        assert_eq!(finder.find_vmin_predicted(&p), Millivolts(980));
+    }
+
+    #[test]
+    fn binary_search_refines_vmin() {
+        let p = platform();
+        let finder = GuardbandFinder::new();
+        let refined = finder.binary_search_vmin(&p);
+        // The guardband gate sits exactly at 980 mV; at 979 mV faults are
+        // already expected on 8 GB.
+        assert_eq!(refined, Millivolts(980));
+    }
+
+    #[test]
+    fn vcritical_found_and_platform_recovered() {
+        let mut p = platform();
+        let finder = GuardbandFinder::new();
+        let vc = finder.find_vcritical(&mut p).unwrap();
+        assert_eq!(vc, Millivolts(810));
+        assert!(!p.is_crashed());
+        assert_eq!(p.voltage(), Millivolts(1200));
+    }
+
+    #[test]
+    fn full_report() {
+        let mut p = platform();
+        let report = GuardbandFinder::new().run(&mut p).unwrap();
+        assert_eq!(report.v_min, Millivolts(980));
+        assert_eq!(report.v_critical, Millivolts(810));
+        assert_eq!(report.guardband(), Millivolts(220));
+        let pct = report.guardband_fraction().as_percent();
+        assert!((18.0..19.5).contains(&pct), "guardband {pct}%");
+    }
+
+    #[test]
+    fn measured_vmin_is_at_or_below_predicted() {
+        // The reduced-geometry platform has 1024× fewer bits, so its
+        // observable onset voltage sits below the full-scale 0.98 V.
+        let mut p = platform();
+        let mut finder = GuardbandFinder::new();
+        finder.probe_words = 512;
+        let measured = finder.find_vmin_measured(&mut p).unwrap();
+        assert!(measured <= Millivolts(980), "measured {measured}");
+        assert!(measured >= Millivolts(880), "measured {measured}");
+    }
+}

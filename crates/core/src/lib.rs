@@ -1,0 +1,76 @@
+//! The core library of the HBM voltage-underscaling study reproduction:
+//! the complete measurement methodology of *"Understanding Power Consumption
+//! and Reliability of High-Bandwidth Memory with Voltage Underscaling"*
+//! (DATE 2021), runnable against the simulated VCU128 platform assembled
+//! from the workspace's substrate crates.
+//!
+//! # What lives here
+//!
+//! - [`Platform`]: the testbed — an [`hbm_device::HbmDevice`] behind a
+//!   fault-injecting AXI view, powered by an
+//!   [`hbm_vreg::PowerRail`] (ISL68301 + INA226), with per-stack
+//!   traffic-generator controllers;
+//! - [`ReliabilityTester`]: the paper's Algorithm 1 — sequential
+//!   write/read-back fault counting across a voltage sweep, batched per the
+//!   statistical methodology;
+//! - [`PowerSweep`]: the power-measurement experiment behind Fig. 2 and
+//!   (via [`hbm_power::PowerAnalysis`]) Fig. 3;
+//! - [`characterization`]: per-PC / per-pattern fault tables (Fig. 5),
+//!   stack comparison (Fig. 4) and polarity statistics;
+//! - [`GuardbandFinder`]: locating V_min and V_critical, by linear sweep as
+//!   in the paper or by binary refinement;
+//! - [`TradeOffAnalysis`]: the three-factor power / fault-rate / capacity
+//!   trade-off and usable-PC curves (Fig. 6), plus an operating-point
+//!   planner;
+//! - [`stats`]: statistical fault-injection sizing (130 runs → 7 % error at
+//!   90 % confidence, after Leveugle et al.);
+//! - [`report`]: plain-text and CSV rendering of every figure.
+//!
+//! # Quick start
+//!
+//! ```
+//! use hbm_undervolt::Platform;
+//! use hbm_units::{Millivolts, Ratio};
+//!
+//! # fn main() -> Result<(), hbm_undervolt::ExperimentError> {
+//! let mut platform = Platform::builder().seed(7).build();
+//!
+//! // Undervolt into the guardband and measure power.
+//! platform.set_voltage(Millivolts(980))?;
+//! let sample = platform.measure_power(Ratio::ONE)?;
+//! assert!(sample.power.as_f64() > 0.0);
+//!
+//! // 1.5× cheaper than nominal.
+//! platform.set_voltage(Millivolts(1200))?;
+//! let nominal = platform.measure_power(Ratio::ONE)?;
+//! let saving = nominal.power / sample.power;
+//! assert!((saving - 1.5).abs() < 0.05, "saving {saving}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod characterization;
+mod error;
+mod governor;
+mod guardband;
+mod platform;
+mod power_test;
+mod reliability;
+pub mod report;
+pub mod stats;
+mod sweep;
+mod trade_off;
+
+pub use error::ExperimentError;
+pub use governor::{outcome_saving, GovernorConfig, GovernorOutcome, UndervoltGovernor};
+pub use guardband::{GuardbandFinder, GuardbandReport};
+pub use platform::{Platform, PlatformBuilder, PowerSample, UndervoltedPort};
+pub use power_test::{PowerPoint, PowerSweep, PowerSweepReport};
+pub use reliability::{
+    ReliabilityConfig, ReliabilityReport, ReliabilityTester, TestScope, VoltagePoint,
+};
+pub use sweep::VoltageSweep;
+pub use trade_off::{OperatingPoint, TradeOffAnalysis, UsablePcCurve};

@@ -1,0 +1,546 @@
+//! The reliability tester: Algorithm 1 of the paper.
+//!
+//! > Write data into the undervolted HBM sequentially and then read it back
+//! > to check for any faults.
+//!
+//! For every voltage of a descending sweep, for every data pattern, the
+//! tester runs `batchSize` write/read-back passes through the AXI traffic
+//! generators and counts bit flips (split by polarity and by port).
+
+use hbm_device::{PcIndex, PortId};
+use hbm_traffic::{DataPattern, MacroProgram, PortStats, TrafficGenerator};
+use hbm_units::{Millivolts, Ratio};
+use serde::{Deserialize, Serialize};
+
+use crate::error::ExperimentError;
+use crate::platform::Platform;
+use crate::stats::BatchSummary;
+use crate::sweep::VoltageSweep;
+
+/// Which part of the memory a reliability test covers — the paper's
+/// `memSize` selector (entire HBM: 256M words; one PC: 8M words).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum TestScope {
+    /// All pseudo channels through all ports.
+    EntireHbm,
+    /// A single pseudo channel through its port.
+    SinglePc(PcIndex),
+    /// An explicit port subset (the study's port-disabling methodology).
+    Ports(Vec<u8>),
+}
+
+impl TestScope {
+    fn ports(&self, total: u8) -> Vec<PortId> {
+        match self {
+            TestScope::EntireHbm => (0..total)
+                .map(|i| PortId::new(i).expect("index within geometry"))
+                .collect(),
+            TestScope::SinglePc(pc) => {
+                vec![PortId::new(pc.as_u8()).expect("pc index is a port index")]
+            }
+            TestScope::Ports(ids) => ids
+                .iter()
+                .filter(|&&i| i < total)
+                .map(|&i| PortId::new(i).expect("filtered within geometry"))
+                .collect(),
+        }
+    }
+}
+
+/// Configuration of a reliability test run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityConfig {
+    /// The voltage sweep (outer loop).
+    pub sweep: VoltageSweep,
+    /// Repetitions per (voltage, pattern) — the paper's `batchSize` of 130.
+    pub batch_size: usize,
+    /// Data patterns to test (the paper: all-1s and all-0s).
+    pub patterns: Vec<DataPattern>,
+    /// Memory scope.
+    pub scope: TestScope,
+    /// Optional cap on words tested per pseudo channel (`None` = the full
+    /// array). Lets exhaustive tests bound their runtime.
+    pub words_per_pc: Option<u64>,
+}
+
+impl ReliabilityConfig {
+    /// The paper's configuration: full sweep, 130 runs, both uniform
+    /// patterns, entire HBM.
+    #[must_use]
+    pub fn date21() -> Self {
+        ReliabilityConfig {
+            sweep: VoltageSweep::date21(),
+            batch_size: 130,
+            patterns: vec![DataPattern::AllOnes, DataPattern::AllZeros],
+            scope: TestScope::EntireHbm,
+            words_per_pc: None,
+        }
+    }
+
+    /// A fast configuration for tests and examples: the unsafe region in
+    /// 20 mV steps, 3 runs, 512 words per PC.
+    #[must_use]
+    pub fn quick() -> Self {
+        ReliabilityConfig {
+            sweep: VoltageSweep::new(Millivolts(970), Millivolts(810), Millivolts(20))
+                .expect("static sweep valid"),
+            batch_size: 3,
+            patterns: vec![DataPattern::AllOnes, DataPattern::AllZeros],
+            scope: TestScope::EntireHbm,
+            words_per_pc: Some(512),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors for an empty batch, no patterns, or an empty
+    /// port scope.
+    pub fn validate(&self) -> Result<(), ExperimentError> {
+        if self.batch_size == 0 {
+            return Err(ExperimentError::config("batch size must be at least 1"));
+        }
+        if self.patterns.is_empty() {
+            return Err(ExperimentError::config("at least one data pattern required"));
+        }
+        if matches!(&self.scope, TestScope::Ports(p) if p.is_empty()) {
+            return Err(ExperimentError::config("port scope must not be empty"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        ReliabilityConfig::date21()
+    }
+}
+
+/// The outcome of one (voltage, pattern) cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatternOutcome {
+    /// The pattern tested.
+    pub pattern: DataPattern,
+    /// Mean fault count per run.
+    pub mean_fault_count: f64,
+    /// Batch spread (min/max/σ across the runs).
+    pub batch_min: u64,
+    /// Maximum fault count across the runs.
+    pub batch_max: u64,
+    /// 1→0 flips in the last run.
+    pub flips_1to0: u64,
+    /// 0→1 flips in the last run.
+    pub flips_0to1: u64,
+    /// Per-port statistics of the last run.
+    pub per_port: Vec<(u8, PortStats)>,
+}
+
+/// Everything measured at one sweep voltage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VoltagePoint {
+    /// The swept voltage.
+    pub voltage: Millivolts,
+    /// `true` if the device crashed at this voltage (no data collected).
+    pub crashed: bool,
+    /// One outcome per pattern.
+    pub outcomes: Vec<PatternOutcome>,
+}
+
+impl VoltagePoint {
+    /// Total mean fault count across patterns.
+    #[must_use]
+    pub fn total_mean_faults(&self) -> f64 {
+        self.outcomes.iter().map(|o| o.mean_fault_count).sum()
+    }
+
+    /// The outcome for a specific pattern.
+    #[must_use]
+    pub fn outcome(&self, pattern: DataPattern) -> Option<&PatternOutcome> {
+        self.outcomes.iter().find(|o| o.pattern == pattern)
+    }
+}
+
+/// The full report of a reliability test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityReport {
+    /// The configuration that produced the report.
+    pub config: ReliabilityConfig,
+    /// Bits checked per run per pattern (the fault-rate denominator).
+    pub checked_bits_per_run: u64,
+    /// One point per swept voltage, in sweep (descending) order.
+    pub points: Vec<VoltagePoint>,
+}
+
+impl ReliabilityReport {
+    /// The point at an exact voltage, if swept.
+    #[must_use]
+    pub fn at(&self, voltage: Millivolts) -> Option<&VoltagePoint> {
+        self.points.iter().find(|p| p.voltage == voltage)
+    }
+
+    /// Observed fault rate (mean flips / checked bits) at a voltage for a
+    /// pattern.
+    #[must_use]
+    pub fn fault_rate(&self, voltage: Millivolts, pattern: DataPattern) -> Option<Ratio> {
+        let point = self.at(voltage)?;
+        let outcome = point.outcome(pattern)?;
+        Some(Ratio(
+            outcome.mean_fault_count / self.checked_bits_per_run as f64,
+        ))
+    }
+
+    /// The highest voltage at which the pattern showed any fault — the
+    /// paper's "first bit flips occur at …".
+    #[must_use]
+    pub fn first_fault_voltage(&self, pattern: DataPattern) -> Option<Millivolts> {
+        self.points
+            .iter()
+            .filter(|p| {
+                p.outcome(pattern)
+                    .is_some_and(|o| o.mean_fault_count > 0.0)
+            })
+            .map(|p| p.voltage)
+            .max()
+    }
+
+    /// The highest voltage at which the device crashed, if any.
+    #[must_use]
+    pub fn crash_voltage(&self) -> Option<Millivolts> {
+        self.points.iter().filter(|p| p.crashed).map(|p| p.voltage).max()
+    }
+}
+
+/// Algorithm 1: the sequential-access reliability tester.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_undervolt::{Platform, ReliabilityConfig, ReliabilityTester};
+/// use hbm_traffic::DataPattern;
+/// use hbm_units::Millivolts;
+///
+/// # fn main() -> Result<(), hbm_undervolt::ExperimentError> {
+/// let mut platform = Platform::builder().seed(7).build();
+/// let tester = ReliabilityTester::new(ReliabilityConfig::quick())?;
+/// let report = tester.run(&mut platform)?;
+///
+/// // Deep under the guardband everything is faulty …
+/// let deep = report.fault_rate(Millivolts(810), DataPattern::AllOnes).unwrap();
+/// assert!(deep.as_f64() > 0.4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReliabilityTester {
+    config: ReliabilityConfig,
+}
+
+impl ReliabilityTester {
+    /// Creates a tester after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors from [`ReliabilityConfig::validate`].
+    pub fn new(config: ReliabilityConfig) -> Result<Self, ExperimentError> {
+        config.validate()?;
+        Ok(ReliabilityTester { config })
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &ReliabilityConfig {
+        &self.config
+    }
+
+    /// Runs the sweep on a platform. The platform is left at the last
+    /// swept voltage (or power-cycled to nominal if that voltage crashed
+    /// it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates PMBus errors and unexpected device errors; a device
+    /// *crash* at a swept voltage is expected behaviour and is recorded in
+    /// the report rather than returned.
+    pub fn run(&self, platform: &mut Platform) -> Result<ReliabilityReport, ExperimentError> {
+        let geometry = platform.geometry();
+        let ports = self.config.scope.ports(geometry.total_pcs());
+        if ports.is_empty() {
+            return Err(ExperimentError::config(
+                "scope selects no ports on this geometry",
+            ));
+        }
+        let words = self
+            .config
+            .words_per_pc
+            .map_or(geometry.words_per_pc(), |w| w.min(geometry.words_per_pc()));
+        let checked_bits_per_run = words * 256 * ports.len() as u64;
+
+        let mut points = Vec::with_capacity(self.config.sweep.len());
+        for voltage in self.config.sweep.iter() {
+            platform.set_voltage(voltage)?;
+            if platform.is_crashed() {
+                points.push(VoltagePoint {
+                    voltage,
+                    crashed: true,
+                    outcomes: Vec::new(),
+                });
+                platform.power_cycle(Millivolts(1200))?;
+                platform.set_voltage(Millivolts(1200))?;
+                continue;
+            }
+
+            let mut outcomes = Vec::with_capacity(self.config.patterns.len());
+            for &pattern in &self.config.patterns {
+                outcomes.push(self.run_pattern(platform, &ports, words, pattern, voltage)?);
+            }
+            points.push(VoltagePoint {
+                voltage,
+                crashed: false,
+                outcomes,
+            });
+        }
+
+        Ok(ReliabilityReport {
+            config: self.config.clone(),
+            checked_bits_per_run,
+            points,
+        })
+    }
+
+    fn run_pattern(
+        &self,
+        platform: &mut Platform,
+        ports: &[PortId],
+        words: u64,
+        pattern: DataPattern,
+        voltage: Millivolts,
+    ) -> Result<PatternOutcome, ExperimentError> {
+        let program = MacroProgram::write_then_check(0..words, pattern);
+        let mut run_totals = Vec::with_capacity(self.config.batch_size);
+        let mut last_run: Vec<(u8, PortStats)> = Vec::new();
+
+        for _ in 0..self.config.batch_size {
+            // The paper's reset_axi_ports().
+            platform.device_mut().reset_stats();
+            let mut per_port = Vec::with_capacity(ports.len());
+            let mut total = 0u64;
+            for &port in ports {
+                let mut tg = TrafficGenerator::new(port);
+                let stats = tg
+                    .run(&program, &mut platform.port(port))
+                    .map_err(ExperimentError::from)?;
+                total += stats.total_flips();
+                per_port.push((port.as_u8(), stats));
+            }
+            run_totals.push(total);
+            last_run = per_port;
+        }
+
+        let summary = BatchSummary::of(&run_totals);
+        let (flips_1to0, flips_0to1) = last_run.iter().fold((0, 0), |(a, b), (_, s)| {
+            (a + s.flips_1to0, b + s.flips_0to1)
+        });
+        debug_assert!(
+            voltage >= Millivolts(810),
+            "tester only runs at operational voltages"
+        );
+        Ok(PatternOutcome {
+            pattern,
+            mean_fault_count: summary.mean,
+            batch_min: summary.min,
+            batch_max: summary.max,
+            flips_1to0,
+            flips_0to1,
+            per_port: last_run,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform() -> Platform {
+        Platform::builder().seed(7).build()
+    }
+
+    fn quick_tester() -> ReliabilityTester {
+        ReliabilityTester::new(ReliabilityConfig::quick()).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut c = ReliabilityConfig::quick();
+        c.batch_size = 0;
+        assert!(ReliabilityTester::new(c).is_err());
+
+        let mut c = ReliabilityConfig::quick();
+        c.patterns.clear();
+        assert!(ReliabilityTester::new(c).is_err());
+
+        let mut c = ReliabilityConfig::quick();
+        c.scope = TestScope::Ports(vec![]);
+        assert!(ReliabilityTester::new(c).is_err());
+    }
+
+    #[test]
+    fn guardband_shows_no_faults() {
+        let mut config = ReliabilityConfig::quick();
+        config.sweep =
+            VoltageSweep::new(Millivolts(1200), Millivolts(980), Millivolts(110)).unwrap();
+        let report = ReliabilityTester::new(config)
+            .unwrap()
+            .run(&mut platform())
+            .unwrap();
+        for point in &report.points {
+            assert!(!point.crashed);
+            assert_eq!(point.total_mean_faults(), 0.0, "faults at {}", point.voltage);
+        }
+    }
+
+    #[test]
+    fn fault_counts_grow_as_voltage_drops() {
+        let report = quick_tester().run(&mut platform()).unwrap();
+        let totals: Vec<f64> = report
+            .points
+            .iter()
+            .filter(|p| !p.crashed)
+            .map(VoltagePoint::total_mean_faults)
+            .collect();
+        assert!(
+            totals.windows(2).all(|w| w[0] <= w[1]),
+            "non-monotone: {totals:?}"
+        );
+        // Saturation at the bottom: both patterns show mass flips.
+        let last = report.points.last().unwrap();
+        assert_eq!(last.voltage, Millivolts(810));
+        assert!(last.total_mean_faults() > 0.9 * report.checked_bits_per_run as f64);
+    }
+
+    #[test]
+    fn polarity_separation_by_pattern() {
+        let report = quick_tester().run(&mut platform()).unwrap();
+        for point in report.points.iter().filter(|p| !p.crashed) {
+            if let Some(ones) = point.outcome(DataPattern::AllOnes) {
+                assert_eq!(ones.flips_0to1, 0, "all-1s shows only 1→0 flips");
+            }
+            if let Some(zeros) = point.outcome(DataPattern::AllZeros) {
+                assert_eq!(zeros.flips_1to0, 0, "all-0s shows only 0→1 flips");
+            }
+        }
+    }
+
+    #[test]
+    fn batches_are_deterministic_in_the_model() {
+        // Stuck-at faults are deterministic, so every run in a batch sees
+        // the same count: min == max.
+        let report = quick_tester().run(&mut platform()).unwrap();
+        for point in report.points.iter().filter(|p| !p.crashed) {
+            for outcome in &point.outcomes {
+                assert_eq!(outcome.batch_min, outcome.batch_max);
+            }
+        }
+    }
+
+    #[test]
+    fn single_pc_scope_checks_one_port() {
+        let mut config = ReliabilityConfig::quick();
+        config.scope = TestScope::SinglePc(PcIndex::new(5).unwrap());
+        config.batch_size = 1;
+        let report = ReliabilityTester::new(config)
+            .unwrap()
+            .run(&mut platform())
+            .unwrap();
+        assert_eq!(report.checked_bits_per_run, 512 * 256);
+        let point = report.at(Millivolts(850)).unwrap();
+        for outcome in &point.outcomes {
+            assert_eq!(outcome.per_port.len(), 1);
+            assert_eq!(outcome.per_port[0].0, 5);
+        }
+    }
+
+    #[test]
+    fn sweep_below_critical_records_crash_and_recovers() {
+        let mut config = ReliabilityConfig::quick();
+        config.sweep = VoltageSweep::new(Millivolts(820), Millivolts(790), Millivolts(10)).unwrap();
+        config.batch_size = 1;
+        config.words_per_pc = Some(16);
+        let mut p = platform();
+        let report = ReliabilityTester::new(config).unwrap().run(&mut p).unwrap();
+        assert!(!report.at(Millivolts(820)).unwrap().crashed);
+        assert!(!report.at(Millivolts(810)).unwrap().crashed);
+        assert!(report.at(Millivolts(800)).unwrap().crashed);
+        assert!(report.at(Millivolts(790)).unwrap().crashed);
+        assert_eq!(report.crash_voltage(), Some(Millivolts(800)));
+        // The tester recovered the platform by power cycling.
+        assert!(!p.is_crashed());
+    }
+
+    #[test]
+    fn first_fault_voltage_ordering() {
+        // At the reduced geometry the absolute onset sits lower than the
+        // paper's 0.97 V (fewer bits), but the 1→0 onset must not trail the
+        // 0→1 onset.
+        let mut config = ReliabilityConfig::quick();
+        config.sweep = VoltageSweep::new(Millivolts(970), Millivolts(850), Millivolts(10)).unwrap();
+        config.batch_size = 1;
+        config.words_per_pc = Some(2048);
+        let report = ReliabilityTester::new(config)
+            .unwrap()
+            .run(&mut platform())
+            .unwrap();
+        let v10 = report.first_fault_voltage(DataPattern::AllOnes);
+        let v01 = report.first_fault_voltage(DataPattern::AllZeros);
+        assert!(v10.is_some(), "1→0 flips must appear in the unsafe region");
+        assert!(v10 >= v01, "1→0 onset {v10:?} must not trail 0→1 onset {v01:?}");
+    }
+
+    #[test]
+    fn checkerboard_rate_is_the_mean_of_the_uniform_rates() {
+        // Under stuck-at faults a checkerboard exposes half of each
+        // polarity population, so its rate sits between (≈ the mean of)
+        // the two uniform patterns' rates.
+        let mut config = ReliabilityConfig::quick();
+        config.sweep = VoltageSweep::new(Millivolts(860), Millivolts(860), Millivolts(10)).unwrap();
+        config.batch_size = 1;
+        config.patterns = vec![
+            DataPattern::AllOnes,
+            DataPattern::AllZeros,
+            DataPattern::Checkerboard,
+        ];
+        config.words_per_pc = Some(2048);
+        let report = ReliabilityTester::new(config)
+            .unwrap()
+            .run(&mut platform())
+            .unwrap();
+        let v = Millivolts(860);
+        let ones = report.fault_rate(v, DataPattern::AllOnes).unwrap().as_f64();
+        let zeros = report.fault_rate(v, DataPattern::AllZeros).unwrap().as_f64();
+        let cb = report
+            .fault_rate(v, DataPattern::Checkerboard)
+            .unwrap()
+            .as_f64();
+        let mean = (ones + zeros) / 2.0;
+        assert!(
+            (cb / mean - 1.0).abs() < 0.1,
+            "checkerboard {cb:e} vs mean {mean:e}"
+        );
+        assert!(cb >= ones.min(zeros) && cb <= ones.max(zeros));
+    }
+
+    #[test]
+    fn report_lookup_helpers() {
+        let report = quick_tester().run(&mut platform()).unwrap();
+        assert!(report.at(Millivolts(970)).is_some());
+        assert!(report.at(Millivolts(999)).is_none());
+        let rate = report
+            .fault_rate(Millivolts(810), DataPattern::AllZeros)
+            .unwrap();
+        assert!(rate.as_f64() > 0.4, "saturated 0→1 rate {rate:?}");
+        assert!(report
+            .fault_rate(Millivolts(810), DataPattern::Checkerboard)
+            .is_none());
+    }
+}

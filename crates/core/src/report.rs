@@ -1,0 +1,337 @@
+//! Rendering experiment results as the tables/series the paper reports,
+//! plus CSV export.
+
+use std::fmt::Write as _;
+
+use hbm_power::PowerAnalysis;
+use hbm_units::Millivolts;
+use serde::{Deserialize, Serialize};
+
+use crate::characterization::{PcFaultTable, StackFractionPoint};
+use crate::error::ExperimentError;
+use crate::guardband::GuardbandReport;
+use crate::platform::Platform;
+use crate::power_test::PowerSweepReport;
+use crate::trade_off::UsablePcCurve;
+
+/// The paper's headline numbers, in one struct.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeadlineMetrics {
+    /// Guardband width as a percentage of nominal (paper: "19 %").
+    pub guardband_percent: f64,
+    /// Power saving at the guardband edge, 0.98 V (paper: 1.5×).
+    pub saving_at_guardband: f64,
+    /// Power saving at 0.85 V including stuck-bit effects (paper: 2.3×).
+    pub saving_at_850mv: f64,
+    /// Idle power as a fraction of full-load power (paper: ≈⅓).
+    pub idle_fraction: f64,
+    /// Effective-capacitance drop at 0.85 V (paper: 14 %).
+    pub acf_drop_at_850mv: f64,
+}
+
+/// Computes the headline metrics from a finished power sweep and guardband
+/// report.
+///
+/// # Errors
+///
+/// Returns a configuration error if the sweep lacks the needed voltages
+/// (1.20 V, 0.98 V, 0.85 V at 0 and 32 ports).
+pub fn headline_metrics(
+    power: &PowerSweepReport,
+    guardband: &GuardbandReport,
+) -> Result<HeadlineMetrics, ExperimentError> {
+    let need = |v: Millivolts, ports: usize| {
+        power
+            .at(v, ports)
+            .ok_or_else(|| ExperimentError::config(format!("sweep lacks {v} @ {ports} ports")))
+    };
+    let saving_at_guardband = power
+        .saving(guardband.v_min, 32)
+        .ok_or_else(|| ExperimentError::config("sweep lacks the guardband voltage"))?;
+    let saving_at_850mv = power
+        .saving(Millivolts(850), 32)
+        .ok_or_else(|| ExperimentError::config("sweep lacks 0.85 V"))?;
+    let idle = need(Millivolts(1200), 0)?;
+    let full = need(Millivolts(1200), 32)?;
+    let acf = power.acf_series(32);
+    let at_850 = PowerAnalysis::normalized_at(&acf, Millivolts(850))
+        .ok_or_else(|| ExperimentError::config("acf series lacks 0.85 V"))?;
+    Ok(HeadlineMetrics {
+        guardband_percent: guardband.guardband_fraction().as_percent(),
+        saving_at_guardband,
+        saving_at_850mv,
+        idle_fraction: idle.power / full.power,
+        acf_drop_at_850mv: 1.0 - at_850.as_f64(),
+    })
+}
+
+impl std::fmt::Display for HeadlineMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "guardband:            {:.1}% of nominal", self.guardband_percent)?;
+        writeln!(f, "saving at guardband:  {:.2}x", self.saving_at_guardband)?;
+        writeln!(f, "saving at 0.85 V:     {:.2}x", self.saving_at_850mv)?;
+        writeln!(f, "idle / full-load:     {:.2}", self.idle_fraction)?;
+        write!(f, "aClf drop at 0.85 V:  {:.1}%", self.acf_drop_at_850mv * 100.0)
+    }
+}
+
+/// Renders the Fig. 2 table: normalized power per voltage (rows, 50 mV
+/// display steps as in the paper) and per utilization step (columns).
+#[must_use]
+pub fn render_power_table(report: &PowerSweepReport) -> String {
+    let mut out = String::new();
+    write!(out, "{:>8}", "V").expect("write to string");
+    for &ports in &report.port_steps {
+        write!(out, "{:>9}", format!("{}%", ports * 100 / 32)).expect("write to string");
+    }
+    out.push('\n');
+    for &v in &report.voltages {
+        if v.as_u32() % 50 != 0 {
+            continue; // the paper displays 50 mV steps for visibility
+        }
+        write!(out, "{:>8}", format!("{:.2}", f64::from(v.as_u32()) / 1000.0))
+            .expect("write to string");
+        for &ports in &report.port_steps {
+            match report.at(v, ports) {
+                Some(p) => write!(out, "{:>9.3}", p.normalized.as_f64()),
+                None => write!(out, "{:>9}", "-"),
+            }
+            .expect("write to string");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the Fig. 3 table: normalized `α·C_L·f` per voltage per
+/// utilization step.
+#[must_use]
+pub fn render_acf_table(report: &PowerSweepReport) -> String {
+    let mut out = String::new();
+    write!(out, "{:>8}", "V").expect("write to string");
+    for &ports in &report.port_steps {
+        write!(out, "{:>9}", format!("{}%", ports * 100 / 32)).expect("write to string");
+    }
+    out.push('\n');
+    let series: Vec<_> = report
+        .port_steps
+        .iter()
+        .map(|&p| (p, report.acf_series(p)))
+        .collect();
+    for &v in &report.voltages {
+        if v.as_u32() % 50 != 0 {
+            continue;
+        }
+        write!(out, "{:>8}", format!("{:.2}", f64::from(v.as_u32()) / 1000.0))
+            .expect("write to string");
+        for (_, acf) in &series {
+            match PowerAnalysis::normalized_at(acf, v) {
+                Some(r) => write!(out, "{:>9.3}", r.as_f64()),
+                None => write!(out, "{:>9}", "-"),
+            }
+            .expect("write to string");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the Fig. 4 series: per-stack faulty fraction per voltage.
+#[must_use]
+pub fn render_stack_fractions(series: &[StackFractionPoint]) -> String {
+    let mut out = String::from("       V     HBM0     HBM1\n");
+    for point in series {
+        writeln!(
+            out,
+            "{:>8} {:>8.4} {:>8.4}",
+            format!("{:.2}", f64::from(point.voltage.as_u32()) / 1000.0),
+            point.hbm0.as_f64(),
+            point.hbm1.as_f64()
+        )
+        .expect("write to string");
+    }
+    out
+}
+
+/// Renders the Fig. 5 grid: ports as columns, voltages as rows, cells as
+/// the paper formats them ("NF", "0" for <1 %, else whole percent).
+#[must_use]
+pub fn render_pc_table(table: &PcFaultTable) -> String {
+    let mut out = String::new();
+    writeln!(out, "pattern: {}", table.pattern).expect("write to string");
+    write!(out, "{:>6}", "V").expect("write to string");
+    for row in &table.rows {
+        write!(out, "{:>5}", format!("P{}", row.port)).expect("write to string");
+    }
+    out.push('\n');
+    for (col, &v) in table.voltages.iter().enumerate() {
+        write!(out, "{:>6}", format!("{:.2}", f64::from(v.as_u32()) / 1000.0))
+            .expect("write to string");
+        for row in &table.rows {
+            write!(out, "{:>5}", row.cells[col].display()).expect("write to string");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the Fig. 6 family: usable PC count per voltage per tolerance.
+#[must_use]
+pub fn render_usable_pc_curves(curves: &[UsablePcCurve]) -> String {
+    let mut out = String::new();
+    write!(out, "{:>8}", "V").expect("write to string");
+    for curve in curves {
+        write!(out, "{:>12}", format!("≤{}", curve.tolerable.display_percent()))
+            .expect("write to string");
+    }
+    out.push('\n');
+    if let Some(first) = curves.first() {
+        for (i, &(v, _)) in first.points.iter().enumerate() {
+            write!(out, "{:>8}", format!("{:.2}", f64::from(v.as_u32()) / 1000.0))
+                .expect("write to string");
+            for curve in curves {
+                write!(out, "{:>12}", curve.points[i].1).expect("write to string");
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Serializes any experiment artefact to pretty JSON (for archival next to
+/// the rendered tables).
+///
+/// # Errors
+///
+/// Returns a configuration error if serialization fails (non-finite floats
+/// with a custom serializer, etc. — not expected for the workspace types).
+pub fn to_json<T: Serialize>(value: &T) -> Result<String, ExperimentError> {
+    serde_json::to_string_pretty(value)
+        .map_err(|e| ExperimentError::config(format!("serialization failed: {e}")))
+}
+
+/// Writes a simple CSV from header + rows.
+#[must_use]
+pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = header.join(",");
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Convenience: runs guardband + power sweep on a fresh platform and
+/// returns the headline metrics (what the `headline_metrics` bench binary
+/// prints).
+///
+/// # Errors
+///
+/// Propagates experiment errors.
+pub fn compute_headlines(platform: &mut Platform) -> Result<HeadlineMetrics, ExperimentError> {
+    let guardband = crate::guardband::GuardbandFinder::new().run(platform)?;
+    let power = crate::power_test::PowerSweep::date21().run(platform)?;
+    headline_metrics(&power, &guardband)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterization::{stack_fraction_series, PcFaultTable};
+    use crate::power_test::PowerSweep;
+    use crate::sweep::VoltageSweep;
+    use crate::trade_off::TradeOffAnalysis;
+    use hbm_faults::FaultMap;
+    use hbm_power::HbmPowerModel;
+    use hbm_traffic::DataPattern;
+    use hbm_units::Ratio;
+
+    fn platform() -> Platform {
+        Platform::builder().seed(7).build()
+    }
+
+    #[test]
+    fn headlines_match_paper() {
+        let mut p = platform();
+        let metrics = compute_headlines(&mut p).unwrap();
+        assert!((18.0..19.5).contains(&metrics.guardband_percent));
+        assert!((1.45..1.55).contains(&metrics.saving_at_guardband));
+        assert!((2.15..2.45).contains(&metrics.saving_at_850mv));
+        assert!((0.30..0.37).contains(&metrics.idle_fraction));
+        assert!((0.08..0.20).contains(&metrics.acf_drop_at_850mv));
+        let display = metrics.to_string();
+        assert!(display.contains("guardband"));
+        assert!(display.contains('x'));
+    }
+
+    #[test]
+    fn power_table_renders_50mv_rows() {
+        let mut p = platform();
+        let report = PowerSweep::date21().run(&mut p).unwrap();
+        let table = render_power_table(&report);
+        assert!(table.contains("1.20"));
+        assert!(table.contains("0.85"));
+        assert!(!table.contains("1.19"), "10 mV rows must be hidden");
+        assert!(table.lines().count() > 5);
+
+        let acf = render_acf_table(&report);
+        assert!(acf.contains("100%"));
+    }
+
+    #[test]
+    fn stack_fraction_table() {
+        let p = platform();
+        let series = stack_fraction_series(
+            p.full_scale_predictor(),
+            VoltageSweep::unsafe_region(),
+        );
+        let table = render_stack_fractions(&series);
+        assert!(table.contains("HBM0"));
+        assert!(table.lines().count() == series.len() + 1);
+    }
+
+    #[test]
+    fn pc_table_contains_nf_cells() {
+        let p = platform();
+        let sweep = VoltageSweep::new(Millivolts(970), Millivolts(840), Millivolts(10)).unwrap();
+        let table =
+            PcFaultTable::from_predictor(p.full_scale_predictor(), sweep, DataPattern::AllOnes);
+        let rendered = render_pc_table(&table);
+        assert!(rendered.contains("NF"), "high voltages must show NF cells");
+        assert!(rendered.contains("P31"));
+        assert!(rendered.contains("all-1s"));
+    }
+
+    #[test]
+    fn usable_pc_table() {
+        let p = platform();
+        let map = FaultMap::from_predictor(
+            p.full_scale_predictor(),
+            Millivolts(980),
+            Millivolts(850),
+            Millivolts(10),
+        );
+        let analysis = TradeOffAnalysis::new(map, HbmPowerModel::date21());
+        let curves = analysis.usable_pc_curves(&[Ratio::ZERO, Ratio(1e-6), Ratio(0.01)]);
+        let table = render_usable_pc_curves(&curves);
+        assert!(table.contains("0.98"));
+        assert!(table.contains("32"));
+    }
+
+    #[test]
+    fn csv_and_json_helpers() {
+        let csv = to_csv(
+            &["voltage", "power"],
+            &[
+                vec!["1.2".into(), "9.0".into()],
+                vec!["0.98".into(), "6.0".into()],
+            ],
+        );
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("voltage,power\n"));
+
+        let json = to_json(&vec![1, 2, 3]).unwrap();
+        assert!(json.contains('1'));
+    }
+}

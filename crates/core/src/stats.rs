@@ -1,0 +1,179 @@
+//! Statistical fault-injection methodology (Leveugle et al., DATE 2009).
+//!
+//! The study repeats every test 130 times, "which gives us a 7 % error
+//! margin with 90 % confidence interval". The sample-size relation is the
+//! standard one for estimating a proportion:
+//!
+//! ```text
+//! n = z² · p(1−p) / e²
+//! ```
+//!
+//! with `z` the normal quantile of the confidence level, `p` the (worst
+//! case 0.5) fault proportion and `e` the absolute error margin.
+
+use hbm_faults::math::probit;
+
+/// The number of repetitions needed to estimate a fault proportion within
+/// `error_margin` (absolute) at `confidence`, assuming the worst-case
+/// proportion `p = 0.5`.
+///
+/// # Panics
+///
+/// Panics unless `error_margin` and `confidence` are in `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_undervolt::stats::required_runs;
+///
+/// // The study's configuration: ≈130 runs for 7 % at 90 % confidence.
+/// let runs = required_runs(0.07, 0.90);
+/// assert!((125..=145).contains(&runs), "runs = {runs}");
+/// ```
+#[must_use]
+pub fn required_runs(error_margin: f64, confidence: f64) -> usize {
+    assert!(
+        error_margin > 0.0 && error_margin < 1.0,
+        "error margin must be in (0, 1), got {error_margin}"
+    );
+    let z = z_value(confidence);
+    let n = z * z * 0.25 / (error_margin * error_margin);
+    n.ceil() as usize
+}
+
+/// The absolute error margin achieved by `runs` repetitions at
+/// `confidence` (worst-case proportion).
+///
+/// # Panics
+///
+/// Panics if `runs` is zero or `confidence` not in `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_undervolt::stats::margin_for_runs;
+///
+/// let margin = margin_for_runs(130, 0.90);
+/// assert!((0.06..0.08).contains(&margin), "margin = {margin}");
+/// ```
+#[must_use]
+pub fn margin_for_runs(runs: usize, confidence: f64) -> f64 {
+    assert!(runs > 0, "runs must be positive");
+    let z = z_value(confidence);
+    z * (0.25 / runs as f64).sqrt()
+}
+
+/// The two-sided normal quantile for a confidence level.
+///
+/// # Panics
+///
+/// Panics unless `confidence` is in `(0, 1)`.
+#[must_use]
+pub fn z_value(confidence: f64) -> f64 {
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1), got {confidence}"
+    );
+    probit(0.5 + confidence / 2.0)
+}
+
+/// Summary statistics of a batch of fault counts: the quantities the
+/// study's host aggregates across its 130 runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchSummary {
+    /// Number of runs.
+    pub runs: usize,
+    /// Mean fault count.
+    pub mean: f64,
+    /// Minimum observed.
+    pub min: u64,
+    /// Maximum observed.
+    pub max: u64,
+    /// Sample standard deviation (0 for a single run).
+    pub std_dev: f64,
+}
+
+impl BatchSummary {
+    /// Summarizes a batch of fault counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch.
+    #[must_use]
+    pub fn of(counts: &[u64]) -> Self {
+        assert!(!counts.is_empty(), "cannot summarize an empty batch");
+        let runs = counts.len();
+        let mean = counts.iter().map(|&c| c as f64).sum::<f64>() / runs as f64;
+        let min = *counts.iter().min().expect("non-empty");
+        let max = *counts.iter().max().expect("non-empty");
+        let std_dev = if runs > 1 {
+            let var = counts
+                .iter()
+                .map(|&c| (c as f64 - mean).powi(2))
+                .sum::<f64>()
+                / (runs - 1) as f64;
+            var.sqrt()
+        } else {
+            0.0
+        };
+        BatchSummary {
+            runs,
+            mean,
+            min,
+            max,
+            std_dev,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_values_match_tables() {
+        assert!((z_value(0.90) - 1.6449).abs() < 1e-3);
+        assert!((z_value(0.95) - 1.9600).abs() < 1e-3);
+        assert!((z_value(0.99) - 2.5758).abs() < 1e-3);
+    }
+
+    #[test]
+    fn paper_configuration() {
+        // 130 runs ↔ ≈7 % at 90 %, both directions.
+        assert!((125..=145).contains(&required_runs(0.07, 0.90)));
+        let margin = margin_for_runs(130, 0.90);
+        assert!((0.065..0.078).contains(&margin));
+    }
+
+    #[test]
+    fn more_runs_tighter_margin() {
+        assert!(margin_for_runs(1000, 0.90) < margin_for_runs(130, 0.90));
+        assert!(required_runs(0.01, 0.90) > required_runs(0.07, 0.90));
+        assert!(required_runs(0.07, 0.99) > required_runs(0.07, 0.90));
+    }
+
+    #[test]
+    fn batch_summary() {
+        let s = BatchSummary::of(&[10, 12, 14]);
+        assert_eq!(s.runs, 3);
+        assert_eq!(s.mean, 12.0);
+        assert_eq!((s.min, s.max), (10, 14));
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+
+        let single = BatchSummary::of(&[7]);
+        assert_eq!(single.std_dev, 0.0);
+        assert_eq!(single.mean, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_rejected() {
+        let _ = BatchSummary::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence must be in (0, 1)")]
+    fn bad_confidence_rejected() {
+        let _ = z_value(1.0);
+    }
+}

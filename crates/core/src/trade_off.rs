@@ -1,0 +1,301 @@
+//! The three-factor trade-off among power, fault rate and memory capacity
+//! (§III-C and Fig. 6 of the paper).
+
+use hbm_device::PcIndex;
+use hbm_faults::FaultMap;
+use hbm_power::HbmPowerModel;
+use hbm_units::{Millivolts, Ratio};
+use serde::{Deserialize, Serialize};
+
+use crate::error::ExperimentError;
+
+/// One Fig. 6 series: usable pseudo channels per voltage at a tolerable
+/// fault rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UsablePcCurve {
+    /// The tolerable fault rate of this series (0 = must be fault-free).
+    pub tolerable: Ratio,
+    /// `(voltage, usable PC count)` pairs in descending voltage order.
+    pub points: Vec<(Millivolts, usize)>,
+}
+
+impl UsablePcCurve {
+    /// The count at an exact voltage.
+    #[must_use]
+    pub fn at(&self, voltage: Millivolts) -> Option<usize> {
+        self.points
+            .iter()
+            .find(|(v, _)| *v == voltage)
+            .map(|&(_, n)| n)
+    }
+}
+
+/// An operating point the planner recommends: how low to go for a given
+/// capacity and fault budget, and what it buys.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// The recommended supply voltage.
+    pub voltage: Millivolts,
+    /// The pseudo channels usable at that voltage within the budget.
+    pub usable_pcs: Vec<u8>,
+    /// Usable capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Power-saving factor versus nominal 1.20 V (same utilization).
+    pub saving_factor: f64,
+    /// The worst per-PC fault rate among the selected PCs.
+    pub worst_fault_rate: Ratio,
+}
+
+/// The trade-off analysis: a [`FaultMap`] (per-PC rates across the sweep)
+/// combined with the power model.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_faults::{FaultMap, FaultModelParams, RatePredictor};
+/// use hbm_device::HbmGeometry;
+/// use hbm_power::HbmPowerModel;
+/// use hbm_undervolt::TradeOffAnalysis;
+/// use hbm_units::{Millivolts, Ratio};
+///
+/// let predictor = RatePredictor::new(FaultModelParams::date21(), HbmGeometry::vcu128(), 7);
+/// let map = FaultMap::from_predictor(&predictor, Millivolts(980), Millivolts(810), Millivolts(10));
+/// let analysis = TradeOffAnalysis::new(map, HbmPowerModel::date21());
+///
+/// // A fault-intolerant application needing all 8 GB stays at the
+/// // guardband edge: a fixed ≈1.5× saving.
+/// let full = analysis.plan(8 << 30, Ratio::ZERO).unwrap();
+/// assert!(full.voltage >= Millivolts(960));
+/// assert!(full.saving_factor >= 1.49);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TradeOffAnalysis {
+    map: FaultMap,
+    power: HbmPowerModel,
+}
+
+impl TradeOffAnalysis {
+    /// Combines a fault map with a power model.
+    #[must_use]
+    pub fn new(map: FaultMap, power: HbmPowerModel) -> Self {
+        TradeOffAnalysis { map, power }
+    }
+
+    /// The underlying fault map.
+    #[must_use]
+    pub fn fault_map(&self) -> &FaultMap {
+        &self.map
+    }
+
+    /// Builds one Fig. 6 series for a tolerable fault rate.
+    #[must_use]
+    pub fn usable_pc_curve(&self, tolerable: Ratio) -> UsablePcCurve {
+        UsablePcCurve {
+            tolerable,
+            points: self
+                .map
+                .voltages
+                .iter()
+                .map(|&v| (v, self.map.usable_pc_count(v, tolerable)))
+                .collect(),
+        }
+    }
+
+    /// Builds the full Fig. 6 family for several tolerances.
+    #[must_use]
+    pub fn usable_pc_curves(&self, tolerances: &[Ratio]) -> Vec<UsablePcCurve> {
+        tolerances
+            .iter()
+            .map(|&t| self.usable_pc_curve(t))
+            .collect()
+    }
+
+    /// The device-mean union fault rate at a voltage (drives the
+    /// capacitance-degradation term of the saving factor).
+    fn device_fraction(&self, voltage: Millivolts) -> Ratio {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for profile in &self.map.profiles {
+            if let Some(entry) = profile.at(voltage) {
+                sum += entry.union().as_f64();
+                n += 1;
+            }
+        }
+        if n == 0 {
+            Ratio::ZERO
+        } else {
+            Ratio(sum / n as f64)
+        }
+    }
+
+    /// Plans the lowest-voltage operating point that keeps at least
+    /// `min_capacity_bytes` of memory within `tolerable` fault rate.
+    /// Returns `None` if no swept voltage satisfies the requirement.
+    #[must_use]
+    pub fn plan(&self, min_capacity_bytes: u64, tolerable: Ratio) -> Option<OperatingPoint> {
+        let bytes_per_pc = self.map.geometry.bytes_per_pc();
+        let needed_pcs = min_capacity_bytes.div_ceil(bytes_per_pc).max(1) as usize;
+        let mut best: Option<OperatingPoint> = None;
+        for &voltage in &self.map.voltages {
+            let usable = self.map.usable_pcs(voltage, tolerable);
+            if usable.len() < needed_pcs {
+                continue;
+            }
+            let point = self.operating_point(voltage, &usable, tolerable);
+            match &best {
+                Some(b) if b.voltage <= point.voltage => {}
+                _ => best = Some(point),
+            }
+        }
+        best
+    }
+
+    fn operating_point(
+        &self,
+        voltage: Millivolts,
+        usable: &[PcIndex],
+        tolerable: Ratio,
+    ) -> OperatingPoint {
+        let worst = usable
+            .iter()
+            .filter_map(|&pc| self.map.profile(pc).at(voltage))
+            .map(|e| e.union().as_f64())
+            .fold(0.0, f64::max);
+        let saving = self.power.saving_factor(
+            voltage,
+            Ratio::ONE,
+            self.device_fraction(voltage),
+        );
+        debug_assert!(worst <= tolerable.as_f64().max(f64::EPSILON) || tolerable == Ratio::ZERO);
+        OperatingPoint {
+            voltage,
+            usable_pcs: usable.iter().map(|pc| pc.as_u8()).collect(),
+            capacity_bytes: usable.len() as u64 * self.map.geometry.bytes_per_pc(),
+            saving_factor: saving,
+            worst_fault_rate: Ratio(worst),
+        }
+    }
+
+    /// The paper's §III-C example queries, as a convenience: returns the
+    /// operating point for "needs `fraction` of the capacity, tolerates
+    /// `tolerable`".
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error if `fraction` is outside `(0, 1]`.
+    pub fn plan_fraction(
+        &self,
+        fraction: f64,
+        tolerable: Ratio,
+    ) -> Result<Option<OperatingPoint>, ExperimentError> {
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(ExperimentError::config(format!(
+                "capacity fraction must be in (0, 1], got {fraction}"
+            )));
+        }
+        let total = self.map.geometry.total_bytes();
+        Ok(self.plan((total as f64 * fraction).ceil() as u64, tolerable))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbm_device::HbmGeometry;
+    use hbm_faults::{FaultModelParams, RatePredictor};
+
+    fn analysis() -> TradeOffAnalysis {
+        let predictor =
+            RatePredictor::new(FaultModelParams::date21(), HbmGeometry::vcu128(), 7);
+        let map = FaultMap::from_predictor(
+            &predictor,
+            Millivolts(980),
+            Millivolts(810),
+            Millivolts(10),
+        );
+        TradeOffAnalysis::new(map, HbmPowerModel::date21())
+    }
+
+    #[test]
+    fn fig6_curves_are_monotone() {
+        let a = analysis();
+        let tolerances = [Ratio::ZERO, Ratio(1e-6), Ratio(1e-4), Ratio(0.01), Ratio(0.5)];
+        let curves = a.usable_pc_curves(&tolerances);
+        assert_eq!(curves.len(), tolerances.len());
+        for curve in &curves {
+            // Counts never increase as voltage drops.
+            assert!(
+                curve.points.windows(2).all(|w| w[0].1 >= w[1].1),
+                "tolerance {:?}: {:?}",
+                curve.tolerable,
+                curve.points
+            );
+        }
+        // More tolerance, (weakly) more PCs at every voltage.
+        for w in curves.windows(2) {
+            for (a, b) in w[0].points.iter().zip(&w[1].points) {
+                assert!(a.1 <= b.1);
+            }
+        }
+    }
+
+    #[test]
+    fn fault_intolerant_full_capacity_stays_near_guardband() {
+        let a = analysis();
+        let point = a.plan(8 << 30, Ratio::ZERO).unwrap();
+        assert!(point.voltage >= Millivolts(960), "voltage {}", point.voltage);
+        assert_eq!(point.usable_pcs.len(), 32);
+        assert_eq!(point.capacity_bytes, 8 << 30);
+        assert!((1.45..1.65).contains(&point.saving_factor), "{}", point.saving_factor);
+    }
+
+    #[test]
+    fn sacrificing_capacity_buys_voltage() {
+        let a = analysis();
+        let full = a.plan_fraction(1.0, Ratio::ZERO).unwrap().unwrap();
+        let small = a.plan_fraction(0.2, Ratio::ZERO).unwrap().unwrap();
+        assert!(small.voltage <= full.voltage);
+        assert!(small.saving_factor >= full.saving_factor);
+    }
+
+    #[test]
+    fn tolerating_faults_buys_voltage() {
+        let a = analysis();
+        let strict = a.plan_fraction(0.5, Ratio::ZERO).unwrap().unwrap();
+        let loose = a.plan_fraction(0.5, Ratio(1e-6)).unwrap().unwrap();
+        let looser = a.plan_fraction(0.5, Ratio(0.01)).unwrap().unwrap();
+        assert!(loose.voltage <= strict.voltage);
+        assert!(looser.voltage <= loose.voltage);
+        assert!(looser.saving_factor >= strict.saving_factor);
+        // Deep undervolting with high tolerance approaches the 2.3× regime.
+        assert!(looser.saving_factor > 1.8, "saving {}", looser.saving_factor);
+    }
+
+    #[test]
+    fn worst_fault_rate_respects_budget() {
+        let a = analysis();
+        let tol = Ratio(1e-4);
+        let point = a.plan_fraction(0.25, tol).unwrap().unwrap();
+        assert!(point.worst_fault_rate.as_f64() <= tol.as_f64());
+    }
+
+    #[test]
+    fn impossible_plans_return_none() {
+        let a = analysis();
+        // Full capacity, zero faults, at the lowest voltages only: the map
+        // starts at 0.98 V, so full capacity IS available; ask for more
+        // capacity than exists instead.
+        assert!(a.plan(u64::MAX, Ratio::ZERO).is_none());
+        assert!(a.plan_fraction(2.0, Ratio::ZERO).is_err());
+        assert!(a.plan_fraction(0.0, Ratio::ZERO).is_err());
+    }
+
+    #[test]
+    fn curve_lookup() {
+        let a = analysis();
+        let curve = a.usable_pc_curve(Ratio::ZERO);
+        assert_eq!(curve.at(Millivolts(980)), Some(32));
+        assert_eq!(curve.at(Millivolts(985)), None);
+        assert_eq!(curve.at(Millivolts(810)), Some(0));
+    }
+}

@@ -1,0 +1,68 @@
+//! Property-based tests for the core experiment machinery.
+
+use hbm_undervolt::stats::{margin_for_runs, required_runs, z_value};
+use hbm_undervolt::{Platform, UndervoltGovernor, VoltageSweep};
+use hbm_units::Millivolts;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sweep construction: every valid (from, down_to, step) triple yields
+    /// a descending sweep covering both endpoints with the exact step.
+    #[test]
+    fn sweep_structure(
+        down_to in 810u32..1100,
+        steps in 1u32..40,
+        step in 1u32..50,
+    ) {
+        let from = down_to + steps * step;
+        prop_assume!(from <= 1300);
+        let sweep = VoltageSweep::new(
+            Millivolts(from),
+            Millivolts(down_to),
+            Millivolts(step),
+        ).unwrap();
+        let points: Vec<Millivolts> = sweep.iter().collect();
+        prop_assert_eq!(points.len(), sweep.len());
+        prop_assert_eq!(points.len(), steps as usize + 1);
+        prop_assert_eq!(points[0], Millivolts(from));
+        prop_assert_eq!(*points.last().unwrap(), Millivolts(down_to));
+        prop_assert!(points.windows(2).all(|w| w[0] - w[1] == Millivolts(step)));
+    }
+
+    /// Statistical sizing: margin_for_runs and required_runs are mutually
+    /// consistent inverses at any confidence and margin.
+    #[test]
+    fn stats_inverse_consistency(
+        margin in 0.005f64..0.3,
+        confidence in 0.5f64..0.999,
+    ) {
+        let runs = required_runs(margin, confidence);
+        // The computed run count achieves the requested margin …
+        prop_assert!(margin_for_runs(runs, confidence) <= margin + 1e-12);
+        // … and one run fewer would not (modulo the ceil boundary).
+        if runs > 1 {
+            prop_assert!(margin_for_runs(runs - 1, confidence) > margin - 1e-9);
+        }
+        // z is positive and increasing in confidence.
+        prop_assert!(z_value(confidence) > 0.0);
+    }
+
+    /// The governor's settled voltage on any specimen is clean, above the
+    /// floor and at most nominal.
+    #[test]
+    fn governor_contract(seed in any::<u64>()) {
+        let mut platform = Platform::builder().seed(seed).build();
+        let governor = UndervoltGovernor::default();
+        let outcome = governor.run(&mut platform).unwrap();
+        prop_assert!(outcome.settled >= Millivolts(840));
+        prop_assert!(outcome.settled <= Millivolts(1200));
+        prop_assert!(outcome.lowest_clean <= Millivolts(1200));
+        prop_assert!(!platform.is_crashed());
+        prop_assert_eq!(platform.voltage(), outcome.settled);
+        if let Some(trip) = outcome.tripped_at {
+            prop_assert!(trip < outcome.lowest_clean);
+        }
+    }
+}

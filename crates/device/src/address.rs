@@ -1,0 +1,370 @@
+//! Address types and the mapping between linear word offsets and the
+//! bank/row/column organization of a pseudo channel.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::DeviceError;
+use crate::geometry::HbmGeometry;
+
+/// Identifier of an HBM stack (`HBM0` or `HBM1` on the study platform).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StackId(pub u8);
+
+impl fmt::Display for StackId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HBM{}", self.0)
+    }
+}
+
+/// Identifier of a 128-bit memory channel within a stack (`0..8`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChannelId(pub u8);
+
+/// Identifier of a bank within a pseudo channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BankId(pub u16);
+
+/// Identifier of a row within a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RowId(pub u32);
+
+/// Global pseudo-channel index, `0..32`.
+///
+/// The study numbers PCs across both stacks: PC0–PC15 belong to `HBM0` and
+/// PC16–PC31 to `HBM1`, matching the AXI port numbering of Fig. 5.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_device::{HbmGeometry, PcIndex};
+///
+/// # fn main() -> Result<(), hbm_device::DeviceError> {
+/// let pc = PcIndex::new(18)?;
+/// let (stack, channel, pc_in_channel) = pc.decompose(HbmGeometry::vcu128());
+/// assert_eq!(stack.0, 1);        // PC18 lives in HBM1
+/// assert_eq!(channel.0, 1);      // second channel of that stack
+/// assert_eq!(pc_in_channel, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PcIndex(u8);
+
+/// Total number of pseudo channels (and AXI ports) on the study platform.
+pub const TOTAL_PCS: u8 = 32;
+
+impl PcIndex {
+    /// Creates a pseudo-channel index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidPseudoChannel`] if `index >= 32`.
+    pub fn new(index: u8) -> Result<Self, DeviceError> {
+        if index < TOTAL_PCS {
+            Ok(PcIndex(index))
+        } else {
+            Err(DeviceError::InvalidPseudoChannel { index })
+        }
+    }
+
+    /// Returns the raw index (`0..32`).
+    #[must_use]
+    pub fn as_u8(self) -> u8 {
+        self.0
+    }
+
+    /// Returns the raw index widened to `usize` for container indexing.
+    #[must_use]
+    pub fn as_usize(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Iterates over every pseudo channel of a geometry, in index order.
+    pub fn all(geometry: HbmGeometry) -> impl Iterator<Item = PcIndex> {
+        (0..geometry.total_pcs()).map(PcIndex)
+    }
+
+    /// Splits the global index into `(stack, channel, pc-within-channel)`.
+    #[must_use]
+    pub fn decompose(self, geometry: HbmGeometry) -> (StackId, ChannelId, u8) {
+        let per_stack = geometry.pcs_per_stack();
+        let per_channel = geometry.pcs_per_channel();
+        let stack = self.0 / per_stack;
+        let within = self.0 % per_stack;
+        (
+            StackId(stack),
+            ChannelId(within / per_channel),
+            within % per_channel,
+        )
+    }
+
+    /// The stack this pseudo channel belongs to.
+    #[must_use]
+    pub fn stack(self, geometry: HbmGeometry) -> StackId {
+        self.decompose(geometry).0
+    }
+
+    /// Composes a global index from `(stack, channel, pc-within-channel)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidPseudoChannel`] if the parts exceed the
+    /// geometry.
+    pub fn compose(
+        geometry: HbmGeometry,
+        stack: StackId,
+        channel: ChannelId,
+        pc_in_channel: u8,
+    ) -> Result<Self, DeviceError> {
+        let index = stack.0 * geometry.pcs_per_stack()
+            + channel.0 * geometry.pcs_per_channel()
+            + pc_in_channel;
+        if stack.0 < geometry.stacks()
+            && channel.0 < geometry.channels_per_stack()
+            && pc_in_channel < geometry.pcs_per_channel()
+        {
+            PcIndex::new(index)
+        } else {
+            Err(DeviceError::InvalidPseudoChannel { index })
+        }
+    }
+}
+
+impl fmt::Display for PcIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PC{}", self.0)
+    }
+}
+
+/// User-side AXI port index, `0..32`. Port *i* fronts pseudo channel *i*
+/// unless the switching network re-routes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PortId(u8);
+
+impl PortId {
+    /// Creates an AXI port index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidPort`] if `index >= 32`.
+    pub fn new(index: u8) -> Result<Self, DeviceError> {
+        if index < TOTAL_PCS {
+            Ok(PortId(index))
+        } else {
+            Err(DeviceError::InvalidPort { index })
+        }
+    }
+
+    /// Returns the raw index (`0..32`).
+    #[must_use]
+    pub fn as_u8(self) -> u8 {
+        self.0
+    }
+
+    /// Returns the raw index widened to `usize`.
+    #[must_use]
+    pub fn as_usize(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// The pseudo channel this port maps to when the switching network is
+    /// disabled (the identity mapping used throughout the study).
+    #[must_use]
+    pub fn direct_pc(self) -> PcIndex {
+        PcIndex(self.0)
+    }
+
+    /// Iterates over every port of a geometry, in index order.
+    pub fn all(geometry: HbmGeometry) -> impl Iterator<Item = PortId> {
+        (0..geometry.total_pcs()).map(PortId)
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AXI{}", self.0)
+    }
+}
+
+impl From<PortId> for PcIndex {
+    fn from(port: PortId) -> PcIndex {
+        port.direct_pc()
+    }
+}
+
+/// A linear AXI-word offset within one pseudo channel.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct WordOffset(pub u64);
+
+impl WordOffset {
+    /// Decodes the offset into bank/row/column under a geometry.
+    ///
+    /// The mapping places the column in the low bits, the bank next (so
+    /// sequential accesses interleave across banks row-by-row) and the row
+    /// on top.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset exceeds the pseudo-channel capacity; validate
+    /// with the device API first for fallible handling.
+    #[must_use]
+    pub fn decode(self, geometry: HbmGeometry) -> DecodedAddress {
+        assert!(
+            self.0 < geometry.words_per_pc(),
+            "word offset {} out of range for geometry ({} words/pc)",
+            self.0,
+            geometry.words_per_pc()
+        );
+        let col_bits = geometry.col_bits();
+        let bank_bits = geometry.bank_bits();
+        let col = (self.0 & ((1 << col_bits) - 1)) as u16;
+        let bank = ((self.0 >> col_bits) & ((1 << bank_bits) - 1)) as u16;
+        let row = (self.0 >> (col_bits + bank_bits)) as u32;
+        DecodedAddress {
+            bank: BankId(bank),
+            row: RowId(row),
+            col,
+        }
+    }
+}
+
+impl fmt::Display for WordOffset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "+0x{:x}", self.0)
+    }
+}
+
+/// A bank/row/column address within one pseudo channel.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_device::{DecodedAddress, HbmGeometry, WordOffset};
+///
+/// let g = HbmGeometry::vcu128();
+/// let decoded = WordOffset(12345).decode(g);
+/// assert_eq!(decoded.encode(g), WordOffset(12345));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DecodedAddress {
+    /// Bank within the pseudo channel.
+    pub bank: BankId,
+    /// Row within the bank.
+    pub row: RowId,
+    /// AXI-word column within the row.
+    pub col: u16,
+}
+
+impl DecodedAddress {
+    /// Re-encodes into a linear word offset under a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field exceeds the geometry.
+    #[must_use]
+    pub fn encode(self, geometry: HbmGeometry) -> WordOffset {
+        assert!(u32::from(self.bank.0) < u32::from(geometry.banks_per_pc()), "bank out of range");
+        assert!(self.row.0 < geometry.rows_per_bank(), "row out of range");
+        assert!(self.col < geometry.words_per_row(), "column out of range");
+        let col_bits = geometry.col_bits();
+        let bank_bits = geometry.bank_bits();
+        WordOffset(
+            (u64::from(self.row.0) << (col_bits + bank_bits))
+                | (u64::from(self.bank.0) << col_bits)
+                | u64::from(self.col),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_index_validation() {
+        assert!(PcIndex::new(0).is_ok());
+        assert!(PcIndex::new(31).is_ok());
+        assert_eq!(
+            PcIndex::new(32).unwrap_err(),
+            DeviceError::InvalidPseudoChannel { index: 32 }
+        );
+    }
+
+    #[test]
+    fn pc_stack_assignment_matches_paper() {
+        let g = HbmGeometry::vcu128();
+        // PC0–PC15 in HBM0; PC16–PC31 in HBM1 (Fig. 5 numbering).
+        for i in 0..16 {
+            assert_eq!(PcIndex::new(i).unwrap().stack(g), StackId(0));
+        }
+        for i in 16..32 {
+            assert_eq!(PcIndex::new(i).unwrap().stack(g), StackId(1));
+        }
+    }
+
+    #[test]
+    fn pc_decompose_compose_round_trip() {
+        let g = HbmGeometry::vcu128();
+        for pc in PcIndex::all(g) {
+            let (stack, channel, within) = pc.decompose(g);
+            assert_eq!(PcIndex::compose(g, stack, channel, within).unwrap(), pc);
+        }
+    }
+
+    #[test]
+    fn compose_rejects_out_of_range() {
+        let g = HbmGeometry::vcu128();
+        assert!(PcIndex::compose(g, StackId(2), ChannelId(0), 0).is_err());
+        assert!(PcIndex::compose(g, StackId(0), ChannelId(8), 0).is_err());
+        assert!(PcIndex::compose(g, StackId(0), ChannelId(0), 2).is_err());
+    }
+
+    #[test]
+    fn port_maps_directly_to_pc() {
+        for i in 0..32 {
+            let port = PortId::new(i).unwrap();
+            assert_eq!(port.direct_pc().as_u8(), i);
+            assert_eq!(PcIndex::from(port).as_u8(), i);
+        }
+        assert!(PortId::new(32).is_err());
+    }
+
+    #[test]
+    fn address_decode_encode_round_trip() {
+        let g = HbmGeometry::vcu128_reduced();
+        for offset in 0..g.words_per_pc() {
+            let w = WordOffset(offset);
+            assert_eq!(w.decode(g).encode(g), w);
+        }
+    }
+
+    #[test]
+    fn sequential_offsets_interleave_banks() {
+        let g = HbmGeometry::vcu128();
+        // One full row (32 words) stays in bank 0, then bank 1 begins.
+        assert_eq!(WordOffset(0).decode(g).bank, BankId(0));
+        assert_eq!(WordOffset(31).decode(g).bank, BankId(0));
+        assert_eq!(WordOffset(32).decode(g).bank, BankId(1));
+        // After all 16 banks, the row advances.
+        assert_eq!(WordOffset(32 * 16).decode(g).row, RowId(1));
+        assert_eq!(WordOffset(32 * 16).decode(g).bank, BankId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn decode_rejects_out_of_range() {
+        let g = HbmGeometry::vcu128_reduced();
+        let _ = WordOffset(g.words_per_pc()).decode(g);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(StackId(0).to_string(), "HBM0");
+        assert_eq!(PcIndex::new(18).unwrap().to_string(), "PC18");
+        assert_eq!(PortId::new(7).unwrap().to_string(), "AXI7");
+        assert_eq!(WordOffset(255).to_string(), "+0xff");
+    }
+}

@@ -1,0 +1,199 @@
+//! Sparse, page-allocated storage for one pseudo channel's memory array.
+
+use std::collections::HashMap;
+
+use crate::address::WordOffset;
+use crate::error::DeviceError;
+use crate::word::Word256;
+
+/// Number of 256-bit words per allocation page (64 words = 2 KB).
+const PAGE_WORDS: u64 = 64;
+
+type Page = Box<[Word256]>;
+
+/// A sparse memory array addressed in 256-bit AXI words.
+///
+/// Pages (2 KB) are allocated on first write, so modelling a full-scale
+/// 256 MB pseudo channel costs memory proportional to the footprint actually
+/// touched. Unwritten words read as all-zeros (the model's deterministic
+/// power-up state).
+///
+/// # Examples
+///
+/// ```
+/// use hbm_device::{MemoryArray, Word256, WordOffset};
+///
+/// # fn main() -> Result<(), hbm_device::DeviceError> {
+/// let mut array = MemoryArray::new(1024);
+/// array.write(WordOffset(3), Word256::ONES)?;
+/// assert_eq!(array.read(WordOffset(3))?, Word256::ONES);
+/// assert_eq!(array.read(WordOffset(4))?, Word256::ZERO);
+/// assert!(array.read(WordOffset(1024)).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MemoryArray {
+    capacity_words: u64,
+    pages: HashMap<u64, Page>,
+    words_written: u64,
+}
+
+impl MemoryArray {
+    /// Creates an array of `capacity_words` 256-bit words, initially all
+    /// zeros and occupying no page storage.
+    #[must_use]
+    pub fn new(capacity_words: u64) -> Self {
+        MemoryArray {
+            capacity_words,
+            pages: HashMap::new(),
+            words_written: 0,
+        }
+    }
+
+    /// Capacity in 256-bit words.
+    #[must_use]
+    pub fn capacity_words(&self) -> u64 {
+        self.capacity_words
+    }
+
+    /// Reads the word at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::AddressOutOfRange`] if `offset` exceeds the
+    /// capacity.
+    pub fn read(&self, offset: WordOffset) -> Result<Word256, DeviceError> {
+        self.check(offset)?;
+        let (page, slot) = (offset.0 / PAGE_WORDS, (offset.0 % PAGE_WORDS) as usize);
+        Ok(self
+            .pages
+            .get(&page)
+            .map_or(Word256::ZERO, |p| p[slot]))
+    }
+
+    /// Writes `word` at `offset`, allocating its page if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::AddressOutOfRange`] if `offset` exceeds the
+    /// capacity.
+    pub fn write(&mut self, offset: WordOffset, word: Word256) -> Result<(), DeviceError> {
+        self.check(offset)?;
+        let (page, slot) = (offset.0 / PAGE_WORDS, (offset.0 % PAGE_WORDS) as usize);
+        let page = self
+            .pages
+            .entry(page)
+            .or_insert_with(|| vec![Word256::ZERO; PAGE_WORDS as usize].into_boxed_slice());
+        page[slot] = word;
+        self.words_written += 1;
+        Ok(())
+    }
+
+    /// Total number of write operations performed (activity accounting).
+    #[must_use]
+    pub fn words_written(&self) -> u64 {
+        self.words_written
+    }
+
+    /// Number of pages currently allocated.
+    #[must_use]
+    pub fn allocated_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Resident model memory in bytes (diagnostics for large sweeps).
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_WORDS * 32
+    }
+
+    /// Discards all contents, returning the array to its power-up (all
+    /// zeros) state and releasing page storage.
+    pub fn clear(&mut self) {
+        self.pages.clear();
+        self.words_written = 0;
+    }
+
+    fn check(&self, offset: WordOffset) -> Result<(), DeviceError> {
+        if offset.0 < self.capacity_words {
+            Ok(())
+        } else {
+            Err(DeviceError::AddressOutOfRange {
+                offset: offset.0,
+                capacity_words: self.capacity_words,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_reads_zero_without_allocating() {
+        let array = MemoryArray::new(4096);
+        assert_eq!(array.read(WordOffset(0)).unwrap(), Word256::ZERO);
+        assert_eq!(array.read(WordOffset(4095)).unwrap(), Word256::ZERO);
+        assert_eq!(array.allocated_pages(), 0);
+    }
+
+    #[test]
+    fn read_your_writes() {
+        let mut array = MemoryArray::new(4096);
+        let w = Word256::splat(0xDEAD_BEEF_CAFE_F00D);
+        array.write(WordOffset(100), w).unwrap();
+        assert_eq!(array.read(WordOffset(100)).unwrap(), w);
+        // Neighbors in the same page stay zero.
+        assert_eq!(array.read(WordOffset(99)).unwrap(), Word256::ZERO);
+        assert_eq!(array.read(WordOffset(101)).unwrap(), Word256::ZERO);
+        assert_eq!(array.allocated_pages(), 1);
+    }
+
+    #[test]
+    fn overwrite_takes_latest_value() {
+        let mut array = MemoryArray::new(64);
+        array.write(WordOffset(0), Word256::ONES).unwrap();
+        array.write(WordOffset(0), Word256::ZERO).unwrap();
+        assert_eq!(array.read(WordOffset(0)).unwrap(), Word256::ZERO);
+        assert_eq!(array.words_written(), 2);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut array = MemoryArray::new(64);
+        assert_eq!(
+            array.read(WordOffset(64)).unwrap_err(),
+            DeviceError::AddressOutOfRange {
+                offset: 64,
+                capacity_words: 64
+            }
+        );
+        assert!(array.write(WordOffset(u64::MAX), Word256::ZERO).is_err());
+    }
+
+    #[test]
+    fn clear_releases_storage() {
+        let mut array = MemoryArray::new(4096);
+        for i in 0..512 {
+            array.write(WordOffset(i), Word256::ONES).unwrap();
+        }
+        assert!(array.allocated_pages() > 0);
+        assert!(array.resident_bytes() > 0);
+        array.clear();
+        assert_eq!(array.allocated_pages(), 0);
+        assert_eq!(array.words_written(), 0);
+        assert_eq!(array.read(WordOffset(0)).unwrap(), Word256::ZERO);
+    }
+
+    #[test]
+    fn sparse_writes_allocate_sparse_pages() {
+        let mut array = MemoryArray::new(1 << 23); // full-scale PC: 8M words
+        array.write(WordOffset(0), Word256::ONES).unwrap();
+        array.write(WordOffset(1 << 22), Word256::ONES).unwrap();
+        array.write(WordOffset((1 << 23) - 1), Word256::ONES).unwrap();
+        assert_eq!(array.allocated_pages(), 3);
+        assert_eq!(array.resident_bytes(), 3 * 64 * 32);
+    }
+}

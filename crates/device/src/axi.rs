@@ -1,0 +1,335 @@
+//! User-side AXI ports and the optional switching network.
+//!
+//! The Xilinx HBM IP exposes 32 AXI ports, one per pseudo channel, each
+//! 256 bits wide (a 4:1 ratio over the 64-bit PC so the fabric can run at a
+//! quarter of the memory data rate and still saturate the bandwidth). A
+//! configurable switching network can route any port to any PC at the cost
+//! of extra latency and reduced bandwidth; the study disables it so that
+//! measurements reflect the HBM stacks alone.
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::{PcIndex, PortId};
+use crate::error::DeviceError;
+use crate::geometry::HbmGeometry;
+
+/// Configuration of one user-side AXI port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AxiPort {
+    id: PortId,
+    enabled: bool,
+}
+
+impl AxiPort {
+    /// Creates an enabled port.
+    #[must_use]
+    pub fn new(id: PortId) -> Self {
+        AxiPort { id, enabled: true }
+    }
+
+    /// The port id.
+    #[must_use]
+    pub fn id(&self) -> PortId {
+        self.id
+    }
+
+    /// `true` if the port accepts traffic.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or disables the port. Disabling ports is the study's lever
+    /// for excluding undervolting-sensitive PCs and reducing bandwidth in
+    /// 25 % steps.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+}
+
+/// The set of all AXI ports of a device, plus enable/disable bookkeeping.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_device::{HbmGeometry, PortId, PortSet};
+///
+/// # fn main() -> Result<(), hbm_device::DeviceError> {
+/// let mut ports = PortSet::new(HbmGeometry::vcu128());
+/// assert_eq!(ports.enabled_count(), 32);
+/// ports.set_enabled(PortId::new(5)?, false);
+/// assert_eq!(ports.enabled_count(), 31);
+/// ports.enable_first(16); // 50% bandwidth configuration
+/// assert_eq!(ports.enabled_count(), 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortSet {
+    ports: Vec<AxiPort>,
+}
+
+impl PortSet {
+    /// Creates one enabled port per pseudo channel of `geometry`.
+    #[must_use]
+    pub fn new(geometry: HbmGeometry) -> Self {
+        PortSet {
+            ports: PortId::all(geometry).map(AxiPort::new).collect(),
+        }
+    }
+
+    /// Number of ports (enabled or not).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// `true` if the set is empty (never the case for a valid geometry).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ports.is_empty()
+    }
+
+    /// The port with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` exceeds the geometry this set was built for.
+    #[must_use]
+    pub fn port(&self, id: PortId) -> &AxiPort {
+        &self.ports[id.as_usize()]
+    }
+
+    /// Enables or disables one port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` exceeds the geometry this set was built for.
+    pub fn set_enabled(&mut self, id: PortId, enabled: bool) {
+        self.ports[id.as_usize()].set_enabled(enabled);
+    }
+
+    /// `true` if port `id` is enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` exceeds the geometry this set was built for.
+    #[must_use]
+    pub fn is_enabled(&self, id: PortId) -> bool {
+        self.ports[id.as_usize()].is_enabled()
+    }
+
+    /// Enables exactly the first `n` ports and disables the rest — the
+    /// configuration the study uses to step bandwidth utilization in 25 %
+    /// increments (0, 8, 16, 24, 32 ports).
+    pub fn enable_first(&mut self, n: usize) {
+        for (i, port) in self.ports.iter_mut().enumerate() {
+            port.set_enabled(i < n);
+        }
+    }
+
+    /// Enables exactly the listed ports and disables all others.
+    pub fn enable_only<I: IntoIterator<Item = PortId>>(&mut self, ids: I) {
+        for port in &mut self.ports {
+            port.set_enabled(false);
+        }
+        for id in ids {
+            self.ports[id.as_usize()].set_enabled(true);
+        }
+    }
+
+    /// Number of enabled ports.
+    #[must_use]
+    pub fn enabled_count(&self) -> usize {
+        self.ports.iter().filter(|p| p.is_enabled()).count()
+    }
+
+    /// Iterates over the enabled ports' ids.
+    pub fn enabled_ids(&self) -> impl Iterator<Item = PortId> + '_ {
+        self.ports.iter().filter(|p| p.is_enabled()).map(AxiPort::id)
+    }
+
+    /// Iterates over all ports.
+    pub fn iter(&self) -> std::slice::Iter<'_, AxiPort> {
+        self.ports.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a PortSet {
+    type Item = &'a AxiPort;
+    type IntoIter = std::slice::Iter<'a, AxiPort>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// The switching network between AXI ports and pseudo channels.
+///
+/// Disabled (the study's configuration), each port reaches only its own PC.
+/// Enabled, any port can reach any PC, at a modelled bandwidth derate.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_device::{PcIndex, PortId, SwitchingNetwork};
+///
+/// # fn main() -> Result<(), hbm_device::DeviceError> {
+/// let direct = SwitchingNetwork::disabled();
+/// let port = PortId::new(3)?;
+/// assert_eq!(direct.route(port, None)?, PcIndex::new(3)?);
+/// assert!(direct.route(port, Some(PcIndex::new(9)?)).is_err());
+///
+/// let switched = SwitchingNetwork::enabled();
+/// assert_eq!(switched.route(port, Some(PcIndex::new(9)?))?, PcIndex::new(9)?);
+/// assert!(switched.bandwidth_derate() < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchingNetwork {
+    enabled: bool,
+    /// Multiplicative bandwidth factor when the switch is enabled (the IP
+    /// documents lower achievable bandwidth through the switch).
+    derate: f64,
+}
+
+/// Default bandwidth derate through the enabled switch. The Xilinx IP's
+/// switched mode loses a sizeable fraction of bandwidth to arbitration; 0.8
+/// is a representative figure for uniform traffic.
+const SWITCH_DERATE: f64 = 0.8;
+
+impl SwitchingNetwork {
+    /// A disabled switch: the identity port→PC mapping with no penalty.
+    #[must_use]
+    pub fn disabled() -> Self {
+        SwitchingNetwork {
+            enabled: false,
+            derate: 1.0,
+        }
+    }
+
+    /// An enabled switch with the default bandwidth derate.
+    #[must_use]
+    pub fn enabled() -> Self {
+        SwitchingNetwork {
+            enabled: true,
+            derate: SWITCH_DERATE,
+        }
+    }
+
+    /// `true` if the switch is enabled.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Bandwidth multiplier implied by this configuration (1.0 when
+    /// disabled).
+    #[must_use]
+    pub fn bandwidth_derate(&self) -> f64 {
+        self.derate
+    }
+
+    /// Resolves the pseudo channel a transaction from `port` reaches.
+    ///
+    /// `target` requests an explicit PC (only honoured through an enabled
+    /// switch); `None` means the port's own PC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::RouteUnavailable`] if a cross-PC route is
+    /// requested while the switch is disabled.
+    pub fn route(&self, port: PortId, target: Option<PcIndex>) -> Result<PcIndex, DeviceError> {
+        match target {
+            None => Ok(port.direct_pc()),
+            Some(pc) if pc == port.direct_pc() => Ok(pc),
+            Some(pc) if self.enabled => Ok(pc),
+            Some(pc) => Err(DeviceError::RouteUnavailable {
+                port: port.as_u8(),
+                target: pc.as_u8(),
+            }),
+        }
+    }
+}
+
+impl Default for SwitchingNetwork {
+    /// Disabled, matching the study's methodology.
+    fn default() -> Self {
+        SwitchingNetwork::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn port(i: u8) -> PortId {
+        PortId::new(i).unwrap()
+    }
+
+    fn pc(i: u8) -> PcIndex {
+        PcIndex::new(i).unwrap()
+    }
+
+    #[test]
+    fn port_set_starts_fully_enabled() {
+        let ports = PortSet::new(HbmGeometry::vcu128());
+        assert_eq!(ports.len(), 32);
+        assert!(!ports.is_empty());
+        assert_eq!(ports.enabled_count(), 32);
+    }
+
+    #[test]
+    fn enable_first_configures_bandwidth_steps() {
+        let mut ports = PortSet::new(HbmGeometry::vcu128());
+        for (n, expect) in [(0usize, 0usize), (8, 8), (16, 16), (24, 24), (32, 32)] {
+            ports.enable_first(n);
+            assert_eq!(ports.enabled_count(), expect);
+        }
+        ports.enable_first(16);
+        assert!(ports.is_enabled(port(15)));
+        assert!(!ports.is_enabled(port(16)));
+    }
+
+    #[test]
+    fn enable_only_selects_exact_set() {
+        let mut ports = PortSet::new(HbmGeometry::vcu128());
+        ports.enable_only([port(1), port(30)]);
+        assert_eq!(ports.enabled_count(), 2);
+        let ids: Vec<u8> = ports.enabled_ids().map(|p| p.as_u8()).collect();
+        assert_eq!(ids, vec![1, 30]);
+    }
+
+    #[test]
+    fn disabled_switch_is_identity_only() {
+        let sw = SwitchingNetwork::disabled();
+        assert_eq!(sw.route(port(7), None).unwrap(), pc(7));
+        assert_eq!(sw.route(port(7), Some(pc(7))).unwrap(), pc(7));
+        assert_eq!(
+            sw.route(port(7), Some(pc(8))).unwrap_err(),
+            DeviceError::RouteUnavailable { port: 7, target: 8 }
+        );
+        assert_eq!(sw.bandwidth_derate(), 1.0);
+    }
+
+    #[test]
+    fn enabled_switch_routes_anywhere_with_penalty() {
+        let sw = SwitchingNetwork::enabled();
+        assert_eq!(sw.route(port(0), Some(pc(31))).unwrap(), pc(31));
+        assert!(sw.bandwidth_derate() < 1.0);
+        assert!(sw.is_enabled());
+    }
+
+    #[test]
+    fn default_matches_study_methodology() {
+        assert_eq!(SwitchingNetwork::default(), SwitchingNetwork::disabled());
+    }
+
+    #[test]
+    fn port_set_iteration() {
+        let ports = PortSet::new(HbmGeometry::vcu128());
+        assert_eq!(ports.iter().count(), 32);
+        assert_eq!((&ports).into_iter().count(), 32);
+        assert_eq!(ports.port(port(4)).id(), port(4));
+    }
+}

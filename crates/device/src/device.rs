@@ -1,0 +1,479 @@
+//! The top-level HBM device: two stacks, 32 AXI ports, a switching network
+//! and the study's supply-voltage crash semantics.
+
+use hbm_units::Millivolts;
+use serde::{Deserialize, Serialize};
+
+use crate::address::{PcIndex, PortId, StackId, WordOffset};
+use crate::axi::{PortSet, SwitchingNetwork};
+use crate::error::DeviceError;
+use crate::geometry::HbmGeometry;
+use crate::stack::{HbmStack, PcStats, PseudoChannel};
+use crate::word::Word256;
+
+/// Operational state of the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceState {
+    /// Normal operation.
+    Operational,
+    /// The device stopped responding because the supply fell below the
+    /// critical voltage. The study observes that restoring the voltage does
+    /// *not* revive the device — only a power-down and restart does — so
+    /// this state is latched until [`HbmDevice::power_cycle`].
+    Crashed,
+}
+
+/// Nominal HBM supply voltage (V_nom = 1.20 V).
+pub const NOMINAL_SUPPLY: Millivolts = Millivolts(1200);
+
+/// Supply voltage below which the device stops responding. The study finds
+/// V_critical = 0.81 V is the minimum working voltage: operation continues
+/// *at* 0.81 V and the device crashes *below* it.
+pub const CRASH_FLOOR: Millivolts = Millivolts(810);
+
+/// The complete HBM-enabled device model.
+///
+/// Owns the memory-side hierarchy (stacks → channels → pseudo channels), the
+/// user-side AXI ports with their optional switching network, and tracks the
+/// supply voltage with the crash latch the study reports.
+///
+/// This model is *organizationally* faithful but fault-free: reduced-voltage
+/// bit flips are layered on by the `hbm-faults` crate so each physical
+/// concern stays in its own crate.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_device::{HbmDevice, HbmGeometry, PortId, Word256, WordOffset};
+/// use hbm_units::Millivolts;
+///
+/// # fn main() -> Result<(), hbm_device::DeviceError> {
+/// let mut device = HbmDevice::new(HbmGeometry::vcu128());
+/// let port = PortId::new(0)?;
+/// device.axi_write(port, WordOffset(42), Word256::ONES)?;
+/// assert_eq!(device.axi_read(port, WordOffset(42))?, Word256::ONES);
+///
+/// // Below V_critical the device crashes and stays crashed …
+/// device.set_supply(Millivolts(800));
+/// assert!(device.is_crashed());
+/// device.set_supply(Millivolts(1200));
+/// assert!(device.axi_read(port, WordOffset(42)).is_err());
+///
+/// // … until a power cycle, which loses DRAM content.
+/// device.power_cycle(Millivolts(1200));
+/// assert_eq!(device.axi_read(port, WordOffset(42))?, Word256::ZERO);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HbmDevice {
+    geometry: HbmGeometry,
+    stacks: Vec<HbmStack>,
+    ports: PortSet,
+    switch: SwitchingNetwork,
+    supply: Millivolts,
+    state: DeviceState,
+}
+
+impl HbmDevice {
+    /// Creates a device at the nominal supply voltage with all ports enabled
+    /// and the switching network disabled (the study's configuration).
+    #[must_use]
+    pub fn new(geometry: HbmGeometry) -> Self {
+        HbmDevice {
+            geometry,
+            stacks: (0..geometry.stacks())
+                .map(|s| HbmStack::new(geometry, StackId(s)))
+                .collect(),
+            ports: PortSet::new(geometry),
+            switch: SwitchingNetwork::disabled(),
+            supply: NOMINAL_SUPPLY,
+            state: DeviceState::Operational,
+        }
+    }
+
+    /// The device geometry.
+    #[must_use]
+    pub fn geometry(&self) -> HbmGeometry {
+        self.geometry
+    }
+
+    /// Current supply voltage as last applied by the regulator.
+    #[must_use]
+    pub fn supply(&self) -> Millivolts {
+        self.supply
+    }
+
+    /// Applies a new supply voltage. Falling below [`CRASH_FLOOR`] latches
+    /// the crashed state; raising the voltage afterwards does not recover
+    /// the device (see [`HbmDevice::power_cycle`]).
+    pub fn set_supply(&mut self, supply: Millivolts) {
+        self.supply = supply;
+        if supply < CRASH_FLOOR {
+            self.state = DeviceState::Crashed;
+        }
+    }
+
+    /// Current operational state.
+    #[must_use]
+    pub fn state(&self) -> DeviceState {
+        self.state
+    }
+
+    /// `true` if the device has crashed and needs a power cycle.
+    #[must_use]
+    pub fn is_crashed(&self) -> bool {
+        self.state == DeviceState::Crashed
+    }
+
+    /// Powers the device down and back up at `supply`. All DRAM content is
+    /// lost and access statistics reset. If `supply` is itself below the
+    /// crash floor the device immediately crashes again.
+    pub fn power_cycle(&mut self, supply: Millivolts) {
+        for stack in &mut self.stacks {
+            for pc in stack.pseudo_channels_mut() {
+                pc.clear();
+                pc.reset_stats();
+            }
+        }
+        self.state = DeviceState::Operational;
+        self.set_supply(supply);
+    }
+
+    /// The HBM stacks.
+    #[must_use]
+    pub fn stacks(&self) -> &[HbmStack] {
+        &self.stacks
+    }
+
+    /// The AXI port set.
+    #[must_use]
+    pub fn ports(&self) -> &PortSet {
+        &self.ports
+    }
+
+    /// Mutable access to the AXI port set (enable/disable ports).
+    pub fn ports_mut(&mut self) -> &mut PortSet {
+        &mut self.ports
+    }
+
+    /// The switching network configuration.
+    #[must_use]
+    pub fn switch(&self) -> SwitchingNetwork {
+        self.switch
+    }
+
+    /// Replaces the switching network configuration.
+    pub fn set_switch(&mut self, switch: SwitchingNetwork) {
+        self.switch = switch;
+    }
+
+    /// Borrows the pseudo channel at global index `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` exceeds this device's geometry (a [`PcIndex`] is
+    /// always `< 32`, but a custom geometry may define fewer).
+    #[must_use]
+    pub fn pseudo_channel(&self, pc: PcIndex) -> &PseudoChannel {
+        let (stack, channel, within) = pc.decompose(self.geometry);
+        &self.stacks[usize::from(stack.0)].channels()[usize::from(channel.0)]
+            .pseudo_channels()[usize::from(within)]
+    }
+
+    fn pseudo_channel_mut(&mut self, pc: PcIndex) -> &mut PseudoChannel {
+        let (stack, channel, within) = pc.decompose(self.geometry);
+        &mut self.stacks[usize::from(stack.0)].channels_mut()[usize::from(channel.0)]
+            .pseudo_channels_mut()[usize::from(within)]
+    }
+
+    fn check_operational(&self) -> Result<(), DeviceError> {
+        match self.state {
+            DeviceState::Operational => Ok(()),
+            DeviceState::Crashed => Err(DeviceError::Crashed),
+        }
+    }
+
+    fn check_pc(&self, pc: PcIndex) -> Result<(), DeviceError> {
+        if pc.as_u8() < self.geometry.total_pcs() {
+            Ok(())
+        } else {
+            Err(DeviceError::InvalidPseudoChannel { index: pc.as_u8() })
+        }
+    }
+
+    /// Reads a word directly from a pseudo channel (memory-side access,
+    /// bypassing the AXI ports — used by fault-injection wrappers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Crashed`] if the device crashed,
+    /// [`DeviceError::InvalidPseudoChannel`] or
+    /// [`DeviceError::AddressOutOfRange`] for bad addresses.
+    pub fn read_word(&mut self, pc: PcIndex, offset: WordOffset) -> Result<Word256, DeviceError> {
+        self.check_operational()?;
+        self.check_pc(pc)?;
+        self.pseudo_channel_mut(pc).read(offset)
+    }
+
+    /// Writes a word directly to a pseudo channel (memory-side access).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HbmDevice::read_word`].
+    pub fn write_word(
+        &mut self,
+        pc: PcIndex,
+        offset: WordOffset,
+        word: Word256,
+    ) -> Result<(), DeviceError> {
+        self.check_operational()?;
+        self.check_pc(pc)?;
+        self.pseudo_channel_mut(pc).write(offset, word)
+    }
+
+    /// Reads through an AXI port (user-side access). With the switch
+    /// disabled the port reaches its own pseudo channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::PortDisabled`] for disabled ports, plus any
+    /// error of [`HbmDevice::read_word`].
+    pub fn axi_read(&mut self, port: PortId, offset: WordOffset) -> Result<Word256, DeviceError> {
+        self.axi_read_routed(port, None, offset)
+    }
+
+    /// Writes through an AXI port (user-side access).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HbmDevice::axi_read`].
+    pub fn axi_write(
+        &mut self,
+        port: PortId,
+        offset: WordOffset,
+        word: Word256,
+    ) -> Result<(), DeviceError> {
+        self.axi_write_routed(port, None, offset, word)
+    }
+
+    /// Reads through an AXI port with an explicit target pseudo channel,
+    /// which requires the switching network when it differs from the port's
+    /// own PC.
+    ///
+    /// # Errors
+    ///
+    /// Additionally returns [`DeviceError::RouteUnavailable`] if the switch
+    /// is disabled and `target` is a foreign PC.
+    pub fn axi_read_routed(
+        &mut self,
+        port: PortId,
+        target: Option<PcIndex>,
+        offset: WordOffset,
+    ) -> Result<Word256, DeviceError> {
+        self.check_operational()?;
+        self.check_port(port)?;
+        let pc = self.switch.route(port, target)?;
+        self.check_pc(pc)?;
+        self.pseudo_channel_mut(pc).read(offset)
+    }
+
+    /// Writes through an AXI port with an explicit target pseudo channel.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HbmDevice::axi_read_routed`].
+    pub fn axi_write_routed(
+        &mut self,
+        port: PortId,
+        target: Option<PcIndex>,
+        offset: WordOffset,
+        word: Word256,
+    ) -> Result<(), DeviceError> {
+        self.check_operational()?;
+        self.check_port(port)?;
+        let pc = self.switch.route(port, target)?;
+        self.check_pc(pc)?;
+        self.pseudo_channel_mut(pc).write(offset, word)
+    }
+
+    fn check_port(&self, port: PortId) -> Result<(), DeviceError> {
+        if port.as_u8() >= self.geometry.total_pcs() {
+            return Err(DeviceError::InvalidPort { index: port.as_u8() });
+        }
+        if self.ports.is_enabled(port) {
+            Ok(())
+        } else {
+            Err(DeviceError::PortDisabled { index: port.as_u8() })
+        }
+    }
+
+    /// Aggregated access statistics across all pseudo channels.
+    #[must_use]
+    pub fn total_stats(&self) -> PcStats {
+        let mut total = PcStats::default();
+        for stack in &self.stacks {
+            for pc in stack.pseudo_channels() {
+                total.reads += pc.stats().reads;
+                total.writes += pc.stats().writes;
+            }
+        }
+        total
+    }
+
+    /// Resets per-PC access statistics (the study's `reset_axi_ports()`).
+    pub fn reset_stats(&mut self) {
+        for stack in &mut self.stacks {
+            for pc in stack.pseudo_channels_mut() {
+                pc.reset_stats();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn port(i: u8) -> PortId {
+        PortId::new(i).unwrap()
+    }
+
+    fn pc(i: u8) -> PcIndex {
+        PcIndex::new(i).unwrap()
+    }
+
+    #[test]
+    fn device_starts_nominal_and_operational() {
+        let device = HbmDevice::new(HbmGeometry::vcu128_reduced());
+        assert_eq!(device.supply(), NOMINAL_SUPPLY);
+        assert_eq!(device.state(), DeviceState::Operational);
+        assert_eq!(device.stacks().len(), 2);
+        assert!(!device.switch().is_enabled());
+        assert_eq!(device.ports().enabled_count(), 32);
+    }
+
+    #[test]
+    fn axi_round_trip_all_ports() {
+        let mut device = HbmDevice::new(HbmGeometry::vcu128_reduced());
+        for i in 0..32 {
+            let w = Word256::splat(u64::from(i) + 1);
+            device.axi_write(port(i), WordOffset(0), w).unwrap();
+        }
+        for i in 0..32 {
+            let w = Word256::splat(u64::from(i) + 1);
+            assert_eq!(device.axi_read(port(i), WordOffset(0)).unwrap(), w);
+        }
+    }
+
+    #[test]
+    fn ports_isolate_pseudo_channels() {
+        let mut device = HbmDevice::new(HbmGeometry::vcu128_reduced());
+        device.axi_write(port(0), WordOffset(5), Word256::ONES).unwrap();
+        assert_eq!(device.axi_read(port(1), WordOffset(5)).unwrap(), Word256::ZERO);
+    }
+
+    #[test]
+    fn disabled_port_rejects_traffic() {
+        let mut device = HbmDevice::new(HbmGeometry::vcu128_reduced());
+        device.ports_mut().set_enabled(port(9), false);
+        assert_eq!(
+            device.axi_read(port(9), WordOffset(0)).unwrap_err(),
+            DeviceError::PortDisabled { index: 9 }
+        );
+        assert_eq!(
+            device.axi_write(port(9), WordOffset(0), Word256::ZERO).unwrap_err(),
+            DeviceError::PortDisabled { index: 9 }
+        );
+    }
+
+    #[test]
+    fn crash_is_latched_until_power_cycle() {
+        let mut device = HbmDevice::new(HbmGeometry::vcu128_reduced());
+        device.axi_write(port(0), WordOffset(0), Word256::ONES).unwrap();
+
+        // 0.81 V is still the minimum *working* voltage.
+        device.set_supply(Millivolts(810));
+        assert!(!device.is_crashed());
+
+        // Below it the device stops responding …
+        device.set_supply(Millivolts(800));
+        assert!(device.is_crashed());
+        assert_eq!(
+            device.axi_read(port(0), WordOffset(0)).unwrap_err(),
+            DeviceError::Crashed
+        );
+
+        // … and restoring the voltage does not help (paper §III-B).
+        device.set_supply(NOMINAL_SUPPLY);
+        assert!(device.is_crashed());
+
+        // A power cycle revives it but loses content.
+        device.power_cycle(NOMINAL_SUPPLY);
+        assert!(!device.is_crashed());
+        assert_eq!(device.axi_read(port(0), WordOffset(0)).unwrap(), Word256::ZERO);
+    }
+
+    #[test]
+    fn power_cycle_into_undervoltage_crashes_again() {
+        let mut device = HbmDevice::new(HbmGeometry::vcu128_reduced());
+        device.power_cycle(Millivolts(790));
+        assert!(device.is_crashed());
+    }
+
+    #[test]
+    fn routed_access_needs_switch() {
+        let mut device = HbmDevice::new(HbmGeometry::vcu128_reduced());
+        assert_eq!(
+            device
+                .axi_write_routed(port(0), Some(pc(4)), WordOffset(0), Word256::ONES)
+                .unwrap_err(),
+            DeviceError::RouteUnavailable { port: 0, target: 4 }
+        );
+        device.set_switch(SwitchingNetwork::enabled());
+        device
+            .axi_write_routed(port(0), Some(pc(4)), WordOffset(0), Word256::ONES)
+            .unwrap();
+        assert_eq!(
+            device.axi_read_routed(port(4), None, WordOffset(0)).unwrap(),
+            Word256::ONES
+        );
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut device = HbmDevice::new(HbmGeometry::vcu128_reduced());
+        device.axi_write(port(0), WordOffset(0), Word256::ONES).unwrap();
+        device.axi_read(port(0), WordOffset(0)).unwrap();
+        device.axi_read(port(1), WordOffset(0)).unwrap();
+        assert_eq!(device.total_stats(), PcStats { reads: 2, writes: 1 });
+        device.reset_stats();
+        assert_eq!(device.total_stats(), PcStats::default());
+    }
+
+    #[test]
+    fn custom_small_geometry_rejects_large_pc() {
+        // One stack, one channel, two PCs.
+        let g = HbmGeometry::custom(1, 1, 2, 4, 16, 8);
+        let mut device = HbmDevice::new(g);
+        assert_eq!(g.total_pcs(), 2);
+        device.write_word(pc(1), WordOffset(0), Word256::ONES).unwrap();
+        assert_eq!(
+            device.write_word(pc(2), WordOffset(0), Word256::ONES).unwrap_err(),
+            DeviceError::InvalidPseudoChannel { index: 2 }
+        );
+        assert_eq!(
+            device.axi_read(port(2), WordOffset(0)).unwrap_err(),
+            DeviceError::InvalidPort { index: 2 }
+        );
+    }
+
+    #[test]
+    fn memory_side_word_round_trip() {
+        let mut device = HbmDevice::new(HbmGeometry::vcu128_reduced());
+        device.write_word(pc(17), WordOffset(1), Word256::ONES).unwrap();
+        assert_eq!(device.read_word(pc(17), WordOffset(1)).unwrap(), Word256::ONES);
+        // Memory-side access shows up on the same PC as AXI-side access.
+        assert_eq!(device.pseudo_channel(pc(17)).stats().writes, 1);
+    }
+}

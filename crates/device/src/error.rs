@@ -1,0 +1,115 @@
+//! Error type for device operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by HBM device operations.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_device::{DeviceError, PcIndex};
+///
+/// let err = PcIndex::new(99).unwrap_err();
+/// assert!(matches!(err, DeviceError::InvalidPseudoChannel { index: 99 }));
+/// assert_eq!(err.to_string(), "pseudo-channel index 99 out of range (0..32)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// The device has crashed (supply voltage fell below the critical level)
+    /// and no longer responds; a power cycle is required.
+    Crashed,
+    /// A pseudo-channel index outside `0..32` was supplied.
+    InvalidPseudoChannel {
+        /// The offending index.
+        index: u8,
+    },
+    /// An AXI port index outside `0..32` was supplied.
+    InvalidPort {
+        /// The offending index.
+        index: u8,
+    },
+    /// The addressed AXI port is disabled.
+    PortDisabled {
+        /// The disabled port.
+        index: u8,
+    },
+    /// A word offset beyond the pseudo-channel capacity was supplied.
+    AddressOutOfRange {
+        /// The offending word offset within the pseudo channel.
+        offset: u64,
+        /// Number of addressable words per pseudo channel.
+        capacity_words: u64,
+    },
+    /// The switching network is disabled, so a port can only reach its own
+    /// pseudo channel.
+    RouteUnavailable {
+        /// The requesting port.
+        port: u8,
+        /// The pseudo channel that was requested.
+        target: u8,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DeviceError::Crashed => {
+                write!(f, "device crashed: supply fell below critical voltage, power cycle required")
+            }
+            DeviceError::InvalidPseudoChannel { index } => {
+                write!(f, "pseudo-channel index {index} out of range (0..32)")
+            }
+            DeviceError::InvalidPort { index } => {
+                write!(f, "axi port index {index} out of range (0..32)")
+            }
+            DeviceError::PortDisabled { index } => write!(f, "axi port {index} is disabled"),
+            DeviceError::AddressOutOfRange {
+                offset,
+                capacity_words,
+            } => write!(
+                f,
+                "word offset {offset} out of range (pseudo-channel capacity {capacity_words} words)"
+            ),
+            DeviceError::RouteUnavailable { port, target } => write!(
+                f,
+                "switching network disabled: port {port} cannot reach pseudo-channel {target}"
+            ),
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let samples = [
+            DeviceError::Crashed,
+            DeviceError::InvalidPseudoChannel { index: 40 },
+            DeviceError::InvalidPort { index: 33 },
+            DeviceError::PortDisabled { index: 3 },
+            DeviceError::AddressOutOfRange {
+                offset: 10,
+                capacity_words: 8,
+            },
+            DeviceError::RouteUnavailable { port: 0, target: 5 },
+        ];
+        for err in samples {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+            assert!(!msg.ends_with('.'), "{msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<DeviceError>();
+    }
+}

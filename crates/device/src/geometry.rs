@@ -1,0 +1,320 @@
+//! Device geometry: how stacks, channels, pseudo channels, banks and rows
+//! compose, and how big everything is.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of an HBM-enabled device.
+///
+/// The default construction, [`HbmGeometry::vcu128`], mirrors the platform of
+/// the study: 2 stacks × 8 channels × 2 pseudo channels, 256 MB per pseudo
+/// channel, addressed in 256-bit (32-byte) AXI words — `8M` words per pseudo
+/// channel and `256M` words across the whole device, exactly the `memSize`
+/// values used by the paper's Algorithm 1.
+///
+/// All counts are powers of two so address encode/decode are exact bit-field
+/// operations.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_device::HbmGeometry;
+///
+/// let g = HbmGeometry::vcu128();
+/// assert_eq!(g.total_pcs(), 32);
+/// assert_eq!(g.words_per_pc(), 8 << 20);          // 8M AXI words
+/// assert_eq!(g.total_words(), 256 << 20);         // 256M AXI words
+/// assert_eq!(g.total_bytes(), 8 << 30);           // 8 GB
+///
+/// // Scaled-down geometry for fast exhaustive tests: same organization,
+/// // 1024× fewer rows per bank.
+/// let small = HbmGeometry::vcu128().scaled(1024);
+/// assert_eq!(small.total_pcs(), 32);
+/// assert_eq!(small.words_per_pc(), 8 << 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HbmGeometry {
+    stacks: u8,
+    channels_per_stack: u8,
+    pcs_per_channel: u8,
+    banks_per_pc: u16,
+    rows_per_bank: u32,
+    words_per_row: u16,
+}
+
+/// Width of one AXI word in bits (the user-side access granularity).
+pub const AXI_WORD_BITS: u32 = 256;
+/// Width of one AXI word in bytes.
+pub const AXI_WORD_BYTES: u32 = AXI_WORD_BITS / 8;
+
+impl HbmGeometry {
+    /// Full-scale geometry of the VCU128 platform used in the study:
+    /// 2 stacks, 8 channels/stack, 2 PCs/channel, 16 banks/PC,
+    /// 16384 rows/bank, 32 words/row (1 KB rows) — 256 MB per PC, 8 GB total.
+    #[must_use]
+    pub fn vcu128() -> Self {
+        HbmGeometry {
+            stacks: 2,
+            channels_per_stack: 8,
+            pcs_per_channel: 2,
+            banks_per_pc: 16,
+            rows_per_bank: 16_384,
+            words_per_row: 32,
+        }
+    }
+
+    /// A reduced geometry for fast exhaustive tests: identical organization
+    /// with 1024× fewer rows per bank (256 KB per PC, 8 MB total).
+    #[must_use]
+    pub fn vcu128_reduced() -> Self {
+        HbmGeometry::vcu128().scaled(1024)
+    }
+
+    /// Creates a custom geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless every count is a non-zero power of two and
+    /// `stacks × channels_per_stack × pcs_per_channel ≤ 32` (the global
+    /// pseudo-channel index space of the modelled platform).
+    #[must_use]
+    pub fn custom(
+        stacks: u8,
+        channels_per_stack: u8,
+        pcs_per_channel: u8,
+        banks_per_pc: u16,
+        rows_per_bank: u32,
+        words_per_row: u16,
+    ) -> Self {
+        let g = HbmGeometry {
+            stacks,
+            channels_per_stack,
+            pcs_per_channel,
+            banks_per_pc,
+            rows_per_bank,
+            words_per_row,
+        };
+        g.validate();
+        g
+    }
+
+    fn validate(self) {
+        fn pow2(name: &str, v: u64) {
+            assert!(v != 0 && v.is_power_of_two(), "{name} must be a non-zero power of two, got {v}");
+        }
+        pow2("stacks", u64::from(self.stacks));
+        pow2("channels_per_stack", u64::from(self.channels_per_stack));
+        pow2("pcs_per_channel", u64::from(self.pcs_per_channel));
+        pow2("banks_per_pc", u64::from(self.banks_per_pc));
+        pow2("rows_per_bank", u64::from(self.rows_per_bank));
+        pow2("words_per_row", u64::from(self.words_per_row));
+        assert!(
+            self.total_pcs() <= 32,
+            "at most 32 pseudo channels supported, got {}",
+            self.total_pcs()
+        );
+    }
+
+    /// Returns a geometry with `factor`× fewer rows per bank (the smallest
+    /// bank still has one row). Organization (stack/channel/PC/bank counts)
+    /// is unchanged, so per-PC fault *rates* remain comparable with the
+    /// full-scale device while exhaustive walks become cheap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not a power of two.
+    #[must_use]
+    pub fn scaled(self, factor: u32) -> Self {
+        assert!(factor.is_power_of_two(), "scale factor must be a power of two, got {factor}");
+        HbmGeometry {
+            rows_per_bank: (self.rows_per_bank / factor).max(1),
+            ..self
+        }
+    }
+
+    /// Number of HBM stacks.
+    #[must_use]
+    pub fn stacks(self) -> u8 {
+        self.stacks
+    }
+
+    /// Memory channels per stack (8 on the VCU128).
+    #[must_use]
+    pub fn channels_per_stack(self) -> u8 {
+        self.channels_per_stack
+    }
+
+    /// Pseudo channels per memory channel (2 on the VCU128).
+    #[must_use]
+    pub fn pcs_per_channel(self) -> u8 {
+        self.pcs_per_channel
+    }
+
+    /// Banks per pseudo channel.
+    #[must_use]
+    pub fn banks_per_pc(self) -> u16 {
+        self.banks_per_pc
+    }
+
+    /// Rows per bank.
+    #[must_use]
+    pub fn rows_per_bank(self) -> u32 {
+        self.rows_per_bank
+    }
+
+    /// AXI words per row.
+    #[must_use]
+    pub fn words_per_row(self) -> u16 {
+        self.words_per_row
+    }
+
+    /// Pseudo channels per stack.
+    #[must_use]
+    pub fn pcs_per_stack(self) -> u8 {
+        self.channels_per_stack * self.pcs_per_channel
+    }
+
+    /// Total pseudo channels in the device (32 on the VCU128).
+    #[must_use]
+    pub fn total_pcs(self) -> u8 {
+        self.stacks * self.pcs_per_stack()
+    }
+
+    /// Addressable AXI words per pseudo channel.
+    #[must_use]
+    pub fn words_per_pc(self) -> u64 {
+        u64::from(self.banks_per_pc) * u64::from(self.rows_per_bank) * u64::from(self.words_per_row)
+    }
+
+    /// Addressable AXI words per stack.
+    #[must_use]
+    pub fn words_per_stack(self) -> u64 {
+        self.words_per_pc() * u64::from(self.pcs_per_stack())
+    }
+
+    /// Total addressable AXI words in the device.
+    #[must_use]
+    pub fn total_words(self) -> u64 {
+        self.words_per_pc() * u64::from(self.total_pcs())
+    }
+
+    /// Capacity of one pseudo channel in bytes.
+    #[must_use]
+    pub fn bytes_per_pc(self) -> u64 {
+        self.words_per_pc() * u64::from(AXI_WORD_BYTES)
+    }
+
+    /// Total device capacity in bytes.
+    #[must_use]
+    pub fn total_bytes(self) -> u64 {
+        self.total_words() * u64::from(AXI_WORD_BYTES)
+    }
+
+    /// Total device capacity in bits (the denominator of fault fractions).
+    #[must_use]
+    pub fn total_bits(self) -> u64 {
+        self.total_bytes() * 8
+    }
+
+    /// Bits per pseudo channel.
+    #[must_use]
+    pub fn bits_per_pc(self) -> u64 {
+        self.bytes_per_pc() * 8
+    }
+
+    /// Number of low bits holding the column (word-in-row) field.
+    #[must_use]
+    pub fn col_bits(self) -> u32 {
+        u32::from(self.words_per_row).trailing_zeros()
+    }
+
+    /// Number of bits holding the bank field.
+    #[must_use]
+    pub fn bank_bits(self) -> u32 {
+        u32::from(self.banks_per_pc).trailing_zeros()
+    }
+
+    /// Number of bits holding the row field.
+    #[must_use]
+    pub fn row_bits(self) -> u32 {
+        self.rows_per_bank.trailing_zeros()
+    }
+}
+
+impl Default for HbmGeometry {
+    /// The full-scale VCU128 geometry.
+    fn default() -> Self {
+        HbmGeometry::vcu128()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vcu128_matches_paper_sizes() {
+        let g = HbmGeometry::vcu128();
+        assert_eq!(g.stacks(), 2);
+        assert_eq!(g.channels_per_stack(), 8);
+        assert_eq!(g.pcs_per_channel(), 2);
+        assert_eq!(g.pcs_per_stack(), 16);
+        assert_eq!(g.total_pcs(), 32);
+        // Algorithm 1: memSize = 8M words per PC, 256M words for the whole HBM.
+        assert_eq!(g.words_per_pc(), 8 * 1024 * 1024);
+        assert_eq!(g.total_words(), 256 * 1024 * 1024);
+        // 256 MB per PC, 4 GB per stack, 8 GB total.
+        assert_eq!(g.bytes_per_pc(), 256 << 20);
+        assert_eq!(g.words_per_stack() * u64::from(AXI_WORD_BYTES), 4 << 30);
+        assert_eq!(g.total_bytes(), 8 << 30);
+    }
+
+    #[test]
+    fn scaling_preserves_organization() {
+        let g = HbmGeometry::vcu128().scaled(1024);
+        assert_eq!(g.total_pcs(), 32);
+        assert_eq!(g.banks_per_pc(), 16);
+        assert_eq!(g.rows_per_bank(), 16);
+        assert_eq!(g.words_per_pc(), 8 * 1024);
+    }
+
+    #[test]
+    fn scaling_saturates_at_one_row() {
+        let g = HbmGeometry::vcu128().scaled(1 << 20);
+        assert_eq!(g.rows_per_bank(), 1);
+    }
+
+    #[test]
+    fn bit_field_widths() {
+        let g = HbmGeometry::vcu128();
+        assert_eq!(g.col_bits(), 5);
+        assert_eq!(g.bank_bits(), 4);
+        assert_eq!(g.row_bits(), 14);
+        assert_eq!(
+            g.col_bits() + g.bank_bits() + g.row_bits(),
+            g.words_per_pc().trailing_zeros()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_rejected() {
+        let _ = HbmGeometry::custom(2, 8, 2, 12, 100, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_scale_rejected() {
+        let _ = HbmGeometry::vcu128().scaled(1000);
+    }
+
+    #[test]
+    fn default_is_vcu128() {
+        assert_eq!(HbmGeometry::default(), HbmGeometry::vcu128());
+    }
+
+    #[test]
+    fn total_bits() {
+        assert_eq!(HbmGeometry::vcu128().total_bits(), (8u64 << 30) * 8);
+        assert_eq!(HbmGeometry::vcu128().bits_per_pc(), (256u64 << 20) * 8);
+    }
+}

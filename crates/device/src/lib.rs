@@ -1,0 +1,65 @@
+//! Organizational model of an HBM2-enabled device.
+//!
+//! This crate models the memory side of the platform used by the DATE 2021
+//! study *"Understanding Power Consumption and Reliability of High-Bandwidth
+//! Memory with Voltage Underscaling"*: a Xilinx XCVU37P FPGA carrying two
+//! 4 GB HBM2 stacks. The model reproduces the organization the study's
+//! experiments depend on:
+//!
+//! - two stacks (`HBM0`, `HBM1`) of four stacked DRAM dies each;
+//! - 8 independent 128-bit **memory channels** per stack, each split into two
+//!   64-bit **pseudo channels** (PCs) with non-overlapping 256 MB arrays —
+//!   32 PCs in total;
+//! - 32 user-side 256-bit **AXI ports** (one per PC, 4:1 width ratio) with an
+//!   optional **switching network** that can route any port to any PC at a
+//!   bandwidth cost;
+//! - supply-voltage awareness with the study's crash semantics: the device
+//!   stops responding below a critical voltage and only a power cycle (which
+//!   loses DRAM content) revives it.
+//!
+//! The memory arrays are sparse and page-allocated, so a full-geometry device
+//! costs memory proportional to the footprint actually written. Experiments
+//! that walk entire arrays use a scaled [`HbmGeometry`].
+//!
+//! The crate is purely organizational: *fault* behaviour (reduced-voltage bit
+//! flips) is layered on top by the `hbm-faults` crate, and power behaviour by
+//! `hbm-power`, keeping each physical concern in its own crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use hbm_device::{HbmDevice, HbmGeometry, PcIndex, Word256, WordOffset};
+//!
+//! # fn main() -> Result<(), hbm_device::DeviceError> {
+//! let mut device = HbmDevice::new(HbmGeometry::vcu128());
+//! let pc = PcIndex::new(4)?;
+//! device.write_word(pc, WordOffset(0), Word256::ONES)?;
+//! assert_eq!(device.read_word(pc, WordOffset(0))?, Word256::ONES);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod address;
+mod array;
+mod axi;
+mod device;
+mod dram_timing;
+mod error;
+mod geometry;
+mod stack;
+mod timing;
+mod word;
+
+pub use address::{BankId, ChannelId, DecodedAddress, PcIndex, PortId, RowId, StackId, WordOffset};
+pub use array::MemoryArray;
+pub use axi::{AxiPort, PortSet, SwitchingNetwork};
+pub use device::{DeviceState, HbmDevice, CRASH_FLOOR, NOMINAL_SUPPLY};
+pub use dram_timing::{AccessPattern, AccessTimingModel, DramTimings};
+pub use error::DeviceError;
+pub use geometry::HbmGeometry;
+pub use stack::{HbmStack, MemoryChannel, PcStats, PseudoChannel};
+pub use timing::{BandwidthModel, ClockConfig};
+pub use word::Word256;

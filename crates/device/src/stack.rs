@@ -1,0 +1,263 @@
+//! The memory-side hierarchy: pseudo channels, 128-bit memory channels and
+//! whole HBM stacks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::{ChannelId, PcIndex, StackId, WordOffset};
+use crate::array::MemoryArray;
+use crate::error::DeviceError;
+use crate::geometry::HbmGeometry;
+use crate::word::Word256;
+
+/// Access counters for one pseudo channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PcStats {
+    /// Number of word reads served.
+    pub reads: u64,
+    /// Number of word writes served.
+    pub writes: u64,
+}
+
+impl PcStats {
+    /// Total accesses (reads + writes).
+    #[must_use]
+    pub fn total(self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// A 64-bit pseudo channel: the smallest independently addressable memory
+/// unit of the HBM stack, owning a non-overlapping array (256 MB at full
+/// scale).
+#[derive(Debug, Clone)]
+pub struct PseudoChannel {
+    index: PcIndex,
+    array: MemoryArray,
+    stats: PcStats,
+}
+
+impl PseudoChannel {
+    /// Creates the pseudo channel at global index `index`.
+    #[must_use]
+    pub fn new(index: PcIndex, geometry: HbmGeometry) -> Self {
+        PseudoChannel {
+            index,
+            array: MemoryArray::new(geometry.words_per_pc()),
+            stats: PcStats::default(),
+        }
+    }
+
+    /// The global index of this pseudo channel.
+    #[must_use]
+    pub fn index(&self) -> PcIndex {
+        self.index
+    }
+
+    /// Reads one AXI word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::AddressOutOfRange`] for offsets beyond the
+    /// channel capacity.
+    pub fn read(&mut self, offset: WordOffset) -> Result<Word256, DeviceError> {
+        let word = self.array.read(offset)?;
+        self.stats.reads += 1;
+        Ok(word)
+    }
+
+    /// Reads one AXI word without recording activity (for inspection by
+    /// analysis passes that must not perturb statistics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::AddressOutOfRange`] for offsets beyond the
+    /// channel capacity.
+    pub fn peek(&self, offset: WordOffset) -> Result<Word256, DeviceError> {
+        self.array.read(offset)
+    }
+
+    /// Writes one AXI word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::AddressOutOfRange`] for offsets beyond the
+    /// channel capacity.
+    pub fn write(&mut self, offset: WordOffset, word: Word256) -> Result<(), DeviceError> {
+        self.array.write(offset, word)?;
+        self.stats.writes += 1;
+        Ok(())
+    }
+
+    /// Access counters.
+    #[must_use]
+    pub fn stats(&self) -> PcStats {
+        self.stats
+    }
+
+    /// Resets the access counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = PcStats::default();
+    }
+
+    /// The backing array (diagnostics).
+    #[must_use]
+    pub fn array(&self) -> &MemoryArray {
+        &self.array
+    }
+
+    /// Discards contents, modelling loss of DRAM state at power-down.
+    pub fn clear(&mut self) {
+        self.array.clear();
+    }
+}
+
+/// A 128-bit memory channel: two pseudo channels sharing clock and command
+/// wiring but with separate data buses and non-overlapping arrays.
+#[derive(Debug, Clone)]
+pub struct MemoryChannel {
+    id: ChannelId,
+    pcs: Vec<PseudoChannel>,
+}
+
+impl MemoryChannel {
+    /// Creates channel `id` of stack `stack`, allocating its pseudo channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stack`/`id` exceed the geometry (internal construction is
+    /// always in range).
+    #[must_use]
+    pub fn new(geometry: HbmGeometry, stack: StackId, id: ChannelId) -> Self {
+        let pcs = (0..geometry.pcs_per_channel())
+            .map(|i| {
+                let index = PcIndex::compose(geometry, stack, id, i)
+                    .expect("channel construction within geometry");
+                PseudoChannel::new(index, geometry)
+            })
+            .collect();
+        MemoryChannel { id, pcs }
+    }
+
+    /// Channel id within its stack.
+    #[must_use]
+    pub fn id(&self) -> ChannelId {
+        self.id
+    }
+
+    /// The pseudo channels of this channel.
+    #[must_use]
+    pub fn pseudo_channels(&self) -> &[PseudoChannel] {
+        &self.pcs
+    }
+
+    /// Mutable access to the pseudo channels.
+    pub fn pseudo_channels_mut(&mut self) -> &mut [PseudoChannel] {
+        &mut self.pcs
+    }
+}
+
+/// One HBM stack: several DRAM dies presenting 8 independent memory
+/// channels (16 pseudo channels, 4 GB at full scale).
+#[derive(Debug, Clone)]
+pub struct HbmStack {
+    id: StackId,
+    channels: Vec<MemoryChannel>,
+}
+
+impl HbmStack {
+    /// Creates stack `id` under `geometry`.
+    #[must_use]
+    pub fn new(geometry: HbmGeometry, id: StackId) -> Self {
+        let channels = (0..geometry.channels_per_stack())
+            .map(|c| MemoryChannel::new(geometry, id, ChannelId(c)))
+            .collect();
+        HbmStack { id, channels }
+    }
+
+    /// The stack id.
+    #[must_use]
+    pub fn id(&self) -> StackId {
+        self.id
+    }
+
+    /// The memory channels of this stack.
+    #[must_use]
+    pub fn channels(&self) -> &[MemoryChannel] {
+        &self.channels
+    }
+
+    /// Mutable access to the memory channels.
+    pub fn channels_mut(&mut self) -> &mut [MemoryChannel] {
+        &mut self.channels
+    }
+
+    /// Iterates over all pseudo channels of the stack in global-index order.
+    pub fn pseudo_channels(&self) -> impl Iterator<Item = &PseudoChannel> {
+        self.channels.iter().flat_map(|c| c.pseudo_channels().iter())
+    }
+
+    /// Mutable iteration over all pseudo channels of the stack.
+    pub fn pseudo_channels_mut(&mut self) -> impl Iterator<Item = &mut PseudoChannel> {
+        self.channels
+            .iter_mut()
+            .flat_map(|c| c.pseudo_channels_mut().iter_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_construction_covers_all_pcs() {
+        let g = HbmGeometry::vcu128();
+        let stack0 = HbmStack::new(g, StackId(0));
+        let indices: Vec<u8> = stack0.pseudo_channels().map(|pc| pc.index().as_u8()).collect();
+        assert_eq!(indices, (0..16).collect::<Vec<_>>());
+
+        let stack1 = HbmStack::new(g, StackId(1));
+        let indices: Vec<u8> = stack1.pseudo_channels().map(|pc| pc.index().as_u8()).collect();
+        assert_eq!(indices, (16..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pc_read_write_and_stats() {
+        let g = HbmGeometry::vcu128_reduced();
+        let mut pc = PseudoChannel::new(PcIndex::new(3).unwrap(), g);
+        pc.write(WordOffset(7), Word256::ONES).unwrap();
+        assert_eq!(pc.read(WordOffset(7)).unwrap(), Word256::ONES);
+        assert_eq!(pc.stats(), PcStats { reads: 1, writes: 1 });
+        assert_eq!(pc.stats().total(), 2);
+        pc.reset_stats();
+        assert_eq!(pc.stats().total(), 0);
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let g = HbmGeometry::vcu128_reduced();
+        let mut pc = PseudoChannel::new(PcIndex::new(0).unwrap(), g);
+        pc.write(WordOffset(0), Word256::ONES).unwrap();
+        assert_eq!(pc.peek(WordOffset(0)).unwrap(), Word256::ONES);
+        assert_eq!(pc.stats().reads, 0);
+    }
+
+    #[test]
+    fn clear_loses_content() {
+        let g = HbmGeometry::vcu128_reduced();
+        let mut pc = PseudoChannel::new(PcIndex::new(0).unwrap(), g);
+        pc.write(WordOffset(0), Word256::ONES).unwrap();
+        pc.clear();
+        assert_eq!(pc.read(WordOffset(0)).unwrap(), Word256::ZERO);
+    }
+
+    #[test]
+    fn channel_has_independent_pcs() {
+        let g = HbmGeometry::vcu128_reduced();
+        let mut ch = MemoryChannel::new(g, StackId(0), ChannelId(0));
+        let [pc0, pc1] = ch.pseudo_channels_mut() else {
+            panic!("expected two pseudo channels");
+        };
+        pc0.write(WordOffset(0), Word256::ONES).unwrap();
+        assert_eq!(pc1.read(WordOffset(0)).unwrap(), Word256::ZERO);
+    }
+}

@@ -1,0 +1,284 @@
+//! Clocking and bandwidth model.
+//!
+//! The study's platform clocks the memory arrays at 900 MHz; as double data
+//! rate memory that is 1800 mega-transfers per second on each 64-bit pseudo
+//! channel. The 256-bit AXI ports run at a quarter of the transfer rate
+//! (450 MHz) thanks to the 4:1 width ratio and still saturate the memory.
+//!
+//! Three bandwidth figures matter and all appear in the paper:
+//!
+//! - the raw pin bandwidth, 32 PCs × 8 B × 1800 MT/s = 460.8 GB/s;
+//! - the datasheet combined peak of the VCU128, 429 GB/s (refresh and
+//!   protocol overhead);
+//! - the 310 GB/s the authors actually reach with their traffic generators.
+
+use hbm_units::{GigabytesPerSecond, Megahertz, Ratio};
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::HbmGeometry;
+
+/// Memory and fabric clocking of the platform.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_device::ClockConfig;
+///
+/// let clock = ClockConfig::vcu128();
+/// assert_eq!(clock.memory_clock().0, 900.0);
+/// assert_eq!(clock.data_rate_mts(), 1800.0);
+/// assert_eq!(clock.axi_clock().0, 450.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClockConfig {
+    memory_clock: Megahertz,
+}
+
+impl ClockConfig {
+    /// The study's configuration: 900 MHz memory clock.
+    #[must_use]
+    pub fn vcu128() -> Self {
+        ClockConfig {
+            memory_clock: Megahertz(900.0),
+        }
+    }
+
+    /// Creates a custom memory clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock is not positive and finite.
+    #[must_use]
+    pub fn new(memory_clock: Megahertz) -> Self {
+        assert!(
+            memory_clock.is_finite() && memory_clock.0 > 0.0,
+            "memory clock must be positive, got {memory_clock}"
+        );
+        ClockConfig { memory_clock }
+    }
+
+    /// The memory array clock.
+    #[must_use]
+    pub fn memory_clock(self) -> Megahertz {
+        self.memory_clock
+    }
+
+    /// Data transfer rate in mega-transfers per second (double data rate).
+    #[must_use]
+    pub fn data_rate_mts(self) -> f64 {
+        self.memory_clock.0 * 2.0
+    }
+
+    /// The AXI port clock: a quarter of the data rate, exploiting the 4:1
+    /// port-to-PC width ratio.
+    #[must_use]
+    pub fn axi_clock(self) -> Megahertz {
+        Megahertz(self.data_rate_mts() / 4.0)
+    }
+}
+
+impl Default for ClockConfig {
+    fn default() -> Self {
+        ClockConfig::vcu128()
+    }
+}
+
+/// Datasheet derate from raw pin bandwidth: 429 GB/s combined peak quoted
+/// for the VCU128 out of 460.8 GB/s raw.
+const DATASHEET_DERATE: f64 = 429.0 / 460.8;
+
+/// Traffic-generator efficiency the study achieves: 310 GB/s of the
+/// 429 GB/s datasheet peak.
+const TG_EFFICIENCY: f64 = 310.0 / 429.0;
+
+/// Analytic bandwidth model of the platform.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_device::{BandwidthModel, ClockConfig, HbmGeometry};
+///
+/// let bw = BandwidthModel::vcu128();
+/// assert!((bw.raw_peak().0 - 460.8).abs() < 1e-9);
+/// assert!((bw.datasheet_peak().0 - 429.0).abs() < 1e-9);
+/// assert!((bw.achieved_peak().0 - 310.0).abs() < 1e-9);
+///
+/// // Half the ports give half the bandwidth; undervolting does not change it.
+/// assert!((bw.achieved(16, 1.0).0 - 155.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthModel {
+    geometry: HbmGeometry,
+    clock: ClockConfig,
+    datasheet_derate: f64,
+    tg_efficiency: f64,
+}
+
+impl BandwidthModel {
+    /// The study's platform model (full-scale VCU128 geometry and clocks).
+    #[must_use]
+    pub fn vcu128() -> Self {
+        BandwidthModel::new(HbmGeometry::vcu128(), ClockConfig::vcu128())
+    }
+
+    /// Creates a bandwidth model for a geometry and clock configuration with
+    /// the study's derate/efficiency figures.
+    #[must_use]
+    pub fn new(geometry: HbmGeometry, clock: ClockConfig) -> Self {
+        BandwidthModel {
+            geometry,
+            clock,
+            datasheet_derate: DATASHEET_DERATE,
+            tg_efficiency: TG_EFFICIENCY,
+        }
+    }
+
+    /// Overrides the traffic-generator efficiency (achieved / datasheet).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `efficiency` is in `(0, 1]`.
+    #[must_use]
+    pub fn with_tg_efficiency(mut self, efficiency: f64) -> Self {
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency must be in (0, 1], got {efficiency}"
+        );
+        self.tg_efficiency = efficiency;
+        self
+    }
+
+    /// Raw pin bandwidth: every pseudo channel moving 8 bytes per transfer.
+    #[must_use]
+    pub fn raw_peak(&self) -> GigabytesPerSecond {
+        let bytes_per_sec = f64::from(self.geometry.total_pcs())
+            * 8.0
+            * self.clock.data_rate_mts()
+            * 1.0e6;
+        GigabytesPerSecond(bytes_per_sec / 1.0e9)
+    }
+
+    /// Combined theoretical peak after refresh/protocol overhead
+    /// (429 GB/s on the study platform).
+    #[must_use]
+    pub fn datasheet_peak(&self) -> GigabytesPerSecond {
+        self.raw_peak() * self.datasheet_derate
+    }
+
+    /// Peak bandwidth the traffic generators actually achieve with all
+    /// ports enabled (310 GB/s in the study).
+    #[must_use]
+    pub fn achieved_peak(&self) -> GigabytesPerSecond {
+        self.datasheet_peak() * self.tg_efficiency
+    }
+
+    /// Achieved bandwidth with `enabled_ports` ports running flat out and a
+    /// switching-network derate factor (1.0 when the switch is disabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `enabled_ports` exceeds the geometry's port count.
+    #[must_use]
+    pub fn achieved(&self, enabled_ports: usize, switch_derate: f64) -> GigabytesPerSecond {
+        let total = usize::from(self.geometry.total_pcs());
+        assert!(
+            enabled_ports <= total,
+            "enabled_ports {enabled_ports} exceeds total ports {total}"
+        );
+        self.achieved_peak() * (enabled_ports as f64 / total as f64) * switch_derate
+    }
+
+    /// Bandwidth utilization ratio for a port count (8 ports → 25 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `enabled_ports` exceeds the geometry's port count.
+    #[must_use]
+    pub fn utilization(&self, enabled_ports: usize) -> Ratio {
+        let total = usize::from(self.geometry.total_pcs());
+        assert!(
+            enabled_ports <= total,
+            "enabled_ports {enabled_ports} exceeds total ports {total}"
+        );
+        Ratio(enabled_ports as f64 / total as f64)
+    }
+}
+
+impl Default for BandwidthModel {
+    fn default() -> Self {
+        BandwidthModel::vcu128()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_figures_match_paper() {
+        let clock = ClockConfig::vcu128();
+        assert_eq!(clock.memory_clock(), Megahertz(900.0));
+        assert_eq!(clock.data_rate_mts(), 1800.0);
+        assert_eq!(clock.axi_clock(), Megahertz(450.0));
+    }
+
+    #[test]
+    fn bandwidth_figures_match_paper() {
+        let bw = BandwidthModel::vcu128();
+        assert!((bw.raw_peak().0 - 460.8).abs() < 1e-9);
+        assert!((bw.datasheet_peak().0 - 429.0).abs() < 1e-9);
+        assert!((bw.achieved_peak().0 - 310.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_scales_with_ports() {
+        let bw = BandwidthModel::vcu128();
+        assert!((bw.achieved(8, 1.0).0 - 77.5).abs() < 1e-9);
+        assert!((bw.achieved(16, 1.0).0 - 155.0).abs() < 1e-9);
+        assert!((bw.achieved(24, 1.0).0 - 232.5).abs() < 1e-9);
+        assert_eq!(bw.achieved(0, 1.0), GigabytesPerSecond::ZERO);
+    }
+
+    #[test]
+    fn switch_derate_reduces_bandwidth() {
+        let bw = BandwidthModel::vcu128();
+        let direct = bw.achieved(32, 1.0);
+        let switched = bw.achieved(32, 0.8);
+        assert!((switched.0 - direct.0 * 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_steps() {
+        let bw = BandwidthModel::vcu128();
+        assert_eq!(bw.utilization(0), Ratio(0.0));
+        assert_eq!(bw.utilization(8), Ratio(0.25));
+        assert_eq!(bw.utilization(16), Ratio(0.5));
+        assert_eq!(bw.utilization(24), Ratio(0.75));
+        assert_eq!(bw.utilization(32), Ratio(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds total ports")]
+    fn too_many_ports_rejected() {
+        let _ = BandwidthModel::vcu128().achieved(33, 1.0);
+    }
+
+    #[test]
+    fn efficiency_override() {
+        let bw = BandwidthModel::vcu128().with_tg_efficiency(1.0);
+        assert!((bw.achieved_peak().0 - 429.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1]")]
+    fn bad_efficiency_rejected() {
+        let _ = BandwidthModel::vcu128().with_tg_efficiency(0.0);
+    }
+
+    #[test]
+    fn reduced_geometry_same_bandwidth() {
+        // Bandwidth depends on organization (PC count), not capacity.
+        let reduced = BandwidthModel::new(HbmGeometry::vcu128_reduced(), ClockConfig::vcu128());
+        assert_eq!(reduced.achieved_peak(), BandwidthModel::vcu128().achieved_peak());
+    }
+}

@@ -1,0 +1,283 @@
+//! The 256-bit AXI word: the user-side access granularity of the HBM IP.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+use serde::{Deserialize, Serialize};
+
+/// A 256-bit AXI data word, stored as four little-endian 64-bit lanes.
+///
+/// Every user-side access to the modelled HBM moves one `Word256` — the same
+/// 256-bit granularity as the AXI ports of the Xilinx HBM IP core.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_device::Word256;
+///
+/// let written = Word256::ONES;
+/// let observed = written.with_bit_cleared(200);
+/// // One 1→0 flip, no 0→1 flips:
+/// assert_eq!(observed.flips_from(written), (1, 0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Word256(pub [u64; 4]);
+
+impl Word256 {
+    /// Number of bits in a word.
+    pub const BITS: u32 = 256;
+
+    /// The all-zeros word.
+    pub const ZERO: Word256 = Word256([0; 4]);
+
+    /// The all-ones word.
+    pub const ONES: Word256 = Word256([u64::MAX; 4]);
+
+    /// Builds a word by repeating a 64-bit lane four times.
+    ///
+    /// ```
+    /// use hbm_device::Word256;
+    /// let cb = Word256::splat(0xAAAA_AAAA_AAAA_AAAA);
+    /// assert_eq!(cb.count_ones(), 128);
+    /// ```
+    #[must_use]
+    pub fn splat(lane: u64) -> Self {
+        Word256([lane; 4])
+    }
+
+    /// Reads bit `i` (0 = least-significant bit of lane 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 256`.
+    #[must_use]
+    pub fn bit(self, i: u32) -> bool {
+        assert!(i < Self::BITS, "bit index {i} out of range");
+        (self.0[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Returns a copy with bit `i` set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 256`.
+    #[must_use]
+    pub fn with_bit_set(mut self, i: u32) -> Self {
+        assert!(i < Self::BITS, "bit index {i} out of range");
+        self.0[(i / 64) as usize] |= 1 << (i % 64);
+        self
+    }
+
+    /// Returns a copy with bit `i` cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 256`.
+    #[must_use]
+    pub fn with_bit_cleared(mut self, i: u32) -> Self {
+        assert!(i < Self::BITS, "bit index {i} out of range");
+        self.0[(i / 64) as usize] &= !(1 << (i % 64));
+        self
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count_ones(self) -> u32 {
+        self.0.iter().map(|lane| lane.count_ones()).sum()
+    }
+
+    /// Number of clear bits.
+    #[must_use]
+    pub fn count_zeros(self) -> u32 {
+        Self::BITS - self.count_ones()
+    }
+
+    /// Number of bits that differ from `other`.
+    #[must_use]
+    pub fn diff_bits(self, other: Word256) -> u32 {
+        (self ^ other).count_ones()
+    }
+
+    /// Classifies the bit flips in `self` (the *observed* word) relative to
+    /// `expected` (the word that was written), returning
+    /// `(ones_to_zeros, zeros_to_ones)`.
+    ///
+    /// A `1→0` flip is a position where `expected` holds 1 but `self` holds
+    /// 0; a `0→1` flip is the converse — the two fault polarities that the
+    /// study characterizes separately.
+    #[must_use]
+    pub fn flips_from(self, expected: Word256) -> (u32, u32) {
+        let ones_to_zeros = (expected & !self).count_ones();
+        let zeros_to_ones = (!expected & self).count_ones();
+        (ones_to_zeros, zeros_to_ones)
+    }
+
+    /// Applies stuck-at faults: bits set in `stuck0` read as 0 and bits set
+    /// in `stuck1` read as 1, regardless of the stored value.
+    ///
+    /// Where both masks overlap, stuck-at-1 wins (an arbitrary but fixed
+    /// convention; the fault model never produces overlapping masks).
+    #[must_use]
+    pub fn with_stuck_bits(self, stuck0: Word256, stuck1: Word256) -> Word256 {
+        (self & !stuck0) | stuck1
+    }
+
+    /// `true` if no bits are set.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self == Self::ZERO
+    }
+}
+
+impl fmt::Display for Word256 {
+    /// Hexadecimal, most-significant lane first.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:016x}{:016x}{:016x}{:016x}",
+            self.0[3], self.0[2], self.0[1], self.0[0]
+        )
+    }
+}
+
+impl fmt::LowerHex for Word256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl BitAnd for Word256 {
+    type Output = Word256;
+    fn bitand(self, rhs: Word256) -> Word256 {
+        Word256([
+            self.0[0] & rhs.0[0],
+            self.0[1] & rhs.0[1],
+            self.0[2] & rhs.0[2],
+            self.0[3] & rhs.0[3],
+        ])
+    }
+}
+
+impl BitOr for Word256 {
+    type Output = Word256;
+    fn bitor(self, rhs: Word256) -> Word256 {
+        Word256([
+            self.0[0] | rhs.0[0],
+            self.0[1] | rhs.0[1],
+            self.0[2] | rhs.0[2],
+            self.0[3] | rhs.0[3],
+        ])
+    }
+}
+
+impl BitXor for Word256 {
+    type Output = Word256;
+    fn bitxor(self, rhs: Word256) -> Word256 {
+        Word256([
+            self.0[0] ^ rhs.0[0],
+            self.0[1] ^ rhs.0[1],
+            self.0[2] ^ rhs.0[2],
+            self.0[3] ^ rhs.0[3],
+        ])
+    }
+}
+
+impl Not for Word256 {
+    type Output = Word256;
+    fn not(self) -> Word256 {
+        Word256([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(Word256::ZERO.count_ones(), 0);
+        assert_eq!(Word256::ONES.count_ones(), 256);
+        assert!(Word256::ZERO.is_zero());
+        assert!(!Word256::ONES.is_zero());
+    }
+
+    #[test]
+    fn bit_get_set_clear() {
+        let w = Word256::ZERO.with_bit_set(0).with_bit_set(63).with_bit_set(64).with_bit_set(255);
+        assert!(w.bit(0) && w.bit(63) && w.bit(64) && w.bit(255));
+        assert!(!w.bit(1) && !w.bit(128));
+        assert_eq!(w.count_ones(), 4);
+        let w = w.with_bit_cleared(64);
+        assert!(!w.bit(64));
+        assert_eq!(w.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_index_bounds_checked() {
+        let _ = Word256::ZERO.bit(256);
+    }
+
+    #[test]
+    fn flip_classification() {
+        let expected = Word256::splat(0xF0F0_F0F0_F0F0_F0F0);
+        // Clear one expected-1 bit and set one expected-0 bit.
+        let observed = expected.with_bit_cleared(7).with_bit_set(0);
+        assert!(expected.bit(7) && !expected.bit(0));
+        let (f10, f01) = observed.flips_from(expected);
+        assert_eq!((f10, f01), (1, 1));
+
+        // All-ones written, all-zeros observed: 256 1→0 flips.
+        assert_eq!(Word256::ZERO.flips_from(Word256::ONES), (256, 0));
+        // All-zeros written, all-ones observed: 256 0→1 flips.
+        assert_eq!(Word256::ONES.flips_from(Word256::ZERO), (0, 256));
+        // No flips.
+        assert_eq!(expected.flips_from(expected), (0, 0));
+    }
+
+    #[test]
+    fn stuck_bits_apply() {
+        let stored = Word256::splat(0x00FF_00FF_00FF_00FF);
+        let stuck0 = Word256::ZERO.with_bit_set(0); // bit 0 stuck at 0 (stored 1)
+        let stuck1 = Word256::ZERO.with_bit_set(8); // bit 8 stuck at 1 (stored 0)
+        let observed = stored.with_stuck_bits(stuck0, stuck1);
+        assert!(!observed.bit(0));
+        assert!(observed.bit(8));
+        assert_eq!(observed.diff_bits(stored), 2);
+    }
+
+    #[test]
+    fn stuck1_wins_overlap() {
+        let mask = Word256::ZERO.with_bit_set(5);
+        let observed = Word256::ZERO.with_stuck_bits(mask, mask);
+        assert!(observed.bit(5));
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let a = Word256::splat(0xFF00);
+        let b = Word256::splat(0x0FF0);
+        assert_eq!(a & b, Word256::splat(0x0F00));
+        assert_eq!(a | b, Word256::splat(0xFFF0));
+        assert_eq!(a ^ b, Word256::splat(0xF0F0));
+        assert_eq!(!Word256::ZERO, Word256::ONES);
+    }
+
+    #[test]
+    fn display_hex() {
+        let w = Word256([1, 0, 0, 0]);
+        assert_eq!(
+            w.to_string(),
+            "0000000000000000000000000000000000000000000000000000000000000001"
+        );
+        assert_eq!(format!("{w:x}"), w.to_string());
+    }
+
+    #[test]
+    fn diff_bits_symmetry() {
+        let a = Word256::splat(0xDEAD_BEEF);
+        let b = Word256::splat(0x1234_5678);
+        assert_eq!(a.diff_bits(b), b.diff_bits(a));
+        assert_eq!(a.diff_bits(a), 0);
+    }
+}

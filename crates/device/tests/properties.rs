@@ -1,0 +1,121 @@
+//! Property-based tests for the device crate's core invariants.
+
+use hbm_device::{
+    DecodedAddress, HbmDevice, HbmGeometry, MemoryArray, PcIndex, PortId, Word256, WordOffset,
+};
+use proptest::prelude::*;
+
+fn arb_geometry() -> impl Strategy<Value = HbmGeometry> {
+    // Organization fixed at the VCU128 shape; capacity scaled by powers of two.
+    (0u32..=14).prop_map(|log2| HbmGeometry::vcu128().scaled(1 << log2))
+}
+
+fn arb_word() -> impl Strategy<Value = Word256> {
+    any::<[u64; 4]>().prop_map(Word256)
+}
+
+proptest! {
+    /// decode(encode(x)) == x for every in-range word offset.
+    #[test]
+    fn address_decode_encode_bijective(
+        geometry in arb_geometry(),
+        raw in any::<u64>(),
+    ) {
+        let offset = WordOffset(raw % geometry.words_per_pc());
+        let decoded = offset.decode(geometry);
+        prop_assert_eq!(decoded.encode(geometry), offset);
+    }
+
+    /// Every decoded field is within the geometry bounds.
+    #[test]
+    fn decoded_fields_in_bounds(
+        geometry in arb_geometry(),
+        raw in any::<u64>(),
+    ) {
+        let offset = WordOffset(raw % geometry.words_per_pc());
+        let DecodedAddress { bank, row, col } = offset.decode(geometry);
+        prop_assert!(u32::from(bank.0) < u32::from(geometry.banks_per_pc()));
+        prop_assert!(row.0 < geometry.rows_per_bank());
+        prop_assert!(col < geometry.words_per_row());
+    }
+
+    /// Distinct offsets decode to distinct addresses (injectivity).
+    #[test]
+    fn distinct_offsets_decode_distinct(
+        geometry in arb_geometry(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let a = WordOffset(a % geometry.words_per_pc());
+        let b = WordOffset(b % geometry.words_per_pc());
+        prop_assume!(a != b);
+        prop_assert_ne!(a.decode(geometry), b.decode(geometry));
+    }
+
+    /// An array returns the most recent write, and untouched neighbours stay
+    /// zero.
+    #[test]
+    fn array_read_your_writes(
+        writes in prop::collection::vec((0u64..8192, arb_word()), 1..64),
+        probe in 0u64..8192,
+    ) {
+        let mut array = MemoryArray::new(8192);
+        let mut expected = std::collections::HashMap::new();
+        for (offset, word) in &writes {
+            array.write(WordOffset(*offset), *word).unwrap();
+            expected.insert(*offset, *word);
+        }
+        for (offset, word) in &expected {
+            prop_assert_eq!(array.read(WordOffset(*offset)).unwrap(), *word);
+        }
+        if !expected.contains_key(&probe) {
+            prop_assert_eq!(array.read(WordOffset(probe)).unwrap(), Word256::ZERO);
+        }
+    }
+
+    /// Flip classification is conservative: counts sum to the XOR popcount
+    /// and invert when expected/observed swap roles.
+    #[test]
+    fn flip_classification_consistent(expected in arb_word(), observed in arb_word()) {
+        let (f10, f01) = observed.flips_from(expected);
+        prop_assert_eq!(f10 + f01, observed.diff_bits(expected));
+        let (r10, r01) = expected.flips_from(observed);
+        prop_assert_eq!((f10, f01), (r01, r10));
+    }
+
+    /// Stuck-bit application is idempotent and forces exactly the mask bits.
+    #[test]
+    fn stuck_bits_idempotent(
+        stored in arb_word(),
+        stuck0 in arb_word(),
+        stuck1 in arb_word(),
+    ) {
+        let once = stored.with_stuck_bits(stuck0, stuck1);
+        let twice = once.with_stuck_bits(stuck0, stuck1);
+        prop_assert_eq!(once, twice);
+        // Bits in stuck1 always read 1; bits in stuck0-only always read 0.
+        prop_assert_eq!(once & stuck1, stuck1);
+        prop_assert_eq!(once & (stuck0 & !stuck1), Word256::ZERO);
+    }
+
+    /// AXI writes land on exactly one pseudo channel.
+    #[test]
+    fn axi_writes_isolated(
+        port_index in 0u8..32,
+        offset in 0u64..1024,
+        word in arb_word(),
+    ) {
+        let geometry = HbmGeometry::vcu128().scaled(1 << 10);
+        let mut device = HbmDevice::new(geometry);
+        let port = PortId::new(port_index).unwrap();
+        device.axi_write(port, WordOffset(offset), word).unwrap();
+        for pc in PcIndex::all(geometry) {
+            let read = device.read_word(pc, WordOffset(offset)).unwrap();
+            if pc.as_u8() == port_index {
+                prop_assert_eq!(read, word);
+            } else {
+                prop_assert_eq!(read, Word256::ZERO);
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! SEC-DED Hamming (72,64): the extended Hamming code protecting each
+//! 64-bit lane with 8 check bits, as server DRAM does.
+//!
+//! The code corrects any single bit flip per lane and detects any double
+//! flip — a good match for undervolting faults near the onset, where flips
+//! are sparse and spatially independent at lane granularity.
+
+use serde::{Deserialize, Serialize};
+
+/// Codeword-position tables: data bit `i` lives at the `i`-th
+/// non-power-of-two position in `1..=71`; the seven Hamming parity bits
+/// occupy positions 1, 2, 4, 8, 16, 32, 64.
+const fn build_tables() -> ([u8; 64], [i8; 72]) {
+    let mut pos_of_data = [0u8; 64];
+    let mut data_of_pos = [-1i8; 72];
+    let mut pos = 1u8;
+    let mut i = 0;
+    while i < 64 {
+        if pos.count_ones() != 1 {
+            pos_of_data[i] = pos;
+            data_of_pos[pos as usize] = i as i8;
+            i += 1;
+        }
+        pos += 1;
+    }
+    (pos_of_data, data_of_pos)
+}
+
+const TABLES: ([u8; 64], [i8; 72]) = build_tables();
+const POS_OF_DATA: [u8; 64] = TABLES.0;
+const DATA_OF_POS: [i8; 72] = TABLES.1;
+
+/// Result of decoding one lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DecodeOutcome {
+    /// No error: the data as stored.
+    Clean(u64),
+    /// A single bit error (in the data, the check bits or the overall
+    /// parity) was corrected; the payload is the corrected data.
+    Corrected(u64),
+    /// An uncorrectable error (two or more flips) was detected; the payload
+    /// is the raw, possibly corrupt data.
+    Detected(u64),
+}
+
+impl DecodeOutcome {
+    /// The best-effort data regardless of outcome.
+    #[must_use]
+    pub fn data(self) -> u64 {
+        match self {
+            DecodeOutcome::Clean(d) | DecodeOutcome::Corrected(d) | DecodeOutcome::Detected(d) => {
+                d
+            }
+        }
+    }
+
+    /// `true` unless the outcome is a detected uncorrectable error.
+    #[must_use]
+    pub fn is_reliable(self) -> bool {
+        !matches!(self, DecodeOutcome::Detected(_))
+    }
+}
+
+/// The SEC-DED (72,64) codec.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_ecc::{DecodeOutcome, Hamming7264};
+///
+/// let data = 0xDEAD_BEEF_CAFE_F00D;
+/// let check = Hamming7264::encode(data);
+///
+/// // A single flip anywhere in the data is corrected.
+/// let corrupted = data ^ (1 << 17);
+/// assert_eq!(Hamming7264::decode(corrupted, check), DecodeOutcome::Corrected(data));
+///
+/// // Two flips are detected, not miscorrected.
+/// let corrupted = data ^ 0b11;
+/// assert_eq!(Hamming7264::decode(corrupted, check), DecodeOutcome::Detected(corrupted));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Hamming7264;
+
+impl Hamming7264 {
+    /// Number of check bits per 64-bit lane.
+    pub const CHECK_BITS: u32 = 8;
+
+    /// Computes the 7 Hamming check bits of a data word: the XOR of the
+    /// codeword positions of its set bits.
+    fn hamming_bits(data: u64) -> u8 {
+        let mut check = 0u8;
+        let mut remaining = data;
+        while remaining != 0 {
+            let i = remaining.trailing_zeros() as usize;
+            check ^= POS_OF_DATA[i];
+            remaining &= remaining - 1;
+        }
+        check
+    }
+
+    /// Encodes a data lane, returning its 8 check bits (7 Hamming + 1
+    /// overall parity in the top bit).
+    #[must_use]
+    pub fn encode(data: u64) -> u8 {
+        let hamming = Self::hamming_bits(data);
+        let overall = ((data.count_ones() + u32::from(hamming).count_ones()) & 1) as u8;
+        hamming | (overall << 7)
+    }
+
+    /// Decodes a possibly corrupted `(data, check)` pair.
+    #[must_use]
+    pub fn decode(data: u64, check: u8) -> DecodeOutcome {
+        let stored_hamming = check & 0x7F;
+        let stored_overall = check >> 7;
+        let syndrome = Self::hamming_bits(data) ^ stored_hamming;
+        let computed_overall =
+            ((data.count_ones() + u32::from(stored_hamming).count_ones()) & 1) as u8;
+        let parity_mismatch = computed_overall != stored_overall;
+
+        match (syndrome, parity_mismatch) {
+            (0, false) => DecodeOutcome::Clean(data),
+            // Only the overall parity bit flipped; data intact.
+            (0, true) => DecodeOutcome::Corrected(data),
+            (s, true) => {
+                let s = s as usize;
+                if s < DATA_OF_POS.len() {
+                    let mapped = DATA_OF_POS[s];
+                    if mapped >= 0 {
+                        // Single data-bit error.
+                        return DecodeOutcome::Corrected(data ^ (1u64 << mapped));
+                    }
+                    if (s as u8).count_ones() == 1 {
+                        // Single check-bit error; data intact.
+                        return DecodeOutcome::Corrected(data);
+                    }
+                }
+                // Syndrome points outside the codeword: ≥2 flips.
+                DecodeOutcome::Detected(data)
+            }
+            // Non-zero syndrome with matching overall parity: double error.
+            (_, false) => DecodeOutcome::Detected(data),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLES: [u64; 6] = [
+        0,
+        u64::MAX,
+        0xDEAD_BEEF_CAFE_F00D,
+        0x0123_4567_89AB_CDEF,
+        1,
+        1 << 63,
+    ];
+
+    #[test]
+    fn position_tables_are_consistent() {
+        // 64 data positions, none a power of two, all within 3..=71.
+        for (i, &pos) in POS_OF_DATA.iter().enumerate() {
+            assert!(pos >= 3 && pos <= 71);
+            assert_ne!(pos.count_ones(), 1, "data position {pos} is a parity slot");
+            assert_eq!(DATA_OF_POS[pos as usize], i as i8);
+        }
+        // Parity positions map to no data bit.
+        for p in [1usize, 2, 4, 8, 16, 32, 64] {
+            assert_eq!(DATA_OF_POS[p], -1);
+        }
+    }
+
+    #[test]
+    fn clean_round_trip() {
+        for &data in &SAMPLES {
+            let check = Hamming7264::encode(data);
+            assert_eq!(Hamming7264::decode(data, check), DecodeOutcome::Clean(data));
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_data_bit_flip() {
+        for &data in &SAMPLES {
+            let check = Hamming7264::encode(data);
+            for bit in 0..64 {
+                let corrupted = data ^ (1u64 << bit);
+                assert_eq!(
+                    Hamming7264::decode(corrupted, check),
+                    DecodeOutcome::Corrected(data),
+                    "data {data:#x} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_check_bit_flip() {
+        for &data in &SAMPLES {
+            let check = Hamming7264::encode(data);
+            for bit in 0..8 {
+                let corrupted_check = check ^ (1u8 << bit);
+                let outcome = Hamming7264::decode(data, corrupted_check);
+                assert_eq!(outcome, DecodeOutcome::Corrected(data), "check bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn detects_every_double_data_bit_flip() {
+        // Exhaustive over all 64×63/2 data-bit pairs for one payload.
+        let data = 0xA5A5_5A5A_0F0F_F0F0u64;
+        let check = Hamming7264::encode(data);
+        for a in 0..64 {
+            for b in (a + 1)..64 {
+                let corrupted = data ^ (1u64 << a) ^ (1u64 << b);
+                let outcome = Hamming7264::decode(corrupted, check);
+                assert_eq!(
+                    outcome,
+                    DecodeOutcome::Detected(corrupted),
+                    "bits {a},{b} miscorrected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detects_mixed_data_check_double_flips() {
+        let data = 0x1357_9BDF_2468_ACE0u64;
+        let check = Hamming7264::encode(data);
+        for a in 0..64 {
+            for c in 0..8 {
+                let outcome = Hamming7264::decode(data ^ (1u64 << a), check ^ (1u8 << c));
+                assert!(
+                    !matches!(outcome, DecodeOutcome::Clean(_)),
+                    "data bit {a} + check bit {c} went unnoticed"
+                );
+                // SEC-DED guarantee: never "corrected" to the wrong data.
+                if let DecodeOutcome::Corrected(d) = outcome {
+                    assert_eq!(d, data, "data bit {a} + check bit {c} miscorrected");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        assert_eq!(DecodeOutcome::Clean(5).data(), 5);
+        assert_eq!(DecodeOutcome::Corrected(6).data(), 6);
+        assert_eq!(DecodeOutcome::Detected(7).data(), 7);
+        assert!(DecodeOutcome::Clean(0).is_reliable());
+        assert!(DecodeOutcome::Corrected(0).is_reliable());
+        assert!(!DecodeOutcome::Detected(0).is_reliable());
+    }
+
+    #[test]
+    fn check_bits_differ_across_data() {
+        // Not a cryptographic property, but the code must be non-trivial.
+        let a = Hamming7264::encode(0x1111);
+        let b = Hamming7264::encode(0x2222);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,71 @@
+//! Mitigation extensions for HBM undervolting faults.
+//!
+//! The DATE 2021 study characterizes reduced-voltage bit flips and proposes
+//! a three-factor trade-off; its related work (built-in ECC evaluation on
+//! FPGAs, heterogeneous-reliability memory) points at two mitigation
+//! routes this crate implements on top of the workspace's fault model:
+//!
+//! - [`Hamming7264`]: the classic SEC-DED code used by server memory —
+//!   single-error correction, double-error detection per 64-bit lane —
+//!   and [`EccPort`], a [`MemoryPort`](hbm_traffic::MemoryPort) adapter
+//!   that stores check bits in a dedicated region of the pseudo channel
+//!   and transparently corrects undervolting flips on the read path;
+//! - [`HealthMap`] / region remapping: using the deterministic fault map to
+//!   *avoid* weak rows instead of correcting them, which turns the paper's
+//!   PC-granular capacity trade-off (Fig. 6) into a row-region-granular
+//!   one with much finer capacity steps.
+//!
+//! # Example: how much further does ECC let you undervolt?
+//!
+//! ```
+//! use hbm_device::{HbmGeometry, PcIndex, WordOffset, Word256};
+//! use hbm_ecc::{EccPort, EccStats};
+//! use hbm_faults::{FaultInjector, FaultModelParams};
+//! use hbm_traffic::MemoryPort;
+//! use hbm_units::Millivolts;
+//!
+//! # fn main() -> Result<(), hbm_device::DeviceError> {
+//! // A standalone fault-injecting port stub for the example:
+//! struct Faulty {
+//!     injector: FaultInjector,
+//!     stored: std::collections::HashMap<u64, Word256>,
+//!     supply: Millivolts,
+//! }
+//! impl MemoryPort for Faulty {
+//!     fn write(&mut self, o: WordOffset, w: Word256) -> Result<(), hbm_device::DeviceError> {
+//!         self.stored.insert(o.0, w);
+//!         Ok(())
+//!     }
+//!     fn read(&mut self, o: WordOffset) -> Result<Word256, hbm_device::DeviceError> {
+//!         let stored = self.stored.get(&o.0).copied().unwrap_or(Word256::ZERO);
+//!         Ok(self.injector.observe(stored, PcIndex::new(0)?, o, self.supply))
+//!     }
+//! }
+//!
+//! let inner = Faulty {
+//!     injector: FaultInjector::new(
+//!         FaultModelParams::date21(),
+//!         HbmGeometry::vcu128_reduced(),
+//!         7,
+//!     ),
+//!     stored: Default::default(),
+//!     supply: Millivolts(900),
+//! };
+//! let mut port = EccPort::new(inner, 4096);
+//! port.write(WordOffset(0), Word256::ONES)?;
+//! let read = port.read(WordOffset(0))?;
+//! assert_eq!(read, Word256::ONES, "sparse flips at 0.90 V are corrected");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hamming;
+mod port;
+mod remap;
+
+pub use hamming::{DecodeOutcome, Hamming7264};
+pub use port::{EccError, EccPort, EccStats};
+pub use remap::{HealthMap, RegionHealth, RemapPlan};

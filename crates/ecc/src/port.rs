@@ -1,0 +1,366 @@
+//! An ECC-protected memory port: SEC-DED over every 64-bit lane of the
+//! 256-bit AXI word path.
+//!
+//! Check bits live in a dedicated region at the top of the pseudo channel
+//! (8 check bits × 4 lanes = 32 bits per protected word; 8 words' checks
+//! pack into one 256-bit check word), so protecting `n` words costs
+//! `n/8` extra words — the classic 12.5 % ECC overhead.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use hbm_device::{DeviceError, Word256, WordOffset};
+use hbm_traffic::MemoryPort;
+use serde::{Deserialize, Serialize};
+
+use crate::hamming::{DecodeOutcome, Hamming7264};
+
+/// Counters of the ECC engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EccStats {
+    /// Protected words written.
+    pub writes: u64,
+    /// Protected words read.
+    pub reads: u64,
+    /// Lanes whose single-bit error was corrected.
+    pub corrected_lanes: u64,
+    /// Lanes with a detected uncorrectable error.
+    pub detected_lanes: u64,
+}
+
+impl EccStats {
+    /// Post-ECC lane error rate: detected-uncorrectable lanes per lane
+    /// read.
+    #[must_use]
+    pub fn uncorrectable_rate(&self) -> f64 {
+        if self.reads == 0 {
+            return 0.0;
+        }
+        self.detected_lanes as f64 / (self.reads as f64 * 4.0)
+    }
+}
+
+/// An uncorrectable read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EccError {
+    /// The logical word offset.
+    pub offset: u64,
+    /// Bit mask of the lanes (0..4) that failed.
+    pub failed_lanes: u8,
+}
+
+impl fmt::Display for EccError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "uncorrectable ecc error at word {} (lanes {:04b})",
+            self.offset, self.failed_lanes
+        )
+    }
+}
+
+impl Error for EccError {}
+
+/// A [`MemoryPort`] adapter adding SEC-DED protection.
+///
+/// Writes encode check bits and store them in the check region; reads
+/// decode each lane, transparently correcting single-bit undervolting
+/// flips. Detected-uncorrectable lanes pass the raw data through (use
+/// [`EccPort::read_checked`] to make them fatal) and are counted in
+/// [`EccStats`].
+///
+/// The adapter keeps a host-side shadow of the check words it wrote so that
+/// read-modify-write cycles never launder undervolting flips from *other*
+/// words' check bits back into storage — mirroring real in-band-ECC
+/// controllers, which always write a full burst of fresh check bits.
+#[derive(Debug)]
+pub struct EccPort<P: MemoryPort> {
+    inner: P,
+    logical_words: u64,
+    shadow_checks: HashMap<u64, Word256>,
+    stats: EccStats,
+}
+
+impl<P: MemoryPort> EccPort<P> {
+    /// Wraps `inner`, protecting the first `logical_words` words. The check
+    /// region occupies words `logical_words ..` of the inner port, so the
+    /// inner capacity must be at least `logical_words + ceil(logical_words/8)`.
+    #[must_use]
+    pub fn new(inner: P, logical_words: u64) -> Self {
+        EccPort {
+            inner,
+            logical_words,
+            shadow_checks: HashMap::new(),
+            stats: EccStats::default(),
+        }
+    }
+
+    /// Number of protected (logical) words.
+    #[must_use]
+    pub fn logical_words(&self) -> u64 {
+        self.logical_words
+    }
+
+    /// ECC counters so far.
+    #[must_use]
+    pub fn stats(&self) -> EccStats {
+        self.stats
+    }
+
+    /// Resets the ECC counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = EccStats::default();
+    }
+
+    /// Returns the inner port, discarding the shadow checks.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+
+    fn check_location(&self, offset: u64) -> (WordOffset, usize) {
+        (
+            WordOffset(self.logical_words + offset / 8),
+            (offset % 8) as usize,
+        )
+    }
+
+    fn bounds(&self, offset: WordOffset) -> Result<(), DeviceError> {
+        if offset.0 < self.logical_words {
+            Ok(())
+        } else {
+            Err(DeviceError::AddressOutOfRange {
+                offset: offset.0,
+                capacity_words: self.logical_words,
+            })
+        }
+    }
+
+    /// Packs four 8-bit lane checks into the 32-bit slot of a check word.
+    fn pack_checks(checks: [u8; 4]) -> u32 {
+        u32::from_le_bytes(checks)
+    }
+
+    fn unpack_checks(slot: u32) -> [u8; 4] {
+        slot.to_le_bytes()
+    }
+
+    fn slot_of(word: Word256, slot: usize) -> u32 {
+        let lane = word.0[slot / 2];
+        (lane >> ((slot % 2) * 32)) as u32
+    }
+
+    fn with_slot(mut word: Word256, slot: usize, value: u32) -> Word256 {
+        let lane = &mut word.0[slot / 2];
+        let shift = (slot % 2) * 32;
+        *lane = (*lane & !(0xFFFF_FFFFu64 << shift)) | (u64::from(value) << shift);
+        word
+    }
+
+    /// Reads with correction, returning an error for uncorrectable lanes.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError`]-wrapping I/O problems are surfaced via `Ok(Err(..))`
+    /// being avoided: device errors come back as `Err(Ok(DeviceError))`…
+    /// to keep the signature simple this method returns
+    /// `Result<Word256, Box<dyn Error + Send + Sync>>`, with either a
+    /// [`DeviceError`] or an [`EccError`] inside.
+    pub fn read_checked(
+        &mut self,
+        offset: WordOffset,
+    ) -> Result<Word256, Box<dyn Error + Send + Sync>> {
+        let (word, failed) = self.read_with_outcomes(offset)?;
+        if failed == 0 {
+            Ok(word)
+        } else {
+            Err(Box::new(EccError {
+                offset: offset.0,
+                failed_lanes: failed,
+            }))
+        }
+    }
+
+    fn read_with_outcomes(
+        &mut self,
+        offset: WordOffset,
+    ) -> Result<(Word256, u8), DeviceError> {
+        self.bounds(offset)?;
+        let raw = self.inner.read(offset)?;
+        let (check_offset, slot) = self.check_location(offset.0);
+        let check_word = self.inner.read(check_offset)?;
+        let checks = Self::unpack_checks(Self::slot_of(check_word, slot));
+
+        let mut corrected = raw;
+        let mut failed = 0u8;
+        for lane in 0..4 {
+            match Hamming7264::decode(raw.0[lane], checks[lane]) {
+                DecodeOutcome::Clean(_) => {}
+                DecodeOutcome::Corrected(data) => {
+                    corrected.0[lane] = data;
+                    self.stats.corrected_lanes += 1;
+                }
+                DecodeOutcome::Detected(_) => {
+                    failed |= 1 << lane;
+                    self.stats.detected_lanes += 1;
+                }
+            }
+        }
+        self.stats.reads += 1;
+        Ok((corrected, failed))
+    }
+}
+
+impl<P: MemoryPort> MemoryPort for EccPort<P> {
+    fn write(&mut self, offset: WordOffset, word: Word256) -> Result<(), DeviceError> {
+        self.bounds(offset)?;
+        self.inner.write(offset, word)?;
+
+        let checks = [
+            Hamming7264::encode(word.0[0]),
+            Hamming7264::encode(word.0[1]),
+            Hamming7264::encode(word.0[2]),
+            Hamming7264::encode(word.0[3]),
+        ];
+        let (check_offset, slot) = self.check_location(offset.0);
+        let shadow = self
+            .shadow_checks
+            .entry(check_offset.0)
+            .or_insert(Word256::ZERO);
+        *shadow = Self::with_slot(*shadow, slot, Self::pack_checks(checks));
+        let fresh = *shadow;
+        self.inner.write(check_offset, fresh)?;
+        self.stats.writes += 1;
+        Ok(())
+    }
+
+    fn read(&mut self, offset: WordOffset) -> Result<Word256, DeviceError> {
+        self.read_with_outcomes(offset).map(|(word, _)| word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbm_device::{HbmDevice, HbmGeometry, PortId};
+    use hbm_traffic::DirectPort;
+
+    fn device() -> HbmDevice {
+        HbmDevice::new(HbmGeometry::vcu128_reduced())
+    }
+
+    #[test]
+    fn clean_round_trip_through_ecc() {
+        let mut dev = device();
+        let port = PortId::new(0).unwrap();
+        let mut ecc = EccPort::new(DirectPort::new(&mut dev, port), 1024);
+        for i in 0..64u64 {
+            ecc.write(WordOffset(i), Word256::splat(i * 0x1234_5678)).unwrap();
+        }
+        for i in 0..64u64 {
+            assert_eq!(ecc.read(WordOffset(i)).unwrap(), Word256::splat(i * 0x1234_5678));
+        }
+        let stats = ecc.stats();
+        assert_eq!(stats.writes, 64);
+        assert_eq!(stats.reads, 64);
+        assert_eq!(stats.corrected_lanes, 0);
+        assert_eq!(stats.detected_lanes, 0);
+        assert_eq!(stats.uncorrectable_rate(), 0.0);
+    }
+
+    #[test]
+    fn single_flip_per_lane_is_corrected() {
+        let mut dev = device();
+        let port = PortId::new(1).unwrap();
+        let stored = Word256::splat(0xAAAA_5555_F0F0_0F0F);
+        {
+            let mut ecc = EccPort::new(DirectPort::new(&mut dev, port), 1024);
+            ecc.write(WordOffset(0), stored).unwrap();
+        }
+        // Corrupt one bit in every lane directly in the device.
+        let mut corrupted = stored;
+        for lane in 0..4 {
+            corrupted.0[lane] ^= 1 << (7 * lane + 3);
+        }
+        dev.axi_write(port, WordOffset(0), corrupted).unwrap();
+
+        let mut ecc = EccPort::new(DirectPort::new(&mut dev, port), 1024);
+        let read = ecc.read(WordOffset(0)).unwrap();
+        assert_eq!(read, stored, "all four lanes corrected");
+        assert_eq!(ecc.stats().corrected_lanes, 4);
+    }
+
+    #[test]
+    fn double_flip_in_a_lane_is_detected_not_miscorrected() {
+        let mut dev = device();
+        let port = PortId::new(2).unwrap();
+        let stored = Word256::ONES;
+        {
+            let mut ecc = EccPort::new(DirectPort::new(&mut dev, port), 1024);
+            ecc.write(WordOffset(5), stored).unwrap();
+        }
+        let mut corrupted = stored;
+        corrupted.0[2] ^= 0b101; // two flips in lane 2
+        dev.axi_write(port, WordOffset(5), corrupted).unwrap();
+
+        let mut ecc = EccPort::new(DirectPort::new(&mut dev, port), 1024);
+        let err = ecc.read_checked(WordOffset(5)).unwrap_err();
+        let ecc_err = err.downcast_ref::<EccError>().expect("ecc error");
+        assert_eq!(ecc_err.offset, 5);
+        assert_eq!(ecc_err.failed_lanes, 0b0100);
+        assert_eq!(ecc.stats().detected_lanes, 1);
+        assert!(ecc.stats().uncorrectable_rate() > 0.0);
+        assert!(ecc_err.to_string().contains("word 5"));
+    }
+
+    #[test]
+    fn flips_in_stored_check_bits_are_survivable() {
+        let mut dev = device();
+        let port = PortId::new(3).unwrap();
+        let stored = Word256::splat(0x1111_2222_3333_4444);
+        let mut ecc = EccPort::new(DirectPort::new(&mut dev, port), 1024);
+        ecc.write(WordOffset(9), stored).unwrap();
+
+        // Corrupt one bit of the packed check word in the device.
+        let check_offset = WordOffset(1024 + 9 / 8);
+        let check = dev.axi_read(port, check_offset).unwrap();
+        dev.axi_write(port, check_offset, check.with_bit_set((9 % 8) * 32))
+            .unwrap();
+
+        // The flipped check bit (at most one per lane) is corrected away.
+        let mut ecc = EccPort::new(DirectPort::new(&mut dev, port), 1024);
+        assert_eq!(ecc.read(WordOffset(9)).unwrap(), stored);
+    }
+
+    #[test]
+    fn bounds_respected_and_check_region_isolated() {
+        let mut dev = device();
+        let port = PortId::new(4).unwrap();
+        let mut ecc = EccPort::new(DirectPort::new(&mut dev, port), 128);
+        assert!(matches!(
+            ecc.write(WordOffset(128), Word256::ZERO).unwrap_err(),
+            DeviceError::AddressOutOfRange { capacity_words: 128, .. }
+        ));
+        assert!(ecc.read(WordOffset(200)).is_err());
+
+        // Writes to different words sharing a check word do not clobber
+        // each other's checks.
+        for i in 0..16u64 {
+            ecc.write(WordOffset(i), Word256::splat(i)).unwrap();
+        }
+        for i in 0..16u64 {
+            assert_eq!(ecc.read(WordOffset(i)).unwrap(), Word256::splat(i));
+        }
+        assert_eq!(ecc.stats().detected_lanes, 0);
+        assert_eq!(ecc.stats().corrected_lanes, 0);
+    }
+
+    #[test]
+    fn into_inner_returns_the_port() {
+        let mut dev = device();
+        let port = PortId::new(5).unwrap();
+        let ecc = EccPort::new(DirectPort::new(&mut dev, port), 64);
+        assert_eq!(ecc.logical_words(), 64);
+        let _inner = ecc.into_inner();
+    }
+}

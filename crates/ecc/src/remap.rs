@@ -1,0 +1,338 @@
+//! Fault-map-guided region remapping: instead of *correcting* undervolting
+//! faults, *avoid* them.
+//!
+//! The paper's Fig. 6 trades capacity at pseudo-channel granularity (256 MB
+//! steps). Because the workspace's fault model (like real undervolted DRAM)
+//! clusters faults in small row regions, discarding only the weak regions
+//! retains far more capacity at the same voltage — this module implements
+//! that finer-grained trade-off.
+
+use hbm_device::{BankId, DecodedAddress, DeviceError, HbmGeometry, PcIndex, RowId, WordOffset};
+use hbm_faults::FaultInjector;
+use hbm_units::Millivolts;
+use serde::{Deserialize, Serialize};
+
+/// Health of one row region of a pseudo channel at one voltage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionHealth {
+    /// Bank the region lives in.
+    pub bank: u16,
+    /// Region index within the bank.
+    pub region: u32,
+    /// Words scanned.
+    pub words: u64,
+    /// Faulty bits found (either polarity).
+    pub faulty_bits: u64,
+}
+
+impl RegionHealth {
+    /// `true` if the scan found no faulty bit.
+    #[must_use]
+    pub fn is_healthy(&self) -> bool {
+        self.faulty_bits == 0
+    }
+}
+
+/// The scanned health map of one pseudo channel at one voltage.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_device::{HbmGeometry, PcIndex};
+/// use hbm_ecc::HealthMap;
+/// use hbm_faults::{FaultInjector, FaultModelParams};
+/// use hbm_units::Millivolts;
+///
+/// # fn main() -> Result<(), hbm_device::DeviceError> {
+/// let injector = FaultInjector::new(
+///     FaultModelParams::date21(),
+///     HbmGeometry::vcu128_reduced(),
+///     7,
+/// );
+/// let pc = PcIndex::new(0)?;
+/// // In the guardband everything is healthy.
+/// let map = HealthMap::scan(&injector, pc, Millivolts(980));
+/// assert_eq!(map.healthy_fraction(), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthMap {
+    /// The scanned pseudo channel.
+    pub pc: u8,
+    /// The scanned voltage.
+    pub voltage: Millivolts,
+    /// Rows per region used by the scan.
+    pub region_rows: u32,
+    /// One entry per (bank, region), bank-major.
+    pub regions: Vec<RegionHealth>,
+}
+
+impl HealthMap {
+    /// Scans every word of the pseudo channel through the injector,
+    /// grouping fault counts by `(bank, region)` with the injector's own
+    /// region granularity.
+    #[must_use]
+    pub fn scan(injector: &FaultInjector, pc: PcIndex, voltage: Millivolts) -> Self {
+        let geometry = injector.geometry();
+        let region_rows = injector.params().variation.region_rows.max(1);
+        let regions_per_bank = (geometry.rows_per_bank() / region_rows).max(1);
+        let banks = u32::from(geometry.banks_per_pc());
+
+        let mut regions: Vec<RegionHealth> = (0..banks)
+            .flat_map(|bank| {
+                (0..regions_per_bank).map(move |region| RegionHealth {
+                    bank: bank as u16,
+                    region,
+                    words: 0,
+                    faulty_bits: 0,
+                })
+            })
+            .collect();
+
+        for w in 0..geometry.words_per_pc() {
+            let offset = WordOffset(w);
+            let DecodedAddress { bank, row, .. } = offset.decode(geometry);
+            let region = (row.0 / region_rows).min(regions_per_bank - 1);
+            let index = (u32::from(bank.0) * regions_per_bank + region) as usize;
+            let (s0, s1) = injector.stuck_masks(pc, offset, voltage);
+            regions[index].words += 1;
+            regions[index].faulty_bits += u64::from((s0 | s1).count_ones());
+        }
+        HealthMap {
+            pc: pc.as_u8(),
+            voltage,
+            region_rows,
+            regions,
+        }
+    }
+
+    /// Fraction of regions with zero faulty bits.
+    #[must_use]
+    pub fn healthy_fraction(&self) -> f64 {
+        if self.regions.is_empty() {
+            return 0.0;
+        }
+        self.regions.iter().filter(|r| r.is_healthy()).count() as f64 / self.regions.len() as f64
+    }
+
+    /// Total words residing in healthy regions.
+    #[must_use]
+    pub fn healthy_words(&self) -> u64 {
+        self.regions
+            .iter()
+            .filter(|r| r.is_healthy())
+            .map(|r| r.words)
+            .sum()
+    }
+
+    /// Fraction of all faults concentrated in the weakest `fraction` of
+    /// regions (the clustering observation of §III-B: most faults sit in
+    /// small regions).
+    #[must_use]
+    pub fn fault_concentration(&self, fraction: f64) -> f64 {
+        let total: u64 = self.regions.iter().map(|r| r.faulty_bits).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut counts: Vec<u64> = self.regions.iter().map(|r| r.faulty_bits).collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top = ((counts.len() as f64 * fraction).ceil() as usize).max(1);
+        counts[..top].iter().sum::<u64>() as f64 / total as f64
+    }
+
+    /// Builds a remap plan exposing only the healthy regions as a
+    /// contiguous logical space.
+    #[must_use]
+    pub fn plan(&self, geometry: HbmGeometry) -> RemapPlan {
+        // On geometries with fewer rows per bank than the region size, a
+        // region spans the whole bank.
+        let rows_per_region = self.region_rows.min(geometry.rows_per_bank());
+        let healthy: Vec<(u16, u32)> = self
+            .regions
+            .iter()
+            .filter(|r| r.is_healthy())
+            .map(|r| (r.bank, r.region))
+            .collect();
+        RemapPlan {
+            geometry,
+            rows_per_region,
+            healthy,
+        }
+    }
+}
+
+/// A mapping from a contiguous logical word space onto the healthy regions
+/// of a pseudo channel.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RemapPlan {
+    geometry: HbmGeometry,
+    rows_per_region: u32,
+    healthy: Vec<(u16, u32)>,
+}
+
+impl RemapPlan {
+    /// Words available through the plan.
+    #[must_use]
+    pub fn logical_words(&self) -> u64 {
+        self.healthy.len() as u64 * self.words_per_region()
+    }
+
+    /// Usable capacity as a fraction of the pseudo channel.
+    #[must_use]
+    pub fn capacity_fraction(&self) -> f64 {
+        self.logical_words() as f64 / self.geometry.words_per_pc() as f64
+    }
+
+    fn words_per_region(&self) -> u64 {
+        u64::from(self.rows_per_region) * u64::from(self.geometry.words_per_row())
+    }
+
+    /// Translates a logical word offset into the physical offset of a
+    /// healthy region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::AddressOutOfRange`] when `logical` exceeds
+    /// the plan's capacity.
+    pub fn to_physical(&self, logical: WordOffset) -> Result<WordOffset, DeviceError> {
+        let per_region = self.words_per_region();
+        let index = (logical.0 / per_region) as usize;
+        let within = logical.0 % per_region;
+        let Some(&(bank, region)) = self.healthy.get(index) else {
+            return Err(DeviceError::AddressOutOfRange {
+                offset: logical.0,
+                capacity_words: self.logical_words(),
+            });
+        };
+        let words_per_row = u64::from(self.geometry.words_per_row());
+        let row_in_region = (within / words_per_row) as u32;
+        let col = (within % words_per_row) as u16;
+        let row = region * self.rows_per_region + row_in_region;
+        Ok(DecodedAddress {
+            bank: BankId(bank),
+            row: RowId(row),
+            col,
+        }
+        .encode(self.geometry))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbm_faults::FaultModelParams;
+
+    fn injector() -> FaultInjector {
+        FaultInjector::new(
+            FaultModelParams::date21(),
+            HbmGeometry::vcu128_reduced(),
+            7,
+        )
+    }
+
+    fn pc(i: u8) -> PcIndex {
+        PcIndex::new(i).unwrap()
+    }
+
+    #[test]
+    fn guardband_scan_is_all_healthy() {
+        let map = HealthMap::scan(&injector(), pc(0), Millivolts(1000));
+        assert_eq!(map.healthy_fraction(), 1.0);
+        assert_eq!(
+            map.healthy_words(),
+            HbmGeometry::vcu128_reduced().words_per_pc()
+        );
+        assert_eq!(map.fault_concentration(0.05), 0.0);
+    }
+
+    #[test]
+    fn saturation_scan_is_all_faulty() {
+        let map = HealthMap::scan(&injector(), pc(0), Millivolts(820));
+        assert_eq!(map.healthy_fraction(), 0.0);
+        assert_eq!(map.healthy_words(), 0);
+    }
+
+    #[test]
+    fn onset_faults_are_clustered() {
+        // Find the onset: the highest voltage at which PC4 shows at least a
+        // handful of faults, and check they concentrate in few regions.
+        let inj = injector();
+        let mut v = Millivolts(960);
+        let map = loop {
+            let map = HealthMap::scan(&inj, pc(4), v);
+            let total: u64 = map.regions.iter().map(|r| r.faulty_bits).sum();
+            if total >= 10 {
+                break map;
+            }
+            v = v.saturating_sub(Millivolts(10));
+            assert!(v >= Millivolts(850), "no faults found above 0.85 V");
+        };
+        // At the onset, the weakest quarter of regions holds the clear
+        // majority of the faults (§III-B: faults cluster in small regions).
+        let concentration = map.fault_concentration(0.25);
+        assert!(concentration > 0.5, "concentration {concentration} at {v}");
+        // And remapping away the faulty regions still retains capacity.
+        assert!(map.healthy_fraction() > 0.05);
+    }
+
+    #[test]
+    fn scan_covers_every_word_exactly_once() {
+        let map = HealthMap::scan(&injector(), pc(1), Millivolts(950));
+        let scanned: u64 = map.regions.iter().map(|r| r.words).sum();
+        assert_eq!(scanned, HbmGeometry::vcu128_reduced().words_per_pc());
+        // Every region got the same share.
+        let per_region = map.regions[0].words;
+        assert!(map.regions.iter().all(|r| r.words == per_region));
+    }
+
+    #[test]
+    fn remap_plan_addresses_only_healthy_regions() {
+        let inj = injector();
+        let voltage = Millivolts(900);
+        let map = HealthMap::scan(&inj, pc(4), voltage);
+        let plan = map.plan(HbmGeometry::vcu128_reduced());
+        assert!(plan.logical_words() > 0);
+        assert!(plan.capacity_fraction() <= 1.0);
+
+        // Every remapped word is fault-free at the scan voltage.
+        for logical in 0..plan.logical_words() {
+            let physical = plan.to_physical(WordOffset(logical)).unwrap();
+            let (s0, s1) = inj.stuck_masks(pc(4), physical, voltage);
+            assert!(
+                (s0 | s1).is_zero(),
+                "remapped word {logical} -> {physical} is faulty"
+            );
+        }
+
+        // Out-of-range logical addresses are rejected.
+        assert!(plan.to_physical(WordOffset(plan.logical_words())).is_err());
+    }
+
+    #[test]
+    fn remap_is_injective() {
+        let map = HealthMap::scan(&injector(), pc(2), Millivolts(920));
+        let plan = map.plan(HbmGeometry::vcu128_reduced());
+        let mut seen = std::collections::HashSet::new();
+        for logical in 0..plan.logical_words() {
+            let physical = plan.to_physical(WordOffset(logical)).unwrap();
+            assert!(seen.insert(physical.0), "physical word reused: {physical}");
+        }
+    }
+
+    #[test]
+    fn region_remap_beats_pc_granularity() {
+        // At a voltage where a sensitive PC has faults, the PC-granular
+        // trade-off discards all 100 % of it; region remapping keeps most.
+        let inj = injector();
+        let map = HealthMap::scan(&inj, pc(4), Millivolts(910));
+        let total_faults: u64 = map.regions.iter().map(|r| r.faulty_bits).sum();
+        assert!(total_faults > 0, "PC4 must be faulty at 0.91 V");
+        let plan = map.plan(HbmGeometry::vcu128_reduced());
+        assert!(
+            plan.capacity_fraction() > 0.5,
+            "region remapping must retain most capacity, got {}",
+            plan.capacity_fraction()
+        );
+    }
+}

@@ -1,0 +1,321 @@
+//! The fault map: per-pseudo-channel fault rates across the voltage sweep,
+//! the data structure behind the study's three-factor trade-off (Figs 5/6).
+
+use hbm_device::{HbmGeometry, PcIndex, StackId};
+use hbm_units::{Millivolts, Ratio};
+use serde::{Deserialize, Serialize};
+
+use crate::analytic::RatePredictor;
+
+/// Fault rates of one pseudo channel at one supply voltage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PcRateEntry {
+    /// Supply voltage of this entry.
+    pub voltage: Millivolts,
+    /// Fraction of bits flipped 1→0 under an all-ones pattern.
+    pub rate_1to0: Ratio,
+    /// Fraction of bits flipped 0→1 under an all-zeros pattern.
+    pub rate_0to1: Ratio,
+    /// Expected number of faulty bits in the pseudo channel (either
+    /// polarity) at the map's geometry.
+    pub expected_faulty_bits: f64,
+}
+
+impl PcRateEntry {
+    /// Union fault rate across both polarities.
+    #[must_use]
+    pub fn union(&self) -> Ratio {
+        Ratio(self.rate_1to0.as_f64() + self.rate_0to1.as_f64()).clamp_unit()
+    }
+
+    /// `true` if the pseudo channel is expected fault-free at this voltage
+    /// (fewer than half an expected faulty bit).
+    #[must_use]
+    pub fn is_fault_free(&self) -> bool {
+        self.expected_faulty_bits < 0.5
+    }
+}
+
+/// The rate profile of one pseudo channel across the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PcRateProfile {
+    /// Global pseudo-channel index.
+    pub pc: u8,
+    /// One entry per swept voltage, in sweep order (descending voltage).
+    pub entries: Vec<PcRateEntry>,
+}
+
+impl PcRateProfile {
+    /// The entry at an exact voltage, if it was swept.
+    #[must_use]
+    pub fn at(&self, voltage: Millivolts) -> Option<&PcRateEntry> {
+        self.entries.iter().find(|e| e.voltage == voltage)
+    }
+}
+
+/// A complete fault map of a device specimen.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_device::HbmGeometry;
+/// use hbm_faults::{FaultMap, FaultModelParams, RatePredictor};
+/// use hbm_units::{Millivolts, Ratio};
+///
+/// let predictor = RatePredictor::new(FaultModelParams::date21(), HbmGeometry::vcu128(), 7);
+/// let map = FaultMap::from_predictor(&predictor, Millivolts(980), Millivolts(810), Millivolts(10));
+///
+/// // In the guardband every PC is usable at any tolerance.
+/// assert_eq!(map.usable_pcs(Millivolts(980), Ratio::ZERO).len(), 32);
+/// // Near total failure nothing tolerates a zero fault budget.
+/// assert!(map.usable_pcs(Millivolts(820), Ratio::ZERO).is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultMap {
+    /// Seed of the device specimen this map describes.
+    pub seed: u64,
+    /// The geometry rates were evaluated at.
+    pub geometry: HbmGeometry,
+    /// Swept voltages, descending.
+    pub voltages: Vec<Millivolts>,
+    /// One profile per pseudo channel, ordered by index.
+    pub profiles: Vec<PcRateProfile>,
+}
+
+impl FaultMap {
+    /// Builds a map by analytic evaluation over a descending sweep
+    /// `from → down_to` (inclusive) in steps of `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero or `from < down_to`.
+    #[must_use]
+    pub fn from_predictor(
+        predictor: &RatePredictor,
+        from: Millivolts,
+        down_to: Millivolts,
+        step: Millivolts,
+    ) -> Self {
+        assert!(step > Millivolts::ZERO, "step must be non-zero");
+        assert!(from >= down_to, "sweep must descend: {from} < {down_to}");
+        let mut voltages = Vec::new();
+        let mut v = from;
+        loop {
+            voltages.push(v);
+            if v < down_to + step {
+                break;
+            }
+            v = v - step;
+        }
+        let geometry = predictor.geometry();
+        let profiles = PcIndex::all(geometry)
+            .map(|pc| PcRateProfile {
+                pc: pc.as_u8(),
+                entries: voltages
+                    .iter()
+                    .map(|&voltage| {
+                        let rates = predictor.pc_rates(pc, voltage);
+                        PcRateEntry {
+                            voltage,
+                            rate_1to0: rates.rate_1to0,
+                            rate_0to1: rates.rate_0to1,
+                            expected_faulty_bits: rates.union().as_f64()
+                                * geometry.bits_per_pc() as f64,
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        FaultMap {
+            seed: predictor.seed(),
+            geometry,
+            voltages,
+            profiles,
+        }
+    }
+
+    /// The profile of one pseudo channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` exceeds the map's geometry.
+    #[must_use]
+    pub fn profile(&self, pc: PcIndex) -> &PcRateProfile {
+        &self.profiles[pc.as_usize()]
+    }
+
+    /// The pseudo channels whose fault rate at `voltage` is within
+    /// `tolerable`. A zero tolerance means strictly fault-free (expected
+    /// faulty bits below one half).
+    ///
+    /// Returns an empty vector for voltages outside the sweep.
+    #[must_use]
+    pub fn usable_pcs(&self, voltage: Millivolts, tolerable: Ratio) -> Vec<PcIndex> {
+        self.profiles
+            .iter()
+            .filter_map(|profile| {
+                let entry = profile.at(voltage)?;
+                let ok = if tolerable == Ratio::ZERO {
+                    entry.is_fault_free()
+                } else {
+                    entry.union().as_f64() <= tolerable.as_f64()
+                };
+                ok.then(|| PcIndex::new(profile.pc).expect("profile indices valid"))
+            })
+            .collect()
+    }
+
+    /// Number of usable pseudo channels (the y-axis of the study's Fig. 6).
+    #[must_use]
+    pub fn usable_pc_count(&self, voltage: Millivolts, tolerable: Ratio) -> usize {
+        self.usable_pcs(voltage, tolerable).len()
+    }
+
+    /// Usable memory capacity in bytes at a voltage and tolerance.
+    #[must_use]
+    pub fn usable_bytes(&self, voltage: Millivolts, tolerable: Ratio) -> u64 {
+        self.usable_pc_count(voltage, tolerable) as u64 * self.geometry.bytes_per_pc()
+    }
+
+    /// Mean union fault rate of one stack at a voltage, if swept.
+    #[must_use]
+    pub fn stack_mean_union(&self, stack: StackId, voltage: Millivolts) -> Option<Ratio> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for profile in &self.profiles {
+            let pc = PcIndex::new(profile.pc).expect("profile indices valid");
+            if pc.stack(self.geometry) != stack {
+                continue;
+            }
+            sum += profile.at(voltage)?.union().as_f64();
+            n += 1;
+        }
+        (n > 0).then(|| Ratio(sum / n as f64))
+    }
+
+    /// The lowest swept voltage at which at least `min_pcs` pseudo channels
+    /// tolerate `tolerable` — the "how far can I undervolt" query behind the
+    /// study's user-level trade-off examples.
+    #[must_use]
+    pub fn lowest_voltage_for(&self, min_pcs: usize, tolerable: Ratio) -> Option<Millivolts> {
+        self.voltages
+            .iter()
+            .copied()
+            .filter(|&v| self.usable_pc_count(v, tolerable) >= min_pcs)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::FaultModelParams;
+
+    fn map() -> FaultMap {
+        let predictor =
+            RatePredictor::new(FaultModelParams::date21(), HbmGeometry::vcu128(), 7);
+        FaultMap::from_predictor(&predictor, Millivolts(980), Millivolts(810), Millivolts(10))
+    }
+
+    #[test]
+    fn sweep_covers_descending_range() {
+        let m = map();
+        assert_eq!(m.voltages.first(), Some(&Millivolts(980)));
+        assert_eq!(m.voltages.last(), Some(&Millivolts(810)));
+        assert_eq!(m.voltages.len(), 18);
+        assert!(m.voltages.windows(2).all(|w| w[0] > w[1]));
+        assert_eq!(m.profiles.len(), 32);
+    }
+
+    #[test]
+    fn guardband_edge_is_fully_usable() {
+        let m = map();
+        assert_eq!(m.usable_pc_count(Millivolts(980), Ratio::ZERO), 32);
+        assert_eq!(
+            m.usable_bytes(Millivolts(980), Ratio::ZERO),
+            HbmGeometry::vcu128().total_bytes()
+        );
+    }
+
+    #[test]
+    fn usable_count_monotone_in_tolerance() {
+        let m = map();
+        for &v in &m.voltages {
+            let strict = m.usable_pc_count(v, Ratio::ZERO);
+            let loose = m.usable_pc_count(v, Ratio(1e-6));
+            let looser = m.usable_pc_count(v, Ratio(0.01));
+            assert!(strict <= loose && loose <= looser, "at {v}");
+        }
+    }
+
+    #[test]
+    fn usable_count_monotone_in_voltage() {
+        let m = map();
+        for tol in [Ratio::ZERO, Ratio(1e-6), Ratio(1e-4), Ratio(0.01)] {
+            let counts: Vec<usize> = m
+                .voltages
+                .iter()
+                .map(|&v| m.usable_pc_count(v, tol))
+                .collect();
+            // Voltages descend, so counts must be non-increasing.
+            assert!(
+                counts.windows(2).all(|w| w[0] >= w[1]),
+                "tolerance {tol:?}: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn some_pcs_survive_moderate_undervolting_fault_free() {
+        let m = map();
+        // The study reports 7 fault-free PCs at 0.95 V; the shape target is
+        // "some but not all".
+        let n = m.usable_pc_count(Millivolts(950), Ratio::ZERO);
+        assert!((1..=20).contains(&n), "fault-free PCs at 0.95 V: {n}");
+    }
+
+    #[test]
+    fn lowest_voltage_queries() {
+        let m = map();
+        // Full capacity, zero faults → at or just below the guardband edge
+        // (the expected-count criterion may admit one 10 mV step where the
+        // handful of device-wide first flips spreads thinner than half a
+        // bit per PC).
+        let full = m.lowest_voltage_for(32, Ratio::ZERO).unwrap();
+        assert!(
+            (Millivolts(960)..=Millivolts(980)).contains(&full),
+            "full-capacity fault-free floor: {full}"
+        );
+        // Relaxing either capacity or tolerance reaches lower voltages.
+        let half = m.lowest_voltage_for(16, Ratio(1e-6));
+        assert!(half.is_some());
+        assert!(half.unwrap() <= Millivolts(980));
+        // Nothing tolerates total failure fault-free.
+        assert_eq!(m.lowest_voltage_for(1, Ratio::ZERO) < Some(Millivolts(900)), false);
+    }
+
+    #[test]
+    fn unswept_voltage_yields_empty() {
+        let m = map();
+        assert!(m.usable_pcs(Millivolts(985), Ratio::ONE).is_empty());
+        assert!(m.profile(PcIndex::new(0).unwrap()).at(Millivolts(985)).is_none());
+    }
+
+    #[test]
+    fn stack_means_reflect_skew() {
+        let m = map();
+        let v = Millivolts(880);
+        let r0 = m.stack_mean_union(StackId(0), v).unwrap().as_f64();
+        let r1 = m.stack_mean_union(StackId(1), v).unwrap().as_f64();
+        assert!(r0 > 0.0 && r1 > 0.0);
+        assert!(r1 > r0 * 0.8, "sanity: rates comparable, {r0} vs {r1}");
+    }
+
+    #[test]
+    fn serde_json_round_trip() {
+        let m = map();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: FaultMap = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

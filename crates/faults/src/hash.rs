@@ -1,0 +1,122 @@
+//! Deterministic hashing used to derive per-bit uniform draws.
+//!
+//! Every random-looking quantity in the fault model (a bit's failure
+//! threshold, its polarity class, a region's weakness) is a pure function of
+//! the device seed and the entity's address, computed with a SplitMix64-style
+//! mixer. That makes fault maps reproducible across runs and platforms and
+//! gives the monotone-in-voltage fault sets the trade-off analysis relies
+//! on.
+
+/// SplitMix64 finalizer: a fast, high-quality 64-bit mixing function.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_faults::hash::mix64;
+///
+/// // Deterministic and sensitive to every input bit.
+/// assert_eq!(mix64(42), mix64(42));
+/// assert_ne!(mix64(42), mix64(43));
+/// ```
+#[must_use]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Combines several 64-bit parts into one hash by iterated mixing.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_faults::hash::combine;
+///
+/// assert_ne!(combine(&[1, 2]), combine(&[2, 1])); // order matters
+/// ```
+#[must_use]
+pub fn combine(parts: &[u64]) -> u64 {
+    let mut acc = 0x243F_6A88_85A3_08D3; // π digits; arbitrary non-zero seed
+    for &part in parts {
+        acc = mix64(acc ^ part);
+    }
+    acc
+}
+
+/// Maps a hash to a uniform `f64` in `[0, 1)` with full 53-bit precision.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_faults::hash::{mix64, unit};
+///
+/// let u = unit(mix64(123));
+/// assert!((0.0..1.0).contains(&u));
+/// ```
+#[must_use]
+pub fn unit(hash: u64) -> f64 {
+    // Take the top 53 bits as the mantissa of a uniform in [0, 1).
+    (hash >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Splits a 64-bit hash into two independent 32-bit uniforms in `[0, 1)`.
+#[must_use]
+pub fn unit_pair(hash: u64) -> (f64, f64) {
+    let lo = (hash & 0xFFFF_FFFF) as f64 / f64::from(u32::MAX) / (1.0 + f64::EPSILON);
+    let hi = (hash >> 32) as f64 / f64::from(u32::MAX) / (1.0 + f64::EPSILON);
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_known_good_dispersion() {
+        // Consecutive inputs should produce wildly different outputs.
+        let a = mix64(0);
+        let b = mix64(1);
+        assert_ne!(a, b);
+        assert!( (a ^ b).count_ones() > 10, "poor avalanche: {a:x} vs {b:x}");
+    }
+
+    #[test]
+    fn combine_is_order_sensitive_and_deterministic() {
+        assert_eq!(combine(&[7, 8, 9]), combine(&[7, 8, 9]));
+        assert_ne!(combine(&[7, 8, 9]), combine(&[9, 8, 7]));
+        assert_ne!(combine(&[]), combine(&[0]));
+    }
+
+    #[test]
+    fn unit_in_range_and_uniform_ish() {
+        let mut sum = 0.0;
+        let n = 10_000;
+        for i in 0..n {
+            let u = unit(mix64(i));
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / f64::from(n as u32);
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn unit_pair_in_range() {
+        for i in 0..1000 {
+            let (lo, hi) = unit_pair(mix64(i));
+            assert!((0.0..1.0).contains(&lo));
+            assert!((0.0..1.0).contains(&hi));
+        }
+    }
+
+    #[test]
+    fn unit_preserves_full_precision() {
+        // Probabilities as small as 1e-13 must be resolvable.
+        let tiny = 1e-13;
+        let below = (tiny * (1u64 << 53) as f64) as u64;
+        assert!(below > 0, "53-bit uniforms resolve 1e-13");
+        assert!(unit(below << 11) > 0.0);
+        assert!(unit(0) < tiny);
+    }
+}

@@ -1,0 +1,514 @@
+//! The fault injector: turns the statistical model into concrete stuck-bit
+//! masks for every word of the device, deterministically.
+
+use hbm_device::{HbmGeometry, PcIndex, Word256, WordOffset};
+use hbm_units::{Celsius, Millivolts};
+use serde::{Deserialize, Serialize};
+
+use crate::hash::{combine, unit, unit_pair};
+use crate::params::FaultModelParams;
+use crate::variation::ShiftTable;
+
+/// The failure polarity of a faulty bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultPolarity {
+    /// The bit reads 0 regardless of the stored value (observed as a 1→0
+    /// flip when a 1 was written).
+    StuckAtZero,
+    /// The bit reads 1 regardless of the stored value (observed as a 0→1
+    /// flip when a 0 was written).
+    StuckAtOne,
+}
+
+/// Deterministic fault injector.
+///
+/// For every `(pseudo channel, word offset, bit)` and supply voltage, the
+/// injector decides whether the bit is stuck and in which polarity, as a
+/// pure function of the device seed. Key properties (all property-tested):
+///
+/// - **guardband**: no faults at or above V_min;
+/// - **determinism**: identical masks for identical inputs;
+/// - **monotonicity**: the faulty-bit set only grows as voltage drops;
+/// - **exact rates**: the expected per-bit fault probability equals
+///   `share_π × c_π(v_eff)` per polarity class.
+///
+/// # Performance
+///
+/// A naive implementation hashes every bit (256 hashes per word). The
+/// injector instead uses exact two-level sampling: one 64-bit hash per word
+/// and polarity acts as a gate with probability
+/// `p_any = 1 − (1 − s·c)^256`; only gated words enumerate their bits, each
+/// bit testing its (class-conditional) draw against `c / p_any`. Because
+/// `x ↦ c/(1−(1−sc)^256)` is increasing in `c` (chord slope of a concave
+/// function through the origin), monotonicity in voltage is preserved, and
+/// the per-bit marginal probability is exactly `s·c`. In the fault-free
+/// and low-fault regimes this costs ~2 hashes per word.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_device::{HbmGeometry, PcIndex, Word256, WordOffset};
+/// use hbm_faults::{FaultInjector, FaultModelParams};
+/// use hbm_units::Millivolts;
+///
+/// # fn main() -> Result<(), hbm_device::DeviceError> {
+/// let injector = FaultInjector::new(
+///     FaultModelParams::date21(),
+///     HbmGeometry::vcu128_reduced(),
+///     99,
+/// );
+/// let pc = PcIndex::new(0)?;
+/// let (stuck0, stuck1) = injector.stuck_masks(pc, WordOffset(0), Millivolts(850));
+/// // Masks never overlap: a bit fails towards exactly one value.
+/// assert!((stuck0 & stuck1).is_zero());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    params: FaultModelParams,
+    geometry: HbmGeometry,
+    seed: u64,
+    temperature: Celsius,
+    shift_table: ShiftTable,
+}
+
+/// Domain-separation tags for the hash streams.
+const TAG_GATE0: u64 = 0x6761_7430;
+const TAG_GATE1: u64 = 0x6761_7431;
+const TAG_BIT: u64 = 0x6269_7400;
+
+impl FaultInjector {
+    /// Creates an injector for a device geometry with a device seed (the
+    /// seed identifies the simulated silicon specimen).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail validation.
+    #[must_use]
+    pub fn new(params: FaultModelParams, geometry: HbmGeometry, seed: u64) -> Self {
+        params.validate();
+        let shift_table = ShiftTable::new(&params.variation, seed, geometry);
+        FaultInjector {
+            params,
+            geometry,
+            seed,
+            temperature: Celsius::STUDY_AMBIENT,
+            shift_table,
+        }
+    }
+
+    /// The model parameters.
+    #[must_use]
+    pub fn params(&self) -> &FaultModelParams {
+        &self.params
+    }
+
+    /// The device geometry.
+    #[must_use]
+    pub fn geometry(&self) -> HbmGeometry {
+        self.geometry
+    }
+
+    /// The device seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The modelled operating temperature.
+    #[must_use]
+    pub fn temperature(&self) -> Celsius {
+        self.temperature
+    }
+
+    /// Sets the operating temperature (the study keeps it at 35 ± 1 °C).
+    pub fn set_temperature(&mut self, temperature: Celsius) {
+        self.temperature = temperature;
+    }
+
+    /// Total local variation shift of a word's location, in volts.
+    fn local_shift_volts(&self, pc: PcIndex, offset: WordOffset) -> f64 {
+        let decoded = offset.decode(self.geometry);
+        let var = &self.params.variation;
+        self.shift_table.pc_shift_volts(pc)
+            + var.bank_shift_volts(self.seed, pc, decoded.bank)
+            + var.region_shift_volts(self.seed, pc, decoded.bank, decoded.row)
+            + var.temperature_shift_volts(self.temperature)
+    }
+
+    /// Class-conditional fault probabilities `(c_stuck0, c_stuck1)` at a
+    /// location for a supply voltage, after guardband gating.
+    #[must_use]
+    pub fn class_probabilities(
+        &self,
+        pc: PcIndex,
+        offset: WordOffset,
+        supply: Millivolts,
+    ) -> (f64, f64) {
+        if supply >= self.params.landmarks.v_min {
+            return (0.0, 0.0);
+        }
+        let v = f64::from(supply.as_u32()) / 1000.0;
+        let shift = self.local_shift_volts(pc, offset);
+        (
+            self.params.class_probability(&self.params.curve_stuck0, v, shift),
+            self.params.class_probability(&self.params.curve_stuck1, v, shift),
+        )
+    }
+
+    /// Computes the stuck-at masks of one word at a supply voltage:
+    /// `(stuck-at-0 mask, stuck-at-1 mask)`. The masks are disjoint.
+    #[must_use]
+    pub fn stuck_masks(
+        &self,
+        pc: PcIndex,
+        offset: WordOffset,
+        supply: Millivolts,
+    ) -> (Word256, Word256) {
+        let (c0, c1) = self.class_probabilities(pc, offset, supply);
+        if c0 == 0.0 && c1 == 0.0 {
+            return (Word256::ZERO, Word256::ZERO);
+        }
+
+        let s0 = self.params.stuck0_share;
+        let s1 = self.params.stuck1_share();
+        // Word-level any-fault gates, one per polarity class.
+        let p_any0 = p_any(s0 * c0);
+        let p_any1 = p_any(s1 * c1);
+        let base = &[self.seed, u64::from(pc.as_u8()), offset.0];
+        let gate0 = p_any0 > 0.0
+            && unit(combine(&[base[0], base[1], base[2], TAG_GATE0])) < p_any0;
+        let gate1 = p_any1 > 0.0
+            && unit(combine(&[base[0], base[1], base[2], TAG_GATE1])) < p_any1;
+        if !gate0 && !gate1 {
+            return (Word256::ZERO, Word256::ZERO);
+        }
+
+        // Conditional per-bit thresholds within a gated word.
+        let cond0 = if gate0 { (c0 / p_any0).min(1.0) } else { 0.0 };
+        let cond1 = if gate1 { (c1 / p_any1).min(1.0) } else { 0.0 };
+
+        let mut stuck0 = Word256::ZERO;
+        let mut stuck1 = Word256::ZERO;
+        for bit in 0u32..Word256::BITS {
+            let h = combine(&[base[0], base[1], base[2], TAG_BIT, u64::from(bit)]);
+            let (class_u, thresh_u) = unit_pair(h);
+            if class_u < s0 {
+                if thresh_u < cond0 {
+                    stuck0 = stuck0.with_bit_set(bit);
+                }
+            } else if thresh_u < cond1 {
+                stuck1 = stuck1.with_bit_set(bit);
+            }
+        }
+        (stuck0, stuck1)
+    }
+
+    /// Applies the fault model to a stored word: what a read at `supply`
+    /// observes.
+    #[must_use]
+    pub fn observe(
+        &self,
+        stored: Word256,
+        pc: PcIndex,
+        offset: WordOffset,
+        supply: Millivolts,
+    ) -> Word256 {
+        let (stuck0, stuck1) = self.stuck_masks(pc, offset, supply);
+        stored.with_stuck_bits(stuck0, stuck1)
+    }
+
+    /// Queries a single bit: `None` if healthy at `supply`, otherwise its
+    /// polarity. Slower than [`FaultInjector::stuck_masks`] per word; meant
+    /// for fault-map spot checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 256`.
+    #[must_use]
+    pub fn bit_fault(
+        &self,
+        pc: PcIndex,
+        offset: WordOffset,
+        bit: u32,
+        supply: Millivolts,
+    ) -> Option<FaultPolarity> {
+        assert!(bit < Word256::BITS, "bit index {bit} out of range");
+        let (stuck0, stuck1) = self.stuck_masks(pc, offset, supply);
+        if stuck0.bit(bit) {
+            Some(FaultPolarity::StuckAtZero)
+        } else if stuck1.bit(bit) {
+            Some(FaultPolarity::StuckAtOne)
+        } else {
+            None
+        }
+    }
+
+    /// Counts faulty bits of each polarity over a contiguous word range of
+    /// one pseudo channel: `(stuck-at-0, stuck-at-1)`.
+    ///
+    /// This is what a write/read-back test with both data patterns measures.
+    #[must_use]
+    pub fn count_range(
+        &self,
+        pc: PcIndex,
+        words: std::ops::Range<u64>,
+        supply: Millivolts,
+    ) -> (u64, u64) {
+        let mut n0 = 0u64;
+        let mut n1 = 0u64;
+        for w in words {
+            let (stuck0, stuck1) = self.stuck_masks(pc, WordOffset(w), supply);
+            n0 += u64::from(stuck0.count_ones());
+            n1 += u64::from(stuck1.count_ones());
+        }
+        (n0, n1)
+    }
+
+    /// Iterates over the *faulty* words of a range, yielding
+    /// `(offset, stuck0, stuck1)` and skipping clean words at the cost of
+    /// the two word-gate hashes only — the fast path for building fault
+    /// maps and health scans in the sparse-fault regime.
+    pub fn scan_faulty(
+        &self,
+        pc: PcIndex,
+        words: std::ops::Range<u64>,
+        supply: Millivolts,
+    ) -> impl Iterator<Item = (WordOffset, Word256, Word256)> + '_ {
+        words.filter_map(move |w| {
+            let offset = WordOffset(w);
+            let (stuck0, stuck1) = self.stuck_masks(pc, offset, supply);
+            if stuck0.is_zero() && stuck1.is_zero() {
+                None
+            } else {
+                Some((offset, stuck0, stuck1))
+            }
+        })
+    }
+}
+
+/// `1 − (1 − p)^256` computed stably for tiny `p`.
+fn p_any(p_bit: f64) -> f64 {
+    if p_bit <= 0.0 {
+        return 0.0;
+    }
+    if p_bit >= 1.0 {
+        return 1.0;
+    }
+    // 1 − (1−p)^256 = −expm1(256·ln1p(−p)), stable for tiny p.
+    (-(256.0 * f64::ln_1p(-p_bit)).exp_m1()).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn injector() -> FaultInjector {
+        FaultInjector::new(
+            FaultModelParams::date21(),
+            HbmGeometry::vcu128_reduced(),
+            1234,
+        )
+    }
+
+    fn pc(i: u8) -> PcIndex {
+        PcIndex::new(i).unwrap()
+    }
+
+    #[test]
+    fn p_any_matches_naive() {
+        for p in [1e-12, 1e-9, 1e-6, 1e-3, 0.01, 0.1, 0.5, 0.999, 1.0] {
+            let naive = 1.0 - (1.0 - p as f64).powi(256);
+            let fast = p_any(p);
+            assert!((fast - naive).abs() < 1e-9, "p = {p}: {fast} vs {naive}");
+        }
+        assert_eq!(p_any(0.0), 0.0);
+        // Tiny probabilities must not underflow to zero.
+        assert!(p_any(1e-300) > 0.0);
+    }
+
+    #[test]
+    fn guardband_is_fault_free() {
+        let inj = injector();
+        for v in [1200u32, 1100, 1000, 990, 980] {
+            for w in 0..256 {
+                let (s0, s1) = inj.stuck_masks(pc(5), WordOffset(w), Millivolts(v));
+                assert!(s0.is_zero() && s1.is_zero(), "fault at {v} mV");
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_makes_everything_faulty() {
+        let inj = injector();
+        for w in 0..64 {
+            let (s0, s1) = inj.stuck_masks(pc(0), WordOffset(w), Millivolts(820));
+            assert_eq!((s0 | s1).count_ones(), 256, "word {w} not fully faulty");
+            assert!((s0 & s1).is_zero());
+        }
+    }
+
+    #[test]
+    fn polarity_split_near_configured_share() {
+        let inj = injector();
+        let (n0, n1) = inj.count_range(pc(0), 0..2048, Millivolts(820));
+        let total = (n0 + n1) as f64;
+        let share0 = n0 as f64 / total;
+        assert!((share0 - 0.47).abs() < 0.02, "share0 = {share0}");
+    }
+
+    #[test]
+    fn masks_are_deterministic() {
+        let a = injector();
+        let b = injector();
+        for w in [0u64, 17, 4091] {
+            assert_eq!(
+                a.stuck_masks(pc(9), WordOffset(w), Millivolts(880)),
+                b.stuck_masks(pc(9), WordOffset(w), Millivolts(880))
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = injector();
+        let b = FaultInjector::new(
+            FaultModelParams::date21(),
+            HbmGeometry::vcu128_reduced(),
+            4321,
+        );
+        let mut differs = false;
+        for w in 0..512 {
+            if a.stuck_masks(pc(0), WordOffset(w), Millivolts(850))
+                != b.stuck_masks(pc(0), WordOffset(w), Millivolts(850))
+            {
+                differs = true;
+                break;
+            }
+        }
+        assert!(differs, "distinct specimens must have distinct fault maps");
+    }
+
+    #[test]
+    fn fault_set_monotone_in_voltage() {
+        let inj = injector();
+        // Sweep down in 10 mV steps; the union mask may only grow.
+        for w in 0..128u64 {
+            let mut prev = Word256::ZERO;
+            let mut v = Millivolts(980);
+            while v >= Millivolts(820) {
+                let (s0, s1) = inj.stuck_masks(pc(2), WordOffset(w), v);
+                let union = s0 | s1;
+                assert_eq!(union & prev, prev, "fault set shrank at {v} word {w}");
+                prev = union;
+                v = v.saturating_sub(Millivolts(10));
+            }
+        }
+    }
+
+    #[test]
+    fn observe_applies_polarities() {
+        let inj = injector();
+        let v = Millivolts(830);
+        let w = WordOffset(3);
+        let (s0, s1) = inj.stuck_masks(pc(1), w, v);
+        // All-ones written: stuck-at-0 bits flip to 0.
+        let ones = inj.observe(Word256::ONES, pc(1), w, v);
+        let (f10, f01) = ones.flips_from(Word256::ONES);
+        assert_eq!(f10, s0.count_ones());
+        assert_eq!(f01, 0);
+        // All-zeros written: stuck-at-1 bits flip to 1.
+        let zeros = inj.observe(Word256::ZERO, pc(1), w, v);
+        let (f10, f01) = zeros.flips_from(Word256::ZERO);
+        assert_eq!(f01, s1.count_ones());
+        assert_eq!(f10, 0);
+    }
+
+    #[test]
+    fn bit_fault_agrees_with_masks() {
+        let inj = injector();
+        let v = Millivolts(845);
+        let w = WordOffset(11);
+        let (s0, s1) = inj.stuck_masks(pc(3), w, v);
+        for bit in 0..256 {
+            let expected = if s0.bit(bit) {
+                Some(FaultPolarity::StuckAtZero)
+            } else if s1.bit(bit) {
+                Some(FaultPolarity::StuckAtOne)
+            } else {
+                None
+            };
+            assert_eq!(inj.bit_fault(pc(3), w, bit, v), expected);
+        }
+    }
+
+    #[test]
+    fn measured_rate_tracks_model_rate() {
+        // At a mid-range voltage, the empirical rate over a decent sample
+        // should approximate s0·c0 + s1·c1 averaged over variation.
+        let inj = injector();
+        let v = Millivolts(860);
+        let words = 8192u64;
+        let (n0, n1) = inj.count_range(pc(7), 0..words, v);
+        let measured = (n0 + n1) as f64 / (words as f64 * 256.0);
+
+        // Average the analytic rate over the same words.
+        let mut expected = 0.0;
+        for w in 0..words {
+            let (c0, c1) = inj.class_probabilities(pc(7), WordOffset(w), v);
+            expected += 0.47 * c0 + 0.53 * c1;
+        }
+        expected /= words as f64;
+
+        let ratio = measured / expected;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "measured {measured:.3e} vs expected {expected:.3e}"
+        );
+    }
+
+    #[test]
+    fn hotter_device_is_weaker() {
+        let mut hot = injector();
+        hot.set_temperature(Celsius(55.0));
+        let cold = injector();
+        let v = Millivolts(900);
+        let (h0, h1) = hot.count_range(pc(0), 0..4096, v);
+        let (c0, c1) = cold.count_range(pc(0), 0..4096, v);
+        assert!(h0 + h1 >= c0 + c1, "hot {h0}+{h1} vs cold {c0}+{c1}");
+    }
+
+    #[test]
+    fn scan_faulty_agrees_with_full_enumeration() {
+        let inj = injector();
+        let v = Millivolts(880);
+        let scanned: Vec<_> = inj.scan_faulty(pc(4), 0..4096, v).collect();
+        // Same totals as the counting walk.
+        let (n0, n1) = inj.count_range(pc(4), 0..4096, v);
+        let scan0: u64 = scanned.iter().map(|(_, s0, _)| u64::from(s0.count_ones())).sum();
+        let scan1: u64 = scanned.iter().map(|(_, _, s1)| u64::from(s1.count_ones())).sum();
+        assert_eq!((scan0, scan1), (n0, n1));
+        // Every yielded word really is faulty, and none is yielded twice.
+        let mut seen = std::collections::HashSet::new();
+        for (offset, s0, s1) in &scanned {
+            assert!(!(*s0 | *s1).is_zero());
+            assert!(seen.insert(offset.0));
+        }
+        // In the guardband, the scan yields nothing.
+        assert_eq!(inj.scan_faulty(pc(4), 0..4096, Millivolts(990)).count(), 0);
+    }
+
+    #[test]
+    fn conditional_threshold_monotone_in_c() {
+        // c / p_any(s·c) must be increasing in c so fault sets are monotone.
+        let s = 0.47;
+        let mut last = 0.0;
+        for i in 1..=10_000 {
+            let c = f64::from(i) / 10_000.0;
+            let ratio = c / p_any(s * c);
+            assert!(ratio >= last, "non-monotone at c = {c}");
+            last = ratio;
+        }
+    }
+}

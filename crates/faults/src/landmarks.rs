@@ -1,0 +1,156 @@
+//! The voltage landmarks the study reports.
+
+use hbm_units::Millivolts;
+use serde::{Deserialize, Serialize};
+
+/// The characteristic voltages of the study's HBM stacks.
+///
+/// | Landmark | Value | Meaning |
+/// |---|---|---|
+/// | `v_nom` | 1.20 V | nominal (datasheet) supply |
+/// | `v_min` | 0.98 V | minimum safe voltage — no faults at or above it |
+/// | `v_all_faulty` | 0.84 V | essentially every bit is faulty at or below it |
+/// | `v_critical` | 0.81 V | minimum voltage at which the device still responds |
+///
+/// # Examples
+///
+/// ```
+/// use hbm_faults::VoltageLandmarks;
+/// use hbm_units::Millivolts;
+///
+/// let lm = VoltageLandmarks::date21();
+/// assert_eq!(lm.guardband(), Millivolts(220));
+/// // The paper rounds 220/1200 ≈ 18.3 % up to "19 %".
+/// assert!((lm.guardband_fraction() - 0.1833).abs() < 1e-3);
+/// assert!(lm.in_guardband(Millivolts(1000)));
+/// assert!(!lm.in_guardband(Millivolts(970)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VoltageLandmarks {
+    /// Nominal supply voltage (V_nom).
+    pub v_nom: Millivolts,
+    /// Minimum safe voltage: the bottom of the guardband (V_min).
+    pub v_min: Millivolts,
+    /// Voltage at/below which essentially all bits are faulty.
+    pub v_all_faulty: Millivolts,
+    /// Minimum working voltage; the device crashes below it (V_critical).
+    pub v_critical: Millivolts,
+}
+
+impl VoltageLandmarks {
+    /// The landmarks measured by the DATE 2021 study.
+    #[must_use]
+    pub fn date21() -> Self {
+        VoltageLandmarks {
+            v_nom: Millivolts(1200),
+            v_min: Millivolts(980),
+            v_all_faulty: Millivolts(840),
+            v_critical: Millivolts(810),
+        }
+    }
+
+    /// Width of the guardband (V_nom − V_min).
+    #[must_use]
+    pub fn guardband(&self) -> Millivolts {
+        self.v_nom.saturating_sub(self.v_min)
+    }
+
+    /// Guardband as a fraction of the nominal voltage (the paper's "19 %").
+    #[must_use]
+    pub fn guardband_fraction(&self) -> f64 {
+        f64::from(self.guardband().as_u32()) / f64::from(self.v_nom.as_u32())
+    }
+
+    /// `true` if `v` lies in the fault-free guardband region
+    /// (`v_min ≤ v ≤ v_nom`), or above nominal.
+    #[must_use]
+    pub fn in_guardband(&self, v: Millivolts) -> bool {
+        v >= self.v_min
+    }
+
+    /// `true` if `v` lies in the unsafe region where faults occur but the
+    /// device still responds (`v_critical ≤ v < v_min`).
+    #[must_use]
+    pub fn in_unsafe_region(&self, v: Millivolts) -> bool {
+        v >= self.v_critical && v < self.v_min
+    }
+
+    /// `true` if the device crashes at `v` (below `v_critical`).
+    #[must_use]
+    pub fn crashes_at(&self, v: Millivolts) -> bool {
+        v < self.v_critical
+    }
+
+    /// Validates the ordering invariant
+    /// `v_critical ≤ v_all_faulty ≤ v_min ≤ v_nom`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the invariant does not hold.
+    pub fn validate(&self) {
+        assert!(
+            self.v_critical <= self.v_all_faulty
+                && self.v_all_faulty <= self.v_min
+                && self.v_min <= self.v_nom,
+            "landmark ordering violated: {self:?}"
+        );
+    }
+}
+
+impl Default for VoltageLandmarks {
+    fn default() -> Self {
+        VoltageLandmarks::date21()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date21_values() {
+        let lm = VoltageLandmarks::date21();
+        assert_eq!(lm.v_nom, Millivolts(1200));
+        assert_eq!(lm.v_min, Millivolts(980));
+        assert_eq!(lm.v_all_faulty, Millivolts(840));
+        assert_eq!(lm.v_critical, Millivolts(810));
+        lm.validate();
+    }
+
+    #[test]
+    fn region_classification() {
+        let lm = VoltageLandmarks::date21();
+        assert!(lm.in_guardband(Millivolts(1200)));
+        assert!(lm.in_guardband(Millivolts(980)));
+        assert!(!lm.in_guardband(Millivolts(979)));
+
+        assert!(lm.in_unsafe_region(Millivolts(970)));
+        assert!(lm.in_unsafe_region(Millivolts(810)));
+        assert!(!lm.in_unsafe_region(Millivolts(980)));
+        assert!(!lm.in_unsafe_region(Millivolts(800)));
+
+        assert!(lm.crashes_at(Millivolts(800)));
+        assert!(!lm.crashes_at(Millivolts(810)));
+    }
+
+    #[test]
+    fn guardband_is_19_percent_rounded() {
+        let lm = VoltageLandmarks::date21();
+        assert_eq!(lm.guardband(), Millivolts(220));
+        let pct = lm.guardband_fraction() * 100.0;
+        assert_eq!(pct.round() as i32, 18); // 18.33 %, reported as "19 %"
+        assert!((18.0..19.5).contains(&pct));
+    }
+
+    #[test]
+    #[should_panic(expected = "landmark ordering violated")]
+    fn bad_ordering_rejected() {
+        VoltageLandmarks {
+            v_nom: Millivolts(1000),
+            v_min: Millivolts(1100),
+            v_all_faulty: Millivolts(840),
+            v_critical: Millivolts(810),
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,219 @@
+//! The complete parameter set of the fault model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::landmarks::VoltageLandmarks;
+use crate::response::ResponseCurve;
+use crate::variation::VariationModel;
+
+/// All parameters of the fault model, with defaults calibrated to the
+/// DATE 2021 characterization (see the crate docs and `DESIGN.md` for the
+/// calibration derivation).
+///
+/// # Examples
+///
+/// ```
+/// use hbm_faults::FaultModelParams;
+///
+/// let params = FaultModelParams::date21();
+/// // Bits split into stuck-at-0 / stuck-at-1 classes.
+/// assert!((params.stuck0_share + params.stuck1_share() - 1.0).abs() < 1e-12);
+/// params.validate();
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultModelParams {
+    /// The characteristic voltages.
+    pub landmarks: VoltageLandmarks,
+    /// Response curve of stuck-at-0 bits (observed as 1→0 flips under an
+    /// all-ones pattern).
+    pub curve_stuck0: ResponseCurve,
+    /// Response curve of stuck-at-1 bits (observed as 0→1 flips under an
+    /// all-zeros pattern).
+    pub curve_stuck1: ResponseCurve,
+    /// Fraction of bits whose failure polarity is stuck-at-0.
+    pub stuck0_share: f64,
+    /// The process-variation model.
+    pub variation: VariationModel,
+    /// Slope (decades per volt) of the steep "bulk" component that collapses
+    /// the whole bit population near the saturation voltage, reproducing the
+    /// study's observation that *both* stacks become entirely faulty by
+    /// ≈0.84 V despite their process variation.
+    pub bulk_decades_per_volt: f64,
+    /// Fraction of the local variation shift that still applies to the bulk
+    /// component (the timing cliff varies much less than the weak-bit tail).
+    pub bulk_shift_scale: f64,
+}
+
+impl FaultModelParams {
+    /// Parameters calibrated to the study:
+    ///
+    /// - stuck-at-0 curve: saturation 0.840 V, 79.2 decades/V — first 1→0
+    ///   flips around 0.97 V in 8 GB, total failure at 0.84 V;
+    /// - stuck-at-1 curve: saturation 0.841 V, 86 decades/V — first 0→1
+    ///   flips around 0.96 V, and averaged over the unsafe region a rate
+    ///   ≈21 % above the 1→0 rate (the curves cross near 0.86 V);
+    /// - 47 % of bits fail towards 0, 53 % towards 1.
+    #[must_use]
+    pub fn date21() -> Self {
+        FaultModelParams {
+            landmarks: VoltageLandmarks::date21(),
+            curve_stuck0: ResponseCurve::new(0.840, 79.2),
+            curve_stuck1: ResponseCurve::new(0.841, 86.0),
+            stuck0_share: 0.47,
+            variation: VariationModel::date21(),
+            bulk_decades_per_volt: 400.0,
+            bulk_shift_scale: 0.15,
+        }
+    }
+
+    /// Fault probability of a bit of the class described by `curve`, at
+    /// supply `v_volts` under a local variation shift, combining the
+    /// exponential weak-bit tail with the steep bulk collapse.
+    ///
+    /// The guardband gate (zero at or above V_min) is applied by callers on
+    /// the *raw* supply voltage so that no variation shift can leak faults
+    /// into the guardband.
+    #[must_use]
+    pub fn class_probability(
+        &self,
+        curve: &ResponseCurve,
+        v_volts: f64,
+        shift_volts: f64,
+    ) -> f64 {
+        let tail = curve.probability(v_volts - shift_volts);
+        let bulk_arg = v_volts - self.bulk_shift_scale * shift_volts - curve.v_saturation();
+        let bulk = if bulk_arg <= 0.0 {
+            1.0
+        } else {
+            10f64.powf(-self.bulk_decades_per_volt * bulk_arg).min(1.0)
+        };
+        (tail + bulk).min(1.0)
+    }
+
+    /// The stuck-at-1 share (`1 − stuck0_share`).
+    #[must_use]
+    pub fn stuck1_share(&self) -> f64 {
+        1.0 - self.stuck0_share
+    }
+
+    /// Replaces the variation model (used by ablation benches).
+    #[must_use]
+    pub fn with_variation(mut self, variation: VariationModel) -> Self {
+        self.variation = variation;
+        self
+    }
+
+    /// Disables the polarity asymmetry: both classes share the stuck-at-0
+    /// curve and split 50/50 (ablation).
+    #[must_use]
+    pub fn without_polarity_asymmetry(mut self) -> Self {
+        self.curve_stuck1 = self.curve_stuck0;
+        self.stuck0_share = 0.5;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the landmarks are mis-ordered, the share is outside
+    /// `(0, 1)`, or a curve saturates above V_min (which would leak faults
+    /// into the guardband even before gating).
+    pub fn validate(&self) {
+        self.landmarks.validate();
+        assert!(
+            self.stuck0_share > 0.0 && self.stuck0_share < 1.0,
+            "stuck0_share must be in (0, 1), got {}",
+            self.stuck0_share
+        );
+        let v_min = f64::from(self.landmarks.v_min.as_u32()) / 1000.0;
+        assert!(
+            self.curve_stuck0.v_saturation() < v_min && self.curve_stuck1.v_saturation() < v_min,
+            "curves must saturate below V_min"
+        );
+    }
+}
+
+impl Default for FaultModelParams {
+    fn default() -> Self {
+        FaultModelParams::date21()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date21_is_valid() {
+        FaultModelParams::date21().validate();
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let p = FaultModelParams::date21();
+        assert!((p.stuck0_share + p.stuck1_share() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polarity_ablation() {
+        let p = FaultModelParams::date21().without_polarity_asymmetry();
+        assert_eq!(p.curve_stuck0, p.curve_stuck1);
+        assert_eq!(p.stuck0_share, 0.5);
+        p.validate();
+    }
+
+    #[test]
+    fn class_probability_combines_tail_and_bulk() {
+        let p = FaultModelParams::date21();
+        // Deep in the tail regime the bulk is invisible.
+        let tail_only = p.curve_stuck0.probability(0.95);
+        let combined = p.class_probability(&p.curve_stuck0, 0.95, 0.0);
+        assert!((combined - tail_only) / tail_only < 1e-6);
+        // At the saturation voltage everything is faulty, even for a bit
+        // population with a strongly negative (robust) shift.
+        assert_eq!(p.class_probability(&p.curve_stuck0, 0.83, -0.030), 1.0);
+        // Monotone in voltage for positive and negative shifts.
+        for shift in [-0.02, 0.0, 0.02] {
+            let mut last = 2.0;
+            for step in 0..150 {
+                let v = 0.80 + f64::from(step) * 0.001;
+                let c = p.class_probability(&p.curve_stuck0, v, shift);
+                assert!(c <= last, "non-monotone at {v} shift {shift}");
+                last = c;
+            }
+        }
+    }
+
+    #[test]
+    fn curves_cross_in_the_unsafe_region() {
+        // The stuck-at-1 curve must overtake the stuck-at-0 curve at low
+        // voltage (so the 0→1 average ends up higher) while staying below it
+        // near the onset (so 1→0 flips appear first).
+        let p = FaultModelParams::date21();
+        assert!(
+            p.curve_stuck1.probability(0.97) < p.curve_stuck0.probability(0.97),
+            "1→0 must onset first"
+        );
+        assert!(
+            p.curve_stuck1.probability(0.85) > p.curve_stuck0.probability(0.85),
+            "0→1 must dominate at low voltage"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "stuck0_share")]
+    fn bad_share_rejected() {
+        let mut p = FaultModelParams::date21();
+        p.stuck0_share = 1.5;
+        p.validate();
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = FaultModelParams::date21();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: FaultModelParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,189 @@
+//! The exponential voltage-response curve of a fault polarity class.
+
+use serde::{Deserialize, Serialize};
+
+/// An exponential fault-probability curve
+/// `c(v) = min(1, 10^(−D · (v − v_sat)))`.
+///
+/// `v_sat` is the saturation voltage (every bit of the class is faulty at or
+/// below it) and `D` the growth rate in *decades per volt*. The study
+/// observes exponential fault growth between the first flips at 0.97 V and
+/// total failure at ≈0.84 V; on a log scale that is a straight line, which
+/// this curve is.
+///
+/// The curve knows nothing about the guardband — the
+/// [`FaultModelParams`](crate::FaultModelParams) hard-gates voltages at or
+/// above V_min to probability zero before consulting the curve.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_faults::ResponseCurve;
+///
+/// let c = ResponseCurve::new(0.840, 79.2);
+/// assert_eq!(c.probability(0.840), 1.0);          // saturated
+/// assert_eq!(c.probability(0.800), 1.0);          // stays saturated below
+/// assert!(c.probability(0.970) < 1e-10);          // vanishing at onset
+/// assert!(c.probability(0.90) > c.probability(0.91)); // monotone
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResponseCurve {
+    v_saturation: f64,
+    decades_per_volt: f64,
+}
+
+impl ResponseCurve {
+    /// Creates a curve saturating at `v_saturation` volts with slope
+    /// `decades_per_volt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are positive and finite.
+    #[must_use]
+    pub fn new(v_saturation: f64, decades_per_volt: f64) -> Self {
+        assert!(
+            v_saturation.is_finite() && v_saturation > 0.0,
+            "saturation voltage must be positive, got {v_saturation}"
+        );
+        assert!(
+            decades_per_volt.is_finite() && decades_per_volt > 0.0,
+            "slope must be positive, got {decades_per_volt}"
+        );
+        ResponseCurve {
+            v_saturation,
+            decades_per_volt,
+        }
+    }
+
+    /// The saturation voltage in volts.
+    #[must_use]
+    pub fn v_saturation(&self) -> f64 {
+        self.v_saturation
+    }
+
+    /// The slope in decades per volt.
+    #[must_use]
+    pub fn decades_per_volt(&self) -> f64 {
+        self.decades_per_volt
+    }
+
+    /// Fault probability of a bit of this class at effective voltage
+    /// `v_volts`.
+    #[must_use]
+    pub fn probability(&self, v_volts: f64) -> f64 {
+        if v_volts <= self.v_saturation {
+            return 1.0;
+        }
+        let exponent = -self.decades_per_volt * (v_volts - self.v_saturation);
+        10f64.powf(exponent).min(1.0)
+    }
+
+    /// The failure voltage of a bit whose uniform draw is `u`: the highest
+    /// voltage at which the bit is faulty, i.e. `probability(v) ≥ u` exactly
+    /// for `v ≤ failure_voltage(u)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `u` is in `(0, 1]`.
+    #[must_use]
+    pub fn failure_voltage(&self, u: f64) -> f64 {
+        assert!(u > 0.0 && u <= 1.0, "uniform draw must be in (0, 1], got {u}");
+        self.v_saturation - u.log10() / self.decades_per_volt
+    }
+
+    /// Returns a curve shifted by `dv` volts (positive = more sensitive:
+    /// the same probabilities occur at voltages `dv` higher).
+    #[must_use]
+    pub fn shifted(&self, dv: f64) -> ResponseCurve {
+        ResponseCurve {
+            v_saturation: self.v_saturation + dv,
+            decades_per_volt: self.decades_per_volt,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> ResponseCurve {
+        ResponseCurve::new(0.840, 79.2)
+    }
+
+    #[test]
+    fn saturates_at_and_below_v_sat() {
+        let c = curve();
+        assert_eq!(c.probability(0.840), 1.0);
+        assert_eq!(c.probability(0.810), 1.0);
+        assert_eq!(c.probability(0.0), 1.0);
+    }
+
+    #[test]
+    fn exponential_decades() {
+        let c = curve();
+        // One decade per 1/79.2 volts.
+        let p1 = c.probability(0.90);
+        let p2 = c.probability(0.90 + 1.0 / 79.2);
+        assert!((p1 / p2 - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monotone_decreasing_in_voltage() {
+        let c = curve();
+        let mut last = 2.0;
+        for step in 0..200 {
+            let v = 0.80 + f64::from(step) * 0.001;
+            let p = c.probability(v);
+            assert!(p <= last, "non-monotone at {v}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn failure_voltage_inverts_probability() {
+        let c = curve();
+        for u in [1e-12, 1e-9, 1e-6, 1e-3, 0.5] {
+            let v = c.failure_voltage(u);
+            // At the failure voltage the probability equals the draw …
+            assert!((c.probability(v) - u).abs() / u < 1e-9, "u = {u}");
+            // … slightly above it the bit is healthy, slightly below faulty.
+            assert!(c.probability(v + 1e-6) < u);
+            assert!(c.probability(v - 1e-6) > u);
+        }
+        // u = 1 maps exactly to the saturation voltage.
+        assert_eq!(c.failure_voltage(1.0), c.v_saturation());
+    }
+
+    #[test]
+    fn date21_calibration_order_of_magnitude() {
+        // c10 with the study's defaults: ~5e-11 at 0.97 V → a handful of
+        // first flips in 8 GB (6.9e10 bits).
+        let c = curve();
+        let p = c.probability(0.970);
+        let expected_flips = p * 6.9e10 * 0.47;
+        assert!(
+            (0.5..30.0).contains(&expected_flips),
+            "expected first flips ≈ few, got {expected_flips}"
+        );
+    }
+
+    #[test]
+    fn shifted_curve_is_more_sensitive() {
+        let base = curve();
+        let weak = base.shifted(0.015);
+        assert!(weak.probability(0.95) > base.probability(0.95));
+        assert_eq!(weak.probability(0.855), 1.0); // saturation moved up
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn invalid_slope_rejected() {
+        let _ = ResponseCurve::new(0.84, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform draw must be in (0, 1]")]
+    fn failure_voltage_rejects_zero() {
+        let _ = curve().failure_voltage(0.0);
+    }
+}

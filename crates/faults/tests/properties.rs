@@ -1,0 +1,134 @@
+//! Property-based tests of the fault model's core guarantees.
+
+use hbm_device::{HbmGeometry, PcIndex, Word256, WordOffset};
+use hbm_faults::{FaultInjector, FaultMap, FaultModelParams, RatePredictor};
+use hbm_units::{Millivolts, Ratio};
+use proptest::prelude::*;
+
+fn injector(seed: u64) -> FaultInjector {
+    FaultInjector::new(
+        FaultModelParams::date21(),
+        HbmGeometry::vcu128_reduced(),
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No fault anywhere at or above V_min, for any seed and address.
+    #[test]
+    fn guardband_inviolable(
+        seed in any::<u64>(),
+        pc_index in 0u8..32,
+        word in 0u64..8192,
+        above in 0u32..300,
+    ) {
+        let inj = injector(seed);
+        let pc = PcIndex::new(pc_index).unwrap();
+        let v = Millivolts(980 + above);
+        let (s0, s1) = inj.stuck_masks(pc, WordOffset(word), v);
+        prop_assert!(s0.is_zero() && s1.is_zero());
+    }
+
+    /// Stuck-at masks are disjoint and deterministic at any voltage.
+    #[test]
+    fn masks_disjoint_and_deterministic(
+        seed in any::<u64>(),
+        pc_index in 0u8..32,
+        word in 0u64..8192,
+        mv in 810u32..1000,
+    ) {
+        let inj = injector(seed);
+        let pc = PcIndex::new(pc_index).unwrap();
+        let v = Millivolts(mv);
+        let (s0, s1) = inj.stuck_masks(pc, WordOffset(word), v);
+        prop_assert!((s0 & s1).is_zero());
+        prop_assert_eq!(inj.stuck_masks(pc, WordOffset(word), v), (s0, s1));
+    }
+
+    /// Dropping the voltage can only grow each polarity's fault set.
+    #[test]
+    fn fault_sets_monotone(
+        seed in any::<u64>(),
+        pc_index in 0u8..32,
+        word in 0u64..8192,
+        hi in 830u32..980,
+        delta in 1u32..100,
+    ) {
+        let inj = injector(seed);
+        let pc = PcIndex::new(pc_index).unwrap();
+        let lo = Millivolts(hi.saturating_sub(delta).max(810));
+        let hi = Millivolts(hi);
+        let (hi0, hi1) = inj.stuck_masks(pc, WordOffset(word), hi);
+        let (lo0, lo1) = inj.stuck_masks(pc, WordOffset(word), lo);
+        prop_assert_eq!(lo0 & hi0, hi0, "stuck-at-0 set shrank");
+        prop_assert_eq!(lo1 & hi1, hi1, "stuck-at-1 set shrank");
+    }
+
+    /// What a read observes is consistent with the masks for any stored
+    /// pattern: observed = (stored & !stuck0) | stuck1.
+    #[test]
+    fn observation_matches_masks(
+        seed in any::<u64>(),
+        lanes in any::<[u64; 4]>(),
+        word in 0u64..4096,
+        mv in 810u32..980,
+    ) {
+        let inj = injector(seed);
+        let pc = PcIndex::new(3).unwrap();
+        let stored = Word256(lanes);
+        let v = Millivolts(mv);
+        let (s0, s1) = inj.stuck_masks(pc, WordOffset(word), v);
+        let observed = inj.observe(stored, pc, WordOffset(word), v);
+        prop_assert_eq!(observed, (stored & !s0) | s1);
+        // A second observation is identical (faults are stuck, not noisy).
+        prop_assert_eq!(inj.observe(stored, pc, WordOffset(word), v), observed);
+    }
+
+    /// Analytic rates are monotone in voltage for every PC.
+    #[test]
+    fn analytic_rates_monotone(seed in any::<u64>(), pc_index in 0u8..32) {
+        let p = RatePredictor::new(
+            FaultModelParams::date21(),
+            HbmGeometry::vcu128(),
+            seed,
+        );
+        let pc = PcIndex::new(pc_index).unwrap();
+        let mut last = -1.0;
+        let mut v = Millivolts(990);
+        while v >= Millivolts(810) {
+            let rate = p.pc_rates(pc, v).union().as_f64();
+            prop_assert!(rate >= last, "rate shrank at {} for PC{}", v, pc_index);
+            last = rate;
+            v = v.saturating_sub(Millivolts(30));
+        }
+    }
+
+    /// Fault-map usable-PC counts are monotone in tolerance and voltage.
+    #[test]
+    fn fault_map_monotonicity(seed in any::<u64>()) {
+        let p = RatePredictor::new(
+            FaultModelParams::date21(),
+            HbmGeometry::vcu128(),
+            seed,
+        );
+        let map = FaultMap::from_predictor(
+            &p,
+            Millivolts(980),
+            Millivolts(850),
+            Millivolts(30),
+        );
+        let tolerances = [Ratio::ZERO, Ratio(1e-8), Ratio(1e-6), Ratio(1e-3), Ratio(0.1)];
+        for &v in &map.voltages {
+            let counts: Vec<usize> =
+                tolerances.iter().map(|&t| map.usable_pc_count(v, t)).collect();
+            prop_assert!(counts.windows(2).all(|w| w[0] <= w[1]), "tolerance monotonicity at {}", v);
+        }
+        for &t in &tolerances {
+            let counts: Vec<usize> =
+                map.voltages.iter().map(|&v| map.usable_pc_count(v, t)).collect();
+            prop_assert!(counts.windows(2).all(|w| w[0] >= w[1]), "voltage monotonicity");
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Effective-capacitance analysis: the paper's Fig. 3 methodology.
+//!
+//! Dividing each measured power by the square of its supply voltage strips
+//! the quadratic term from `P = α·C_L·f·V²` and leaves the effective
+//! switched-capacitance rate `α·C_L·f` in farads per second. At constant
+//! bandwidth this should be constant — unless bits stop switching, which is
+//! exactly what stuck bits below the guardband do.
+
+use hbm_units::{FaradsPerSecond, Millivolts, Ratio, Watts};
+use serde::{Deserialize, Serialize};
+
+/// One extracted `α·C_L·f` sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcfSample {
+    /// The supply voltage of the underlying power measurement.
+    pub voltage: Millivolts,
+    /// The extracted effective switched-capacitance rate.
+    pub acf: FaradsPerSecond,
+    /// The rate normalized to the series' value at the highest voltage
+    /// (1.0 = nominal behaviour, <1.0 = capacitance lost to stuck bits).
+    pub normalized: Ratio,
+}
+
+/// Extracts and normalizes `α·C_L·f` series from power measurements.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_power::PowerAnalysis;
+/// use hbm_units::{Millivolts, Watts};
+///
+/// // A perfectly quadratic series: normalized αC_Lf stays at 1.0.
+/// let samples = vec![
+///     (Millivolts(1200), Watts(9.0)),
+///     (Millivolts(1000), Watts(9.0 * (1.0f64 / 1.2f64).powi(2))),
+/// ];
+/// let series = PowerAnalysis::extract_acf(&samples);
+/// assert!((series[1].normalized.as_f64() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PowerAnalysis;
+
+impl PowerAnalysis {
+    /// Computes `α·C_L·f = P / V²` for each `(voltage, power)` sample and
+    /// normalizes the series to its first (highest-voltage) entry, exactly
+    /// as the paper's Fig. 3 normalizes each bandwidth series to its own
+    /// 1.2 V value.
+    ///
+    /// Returns an empty vector for empty input. Samples at 0 V are skipped
+    /// (the rail is off; no capacitance information).
+    #[must_use]
+    pub fn extract_acf(samples: &[(Millivolts, Watts)]) -> Vec<AcfSample> {
+        let mut out = Vec::with_capacity(samples.len());
+        let mut reference: Option<f64> = None;
+        for &(voltage, power) in samples {
+            let v = voltage.to_volts();
+            if v.as_f64() <= 0.0 {
+                continue;
+            }
+            let acf = power.as_f64() / v.squared();
+            let reference = *reference.get_or_insert(acf);
+            out.push(AcfSample {
+                voltage,
+                acf: FaradsPerSecond(acf),
+                normalized: Ratio(if reference > 0.0 { acf / reference } else { 0.0 }),
+            });
+        }
+        out
+    }
+
+    /// The largest deviation of the normalized series from 1.0 over the
+    /// voltages at or above `floor` — the paper reports ≤3 % within the
+    /// guardband.
+    #[must_use]
+    pub fn max_deviation_above(series: &[AcfSample], floor: Millivolts) -> f64 {
+        series
+            .iter()
+            .filter(|s| s.voltage >= floor)
+            .map(|s| (s.normalized.as_f64() - 1.0).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// The normalized value at an exact voltage, if present.
+    #[must_use]
+    pub fn normalized_at(series: &[AcfSample], voltage: Millivolts) -> Option<Ratio> {
+        series
+            .iter()
+            .find(|s| s.voltage == voltage)
+            .map(|s| s.normalized)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_series(acf: f64) -> Vec<(Millivolts, Watts)> {
+        (0..=39)
+            .map(|i| {
+                let mv = 1200 - i * 10;
+                let v = f64::from(mv) / 1000.0;
+                (Millivolts(mv), Watts(acf * v * v))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pure_quadratic_extracts_flat_series() {
+        let series = PowerAnalysis::extract_acf(&quadratic_series(6.25));
+        assert_eq!(series.len(), 40);
+        for s in &series {
+            assert!((s.acf.as_f64() - 6.25).abs() < 1e-9);
+            assert!((s.normalized.as_f64() - 1.0).abs() < 1e-12);
+        }
+        assert!(PowerAnalysis::max_deviation_above(&series, Millivolts(810)) < 1e-12);
+    }
+
+    #[test]
+    fn capacitance_loss_shows_as_normalized_drop() {
+        // Inject a 14 % capacitance loss at the lowest voltage.
+        let mut samples = quadratic_series(6.25);
+        let last = samples.last_mut().unwrap();
+        last.1 = Watts(last.1.as_f64() * 0.86);
+        let series = PowerAnalysis::extract_acf(&samples);
+        let lowest = series.last().unwrap();
+        assert!((lowest.normalized.as_f64() - 0.86).abs() < 1e-9);
+        assert!(
+            PowerAnalysis::max_deviation_above(&series, lowest.voltage) > 0.13
+        );
+        // Above the injected point the series is still flat.
+        assert!(
+            PowerAnalysis::max_deviation_above(&series, Millivolts(820)) < 1e-9
+        );
+    }
+
+    #[test]
+    fn normalized_at_finds_exact_voltages() {
+        let series = PowerAnalysis::extract_acf(&quadratic_series(1.0));
+        assert!(PowerAnalysis::normalized_at(&series, Millivolts(1000)).is_some());
+        assert!(PowerAnalysis::normalized_at(&series, Millivolts(1001)).is_none());
+    }
+
+    #[test]
+    fn zero_voltage_samples_skipped() {
+        let samples = vec![
+            (Millivolts::ZERO, Watts(1.0)),
+            (Millivolts(1200), Watts(9.0)),
+        ];
+        let series = PowerAnalysis::extract_acf(&samples);
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].voltage, Millivolts(1200));
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert!(PowerAnalysis::extract_acf(&[]).is_empty());
+        assert_eq!(PowerAnalysis::max_deviation_above(&[], Millivolts(0)), 0.0);
+    }
+}

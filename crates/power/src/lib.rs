@@ -1,0 +1,47 @@
+//! Analytical HBM power model, calibrated to the DATE 2021 undervolting
+//! measurements.
+//!
+//! The study's power analysis rests on the CMOS dynamic-power relation
+//! (its Equation (1)):
+//!
+//! ```text
+//! P = α · C_L · f · V_dd²
+//! ```
+//!
+//! The model in this crate captures the three behaviours the paper
+//! characterizes:
+//!
+//! - **quadratic voltage scaling**: at a fixed bandwidth, power scales with
+//!   `V²` — undervolting from 1.20 V to 0.98 V saves the famous 1.5×
+//!   regardless of utilization;
+//! - **idle floor**: an idle HBM still consumes about one third of its
+//!   full-load power (clocking and refresh keep switching capacitance);
+//! - **stuck-bit capacitance loss**: below the guardband, bits that are
+//!   stuck at 0 or 1 no longer charge/discharge, so the effective
+//!   `α·C_L·f` drops — 14 % below its nominal value at 0.85 V — which
+//!   pushes the total savings at 0.85 V to ≈2.3×.
+//!
+//! [`PowerAnalysis`] implements the paper's Fig. 3 methodology: dividing
+//! measured powers by `V²` to expose the effective switched capacitance.
+//!
+//! # Examples
+//!
+//! ```
+//! use hbm_power::HbmPowerModel;
+//! use hbm_units::{Millivolts, Ratio};
+//!
+//! let model = HbmPowerModel::date21();
+//! let nominal = model.power(Millivolts(1200), Ratio::ONE, Ratio::ZERO);
+//! let guardband = model.power(Millivolts(980), Ratio::ONE, Ratio::ZERO);
+//! let saving = nominal / guardband;
+//! assert!((saving - 1.5).abs() < 0.01, "guardband saving {saving}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod model;
+
+pub use analysis::{AcfSample, PowerAnalysis};
+pub use model::{HbmPowerModel, PowerModelParams};

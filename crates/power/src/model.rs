@@ -1,0 +1,253 @@
+//! The power model proper.
+
+use hbm_units::{FaradsPerSecond, Millivolts, Ratio, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the HBM power model.
+///
+/// The defaults are calibrated jointly to the study's relative observations
+/// (1.5× at 0.98 V, 2.3× at 0.85 V, idle ≈ ⅓ of full load, −14 % effective
+/// capacitance at 0.85 V) and to an absolute full-load figure representative
+/// of two HBM2 stacks streaming 310 GB/s (≈9 W at 1.20 V, ≈3.9 pJ/bit).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModelParams {
+    /// Effective `α·C_L·f` at 100 % bandwidth utilization, fault-free.
+    pub full_load_acf: FaradsPerSecond,
+    /// Effective `α·C_L·f` of the idle device (clocking + refresh).
+    pub idle_acf: FaradsPerSecond,
+    /// Fraction of a stuck bit's switched capacitance that is lost: the
+    /// effective capacitance scales by `1 − factor × fault_fraction`.
+    /// Calibrated so the model's fault fraction at 0.85 V (≈0.185) produces
+    /// the measured 14 % capacitance drop.
+    pub stuck_bit_capacitance_factor: f64,
+}
+
+impl PowerModelParams {
+    /// Parameters calibrated to the study.
+    #[must_use]
+    pub fn date21() -> Self {
+        PowerModelParams {
+            // 9 W at 1.2 V full load → αC_L·f = 9/1.44 = 6.25 F/s.
+            full_load_acf: FaradsPerSecond(6.25),
+            // Idle ≈ one third of full load.
+            idle_acf: FaradsPerSecond(6.25 / 3.0),
+            stuck_bit_capacitance_factor: 0.76,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacitances are not positive, the idle capacitance exceeds
+    /// the full-load one, or the stuck-bit factor is outside `[0, 1]`.
+    pub fn validate(&self) {
+        assert!(
+            self.full_load_acf.as_f64() > 0.0 && self.idle_acf.as_f64() > 0.0,
+            "capacitance rates must be positive"
+        );
+        assert!(
+            self.idle_acf <= self.full_load_acf,
+            "idle capacitance cannot exceed full-load capacitance"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.stuck_bit_capacitance_factor),
+            "stuck-bit factor must be in [0, 1]"
+        );
+    }
+}
+
+impl Default for PowerModelParams {
+    fn default() -> Self {
+        PowerModelParams::date21()
+    }
+}
+
+/// The HBM power model: `P = acf(util, faults) × V²`.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_power::HbmPowerModel;
+/// use hbm_units::{Millivolts, Ratio};
+///
+/// let model = HbmPowerModel::date21();
+///
+/// // Idle power is about a third of full-load power at the same voltage.
+/// let full = model.power(Millivolts(1200), Ratio::ONE, Ratio::ZERO);
+/// let idle = model.power(Millivolts(1200), Ratio::ZERO, Ratio::ZERO);
+/// let frac = idle / full;
+/// assert!((frac - 1.0 / 3.0).abs() < 0.01, "idle fraction {frac}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HbmPowerModel {
+    params: PowerModelParams,
+}
+
+impl HbmPowerModel {
+    /// The model with the study's calibration.
+    #[must_use]
+    pub fn date21() -> Self {
+        HbmPowerModel::new(PowerModelParams::date21())
+    }
+
+    /// Creates a model from explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters fail validation.
+    #[must_use]
+    pub fn new(params: PowerModelParams) -> Self {
+        params.validate();
+        HbmPowerModel { params }
+    }
+
+    /// The parameters.
+    #[must_use]
+    pub fn params(&self) -> PowerModelParams {
+        self.params
+    }
+
+    /// Effective `α·C_L·f` at a bandwidth utilization and union fault
+    /// fraction. Stuck bits no longer switch, scaling the capacitance by
+    /// `1 − factor × fault_fraction`.
+    #[must_use]
+    pub fn effective_acf(&self, utilization: Ratio, fault_fraction: Ratio) -> FaradsPerSecond {
+        let utilization = utilization.clamp_unit().as_f64();
+        let fault = fault_fraction.clamp_unit().as_f64();
+        let base = self.params.idle_acf.as_f64()
+            + (self.params.full_load_acf.as_f64() - self.params.idle_acf.as_f64()) * utilization;
+        FaradsPerSecond(base * (1.0 - self.params.stuck_bit_capacitance_factor * fault))
+    }
+
+    /// Total HBM power at a supply voltage, bandwidth utilization and fault
+    /// fraction.
+    #[must_use]
+    pub fn power(&self, supply: Millivolts, utilization: Ratio, fault_fraction: Ratio) -> Watts {
+        let v = supply.to_volts();
+        Watts(self.effective_acf(utilization, fault_fraction).as_f64() * v.squared())
+    }
+
+    /// Power-saving factor of running at `(supply, fault_fraction)` instead
+    /// of nominal 1.20 V fault-free, at the same utilization (undervolting
+    /// does not change bandwidth, so utilization cancels only in the
+    /// quadratic part — the ratio still depends on it only through the
+    /// identical `acf` base, hence not at all for the fault-free case).
+    #[must_use]
+    pub fn saving_factor(
+        &self,
+        supply: Millivolts,
+        utilization: Ratio,
+        fault_fraction: Ratio,
+    ) -> f64 {
+        let nominal = self.power(Millivolts(1200), utilization, Ratio::ZERO);
+        nominal / self.power(supply, utilization, fault_fraction)
+    }
+}
+
+impl Default for HbmPowerModel {
+    fn default() -> Self {
+        HbmPowerModel::date21()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_scaling() {
+        let m = HbmPowerModel::date21();
+        let p12 = m.power(Millivolts(1200), Ratio::ONE, Ratio::ZERO);
+        let p06 = m.power(Millivolts(600), Ratio::ONE, Ratio::ZERO);
+        assert!((p12 / p06 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn guardband_saving_is_1_5x_at_every_utilization() {
+        let m = HbmPowerModel::date21();
+        for util in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let s = m.saving_factor(Millivolts(980), Ratio(util), Ratio::ZERO);
+            assert!((s - 1.4994).abs() < 0.01, "util {util}: saving {s}");
+        }
+    }
+
+    #[test]
+    fn saving_at_850mv_reaches_2_3x_with_faults() {
+        let m = HbmPowerModel::date21();
+        // The fault model's device fraction at 0.85 V is ≈0.185.
+        let s = m.saving_factor(Millivolts(850), Ratio::ONE, Ratio(0.185));
+        assert!((2.2..2.45).contains(&s), "saving at 0.85 V: {s}");
+        // Without the stuck-bit effect it would only be ≈2.0×.
+        let s_nofault = m.saving_factor(Millivolts(850), Ratio::ONE, Ratio::ZERO);
+        assert!((1.95..2.05).contains(&s_nofault));
+    }
+
+    #[test]
+    fn capacitance_drop_at_850mv_is_about_14_percent() {
+        let m = HbmPowerModel::date21();
+        let nominal = m.effective_acf(Ratio::ONE, Ratio::ZERO);
+        let faulty = m.effective_acf(Ratio::ONE, Ratio(0.185));
+        let drop = 1.0 - faulty / nominal;
+        assert!((0.12..0.16).contains(&drop), "capacitance drop {drop}");
+    }
+
+    #[test]
+    fn idle_is_one_third_of_full_load() {
+        let m = HbmPowerModel::date21();
+        let frac = m.power(Millivolts(1200), Ratio::ZERO, Ratio::ZERO)
+            / m.power(Millivolts(1200), Ratio::ONE, Ratio::ZERO);
+        assert!((frac - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_monotone_in_utilization() {
+        let m = HbmPowerModel::date21();
+        let mut last = Watts::ZERO;
+        for u in 0..=10 {
+            let p = m.power(Millivolts(1200), Ratio(f64::from(u) / 10.0), Ratio::ZERO);
+            assert!(p >= last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn power_monotone_in_voltage() {
+        let m = HbmPowerModel::date21();
+        let mut v = Millivolts(1200);
+        let mut prev = Watts(f64::MAX);
+        while v >= Millivolts(810) {
+            let p = m.power(v, Ratio(0.5), Ratio::ZERO);
+            assert!(p < prev, "power must strictly drop with voltage at {v}");
+            prev = p;
+            v = v.saturating_sub(Millivolts(10));
+        }
+    }
+
+    #[test]
+    fn absolute_power_plausible() {
+        let m = HbmPowerModel::date21();
+        let p = m.power(Millivolts(1200), Ratio::ONE, Ratio::ZERO);
+        assert!((8.0..10.0).contains(&p.as_f64()), "full load {p}");
+        // ≈3.6 pJ/bit at 310 GB/s.
+        let pj_per_bit = p.as_f64() / (310.0e9 * 8.0) * 1e12;
+        assert!((2.0..7.0).contains(&pj_per_bit), "energy {pj_per_bit} pJ/bit");
+    }
+
+    #[test]
+    fn out_of_range_inputs_clamped() {
+        let m = HbmPowerModel::date21();
+        let p = m.power(Millivolts(1200), Ratio(1.7), Ratio(-0.3));
+        assert_eq!(p, m.power(Millivolts(1200), Ratio::ONE, Ratio::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "idle capacitance cannot exceed")]
+    fn invalid_params_rejected() {
+        let _ = HbmPowerModel::new(PowerModelParams {
+            full_load_acf: FaradsPerSecond(1.0),
+            idle_acf: FaradsPerSecond(2.0),
+            stuck_bit_capacitance_factor: 0.5,
+        });
+    }
+}

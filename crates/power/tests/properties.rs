@@ -1,0 +1,87 @@
+//! Property-based tests for the power model.
+
+use hbm_power::{HbmPowerModel, PowerAnalysis};
+use hbm_units::{Millivolts, Ratio, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    /// Power is strictly increasing in voltage, non-decreasing in
+    /// utilization and non-increasing in fault fraction.
+    #[test]
+    fn power_surface_monotonicity(
+        mv in 600u32..1300,
+        util in 0.0f64..1.0,
+        fault in 0.0f64..1.0,
+    ) {
+        let m = HbmPowerModel::date21();
+        let v = Millivolts(mv);
+        let p = m.power(v, Ratio(util), Ratio(fault));
+
+        let p_higher_v = m.power(v + Millivolts(10), Ratio(util), Ratio(fault));
+        prop_assert!(p_higher_v > p);
+
+        let p_more_util = m.power(v, Ratio((util + 0.1).min(1.0)), Ratio(fault));
+        prop_assert!(p_more_util >= p);
+
+        let p_more_fault = m.power(v, Ratio(util), Ratio((fault + 0.1).min(1.0)));
+        prop_assert!(p_more_fault <= p);
+    }
+
+    /// The fault-free saving factor is exactly the voltage-square ratio,
+    /// independent of utilization.
+    #[test]
+    fn fault_free_saving_is_quadratic(mv in 700u32..1200, util in 0.0f64..1.0) {
+        let m = HbmPowerModel::date21();
+        let saving = m.saving_factor(Millivolts(mv), Ratio(util), Ratio::ZERO);
+        let expected = (1200.0 / f64::from(mv)).powi(2);
+        prop_assert!((saving - expected).abs() < 1e-9, "{} vs {}", saving, expected);
+    }
+
+    /// αC_Lf extraction inverts the power model exactly: feeding model
+    /// outputs back through the analysis recovers the effective
+    /// capacitance at every voltage.
+    #[test]
+    fn analysis_inverts_model(util in 0.0f64..1.0, fault in 0.0f64..0.9) {
+        let m = HbmPowerModel::date21();
+        let samples: Vec<(Millivolts, Watts)> = (0..20)
+            .map(|i| {
+                let v = Millivolts(1200 - i * 20);
+                (v, m.power(v, Ratio(util), Ratio(fault)))
+            })
+            .collect();
+        let series = PowerAnalysis::extract_acf(&samples);
+        let expected = m.effective_acf(Ratio(util), Ratio(fault));
+        for sample in &series {
+            prop_assert!(
+                (sample.acf.as_f64() - expected.as_f64()).abs() < 1e-9,
+                "at {}", sample.voltage
+            );
+            prop_assert!((sample.normalized.as_f64() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// A capacitance loss injected at one voltage shows up in the
+    /// normalized series at exactly that voltage, at exactly that depth.
+    #[test]
+    fn analysis_localizes_capacitance_loss(
+        loss in 0.01f64..0.5,
+        position in 1usize..19,
+    ) {
+        let m = HbmPowerModel::date21();
+        let mut samples: Vec<(Millivolts, Watts)> = (0..20)
+            .map(|i| {
+                let v = Millivolts(1200 - i as u32 * 20);
+                (v, m.power(v, Ratio::ONE, Ratio::ZERO))
+            })
+            .collect();
+        samples[position].1 = Watts(samples[position].1.as_f64() * (1.0 - loss));
+        let series = PowerAnalysis::extract_acf(&samples);
+        for (i, sample) in series.iter().enumerate() {
+            let expected = if i == position { 1.0 - loss } else { 1.0 };
+            prop_assert!(
+                (sample.normalized.as_f64() - expected).abs() < 1e-9,
+                "index {} voltage {}", i, sample.voltage
+            );
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! The per-stack controller driving 16 traffic generators.
+
+use hbm_device::{DeviceError, HbmGeometry, PortId, StackId};
+
+use crate::generator::{PortProvider, TrafficGenerator};
+use crate::program::MacroProgram;
+use crate::stats::PortStats;
+
+/// The controller of one HBM stack: owns one [`TrafficGenerator`] per AXI
+/// port of the stack, configures them, runs macro programs and aggregates
+/// statistics — the study's per-stack controller of §II-B.
+///
+/// The controller does not own the memory; the caller supplies a
+/// [`PortProvider`] so the same controller drives a bare device (fault-free
+/// [`DirectPort`](crate::DirectPort)s) or the platform's fault-injecting
+/// ports.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_device::{HbmDevice, HbmGeometry, StackId};
+/// use hbm_traffic::{DataPattern, MacroProgram, StackController};
+///
+/// # fn main() -> Result<(), hbm_device::DeviceError> {
+/// let geometry = HbmGeometry::vcu128_reduced();
+/// let mut device = HbmDevice::new(geometry);
+/// let mut controller = StackController::new(geometry, StackId(0));
+/// let program = MacroProgram::write_then_check(0..256, DataPattern::AllOnes);
+///
+/// let stats = controller.run_all(&program, &mut device)?;
+/// assert_eq!(stats.len(), 16);
+/// let total: hbm_traffic::PortStats = stats.into_iter().map(|(_, s)| s).sum();
+/// assert_eq!(total.words_written, 16 * 256);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StackController {
+    stack: StackId,
+    generators: Vec<TrafficGenerator>,
+}
+
+impl StackController {
+    /// Creates the controller for `stack`, with one generator per port of
+    /// that stack.
+    #[must_use]
+    pub fn new(geometry: HbmGeometry, stack: StackId) -> Self {
+        let generators = PortId::all(geometry)
+            .filter(|port| port.direct_pc().stack(geometry) == stack)
+            .map(TrafficGenerator::new)
+            .collect();
+        StackController { stack, generators }
+    }
+
+    /// The stack this controller drives.
+    #[must_use]
+    pub fn stack(&self) -> StackId {
+        self.stack
+    }
+
+    /// The ports under this controller.
+    pub fn ports(&self) -> impl Iterator<Item = PortId> + '_ {
+        self.generators.iter().map(TrafficGenerator::port)
+    }
+
+    /// Runs `program` on every generator in port order, obtaining each
+    /// port's memory access from `provider`. Returns per-port statistics.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and propagates the first device error.
+    pub fn run_all<Pr: PortProvider>(
+        &mut self,
+        program: &MacroProgram,
+        provider: &mut Pr,
+    ) -> Result<Vec<(PortId, PortStats)>, DeviceError> {
+        let mut results = Vec::with_capacity(self.generators.len());
+        for tg in &mut self.generators {
+            let mut port = provider.port(tg.port());
+            let stats = tg.run(program, &mut port)?;
+            drop(port);
+            results.push((tg.port(), stats));
+        }
+        Ok(results)
+    }
+
+    /// Runs `program` only on the listed ports (the study's
+    /// port-disabling methodology for reduced-bandwidth and
+    /// fault-avoidance configurations).
+    ///
+    /// # Errors
+    ///
+    /// Stops at and propagates the first device error.
+    pub fn run_selected<Pr: PortProvider>(
+        &mut self,
+        program: &MacroProgram,
+        ports: &[PortId],
+        provider: &mut Pr,
+    ) -> Result<Vec<(PortId, PortStats)>, DeviceError> {
+        let mut results = Vec::new();
+        for tg in &mut self.generators {
+            if !ports.contains(&tg.port()) {
+                continue;
+            }
+            let mut port = provider.port(tg.port());
+            let stats = tg.run(program, &mut port)?;
+            drop(port);
+            results.push((tg.port(), stats));
+        }
+        Ok(results)
+    }
+
+    /// Cumulative statistics per port since the last reset.
+    #[must_use]
+    pub fn cumulative(&self) -> Vec<(PortId, PortStats)> {
+        self.generators
+            .iter()
+            .map(|tg| (tg.port(), tg.cumulative()))
+            .collect()
+    }
+
+    /// Resets all generators' statistics.
+    pub fn reset(&mut self) {
+        for tg in &mut self.generators {
+            tg.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::DataPattern;
+    use hbm_device::HbmDevice;
+
+    #[test]
+    fn controller_covers_its_stack() {
+        let g = HbmGeometry::vcu128();
+        let c0 = StackController::new(g, StackId(0));
+        let ids: Vec<u8> = c0.ports().map(|p| p.as_u8()).collect();
+        assert_eq!(ids, (0..16).collect::<Vec<_>>());
+        let c1 = StackController::new(g, StackId(1));
+        let ids: Vec<u8> = c1.ports().map(|p| p.as_u8()).collect();
+        assert_eq!(ids, (16..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_all_visits_every_port() {
+        let g = HbmGeometry::vcu128_reduced();
+        let mut device = HbmDevice::new(g);
+        let mut controller = StackController::new(g, StackId(1));
+        let program = MacroProgram::write_then_check(0..32, DataPattern::AllZeros);
+        let stats = controller.run_all(&program, &mut device).unwrap();
+        assert_eq!(stats.len(), 16);
+        for (port, s) in &stats {
+            assert!(port.as_u8() >= 16);
+            assert_eq!(s.words_written, 32);
+            assert_eq!(s.total_flips(), 0);
+        }
+    }
+
+    #[test]
+    fn run_selected_respects_port_list() {
+        let g = HbmGeometry::vcu128_reduced();
+        let mut device = HbmDevice::new(g);
+        let mut controller = StackController::new(g, StackId(0));
+        let program = MacroProgram::write_then_check(0..8, DataPattern::AllOnes);
+        let ports = [PortId::new(2).unwrap(), PortId::new(9).unwrap()];
+        let stats = controller
+            .run_selected(&program, &ports, &mut device)
+            .unwrap();
+        let ids: Vec<u8> = stats.iter().map(|(p, _)| p.as_u8()).collect();
+        assert_eq!(ids, vec![2, 9]);
+    }
+
+    #[test]
+    fn cumulative_and_reset() {
+        let g = HbmGeometry::vcu128_reduced();
+        let mut device = HbmDevice::new(g);
+        let mut controller = StackController::new(g, StackId(0));
+        let program = MacroProgram::write_then_check(0..8, DataPattern::AllOnes);
+        controller.run_all(&program, &mut device).unwrap();
+        let total: PortStats = controller.cumulative().into_iter().map(|(_, s)| s).sum();
+        assert_eq!(total.words_written, 16 * 8);
+        controller.reset();
+        let total: PortStats = controller.cumulative().into_iter().map(|(_, s)| s).sum();
+        assert_eq!(total, PortStats::default());
+    }
+}

@@ -1,0 +1,327 @@
+//! The traffic generator and the memory-port abstraction it drives.
+
+use hbm_device::{DeviceError, HbmDevice, PortId, Word256, WordOffset};
+
+use crate::program::{MacroCommand, MacroProgram};
+use crate::stats::PortStats;
+
+/// Word-granular access through one AXI port.
+///
+/// The platform layer implements this with undervolting fault injection on
+/// the read path; [`DirectPort`] provides the fault-free implementation over
+/// a bare [`HbmDevice`].
+pub trait MemoryPort {
+    /// Writes one word.
+    ///
+    /// # Errors
+    ///
+    /// Device errors (crash, disabled port, out-of-range address).
+    fn write(&mut self, offset: WordOffset, word: Word256) -> Result<(), DeviceError>;
+
+    /// Reads one word.
+    ///
+    /// # Errors
+    ///
+    /// Device errors (crash, disabled port, out-of-range address).
+    fn read(&mut self, offset: WordOffset) -> Result<Word256, DeviceError>;
+}
+
+/// Fault-free port access over a bare device (no undervolting effects).
+#[derive(Debug)]
+pub struct DirectPort<'a> {
+    device: &'a mut HbmDevice,
+    port: PortId,
+}
+
+impl<'a> DirectPort<'a> {
+    /// Wraps one AXI port of a device.
+    pub fn new(device: &'a mut HbmDevice, port: PortId) -> Self {
+        DirectPort { device, port }
+    }
+}
+
+impl MemoryPort for DirectPort<'_> {
+    fn write(&mut self, offset: WordOffset, word: Word256) -> Result<(), DeviceError> {
+        self.device.axi_write(self.port, offset, word)
+    }
+
+    fn read(&mut self, offset: WordOffset) -> Result<Word256, DeviceError> {
+        self.device.axi_read(self.port, offset)
+    }
+}
+
+impl<P: MemoryPort + ?Sized> MemoryPort for &mut P {
+    fn write(&mut self, offset: WordOffset, word: Word256) -> Result<(), DeviceError> {
+        (**self).write(offset, word)
+    }
+
+    fn read(&mut self, offset: WordOffset) -> Result<Word256, DeviceError> {
+        (**self).read(offset)
+    }
+}
+
+/// A source of [`MemoryPort`]s by port id — what a
+/// [`StackController`](crate::StackController) drives its generators
+/// through. Implemented by
+/// [`HbmDevice`] (fault-free direct access) and by the platform layer's
+/// undervolted device view (with fault injection).
+pub trait PortProvider {
+    /// The port access type lent out per call.
+    type Port<'a>: MemoryPort
+    where
+        Self: 'a;
+
+    /// Lends access to one AXI port.
+    fn port(&mut self, id: PortId) -> Self::Port<'_>;
+}
+
+impl PortProvider for HbmDevice {
+    type Port<'a> = DirectPort<'a>;
+
+    fn port(&mut self, id: PortId) -> DirectPort<'_> {
+        DirectPort::new(self, id)
+    }
+}
+
+/// One AXI traffic generator: executes macro programs through a port and
+/// gathers statistics.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_device::{HbmDevice, HbmGeometry, PortId};
+/// use hbm_traffic::{DataPattern, DirectPort, MacroProgram, TrafficGenerator};
+///
+/// # fn main() -> Result<(), hbm_device::DeviceError> {
+/// let mut device = HbmDevice::new(HbmGeometry::vcu128_reduced());
+/// let port = PortId::new(7)?;
+/// let mut tg = TrafficGenerator::new(port);
+/// let program = MacroProgram::write_then_check(0..64, DataPattern::Checkerboard);
+/// let stats = tg.run(&program, &mut DirectPort::new(&mut device, port))?;
+/// assert_eq!(stats.words_read, 64);
+/// assert_eq!(stats.faulty_words, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrafficGenerator {
+    port: PortId,
+    cumulative: PortStats,
+}
+
+impl TrafficGenerator {
+    /// Creates the generator for one port.
+    #[must_use]
+    pub fn new(port: PortId) -> Self {
+        TrafficGenerator {
+            port,
+            cumulative: PortStats::default(),
+        }
+    }
+
+    /// The port this generator drives.
+    #[must_use]
+    pub fn port(&self) -> PortId {
+        self.port
+    }
+
+    /// Runs a program through `port`, returning this run's statistics and
+    /// accumulating them into the generator's totals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first device error (e.g. the device crashed below the
+    /// critical voltage); statistics gathered up to that point are kept in
+    /// the cumulative totals.
+    pub fn run<P: MemoryPort>(
+        &mut self,
+        program: &MacroProgram,
+        port: &mut P,
+    ) -> Result<PortStats, DeviceError> {
+        let mut stats = PortStats::default();
+        let result = self.execute(program, port, &mut stats);
+        self.cumulative.merge(&stats);
+        result.map(|()| stats)
+    }
+
+    fn execute<P: MemoryPort>(
+        &mut self,
+        program: &MacroProgram,
+        port: &mut P,
+        stats: &mut PortStats,
+    ) -> Result<(), DeviceError> {
+        for command in program.commands() {
+            match *command {
+                MacroCommand::Write {
+                    start,
+                    count,
+                    pattern,
+                } => {
+                    for i in 0..count {
+                        port.write(WordOffset(start + i), pattern.word_at(start + i))?;
+                        stats.words_written += 1;
+                    }
+                }
+                MacroCommand::ReadCheck {
+                    start,
+                    count,
+                    pattern,
+                } => {
+                    for i in 0..count {
+                        let offset = start + i;
+                        let observed = port.read(WordOffset(offset))?;
+                        stats.words_read += 1;
+                        let expected = pattern.word_at(offset);
+                        if observed != expected {
+                            stats.faulty_words += 1;
+                            let (f10, f01) = observed.flips_from(expected);
+                            stats.flips_1to0 += u64::from(f10);
+                            stats.flips_0to1 += u64::from(f01);
+                        }
+                    }
+                }
+                MacroCommand::Read { start, count } => {
+                    for i in 0..count {
+                        port.read(WordOffset(start + i))?;
+                        stats.words_read += 1;
+                    }
+                }
+                MacroCommand::ReadStrided {
+                    start,
+                    count,
+                    stride,
+                } => {
+                    for i in 0..count {
+                        port.read(WordOffset(start + i * stride))?;
+                        stats.words_read += 1;
+                    }
+                }
+                MacroCommand::ReadRandom { seed, count, span } => {
+                    for i in 0..count {
+                        let offset = MacroCommand::random_offset(seed, span, i);
+                        port.read(WordOffset(offset))?;
+                        stats.words_read += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Statistics accumulated across all runs since construction or the
+    /// last [`TrafficGenerator::reset`].
+    #[must_use]
+    pub fn cumulative(&self) -> PortStats {
+        self.cumulative
+    }
+
+    /// Clears the cumulative statistics (the study's `reset_axi_ports()`).
+    pub fn reset(&mut self) {
+        self.cumulative = PortStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::DataPattern;
+    use hbm_device::HbmGeometry;
+    use hbm_units::Millivolts;
+
+    fn device() -> HbmDevice {
+        HbmDevice::new(HbmGeometry::vcu128_reduced())
+    }
+
+    fn port(i: u8) -> PortId {
+        PortId::new(i).unwrap()
+    }
+
+    #[test]
+    fn write_then_check_clean_device() {
+        let mut dev = device();
+        let mut tg = TrafficGenerator::new(port(0));
+        for pattern in [
+            DataPattern::AllOnes,
+            DataPattern::AllZeros,
+            DataPattern::Checkerboard,
+            DataPattern::Prbs { seed: 5 },
+            DataPattern::AddressAsData,
+        ] {
+            let program = MacroProgram::write_then_check(0..512, pattern);
+            let stats = tg.run(&program, &mut DirectPort::new(&mut dev, port(0))).unwrap();
+            assert_eq!(stats.words_written, 512, "{pattern}");
+            assert_eq!(stats.words_read, 512);
+            assert_eq!(stats.faulty_words, 0, "{pattern}");
+            assert_eq!(stats.total_flips(), 0);
+        }
+    }
+
+    #[test]
+    fn detects_mismatches_with_polarity() {
+        // Write zeros, then check against ones: every bit reads as a 1→0
+        // flip (expected 1, observed 0).
+        let mut dev = device();
+        let mut tg = TrafficGenerator::new(port(1));
+        let program = MacroProgram::new()
+            .then(MacroCommand::Write {
+                start: 0,
+                count: 4,
+                pattern: DataPattern::AllZeros,
+            })
+            .then(MacroCommand::ReadCheck {
+                start: 0,
+                count: 4,
+                pattern: DataPattern::AllOnes,
+            });
+        let stats = tg.run(&program, &mut DirectPort::new(&mut dev, port(1))).unwrap();
+        assert_eq!(stats.faulty_words, 4);
+        assert_eq!(stats.flips_1to0, 4 * 256);
+        assert_eq!(stats.flips_0to1, 0);
+    }
+
+    #[test]
+    fn cumulative_accumulates_and_resets() {
+        let mut dev = device();
+        let mut tg = TrafficGenerator::new(port(2));
+        let program = MacroProgram::write_then_check(0..16, DataPattern::AllOnes);
+        tg.run(&program, &mut DirectPort::new(&mut dev, port(2))).unwrap();
+        tg.run(&program, &mut DirectPort::new(&mut dev, port(2))).unwrap();
+        assert_eq!(tg.cumulative().words_written, 32);
+        tg.reset();
+        assert_eq!(tg.cumulative(), PortStats::default());
+    }
+
+    #[test]
+    fn crash_mid_program_propagates() {
+        let mut dev = device();
+        dev.set_supply(Millivolts(800)); // below critical: crashed
+        let mut tg = TrafficGenerator::new(port(3));
+        let program = MacroProgram::write_then_check(0..8, DataPattern::AllOnes);
+        let err = tg
+            .run(&program, &mut DirectPort::new(&mut dev, port(3)))
+            .unwrap_err();
+        assert_eq!(err, DeviceError::Crashed);
+    }
+
+    #[test]
+    fn streaming_reads_count_bandwidth_words() {
+        let mut dev = device();
+        let mut tg = TrafficGenerator::new(port(4));
+        let program = MacroProgram::streaming_reads(0..128, 3);
+        let stats = tg.run(&program, &mut DirectPort::new(&mut dev, port(4))).unwrap();
+        assert_eq!(stats.words_read, 384);
+        assert_eq!(stats.words_written, 0);
+        assert_eq!(stats.faulty_words, 0);
+    }
+
+    #[test]
+    fn memory_port_trait_object_usable() {
+        let mut dev = device();
+        let mut direct = DirectPort::new(&mut dev, port(5));
+        let dyn_port: &mut dyn MemoryPort = &mut direct;
+        let mut tg = TrafficGenerator::new(port(5));
+        let program = MacroProgram::write_then_check(0..4, DataPattern::AllOnes);
+        let stats = tg.run(&program, &mut &mut *dyn_port).unwrap();
+        assert_eq!(stats.words_read, 4);
+    }
+}

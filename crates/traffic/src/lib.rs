@@ -1,0 +1,56 @@
+//! AXI traffic generation for the HBM undervolting experiments.
+//!
+//! The study's §II-B instruments each HBM stack with a controller holding
+//! one **AXI Traffic Generator** (TG) per AXI port. The controller
+//! configures each TG, sends *macro commands*, receives responses, checks
+//! status and reports statistics back to the host. This crate models that
+//! layer:
+//!
+//! - [`DataPattern`]: the test patterns (the paper uses all-ones and
+//!   all-zeros to separate 1→0 from 0→1 flips; extensions like
+//!   checkerboard and PRBS are included for the pattern-sensitivity
+//!   exploration);
+//! - [`MacroCommand`] / [`MacroProgram`]: the TG command language
+//!   (sequential writes, read-checks, raw reads);
+//! - [`TrafficGenerator`]: executes a program against a [`MemoryPort`] and
+//!   gathers [`PortStats`] (word counts, fault counts split by polarity);
+//! - [`StackController`]: drives the 16 TGs of one stack;
+//! - [`MemoryPort`]: the access abstraction the platform layer implements
+//!   (with fault injection) and [`DirectPort`] implements (fault-free).
+//!
+//! # Examples
+//!
+//! ```
+//! use hbm_device::{HbmDevice, HbmGeometry, PortId};
+//! use hbm_traffic::{DataPattern, DirectPort, MacroProgram, TrafficGenerator};
+//!
+//! # fn main() -> Result<(), hbm_device::DeviceError> {
+//! let mut device = HbmDevice::new(HbmGeometry::vcu128_reduced());
+//! let port = PortId::new(0)?;
+//! let program = MacroProgram::write_then_check(0..1024, DataPattern::AllOnes);
+//!
+//! let mut tg = TrafficGenerator::new(port);
+//! let stats = tg.run(&program, &mut DirectPort::new(&mut device, port))?;
+//! // Fault-free device: everything written, nothing flipped.
+//! assert_eq!(stats.words_written, 1024);
+//! assert_eq!(stats.total_flips(), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod controller;
+mod generator;
+mod march;
+mod pattern;
+mod program;
+mod stats;
+
+pub use controller::StackController;
+pub use generator::{DirectPort, MemoryPort, PortProvider, TrafficGenerator};
+pub use march::{AddressOrder, MarchElement, MarchOp, MarchTest};
+pub use pattern::DataPattern;
+pub use program::{MacroCommand, MacroProgram};
+pub use stats::PortStats;

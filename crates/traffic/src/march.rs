@@ -1,0 +1,328 @@
+//! March memory tests: the classical DRAM test algorithms (MATS+,
+//! March X, March C−) expressed over the AXI word path.
+//!
+//! The study's Algorithm 1 is a simple write-all/read-all pass, which
+//! detects stuck-at faults — exactly what undervolting produces. March
+//! tests interleave reads and writes per address in ascending and
+//! descending order, additionally covering transition and coupling faults;
+//! they are included as the natural extension for users who want
+//! production-grade screening of an undervolted configuration.
+
+use serde::{Deserialize, Serialize};
+
+use hbm_device::{DeviceError, Word256, WordOffset};
+
+use crate::generator::MemoryPort;
+use crate::stats::PortStats;
+
+/// One operation of a march element, on the word the element is visiting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MarchOp {
+    /// Read, expecting the background pattern (all zeros).
+    R0,
+    /// Read, expecting the inverted background (all ones).
+    R1,
+    /// Write the background pattern (all zeros).
+    W0,
+    /// Write the inverted background (all ones).
+    W1,
+}
+
+/// Address traversal order of a march element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AddressOrder {
+    /// Ascending (⇑ in march notation).
+    Ascending,
+    /// Descending (⇓).
+    Descending,
+    /// Order irrelevant (⇕) — executed ascending.
+    Any,
+}
+
+/// One march element: an address order plus the per-address operation
+/// sequence, e.g. `⇑(r0,w1)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MarchElement {
+    /// Traversal order.
+    pub order: AddressOrder,
+    /// Operations applied at every address, in sequence.
+    pub ops: Vec<MarchOp>,
+}
+
+impl MarchElement {
+    /// Creates an element.
+    #[must_use]
+    pub fn new(order: AddressOrder, ops: Vec<MarchOp>) -> Self {
+        MarchElement { order, ops }
+    }
+}
+
+/// A complete march test.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_device::{HbmDevice, HbmGeometry, PortId};
+/// use hbm_traffic::{DirectPort, MarchTest};
+///
+/// # fn main() -> Result<(), hbm_device::DeviceError> {
+/// let mut device = HbmDevice::new(HbmGeometry::vcu128_reduced());
+/// let port = PortId::new(0)?;
+/// let stats = MarchTest::march_c_minus().run(
+///     &mut DirectPort::new(&mut device, port),
+///     0..512,
+/// )?;
+/// assert_eq!(stats.total_flips(), 0, "fault-free memory passes March C-");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MarchTest {
+    /// Human-readable name ("March C-").
+    pub name: String,
+    /// The elements, in order.
+    pub elements: Vec<MarchElement>,
+}
+
+impl MarchTest {
+    /// MATS+: `⇕(w0); ⇑(r0,w1); ⇓(r1,w0)` — 5n, detects all stuck-at and
+    /// address-decoder faults.
+    #[must_use]
+    pub fn mats_plus() -> Self {
+        use AddressOrder::{Any, Ascending, Descending};
+        use MarchOp::{R0, R1, W0, W1};
+        MarchTest {
+            name: "MATS+".to_owned(),
+            elements: vec![
+                MarchElement::new(Any, vec![W0]),
+                MarchElement::new(Ascending, vec![R0, W1]),
+                MarchElement::new(Descending, vec![R1, W0]),
+            ],
+        }
+    }
+
+    /// March X: `⇕(w0); ⇑(r0,w1); ⇓(r1,w0); ⇕(r0)` — 6n, additionally
+    /// detects transition faults.
+    #[must_use]
+    pub fn march_x() -> Self {
+        use AddressOrder::{Any, Ascending, Descending};
+        use MarchOp::{R0, R1, W0, W1};
+        MarchTest {
+            name: "March X".to_owned(),
+            elements: vec![
+                MarchElement::new(Any, vec![W0]),
+                MarchElement::new(Ascending, vec![R0, W1]),
+                MarchElement::new(Descending, vec![R1, W0]),
+                MarchElement::new(Any, vec![R0]),
+            ],
+        }
+    }
+
+    /// March C−: `⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)` —
+    /// 10n, detects stuck-at, transition, and unlinked coupling faults.
+    #[must_use]
+    pub fn march_c_minus() -> Self {
+        use AddressOrder::{Any, Ascending, Descending};
+        use MarchOp::{R0, R1, W0, W1};
+        MarchTest {
+            name: "March C-".to_owned(),
+            elements: vec![
+                MarchElement::new(Any, vec![W0]),
+                MarchElement::new(Ascending, vec![R0, W1]),
+                MarchElement::new(Ascending, vec![R1, W0]),
+                MarchElement::new(Descending, vec![R0, W1]),
+                MarchElement::new(Descending, vec![R1, W0]),
+                MarchElement::new(Any, vec![R0]),
+            ],
+        }
+    }
+
+    /// Operations per word ("10n" for March C− etc.).
+    #[must_use]
+    pub fn ops_per_word(&self) -> usize {
+        self.elements.iter().map(|e| e.ops.len()).sum()
+    }
+
+    /// Runs the test over a word range through a port, classifying
+    /// mismatches by polarity exactly like the study's tester.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first device error.
+    pub fn run<P: MemoryPort>(
+        &self,
+        port: &mut P,
+        range: std::ops::Range<u64>,
+    ) -> Result<PortStats, DeviceError> {
+        let mut stats = PortStats::default();
+        for element in &self.elements {
+            let addresses: Box<dyn Iterator<Item = u64>> = match element.order {
+                AddressOrder::Ascending | AddressOrder::Any => Box::new(range.clone()),
+                AddressOrder::Descending => Box::new(range.clone().rev()),
+            };
+            for address in addresses {
+                for &op in &element.ops {
+                    match op {
+                        MarchOp::W0 => {
+                            port.write(WordOffset(address), Word256::ZERO)?;
+                            stats.words_written += 1;
+                        }
+                        MarchOp::W1 => {
+                            port.write(WordOffset(address), Word256::ONES)?;
+                            stats.words_written += 1;
+                        }
+                        MarchOp::R0 | MarchOp::R1 => {
+                            let expected = if op == MarchOp::R0 {
+                                Word256::ZERO
+                            } else {
+                                Word256::ONES
+                            };
+                            let observed = port.read(WordOffset(address))?;
+                            stats.words_read += 1;
+                            if observed != expected {
+                                stats.faulty_words += 1;
+                                let (f10, f01) = observed.flips_from(expected);
+                                stats.flips_1to0 += u64::from(f10);
+                                stats.flips_0to1 += u64::from(f01);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::DirectPort;
+    use hbm_device::{HbmDevice, HbmGeometry, PortId};
+
+    fn device() -> HbmDevice {
+        HbmDevice::new(HbmGeometry::vcu128_reduced())
+    }
+
+    #[test]
+    fn op_counts_match_the_literature() {
+        assert_eq!(MarchTest::mats_plus().ops_per_word(), 5);
+        assert_eq!(MarchTest::march_x().ops_per_word(), 6);
+        assert_eq!(MarchTest::march_c_minus().ops_per_word(), 10);
+    }
+
+    #[test]
+    fn clean_memory_passes_all_tests() {
+        let mut dev = device();
+        let port = PortId::new(0).unwrap();
+        for test in [
+            MarchTest::mats_plus(),
+            MarchTest::march_x(),
+            MarchTest::march_c_minus(),
+        ] {
+            let stats = test
+                .run(&mut DirectPort::new(&mut dev, port), 0..256)
+                .unwrap();
+            assert_eq!(stats.total_flips(), 0, "{}", test.name);
+            assert_eq!(stats.faulty_words, 0);
+            // Accounting: n addresses × ops split into reads and writes.
+            assert_eq!(
+                stats.words_read + stats.words_written,
+                256 * test.ops_per_word() as u64,
+                "{}",
+                test.name
+            );
+        }
+    }
+
+    /// A port wrapper injecting one stuck-at-0 bit at a fixed offset.
+    struct StuckAtZero<P: MemoryPort> {
+        inner: P,
+        offset: u64,
+        bit: u32,
+    }
+
+    impl<P: MemoryPort> MemoryPort for StuckAtZero<P> {
+        fn write(&mut self, offset: WordOffset, word: Word256) -> Result<(), DeviceError> {
+            self.inner.write(offset, word)
+        }
+        fn read(&mut self, offset: WordOffset) -> Result<Word256, DeviceError> {
+            let word = self.inner.read(offset)?;
+            Ok(if offset.0 == self.offset {
+                word.with_bit_cleared(self.bit)
+            } else {
+                word
+            })
+        }
+    }
+
+    #[test]
+    fn march_tests_detect_a_stuck_at_zero_bit() {
+        let port = PortId::new(1).unwrap();
+        for test in [
+            MarchTest::mats_plus(),
+            MarchTest::march_x(),
+            MarchTest::march_c_minus(),
+        ] {
+            let mut dev = device();
+            let mut faulty = StuckAtZero {
+                inner: DirectPort::new(&mut dev, port),
+                offset: 100,
+                bit: 42,
+            };
+            let stats = test.run(&mut faulty, 0..256).unwrap();
+            assert!(stats.flips_1to0 > 0, "{} missed the stuck-at-0 bit", test.name);
+            assert_eq!(stats.flips_0to1, 0, "{}", test.name);
+        }
+    }
+
+    #[test]
+    fn descending_elements_really_descend() {
+        // A recorder port verifying traversal order.
+        struct Recorder {
+            log: Vec<u64>,
+        }
+        impl MemoryPort for Recorder {
+            fn write(&mut self, offset: WordOffset, _: Word256) -> Result<(), DeviceError> {
+                self.log.push(offset.0);
+                Ok(())
+            }
+            fn read(&mut self, offset: WordOffset) -> Result<Word256, DeviceError> {
+                self.log.push(offset.0);
+                Ok(Word256::ZERO)
+            }
+        }
+        let mut recorder = Recorder { log: Vec::new() };
+        let element_only = MarchTest {
+            name: "desc".to_owned(),
+            elements: vec![MarchElement::new(
+                AddressOrder::Descending,
+                vec![MarchOp::R0],
+            )],
+        };
+        element_only.run(&mut recorder, 0..4).unwrap();
+        assert_eq!(recorder.log, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn march_c_minus_flags_undervolting_style_faults_per_polarity() {
+        // Both polarities of the expected data are read at every address,
+        // so a stuck-at bit of either polarity is hit regardless of the
+        // background.
+        let port = PortId::new(2).unwrap();
+        struct StuckAtOne<P: MemoryPort>(P);
+        impl<P: MemoryPort> MemoryPort for StuckAtOne<P> {
+            fn write(&mut self, o: WordOffset, w: Word256) -> Result<(), DeviceError> {
+                self.0.write(o, w)
+            }
+            fn read(&mut self, o: WordOffset) -> Result<Word256, DeviceError> {
+                Ok(self.0.read(o)?.with_bit_set(7))
+            }
+        }
+        let mut dev = device();
+        let mut faulty = StuckAtOne(DirectPort::new(&mut dev, port));
+        let stats = MarchTest::march_c_minus().run(&mut faulty, 0..64).unwrap();
+        assert!(stats.flips_0to1 > 0);
+        assert_eq!(stats.flips_1to0, 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Test data patterns.
+
+use std::fmt;
+
+use hbm_device::Word256;
+use serde::{Deserialize, Serialize};
+
+/// A deterministic data pattern: a function from word index to 256-bit
+/// word.
+///
+/// The study's reliability tester uses `AllOnes` (exposing 1→0 flips of
+/// stuck-at-0 bits) and `AllZeros` (exposing 0→1 flips of stuck-at-1 bits).
+/// The additional patterns support the pattern-sensitivity extension
+/// experiments.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_device::Word256;
+/// use hbm_traffic::DataPattern;
+///
+/// assert_eq!(DataPattern::AllOnes.word_at(123), Word256::ONES);
+/// assert_eq!(DataPattern::AllZeros.word_at(0), Word256::ZERO);
+///
+/// // A checkerboard exposes both polarities at half density each.
+/// let cb = DataPattern::Checkerboard.word_at(0);
+/// assert_eq!(cb.count_ones(), 128);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum DataPattern {
+    /// Every bit one — detects stuck-at-0 faults (1→0 flips).
+    AllOnes,
+    /// Every bit zero — detects stuck-at-1 faults (0→1 flips).
+    AllZeros,
+    /// Alternating `0xAA…` bits.
+    Checkerboard,
+    /// Alternating `0x55…` bits (the checkerboard's complement).
+    InverseCheckerboard,
+    /// A single walking one per 64-bit lane, rotating with the word index.
+    WalkingOnes,
+    /// Pseudo-random data from a seeded xorshift stream keyed by the word
+    /// index (reproducible without storing the data).
+    Prbs {
+        /// Stream seed.
+        seed: u64,
+    },
+    /// The word index replicated into every lane ("address as data").
+    AddressAsData,
+    /// A fixed caller-supplied word.
+    Custom(Word256),
+}
+
+impl DataPattern {
+    /// The pattern word at a given word index.
+    #[must_use]
+    pub fn word_at(self, index: u64) -> Word256 {
+        match self {
+            DataPattern::AllOnes => Word256::ONES,
+            DataPattern::AllZeros => Word256::ZERO,
+            DataPattern::Checkerboard => Word256::splat(0xAAAA_AAAA_AAAA_AAAA),
+            DataPattern::InverseCheckerboard => Word256::splat(0x5555_5555_5555_5555),
+            DataPattern::WalkingOnes => Word256::splat(1u64.rotate_left((index % 64) as u32)),
+            DataPattern::Prbs { seed } => {
+                let mut lanes = [0u64; 4];
+                for (lane, slot) in lanes.iter_mut().enumerate() {
+                    *slot = xorshift(seed ^ index.wrapping_mul(4).wrapping_add(lane as u64));
+                }
+                Word256(lanes)
+            }
+            DataPattern::AddressAsData => Word256::splat(index),
+            DataPattern::Custom(word) => word,
+        }
+    }
+
+    /// The complementary pattern (each word inverted), useful for
+    /// march-style test pairs.
+    #[must_use]
+    pub fn complement(self) -> DataPattern {
+        match self {
+            DataPattern::AllOnes => DataPattern::AllZeros,
+            DataPattern::AllZeros => DataPattern::AllOnes,
+            DataPattern::Checkerboard => DataPattern::InverseCheckerboard,
+            DataPattern::InverseCheckerboard => DataPattern::Checkerboard,
+            DataPattern::WalkingOnes
+            | DataPattern::Prbs { .. }
+            | DataPattern::AddressAsData
+            | DataPattern::Custom(_) => {
+                DataPattern::Custom(!self.word_at(0))
+            }
+        }
+    }
+
+    /// Fraction of one-bits the pattern writes (exactly, for the uniform
+    /// patterns; in expectation for PRBS).
+    #[must_use]
+    pub fn ones_density(self) -> f64 {
+        match self {
+            DataPattern::AllOnes => 1.0,
+            DataPattern::AllZeros => 0.0,
+            DataPattern::Checkerboard
+            | DataPattern::InverseCheckerboard
+            | DataPattern::Prbs { .. } => 0.5,
+            DataPattern::WalkingOnes => 4.0 / 256.0,
+            DataPattern::AddressAsData => 0.5, // indeterminate; nominal
+            DataPattern::Custom(word) => f64::from(word.count_ones()) / 256.0,
+        }
+    }
+}
+
+impl fmt::Display for DataPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataPattern::AllOnes => write!(f, "all-1s"),
+            DataPattern::AllZeros => write!(f, "all-0s"),
+            DataPattern::Checkerboard => write!(f, "checkerboard"),
+            DataPattern::InverseCheckerboard => write!(f, "inverse-checkerboard"),
+            DataPattern::WalkingOnes => write!(f, "walking-1s"),
+            DataPattern::Prbs { seed } => write!(f, "prbs({seed})"),
+            DataPattern::AddressAsData => write!(f, "address-as-data"),
+            DataPattern::Custom(_) => write!(f, "custom"),
+        }
+    }
+}
+
+/// One round of xorshift64* keyed by the input.
+fn xorshift(mut x: u64) -> u64 {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_patterns() {
+        for i in [0u64, 1, 1000, u64::MAX] {
+            assert_eq!(DataPattern::AllOnes.word_at(i), Word256::ONES);
+            assert_eq!(DataPattern::AllZeros.word_at(i), Word256::ZERO);
+            assert_eq!(DataPattern::Checkerboard.word_at(i).count_ones(), 128);
+        }
+    }
+
+    #[test]
+    fn checkerboards_complement_each_other() {
+        let a = DataPattern::Checkerboard.word_at(5);
+        let b = DataPattern::InverseCheckerboard.word_at(5);
+        assert_eq!(a & b, Word256::ZERO);
+        assert_eq!(a | b, Word256::ONES);
+        assert_eq!(DataPattern::Checkerboard.complement(), DataPattern::InverseCheckerboard);
+        assert_eq!(DataPattern::AllOnes.complement(), DataPattern::AllZeros);
+    }
+
+    #[test]
+    fn walking_ones_rotates() {
+        let w0 = DataPattern::WalkingOnes.word_at(0);
+        let w1 = DataPattern::WalkingOnes.word_at(1);
+        assert_eq!(w0.count_ones(), 4);
+        assert_ne!(w0, w1);
+        assert_eq!(w0, DataPattern::WalkingOnes.word_at(64)); // period 64
+    }
+
+    #[test]
+    fn prbs_is_deterministic_and_varied() {
+        let p = DataPattern::Prbs { seed: 9 };
+        assert_eq!(p.word_at(3), p.word_at(3));
+        assert_ne!(p.word_at(3), p.word_at(4));
+        let q = DataPattern::Prbs { seed: 10 };
+        assert_ne!(p.word_at(3), q.word_at(3));
+        // Roughly half ones across a sample.
+        let ones: u32 = (0..64).map(|i| p.word_at(i).count_ones()).sum();
+        let density = f64::from(ones) / (64.0 * 256.0);
+        assert!((0.45..0.55).contains(&density), "density {density}");
+    }
+
+    #[test]
+    fn address_as_data_round_trips_index() {
+        let w = DataPattern::AddressAsData.word_at(0xDEAD);
+        assert_eq!(w.0[0], 0xDEAD);
+        assert_eq!(w.0[3], 0xDEAD);
+    }
+
+    #[test]
+    fn ones_density_values() {
+        assert_eq!(DataPattern::AllOnes.ones_density(), 1.0);
+        assert_eq!(DataPattern::AllZeros.ones_density(), 0.0);
+        assert_eq!(DataPattern::Checkerboard.ones_density(), 0.5);
+        assert_eq!(DataPattern::Custom(Word256::ONES).ones_density(), 1.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DataPattern::AllOnes.to_string(), "all-1s");
+        assert_eq!(DataPattern::AllZeros.to_string(), "all-0s");
+        assert_eq!(DataPattern::Prbs { seed: 3 }.to_string(), "prbs(3)");
+    }
+}

@@ -1,0 +1,96 @@
+//! Per-port traffic and fault statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics one traffic generator gathers while running a program —
+/// the "simple statistics on the FPGA itself" the study reports back to the
+/// host.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortStats {
+    /// Words written.
+    pub words_written: u64,
+    /// Words read (checked or not).
+    pub words_read: u64,
+    /// Words whose read-back differed from the expected pattern.
+    pub faulty_words: u64,
+    /// Bit flips observed as 1→0 (a written 1 read back as 0).
+    pub flips_1to0: u64,
+    /// Bit flips observed as 0→1 (a written 0 read back as 1).
+    pub flips_0to1: u64,
+}
+
+impl PortStats {
+    /// Total observed bit flips (the paper's `faultCount`).
+    #[must_use]
+    pub fn total_flips(&self) -> u64 {
+        self.flips_1to0 + self.flips_0to1
+    }
+
+    /// Observed fault rate: flips per checked bit.
+    ///
+    /// Returns 0 when nothing was checked.
+    #[must_use]
+    pub fn fault_rate(&self, checked_words: u64) -> f64 {
+        if checked_words == 0 {
+            return 0.0;
+        }
+        self.total_flips() as f64 / (checked_words as f64 * 256.0)
+    }
+
+    /// Accumulates another port's statistics into this one.
+    pub fn merge(&mut self, other: &PortStats) {
+        self.words_written += other.words_written;
+        self.words_read += other.words_read;
+        self.faulty_words += other.faulty_words;
+        self.flips_1to0 += other.flips_1to0;
+        self.flips_0to1 += other.flips_0to1;
+    }
+}
+
+impl std::iter::Sum for PortStats {
+    fn sum<I: Iterator<Item = PortStats>>(iter: I) -> PortStats {
+        let mut total = PortStats::default();
+        for s in iter {
+            total.merge(&s);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_rates() {
+        let stats = PortStats {
+            words_written: 100,
+            words_read: 100,
+            faulty_words: 2,
+            flips_1to0: 3,
+            flips_0to1: 5,
+        };
+        assert_eq!(stats.total_flips(), 8);
+        assert_eq!(stats.fault_rate(100), 8.0 / 25_600.0);
+        assert_eq!(stats.fault_rate(0), 0.0);
+    }
+
+    #[test]
+    fn merge_and_sum() {
+        let a = PortStats {
+            words_written: 1,
+            words_read: 2,
+            faulty_words: 1,
+            flips_1to0: 1,
+            flips_0to1: 0,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.words_written, 2);
+        assert_eq!(b.total_flips(), 2);
+
+        let total: PortStats = vec![a, a, a].into_iter().sum();
+        assert_eq!(total.words_read, 6);
+        assert_eq!(total.flips_1to0, 3);
+    }
+}

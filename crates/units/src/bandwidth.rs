@@ -1,0 +1,205 @@
+//! Memory bandwidth quantities.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A data rate in bytes per second (exact integer view).
+///
+/// # Examples
+///
+/// ```
+/// use hbm_units::BytesPerSecond;
+///
+/// let rate = BytesPerSecond(310_000_000_000);
+/// assert_eq!(rate.to_gigabytes_per_second().0, 310.0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct BytesPerSecond(pub u64);
+
+impl BytesPerSecond {
+    /// Zero bandwidth.
+    pub const ZERO: BytesPerSecond = BytesPerSecond(0);
+
+    /// Converts to decimal gigabytes per second (1 GB = 10⁹ B, the convention
+    /// used by the study and by memory-vendor datasheets).
+    #[must_use]
+    pub fn to_gigabytes_per_second(self) -> GigabytesPerSecond {
+        GigabytesPerSecond(self.0 as f64 / 1.0e9)
+    }
+}
+
+impl fmt::Display for BytesPerSecond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} B/s", self.0)
+    }
+}
+
+impl Add for BytesPerSecond {
+    type Output = BytesPerSecond;
+    fn add(self, rhs: BytesPerSecond) -> BytesPerSecond {
+        BytesPerSecond(self.0 + rhs.0)
+    }
+}
+
+impl Sum for BytesPerSecond {
+    fn sum<I: Iterator<Item = BytesPerSecond>>(iter: I) -> BytesPerSecond {
+        BytesPerSecond(iter.map(|x| x.0).sum())
+    }
+}
+
+/// A data rate in decimal gigabytes per second.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_units::GigabytesPerSecond;
+///
+/// let peak = GigabytesPerSecond(429.0);
+/// let achieved = GigabytesPerSecond(310.0);
+/// let efficiency = achieved / peak;
+/// assert!((efficiency - 0.7226).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct GigabytesPerSecond(pub f64);
+
+impl GigabytesPerSecond {
+    /// Zero bandwidth.
+    pub const ZERO: GigabytesPerSecond = GigabytesPerSecond(0.0);
+
+    /// Returns the raw value.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to exact bytes per second, rounding down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is negative or NaN.
+    #[must_use]
+    pub fn to_bytes_per_second(self) -> BytesPerSecond {
+        assert!(
+            self.0.is_finite() && self.0 >= 0.0,
+            "bandwidth out of range: {} GB/s",
+            self.0
+        );
+        BytesPerSecond((self.0 * 1.0e9) as u64)
+    }
+
+    /// Returns the smaller of two bandwidths.
+    #[must_use]
+    pub fn min(self, other: GigabytesPerSecond) -> GigabytesPerSecond {
+        GigabytesPerSecond(self.0.min(other.0))
+    }
+}
+
+impl fmt::Display for GigabytesPerSecond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(precision) = f.precision() {
+            write!(f, "{:.*} GB/s", precision, self.0)
+        } else {
+            write!(f, "{} GB/s", self.0)
+        }
+    }
+}
+
+impl Add for GigabytesPerSecond {
+    type Output = GigabytesPerSecond;
+    fn add(self, rhs: GigabytesPerSecond) -> GigabytesPerSecond {
+        GigabytesPerSecond(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for GigabytesPerSecond {
+    fn add_assign(&mut self, rhs: GigabytesPerSecond) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for GigabytesPerSecond {
+    type Output = GigabytesPerSecond;
+    fn sub(self, rhs: GigabytesPerSecond) -> GigabytesPerSecond {
+        GigabytesPerSecond(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for GigabytesPerSecond {
+    type Output = GigabytesPerSecond;
+    fn mul(self, rhs: f64) -> GigabytesPerSecond {
+        GigabytesPerSecond(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for GigabytesPerSecond {
+    type Output = GigabytesPerSecond;
+    fn div(self, rhs: f64) -> GigabytesPerSecond {
+        GigabytesPerSecond(self.0 / rhs)
+    }
+}
+
+impl Div<GigabytesPerSecond> for GigabytesPerSecond {
+    /// Dividing two bandwidths yields a dimensionless utilization ratio.
+    type Output = f64;
+    fn div(self, rhs: GigabytesPerSecond) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for GigabytesPerSecond {
+    fn sum<I: Iterator<Item = GigabytesPerSecond>>(iter: I) -> GigabytesPerSecond {
+        GigabytesPerSecond(iter.map(|x| x.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_round_trip() {
+        let rate = GigabytesPerSecond(310.0);
+        assert_eq!(rate.to_bytes_per_second(), BytesPerSecond(310_000_000_000));
+        assert_eq!(rate.to_bytes_per_second().to_gigabytes_per_second(), rate);
+    }
+
+    #[test]
+    fn utilization_ratio() {
+        let util = GigabytesPerSecond(155.0) / GigabytesPerSecond(310.0);
+        assert_eq!(util, 0.5);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = GigabytesPerSecond(100.0) + GigabytesPerSecond(55.0);
+        assert_eq!(a, GigabytesPerSecond(155.0));
+        assert_eq!(a * 2.0, GigabytesPerSecond(310.0));
+        assert_eq!(a / 2.0, GigabytesPerSecond(77.5));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{:.1}", GigabytesPerSecond(310.0)), "310.0 GB/s");
+        assert_eq!(BytesPerSecond(42).to_string(), "42 B/s");
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth out of range")]
+    fn negative_bandwidth_rejected() {
+        let _ = GigabytesPerSecond(-1.0).to_bytes_per_second();
+    }
+
+    #[test]
+    fn sums() {
+        let total: GigabytesPerSecond =
+            (0..4).map(|_| GigabytesPerSecond(77.5)).sum();
+        assert_eq!(total, GigabytesPerSecond(310.0));
+        let total: BytesPerSecond = (0..3).map(|_| BytesPerSecond(10)).sum();
+        assert_eq!(total, BytesPerSecond(30));
+    }
+}

@@ -1,0 +1,471 @@
+//! Electrical quantities: voltage, current, power, resistance, frequency and
+//! the effective switched-capacitance rate `α·C_L·f` (farads per second).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An exact, integer-backed voltage in millivolts.
+///
+/// This is the canonical voltage type of the workspace: the reproduced study
+/// sweeps the HBM supply rail in exact 10 mV steps between exact landmarks
+/// (1200 mV nominal, 980 mV minimum safe, 810 mV critical), and those
+/// comparisons must not be subject to floating-point rounding.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_units::Millivolts;
+///
+/// let v = Millivolts(1200);
+/// assert_eq!(v.to_volts().0, 1.2);
+/// assert_eq!(v - Millivolts(10), Millivolts(1190));
+/// assert_eq!(format!("{v}"), "1.200 V");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Millivolts(pub u32);
+
+impl Millivolts {
+    /// Zero volts.
+    pub const ZERO: Millivolts = Millivolts(0);
+
+    /// Converts from floating-point volts, rounding to the nearest millivolt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `volts` is negative, NaN, or too large to represent.
+    #[must_use]
+    pub fn from_volts(volts: f64) -> Self {
+        let mv = (volts * 1000.0).round();
+        assert!(
+            mv.is_finite() && (0.0..=f64::from(u32::MAX)).contains(&mv),
+            "voltage out of range: {volts} V"
+        );
+        Millivolts(mv as u32)
+    }
+
+    /// Returns the value as floating-point [`Volts`].
+    #[must_use]
+    pub fn to_volts(self) -> Volts {
+        Volts(f64::from(self.0) / 1000.0)
+    }
+
+    /// Returns the raw millivolt count.
+    #[must_use]
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Saturating subtraction, clamping at zero volts.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Millivolts) -> Millivolts {
+        Millivolts(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Absolute difference between two voltages.
+    #[must_use]
+    pub fn abs_diff(self, rhs: Millivolts) -> Millivolts {
+        Millivolts(self.0.abs_diff(rhs.0))
+    }
+
+    /// Clamps the voltage into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn clamp(self, lo: Millivolts, hi: Millivolts) -> Millivolts {
+        assert!(lo <= hi, "invalid clamp range: {lo} > {hi}");
+        Millivolts(self.0.clamp(lo.0, hi.0))
+    }
+}
+
+impl fmt::Display for Millivolts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:03} V", self.0 / 1000, self.0 % 1000)
+    }
+}
+
+impl Add for Millivolts {
+    type Output = Millivolts;
+    fn add(self, rhs: Millivolts) -> Millivolts {
+        Millivolts(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Millivolts {
+    type Output = Millivolts;
+    fn sub(self, rhs: Millivolts) -> Millivolts {
+        Millivolts(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign for Millivolts {
+    fn add_assign(&mut self, rhs: Millivolts) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign for Millivolts {
+    fn sub_assign(&mut self, rhs: Millivolts) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl From<Millivolts> for Volts {
+    fn from(mv: Millivolts) -> Volts {
+        mv.to_volts()
+    }
+}
+
+macro_rules! float_unit {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $symbol:expr
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Zero.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Returns the raw value.
+            #[must_use]
+            pub fn as_f64(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            #[must_use]
+            pub fn abs(self) -> $name {
+                $name(self.0.abs())
+            }
+
+            /// Returns the smaller of two values.
+            #[must_use]
+            pub fn min(self, other: $name) -> $name {
+                $name(self.0.min(other.0))
+            }
+
+            /// Returns the larger of two values.
+            #[must_use]
+            pub fn max(self, other: $name) -> $name {
+                $name(self.0.max(other.0))
+            }
+
+            /// `true` if the value is finite (not NaN or infinite).
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(precision) = f.precision() {
+                    write!(f, "{:.*} {}", precision, self.0, $symbol)
+                } else {
+                    write!(f, "{} {}", self.0, $symbol)
+                }
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Dividing two like quantities yields a dimensionless ratio.
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|x| x.0).sum())
+            }
+        }
+    };
+}
+
+float_unit!(
+    /// A voltage in volts (floating point view; see [`Millivolts`] for the
+    /// canonical exact representation).
+    ///
+    /// ```
+    /// use hbm_units::{Volts, Amperes, Watts};
+    /// assert_eq!(Volts(1.2) * Amperes(2.0), Watts(2.4));
+    /// ```
+    Volts,
+    "V"
+);
+float_unit!(
+    /// An electric current in amperes.
+    ///
+    /// ```
+    /// use hbm_units::{Amperes, Ohms, Volts};
+    /// assert_eq!(Amperes(2.0) * Ohms(0.5), Volts(1.0));
+    /// ```
+    Amperes,
+    "A"
+);
+float_unit!(
+    /// A power in watts.
+    ///
+    /// ```
+    /// use hbm_units::Watts;
+    /// let headroom = Watts(10.0) - Watts(6.5);
+    /// assert_eq!(headroom, Watts(3.5));
+    /// ```
+    Watts,
+    "W"
+);
+float_unit!(
+    /// A resistance in ohms.
+    ///
+    /// ```
+    /// use hbm_units::{Ohms, Volts, Amperes};
+    /// let shunt = Ohms(0.002);
+    /// assert_eq!(Amperes(5.0) * shunt, Volts(0.01));
+    /// ```
+    Ohms,
+    "Ω"
+);
+float_unit!(
+    /// A frequency in megahertz.
+    ///
+    /// ```
+    /// use hbm_units::Megahertz;
+    /// let memory_clock = Megahertz(900.0);
+    /// assert_eq!(memory_clock.to_hertz(), 9.0e8);
+    /// ```
+    Megahertz,
+    "MHz"
+);
+float_unit!(
+    /// An effective switched-capacitance rate `α·C_L·f` in farads per second.
+    ///
+    /// Dividing a measured power by the square of the supply voltage leaves
+    /// exactly this quantity (Equation (1) of the study); Figure 3 of the
+    /// paper plots it to expose the stuck-bit capacitance drop below the
+    /// guardband.
+    ///
+    /// ```
+    /// use hbm_units::{FaradsPerSecond, Volts, Watts};
+    /// let acf = Watts(4.5) / Volts(1.2); // still V·F/s
+    /// let acf = acf / Volts(1.2).as_f64();
+    /// assert!((acf.0 - 3.125).abs() < 1e-12);
+    /// ```
+    FaradsPerSecond,
+    "F/s"
+);
+
+impl Megahertz {
+    /// Converts to hertz.
+    #[must_use]
+    pub fn to_hertz(self) -> f64 {
+        self.0 * 1.0e6
+    }
+}
+
+impl Mul<Amperes> for Volts {
+    type Output = Watts;
+    fn mul(self, rhs: Amperes) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Volts> for Amperes {
+    type Output = Watts;
+    fn mul(self, rhs: Volts) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Ohms> for Amperes {
+    type Output = Volts;
+    fn mul(self, rhs: Ohms) -> Volts {
+        Volts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Amperes> for Ohms {
+    type Output = Volts;
+    fn mul(self, rhs: Amperes) -> Volts {
+        Volts(self.0 * rhs.0)
+    }
+}
+
+impl Div<Volts> for Watts {
+    type Output = Amperes;
+    fn div(self, rhs: Volts) -> Amperes {
+        Amperes(self.0 / rhs.0)
+    }
+}
+
+impl Div<Amperes> for Watts {
+    type Output = Volts;
+    fn div(self, rhs: Amperes) -> Volts {
+        Volts(self.0 / rhs.0)
+    }
+}
+
+impl Div<Ohms> for Volts {
+    type Output = Amperes;
+    fn div(self, rhs: Ohms) -> Amperes {
+        Amperes(self.0 / rhs.0)
+    }
+}
+
+impl Volts {
+    /// The square of the voltage, in V².
+    ///
+    /// Used by the active-power relation `P = α·C_L·f·V²`.
+    #[must_use]
+    pub fn squared(self) -> f64 {
+        self.0 * self.0
+    }
+
+    /// Converts to [`Millivolts`], rounding to the nearest millivolt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is negative, NaN or out of range.
+    #[must_use]
+    pub fn to_millivolts(self) -> Millivolts {
+        Millivolts::from_volts(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn millivolt_display() {
+        assert_eq!(Millivolts(1200).to_string(), "1.200 V");
+        assert_eq!(Millivolts(980).to_string(), "0.980 V");
+        assert_eq!(Millivolts(5).to_string(), "0.005 V");
+    }
+
+    #[test]
+    fn millivolt_round_trips_through_volts() {
+        for mv in (0..=2000).step_by(7) {
+            let v = Millivolts(mv);
+            assert_eq!(v.to_volts().to_millivolts(), v);
+        }
+    }
+
+    #[test]
+    fn millivolt_arithmetic() {
+        assert_eq!(Millivolts(1200) - Millivolts(220), Millivolts(980));
+        assert_eq!(Millivolts(980) + Millivolts(10), Millivolts(990));
+        assert_eq!(Millivolts(5).saturating_sub(Millivolts(10)), Millivolts::ZERO);
+        assert_eq!(Millivolts(810).abs_diff(Millivolts(840)), Millivolts(30));
+        assert_eq!(Millivolts(2000).clamp(Millivolts(810), Millivolts(1200)), Millivolts(1200));
+    }
+
+    #[test]
+    #[should_panic(expected = "voltage out of range")]
+    fn negative_volts_rejected() {
+        let _ = Millivolts::from_volts(-0.1);
+    }
+
+    #[test]
+    fn ohms_law_and_power() {
+        let i = Amperes(2.0);
+        let r = Ohms(0.6);
+        let v = i * r;
+        assert_eq!(v, Volts(1.2));
+        assert_eq!(v * i, Watts(2.4));
+        assert_eq!(Watts(2.4) / v, i);
+        assert_eq!(Watts(2.4) / i, v);
+        assert_eq!(v / r, i);
+    }
+
+    #[test]
+    fn like_quantity_division_is_dimensionless() {
+        let saving = Watts(6.0) / Watts(4.0);
+        assert_eq!(saving, 1.5);
+    }
+
+    #[test]
+    fn squared_matches_multiplication() {
+        assert_eq!(Volts(1.2).squared(), 1.2 * 1.2);
+    }
+
+    #[test]
+    fn sum_of_watts() {
+        let total: Watts = [Watts(1.0), Watts(2.5), Watts(0.5)].into_iter().sum();
+        assert_eq!(total, Watts(4.0));
+    }
+
+    #[test]
+    fn display_precision() {
+        assert_eq!(format!("{:.2}", Watts(1.23456)), "1.23 W");
+        assert_eq!(format!("{:.1}", Megahertz(900.0)), "900.0 MHz");
+    }
+
+    #[test]
+    fn megahertz_to_hertz() {
+        assert_eq!(Megahertz(900.0).to_hertz(), 9.0e8);
+    }
+}

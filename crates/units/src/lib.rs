@@ -1,0 +1,60 @@
+//! Physical-quantity newtypes shared across the HBM undervolting workspace.
+//!
+//! All experiments in the reproduced study ("Understanding Power Consumption
+//! and Reliability of High-Bandwidth Memory with Voltage Underscaling",
+//! DATE 2021) manipulate voltages, currents, powers, bandwidths and
+//! temperatures. Mixing those up as bare `f64`s is a classic source of
+//! silent unit bugs, so this crate provides zero-cost newtypes with the
+//! arithmetic that is physically meaningful and nothing else
+//! (see C-NEWTYPE in the Rust API guidelines).
+//!
+//! Voltage is special: the study sweeps the HBM supply in exact 10 mV steps
+//! and compares against exact landmarks (1.20 V, 0.98 V, 0.81 V). To keep
+//! those comparisons exact, [`Millivolts`] is integer-backed and is the
+//! canonical voltage type throughout the workspace; floating-point volts are
+//! only derived views.
+//!
+//! # Examples
+//!
+//! ```
+//! use hbm_units::{Millivolts, Watts, Amperes};
+//!
+//! let nominal = Millivolts::from_volts(1.2);
+//! assert_eq!(nominal, Millivolts(1200));
+//!
+//! let power = nominal.to_volts() * Amperes(2.5); // Volts × Amperes = Watts
+//! assert_eq!(power, Watts(3.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bandwidth;
+mod electrical;
+mod ratio;
+mod thermal;
+
+pub use bandwidth::{BytesPerSecond, GigabytesPerSecond};
+pub use electrical::{Amperes, FaradsPerSecond, Megahertz, Millivolts, Ohms, Volts, Watts};
+pub use ratio::Ratio;
+pub use thermal::Celsius;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Millivolts>();
+        assert_send_sync::<Volts>();
+        assert_send_sync::<Watts>();
+        assert_send_sync::<Amperes>();
+        assert_send_sync::<Ohms>();
+        assert_send_sync::<Megahertz>();
+        assert_send_sync::<FaradsPerSecond>();
+        assert_send_sync::<GigabytesPerSecond>();
+        assert_send_sync::<Ratio>();
+        assert_send_sync::<Celsius>();
+    }
+}

@@ -1,0 +1,187 @@
+//! Dimensionless ratios (fault rates, utilizations, savings factors).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A dimensionless ratio in `[0, +∞)`, typically in `[0, 1]`.
+///
+/// Used for fault rates (fraction of faulty bits), bandwidth utilizations and
+/// power-saving factors. The type deliberately does *not* clamp to `[0, 1]`
+/// because savings factors (e.g. the study's 2.3×) exceed one.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_units::Ratio;
+///
+/// let fault_rate = Ratio::from_percent(0.0001);
+/// assert_eq!(fault_rate.as_f64(), 1e-6);
+/// assert_eq!(format!("{}", Ratio(0.5).display_percent()), "50%");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Ratio(pub f64);
+
+impl Ratio {
+    /// Zero.
+    pub const ZERO: Ratio = Ratio(0.0);
+    /// One (100 %).
+    pub const ONE: Ratio = Ratio(1.0);
+
+    /// Builds a ratio from a percentage (`50.0` → `0.5`).
+    #[must_use]
+    pub fn from_percent(percent: f64) -> Self {
+        Ratio(percent / 100.0)
+    }
+
+    /// Returns the raw fraction.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the value as a percentage (`0.5` → `50.0`).
+    #[must_use]
+    pub fn as_percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// Clamps into `[0, 1]`.
+    #[must_use]
+    pub fn clamp_unit(self) -> Ratio {
+        Ratio(self.0.clamp(0.0, 1.0))
+    }
+
+    /// Returns the smaller of two ratios.
+    #[must_use]
+    pub fn min(self, other: Ratio) -> Ratio {
+        Ratio(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two ratios.
+    #[must_use]
+    pub fn max(self, other: Ratio) -> Ratio {
+        Ratio(self.0.max(other.0))
+    }
+
+    /// A helper that formats the ratio as a percentage with a trailing `%`.
+    ///
+    /// Uses as many digits as needed for small rates (`1e-6` → `0.0001%`),
+    /// and plain formatting for large ones.
+    #[must_use]
+    pub fn display_percent(self) -> DisplayPercent {
+        DisplayPercent(self)
+    }
+}
+
+/// Displays a [`Ratio`] as a percentage. Created by [`Ratio::display_percent`].
+#[derive(Debug, Clone, Copy)]
+pub struct DisplayPercent(Ratio);
+
+impl fmt::Display for DisplayPercent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let pct = self.0.as_percent();
+        if pct == 0.0 {
+            write!(f, "0%")
+        } else if pct.abs() >= 0.01 {
+            // Trim trailing zeros from a fixed representation.
+            let s = format!("{pct:.4}");
+            let s = s.trim_end_matches('0').trim_end_matches('.');
+            write!(f, "{s}%")
+        } else {
+            // Round the mantissa so binary-representation noise (e.g.
+            // 9.99…e-5 for the exact rate 1e-4 %) does not leak into output.
+            write!(f, "{pct:.0e}%")
+        }
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(precision) = f.precision() {
+            write!(f, "{:.*}", precision, self.0)
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: Ratio) -> Ratio {
+        Ratio(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: Ratio) -> Ratio {
+        Ratio(self.0 - rhs.0)
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: Ratio) -> Ratio {
+        Ratio(self.0 * rhs.0)
+    }
+}
+
+impl Mul<f64> for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: f64) -> Ratio {
+        Ratio(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Ratio {
+    type Output = Ratio;
+    fn div(self, rhs: f64) -> Ratio {
+        Ratio(self.0 / rhs)
+    }
+}
+
+impl Sum for Ratio {
+    fn sum<I: Iterator<Item = Ratio>>(iter: I) -> Ratio {
+        Ratio(iter.map(|x| x.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_round_trip() {
+        let r = Ratio::from_percent(12.5);
+        assert_eq!(r.as_f64(), 0.125);
+        assert_eq!(r.as_percent(), 12.5);
+    }
+
+    #[test]
+    fn display_percent_formats() {
+        assert_eq!(Ratio(0.5).display_percent().to_string(), "50%");
+        assert_eq!(Ratio(0.0).display_percent().to_string(), "0%");
+        assert_eq!(Ratio(0.0001).display_percent().to_string(), "0.01%");
+        assert_eq!(Ratio(1e-6).display_percent().to_string(), "1e-4%");
+        assert_eq!(Ratio(0.21).display_percent().to_string(), "21%");
+    }
+
+    #[test]
+    fn clamp_unit() {
+        assert_eq!(Ratio(1.5).clamp_unit(), Ratio::ONE);
+        assert_eq!(Ratio(-0.5).clamp_unit(), Ratio::ZERO);
+        assert_eq!(Ratio(0.3).clamp_unit(), Ratio(0.3));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Ratio(0.25) + Ratio(0.25), Ratio(0.5));
+        assert_eq!(Ratio(0.5) * Ratio(0.5), Ratio(0.25));
+        assert_eq!(Ratio(0.5) * 2.0, Ratio::ONE);
+        assert_eq!(Ratio(0.5).max(Ratio(0.75)), Ratio(0.75));
+        assert_eq!(Ratio(0.5).min(Ratio(0.75)), Ratio(0.5));
+    }
+}

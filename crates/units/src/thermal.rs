@@ -1,0 +1,80 @@
+//! Thermal quantities.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A temperature in degrees Celsius.
+///
+/// The study holds the HBM stacks at 35 ± 1 °C; the fault model exposes the
+/// operating temperature as a parameter because undervolting fault rates are
+/// temperature sensitive.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_units::Celsius;
+///
+/// let ambient = Celsius(35.0);
+/// assert_eq!(format!("{ambient}"), "35 °C");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Celsius(pub f64);
+
+impl Celsius {
+    /// The operating temperature used throughout the study (35 °C).
+    pub const STUDY_AMBIENT: Celsius = Celsius(35.0);
+
+    /// Returns the raw value.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Celsius {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(precision) = f.precision() {
+            write!(f, "{:.*} °C", precision, self.0)
+        } else {
+            write!(f, "{} °C", self.0)
+        }
+    }
+}
+
+impl Add for Celsius {
+    type Output = Celsius;
+    fn add(self, rhs: Celsius) -> Celsius {
+        Celsius(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Celsius {
+    type Output = Celsius;
+    fn sub(self, rhs: Celsius) -> Celsius {
+        Celsius(self.0 - rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(Celsius(35.0).to_string(), "35 °C");
+        assert_eq!(format!("{:.1}", Celsius(35.25)), "35.2 °C");
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Celsius(35.0) + Celsius(1.0), Celsius(36.0));
+        assert_eq!(Celsius(35.0) - Celsius(1.0), Celsius(34.0));
+    }
+
+    #[test]
+    fn study_ambient_matches_paper() {
+        assert_eq!(Celsius::STUDY_AMBIENT, Celsius(35.0));
+    }
+}

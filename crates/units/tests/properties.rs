@@ -1,0 +1,82 @@
+//! Property-based tests for the unit newtypes.
+
+use hbm_units::{Amperes, GigabytesPerSecond, Millivolts, Ohms, Ratio, Volts, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    /// Millivolts ↔ Volts round trips exactly for any representable value.
+    #[test]
+    fn millivolt_volt_round_trip(mv in 0u32..10_000_000) {
+        let v = Millivolts(mv);
+        prop_assert_eq!(v.to_volts().to_millivolts(), v);
+    }
+
+    /// from_volts rounds to the nearest millivolt.
+    #[test]
+    fn from_volts_rounds(volts in 0.0f64..100.0) {
+        let mv = Millivolts::from_volts(volts);
+        let error = (f64::from(mv.as_u32()) / 1000.0 - volts).abs();
+        prop_assert!(error <= 0.0005 + 1e-12, "error {} V", error);
+    }
+
+    /// Saturating subtraction never underflows and ordinary arithmetic is
+    /// consistent with the raw integers.
+    #[test]
+    fn millivolt_arithmetic(a in 0u32..2_000_000, b in 0u32..2_000_000) {
+        let (x, y) = (Millivolts(a), Millivolts(b));
+        prop_assert_eq!(x.saturating_sub(y), Millivolts(a.saturating_sub(b)));
+        prop_assert_eq!(x.abs_diff(y), Millivolts(a.abs_diff(b)));
+        prop_assert_eq!(x + y, Millivolts(a + b));
+        prop_assert_eq!((x < y), (a < b));
+    }
+
+    /// Ohm's law and the power relation are mutually consistent.
+    #[test]
+    fn electrical_relations(
+        current in 0.001f64..100.0,
+        resistance in 0.0001f64..10.0,
+    ) {
+        let i = Amperes(current);
+        let r = Ohms(resistance);
+        let v = i * r;
+        let p = v * i;
+        // P = I²R within floating-point tolerance.
+        let expected = current * current * resistance;
+        prop_assert!((p.as_f64() - expected).abs() < expected * 1e-12 + 1e-15);
+        // Round-trips: P/V = I, P/I = V, V/R = I.
+        prop_assert!(((p / v).as_f64() - current).abs() < current * 1e-9);
+        prop_assert!(((p / i).as_f64() - v.as_f64()).abs() < v.as_f64() * 1e-9 + 1e-15);
+        prop_assert!(((v / r).as_f64() - current).abs() < current * 1e-9);
+    }
+
+    /// Ratio percent conversions invert each other and clamping is sound.
+    #[test]
+    fn ratio_round_trips(fraction in -2.0f64..3.0) {
+        let r = Ratio(fraction);
+        prop_assert!((Ratio::from_percent(r.as_percent()).as_f64() - fraction).abs() < 1e-12);
+        let clamped = r.clamp_unit().as_f64();
+        prop_assert!((0.0..=1.0).contains(&clamped));
+        if (0.0..=1.0).contains(&fraction) {
+            prop_assert_eq!(clamped, fraction);
+        }
+    }
+
+    /// Bandwidth conversions round trip within one byte/second.
+    #[test]
+    fn bandwidth_round_trip(gbps in 0.0f64..1000.0) {
+        let rate = GigabytesPerSecond(gbps);
+        let back = rate.to_bytes_per_second().to_gigabytes_per_second();
+        prop_assert!((back.as_f64() - gbps).abs() < 1e-9 + gbps * 1e-12);
+    }
+
+    /// Watts sums are order-independent (within fp) and Display precision
+    /// formatting never panics.
+    #[test]
+    fn watt_sums_and_display(values in prop::collection::vec(0.0f64..100.0, 1..20)) {
+        let forward: Watts = values.iter().map(|&w| Watts(w)).sum();
+        let backward: Watts = values.iter().rev().map(|&w| Watts(w)).sum();
+        prop_assert!((forward.as_f64() - backward.as_f64()).abs() < 1e-9);
+        let _ = format!("{forward:.3}");
+        let _ = format!("{}", Volts(values[0]));
+    }
+}

@@ -1,0 +1,95 @@
+//! PMBus transaction errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by PMBus transactions against modelled devices.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_vreg::PmbusError;
+///
+/// let err = PmbusError::UnsupportedCommand { code: 0xD0 };
+/// assert_eq!(err.to_string(), "unsupported pmbus command 0xd0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum PmbusError {
+    /// The device does not implement the command code.
+    UnsupportedCommand {
+        /// The raw command code.
+        code: u8,
+    },
+    /// The command exists but not with this transaction width (e.g. a word
+    /// read against a byte register).
+    WrongTransactionWidth {
+        /// The raw command code.
+        code: u8,
+    },
+    /// The written value cannot be accepted (out of the device's range).
+    InvalidData {
+        /// The raw command code.
+        code: u8,
+        /// The rejected raw value.
+        value: u16,
+    },
+    /// A value does not fit the LINEAR11 data format.
+    Linear11Range {
+        /// The value that could not be encoded.
+        value: f64,
+    },
+    /// A value does not fit the VOUT-mode LINEAR16 data format.
+    Linear16Range {
+        /// The value that could not be encoded.
+        value: f64,
+    },
+}
+
+impl fmt::Display for PmbusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PmbusError::UnsupportedCommand { code } => {
+                write!(f, "unsupported pmbus command 0x{code:02x}")
+            }
+            PmbusError::WrongTransactionWidth { code } => {
+                write!(f, "wrong transaction width for pmbus command 0x{code:02x}")
+            }
+            PmbusError::InvalidData { code, value } => {
+                write!(f, "invalid data 0x{value:04x} for pmbus command 0x{code:02x}")
+            }
+            PmbusError::Linear11Range { value } => {
+                write!(f, "value {value} does not fit the linear11 format")
+            }
+            PmbusError::Linear16Range { value } => {
+                write!(f, "value {value} does not fit the linear16 format")
+            }
+        }
+    }
+}
+
+impl Error for PmbusError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert_eq!(
+            PmbusError::WrongTransactionWidth { code: 0x20 }.to_string(),
+            "wrong transaction width for pmbus command 0x20"
+        );
+        assert_eq!(
+            PmbusError::InvalidData { code: 0x21, value: 0xFFFF }.to_string(),
+            "invalid data 0xffff for pmbus command 0x21"
+        );
+        assert!(PmbusError::Linear11Range { value: 1e9 }.to_string().contains("linear11"));
+    }
+
+    #[test]
+    fn error_is_well_behaved() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<PmbusError>();
+    }
+}

@@ -1,0 +1,588 @@
+//! Register-level model of the Texas Instruments INA226 power monitor the
+//! study reads its HBM power numbers from.
+//!
+//! The model reproduces the properties that matter for measurement quality:
+//! the fixed LSBs of the shunt-voltage (2.5 µV) and bus-voltage (1.25 mV)
+//! ADCs, the calibration register that fixes the current LSB, the
+//! power register's `25 × current_LSB` scaling, and sample averaging that
+//! suppresses the (deterministic, seeded) measurement noise.
+
+use hbm_units::{Amperes, Ohms, Volts, Watts};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::PmbusError;
+
+/// Shunt-voltage register LSB: 2.5 µV.
+pub const SHUNT_LSB_VOLTS: f64 = 2.5e-6;
+/// Bus-voltage register LSB: 1.25 mV.
+pub const BUS_LSB_VOLTS: f64 = 1.25e-3;
+/// The INA226 calibration equation's fixed scale: `CAL = 0.00512 /
+/// (current_LSB × R_shunt)`.
+pub const CAL_SCALE: f64 = 0.00512;
+/// Power LSB is 25× the current LSB.
+pub const POWER_LSB_FACTOR: f64 = 25.0;
+
+/// The INA226 register map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Ina226Register {
+    /// 0x00 — configuration (averaging, conversion times, mode).
+    Configuration,
+    /// 0x01 — measured shunt voltage (signed, 2.5 µV LSB).
+    ShuntVoltage,
+    /// 0x02 — measured bus voltage (1.25 mV LSB).
+    BusVoltage,
+    /// 0x03 — computed power (`25 × current_LSB` per count).
+    Power,
+    /// 0x04 — computed current (calibrated LSB).
+    Current,
+    /// 0x05 — calibration value.
+    Calibration,
+    /// 0x06 — mask/enable (alert source selection and flags).
+    MaskEnable,
+    /// 0x07 — alert limit.
+    AlertLimit,
+    /// 0xFE — manufacturer id (reads 0x5449, "TI").
+    ManufacturerId,
+    /// 0xFF — die id (reads 0x2260).
+    DieId,
+}
+
+/// `MASK_ENABLE` bit: alert on power over limit (POL).
+pub const MASK_POWER_OVER_LIMIT: u16 = 1 << 11;
+/// `MASK_ENABLE` bit: alert on bus under-voltage (BUL).
+pub const MASK_BUS_UNDER_VOLTAGE: u16 = 1 << 12;
+/// `MASK_ENABLE` flag: the alert function has triggered (AFF).
+pub const ALERT_FUNCTION_FLAG: u16 = 1 << 4;
+/// `MASK_ENABLE` flag: conversion ready (CVRF).
+pub const CONVERSION_READY_FLAG: u16 = 1 << 3;
+
+/// Hardware sample averaging selected in the configuration register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AveragingMode {
+    /// 1 sample (no averaging).
+    X1,
+    /// 4 samples.
+    X4,
+    /// 16 samples.
+    X16,
+    /// 64 samples.
+    X64,
+    /// 128 samples.
+    X128,
+    /// 256 samples.
+    X256,
+    /// 512 samples.
+    X512,
+    /// 1024 samples.
+    X1024,
+}
+
+impl AveragingMode {
+    /// Number of samples averaged per conversion.
+    #[must_use]
+    pub fn samples(self) -> u32 {
+        match self {
+            AveragingMode::X1 => 1,
+            AveragingMode::X4 => 4,
+            AveragingMode::X16 => 16,
+            AveragingMode::X64 => 64,
+            AveragingMode::X128 => 128,
+            AveragingMode::X256 => 256,
+            AveragingMode::X512 => 512,
+            AveragingMode::X1024 => 1024,
+        }
+    }
+
+    /// The configuration-register bit pattern (bits 11:9).
+    #[must_use]
+    pub fn bits(self) -> u16 {
+        match self {
+            AveragingMode::X1 => 0b000,
+            AveragingMode::X4 => 0b001,
+            AveragingMode::X16 => 0b010,
+            AveragingMode::X64 => 0b011,
+            AveragingMode::X128 => 0b100,
+            AveragingMode::X256 => 0b101,
+            AveragingMode::X512 => 0b110,
+            AveragingMode::X1024 => 0b111,
+        }
+    }
+
+    /// Decodes configuration-register bits 11:9.
+    #[must_use]
+    pub fn from_bits(bits: u16) -> Self {
+        match bits & 0b111 {
+            0b000 => AveragingMode::X1,
+            0b001 => AveragingMode::X4,
+            0b010 => AveragingMode::X16,
+            0b011 => AveragingMode::X64,
+            0b100 => AveragingMode::X128,
+            0b101 => AveragingMode::X256,
+            0b110 => AveragingMode::X512,
+            _ => AveragingMode::X1024,
+        }
+    }
+}
+
+/// Monitor configuration: shunt value, current LSB and averaging.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ina226Config {
+    /// Shunt resistor on the measured rail.
+    pub shunt: Ohms,
+    /// Current LSB chosen by the host (fixes the calibration register).
+    pub current_lsb: Amperes,
+    /// Hardware averaging.
+    pub averaging: AveragingMode,
+    /// 1-σ conversion noise on the shunt ADC, in volts, before averaging.
+    pub shunt_noise_sigma: f64,
+}
+
+impl Ina226Config {
+    /// Configuration used for the `VCC_HBM` rail: 2 mΩ shunt, 0.5 mA current
+    /// LSB (12.5 mW power LSB), 64-sample averaging, 5 µV shunt noise.
+    #[must_use]
+    pub fn vcc_hbm() -> Self {
+        Ina226Config {
+            shunt: Ohms(0.002),
+            current_lsb: Amperes(0.5e-3),
+            averaging: AveragingMode::X64,
+            shunt_noise_sigma: 5.0e-6,
+        }
+    }
+
+    /// The calibration-register value implied by this configuration.
+    #[must_use]
+    pub fn calibration(&self) -> u16 {
+        (CAL_SCALE / (self.current_lsb.as_f64() * self.shunt.as_f64())).round() as u16
+    }
+
+    /// The power-register LSB in watts.
+    #[must_use]
+    pub fn power_lsb(&self) -> Watts {
+        Watts(self.current_lsb.as_f64() * POWER_LSB_FACTOR)
+    }
+}
+
+impl Default for Ina226Config {
+    fn default() -> Self {
+        Ina226Config::vcc_hbm()
+    }
+}
+
+/// The power monitor model.
+///
+/// Call [`Ina226::set_input`] with the true electrical state of the rail,
+/// then [`Ina226::convert`] to run one (averaged, noisy, quantized)
+/// conversion, then read back registers or the decoded convenience getters.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_units::{Amperes, Volts};
+/// use hbm_vreg::Ina226;
+///
+/// let mut monitor = Ina226::vcc_hbm(42);
+/// monitor.set_input(Volts(1.2), Amperes(5.0));
+/// monitor.convert();
+/// let power = monitor.power();
+/// assert!((power.0 - 6.0).abs() < 0.05, "measured {power}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ina226 {
+    config: Ina226Config,
+    bus_input: Volts,
+    current_input: Amperes,
+    shunt_reg: i16,
+    bus_reg: u16,
+    mask_enable: u16,
+    alert_limit: u16,
+    alert_latched: bool,
+    conversion_ready: bool,
+    rng: ChaCha8Rng,
+}
+
+impl Ina226 {
+    /// A monitor configured for the `VCC_HBM` rail with a deterministic
+    /// noise seed.
+    #[must_use]
+    pub fn vcc_hbm(seed: u64) -> Self {
+        Ina226::new(Ina226Config::vcc_hbm(), seed)
+    }
+
+    /// Creates a monitor with an explicit configuration and noise seed.
+    #[must_use]
+    pub fn new(config: Ina226Config, seed: u64) -> Self {
+        Ina226 {
+            config,
+            bus_input: Volts::ZERO,
+            current_input: Amperes::ZERO,
+            shunt_reg: 0,
+            bus_reg: 0,
+            mask_enable: 0,
+            alert_limit: 0,
+            alert_latched: false,
+            conversion_ready: false,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Arms the alert pin for power-over-limit at `limit` (written through
+    /// the `MASK_ENABLE`/`ALERT_LIMIT` registers, as a host driver would).
+    pub fn arm_power_alert(&mut self, limit: Watts) {
+        self.mask_enable = MASK_POWER_OVER_LIMIT;
+        self.alert_limit =
+            (limit.as_f64() / self.config.power_lsb().as_f64()).round() as u16;
+        self.alert_latched = false;
+    }
+
+    /// Arms the alert pin for bus under-voltage at `limit`.
+    pub fn arm_bus_undervoltage_alert(&mut self, limit: Volts) {
+        self.mask_enable = MASK_BUS_UNDER_VOLTAGE;
+        self.alert_limit = (limit.as_f64() / BUS_LSB_VOLTS).round() as u16;
+        self.alert_latched = false;
+    }
+
+    /// `true` if the alert function has triggered since last armed/cleared.
+    #[must_use]
+    pub fn alert_asserted(&self) -> bool {
+        self.alert_latched
+    }
+
+    fn evaluate_alert(&mut self) {
+        if self.mask_enable & MASK_POWER_OVER_LIMIT != 0 {
+            let power_counts =
+                (self.power().as_f64() / self.config.power_lsb().as_f64()).round() as u16;
+            if power_counts > self.alert_limit {
+                self.alert_latched = true;
+            }
+        }
+        if self.mask_enable & MASK_BUS_UNDER_VOLTAGE != 0 && self.bus_reg < self.alert_limit {
+            self.alert_latched = true;
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> Ina226Config {
+        self.config
+    }
+
+    /// Replaces the averaging mode (host reconfiguration).
+    pub fn set_averaging(&mut self, averaging: AveragingMode) {
+        self.config.averaging = averaging;
+    }
+
+    /// Presents the true electrical state of the rail to the ADC inputs.
+    pub fn set_input(&mut self, bus: Volts, current: Amperes) {
+        self.bus_input = bus;
+        self.current_input = current;
+    }
+
+    /// Runs one conversion: averages noisy samples of the inputs and
+    /// quantizes them into the shunt/bus registers.
+    pub fn convert(&mut self) {
+        let n = self.config.averaging.samples();
+        let shunt_true = (self.current_input * self.config.shunt).as_f64();
+        let mut shunt_acc = 0.0;
+        for _ in 0..n {
+            shunt_acc += shunt_true + self.gaussian() * self.config.shunt_noise_sigma;
+        }
+        let shunt_avg = shunt_acc / f64::from(n);
+        self.shunt_reg = (shunt_avg / SHUNT_LSB_VOLTS)
+            .round()
+            .clamp(f64::from(i16::MIN), f64::from(i16::MAX)) as i16;
+        // The bus ADC is modelled noise-free: its 1.25 mV LSB dominates.
+        self.bus_reg = (self.bus_input.as_f64() / BUS_LSB_VOLTS)
+            .round()
+            .clamp(0.0, f64::from(i16::MAX)) as u16;
+        self.conversion_ready = true;
+        self.evaluate_alert();
+    }
+
+    /// Box–Muller standard normal from the deterministic stream.
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Reads a register.
+    #[must_use]
+    pub fn read_register(&self, register: Ina226Register) -> u16 {
+        match register {
+            Ina226Register::Configuration => {
+                // reset=0, avg bits, default conversion times (0b100), mode 0b111.
+                (self.config.averaging.bits() << 9) | (0b100 << 6) | (0b100 << 3) | 0b111
+            }
+            Ina226Register::ShuntVoltage => self.shunt_reg as u16,
+            Ina226Register::BusVoltage => self.bus_reg,
+            Ina226Register::Power => {
+                let counts = (self.power().as_f64() / self.config.power_lsb().as_f64()).round();
+                counts.clamp(0.0, f64::from(u16::MAX)) as u16
+            }
+            Ina226Register::Current => {
+                let counts =
+                    (self.current().as_f64() / self.config.current_lsb.as_f64()).round();
+                counts.clamp(f64::from(i16::MIN), f64::from(i16::MAX)) as i16 as u16
+            }
+            Ina226Register::Calibration => self.config.calibration(),
+            Ina226Register::MaskEnable => {
+                let mut value = self.mask_enable;
+                if self.alert_latched {
+                    value |= ALERT_FUNCTION_FLAG;
+                }
+                if self.conversion_ready {
+                    value |= CONVERSION_READY_FLAG;
+                }
+                value
+            }
+            Ina226Register::AlertLimit => self.alert_limit,
+            Ina226Register::ManufacturerId => 0x5449,
+            Ina226Register::DieId => 0x2260,
+        }
+    }
+
+    /// Writes a writable register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmbusError::InvalidData`] for read-only registers.
+    pub fn write_register(
+        &mut self,
+        register: Ina226Register,
+        value: u16,
+    ) -> Result<(), PmbusError> {
+        match register {
+            Ina226Register::Configuration => {
+                self.config.averaging = AveragingMode::from_bits(value >> 9);
+                Ok(())
+            }
+            Ina226Register::Calibration => {
+                if value == 0 {
+                    return Err(PmbusError::InvalidData { code: 0x05, value });
+                }
+                self.config.current_lsb =
+                    Amperes(CAL_SCALE / (f64::from(value) * self.config.shunt.as_f64()));
+                Ok(())
+            }
+            Ina226Register::MaskEnable => {
+                // Writing clears the latched flags and re-arms.
+                self.mask_enable = value & (MASK_POWER_OVER_LIMIT | MASK_BUS_UNDER_VOLTAGE);
+                self.alert_latched = false;
+                Ok(())
+            }
+            Ina226Register::AlertLimit => {
+                self.alert_limit = value;
+                Ok(())
+            }
+            _ => Err(PmbusError::InvalidData { code: 0x00, value }),
+        }
+    }
+
+    /// Decoded bus voltage from the last conversion.
+    #[must_use]
+    pub fn bus_voltage(&self) -> Volts {
+        Volts(f64::from(self.bus_reg) * BUS_LSB_VOLTS)
+    }
+
+    /// Decoded shunt voltage from the last conversion.
+    #[must_use]
+    pub fn shunt_voltage(&self) -> Volts {
+        Volts(f64::from(self.shunt_reg) * SHUNT_LSB_VOLTS)
+    }
+
+    /// Decoded current from the last conversion (shunt voltage / shunt).
+    #[must_use]
+    pub fn current(&self) -> Amperes {
+        self.shunt_voltage() / self.config.shunt
+    }
+
+    /// Decoded power from the last conversion (bus voltage × current).
+    #[must_use]
+    pub fn power(&self) -> Watts {
+        self.bus_voltage() * self.current()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_identify_the_part() {
+        let monitor = Ina226::vcc_hbm(0);
+        assert_eq!(monitor.read_register(Ina226Register::ManufacturerId), 0x5449);
+        assert_eq!(monitor.read_register(Ina226Register::DieId), 0x2260);
+    }
+
+    #[test]
+    fn calibration_equation() {
+        let config = Ina226Config::vcc_hbm();
+        // CAL = 0.00512 / (0.5 mA × 2 mΩ) = 5120.
+        assert_eq!(config.calibration(), 5120);
+        assert_eq!(config.power_lsb(), Watts(0.0125));
+        let monitor = Ina226::new(config, 0);
+        assert_eq!(monitor.read_register(Ina226Register::Calibration), 5120);
+    }
+
+    #[test]
+    fn measurement_accuracy_with_averaging() {
+        let mut monitor = Ina226::vcc_hbm(1);
+        monitor.set_input(Volts(1.2), Amperes(5.0));
+        monitor.convert();
+        // True power 6 W; quantization + averaged noise keep error small.
+        assert!((monitor.power().as_f64() - 6.0).abs() < 0.05);
+        assert!((monitor.current().as_f64() - 5.0).abs() < 0.05);
+        assert!((monitor.bus_voltage().as_f64() - 1.2).abs() <= BUS_LSB_VOLTS);
+    }
+
+    #[test]
+    fn zero_load_measures_zero_power() {
+        let mut monitor = Ina226::vcc_hbm(2);
+        monitor.set_input(Volts(1.2), Amperes::ZERO);
+        monitor.convert();
+        // Noise alone: at most a few LSBs of shunt reading.
+        assert!(monitor.power().as_f64().abs() < 0.02);
+    }
+
+    #[test]
+    fn averaging_reduces_noise_spread() {
+        let spread = |averaging: AveragingMode| {
+            let mut config = Ina226Config::vcc_hbm();
+            config.averaging = averaging;
+            let mut monitor = Ina226::new(config, 3);
+            monitor.set_input(Volts(1.2), Amperes(5.0));
+            let mut min = f64::MAX;
+            let mut max = f64::MIN;
+            for _ in 0..50 {
+                monitor.convert();
+                let p = monitor.power().as_f64();
+                min = min.min(p);
+                max = max.max(p);
+            }
+            max - min
+        };
+        // 1024-sample averaging visibly beats single-sample conversions.
+        assert!(spread(AveragingMode::X1024) <= spread(AveragingMode::X1));
+    }
+
+    #[test]
+    fn config_register_round_trip() {
+        let mut monitor = Ina226::vcc_hbm(4);
+        monitor
+            .write_register(
+                Ina226Register::Configuration,
+                AveragingMode::X256.bits() << 9,
+            )
+            .unwrap();
+        assert_eq!(monitor.config().averaging, AveragingMode::X256);
+        let readback = monitor.read_register(Ina226Register::Configuration);
+        assert_eq!(AveragingMode::from_bits(readback >> 9), AveragingMode::X256);
+    }
+
+    #[test]
+    fn calibration_write_updates_current_lsb() {
+        let mut monitor = Ina226::vcc_hbm(5);
+        monitor.write_register(Ina226Register::Calibration, 2560).unwrap();
+        // current_LSB = 0.00512 / (2560 × 0.002) = 1 mA.
+        assert!((monitor.config().current_lsb.as_f64() - 1.0e-3).abs() < 1e-12);
+        assert!(monitor.write_register(Ina226Register::Calibration, 0).is_err());
+    }
+
+    #[test]
+    fn power_alert_fires_over_limit_and_rearms() {
+        let mut monitor = Ina226::vcc_hbm(10);
+        monitor.arm_power_alert(Watts(7.0));
+        assert!(!monitor.alert_asserted());
+
+        // Below the limit: no alert; conversion-ready flag set.
+        monitor.set_input(Volts(1.2), Amperes(5.0)); // 6 W
+        monitor.convert();
+        assert!(!monitor.alert_asserted());
+        let mask = monitor.read_register(Ina226Register::MaskEnable);
+        assert_ne!(mask & CONVERSION_READY_FLAG, 0);
+        assert_eq!(mask & ALERT_FUNCTION_FLAG, 0);
+
+        // Above the limit: alert latches.
+        monitor.set_input(Volts(1.2), Amperes(6.5)); // 7.8 W
+        monitor.convert();
+        assert!(monitor.alert_asserted());
+        assert_ne!(
+            monitor.read_register(Ina226Register::MaskEnable) & ALERT_FUNCTION_FLAG,
+            0
+        );
+
+        // Stays latched through a low reading; clears on mask rewrite.
+        monitor.set_input(Volts(1.2), Amperes(1.0));
+        monitor.convert();
+        assert!(monitor.alert_asserted());
+        monitor
+            .write_register(Ina226Register::MaskEnable, MASK_POWER_OVER_LIMIT)
+            .unwrap();
+        assert!(!monitor.alert_asserted());
+    }
+
+    #[test]
+    fn bus_undervoltage_alert() {
+        let mut monitor = Ina226::vcc_hbm(11);
+        monitor.arm_bus_undervoltage_alert(Volts(0.98));
+        monitor.set_input(Volts(1.0), Amperes(1.0));
+        monitor.convert();
+        assert!(!monitor.alert_asserted());
+        monitor.set_input(Volts(0.95), Amperes(1.0));
+        monitor.convert();
+        assert!(monitor.alert_asserted(), "sag below 0.98 V must alert");
+    }
+
+    #[test]
+    fn alert_limit_register_round_trip() {
+        let mut monitor = Ina226::vcc_hbm(12);
+        monitor.write_register(Ina226Register::AlertLimit, 1234).unwrap();
+        assert_eq!(monitor.read_register(Ina226Register::AlertLimit), 1234);
+    }
+
+    #[test]
+    fn read_only_registers_reject_writes() {
+        let mut monitor = Ina226::vcc_hbm(6);
+        for reg in [
+            Ina226Register::ShuntVoltage,
+            Ina226Register::BusVoltage,
+            Ina226Register::Power,
+            Ina226Register::Current,
+            Ina226Register::ManufacturerId,
+            Ina226Register::DieId,
+        ] {
+            assert!(monitor.write_register(reg, 1).is_err(), "{reg:?}");
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let run = |seed: u64| {
+            let mut monitor = Ina226::vcc_hbm(seed);
+            monitor.set_input(Volts(1.0), Amperes(3.0));
+            monitor.convert();
+            monitor.read_register(Ina226Register::ShuntVoltage)
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn averaging_mode_bits_round_trip() {
+        for mode in [
+            AveragingMode::X1,
+            AveragingMode::X4,
+            AveragingMode::X16,
+            AveragingMode::X64,
+            AveragingMode::X128,
+            AveragingMode::X256,
+            AveragingMode::X512,
+            AveragingMode::X1024,
+        ] {
+            assert_eq!(AveragingMode::from_bits(mode.bits()), mode);
+        }
+    }
+}

@@ -1,0 +1,528 @@
+//! Register-level model of the Intersil ISL68301 PMBus regulator that
+//! supplies the `VCC_HBM` rail on the VCU128 board.
+
+use hbm_units::{Amperes, Celsius, Millivolts, Ohms, Watts};
+use serde::{Deserialize, Serialize};
+
+use crate::error::PmbusError;
+use crate::pmbus::{
+    decode_linear16, encode_linear11, encode_linear16, PmbusCommand, PmbusDevice,
+    VOUT_MODE_EXPONENT,
+};
+
+/// `STATUS_WORD` bit: an output over-voltage fault latched.
+pub const STATUS_VOUT_OV: u16 = 1 << 5;
+/// `STATUS_WORD` bit: the output is off.
+pub const STATUS_OFF: u16 = 1 << 6;
+/// `STATUS_WORD` bit: an output under-voltage fault latched.
+pub const STATUS_VOUT_UV: u16 = 1 << 4;
+
+/// Output on/off state driven by the `OPERATION` command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperationState {
+    /// Output enabled (OPERATION = 0x80).
+    On,
+    /// Output disabled (OPERATION = 0x00); used to power-cycle the HBM after
+    /// a crash below the critical voltage.
+    Off,
+}
+
+/// Protection limits of the regulator.
+///
+/// The defaults are chosen for the study's `VCC_HBM` rail: the commanded
+/// range must reach all the way down to 0.81 V and a little beyond (the
+/// study deliberately crosses the crash threshold), so the under-voltage
+/// warning floor sits at 0.60 V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegulatorLimits {
+    /// Maximum commandable output voltage (`VOUT_MAX`).
+    pub vout_max: Millivolts,
+    /// Over-voltage fault limit.
+    pub ov_fault: Millivolts,
+    /// Under-voltage fault limit.
+    pub uv_fault: Millivolts,
+}
+
+impl RegulatorLimits {
+    /// Limits for the study's `VCC_HBM` rail.
+    #[must_use]
+    pub fn vcc_hbm() -> Self {
+        RegulatorLimits {
+            vout_max: Millivolts(1320),
+            ov_fault: Millivolts(1300),
+            uv_fault: Millivolts(600),
+        }
+    }
+}
+
+impl Default for RegulatorLimits {
+    fn default() -> Self {
+        RegulatorLimits::vcc_hbm()
+    }
+}
+
+/// The regulator model.
+///
+/// Faithful at the level the study needs: LINEAR16 `VOUT_COMMAND` with a
+/// published `VOUT_MODE` exponent, `VOUT_MAX` enforcement (out-of-range
+/// writes are NACKed with [`PmbusError::InvalidData`]), OV/UV protection
+/// latches cleared by `CLEAR_FAULTS`, output on/off via `OPERATION`, and
+/// LINEAR11 telemetry (`READ_IOUT`, `READ_POUT`, `READ_TEMPERATURE_1`) that
+/// the surrounding [`PowerRail`](crate::PowerRail) keeps up to date.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_units::Millivolts;
+/// use hbm_vreg::pmbus::{encode_linear16, VOUT_MODE_EXPONENT, PmbusCommand, PmbusDevice};
+/// use hbm_vreg::Isl68301;
+///
+/// # fn main() -> Result<(), hbm_vreg::PmbusError> {
+/// let mut reg = Isl68301::vcc_hbm();
+/// let word = encode_linear16(Millivolts(980).to_volts(), VOUT_MODE_EXPONENT)?;
+/// reg.write_word(PmbusCommand::VoutCommand, word)?;
+/// assert_eq!(reg.output(), Millivolts(980));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Isl68301 {
+    vout_command: u16,
+    limits: RegulatorLimits,
+    operation: OperationState,
+    status: u16,
+    iout: Amperes,
+    pout: Watts,
+    temperature: Celsius,
+    /// Load-line (droop) resistance: the output sags by `iout × r` under
+    /// load. Zero by default (ideal regulation, the study's assumption);
+    /// enable to explore how PDN droop eats into the guardband margin.
+    load_line: Ohms,
+    /// Margin applied by the OPERATION margin modes, as a fraction of the
+    /// commanded voltage (e.g. 0.05 = ±5 %).
+    margin_fraction: f64,
+    margin: MarginState,
+}
+
+/// Output margining state (PMBus OPERATION margin modes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MarginState {
+    /// Regulating to the commanded voltage.
+    None,
+    /// Margined low (OPERATION = 0x98): commanded voltage minus the margin.
+    Low,
+    /// Margined high (OPERATION = 0xA8): commanded voltage plus the margin.
+    High,
+}
+
+impl Isl68301 {
+    /// A regulator configured for the study's `VCC_HBM` rail: 1.20 V
+    /// nominal output, on, no latched faults.
+    #[must_use]
+    pub fn vcc_hbm() -> Self {
+        Isl68301::with_limits(Millivolts(1200), RegulatorLimits::vcc_hbm())
+    }
+
+    /// A regulator with explicit initial output and protection limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` exceeds `limits.vout_max`.
+    #[must_use]
+    pub fn with_limits(initial: Millivolts, limits: RegulatorLimits) -> Self {
+        assert!(
+            initial <= limits.vout_max,
+            "initial voltage {initial} above VOUT_MAX {}",
+            limits.vout_max
+        );
+        let counts = encode_linear16(initial.to_volts(), VOUT_MODE_EXPONENT)
+            .expect("initial voltage encodable");
+        Isl68301 {
+            vout_command: counts,
+            limits,
+            operation: OperationState::On,
+            status: 0,
+            iout: Amperes::ZERO,
+            pout: Watts::ZERO,
+            temperature: Celsius::STUDY_AMBIENT,
+            load_line: Ohms(0.0),
+            margin_fraction: 0.05,
+            margin: MarginState::None,
+        }
+    }
+
+    /// Enables a load-line (droop) resistance: the output sags by
+    /// `iout × r` under load. The study's analysis assumes ideal
+    /// regulation (`r = 0`, the default); a realistic PDN with a few mΩ
+    /// shows how load transients eat into the undervolting margin.
+    pub fn set_load_line(&mut self, r: Ohms) {
+        self.load_line = r;
+    }
+
+    /// The configured load-line resistance.
+    #[must_use]
+    pub fn load_line(&self) -> Ohms {
+        self.load_line
+    }
+
+    /// The current margin state.
+    #[must_use]
+    pub fn margin_state(&self) -> MarginState {
+        self.margin
+    }
+
+    /// The regulated output voltage: the commanded set-point (adjusted by
+    /// margining and load-line droop) while on, zero while off.
+    #[must_use]
+    pub fn output(&self) -> Millivolts {
+        match self.operation {
+            OperationState::On => {
+                let set = decode_linear16(self.vout_command, VOUT_MODE_EXPONENT).as_f64();
+                let margined = match self.margin {
+                    MarginState::None => set,
+                    MarginState::Low => set * (1.0 - self.margin_fraction),
+                    MarginState::High => set * (1.0 + self.margin_fraction),
+                };
+                let drooped = margined - (self.iout * self.load_line).as_f64();
+                Millivolts::from_volts(drooped.max(0.0))
+            }
+            OperationState::Off => Millivolts::ZERO,
+        }
+    }
+
+    /// Current on/off state.
+    #[must_use]
+    pub fn operation_state(&self) -> OperationState {
+        self.operation
+    }
+
+    /// The protection limits.
+    #[must_use]
+    pub fn limits(&self) -> RegulatorLimits {
+        self.limits
+    }
+
+    /// Updates the telemetry the rail measures at the regulator output.
+    pub fn update_telemetry(&mut self, iout: Amperes, pout: Watts, temperature: Celsius) {
+        self.iout = iout;
+        self.pout = pout;
+        self.temperature = temperature;
+        self.refresh_protection();
+    }
+
+    fn refresh_protection(&mut self) {
+        let out = self.output();
+        if self.operation == OperationState::On {
+            if out > self.limits.ov_fault {
+                self.status |= STATUS_VOUT_OV;
+            }
+            if out < self.limits.uv_fault {
+                self.status |= STATUS_VOUT_UV;
+            }
+        }
+    }
+
+    /// The latched status word.
+    #[must_use]
+    pub fn status(&self) -> u16 {
+        let mut status = self.status;
+        if self.operation == OperationState::Off {
+            status |= STATUS_OFF;
+        }
+        status
+    }
+}
+
+impl Default for Isl68301 {
+    fn default() -> Self {
+        Isl68301::vcc_hbm()
+    }
+}
+
+impl PmbusDevice for Isl68301 {
+    fn read_byte(&mut self, cmd: PmbusCommand) -> Result<u8, PmbusError> {
+        match cmd {
+            PmbusCommand::VoutMode => Ok((VOUT_MODE_EXPONENT as u8) & 0x1F),
+            PmbusCommand::Operation => Ok(match (self.operation, self.margin) {
+                (OperationState::Off, _) => 0x00,
+                (OperationState::On, MarginState::None) => 0x80,
+                (OperationState::On, MarginState::Low) => 0x98,
+                (OperationState::On, MarginState::High) => 0xA8,
+            }),
+            PmbusCommand::VoutCommand
+            | PmbusCommand::VoutMax
+            | PmbusCommand::VoutOvFaultLimit
+            | PmbusCommand::VoutUvFaultLimit
+            | PmbusCommand::StatusWord
+            | PmbusCommand::ReadVout
+            | PmbusCommand::ReadIout
+            | PmbusCommand::ReadTemperature1
+            | PmbusCommand::ReadPout => Err(PmbusError::WrongTransactionWidth { code: cmd.code() }),
+            PmbusCommand::ClearFaults => Err(PmbusError::WrongTransactionWidth { code: cmd.code() }),
+        }
+    }
+
+    fn write_byte(&mut self, cmd: PmbusCommand, value: u8) -> Result<(), PmbusError> {
+        match cmd {
+            PmbusCommand::Operation => {
+                (self.operation, self.margin) = match value {
+                    0x80 => (OperationState::On, MarginState::None),
+                    0x98 => (OperationState::On, MarginState::Low),
+                    0xA8 => (OperationState::On, MarginState::High),
+                    0x00 => (OperationState::Off, MarginState::None),
+                    _ => {
+                        return Err(PmbusError::InvalidData {
+                            code: cmd.code(),
+                            value: u16::from(value),
+                        })
+                    }
+                };
+                self.refresh_protection();
+                Ok(())
+            }
+            PmbusCommand::VoutMode => Err(PmbusError::InvalidData {
+                code: cmd.code(),
+                value: u16::from(value),
+            }),
+            _ => Err(PmbusError::WrongTransactionWidth { code: cmd.code() }),
+        }
+    }
+
+    fn read_word(&mut self, cmd: PmbusCommand) -> Result<u16, PmbusError> {
+        let encode_mv = |mv: Millivolts| {
+            encode_linear16(mv.to_volts(), VOUT_MODE_EXPONENT)
+                .expect("configured voltages encodable")
+        };
+        match cmd {
+            PmbusCommand::VoutCommand => Ok(self.vout_command),
+            PmbusCommand::VoutMax => Ok(encode_mv(self.limits.vout_max)),
+            PmbusCommand::VoutOvFaultLimit => Ok(encode_mv(self.limits.ov_fault)),
+            PmbusCommand::VoutUvFaultLimit => Ok(encode_mv(self.limits.uv_fault)),
+            PmbusCommand::StatusWord => Ok(self.status()),
+            PmbusCommand::ReadVout => Ok(encode_mv(self.output())),
+            PmbusCommand::ReadIout => encode_linear11(self.iout.as_f64()),
+            PmbusCommand::ReadPout => encode_linear11(self.pout.as_f64()),
+            PmbusCommand::ReadTemperature1 => encode_linear11(self.temperature.as_f64()),
+            PmbusCommand::Operation | PmbusCommand::VoutMode | PmbusCommand::ClearFaults => {
+                Err(PmbusError::WrongTransactionWidth { code: cmd.code() })
+            }
+        }
+    }
+
+    fn write_word(&mut self, cmd: PmbusCommand, value: u16) -> Result<(), PmbusError> {
+        match cmd {
+            PmbusCommand::VoutCommand => {
+                let target = decode_linear16(value, VOUT_MODE_EXPONENT).to_millivolts();
+                if target > self.limits.vout_max {
+                    return Err(PmbusError::InvalidData {
+                        code: cmd.code(),
+                        value,
+                    });
+                }
+                self.vout_command = value;
+                self.refresh_protection();
+                Ok(())
+            }
+            PmbusCommand::VoutMax => {
+                self.limits.vout_max =
+                    decode_linear16(value, VOUT_MODE_EXPONENT).to_millivolts();
+                Ok(())
+            }
+            PmbusCommand::VoutOvFaultLimit => {
+                self.limits.ov_fault =
+                    decode_linear16(value, VOUT_MODE_EXPONENT).to_millivolts();
+                Ok(())
+            }
+            PmbusCommand::VoutUvFaultLimit => {
+                self.limits.uv_fault =
+                    decode_linear16(value, VOUT_MODE_EXPONENT).to_millivolts();
+                Ok(())
+            }
+            PmbusCommand::StatusWord
+            | PmbusCommand::ReadVout
+            | PmbusCommand::ReadIout
+            | PmbusCommand::ReadTemperature1
+            | PmbusCommand::ReadPout => Err(PmbusError::InvalidData {
+                code: cmd.code(),
+                value,
+            }),
+            PmbusCommand::Operation | PmbusCommand::VoutMode | PmbusCommand::ClearFaults => {
+                Err(PmbusError::WrongTransactionWidth { code: cmd.code() })
+            }
+        }
+    }
+
+    fn send_command(&mut self, cmd: PmbusCommand) -> Result<(), PmbusError> {
+        match cmd {
+            PmbusCommand::ClearFaults => {
+                self.status = 0;
+                self.refresh_protection();
+                Ok(())
+            }
+            _ => Err(PmbusError::WrongTransactionWidth { code: cmd.code() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmbus::HostInterface;
+
+    #[test]
+    fn starts_at_nominal() {
+        let reg = Isl68301::vcc_hbm();
+        assert_eq!(reg.output(), Millivolts(1200));
+        assert_eq!(reg.operation_state(), OperationState::On);
+        assert_eq!(reg.status(), 0);
+    }
+
+    #[test]
+    fn host_sweep_down_in_10mv_steps() {
+        let mut reg = Isl68301::vcc_hbm();
+        let mut host = HostInterface::new(&mut reg);
+        let mut v = Millivolts(1200);
+        while v >= Millivolts(810) {
+            host.set_vout(v).unwrap();
+            assert_eq!(host.read_vout().unwrap(), v);
+            v = v.saturating_sub(Millivolts(10));
+        }
+    }
+
+    #[test]
+    fn vout_max_enforced() {
+        let mut reg = Isl68301::vcc_hbm();
+        let mut host = HostInterface::new(&mut reg);
+        let err = host.set_vout(Millivolts(1400)).unwrap_err();
+        assert!(matches!(err, PmbusError::InvalidData { code: 0x21, .. }));
+        // Set-point unchanged.
+        assert_eq!(reg.output(), Millivolts(1200));
+    }
+
+    #[test]
+    fn uv_fault_latches_and_clears() {
+        let mut reg = Isl68301::vcc_hbm();
+        let mut host = HostInterface::new(&mut reg);
+        host.set_vout(Millivolts(550)).unwrap();
+        assert_ne!(host.status_word().unwrap() & STATUS_VOUT_UV, 0);
+        // Raising the voltage alone does not clear the latch …
+        host.set_vout(Millivolts(1200)).unwrap();
+        assert_ne!(host.status_word().unwrap() & STATUS_VOUT_UV, 0);
+        // … CLEAR_FAULTS does.
+        host.clear_faults().unwrap();
+        assert_eq!(host.status_word().unwrap() & STATUS_VOUT_UV, 0);
+    }
+
+    #[test]
+    fn operation_off_kills_output() {
+        let mut reg = Isl68301::vcc_hbm();
+        reg.write_byte(PmbusCommand::Operation, 0x00).unwrap();
+        assert_eq!(reg.output(), Millivolts::ZERO);
+        assert_ne!(reg.status() & STATUS_OFF, 0);
+        reg.write_byte(PmbusCommand::Operation, 0x80).unwrap();
+        assert_eq!(reg.output(), Millivolts(1200));
+        assert_eq!(reg.status() & STATUS_OFF, 0);
+    }
+
+    #[test]
+    fn invalid_operation_value_rejected() {
+        let mut reg = Isl68301::vcc_hbm();
+        assert!(matches!(
+            reg.write_byte(PmbusCommand::Operation, 0x42).unwrap_err(),
+            PmbusError::InvalidData { code: 0x01, value: 0x42 }
+        ));
+    }
+
+    #[test]
+    fn telemetry_round_trips_through_linear11() {
+        let mut reg = Isl68301::vcc_hbm();
+        reg.update_telemetry(Amperes(4.0), Watts(4.8), Celsius(35.0));
+        let mut host = HostInterface::new(&mut reg);
+        // Dyadic values survive exactly; others within LINEAR11 resolution.
+        assert_eq!(host.read_iout().unwrap(), Amperes(4.0));
+        let pout = host.read_pout().unwrap();
+        assert!((pout.as_f64() - 4.8).abs() / 4.8 <= 1.0 / 1024.0, "{pout}");
+        assert_eq!(host.read_temperature().unwrap(), Celsius(35.0));
+    }
+
+    #[test]
+    fn transaction_width_enforced() {
+        let mut reg = Isl68301::vcc_hbm();
+        assert!(matches!(
+            reg.read_byte(PmbusCommand::ReadVout).unwrap_err(),
+            PmbusError::WrongTransactionWidth { code: 0x8B }
+        ));
+        assert!(matches!(
+            reg.read_word(PmbusCommand::Operation).unwrap_err(),
+            PmbusError::WrongTransactionWidth { code: 0x01 }
+        ));
+        assert!(matches!(
+            reg.send_command(PmbusCommand::ReadVout).unwrap_err(),
+            PmbusError::WrongTransactionWidth { code: 0x8B }
+        ));
+        assert!(reg.write_word(PmbusCommand::ReadVout, 0).is_err());
+    }
+
+    #[test]
+    fn limit_registers_writable() {
+        let mut reg = Isl68301::vcc_hbm();
+        let word = encode_linear16(Millivolts(1250).to_volts(), VOUT_MODE_EXPONENT).unwrap();
+        reg.write_word(PmbusCommand::VoutMax, word).unwrap();
+        assert_eq!(reg.limits().vout_max, Millivolts(1250));
+        assert_eq!(reg.read_word(PmbusCommand::VoutMax).unwrap(), word);
+    }
+
+    #[test]
+    #[should_panic(expected = "above VOUT_MAX")]
+    fn initial_above_max_rejected() {
+        let _ = Isl68301::with_limits(Millivolts(1400), RegulatorLimits::vcc_hbm());
+    }
+
+    #[test]
+    fn margin_modes() {
+        let mut reg = Isl68301::vcc_hbm();
+        assert_eq!(reg.margin_state(), MarginState::None);
+        reg.write_byte(PmbusCommand::Operation, 0x98).unwrap();
+        assert_eq!(reg.margin_state(), MarginState::Low);
+        assert_eq!(reg.output(), Millivolts(1140)); // −5 %
+        assert_eq!(reg.read_byte(PmbusCommand::Operation).unwrap(), 0x98);
+
+        reg.write_byte(PmbusCommand::Operation, 0xA8).unwrap();
+        assert_eq!(reg.output(), Millivolts(1260)); // +5 %
+        assert_eq!(reg.read_byte(PmbusCommand::Operation).unwrap(), 0xA8);
+
+        reg.write_byte(PmbusCommand::Operation, 0x80).unwrap();
+        assert_eq!(reg.output(), Millivolts(1200));
+    }
+
+    #[test]
+    fn margin_high_can_trip_overvoltage_protection() {
+        // 1.26 V margined-high output is below the 1.30 V OV limit: fine.
+        let mut reg = Isl68301::vcc_hbm();
+        reg.write_byte(PmbusCommand::Operation, 0xA8).unwrap();
+        assert_eq!(reg.status() & STATUS_VOUT_OV, 0);
+
+        // A 1.25 V set-point margined +5 % (1.3125 V) crosses the limit.
+        let mut reg = Isl68301::vcc_hbm();
+        let word = encode_linear16(Millivolts(1250).to_volts(), VOUT_MODE_EXPONENT).unwrap();
+        reg.write_word(PmbusCommand::VoutCommand, word).unwrap();
+        reg.write_byte(PmbusCommand::Operation, 0xA8).unwrap();
+        assert_ne!(reg.status() & STATUS_VOUT_OV, 0, "1.3125 V trips the 1.30 V OV limit");
+    }
+
+    #[test]
+    fn load_line_droop_sags_under_load() {
+        let mut reg = Isl68301::vcc_hbm();
+        reg.set_load_line(Ohms(0.004));
+        assert_eq!(reg.load_line(), Ohms(0.004));
+        // No load: no droop.
+        assert_eq!(reg.output(), Millivolts(1200));
+        // 5 A load: 20 mV droop.
+        reg.update_telemetry(Amperes(5.0), Watts(6.0), Celsius::STUDY_AMBIENT);
+        assert_eq!(reg.output(), Millivolts(1180));
+        // The default regulator stays ideal.
+        let mut ideal = Isl68301::vcc_hbm();
+        ideal.update_telemetry(Amperes(5.0), Watts(6.0), Celsius::STUDY_AMBIENT);
+        assert_eq!(ideal.output(), Millivolts(1200));
+    }
+}

@@ -1,0 +1,58 @@
+//! Voltage-regulation substrate of the HBM undervolting reproduction.
+//!
+//! The DATE 2021 study tunes the HBM supply rail of a Xilinx VCU128 board by
+//! talking PMBus to an Intersil **ISL68301** regulator and reads power from a
+//! Texas Instruments **INA226** monitor. This crate models that board-level
+//! plumbing so the measurement harness exercises the same code paths a real
+//! host would:
+//!
+//! - [`pmbus`]: the PMBus data formats (LINEAR11, VOUT-mode LINEAR16) and
+//!   command set, plus a [`PmbusDevice`] transaction trait;
+//! - [`Isl68301`]: a register-level regulator model with output clamping,
+//!   over/under-voltage protection latches and telemetry;
+//! - [`Ina226`]: a register-level power monitor with the real part's LSB
+//!   quantization, calibration register and averaging;
+//! - [`PowerRail`]: the composition — regulator, shunt, monitor and an
+//!   externally supplied load — standing in for the `VCC_HBM` rail.
+//!
+//! The electrical *load* on the rail (how much power the HBM draws at a
+//! given voltage and bandwidth) is deliberately not modelled here; the
+//! `hbm-power` crate owns that physics and the platform layer feeds it in
+//! through [`PowerRail::apply_load`].
+//!
+//! # Examples
+//!
+//! ```
+//! use hbm_units::{Millivolts, Watts};
+//! use hbm_vreg::{HostInterface, PowerRail};
+//!
+//! # fn main() -> Result<(), hbm_vreg::PmbusError> {
+//! let mut rail = PowerRail::vcc_hbm(7);
+//! // Undervolt by two 10 mV steps from nominal, as the host tool would.
+//! let mut host = HostInterface::new(rail.regulator_mut());
+//! host.set_vout(Millivolts(1180))?;
+//! rail.apply_load(Watts(5.0));
+//! let sample = rail.sample()?;
+//! assert_eq!(sample.requested, Millivolts(1180));
+//! assert!((sample.power.0 - 5.0).abs() < 0.1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod ina226;
+mod isl68301;
+pub mod pmbus;
+mod rail;
+
+pub use error::PmbusError;
+pub use ina226::{
+    AveragingMode, Ina226, Ina226Config, Ina226Register, ALERT_FUNCTION_FLAG,
+    CONVERSION_READY_FLAG, MASK_BUS_UNDER_VOLTAGE, MASK_POWER_OVER_LIMIT,
+};
+pub use isl68301::{Isl68301, MarginState, OperationState, RegulatorLimits};
+pub use pmbus::{HostInterface, PmbusCommand, PmbusDevice};
+pub use rail::{PowerRail, RailSample};

@@ -1,0 +1,412 @@
+//! The PMBus data formats and command layer.
+//!
+//! PMBus devices exchange most real-valued quantities in one of two wire
+//! formats:
+//!
+//! - **LINEAR11** (`Y × 2^N`, 11-bit mantissa and 5-bit exponent packed in
+//!   one word) for telemetry like currents, powers and temperatures;
+//! - **LINEAR16** (16-bit mantissa with the exponent published separately in
+//!   `VOUT_MODE`) for output-voltage registers.
+//!
+//! This module implements both formats with round-trip accuracy tests, the
+//! command codes the study's host tool needs, a [`PmbusDevice`] transaction
+//! trait the modelled devices implement, and a [`HostInterface`] mirroring
+//! the "customized interface on the host to control this regulator and
+//! measure power, voltage and current" described in §II-B of the paper.
+
+use hbm_units::{Amperes, Celsius, Millivolts, Volts, Watts};
+use serde::{Deserialize, Serialize};
+
+use crate::error::PmbusError;
+
+/// Encodes a value into the LINEAR11 format, choosing the smallest exponent
+/// (highest resolution) that fits the mantissa.
+///
+/// # Errors
+///
+/// Returns [`PmbusError::Linear11Range`] if the value is not finite or its
+/// magnitude exceeds `1023 × 2^15`.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_vreg::pmbus::{encode_linear11, decode_linear11};
+///
+/// # fn main() -> Result<(), hbm_vreg::PmbusError> {
+/// let word = encode_linear11(4.5)?;
+/// assert_eq!(decode_linear11(word), 4.5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn encode_linear11(value: f64) -> Result<u16, PmbusError> {
+    if !value.is_finite() {
+        return Err(PmbusError::Linear11Range { value });
+    }
+    for n in -16i32..=15 {
+        let mantissa = (value / 2f64.powi(n)).round();
+        if (-1024.0..=1023.0).contains(&mantissa) {
+            let y = (mantissa as i16) & 0x07FF;
+            let exp = ((n as i16) & 0x1F) << 11;
+            return Ok((exp | y) as u16);
+        }
+    }
+    Err(PmbusError::Linear11Range { value })
+}
+
+/// Decodes a LINEAR11 word into its real value.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_vreg::pmbus::decode_linear11;
+///
+/// // Y = 1, N = 0 → 1.0
+/// assert_eq!(decode_linear11(0x0001), 1.0);
+/// ```
+#[must_use]
+pub fn decode_linear11(word: u16) -> f64 {
+    // Sign-extend the 5-bit exponent and the 11-bit mantissa (shift left in
+    // the unsigned domain, then arithmetic-shift right as signed).
+    let exp = (((word >> 11) << 3) as u8 as i8) >> 3;
+    let mantissa = (((word & 0x07FF) << 5) as i16) >> 5;
+    f64::from(mantissa) * 2f64.powi(i32::from(exp))
+}
+
+/// The VOUT_MODE exponent used by the modelled regulator: `2^-12` volts per
+/// count (≈0.244 mV), fine enough that millivolt-exact voltages survive the
+/// encode/decode round trip.
+pub const VOUT_MODE_EXPONENT: i8 = -12;
+
+/// Encodes a voltage into the VOUT-mode LINEAR16 format under an exponent.
+///
+/// # Errors
+///
+/// Returns [`PmbusError::Linear16Range`] if the value is negative, not
+/// finite, or overflows the 16-bit mantissa.
+pub fn encode_linear16(volts: Volts, exponent: i8) -> Result<u16, PmbusError> {
+    let value = volts.as_f64();
+    if !value.is_finite() || value < 0.0 {
+        return Err(PmbusError::Linear16Range { value });
+    }
+    let counts = (value / 2f64.powi(i32::from(exponent))).round();
+    if counts > f64::from(u16::MAX) {
+        return Err(PmbusError::Linear16Range { value });
+    }
+    Ok(counts as u16)
+}
+
+/// Decodes a VOUT-mode LINEAR16 word under an exponent.
+#[must_use]
+pub fn decode_linear16(word: u16, exponent: i8) -> Volts {
+    Volts(f64::from(word) * 2f64.powi(i32::from(exponent)))
+}
+
+/// Transaction width of a PMBus command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransactionWidth {
+    /// Send-byte command with no payload (e.g. `CLEAR_FAULTS`).
+    None,
+    /// One-byte payload.
+    Byte,
+    /// Two-byte payload.
+    Word,
+}
+
+/// The subset of the PMBus command set the study's host tooling uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+#[allow(clippy::upper_case_acronyms)]
+pub enum PmbusCommand {
+    /// 0x01 — output on/off control.
+    Operation,
+    /// 0x03 — clear latched faults.
+    ClearFaults,
+    /// 0x20 — exponent for LINEAR16 voltage registers.
+    VoutMode,
+    /// 0x21 — commanded output voltage.
+    VoutCommand,
+    /// 0x24 — maximum commandable output voltage.
+    VoutMax,
+    /// 0x40 — output over-voltage fault limit.
+    VoutOvFaultLimit,
+    /// 0x44 — output under-voltage fault limit.
+    VoutUvFaultLimit,
+    /// 0x79 — composite status word.
+    StatusWord,
+    /// 0x8B — measured output voltage.
+    ReadVout,
+    /// 0x8C — measured output current.
+    ReadIout,
+    /// 0x8D — device temperature.
+    ReadTemperature1,
+    /// 0x96 — measured output power.
+    ReadPout,
+}
+
+impl PmbusCommand {
+    /// The raw PMBus command code.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            PmbusCommand::Operation => 0x01,
+            PmbusCommand::ClearFaults => 0x03,
+            PmbusCommand::VoutMode => 0x20,
+            PmbusCommand::VoutCommand => 0x21,
+            PmbusCommand::VoutMax => 0x24,
+            PmbusCommand::VoutOvFaultLimit => 0x40,
+            PmbusCommand::VoutUvFaultLimit => 0x44,
+            PmbusCommand::StatusWord => 0x79,
+            PmbusCommand::ReadVout => 0x8B,
+            PmbusCommand::ReadIout => 0x8C,
+            PmbusCommand::ReadTemperature1 => 0x8D,
+            PmbusCommand::ReadPout => 0x96,
+        }
+    }
+
+    /// The transaction width mandated by the PMBus specification.
+    #[must_use]
+    pub fn width(self) -> TransactionWidth {
+        match self {
+            PmbusCommand::ClearFaults => TransactionWidth::None,
+            PmbusCommand::Operation | PmbusCommand::VoutMode => TransactionWidth::Byte,
+            _ => TransactionWidth::Word,
+        }
+    }
+}
+
+/// A PMBus-capable device (regulator, sequencer, hot-swap controller, …).
+///
+/// Implementations reject commands they do not support and enforce the
+/// specification's transaction widths, so host-side driver bugs surface as
+/// errors exactly as they would on real hardware (as a NACK).
+pub trait PmbusDevice {
+    /// Reads a one-byte register.
+    ///
+    /// # Errors
+    ///
+    /// [`PmbusError::UnsupportedCommand`] or
+    /// [`PmbusError::WrongTransactionWidth`].
+    fn read_byte(&mut self, cmd: PmbusCommand) -> Result<u8, PmbusError>;
+
+    /// Writes a one-byte register.
+    ///
+    /// # Errors
+    ///
+    /// As [`PmbusDevice::read_byte`], plus [`PmbusError::InvalidData`] for
+    /// out-of-range values.
+    fn write_byte(&mut self, cmd: PmbusCommand, value: u8) -> Result<(), PmbusError>;
+
+    /// Reads a two-byte register.
+    ///
+    /// # Errors
+    ///
+    /// As [`PmbusDevice::read_byte`].
+    fn read_word(&mut self, cmd: PmbusCommand) -> Result<u16, PmbusError>;
+
+    /// Writes a two-byte register.
+    ///
+    /// # Errors
+    ///
+    /// As [`PmbusDevice::write_byte`].
+    fn write_word(&mut self, cmd: PmbusCommand, value: u16) -> Result<(), PmbusError>;
+
+    /// Issues a payload-less command (e.g. `CLEAR_FAULTS`).
+    ///
+    /// # Errors
+    ///
+    /// As [`PmbusDevice::read_byte`].
+    fn send_command(&mut self, cmd: PmbusCommand) -> Result<(), PmbusError>;
+}
+
+/// Host-side convenience driver over any [`PmbusDevice`].
+///
+/// This mirrors the custom host interface the study implements to "control
+/// this regulator and measure power, voltage and current during our
+/// experiments" (§II-B): voltage set-points go down encoded in LINEAR16,
+/// telemetry comes back in LINEAR11/LINEAR16 and is decoded to typed units.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_units::Millivolts;
+/// use hbm_vreg::{HostInterface, Isl68301};
+///
+/// # fn main() -> Result<(), hbm_vreg::PmbusError> {
+/// let mut regulator = Isl68301::vcc_hbm();
+/// let mut host = HostInterface::new(&mut regulator);
+/// host.set_vout(Millivolts(1100))?;
+/// assert_eq!(host.read_vout()?, Millivolts(1100));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct HostInterface<'a, D: PmbusDevice + ?Sized> {
+    device: &'a mut D,
+}
+
+impl<'a, D: PmbusDevice + ?Sized> HostInterface<'a, D> {
+    /// Wraps a device for host-side control.
+    pub fn new(device: &'a mut D) -> Self {
+        HostInterface { device }
+    }
+
+    fn vout_exponent(&mut self) -> Result<i8, PmbusError> {
+        let mode = self.device.read_byte(PmbusCommand::VoutMode)?;
+        // Sign-extend the low five bits (linear mode: upper bits zero).
+        Ok((((mode & 0x1F) << 3) as i8) >> 3)
+    }
+
+    /// Commands a new output voltage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction errors; the device clamps or rejects values
+    /// beyond `VOUT_MAX` with [`PmbusError::InvalidData`].
+    pub fn set_vout(&mut self, target: Millivolts) -> Result<(), PmbusError> {
+        let exponent = self.vout_exponent()?;
+        let word = encode_linear16(target.to_volts(), exponent)?;
+        self.device.write_word(PmbusCommand::VoutCommand, word)
+    }
+
+    /// Reads back the measured output voltage, rounded to millivolts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction errors.
+    pub fn read_vout(&mut self) -> Result<Millivolts, PmbusError> {
+        let exponent = self.vout_exponent()?;
+        let word = self.device.read_word(PmbusCommand::ReadVout)?;
+        Ok(decode_linear16(word, exponent).to_millivolts())
+    }
+
+    /// Reads the measured output current.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction errors.
+    pub fn read_iout(&mut self) -> Result<Amperes, PmbusError> {
+        Ok(Amperes(decode_linear11(
+            self.device.read_word(PmbusCommand::ReadIout)?,
+        )))
+    }
+
+    /// Reads the measured output power.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction errors.
+    pub fn read_pout(&mut self) -> Result<Watts, PmbusError> {
+        Ok(Watts(decode_linear11(
+            self.device.read_word(PmbusCommand::ReadPout)?,
+        )))
+    }
+
+    /// Reads the device temperature.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction errors.
+    pub fn read_temperature(&mut self) -> Result<Celsius, PmbusError> {
+        Ok(Celsius(decode_linear11(
+            self.device.read_word(PmbusCommand::ReadTemperature1)?,
+        )))
+    }
+
+    /// Reads the composite status word.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction errors.
+    pub fn status_word(&mut self) -> Result<u16, PmbusError> {
+        self.device.read_word(PmbusCommand::StatusWord)
+    }
+
+    /// Clears latched faults.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction errors.
+    pub fn clear_faults(&mut self) -> Result<(), PmbusError> {
+        self.device.send_command(PmbusCommand::ClearFaults)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear11_known_values() {
+        // Y=1, N=0.
+        assert_eq!(decode_linear11(0x0001), 1.0);
+        // Y=-1 (0x7FF), N=0.
+        assert_eq!(decode_linear11(0x07FF), -1.0);
+        // Y=2, N=-1 (exp bits 11111) → 1.0.
+        assert_eq!(decode_linear11(0xF802), 1.0);
+    }
+
+    #[test]
+    fn linear11_round_trip_exact_for_powers() {
+        for value in [0.0, 0.5, 1.0, 2.0, 4.5, -3.25, 100.0, 1023.0] {
+            let word = encode_linear11(value).unwrap();
+            assert_eq!(decode_linear11(word), value, "value {value}");
+        }
+    }
+
+    #[test]
+    fn linear11_round_trip_error_bounded() {
+        // Relative error is bounded by the 11-bit mantissa resolution.
+        for i in 1..1000 {
+            let value = f64::from(i) * 0.037;
+            let decoded = decode_linear11(encode_linear11(value).unwrap());
+            let rel = ((decoded - value) / value).abs();
+            assert!(rel <= 1.0 / 1024.0, "value {value} decoded {decoded}");
+        }
+    }
+
+    #[test]
+    fn linear11_range_rejected() {
+        assert!(encode_linear11(f64::NAN).is_err());
+        assert!(encode_linear11(1e12).is_err());
+        // Max encodable: 1023 × 2^15.
+        assert!(encode_linear11(1023.0 * 32768.0).is_ok());
+        assert!(encode_linear11(1024.0 * 32768.0).is_err());
+    }
+
+    #[test]
+    fn linear16_millivolt_exact() {
+        for mv in (0..=2000).step_by(10) {
+            let v = Millivolts(mv);
+            let word = encode_linear16(v.to_volts(), VOUT_MODE_EXPONENT).unwrap();
+            let back = decode_linear16(word, VOUT_MODE_EXPONENT).to_millivolts();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn linear16_rejects_bad_values() {
+        assert!(encode_linear16(Volts(-0.1), VOUT_MODE_EXPONENT).is_err());
+        assert!(encode_linear16(Volts(f64::NAN), VOUT_MODE_EXPONENT).is_err());
+        // 2^-12 exponent: overflow above 16 V.
+        assert!(encode_linear16(Volts(17.0), VOUT_MODE_EXPONENT).is_err());
+    }
+
+    #[test]
+    fn command_codes_match_spec() {
+        assert_eq!(PmbusCommand::Operation.code(), 0x01);
+        assert_eq!(PmbusCommand::ClearFaults.code(), 0x03);
+        assert_eq!(PmbusCommand::VoutMode.code(), 0x20);
+        assert_eq!(PmbusCommand::VoutCommand.code(), 0x21);
+        assert_eq!(PmbusCommand::ReadVout.code(), 0x8B);
+        assert_eq!(PmbusCommand::ReadPout.code(), 0x96);
+    }
+
+    #[test]
+    fn command_widths() {
+        assert_eq!(PmbusCommand::ClearFaults.width(), TransactionWidth::None);
+        assert_eq!(PmbusCommand::Operation.width(), TransactionWidth::Byte);
+        assert_eq!(PmbusCommand::VoutMode.width(), TransactionWidth::Byte);
+        assert_eq!(PmbusCommand::VoutCommand.width(), TransactionWidth::Word);
+        assert_eq!(PmbusCommand::StatusWord.width(), TransactionWidth::Word);
+    }
+}

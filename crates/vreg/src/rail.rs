@@ -1,0 +1,184 @@
+//! The `VCC_HBM` power rail: regulator + shunt + monitor + external load.
+
+use hbm_units::{Amperes, Celsius, Millivolts, Volts, Watts};
+use serde::{Deserialize, Serialize};
+
+use crate::error::PmbusError;
+use crate::ina226::{Ina226, Ina226Register};
+use crate::isl68301::Isl68301;
+
+/// One telemetry sample of the rail, as the host sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RailSample {
+    /// The voltage the host has commanded (regulator set-point).
+    pub requested: Millivolts,
+    /// Bus voltage measured by the INA226 (quantized to its 1.25 mV LSB).
+    pub bus_voltage: Volts,
+    /// Current measured by the INA226.
+    pub current: Amperes,
+    /// Power measured by the INA226.
+    pub power: Watts,
+}
+
+/// The `VCC_HBM` rail of the VCU128 board: an [`Isl68301`] regulator feeding
+/// the HBM stacks through a shunt monitored by an [`Ina226`].
+///
+/// The rail does not know how the HBM load behaves electrically — the
+/// platform layer computes the load power from the `hbm-power` model at the
+/// rail's present voltage and feeds it in through [`PowerRail::apply_load`].
+///
+/// # Examples
+///
+/// ```
+/// use hbm_units::{Millivolts, Watts};
+/// use hbm_vreg::{HostInterface, PowerRail};
+///
+/// # fn main() -> Result<(), hbm_vreg::PmbusError> {
+/// let mut rail = PowerRail::vcc_hbm(0);
+/// HostInterface::new(rail.regulator_mut()).set_vout(Millivolts(980))?;
+/// rail.apply_load(Watts(4.0));
+/// let sample = rail.sample()?;
+/// assert_eq!(sample.requested, Millivolts(980));
+/// assert!((sample.power.0 - 4.0).abs() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerRail {
+    regulator: Isl68301,
+    monitor: Ina226,
+    ambient: Celsius,
+}
+
+impl PowerRail {
+    /// Builds the study's `VCC_HBM` rail with a deterministic measurement
+    /// noise seed.
+    #[must_use]
+    pub fn vcc_hbm(seed: u64) -> Self {
+        PowerRail {
+            regulator: Isl68301::vcc_hbm(),
+            monitor: Ina226::vcc_hbm(seed),
+            ambient: Celsius::STUDY_AMBIENT,
+        }
+    }
+
+    /// The present output voltage of the rail (zero when the regulator is
+    /// off).
+    #[must_use]
+    pub fn voltage(&self) -> Millivolts {
+        self.regulator.output()
+    }
+
+    /// Borrows the regulator (e.g. to wrap in a
+    /// [`HostInterface`](crate::HostInterface)).
+    pub fn regulator_mut(&mut self) -> &mut Isl68301 {
+        &mut self.regulator
+    }
+
+    /// Borrows the regulator immutably.
+    #[must_use]
+    pub fn regulator(&self) -> &Isl68301 {
+        &self.regulator
+    }
+
+    /// Borrows the power monitor.
+    #[must_use]
+    pub fn monitor(&self) -> &Ina226 {
+        &self.monitor
+    }
+
+    /// Sets the rail's ambient temperature (reported via regulator
+    /// telemetry).
+    pub fn set_ambient(&mut self, ambient: Celsius) {
+        self.ambient = ambient;
+    }
+
+    /// Applies an electrical load to the rail: the platform computes the
+    /// load power at the present voltage, the rail derives the implied
+    /// current, updates regulator telemetry and runs one INA226 conversion.
+    pub fn apply_load(&mut self, power: Watts) {
+        let volts = self.voltage().to_volts();
+        let current = if volts.as_f64() > 0.0 {
+            power / volts
+        } else {
+            Amperes::ZERO
+        };
+        self.regulator.update_telemetry(current, power, self.ambient);
+        self.monitor.set_input(volts, current);
+        self.monitor.convert();
+    }
+
+    /// Reads one telemetry sample through the monitor's register file, the
+    /// way the study's host collects power numbers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PMBus/I²C transaction errors.
+    pub fn sample(&mut self) -> Result<RailSample, PmbusError> {
+        // Touch the registers as a real host driver would.
+        let _ = self.monitor.read_register(Ina226Register::BusVoltage);
+        let _ = self.monitor.read_register(Ina226Register::Power);
+        Ok(RailSample {
+            requested: self.regulator.output(),
+            bus_voltage: self.monitor.bus_voltage(),
+            current: self.monitor.current(),
+            power: self.monitor.power(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmbus::HostInterface;
+
+    #[test]
+    fn rail_tracks_commanded_voltage() {
+        let mut rail = PowerRail::vcc_hbm(0);
+        assert_eq!(rail.voltage(), Millivolts(1200));
+        HostInterface::new(rail.regulator_mut()).set_vout(Millivolts(850)).unwrap();
+        assert_eq!(rail.voltage(), Millivolts(850));
+    }
+
+    #[test]
+    fn load_round_trips_through_monitor() {
+        let mut rail = PowerRail::vcc_hbm(1);
+        rail.apply_load(Watts(6.0));
+        let sample = rail.sample().unwrap();
+        assert!((sample.power.as_f64() - 6.0).abs() < 0.05, "{:?}", sample);
+        assert!((sample.current.as_f64() - 5.0).abs() < 0.05);
+        assert!((sample.bus_voltage.as_f64() - 1.2).abs() < 2e-3);
+    }
+
+    #[test]
+    fn regulator_telemetry_sees_the_load() {
+        let mut rail = PowerRail::vcc_hbm(2);
+        rail.apply_load(Watts(2.4));
+        let mut host = HostInterface::new(rail.regulator_mut());
+        assert!((host.read_pout().unwrap().as_f64() - 2.4).abs() < 0.01);
+        assert!((host.read_iout().unwrap().as_f64() - 2.0).abs() < 0.01);
+        assert_eq!(host.read_temperature().unwrap(), Celsius::STUDY_AMBIENT);
+    }
+
+    #[test]
+    fn off_rail_measures_nothing() {
+        use crate::pmbus::{PmbusCommand, PmbusDevice};
+        let mut rail = PowerRail::vcc_hbm(3);
+        rail.regulator_mut()
+            .write_byte(PmbusCommand::Operation, 0x00)
+            .unwrap();
+        rail.apply_load(Watts(6.0));
+        let sample = rail.sample().unwrap();
+        assert_eq!(sample.requested, Millivolts::ZERO);
+        assert_eq!(sample.bus_voltage, Volts::ZERO);
+    }
+
+    #[test]
+    fn ambient_override() {
+        let mut rail = PowerRail::vcc_hbm(4);
+        rail.set_ambient(Celsius(36.0));
+        rail.apply_load(Watts(1.0));
+        let mut host = HostInterface::new(rail.regulator_mut());
+        assert_eq!(host.read_temperature().unwrap(), Celsius(36.0));
+    }
+}

@@ -1,0 +1,61 @@
+//! Property-based tests for the PMBus data formats and regulator behaviour.
+
+use hbm_units::Millivolts;
+use hbm_vreg::pmbus::{
+    decode_linear11, decode_linear16, encode_linear11, encode_linear16, VOUT_MODE_EXPONENT,
+};
+use hbm_vreg::{HostInterface, Isl68301, PmbusError};
+use proptest::prelude::*;
+
+proptest! {
+    /// LINEAR11 round trip keeps relative error within the 11-bit mantissa
+    /// resolution for all representable magnitudes.
+    #[test]
+    fn linear11_round_trip_bounded(value in -1.0e7f64..1.0e7) {
+        let word = encode_linear11(value).unwrap();
+        let decoded = decode_linear11(word);
+        if value == 0.0 {
+            prop_assert_eq!(decoded, 0.0);
+        } else {
+            let rel = ((decoded - value) / value).abs();
+            prop_assert!(rel <= 1.0 / 1024.0, "value {} decoded {}", value, decoded);
+        }
+    }
+
+    /// Decoding any 16-bit word and re-encoding it is the identity (LINEAR11
+    /// words are canonical under our smallest-exponent encoder only up to
+    /// value equality, so compare decoded values).
+    #[test]
+    fn linear11_decode_encode_value_stable(word in any::<u16>()) {
+        let value = decode_linear11(word);
+        let re = decode_linear11(encode_linear11(value).unwrap());
+        prop_assert_eq!(re, value);
+    }
+
+    /// Millivolt-exact voltages survive the LINEAR16 round trip exactly.
+    #[test]
+    fn linear16_millivolt_exact(mv in 0u32..16_000) {
+        let v = Millivolts(mv);
+        let word = encode_linear16(v.to_volts(), VOUT_MODE_EXPONENT).unwrap();
+        prop_assert_eq!(decode_linear16(word, VOUT_MODE_EXPONENT).to_millivolts(), v);
+    }
+
+    /// The regulator accepts any voltage up to VOUT_MAX and reports it back
+    /// exactly; anything above is NACKed and leaves the set-point unchanged.
+    #[test]
+    fn regulator_setpoint_contract(mv in 0u32..1_500) {
+        let mut reg = Isl68301::vcc_hbm();
+        let vout_max = reg.limits().vout_max;
+        let mut host = HostInterface::new(&mut reg);
+        let target = Millivolts(mv);
+        let result = host.set_vout(target);
+        if target <= vout_max {
+            prop_assert!(result.is_ok());
+            prop_assert_eq!(host.read_vout().unwrap(), target);
+        } else {
+            let nacked = matches!(result, Err(PmbusError::InvalidData { .. }));
+            prop_assert!(nacked, "expected NACK, got {:?}", result);
+            prop_assert_eq!(host.read_vout().unwrap(), Millivolts(1200));
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Approximate storage: the class of application the paper's §III-C
+//! motivates — error-tolerant data (here an 8-bit grayscale image) stored
+//! in aggressively undervolted HBM.
+//!
+//! For each voltage the example stores the image, reads it back through the
+//! fault model, and reports the quality degradation (PSNR) next to the
+//! power saving, reproducing the power/quality trade-off that motivates
+//! heterogeneous-reliability memory.
+//!
+//! Run with: `cargo run --release --example approximate_storage`
+
+use hbm_undervolt_suite::device::{PortId, Word256, WordOffset};
+use hbm_undervolt_suite::traffic::MemoryPort;
+use hbm_undervolt_suite::undervolt::Platform;
+use hbm_units::{Millivolts, Ratio};
+
+/// A synthetic 64×128 8-bit grayscale image: smooth gradient + texture.
+fn make_image() -> Vec<u8> {
+    (0..64 * 128)
+        .map(|i| {
+            let (x, y) = (i % 128, i / 128);
+            let gradient = (x * 2) as u8;
+            let texture = (((x ^ y) & 0xF) * 4) as u8;
+            gradient.wrapping_add(texture)
+        })
+        .collect()
+}
+
+fn pack(image: &[u8]) -> Vec<Word256> {
+    image
+        .chunks(32)
+        .map(|chunk| {
+            let mut lanes = [0u64; 4];
+            for (i, &byte) in chunk.iter().enumerate() {
+                lanes[i / 8] |= u64::from(byte) << ((i % 8) * 8);
+            }
+            Word256(lanes)
+        })
+        .collect()
+}
+
+fn unpack(words: &[Word256], len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    for word in words {
+        for i in 0..32 {
+            if out.len() == len {
+                break;
+            }
+            out.push((word.0[i / 8] >> ((i % 8) * 8)) as u8);
+        }
+    }
+    out
+}
+
+fn psnr(original: &[u8], degraded: &[u8]) -> f64 {
+    let mse: f64 = original
+        .iter()
+        .zip(degraded)
+        .map(|(&a, &b)| {
+            let d = f64::from(a) - f64::from(b);
+            d * d
+        })
+        .sum::<f64>()
+        / original.len() as f64;
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0_f64 * 255.0 / mse).log10()
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut platform = Platform::builder().seed(7).build();
+    let image = make_image();
+    let words = pack(&image);
+    let port = PortId::new(2)?;
+
+    let nominal = platform.measure_power(Ratio::ONE)?.power;
+    println!("image: {} bytes; nominal power {:.2}\n", image.len(), nominal);
+    println!("{:>8} {:>10} {:>10} {:>12}", "V", "saving", "bit flips", "PSNR (dB)");
+
+    for mv in [1200u32, 980, 950, 920, 900, 880, 870, 860, 850] {
+        platform.set_voltage(Millivolts(mv))?;
+
+        // Store and read back through the undervolted port.
+        let mut flips = 0u64;
+        let mut readback = Vec::with_capacity(words.len());
+        {
+            let mut access = platform.port(port);
+            for (i, &w) in words.iter().enumerate() {
+                access.write(WordOffset(i as u64), w)?;
+            }
+            for (i, &w) in words.iter().enumerate() {
+                let observed = access.read(WordOffset(i as u64))?;
+                flips += u64::from(observed.diff_bits(w));
+                readback.push(observed);
+            }
+        }
+        let degraded = unpack(&readback, image.len());
+        let quality = psnr(&image, &degraded);
+        let saving = nominal / platform.measure_power(Ratio::ONE)?.power;
+
+        println!(
+            "{:>8} {:>9.2}x {:>10} {:>12}",
+            format!("{:.2}", f64::from(mv) / 1000.0),
+            saving,
+            flips,
+            if quality.is_infinite() {
+                "lossless".to_owned()
+            } else {
+                format!("{quality:.1}")
+            },
+        );
+    }
+
+    println!("\nreading: within the guardband storage is lossless at 1.5x savings;");
+    println!("below it, applications that tolerate noise can trade dBs for watts.");
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! ECC mitigation: how much further can you undervolt when every 64-bit
+//! lane is protected by SEC-DED, and how much capacity does fault-map-guided
+//! region remapping retain compared to the paper's PC-granular trade-off?
+//!
+//! Run with: `cargo run --release --example ecc_mitigation`
+
+use hbm_undervolt_suite::device::{PcIndex, PortId, Word256, WordOffset};
+use hbm_undervolt_suite::ecc::{EccPort, HealthMap};
+use hbm_undervolt_suite::traffic::MemoryPort;
+use hbm_undervolt_suite::undervolt::Platform;
+use hbm_units::{Millivolts, Ratio};
+
+const WORDS: u64 = 2048;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut platform = Platform::builder().seed(7).build();
+    let port = PortId::new(4)?; // a sensitive PC: the hardest case
+    let nominal = platform.measure_power(Ratio::ONE)?.power;
+
+    println!("SEC-DED (72,64) over {WORDS} words of sensitive PC4 (seed 7)\n");
+    println!(
+        "{:>8} {:>9} {:>12} {:>12} {:>12}",
+        "V", "saving", "raw flips", "corrected", "uncorrectable"
+    );
+
+    for mv in [980u32, 950, 930, 920, 910, 900, 890, 880, 870] {
+        platform.set_voltage(Millivolts(mv))?;
+        let saving = nominal / platform.measure_power(Ratio::ONE)?.power;
+
+        // Raw (unprotected) flips over the same span.
+        let mut raw_flips = 0u64;
+        {
+            let mut access = platform.port(port);
+            for w in 0..WORDS {
+                access.write(WordOffset(w), Word256::ONES)?;
+            }
+            for w in 0..WORDS {
+                let observed = access.read(WordOffset(w))?;
+                raw_flips += u64::from(observed.diff_bits(Word256::ONES));
+            }
+        }
+
+        // The same span behind the ECC port.
+        let mut ecc = EccPort::new(platform.port(port), WORDS);
+        for w in 0..WORDS {
+            ecc.write(WordOffset(w), Word256::ONES)?;
+        }
+        let mut post_ecc_flips = 0u64;
+        for w in 0..WORDS {
+            let observed = ecc.read(WordOffset(w))?;
+            post_ecc_flips += u64::from(observed.diff_bits(Word256::ONES));
+        }
+        let stats = ecc.stats();
+
+        println!(
+            "{:>8} {:>8.2}x {:>12} {:>12} {:>12}",
+            format!("{:.2}", f64::from(mv) / 1000.0),
+            saving,
+            raw_flips,
+            stats.corrected_lanes,
+            format!("{} ({} flips)", stats.detected_lanes, post_ecc_flips),
+        );
+    }
+
+    // Region remapping: retain capacity by avoiding weak regions entirely.
+    println!("\nRegion remapping on PC4 (capacity retained at zero faults):");
+    println!("{:>8} {:>16} {:>18}", "V", "healthy regions", "capacity retained");
+    let injector = platform.injector().clone();
+    for mv in [950u32, 930, 910, 890, 870] {
+        let map = HealthMap::scan(&injector, PcIndex::new(4)?, Millivolts(mv));
+        let plan = map.plan(injector.geometry());
+        println!(
+            "{:>8} {:>15.0}% {:>17.0}%",
+            format!("{:.2}", f64::from(mv) / 1000.0),
+            map.healthy_fraction() * 100.0,
+            plan.capacity_fraction() * 100.0,
+        );
+    }
+    println!("\nPC-granular trade-off would discard all 100% of PC4 as soon as it");
+    println!("shows a single fault; region remapping keeps the healthy majority.");
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Fault-map explorer: builds the per-PC fault map of a device specimen,
+//! exports it as JSON, and answers the paper's §III-C trade-off questions
+//! ("how low can I go with this capacity and fault budget?").
+//!
+//! Run with: `cargo run --release --example fault_map_explorer [seed]`
+
+use hbm_undervolt_suite::faults::FaultMap;
+use hbm_undervolt_suite::power::HbmPowerModel;
+use hbm_undervolt_suite::undervolt::report::render_usable_pc_curves;
+use hbm_undervolt_suite::undervolt::{Platform, TradeOffAnalysis};
+use hbm_units::{Millivolts, Ratio};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    let platform = Platform::builder().seed(seed).build();
+
+    // Build the fault map analytically at the full 8 GB geometry.
+    let map = FaultMap::from_predictor(
+        platform.full_scale_predictor(),
+        Millivolts(980),
+        Millivolts(810),
+        Millivolts(10),
+    );
+
+    // Export for downstream tools (the paper's "fault map" artefact).
+    let json = serde_json::to_string(&map)?;
+    println!("fault map: {} PCs x {} voltages ({} bytes of JSON)\n",
+        map.profiles.len(), map.voltages.len(), json.len());
+
+    let analysis = TradeOffAnalysis::new(map, HbmPowerModel::date21());
+
+    // The Fig. 6 family.
+    let curves = analysis.usable_pc_curves(&[
+        Ratio::ZERO,
+        Ratio(1e-6),
+        Ratio(1e-4),
+        Ratio(0.01),
+        Ratio(0.5),
+    ]);
+    println!("{}", render_usable_pc_curves(&curves));
+
+    // The paper's worked examples.
+    let questions: [(&str, f64, Ratio); 3] = [
+        ("needs all 8 GB, tolerates nothing", 1.0, Ratio::ZERO),
+        ("tolerates nothing, can shrink to 7 PCs", 7.0 / 32.0, Ratio::ZERO),
+        ("tolerates 0.0001% faults, needs half the memory", 0.5, Ratio(1e-6)),
+    ];
+    for (label, fraction, tolerable) in questions {
+        match analysis.plan_fraction(fraction, tolerable)? {
+            Some(point) => println!(
+                "{label}:\n  -> run at {}, {} PCs usable ({} GB), {:.2}x power saving",
+                point.voltage,
+                point.usable_pcs.len(),
+                point.capacity_bytes >> 30,
+                point.saving_factor,
+            ),
+            None => println!("{label}:\n  -> not satisfiable on this specimen"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! Power characterization: reruns the paper's Fig. 2 / Fig. 3 experiment —
+//! power vs voltage at several bandwidth utilizations, plus the effective
+//! switched-capacitance analysis — and prints both tables.
+//!
+//! Run with: `cargo run --release --example power_characterization`
+
+use hbm_undervolt_suite::power::PowerAnalysis;
+use hbm_undervolt_suite::undervolt::report::{render_acf_table, render_power_table};
+use hbm_undervolt_suite::undervolt::{Platform, PowerSweep};
+use hbm_units::Millivolts;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut platform = Platform::builder().seed(7).build();
+    let report = PowerSweep::date21().run(&mut platform)?;
+
+    println!("Normalized power (Fig. 2 reproduction):\n");
+    print!("{}", render_power_table(&report));
+
+    println!("\nNormalized effective a*C_L*f (Fig. 3 reproduction):\n");
+    print!("{}", render_acf_table(&report));
+
+    // The quantitative takeaways the paper highlights:
+    let s98 = report.saving(Millivolts(980), 32).expect("0.98 V swept");
+    let s85 = report.saving(Millivolts(850), 32).expect("0.85 V swept");
+    let idle = report.idle_fraction(Millivolts(1200)).expect("idle swept");
+    let acf = report.acf_series(32);
+    let flat = PowerAnalysis::max_deviation_above(&acf, Millivolts(980));
+    let drop = 1.0
+        - PowerAnalysis::normalized_at(&acf, Millivolts(850))
+            .expect("0.85 V swept")
+            .as_f64();
+
+    println!("\nguardband saving:      {s98:.2}x  (paper: 1.5x)");
+    println!("saving at 0.85 V:      {s85:.2}x  (paper: 2.3x)");
+    println!("idle / full-load:      {idle:.2}   (paper: ~1/3)");
+    println!("guardband acf flatness: {:.1}%  (paper: <=3%)", flat * 100.0);
+    println!("acf drop at 0.85 V:    {:.1}%  (paper: 14%)", drop * 100.0);
+    Ok(())
+}

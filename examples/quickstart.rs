@@ -1,0 +1,65 @@
+//! Quickstart: assemble the simulated VCU128 platform, undervolt the HBM,
+//! measure power, and probe for reduced-voltage bit flips.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hbm_traffic::{DataPattern, MacroProgram, TrafficGenerator};
+use hbm_undervolt_suite::device::PortId;
+use hbm_undervolt_suite::undervolt::Platform;
+use hbm_units::{Millivolts, Ratio};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The seed identifies the simulated silicon specimen.
+    let mut platform = Platform::builder().seed(7).build();
+    println!(
+        "platform: {} pseudo channels, {:.0} achieved peak",
+        platform.pseudo_channel_count(),
+        platform.achieved_bandwidth()
+    );
+
+    // 1. Power at nominal voltage, full bandwidth.
+    let nominal = platform.measure_power(Ratio::ONE)?;
+    println!("at {}: {:.2}", nominal.voltage, nominal.power);
+
+    // 2. Undervolt to the guardband edge: same bandwidth, 1.5x less power,
+    //    zero faults.
+    platform.set_voltage(Millivolts(980))?;
+    let guardband = platform.measure_power(Ratio::ONE)?;
+    println!(
+        "at {}: {:.2} ({:.2}x saving, still {:.0})",
+        guardband.voltage,
+        guardband.power,
+        nominal.power / guardband.power,
+        platform.achieved_bandwidth()
+    );
+
+    // 3. Verify the guardband really is fault-free with a write/read probe.
+    let port = PortId::new(0)?;
+    let program = MacroProgram::write_then_check(0..4096, DataPattern::AllOnes);
+    let mut tg = TrafficGenerator::new(port);
+    let stats = tg.run(&program, &mut platform.port(port))?;
+    println!("guardband probe: {} bit flips in 4096 words", stats.total_flips());
+
+    // 4. Push below the guardband: more savings, but bit flips appear.
+    platform.set_voltage(Millivolts(860))?;
+    let deep = platform.measure_power(Ratio::ONE)?;
+    let mut tg = TrafficGenerator::new(port);
+    let stats = tg.run(&program, &mut platform.port(port))?;
+    println!(
+        "at {}: {:.2} ({:.2}x saving) with {} bit flips ({} 1->0, {} 0->1)",
+        deep.voltage,
+        deep.power,
+        nominal.power / deep.power,
+        stats.total_flips(),
+        stats.flips_1to0,
+        stats.flips_0to1,
+    );
+
+    // 5. Below the critical voltage the device crashes; only a power cycle
+    //    revives it (losing memory content).
+    platform.set_voltage(Millivolts(800))?;
+    assert!(platform.is_crashed());
+    platform.power_cycle(Millivolts(1200))?;
+    println!("crashed below V_critical and recovered by power cycle");
+    Ok(())
+}

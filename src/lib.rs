@@ -1,0 +1,35 @@
+//! Workspace umbrella crate for the reproduction of *"Understanding Power
+//! Consumption and Reliability of High-Bandwidth Memory with Voltage
+//! Underscaling"* (DATE 2021).
+//!
+//! This crate exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); it re-exports the member
+//! crates so that examples can use a single dependency.
+//!
+//! - [`units`]: physical-quantity newtypes
+//! - [`device`]: the HBM device organization model
+//! - [`vreg`]: PMBus voltage regulator and power monitor models
+//! - [`power`]: analytical power models
+//! - [`faults`]: the voltage-dependent fault model
+//! - [`traffic`]: AXI traffic generators
+//! - [`undervolt`]: the study's measurement methodology (the core library)
+//!
+//! # Examples
+//!
+//! ```
+//! use hbm_undervolt_suite::undervolt::Platform;
+//!
+//! let platform = Platform::builder().seed(7).build();
+//! assert_eq!(platform.pseudo_channel_count(), 32);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use hbm_device as device;
+pub use hbm_ecc as ecc;
+pub use hbm_faults as faults;
+pub use hbm_power as power;
+pub use hbm_traffic as traffic;
+pub use hbm_undervolt as undervolt;
+pub use hbm_units as units;
+pub use hbm_vreg as vreg;

@@ -1,0 +1,98 @@
+//! Integration tests of the crash semantics across the vreg/device/platform
+//! stack: below V_critical the device stops responding, restoring the
+//! voltage does not help, and a power cycle (regulator off/on) recovers it
+//! at the cost of all DRAM content — exactly the behaviour §III-B reports.
+
+use hbm_undervolt_suite::device::{PortId, Word256, WordOffset};
+use hbm_undervolt_suite::traffic::MemoryPort;
+use hbm_undervolt_suite::undervolt::{ExperimentError, Platform};
+use hbm_units::{Millivolts, Ratio};
+
+fn platform() -> Platform {
+    Platform::builder().seed(3).build()
+}
+
+#[test]
+fn device_operates_at_exactly_v_critical() {
+    let mut p = platform();
+    p.set_voltage(Millivolts(810)).unwrap();
+    assert!(!p.is_crashed());
+    let port = PortId::new(0).unwrap();
+    let mut access = p.port(port);
+    // Operations succeed (they are just massively faulty at 0.81 V).
+    access.write(WordOffset(0), Word256::ONES).unwrap();
+    let observed = access.read(WordOffset(0)).unwrap();
+    assert!(observed.diff_bits(Word256::ONES) > 0, "0.81 V is fully faulty");
+}
+
+#[test]
+fn crash_is_latched_across_voltage_restore() {
+    let mut p = platform();
+    p.set_voltage(Millivolts(800)).unwrap();
+    assert!(p.is_crashed());
+
+    // All port traffic fails with the crash error.
+    let port = PortId::new(5).unwrap();
+    let err = p.port(port).read(WordOffset(0)).unwrap_err();
+    assert!(ExperimentError::from(err).is_crash());
+
+    // Raising the supply does nothing (paper: "Even restoring the supply
+    // voltage does not re-enable operation").
+    for mv in [810u32, 980, 1200] {
+        p.set_voltage(Millivolts(mv)).unwrap();
+        assert!(p.is_crashed(), "still crashed after raising to {mv} mV");
+    }
+}
+
+#[test]
+fn power_cycle_recovers_but_loses_content() {
+    let mut p = platform();
+    let port = PortId::new(7).unwrap();
+    p.port(port).write(WordOffset(42), Word256::ONES).unwrap();
+
+    p.set_voltage(Millivolts(790)).unwrap();
+    assert!(p.is_crashed());
+
+    p.power_cycle(Millivolts(1200)).unwrap();
+    assert!(!p.is_crashed());
+    assert_eq!(p.voltage(), Millivolts(1200));
+    // DRAM content is gone.
+    assert_eq!(p.port(port).read(WordOffset(42)).unwrap(), Word256::ZERO);
+    // And the platform is fully functional again.
+    p.port(port).write(WordOffset(42), Word256::ONES).unwrap();
+    assert_eq!(p.port(port).read(WordOffset(42)).unwrap(), Word256::ONES);
+}
+
+#[test]
+fn power_cycle_into_undervoltage_crashes_again() {
+    let mut p = platform();
+    p.set_voltage(Millivolts(800)).unwrap();
+    p.power_cycle(Millivolts(795)).unwrap();
+    assert!(p.is_crashed());
+    p.power_cycle(Millivolts(810)).unwrap();
+    assert!(!p.is_crashed());
+}
+
+#[test]
+fn power_measurement_survives_crash_cycles() {
+    // The INA226/ISL68301 plumbing keeps working through crash cycles.
+    let mut p = platform();
+    let before = p.measure_power(Ratio::ONE).unwrap().power;
+    p.set_voltage(Millivolts(790)).unwrap();
+    p.power_cycle(Millivolts(1200)).unwrap();
+    let after = p.measure_power(Ratio::ONE).unwrap().power;
+    assert!((before.as_f64() - after.as_f64()).abs() < 0.1);
+}
+
+#[test]
+fn regulator_rejects_overvoltage_but_allows_deep_undervoltage() {
+    let mut p = platform();
+    // Overvolting beyond VOUT_MAX is NACKed and leaves the state unchanged.
+    let err = p.set_voltage(Millivolts(1400)).unwrap_err();
+    assert!(matches!(err, ExperimentError::Pmbus(_)));
+    assert_eq!(p.voltage(), Millivolts(1200));
+    // Deep undervolting is electrically allowed (the study deliberately
+    // crosses the crash threshold).
+    p.set_voltage(Millivolts(700)).unwrap();
+    assert!(p.is_crashed());
+}

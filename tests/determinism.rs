@@ -1,0 +1,132 @@
+//! Cross-crate determinism and specimen-variation tests: the same seed must
+//! reproduce identical measurements end-to-end; different seeds must behave
+//! like different silicon specimens (different fault maps, same landmarks).
+
+use hbm_undervolt_suite::device::{PcIndex, PortId, WordOffset};
+use hbm_undervolt_suite::faults::FaultMap;
+use hbm_undervolt_suite::traffic::{DataPattern, MacroProgram, TrafficGenerator};
+use hbm_undervolt_suite::undervolt::{GuardbandFinder, Platform};
+use hbm_units::{Millivolts, Ratio};
+
+fn run_probe(seed: u64, mv: u32) -> (u64, u64) {
+    let mut p = Platform::builder().seed(seed).build();
+    p.set_voltage(Millivolts(mv)).unwrap();
+    let port = PortId::new(4).unwrap();
+    let mut total = (0, 0);
+    for pattern in [DataPattern::AllOnes, DataPattern::AllZeros] {
+        let program = MacroProgram::write_then_check(0..2048, pattern);
+        let mut tg = TrafficGenerator::new(port);
+        let stats = tg.run(&program, &mut p.port(port)).unwrap();
+        total.0 += stats.flips_1to0;
+        total.1 += stats.flips_0to1;
+    }
+    total
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_measurements() {
+    for mv in [900u32, 870, 840] {
+        assert_eq!(run_probe(11, mv), run_probe(11, mv), "at {mv} mV");
+    }
+}
+
+#[test]
+fn different_seeds_are_different_specimens() {
+    // At a mid voltage the fault maps of different specimens differ.
+    let a = run_probe(1, 860);
+    let b = run_probe(2, 860);
+    assert_ne!(a, b, "distinct specimens must have distinct fault maps");
+}
+
+#[test]
+fn landmarks_are_stable_across_specimens() {
+    // The paper's V_min and V_critical are properties of the design, not of
+    // a particular die; every specimen reproduces them.
+    for seed in [0u64, 1, 7, 99, 12345] {
+        let mut p = Platform::builder().seed(seed).build();
+        let report = GuardbandFinder::new().run(&mut p).unwrap();
+        assert_eq!(report.v_min, Millivolts(980), "seed {seed}");
+        assert_eq!(report.v_critical, Millivolts(810), "seed {seed}");
+    }
+}
+
+#[test]
+fn fault_maps_serialize_reproducibly() {
+    let build = || {
+        let p = Platform::builder().seed(21).build();
+        FaultMap::from_predictor(
+            p.full_scale_predictor(),
+            Millivolts(980),
+            Millivolts(900),
+            Millivolts(20),
+        )
+    };
+    let a = serde_json::to_string(&build()).unwrap();
+    let b = serde_json::to_string(&build()).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn sensitive_pcs_are_sensitive_on_every_specimen() {
+    // PC4/PC5/PC18–20 are design-level weak spots in the model (as the
+    // paper observed on its specimen); they rank above the median on every
+    // seed.
+    for seed in [5u64, 50, 500] {
+        let p = Platform::builder().seed(seed).build();
+        let predictor = p.full_scale_predictor();
+        let v = Millivolts(930);
+        let mut rates: Vec<(u8, f64)> = (0..32u8)
+            .map(|i| {
+                (
+                    i,
+                    predictor
+                        .pc_rates(PcIndex::new(i).unwrap(), v)
+                        .union()
+                        .as_f64(),
+                )
+            })
+            .collect();
+        rates.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let top_half: Vec<u8> = rates[16..].iter().map(|&(i, _)| i).collect();
+        for sensitive in [4u8, 5, 18, 19, 20] {
+            assert!(
+                top_half.contains(&sensitive),
+                "seed {seed}: PC{sensitive} must rank in the weak half"
+            );
+        }
+    }
+}
+
+#[test]
+fn reads_are_repeatable_at_fixed_voltage() {
+    // Stuck-at faults: re-reading the same word yields the same value, as
+    // many times as you like (the fault map is stable, not noisy).
+    let mut p = Platform::builder().seed(13).build();
+    p.set_voltage(Millivolts(855)).unwrap();
+    let port = PortId::new(9).unwrap();
+    let mut access = p.port(port);
+    use hbm_undervolt_suite::device::Word256;
+    use hbm_undervolt_suite::traffic::MemoryPort;
+    access.write(WordOffset(17), Word256::ONES).unwrap();
+    let first = access.read(WordOffset(17)).unwrap();
+    for _ in 0..10 {
+        assert_eq!(access.read(WordOffset(17)).unwrap(), first);
+    }
+}
+
+#[test]
+fn fault_fraction_independent_of_geometry_scale() {
+    // Rates are intensive: the reduced-geometry predictor tracks the
+    // full-scale one closely at every voltage.
+    let p = Platform::builder().seed(7).build();
+    for mv in [880u32, 860, 850] {
+        let reduced = p.predictor().device_rate(Millivolts(mv)).as_f64();
+        let full = p
+            .full_scale_predictor()
+            .device_rate(Millivolts(mv))
+            .as_f64();
+        let ratio = reduced / full;
+        assert!((0.7..1.4).contains(&ratio), "at {mv} mV: {reduced} vs {full}");
+    }
+    assert_eq!(p.predictor().device_rate(Millivolts(1000)), Ratio::ZERO);
+}

@@ -1,0 +1,52 @@
+//! Integration test: the INA226 alert subsystem as a power/brown-out
+//! watchdog over the undervolted platform — host-style supervision built
+//! from the same register-level pieces the study's measurement loop uses.
+
+use hbm_undervolt_suite::units::{Amperes, Volts, Watts};
+use hbm_undervolt_suite::vreg::{Ina226, ALERT_FUNCTION_FLAG, CONVERSION_READY_FLAG};
+
+#[test]
+fn power_budget_watchdog_catches_overdraw() {
+    // Supervise a 7 W budget on the VCC_HBM rail.
+    let mut monitor = Ina226::vcc_hbm(77);
+    monitor.arm_power_alert(Watts(7.0));
+
+    // Nominal full-load operation: 9 W at 1.2 V exceeds the budget.
+    monitor.set_input(Volts(1.2), Amperes(9.0 / 1.2));
+    monitor.convert();
+    assert!(monitor.alert_asserted(), "9 W must trip a 7 W budget");
+
+    // Undervolted to 0.98 V the same workload draws 6 W: inside budget.
+    let mut monitor = Ina226::vcc_hbm(78);
+    monitor.arm_power_alert(Watts(7.0));
+    monitor.set_input(Volts(0.98), Amperes(6.0 / 0.98));
+    monitor.convert();
+    assert!(
+        !monitor.alert_asserted(),
+        "the 1.5x undervolting saving brings the workload inside the budget"
+    );
+}
+
+#[test]
+fn brownout_watchdog_catches_rail_sag() {
+    use hbm_undervolt_suite::vreg::Ina226Register;
+
+    let mut monitor = Ina226::vcc_hbm(79);
+    monitor.arm_bus_undervoltage_alert(Volts(0.98));
+
+    // Healthy rail.
+    monitor.set_input(Volts(1.0), Amperes(4.0));
+    monitor.convert();
+    let mask = monitor.read_register(Ina226Register::MaskEnable);
+    assert_ne!(mask & CONVERSION_READY_FLAG, 0);
+    assert_eq!(mask & ALERT_FUNCTION_FLAG, 0);
+
+    // A droop event below the guardband floor latches the alert, and it
+    // stays latched even after the rail recovers — the host sees it on the
+    // next poll regardless of timing.
+    monitor.set_input(Volts(0.96), Amperes(4.0));
+    monitor.convert();
+    monitor.set_input(Volts(1.0), Amperes(4.0));
+    monitor.convert();
+    assert!(monitor.alert_asserted(), "brown-out must stay latched");
+}
