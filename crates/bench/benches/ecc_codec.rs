@@ -5,8 +5,13 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hbm_ecc::Hamming7264;
 
 fn bench_codec(c: &mut Criterion) {
-    let payloads: Vec<u64> = (0..1024u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
-    let encoded: Vec<(u64, u8)> = payloads.iter().map(|&d| (d, Hamming7264::encode(d))).collect();
+    let payloads: Vec<u64> = (0..1024u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    let encoded: Vec<(u64, u8)> = payloads
+        .iter()
+        .map(|&d| (d, Hamming7264::encode(d)))
+        .collect();
 
     let mut group = c.benchmark_group("ecc_codec");
     group.throughput(Throughput::Elements(payloads.len() as u64));

@@ -6,7 +6,9 @@ use hbm_undervolt::{Platform, PowerSweep};
 
 fn bench_fig3(c: &mut Criterion) {
     let mut platform = Platform::builder().seed(7).build();
-    let report = PowerSweep::date21().run(&mut platform).expect("power sweep");
+    let report = PowerSweep::date21()
+        .run(&mut platform)
+        .expect("power sweep");
 
     let mut group = c.benchmark_group("fig3_acf_extraction");
     group.bench_function("acf_series_all_steps", |b| {

@@ -7,8 +7,8 @@ use hbm_units::Millivolts;
 
 fn bench_fig4(c: &mut Criterion) {
     let platform = Platform::builder().seed(7).build();
-    let sweep = VoltageSweep::new(Millivolts(980), Millivolts(810), Millivolts(10))
-        .expect("sweep valid");
+    let sweep =
+        VoltageSweep::new(Millivolts(980), Millivolts(810), Millivolts(10)).expect("sweep valid");
 
     let mut group = c.benchmark_group("fig4_stack_fractions");
     group.sample_size(20);

@@ -8,8 +8,8 @@ use hbm_units::Millivolts;
 
 fn bench_fig5(c: &mut Criterion) {
     let platform = Platform::builder().seed(7).build();
-    let sweep = VoltageSweep::new(Millivolts(970), Millivolts(840), Millivolts(10))
-        .expect("sweep valid");
+    let sweep =
+        VoltageSweep::new(Millivolts(970), Millivolts(840), Millivolts(10)).expect("sweep valid");
 
     let mut group = c.benchmark_group("fig5_pc_table");
     group.sample_size(20);

@@ -7,11 +7,7 @@ use hbm_faults::{FaultInjector, FaultModelParams};
 use hbm_units::Millivolts;
 
 fn bench_injector(c: &mut Criterion) {
-    let injector = FaultInjector::new(
-        FaultModelParams::date21(),
-        HbmGeometry::vcu128_reduced(),
-        7,
-    );
+    let injector = FaultInjector::new(FaultModelParams::date21(), HbmGeometry::vcu128_reduced(), 7);
     let pc = PcIndex::new(0).expect("valid pc");
     let words = 4096u64;
 

@@ -16,7 +16,10 @@ fn main() {
 
     println!("== Ablation: per-PC variation sigma vs fault-free PCs at 0.95 V ==");
     for (sigma, pcs) in hbm_bench::ablation_variation(seed, &[0, 4, 8, 16, 24]) {
-        println!("sigma {:>6.3} V -> {pcs:>2} fault-free PCs (paper example: 7)", sigma);
+        println!(
+            "sigma {:>6.3} V -> {pcs:>2} fault-free PCs (paper example: 7)",
+            sigma
+        );
     }
     println!();
 

@@ -1,4 +1,5 @@
-//! Regenerates every table/figure of the paper in one run, in order.
+//! Regenerates every table/figure of the paper in one run: a single loop
+//! over the unified `DynExperiment` objects.
 
 fn main() {
     let seed = std::env::args()
@@ -6,20 +7,16 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(hbm_bench::DEFAULT_SEED);
 
-    let (_, fig2) = hbm_bench::fig2(seed).expect("fig2");
-    println!("==== Fig. 2: normalized power vs voltage ====\n{fig2}");
-    let (_, fig3) = hbm_bench::fig3(seed).expect("fig3");
-    println!("==== Fig. 3: normalized a*C_L*f vs voltage ====\n{fig3}");
-    let (_, fig4) = hbm_bench::fig4(seed).expect("fig4");
-    println!("==== Fig. 4: faulty fraction per stack ====\n{fig4}");
-    let (_, fig5) = hbm_bench::fig5(seed).expect("fig5");
-    println!("==== Fig. 5: faulty cells per PC ====\n{fig5}");
-    let (_, fig6) = hbm_bench::fig6(seed).expect("fig6");
-    println!("==== Fig. 6: usable PCs vs tolerable fault rate ====\n{fig6}");
-    let metrics = hbm_bench::headlines(seed).expect("headlines");
-    println!("==== Headline metrics ====\n{metrics}");
+    let mut platform = hbm_bench::platform(seed);
+    for (title, experiment) in hbm_bench::figure_experiments(&platform) {
+        let report = experiment
+            .run_boxed(&mut platform)
+            .unwrap_or_else(|e| panic!("{}: {e}", experiment.name()));
+        println!("==== {title} ====\n{}", report.to_text());
+    }
+
     let s = hbm_bench::characterization(seed);
-    println!("\n==== Characterization ====");
+    println!("==== Characterization ====");
     println!(
         "onsets: 1->0 {:?}, 0->1 {:?}; polarity ratio {:.2}; stack ratio {:.2}",
         s.onset_1to0, s.onset_0to1, s.polarity_ratio, s.stack_ratio

@@ -11,6 +11,9 @@ fn main() {
     println!("Characterization summary (seed {seed})");
     println!("first 1->0 flips: {:?} (paper: 0.97 V)", s.onset_1to0);
     println!("first 0->1 flips: {:?} (paper: 0.96 V)", s.onset_0to1);
-    println!("avg 0->1 / 1->0 ratio: {:.2} (paper: 1.21)", s.polarity_ratio);
+    println!(
+        "avg 0->1 / 1->0 ratio: {:.2} (paper: 1.21)",
+        s.polarity_ratio
+    );
     println!("avg HBM1 / HBM0 ratio: {:.2} (paper: ~1.13)", s.stack_ratio);
 }

@@ -16,7 +16,10 @@ fn main() {
         .unwrap_or(hbm_bench::DEFAULT_SEED);
 
     println!("Droop vs undervolting margin (seed {seed}; guardband floor 0.980 V)\n");
-    println!("{:>10} {:>18} {:>16}", "load line", "safe set-point", "margin vs ideal");
+    println!(
+        "{:>10} {:>18} {:>16}",
+        "load line", "safe set-point", "margin vs ideal"
+    );
 
     for r_mohm in [0u32, 1, 2, 4, 8] {
         let r = Ohms(f64::from(r_mohm) / 1000.0);

@@ -8,9 +8,7 @@
 
 use hbm_device::PcIndex;
 use hbm_traffic::DataPattern;
-use hbm_undervolt::{
-    Platform, ReliabilityConfig, ReliabilityTester, TestScope, VoltageSweep,
-};
+use hbm_undervolt::{Platform, ReliabilityConfig, ReliabilityTester, TestScope, VoltageSweep};
 use hbm_units::Millivolts;
 
 fn main() {
@@ -33,19 +31,26 @@ fn main() {
         patterns: patterns.clone(),
         scope: TestScope::SinglePc(PcIndex::new(4).expect("pc4")),
         words_per_pc: Some(4096),
+        sample_words: None,
     };
     let tester = ReliabilityTester::new(config).expect("config valid");
     let mut platform = Platform::builder().seed(seed).build();
     let report = tester.run(&mut platform).expect("sweep");
 
-    println!("Pattern sensitivity on PC4, {} bits per run (seed {seed})\n", report.checked_bits_per_run);
+    println!(
+        "Pattern sensitivity on PC4, {} bits per run (seed {seed})\n",
+        report.checked_bits_per_run
+    );
     print!("{:>8}", "V");
     for p in &patterns {
         print!("{:>22}", p.to_string());
     }
     println!();
     for point in &report.points {
-        print!("{:>8}", format!("{:.2}", f64::from(point.voltage.as_u32()) / 1000.0));
+        print!(
+            "{:>8}",
+            format!("{:.2}", f64::from(point.voltage.as_u32()) / 1000.0)
+        );
         for p in &patterns {
             let rate = report.fault_rate(point.voltage, *p).unwrap();
             print!("{:>22.3e}", rate.as_f64());

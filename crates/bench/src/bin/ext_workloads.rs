@@ -29,9 +29,21 @@ fn main() {
     );
 
     let patterns = [
-        ("sequential", AccessPattern::SequentialStream, MacroProgram::streaming_reads(0..2048, 1)),
-        ("strided", AccessPattern::StridedSingleWord, MacroProgram::strided_reads(0, 256, 32)),
-        ("random", AccessPattern::RandomWord, MacroProgram::random_reads(9, 2048, 8192)),
+        (
+            "sequential",
+            AccessPattern::SequentialStream,
+            MacroProgram::streaming_reads(0..2048, 1),
+        ),
+        (
+            "strided",
+            AccessPattern::StridedSingleWord,
+            MacroProgram::strided_reads(0, 256, 32),
+        ),
+        (
+            "random",
+            AccessPattern::RandomWord,
+            MacroProgram::random_reads(9, 2048, 8192),
+        ),
     ];
     let seq_eff = timing.efficiency(AccessPattern::SequentialStream);
     for (name, pattern, program) in patterns {

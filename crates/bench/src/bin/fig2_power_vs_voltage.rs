@@ -5,12 +5,19 @@ fn main() {
     let seed = seed_from_args();
     let (report, rendered) = hbm_bench::fig2(seed).expect("fig2 pipeline");
     println!("Fig. 2 — normalized HBM power by undervolting (seed {seed})");
-    println!("reference: {:.3} at 1.20 V, 100% utilization\n", report.reference);
+    println!(
+        "reference: {:.3} at 1.20 V, 100% utilization\n",
+        report.reference
+    );
     print!("{rendered}");
     println!(
         "\nsavings: 1.5x target at 0.98 V -> {:.2}x ; 2.3x target at 0.85 V -> {:.2}x",
-        report.saving(hbm_units::Millivolts(980), 32).expect("0.98 V swept"),
-        report.saving(hbm_units::Millivolts(850), 32).expect("0.85 V swept"),
+        report
+            .saving(hbm_units::Millivolts(980), 32)
+            .expect("0.98 V swept"),
+        report
+            .saving(hbm_units::Millivolts(850), 32)
+            .expect("0.85 V swept"),
     );
 }
 

@@ -10,8 +10,14 @@ fn main() {
     let dev = hbm_power::PowerAnalysis::max_deviation_above(&acf, hbm_units::Millivolts(980));
     let at850 = hbm_power::PowerAnalysis::normalized_at(&acf, hbm_units::Millivolts(850))
         .expect("0.85 V swept");
-    println!("\nguardband flatness: max deviation {:.2}% (paper: <=3%)", dev * 100.0);
-    println!("drop at 0.85 V: {:.1}% (paper: 14%)", (1.0 - at850.as_f64()) * 100.0);
+    println!(
+        "\nguardband flatness: max deviation {:.2}% (paper: <=3%)",
+        dev * 100.0
+    );
+    println!(
+        "drop at 0.85 V: {:.1}% (paper: 14%)",
+        (1.0 - at850.as_f64()) * 100.0
+    );
 }
 
 fn seed_from_args() -> u64 {

@@ -11,19 +11,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use hbm_faults::{FaultMap, FaultModelParams, RatePredictor, VariationModel};
+use hbm_power::HbmPowerModel;
 use hbm_traffic::DataPattern;
 use hbm_undervolt::characterization::{
     stack_fraction_series, variation_summary, PcFaultTable, StackFractionPoint, VariationSummary,
 };
-use hbm_undervolt::report::{
-    self, headline_metrics, HeadlineMetrics,
-};
+use hbm_undervolt::report::{compute_headlines, headline_metrics, HeadlineMetrics, Render};
 use hbm_undervolt::{
-    ExperimentError, GuardbandFinder, Platform, PowerSweep, PowerSweepReport, TradeOffAnalysis,
-    UsablePcCurve, VoltageSweep,
+    AcfTable, DynExperiment, Experiment, ExperimentError, GuardbandFinder, Platform, PowerSweep,
+    PowerSweepReport, TradeOffAnalysis, UsablePcCurve, VoltageSweep,
 };
-use hbm_faults::{FaultMap, FaultModelParams, RatePredictor, VariationModel};
-use hbm_power::HbmPowerModel;
 use hbm_units::{Millivolts, Ratio};
 
 /// The default device seed used by all figure binaries (the "specimen"
@@ -45,7 +43,7 @@ pub fn platform(seed: u64) -> Platform {
 pub fn fig2(seed: u64) -> Result<(PowerSweepReport, String), ExperimentError> {
     let mut platform = platform(seed);
     let report = PowerSweep::date21().run(&mut platform)?;
-    let rendered = report::render_power_table(&report);
+    let rendered = report.to_text();
     Ok((report, rendered))
 }
 
@@ -58,7 +56,7 @@ pub fn fig2(seed: u64) -> Result<(PowerSweepReport, String), ExperimentError> {
 pub fn fig3(seed: u64) -> Result<(PowerSweepReport, String), ExperimentError> {
     let mut platform = platform(seed);
     let report = PowerSweep::date21().run(&mut platform)?;
-    let rendered = report::render_acf_table(&report);
+    let rendered = AcfTable(&report).to_text();
     Ok((report, rendered))
 }
 
@@ -72,7 +70,7 @@ pub fn fig4(seed: u64) -> Result<(Vec<StackFractionPoint>, String), ExperimentEr
     let platform = platform(seed);
     let sweep = VoltageSweep::new(Millivolts(980), Millivolts(810), Millivolts(10))?;
     let series = stack_fraction_series(platform.full_scale_predictor(), sweep);
-    let rendered = report::render_stack_fractions(&series);
+    let rendered = series.to_text();
     Ok((series, rendered))
 }
 
@@ -93,7 +91,7 @@ pub fn fig5(seed: u64) -> Result<(Vec<PcFaultTable>, String), ExperimentError> {
         .collect();
     let rendered = tables
         .iter()
-        .map(report::render_pc_table)
+        .map(Render::to_text)
         .collect::<Vec<_>>()
         .join("\n");
     Ok((tables, rendered))
@@ -129,7 +127,7 @@ pub fn fig6(seed: u64) -> Result<(Vec<UsablePcCurve>, String), ExperimentError> 
     );
     let analysis = TradeOffAnalysis::new(map, HbmPowerModel::date21());
     let curves = analysis.usable_pc_curves(&fig6_tolerances());
-    let rendered = report::render_usable_pc_curves(&curves);
+    let rendered = curves.to_text();
     Ok((curves, rendered))
 }
 
@@ -144,6 +142,137 @@ pub fn headlines(seed: u64) -> Result<HeadlineMetrics, ExperimentError> {
     let guardband = GuardbandFinder::new().run(&mut p)?;
     let power = PowerSweep::date21().run(&mut p)?;
     headline_metrics(&power, &guardband)
+}
+
+/// The Fig. 3 report: a power sweep viewed as the extracted `α·C_L·f`
+/// table, owned so it can travel behind `Box<dyn Render>`.
+pub struct AcfReport(pub PowerSweepReport);
+
+impl Render for AcfReport {
+    fn to_text(&self) -> String {
+        AcfTable(&self.0).to_text()
+    }
+
+    fn to_csv(&self) -> String {
+        AcfTable(&self.0).to_csv()
+    }
+}
+
+/// Fig. 3 as a named experiment: runs the power sweep and reports the
+/// capacitance view.
+pub struct Fig3Acf;
+
+impl Experiment for Fig3Acf {
+    type Report = AcfReport;
+
+    fn name(&self) -> &str {
+        "fig3-acf"
+    }
+
+    fn run(&self, platform: &mut Platform) -> Result<AcfReport, ExperimentError> {
+        PowerSweep::date21().run(platform).map(AcfReport)
+    }
+}
+
+/// Fig. 4 as a named experiment: the per-stack faulty-fraction series from
+/// the platform's full-scale predictor.
+pub struct Fig4Series;
+
+impl Experiment for Fig4Series {
+    type Report = Vec<StackFractionPoint>;
+
+    fn name(&self) -> &str {
+        "fig4-stack-fractions"
+    }
+
+    fn run(&self, platform: &mut Platform) -> Result<Self::Report, ExperimentError> {
+        let sweep = VoltageSweep::new(Millivolts(980), Millivolts(810), Millivolts(10))?;
+        Ok(stack_fraction_series(
+            platform.full_scale_predictor(),
+            sweep,
+        ))
+    }
+}
+
+/// Fig. 5 as a named experiment: the per-PC fault table for one pattern.
+pub struct Fig5Table {
+    /// The background pattern (all-1s → 1→0 flips; all-0s → 0→1).
+    pub pattern: DataPattern,
+}
+
+impl Experiment for Fig5Table {
+    type Report = PcFaultTable;
+
+    fn name(&self) -> &str {
+        "fig5-pc-table"
+    }
+
+    fn run(&self, platform: &mut Platform) -> Result<PcFaultTable, ExperimentError> {
+        let sweep = VoltageSweep::new(Millivolts(970), Millivolts(840), Millivolts(10))?;
+        Ok(PcFaultTable::from_predictor(
+            platform.full_scale_predictor(),
+            sweep,
+            self.pattern,
+        ))
+    }
+}
+
+/// The headline metrics as a named experiment (guardband + power sweep).
+pub struct Headlines;
+
+impl Experiment for Headlines {
+    type Report = HeadlineMetrics;
+
+    fn name(&self) -> &str {
+        "headlines"
+    }
+
+    fn run(&self, platform: &mut Platform) -> Result<HeadlineMetrics, ExperimentError> {
+        compute_headlines(platform)
+    }
+}
+
+/// The Fig. 6 trade-off analysis over the platform's full-scale fault map.
+#[must_use]
+pub fn fig6_analysis(platform: &Platform) -> TradeOffAnalysis {
+    let map = FaultMap::from_predictor(
+        platform.full_scale_predictor(),
+        Millivolts(980),
+        Millivolts(810),
+        Millivolts(10),
+    );
+    TradeOffAnalysis::new(map, HbmPowerModel::date21())
+}
+
+/// Every figure of the paper as one boxed campaign, in paper order — the
+/// `all_figures` binary is a single loop over this list.
+#[must_use]
+pub fn figure_experiments(platform: &Platform) -> Vec<(&'static str, Box<dyn DynExperiment>)> {
+    vec![
+        (
+            "Fig. 2: normalized power vs voltage",
+            Box::new(PowerSweep::date21()),
+        ),
+        ("Fig. 3: normalized a*C_L*f vs voltage", Box::new(Fig3Acf)),
+        ("Fig. 4: faulty fraction per stack", Box::new(Fig4Series)),
+        (
+            "Fig. 5: faulty cells per PC (all-1s)",
+            Box::new(Fig5Table {
+                pattern: DataPattern::AllOnes,
+            }),
+        ),
+        (
+            "Fig. 5: faulty cells per PC (all-0s)",
+            Box::new(Fig5Table {
+                pattern: DataPattern::AllZeros,
+            }),
+        ),
+        (
+            "Fig. 6: usable PCs vs tolerable fault rate",
+            Box::new(fig6_analysis(platform)),
+        ),
+        ("Headline metrics", Box::new(Headlines)),
+    ]
 }
 
 /// The §III-B variation summary (onset voltages, polarity ratio, stack
@@ -191,13 +320,11 @@ fn weak_region_fault_share(params: &FaultModelParams, seed: u64, voltage: Milliv
         let bank_shift = params.variation.bank_shift_volts(seed, pc, bank_id);
         for region in 0..regions_per_bank {
             let row = RowId(region * params.variation.region_rows.max(1));
-            let shift = pc_shift
-                + bank_shift
-                + params.variation.region_shift_volts(seed, pc, bank_id, row);
+            let shift =
+                pc_shift + bank_shift + params.variation.region_shift_volts(seed, pc, bank_id, row);
             let rate = params.stuck0_share
                 * params.class_probability(&params.curve_stuck0, v, shift)
-                + params.stuck1_share()
-                    * params.class_probability(&params.curve_stuck1, v, shift);
+                + params.stuck1_share() * params.class_probability(&params.curve_stuck1, v, shift);
             rates.push(rate);
         }
     }
@@ -220,8 +347,7 @@ pub fn ablation_variation(seed: u64, sigmas_mv: &[u32]) -> Vec<(f64, usize)> {
             let mut var = VariationModel::date21();
             var.pc_sigma_volts = f64::from(mv) / 1000.0;
             let params = FaultModelParams::date21().with_variation(var);
-            let predictor =
-                RatePredictor::new(params, hbm_device::HbmGeometry::vcu128(), seed);
+            let predictor = RatePredictor::new(params, hbm_device::HbmGeometry::vcu128(), seed);
             let map = FaultMap::from_predictor(
                 &predictor,
                 Millivolts(980),

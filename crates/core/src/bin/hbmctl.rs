@@ -2,11 +2,18 @@
 //! platform, mirroring the custom host interface the study built to drive
 //! its experiments.
 //!
+//! Every measurement command is dispatched through the unified
+//! [`Experiment`] trait and rendered through [`Render`], so the tool is a
+//! thin shell: build a platform, pick an experiment, pick an output
+//! format.
+//!
 //! ```text
-//! hbmctl guardband   [--seed N]
-//! hbmctl power-sweep [--seed N]
-//! hbmctl reliability [--seed N] [--from MV] [--to MV] [--step MV]
-//!                    [--batch N] [--words N]
+//! hbmctl guardband   [--seed N] [--workers N] [--format text|csv|json]
+//! hbmctl power-sweep [--seed N] [--workers N] [--format text|csv|json]
+//! hbmctl reliability [--seed N] [--workers N] [--format text|csv|json]
+//!                    [--from MV] [--to MV] [--step MV]
+//!                    [--batch N] [--words N] [--sample N]
+//! hbmctl trade-off   [--seed N] [--format text|csv|json]
 //! hbmctl fault-map   [--seed N] [--out FILE]
 //! hbmctl plan        [--seed N] --capacity-gb G --tolerance RATE
 //! ```
@@ -16,10 +23,10 @@ use std::process::ExitCode;
 use hbm_faults::FaultMap;
 use hbm_power::HbmPowerModel;
 use hbm_traffic::DataPattern;
-use hbm_undervolt::report::{render_power_table, to_json};
+use hbm_undervolt::report::{to_json, Render};
 use hbm_undervolt::{
-    GuardbandFinder, Platform, PowerSweep, ReliabilityConfig, ReliabilityTester, TestScope,
-    TradeOffAnalysis, VoltageSweep,
+    Experiment, GuardbandFinder, Platform, PowerSweep, ReliabilityConfig, ReliabilityTester,
+    TestScope, TradeOffAnalysis, VoltageSweep,
 };
 use hbm_units::{Millivolts, Ratio};
 
@@ -55,6 +62,16 @@ impl Args {
         }
     }
 
+    fn optional<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.flags.iter().find(|(n, _)| n == name) {
+            None => Ok(None),
+            Some((_, raw)) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value for --{name}: {raw}")),
+        }
+    }
+
     fn required<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
         let (_, raw) = self
             .flags
@@ -79,9 +96,11 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  hbmctl guardband   [--seed N]
-  hbmctl power-sweep [--seed N]
-  hbmctl reliability [--seed N] [--from MV] [--to MV] [--step MV] [--batch N] [--words N]
+  hbmctl guardband   [--seed N] [--workers N] [--format text|csv|json]
+  hbmctl power-sweep [--seed N] [--workers N] [--format text|csv|json]
+  hbmctl reliability [--seed N] [--workers N] [--format text|csv|json]
+                     [--from MV] [--to MV] [--step MV] [--batch N] [--words N] [--sample N]
+  hbmctl trade-off   [--seed N] [--format text|csv|json]
   hbmctl fault-map   [--seed N] [--out FILE]
   hbmctl plan        [--seed N] --capacity-gb G --tolerance RATE";
 
@@ -93,57 +112,58 @@ fn run() -> Result<(), String> {
         .map(String::as_str)
         .ok_or("no command given")?;
     let seed: u64 = args.flag("seed", 7)?;
+    let workers: usize = args.flag("workers", 1)?;
 
     match command {
-        "guardband" => guardband(seed),
-        "power-sweep" => power_sweep(seed),
-        "reliability" => reliability(seed, &args),
+        "guardband" => dispatch(&GuardbandFinder::new(), seed, workers, &args),
+        "power-sweep" => dispatch(&PowerSweep::date21(), seed, workers, &args),
+        "reliability" => {
+            let tester = reliability_tester(&args)?;
+            dispatch(&tester, seed, workers, &args)
+        }
+        "trade-off" => dispatch(&trade_off(seed), seed, workers, &args),
         "fault-map" => fault_map(seed, &args),
         "plan" => plan(seed, &args),
         other => Err(format!("unknown command: {other}")),
     }
 }
 
-fn platform(seed: u64) -> Platform {
-    Platform::builder().seed(seed).build()
+fn platform(seed: u64, workers: usize) -> Platform {
+    Platform::builder().seed(seed).workers(workers).build()
 }
 
-fn guardband(seed: u64) -> Result<(), String> {
-    let mut p = platform(seed);
-    let report = GuardbandFinder::new()
-        .run(&mut p)
-        .map_err(|e| e.to_string())?;
-    println!("specimen seed {seed}");
-    println!("V_min      = {}", report.v_min);
-    println!("V_critical = {}", report.v_critical);
-    println!(
-        "guardband  = {} ({:.1}% of nominal)",
-        report.guardband(),
-        report.guardband_fraction().as_percent()
+/// Runs any experiment and prints its report in the requested format —
+/// the whole tool funnels through this one generic function.
+fn dispatch<E>(experiment: &E, seed: u64, workers: usize, args: &Args) -> Result<(), String>
+where
+    E: Experiment,
+    E::Report: Render + serde::Serialize,
+{
+    let format: String = args.flag("format", "text".to_owned())?;
+    let mut p = platform(seed, workers);
+    eprintln!(
+        "hbmctl: {} (seed {seed}, {} worker{})",
+        experiment.name(),
+        p.workers(),
+        if p.workers() == 1 { "" } else { "s" }
     );
+    let report = experiment.run(&mut p).map_err(|e| e.to_string())?;
+    match format.as_str() {
+        "text" => print!("{}", report.to_text()),
+        "csv" => print!("{}", report.to_csv()),
+        "json" => println!("{}", to_json(&report).map_err(|e| e.to_string())?),
+        other => return Err(format!("unknown format: {other} (use text, csv or json)")),
+    }
     Ok(())
 }
 
-fn power_sweep(seed: u64) -> Result<(), String> {
-    let mut p = platform(seed);
-    let report = PowerSweep::date21()
-        .run(&mut p)
-        .map_err(|e| e.to_string())?;
-    print!("{}", render_power_table(&report));
-    println!(
-        "\nsaving at 0.98 V: {:.2}x   saving at 0.85 V: {:.2}x",
-        report.saving(Millivolts(980), 32).expect("0.98 V swept"),
-        report.saving(Millivolts(850), 32).expect("0.85 V swept"),
-    );
-    Ok(())
-}
-
-fn reliability(seed: u64, args: &Args) -> Result<(), String> {
+fn reliability_tester(args: &Args) -> Result<ReliabilityTester, String> {
     let from: u32 = args.flag("from", 980)?;
     let to: u32 = args.flag("to", 850)?;
     let step: u32 = args.flag("step", 10)?;
     let batch: usize = args.flag("batch", 1)?;
     let words: u64 = args.flag("words", 1024)?;
+    let sample: Option<u64> = args.optional("sample")?;
 
     let config = ReliabilityConfig {
         sweep: VoltageSweep::new(Millivolts(from), Millivolts(to), Millivolts(step))
@@ -152,40 +172,24 @@ fn reliability(seed: u64, args: &Args) -> Result<(), String> {
         patterns: vec![DataPattern::AllOnes, DataPattern::AllZeros],
         scope: TestScope::EntireHbm,
         words_per_pc: Some(words),
+        sample_words: sample,
     };
-    let tester = ReliabilityTester::new(config).map_err(|e| e.to_string())?;
-    let mut p = platform(seed);
-    let report = tester.run(&mut p).map_err(|e| e.to_string())?;
+    ReliabilityTester::new(config).map_err(|e| e.to_string())
+}
 
-    println!(
-        "reliability sweep (seed {seed}, {} bits checked per run)\n",
-        report.checked_bits_per_run
+fn trade_off(seed: u64) -> TradeOffAnalysis {
+    let p = platform(seed, 1);
+    let map = FaultMap::from_predictor(
+        p.full_scale_predictor(),
+        Millivolts(980),
+        Millivolts(810),
+        Millivolts(10),
     );
-    println!("{:>8} {:>14} {:>14} {:>12}", "V", "1->0 flips", "0->1 flips", "rate");
-    for point in &report.points {
-        if point.crashed {
-            println!("{:>8} {:>14}", point.voltage, "CRASHED");
-            continue;
-        }
-        let f10 = point
-            .outcome(DataPattern::AllOnes)
-            .map_or(0, |o| o.flips_1to0);
-        let f01 = point
-            .outcome(DataPattern::AllZeros)
-            .map_or(0, |o| o.flips_0to1);
-        println!(
-            "{:>8} {:>14} {:>14} {:>12.3e}",
-            point.voltage,
-            f10,
-            f01,
-            point.total_mean_faults() / report.checked_bits_per_run as f64,
-        );
-    }
-    Ok(())
+    TradeOffAnalysis::new(map, HbmPowerModel::date21())
 }
 
 fn fault_map(seed: u64, args: &Args) -> Result<(), String> {
-    let p = platform(seed);
+    let p = platform(seed, 1);
     let map = FaultMap::from_predictor(
         p.full_scale_predictor(),
         Millivolts(980),
@@ -214,14 +218,7 @@ fn plan(seed: u64, args: &Args) -> Result<(), String> {
         return Err("tolerance must be a fraction in [0, 1]".to_owned());
     }
 
-    let p = platform(seed);
-    let map = FaultMap::from_predictor(
-        p.full_scale_predictor(),
-        Millivolts(980),
-        Millivolts(810),
-        Millivolts(10),
-    );
-    let analysis = TradeOffAnalysis::new(map, HbmPowerModel::date21());
+    let analysis = trade_off(seed);
     let bytes = (capacity_gb * (1u64 << 30) as f64) as u64;
     match analysis.plan(bytes, Ratio(tolerance)) {
         Some(point) => {

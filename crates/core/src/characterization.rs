@@ -1,12 +1,15 @@
 //! Fault characterization: the per-PC fault table (Fig. 5), the per-stack
 //! fault fractions (Fig. 4) and the variation statistics of §III-B.
 
-use hbm_device::{PcIndex, StackId};
+use hbm_device::{PcIndex, PortId, StackId};
 use hbm_faults::RatePredictor;
-use hbm_traffic::DataPattern;
+use hbm_traffic::{DataPattern, MacroProgram};
 use hbm_units::{Millivolts, Ratio};
 use serde::{Deserialize, Serialize};
 
+use crate::engine;
+use crate::error::ExperimentError;
+use crate::platform::Platform;
 use crate::sweep::VoltageSweep;
 
 /// One cell of the per-PC fault table.
@@ -120,6 +123,63 @@ impl PcFaultTable {
             voltages,
             rows,
         }
+    }
+
+    /// Measures the table by actually driving write/read-back traffic
+    /// through every AXI port — the engine shards the work per pseudo
+    /// channel at the platform's configured worker count, so the table is
+    /// identical for any worker count. Cells hold the observed faulty-bit
+    /// percentage of the `words_per_pc` words checked (capped at the
+    /// platform geometry). The platform is left back at nominal voltage.
+    ///
+    /// # Errors
+    ///
+    /// PMBus/device errors; the sweep must stay at or above V_critical.
+    pub fn measure(
+        platform: &mut Platform,
+        sweep: VoltageSweep,
+        pattern: DataPattern,
+        words_per_pc: u64,
+    ) -> Result<Self, ExperimentError> {
+        let geometry = platform.geometry();
+        let words = words_per_pc.clamp(1, geometry.words_per_pc());
+        let bits = words as f64 * 256.0;
+        let voltages: Vec<Millivolts> = sweep.iter().collect();
+        let program = MacroProgram::write_then_check(0..words, pattern);
+        let jobs: Vec<_> = (0..geometry.total_pcs())
+            .map(|i| (PortId::new(i).expect("within geometry"), program.clone()))
+            .collect();
+
+        let mut columns: Vec<Vec<CellValue>> = vec![Vec::with_capacity(voltages.len()); jobs.len()];
+        for &voltage in &voltages {
+            platform.set_voltage(voltage)?;
+            if platform.is_crashed() {
+                return Err(ExperimentError::from(hbm_device::DeviceError::Crashed));
+            }
+            for (port, stats) in engine::run_jobs(platform, &jobs)? {
+                let flips = stats.total_flips();
+                columns[usize::from(port.as_u8())].push(if flips == 0 {
+                    CellValue::NoFault
+                } else {
+                    CellValue::Percent(100.0 * flips as f64 / bits)
+                });
+            }
+        }
+        platform.set_voltage(Millivolts(1200))?;
+
+        let rows = columns
+            .into_iter()
+            .enumerate()
+            .map(|(port, cells)| PcRow {
+                port: port as u8,
+                cells,
+            })
+            .collect();
+        Ok(PcFaultTable {
+            pattern,
+            voltages,
+            rows,
+        })
     }
 
     /// The cell for `(port, voltage)`, if swept.
@@ -267,8 +327,7 @@ pub fn temperature_sweep(
     temperatures
         .iter()
         .map(|&temperature| {
-            let mut predictor =
-                RatePredictor::new(params.clone(), HbmGeometry::vcu128(), seed);
+            let mut predictor = RatePredictor::new(params.clone(), HbmGeometry::vcu128(), seed);
             predictor.set_temperature(temperature);
             let bits = predictor.geometry().total_bits() as f64;
             let onset = VoltageSweep::unsafe_region()
@@ -330,7 +389,10 @@ mod tests {
                 "sensitive PC{sensitive} should show faults at {v}"
             );
         }
-        assert!(!free.is_empty(), "some normal PCs should still be NF at {v}");
+        assert!(
+            !free.is_empty(),
+            "some normal PCs should still be NF at {v}"
+        );
     }
 
     #[test]
@@ -342,13 +404,33 @@ mod tests {
         let mut mean = 0.0;
         for row in &table.rows {
             let cell = table.cell(row.port, Millivolts(840)).unwrap();
-            assert!(cell.fraction() > 0.0, "PC{} must be faulty at 0.84 V", row.port);
+            assert!(
+                cell.fraction() > 0.0,
+                "PC{} must be faulty at 0.84 V",
+                row.port
+            );
             mean += cell.fraction();
         }
         mean /= table.rows.len() as f64;
         // All-ones pattern sees the stuck-at-0 share (≈47 %) of a nearly
         // fully collapsed population.
         assert!(mean > 0.25, "mean 1→0 fraction at 0.84 V: {mean}");
+    }
+
+    #[test]
+    fn measured_table_is_worker_count_invariant() {
+        let table_at = |workers: usize| {
+            let mut p = Platform::builder().seed(7).workers(workers).build();
+            PcFaultTable::measure(&mut p, fig5_sweep(), DataPattern::AllOnes, 256).unwrap()
+        };
+        let sequential = table_at(1);
+        assert_eq!(sequential.rows.len(), 32);
+        // Deep cells must show measured faults on the reduced geometry.
+        assert!(sequential
+            .rows
+            .iter()
+            .any(|r| r.cells.last().unwrap().fraction() > 0.0));
+        assert_eq!(sequential, table_at(4));
     }
 
     #[test]
@@ -364,7 +446,10 @@ mod tests {
         let last = series.last().unwrap();
         assert!(last.hbm0.as_f64() > 0.99 && last.hbm1.as_f64() > 0.99);
         // HBM1 weaker through the exponential region.
-        let mid = series.iter().find(|p| p.voltage == Millivolts(900)).unwrap();
+        let mid = series
+            .iter()
+            .find(|p| p.voltage == Millivolts(900))
+            .unwrap();
         assert!(mid.hbm1 > mid.hbm0);
     }
 

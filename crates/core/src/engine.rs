@@ -1,0 +1,178 @@
+//! The parallel sweep execution engine.
+//!
+//! Every measurement loop in this crate boils down to "run one macro program
+//! per AXI port and collect per-port statistics". The engine executes that
+//! shape either sequentially (the historical per-port loop) or sharded
+//! across `std::thread::scope` workers, one disjoint pseudo-channel shard
+//! per job. The two modes are bit-identical:
+//!
+//! - the fault injector is a pure function of `(seed, pc, offset, supply)` —
+//!   it holds no RNG state a schedule could perturb;
+//! - each shard owns its pseudo channel's array and counters outright, so no
+//!   write of one worker is visible to another;
+//! - any sampled randomness is keyed per work item via
+//!   [`hbm_faults::pc_stream`], never drawn from shared state;
+//! - results are reassembled in job order regardless of completion order.
+//!
+//! `workers` comes from the platform ([`crate::PlatformBuilder::workers`]);
+//! the default of 1 keeps the exact sequential code path.
+
+use hbm_device::{DeviceError, PcShard, PortId, Word256, WordOffset};
+use hbm_faults::FaultInjector;
+use hbm_traffic::{MacroProgram, MemoryPort, PortStats, TrafficGenerator};
+
+use crate::error::ExperimentError;
+use crate::platform::Platform;
+
+/// Fault-injecting access to one pseudo-channel shard: the parallel
+/// counterpart of [`crate::UndervoltedPort`]. Writes go straight to the
+/// shard's array; reads pass through the undervolting fault model at the
+/// supply voltage snapshotted when the shard set was created.
+#[derive(Debug)]
+pub struct ShardPort<'a> {
+    shard: PcShard<'a>,
+    injector: &'a FaultInjector,
+}
+
+impl<'a> ShardPort<'a> {
+    pub(crate) fn new(shard: PcShard<'a>, injector: &'a FaultInjector) -> Self {
+        ShardPort { shard, injector }
+    }
+
+    /// The AXI port this shard models.
+    #[must_use]
+    pub fn port(&self) -> PortId {
+        self.shard.port()
+    }
+}
+
+impl MemoryPort for ShardPort<'_> {
+    fn write(&mut self, offset: WordOffset, word: Word256) -> Result<(), DeviceError> {
+        self.shard.write(offset, word)
+    }
+
+    fn read(&mut self, offset: WordOffset) -> Result<Word256, DeviceError> {
+        let stored = self.shard.read(offset)?;
+        Ok(self.injector.observe(
+            stored,
+            self.shard.port().direct_pc(),
+            offset,
+            self.shard.supply(),
+        ))
+    }
+}
+
+/// Runs one macro program per port and returns per-port statistics in job
+/// order, using the platform's configured worker count.
+///
+/// With one worker this is exactly the sequential per-port loop over
+/// [`Platform::port`]; with more workers the device is split into
+/// per-pseudo-channel shards and the jobs run on scoped threads.
+///
+/// # Errors
+///
+/// The first device error in job order; a configuration error if a port
+/// appears twice in a sharded batch (a port's shard can only be handed to
+/// one job).
+pub(crate) fn run_jobs(
+    platform: &mut Platform,
+    jobs: &[(PortId, MacroProgram)],
+) -> Result<Vec<(PortId, PortStats)>, ExperimentError> {
+    let workers = platform.workers();
+    if workers <= 1 {
+        let mut results = Vec::with_capacity(jobs.len());
+        for (port, program) in jobs {
+            let mut tg = TrafficGenerator::new(*port);
+            let stats = tg
+                .run(program, &mut platform.port(*port))
+                .map_err(ExperimentError::from)?;
+            results.push((*port, stats));
+        }
+        return Ok(results);
+    }
+
+    let shards = platform.shard_ports()?;
+    let mut slots: Vec<Option<ShardPort<'_>>> = shards.into_iter().map(Some).collect();
+    let mut sharded = Vec::with_capacity(jobs.len());
+    for (port, program) in jobs {
+        let access = slots
+            .get_mut(usize::from(port.as_u8()))
+            .and_then(Option::take)
+            .ok_or_else(|| {
+                ExperimentError::config(format!(
+                    "port {} appears more than once in a sharded batch",
+                    port.as_u8()
+                ))
+            })?;
+        sharded.push((*port, program, access));
+    }
+    hbm_traffic::run_sharded(sharded, workers).map_err(ExperimentError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbm_traffic::DataPattern;
+    use hbm_units::Millivolts;
+
+    fn jobs_for(
+        platform: &Platform,
+        words: u64,
+        pattern: DataPattern,
+    ) -> Vec<(PortId, MacroProgram)> {
+        (0..platform.geometry().total_pcs())
+            .map(|i| {
+                (
+                    PortId::new(i).unwrap(),
+                    MacroProgram::write_then_check(0..words, pattern),
+                )
+            })
+            .collect()
+    }
+
+    fn run_at(workers: usize, voltage: Millivolts) -> Vec<(PortId, PortStats)> {
+        let mut platform = Platform::builder().seed(7).workers(workers).build();
+        platform.set_voltage(voltage).unwrap();
+        let jobs = jobs_for(&platform, 128, DataPattern::AllOnes);
+        run_jobs(&mut platform, &jobs).unwrap()
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree_with_faults() {
+        let sequential = run_at(1, Millivolts(860));
+        assert_eq!(sequential.len(), 32);
+        assert!(
+            sequential.iter().any(|(_, s)| s.total_flips() > 0),
+            "860 mV must show faults"
+        );
+        for workers in [2, 4, 8] {
+            assert_eq!(
+                sequential,
+                run_at(workers, Millivolts(860)),
+                "{workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_port_rejected_in_sharded_mode() {
+        let mut platform = Platform::builder().seed(7).workers(4).build();
+        let port = PortId::new(3).unwrap();
+        let program = MacroProgram::write_then_check(0..4, DataPattern::AllOnes);
+        let jobs = vec![(port, program.clone()), (port, program)];
+        let err = run_jobs(&mut platform, &jobs).unwrap_err();
+        assert!(matches!(err, ExperimentError::Config { .. }));
+    }
+
+    #[test]
+    fn parallel_mode_updates_device_stats_like_sequential() {
+        let total_stats = |workers: usize| {
+            let mut platform = Platform::builder().seed(7).workers(workers).build();
+            platform.set_voltage(Millivolts(900)).unwrap();
+            let jobs = jobs_for(&platform, 64, DataPattern::Checkerboard);
+            run_jobs(&mut platform, &jobs).unwrap();
+            platform.device().total_stats()
+        };
+        assert_eq!(total_stats(1), total_stats(8));
+    }
+}

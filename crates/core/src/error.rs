@@ -4,10 +4,12 @@ use std::error::Error;
 use std::fmt;
 
 use hbm_device::DeviceError;
+use hbm_faults::FaultModelError;
 use hbm_vreg::PmbusError;
 
 /// Any error an experiment can hit: device-side (crash, bad address),
-/// board-side (PMBus transaction), or a configuration problem.
+/// board-side (PMBus transaction), fault-model calibration, or a
+/// configuration problem.
 ///
 /// # Examples
 ///
@@ -25,6 +27,8 @@ pub enum ExperimentError {
     Device(DeviceError),
     /// A PMBus/I²C transaction failed.
     Pmbus(PmbusError),
+    /// The fault-model calibration is invalid.
+    Faults(FaultModelError),
     /// The experiment configuration is invalid.
     Config {
         /// What is wrong with it.
@@ -54,6 +58,7 @@ impl fmt::Display for ExperimentError {
         match self {
             ExperimentError::Device(e) => write!(f, "device error: {e}"),
             ExperimentError::Pmbus(e) => write!(f, "pmbus error: {e}"),
+            ExperimentError::Faults(e) => write!(f, "fault model error: {e}"),
             ExperimentError::Config { reason } => write!(f, "invalid configuration: {reason}"),
         }
     }
@@ -64,6 +69,7 @@ impl Error for ExperimentError {
         match self {
             ExperimentError::Device(e) => Some(e),
             ExperimentError::Pmbus(e) => Some(e),
+            ExperimentError::Faults(e) => Some(e),
             ExperimentError::Config { .. } => None,
         }
     }
@@ -81,6 +87,12 @@ impl From<PmbusError> for ExperimentError {
     }
 }
 
+impl From<FaultModelError> for ExperimentError {
+    fn from(e: FaultModelError) -> Self {
+        ExperimentError::Faults(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,6 +106,11 @@ mod tests {
         let pmbus: ExperimentError = PmbusError::UnsupportedCommand { code: 1 }.into();
         assert!(!pmbus.is_crash());
         assert!(pmbus.source().is_some());
+
+        let faults: ExperimentError = FaultModelError::InvalidStuck0Share { share: 2.0 }.into();
+        assert!(!faults.is_crash());
+        assert!(faults.source().is_some());
+        assert!(faults.to_string().contains("stuck0_share"));
 
         let config = ExperimentError::config("step must divide the range");
         assert!(config.source().is_none());

@@ -1,0 +1,209 @@
+//! The unified experiment abstraction.
+//!
+//! Every measurement campaign in this crate — the reliability sweep, the
+//! power sweep, the guardband search, the trade-off analysis — is "run
+//! against a [`Platform`], produce a typed report". The [`Experiment`]
+//! trait names that shape so drivers (the `hbmctl` binary, the figure
+//! reproductions, property tests) can be written once, generically.
+//!
+//! [`DynExperiment`] is the object-safe companion: it erases the report
+//! type down to [`Render`], so heterogeneous campaigns can run from one
+//! `Vec<Box<dyn DynExperiment>>` loop.
+
+use crate::error::ExperimentError;
+use crate::guardband::{GuardbandFinder, GuardbandReport};
+use crate::platform::Platform;
+use crate::power_test::{PowerSweep, PowerSweepReport};
+use crate::reliability::{ReliabilityReport, ReliabilityTester};
+use crate::report::Render;
+use crate::trade_off::{TradeOffAnalysis, TradeOffReport};
+
+/// A named experiment that runs against a [`Platform`] and produces a
+/// typed report.
+///
+/// Implementations must be deterministic: the report may depend only on
+/// the experiment's configuration and the platform's construction
+/// parameters (seed, geometry, fault/power models) — never on the
+/// engine's worker count, thread scheduling, or host state.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_undervolt::{Experiment, GuardbandFinder, Platform};
+///
+/// fn run_named<E: Experiment>(e: &E, platform: &mut Platform)
+///     -> Result<E::Report, hbm_undervolt::ExperimentError>
+/// {
+///     println!("running {}", e.name());
+///     e.run(platform)
+/// }
+///
+/// # fn main() -> Result<(), hbm_undervolt::ExperimentError> {
+/// let mut platform = Platform::builder().seed(7).build();
+/// let report = run_named(&GuardbandFinder::new(), &mut platform)?;
+/// assert_eq!(report.v_min, hbm_units::Millivolts(980));
+/// # Ok(())
+/// # }
+/// ```
+pub trait Experiment {
+    /// The report the experiment produces.
+    type Report;
+
+    /// A short stable name for logs and file stems ("reliability",
+    /// "power-sweep", …).
+    fn name(&self) -> &str;
+
+    /// Runs the experiment on a platform.
+    ///
+    /// # Errors
+    ///
+    /// Configuration, PMBus and device errors; expected device *crashes*
+    /// inside a sweep are recorded in the report where the experiment
+    /// defines that (see the individual experiments).
+    fn run(&self, platform: &mut Platform) -> Result<Self::Report, ExperimentError>;
+}
+
+/// Object-safe view of an [`Experiment`] whose report can render itself.
+///
+/// Blanket-implemented for every `Experiment` with a `Report: Render`,
+/// so `Box<dyn DynExperiment>` collections come for free.
+pub trait DynExperiment {
+    /// See [`Experiment::name`].
+    fn name(&self) -> &str;
+
+    /// Runs the experiment and returns the report as a renderable
+    /// trait object.
+    ///
+    /// # Errors
+    ///
+    /// See [`Experiment::run`].
+    fn run_boxed(&self, platform: &mut Platform) -> Result<Box<dyn Render>, ExperimentError>;
+}
+
+impl<E> DynExperiment for E
+where
+    E: Experiment,
+    E::Report: Render + 'static,
+{
+    fn name(&self) -> &str {
+        Experiment::name(self)
+    }
+
+    fn run_boxed(&self, platform: &mut Platform) -> Result<Box<dyn Render>, ExperimentError> {
+        Ok(Box::new(Experiment::run(self, platform)?))
+    }
+}
+
+impl Experiment for ReliabilityTester {
+    type Report = ReliabilityReport;
+
+    fn name(&self) -> &str {
+        "reliability"
+    }
+
+    fn run(&self, platform: &mut Platform) -> Result<ReliabilityReport, ExperimentError> {
+        ReliabilityTester::run(self, platform)
+    }
+}
+
+impl Experiment for PowerSweep {
+    type Report = PowerSweepReport;
+
+    fn name(&self) -> &str {
+        "power-sweep"
+    }
+
+    fn run(&self, platform: &mut Platform) -> Result<PowerSweepReport, ExperimentError> {
+        PowerSweep::run(self, platform)
+    }
+}
+
+impl Experiment for GuardbandFinder {
+    type Report = GuardbandReport;
+
+    fn name(&self) -> &str {
+        "guardband"
+    }
+
+    fn run(&self, platform: &mut Platform) -> Result<GuardbandReport, ExperimentError> {
+        GuardbandFinder::run(self, platform)
+    }
+}
+
+impl Experiment for TradeOffAnalysis {
+    type Report = TradeOffReport;
+
+    fn name(&self) -> &str {
+        "trade-off"
+    }
+
+    /// The analysis is a pure computation over its fault map; the
+    /// platform only cross-checks that the map was built for the same
+    /// device scale.
+    fn run(&self, platform: &mut Platform) -> Result<TradeOffReport, ExperimentError> {
+        let map_geometry = self.fault_map().geometry;
+        if map_geometry != platform.full_scale_predictor().geometry() {
+            return Err(ExperimentError::config(
+                "trade-off fault map was built for a different geometry",
+            ));
+        }
+        self.report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbm_faults::FaultMap;
+    use hbm_power::HbmPowerModel;
+    use hbm_units::Millivolts;
+
+    fn platform() -> Platform {
+        Platform::builder().seed(7).build()
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let mut p = platform();
+        let map = FaultMap::from_predictor(
+            p.full_scale_predictor(),
+            Millivolts(980),
+            Millivolts(850),
+            Millivolts(10),
+        );
+        let experiments: Vec<Box<dyn DynExperiment>> = vec![
+            Box::new(GuardbandFinder::new()),
+            Box::new(TradeOffAnalysis::new(map, HbmPowerModel::date21())),
+        ];
+        let names: Vec<&str> = experiments.iter().map(|e| e.name()).collect();
+        assert_eq!(names, ["guardband", "trade-off"]);
+        for e in &experiments {
+            let rendered = e.run_boxed(&mut p).unwrap();
+            assert!(!rendered.to_text().is_empty());
+            assert!(rendered.to_csv().contains(','));
+        }
+    }
+
+    #[test]
+    fn trait_run_matches_inherent_run() {
+        let finder = GuardbandFinder::new();
+        let via_trait = Experiment::run(&finder, &mut platform()).unwrap();
+        let direct = finder.run(&mut platform()).unwrap();
+        assert_eq!(via_trait, direct);
+    }
+
+    #[test]
+    fn wrong_geometry_map_is_rejected() {
+        let mut p = platform();
+        // A map built at the platform's *reduced* geometry must not pass
+        // for the full-scale trade-off.
+        let map = FaultMap::from_predictor(
+            p.predictor(),
+            Millivolts(980),
+            Millivolts(850),
+            Millivolts(10),
+        );
+        let analysis = TradeOffAnalysis::new(map, HbmPowerModel::date21());
+        assert!(Experiment::run(&analysis, &mut p).is_err());
+    }
+}

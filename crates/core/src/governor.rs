@@ -121,7 +121,8 @@ impl UndervoltGovernor {
             v = next;
         }
 
-        let settled = (lowest_clean + self.config.margin).clamp(self.config.floor, Millivolts(1200));
+        let settled =
+            (lowest_clean + self.config.margin).clamp(self.config.floor, Millivolts(1200));
         platform.set_voltage(settled)?;
         Ok(GovernorOutcome {
             settled,

@@ -1,10 +1,11 @@
 //! Locating the voltage landmarks: V_min (guardband floor) and V_critical
 //! (crash floor).
 
-use hbm_traffic::{DataPattern, MacroProgram, TrafficGenerator};
+use hbm_traffic::{DataPattern, MacroProgram};
 use hbm_units::{Millivolts, Ratio};
 use serde::{Deserialize, Serialize};
 
+use crate::engine;
 use crate::error::ExperimentError;
 use crate::platform::Platform;
 use crate::sweep::VoltageSweep;
@@ -124,7 +125,8 @@ impl GuardbandFinder {
     pub fn binary_search_vmin(&self, platform: &Platform) -> Millivolts {
         let predictor = platform.full_scale_predictor();
         let bits = predictor.geometry().total_bits() as f64;
-        let faulty = |v: Millivolts| predictor.device_rate(v).as_f64() * bits >= self.fault_free_threshold;
+        let faulty =
+            |v: Millivolts| predictor.device_rate(v).as_f64() * bits >= self.fault_free_threshold;
         let (mut lo, mut hi) = (Millivolts(810), Millivolts(1200));
         // Invariant: faulty(lo), !faulty(hi).
         if !faulty(lo) {
@@ -172,13 +174,11 @@ impl GuardbandFinder {
         let ids: Vec<_> = platform.device().ports().enabled_ids().collect();
         for pattern in [DataPattern::AllOnes, DataPattern::AllZeros] {
             let program = MacroProgram::write_then_check(0..self.probe_words, pattern);
-            for &port in &ids {
-                let mut tg = TrafficGenerator::new(port);
-                let stats = tg
-                    .run(&program, &mut platform.port(port))
-                    .map_err(ExperimentError::from)?;
-                total += stats.total_flips();
-            }
+            let jobs: Vec<_> = ids.iter().map(|&port| (port, program.clone())).collect();
+            total += engine::run_jobs(platform, &jobs)?
+                .iter()
+                .map(|(_, stats)| stats.total_flips())
+                .sum::<u64>();
         }
         Ok(total)
     }

@@ -24,9 +24,31 @@
 //!   planner;
 //! - [`stats`]: statistical fault-injection sizing (130 runs → 7 % error at
 //!   90 % confidence, after Leveugle et al.);
-//! - [`report`]: plain-text and CSV rendering of every figure.
+//! - [`report`]: the [`Render`] trait — plain-text and CSV views of every
+//!   figure's report;
+//! - [`Experiment`]: the unified interface every study above implements —
+//!   one `run(&mut Platform)` entry point, and [`DynExperiment`] when you
+//!   want a heterogeneous campaign of boxed experiments.
 //!
 //! # Quick start
+//!
+//! Every study is an [`Experiment`]: configure it, run it against a
+//! [`Platform`], render the report.
+//!
+//! ```
+//! use hbm_undervolt::report::Render;
+//! use hbm_undervolt::{Experiment, Platform, PowerSweep};
+//!
+//! # fn main() -> Result<(), hbm_undervolt::ExperimentError> {
+//! let mut platform = Platform::builder().seed(7).build();
+//! let report = Experiment::run(&PowerSweep::date21(), &mut platform)?;
+//! assert!(report.to_text().contains("1.20"));
+//! assert!(report.to_csv().starts_with("voltage_mv"));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Lower-level platform access works the same way it always has:
 //!
 //! ```
 //! use hbm_undervolt::Platform;
@@ -48,12 +70,36 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Parallel sweeps and determinism
+//!
+//! [`PlatformBuilder::workers`] selects how many threads execute each
+//! voltage point's workload; the engine shards the device by pseudo
+//! channel and merges per-shard statistics afterwards. The guarantee is
+//! strict: **a parallel run is bit-identical to the sequential run** for
+//! every seed and every worker count, because all randomness is derived
+//! from per-`(seed, voltage, pseudo-channel)` counter-mode streams rather
+//! than shared RNG state.
+//!
+//! ```
+//! use hbm_undervolt::{Experiment, Platform, ReliabilityConfig, ReliabilityTester};
+//!
+//! # fn main() -> Result<(), hbm_undervolt::ExperimentError> {
+//! let tester = ReliabilityTester::new(ReliabilityConfig::quick())?;
+//! let mut sequential = Platform::builder().seed(7).workers(1).build();
+//! let mut parallel = Platform::builder().seed(7).workers(4).build();
+//! assert_eq!(tester.run(&mut sequential)?, tester.run(&mut parallel)?);
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod characterization;
+mod engine;
 mod error;
+mod experiment;
 mod governor;
 mod guardband;
 mod platform;
@@ -64,13 +110,19 @@ pub mod stats;
 mod sweep;
 mod trade_off;
 
+pub use engine::ShardPort;
 pub use error::ExperimentError;
+pub use experiment::{DynExperiment, Experiment};
 pub use governor::{outcome_saving, GovernorConfig, GovernorOutcome, UndervoltGovernor};
 pub use guardband::{GuardbandFinder, GuardbandReport};
 pub use platform::{Platform, PlatformBuilder, PowerSample, UndervoltedPort};
 pub use power_test::{PowerPoint, PowerSweep, PowerSweepReport};
 pub use reliability::{
-    ReliabilityConfig, ReliabilityReport, ReliabilityTester, TestScope, VoltagePoint,
+    PatternOutcome, ReliabilityConfig, ReliabilityReport, ReliabilityTester, TestScope,
+    VoltagePoint,
 };
+pub use report::{AcfTable, Render};
 pub use sweep::VoltageSweep;
-pub use trade_off::{OperatingPoint, TradeOffAnalysis, UsablePcCurve};
+pub use trade_off::{
+    OperatingPoint, PlannedFraction, TradeOffAnalysis, TradeOffReport, UsablePcCurve,
+};

@@ -10,6 +10,7 @@ use hbm_units::{Amperes, Celsius, GigabytesPerSecond, Millivolts, Ratio, Watts};
 use hbm_vreg::{HostInterface, PmbusCommand, PmbusDevice, PowerRail};
 use serde::{Deserialize, Serialize};
 
+use crate::engine::ShardPort;
 use crate::error::ExperimentError;
 
 /// One power measurement as the host records it.
@@ -47,6 +48,7 @@ pub struct PlatformBuilder {
     power_params: PowerModelParams,
     clock: ClockConfig,
     temperature: Celsius,
+    workers: usize,
 }
 
 impl PlatformBuilder {
@@ -96,6 +98,17 @@ impl PlatformBuilder {
         self
     }
 
+    /// Number of worker threads the sweep engine may use (default 1 =
+    /// sequential). Results are bit-identical for every worker count: the
+    /// engine partitions work by pseudo channel into disjoint shards and
+    /// all randomness is keyed per work item, so only wall-clock time
+    /// changes.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
     /// Assembles the platform.
     ///
     /// # Panics
@@ -103,11 +116,9 @@ impl PlatformBuilder {
     /// Panics if the fault or power parameters fail validation.
     #[must_use]
     pub fn build(self) -> Platform {
-        let mut injector =
-            FaultInjector::new(self.fault_params.clone(), self.geometry, self.seed);
+        let mut injector = FaultInjector::new(self.fault_params.clone(), self.geometry, self.seed);
         injector.set_temperature(self.temperature);
-        let mut predictor =
-            RatePredictor::new(self.fault_params.clone(), self.geometry, self.seed);
+        let mut predictor = RatePredictor::new(self.fault_params.clone(), self.geometry, self.seed);
         predictor.set_temperature(self.temperature);
         let mut full_predictor =
             RatePredictor::new(self.fault_params.clone(), HbmGeometry::vcu128(), self.seed);
@@ -123,6 +134,7 @@ impl PlatformBuilder {
             power_model: HbmPowerModel::new(self.power_params),
             bandwidth: BandwidthModel::new(self.geometry, self.clock),
             seed: self.seed,
+            workers: self.workers,
         }
     }
 }
@@ -136,6 +148,7 @@ impl Default for PlatformBuilder {
             power_params: PowerModelParams::date21(),
             clock: ClockConfig::vcu128(),
             temperature: Celsius::STUDY_AMBIENT,
+            workers: 1,
         }
     }
 }
@@ -173,6 +186,7 @@ pub struct Platform {
     power_model: HbmPowerModel,
     bandwidth: BandwidthModel,
     seed: u64,
+    workers: usize,
 }
 
 impl Platform {
@@ -304,8 +318,10 @@ impl Platform {
     /// Achieved bandwidth with the enabled ports running flat out.
     #[must_use]
     pub fn achieved_bandwidth(&self) -> GigabytesPerSecond {
-        self.bandwidth
-            .achieved(self.enabled_ports(), self.device.switch().bandwidth_derate())
+        self.bandwidth.achieved(
+            self.enabled_ports(),
+            self.device.switch().bandwidth_derate(),
+        )
     }
 
     /// The device-wide union fault fraction at the present voltage
@@ -356,6 +372,35 @@ impl Platform {
             injector: &self.injector,
             port,
         }
+    }
+
+    /// Number of worker threads the sweep engine may use.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Reconfigures the worker count (see [`PlatformBuilder::workers`]).
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// Splits the device into one fault-injecting [`ShardPort`] per pseudo
+    /// channel, in global index order — the parallel engine's disjoint
+    /// accesses. All shards borrow the device simultaneously, so they can
+    /// be moved onto worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Device errors if the device has crashed or the switching network is
+    /// enabled (see [`hbm_device::HbmDevice::pc_shards`]).
+    pub fn shard_ports(&mut self) -> Result<Vec<ShardPort<'_>>, ExperimentError> {
+        let injector = &self.injector;
+        let shards = self.device.pc_shards().map_err(ExperimentError::from)?;
+        Ok(shards
+            .into_iter()
+            .map(|shard| ShardPort::new(shard, injector))
+            .collect())
     }
 }
 
@@ -471,7 +516,9 @@ mod tests {
     fn measured_power_matches_model() {
         let mut p = platform();
         let sample = p.measure_power(Ratio::ONE).unwrap();
-        let expected = p.power_model().power(Millivolts(1200), Ratio::ONE, Ratio::ZERO);
+        let expected = p
+            .power_model()
+            .power(Millivolts(1200), Ratio::ONE, Ratio::ZERO);
         assert!((sample.power.as_f64() - expected.as_f64()).abs() < 0.05);
         assert_eq!(sample.voltage, Millivolts(1200));
     }
@@ -516,7 +563,10 @@ mod tests {
         p.measure_power(Ratio::ONE).unwrap();
         let sagged = p.voltage();
         assert!(sagged < Millivolts(1000), "output must sag: {sagged}");
-        assert!(sagged > Millivolts(960), "droop magnitude plausible: {sagged}");
+        assert!(
+            sagged > Millivolts(960),
+            "droop magnitude plausible: {sagged}"
+        );
         // Dropping the load restores the output.
         p.measure_power(Ratio::ZERO).unwrap();
         assert!(p.voltage() > sagged);

@@ -7,10 +7,11 @@
 //! maximum utilization (310 GB/s).
 
 use hbm_power::{AcfSample, PowerAnalysis};
-use hbm_traffic::{MacroProgram, TrafficGenerator};
+use hbm_traffic::MacroProgram;
 use hbm_units::{Millivolts, Ratio, Watts};
 use serde::{Deserialize, Serialize};
 
+use crate::engine;
 use crate::error::ExperimentError;
 use crate::platform::Platform;
 use crate::sweep::VoltageSweep;
@@ -147,11 +148,11 @@ impl PowerSweep {
         let program = MacroProgram::streaming_reads(0..self.warmup_words, 1);
         let ids: Vec<_> = platform.device().ports().enabled_ids().collect();
         debug_assert_eq!(ids.len(), ports);
-        for port in ids {
-            let mut tg = TrafficGenerator::new(port);
-            tg.run(&program, &mut platform.port(port))
-                .map_err(ExperimentError::from)?;
-        }
+        let jobs: Vec<_> = ids
+            .into_iter()
+            .map(|port| (port, program.clone()))
+            .collect();
+        engine::run_jobs(platform, &jobs)?;
         Ok(())
     }
 }

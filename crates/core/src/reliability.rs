@@ -8,10 +8,13 @@
 //! generators and counts bit flips (split by polarity and by port).
 
 use hbm_device::{PcIndex, PortId};
-use hbm_traffic::{DataPattern, MacroProgram, PortStats, TrafficGenerator};
+use hbm_faults::pc_stream;
+use hbm_traffic::{DataPattern, MacroProgram, PortStats};
 use hbm_units::{Millivolts, Ratio};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::engine;
 use crate::error::ExperimentError;
 use crate::platform::Platform;
 use crate::stats::BatchSummary;
@@ -62,6 +65,11 @@ pub struct ReliabilityConfig {
     /// Optional cap on words tested per pseudo channel (`None` = the full
     /// array). Lets exhaustive tests bound their runtime.
     pub words_per_pc: Option<u64>,
+    /// Optional sampled mode: test this many randomly drawn offsets per
+    /// pseudo channel instead of a sequential walk. The offsets come from
+    /// one [`hbm_faults::pc_stream`] per `(seed, voltage, pseudo channel)`
+    /// work item, so the draws are identical for every engine worker count.
+    pub sample_words: Option<u64>,
 }
 
 impl ReliabilityConfig {
@@ -75,6 +83,7 @@ impl ReliabilityConfig {
             patterns: vec![DataPattern::AllOnes, DataPattern::AllZeros],
             scope: TestScope::EntireHbm,
             words_per_pc: None,
+            sample_words: None,
         }
     }
 
@@ -89,6 +98,7 @@ impl ReliabilityConfig {
             patterns: vec![DataPattern::AllOnes, DataPattern::AllZeros],
             scope: TestScope::EntireHbm,
             words_per_pc: Some(512),
+            sample_words: None,
         }
     }
 
@@ -103,10 +113,17 @@ impl ReliabilityConfig {
             return Err(ExperimentError::config("batch size must be at least 1"));
         }
         if self.patterns.is_empty() {
-            return Err(ExperimentError::config("at least one data pattern required"));
+            return Err(ExperimentError::config(
+                "at least one data pattern required",
+            ));
         }
         if matches!(&self.scope, TestScope::Ports(p) if p.is_empty()) {
             return Err(ExperimentError::config("port scope must not be empty"));
+        }
+        if self.sample_words == Some(0) {
+            return Err(ExperimentError::config(
+                "sampled mode needs at least one word per pseudo channel",
+            ));
         }
         Ok(())
     }
@@ -197,10 +214,7 @@ impl ReliabilityReport {
     pub fn first_fault_voltage(&self, pattern: DataPattern) -> Option<Millivolts> {
         self.points
             .iter()
-            .filter(|p| {
-                p.outcome(pattern)
-                    .is_some_and(|o| o.mean_fault_count > 0.0)
-            })
+            .filter(|p| p.outcome(pattern).is_some_and(|o| o.mean_fault_count > 0.0))
             .map(|p| p.voltage)
             .max()
     }
@@ -208,7 +222,11 @@ impl ReliabilityReport {
     /// The highest voltage at which the device crashed, if any.
     #[must_use]
     pub fn crash_voltage(&self) -> Option<Millivolts> {
-        self.points.iter().filter(|p| p.crashed).map(|p| p.voltage).max()
+        self.points
+            .iter()
+            .filter(|p| p.crashed)
+            .map(|p| p.voltage)
+            .max()
     }
 }
 
@@ -275,7 +293,8 @@ impl ReliabilityTester {
             .config
             .words_per_pc
             .map_or(geometry.words_per_pc(), |w| w.min(geometry.words_per_pc()));
-        let checked_bits_per_run = words * 256 * ports.len() as u64;
+        let words_checked_per_pc = self.config.sample_words.unwrap_or(words);
+        let checked_bits_per_run = words_checked_per_pc * 256 * ports.len() as u64;
 
         let mut points = Vec::with_capacity(self.config.sweep.len());
         for voltage in self.config.sweep.iter() {
@@ -309,6 +328,35 @@ impl ReliabilityTester {
         })
     }
 
+    /// One job (port, program) per scoped port. In sampled mode each port
+    /// gets its own program over offsets drawn from the port's
+    /// `(seed, voltage, pc)` stream, so the workload — and therefore the
+    /// measurement — is invariant under the engine's worker count.
+    fn build_jobs(
+        &self,
+        platform: &Platform,
+        ports: &[PortId],
+        words: u64,
+        pattern: DataPattern,
+        voltage: Millivolts,
+    ) -> Vec<(PortId, MacroProgram)> {
+        ports
+            .iter()
+            .map(|&port| {
+                let program = match self.config.sample_words {
+                    None => MacroProgram::write_then_check(0..words, pattern),
+                    Some(samples) => {
+                        let mut rng = pc_stream(platform.seed(), voltage, port.direct_pc());
+                        let offsets: Vec<u64> =
+                            (0..samples).map(|_| rng.gen_range(0..words)).collect();
+                        MacroProgram::write_then_check_at(&offsets, pattern)
+                    }
+                };
+                (port, program)
+            })
+            .collect()
+    }
+
     fn run_pattern(
         &self,
         platform: &mut Platform,
@@ -317,20 +365,17 @@ impl ReliabilityTester {
         pattern: DataPattern,
         voltage: Millivolts,
     ) -> Result<PatternOutcome, ExperimentError> {
-        let program = MacroProgram::write_then_check(0..words, pattern);
+        let jobs = self.build_jobs(platform, ports, words, pattern, voltage);
         let mut run_totals = Vec::with_capacity(self.config.batch_size);
         let mut last_run: Vec<(u8, PortStats)> = Vec::new();
 
         for _ in 0..self.config.batch_size {
             // The paper's reset_axi_ports().
             platform.device_mut().reset_stats();
-            let mut per_port = Vec::with_capacity(ports.len());
+            let results = engine::run_jobs(platform, &jobs)?;
+            let mut per_port = Vec::with_capacity(results.len());
             let mut total = 0u64;
-            for &port in ports {
-                let mut tg = TrafficGenerator::new(port);
-                let stats = tg
-                    .run(&program, &mut platform.port(port))
-                    .map_err(ExperimentError::from)?;
+            for (port, stats) in results {
                 total += stats.total_flips();
                 per_port.push((port.as_u8(), stats));
             }
@@ -396,7 +441,12 @@ mod tests {
             .unwrap();
         for point in &report.points {
             assert!(!point.crashed);
-            assert_eq!(point.total_mean_faults(), 0.0, "faults at {}", point.voltage);
+            assert_eq!(
+                point.total_mean_faults(),
+                0.0,
+                "faults at {}",
+                point.voltage
+            );
         }
     }
 
@@ -494,7 +544,10 @@ mod tests {
         let v10 = report.first_fault_voltage(DataPattern::AllOnes);
         let v01 = report.first_fault_voltage(DataPattern::AllZeros);
         assert!(v10.is_some(), "1→0 flips must appear in the unsafe region");
-        assert!(v10 >= v01, "1→0 onset {v10:?} must not trail 0→1 onset {v01:?}");
+        assert!(
+            v10 >= v01,
+            "1→0 onset {v10:?} must not trail 0→1 onset {v01:?}"
+        );
     }
 
     #[test]
@@ -517,7 +570,10 @@ mod tests {
             .unwrap();
         let v = Millivolts(860);
         let ones = report.fault_rate(v, DataPattern::AllOnes).unwrap().as_f64();
-        let zeros = report.fault_rate(v, DataPattern::AllZeros).unwrap().as_f64();
+        let zeros = report
+            .fault_rate(v, DataPattern::AllZeros)
+            .unwrap()
+            .as_f64();
         let cb = report
             .fault_rate(v, DataPattern::Checkerboard)
             .unwrap()

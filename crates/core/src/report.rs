@@ -1,5 +1,10 @@
 //! Rendering experiment results as the tables/series the paper reports,
 //! plus CSV export.
+//!
+//! Every report type implements [`Render`]: `to_text` gives the table the
+//! corresponding paper figure shows, `to_csv` a machine-readable export.
+//! Heterogeneous campaigns can render through
+//! `Box<dyn Render>` (see [`crate::DynExperiment`]).
 
 use std::fmt::Write as _;
 
@@ -12,7 +17,18 @@ use crate::error::ExperimentError;
 use crate::guardband::GuardbandReport;
 use crate::platform::Platform;
 use crate::power_test::PowerSweepReport;
-use crate::trade_off::UsablePcCurve;
+use crate::reliability::ReliabilityReport;
+use crate::trade_off::{TradeOffReport, UsablePcCurve};
+
+/// A report that can render itself both as the paper's plain-text table
+/// and as CSV.
+pub trait Render {
+    /// The plain-text table (what the `fig*` binaries print).
+    fn to_text(&self) -> String;
+
+    /// A machine-readable CSV export of the same data.
+    fn to_csv(&self) -> String;
+}
 
 /// The paper's headline numbers, in one struct.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -67,18 +83,25 @@ pub fn headline_metrics(
 
 impl std::fmt::Display for HeadlineMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "guardband:            {:.1}% of nominal", self.guardband_percent)?;
+        writeln!(
+            f,
+            "guardband:            {:.1}% of nominal",
+            self.guardband_percent
+        )?;
         writeln!(f, "saving at guardband:  {:.2}x", self.saving_at_guardband)?;
         writeln!(f, "saving at 0.85 V:     {:.2}x", self.saving_at_850mv)?;
         writeln!(f, "idle / full-load:     {:.2}", self.idle_fraction)?;
-        write!(f, "aClf drop at 0.85 V:  {:.1}%", self.acf_drop_at_850mv * 100.0)
+        write!(
+            f,
+            "aClf drop at 0.85 V:  {:.1}%",
+            self.acf_drop_at_850mv * 100.0
+        )
     }
 }
 
 /// Renders the Fig. 2 table: normalized power per voltage (rows, 50 mV
 /// display steps as in the paper) and per utilization step (columns).
-#[must_use]
-pub fn render_power_table(report: &PowerSweepReport) -> String {
+fn render_power_table(report: &PowerSweepReport) -> String {
     let mut out = String::new();
     write!(out, "{:>8}", "V").expect("write to string");
     for &ports in &report.port_steps {
@@ -89,8 +112,12 @@ pub fn render_power_table(report: &PowerSweepReport) -> String {
         if v.as_u32() % 50 != 0 {
             continue; // the paper displays 50 mV steps for visibility
         }
-        write!(out, "{:>8}", format!("{:.2}", f64::from(v.as_u32()) / 1000.0))
-            .expect("write to string");
+        write!(
+            out,
+            "{:>8}",
+            format!("{:.2}", f64::from(v.as_u32()) / 1000.0)
+        )
+        .expect("write to string");
         for &ports in &report.port_steps {
             match report.at(v, ports) {
                 Some(p) => write!(out, "{:>9.3}", p.normalized.as_f64()),
@@ -105,8 +132,7 @@ pub fn render_power_table(report: &PowerSweepReport) -> String {
 
 /// Renders the Fig. 3 table: normalized `α·C_L·f` per voltage per
 /// utilization step.
-#[must_use]
-pub fn render_acf_table(report: &PowerSweepReport) -> String {
+fn render_acf_table(report: &PowerSweepReport) -> String {
     let mut out = String::new();
     write!(out, "{:>8}", "V").expect("write to string");
     for &ports in &report.port_steps {
@@ -122,8 +148,12 @@ pub fn render_acf_table(report: &PowerSweepReport) -> String {
         if v.as_u32() % 50 != 0 {
             continue;
         }
-        write!(out, "{:>8}", format!("{:.2}", f64::from(v.as_u32()) / 1000.0))
-            .expect("write to string");
+        write!(
+            out,
+            "{:>8}",
+            format!("{:.2}", f64::from(v.as_u32()) / 1000.0)
+        )
+        .expect("write to string");
         for (_, acf) in &series {
             match PowerAnalysis::normalized_at(acf, v) {
                 Some(r) => write!(out, "{:>9.3}", r.as_f64()),
@@ -137,8 +167,7 @@ pub fn render_acf_table(report: &PowerSweepReport) -> String {
 }
 
 /// Renders the Fig. 4 series: per-stack faulty fraction per voltage.
-#[must_use]
-pub fn render_stack_fractions(series: &[StackFractionPoint]) -> String {
+fn render_stack_fractions(series: &[StackFractionPoint]) -> String {
     let mut out = String::from("       V     HBM0     HBM1\n");
     for point in series {
         writeln!(
@@ -155,8 +184,7 @@ pub fn render_stack_fractions(series: &[StackFractionPoint]) -> String {
 
 /// Renders the Fig. 5 grid: ports as columns, voltages as rows, cells as
 /// the paper formats them ("NF", "0" for <1 %, else whole percent).
-#[must_use]
-pub fn render_pc_table(table: &PcFaultTable) -> String {
+fn render_pc_table(table: &PcFaultTable) -> String {
     let mut out = String::new();
     writeln!(out, "pattern: {}", table.pattern).expect("write to string");
     write!(out, "{:>6}", "V").expect("write to string");
@@ -165,8 +193,12 @@ pub fn render_pc_table(table: &PcFaultTable) -> String {
     }
     out.push('\n');
     for (col, &v) in table.voltages.iter().enumerate() {
-        write!(out, "{:>6}", format!("{:.2}", f64::from(v.as_u32()) / 1000.0))
-            .expect("write to string");
+        write!(
+            out,
+            "{:>6}",
+            format!("{:.2}", f64::from(v.as_u32()) / 1000.0)
+        )
+        .expect("write to string");
         for row in &table.rows {
             write!(out, "{:>5}", row.cells[col].display()).expect("write to string");
         }
@@ -176,19 +208,26 @@ pub fn render_pc_table(table: &PcFaultTable) -> String {
 }
 
 /// Renders the Fig. 6 family: usable PC count per voltage per tolerance.
-#[must_use]
-pub fn render_usable_pc_curves(curves: &[UsablePcCurve]) -> String {
+fn render_usable_pc_curves(curves: &[UsablePcCurve]) -> String {
     let mut out = String::new();
     write!(out, "{:>8}", "V").expect("write to string");
     for curve in curves {
-        write!(out, "{:>12}", format!("≤{}", curve.tolerable.display_percent()))
-            .expect("write to string");
+        write!(
+            out,
+            "{:>12}",
+            format!("≤{}", curve.tolerable.display_percent())
+        )
+        .expect("write to string");
     }
     out.push('\n');
     if let Some(first) = curves.first() {
         for (i, &(v, _)) in first.points.iter().enumerate() {
-            write!(out, "{:>8}", format!("{:.2}", f64::from(v.as_u32()) / 1000.0))
-                .expect("write to string");
+            write!(
+                out,
+                "{:>8}",
+                format!("{:.2}", f64::from(v.as_u32()) / 1000.0)
+            )
+            .expect("write to string");
             for curve in curves {
                 write!(out, "{:>12}", curve.points[i].1).expect("write to string");
             }
@@ -196,6 +235,294 @@ pub fn render_usable_pc_curves(curves: &[UsablePcCurve]) -> String {
         }
     }
     out
+}
+
+/// The Fig. 3 view of a power sweep: the same report rendered as the
+/// extracted `α·C_L·f` table instead of the Fig. 2 power table.
+#[derive(Debug, Clone, Copy)]
+pub struct AcfTable<'a>(pub &'a PowerSweepReport);
+
+impl Render for PowerSweepReport {
+    fn to_text(&self) -> String {
+        render_power_table(self)
+    }
+
+    fn to_csv(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.voltage.as_u32().to_string(),
+                    p.enabled_ports.to_string(),
+                    format!("{:.6}", p.power.as_f64()),
+                    format!("{:.6}", p.normalized.as_f64()),
+                ]
+            })
+            .collect();
+        to_csv(&["voltage_mv", "ports", "power_w", "normalized"], &rows)
+    }
+}
+
+impl Render for AcfTable<'_> {
+    fn to_text(&self) -> String {
+        render_acf_table(self.0)
+    }
+
+    fn to_csv(&self) -> String {
+        let mut rows = Vec::new();
+        for &ports in &self.0.port_steps {
+            for sample in self.0.acf_series(ports) {
+                rows.push(vec![
+                    sample.voltage.as_u32().to_string(),
+                    ports.to_string(),
+                    format!("{:.6}", sample.normalized.as_f64()),
+                ]);
+            }
+        }
+        to_csv(&["voltage_mv", "ports", "normalized_acf"], &rows)
+    }
+}
+
+impl Render for [StackFractionPoint] {
+    fn to_text(&self) -> String {
+        render_stack_fractions(self)
+    }
+
+    fn to_csv(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .iter()
+            .map(|p| {
+                vec![
+                    p.voltage.as_u32().to_string(),
+                    format!("{:.6}", p.hbm0.as_f64()),
+                    format!("{:.6}", p.hbm1.as_f64()),
+                ]
+            })
+            .collect();
+        to_csv(&["voltage_mv", "hbm0_fraction", "hbm1_fraction"], &rows)
+    }
+}
+
+impl Render for Vec<StackFractionPoint> {
+    fn to_text(&self) -> String {
+        self.as_slice().to_text()
+    }
+
+    fn to_csv(&self) -> String {
+        self.as_slice().to_csv()
+    }
+}
+
+impl Render for PcFaultTable {
+    fn to_text(&self) -> String {
+        render_pc_table(self)
+    }
+
+    fn to_csv(&self) -> String {
+        let mut rows = Vec::new();
+        for (col, &v) in self.voltages.iter().enumerate() {
+            for row in &self.rows {
+                rows.push(vec![
+                    self.pattern.to_string(),
+                    v.as_u32().to_string(),
+                    row.port.to_string(),
+                    row.cells[col].display(),
+                ]);
+            }
+        }
+        to_csv(&["pattern", "voltage_mv", "port", "cell"], &rows)
+    }
+}
+
+impl Render for [UsablePcCurve] {
+    fn to_text(&self) -> String {
+        render_usable_pc_curves(self)
+    }
+
+    fn to_csv(&self) -> String {
+        let mut rows = Vec::new();
+        for curve in self {
+            for &(v, n) in &curve.points {
+                rows.push(vec![
+                    format!("{:e}", curve.tolerable.as_f64()),
+                    v.as_u32().to_string(),
+                    n.to_string(),
+                ]);
+            }
+        }
+        to_csv(&["tolerable", "voltage_mv", "usable_pcs"], &rows)
+    }
+}
+
+impl Render for Vec<UsablePcCurve> {
+    fn to_text(&self) -> String {
+        self.as_slice().to_text()
+    }
+
+    fn to_csv(&self) -> String {
+        self.as_slice().to_csv()
+    }
+}
+
+impl Render for TradeOffReport {
+    fn to_text(&self) -> String {
+        let mut out = self.curves.to_text();
+        for plan in &self.plans {
+            match &plan.point {
+                Some(p) => writeln!(
+                    out,
+                    "plan {:>5.0}% capacity, tol {:>8}: {} ({} PCs, {:.2}x saving)",
+                    plan.fraction * 100.0,
+                    plan.tolerable.display_percent(),
+                    p.voltage,
+                    p.usable_pcs.len(),
+                    p.saving_factor
+                ),
+                None => writeln!(
+                    out,
+                    "plan {:>5.0}% capacity, tol {:>8}: unreachable",
+                    plan.fraction * 100.0,
+                    plan.tolerable.display_percent()
+                ),
+            }
+            .expect("write to string");
+        }
+        out
+    }
+
+    fn to_csv(&self) -> String {
+        self.curves.to_csv()
+    }
+}
+
+impl Render for GuardbandReport {
+    fn to_text(&self) -> String {
+        format!(
+            "v_nom:      {}\nv_min:      {}\nv_critical: {}\nguardband:  {} ({:.1}% of nominal)\n",
+            self.v_nom,
+            self.v_min,
+            self.v_critical,
+            self.guardband(),
+            self.guardband_fraction().as_percent()
+        )
+    }
+
+    fn to_csv(&self) -> String {
+        to_csv(
+            &[
+                "v_nom_mv",
+                "v_min_mv",
+                "v_critical_mv",
+                "guardband_mv",
+                "guardband_percent",
+            ],
+            &[vec![
+                self.v_nom.as_u32().to_string(),
+                self.v_min.as_u32().to_string(),
+                self.v_critical.as_u32().to_string(),
+                self.guardband().as_u32().to_string(),
+                format!("{:.2}", self.guardband_fraction().as_percent()),
+            ]],
+        )
+    }
+}
+
+impl Render for ReliabilityReport {
+    fn to_text(&self) -> String {
+        let mut out = String::new();
+        write!(out, "{:>8}", "V").expect("write to string");
+        for pattern in &self.config.patterns {
+            write!(out, "{:>14}", pattern.to_string()).expect("write to string");
+        }
+        out.push('\n');
+        for point in &self.points {
+            write!(
+                out,
+                "{:>8}",
+                format!("{:.2}", f64::from(point.voltage.as_u32()) / 1000.0)
+            )
+            .expect("write to string");
+            if point.crashed {
+                for _ in &self.config.patterns {
+                    write!(out, "{:>14}", "crash").expect("write to string");
+                }
+            } else {
+                for pattern in &self.config.patterns {
+                    match point.outcome(*pattern) {
+                        Some(o) => write!(out, "{:>14.1}", o.mean_fault_count),
+                        None => write!(out, "{:>14}", "-"),
+                    }
+                    .expect("write to string");
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    fn to_csv(&self) -> String {
+        let mut rows = Vec::new();
+        for point in &self.points {
+            if point.crashed {
+                rows.push(vec![
+                    point.voltage.as_u32().to_string(),
+                    "1".to_owned(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ]);
+                continue;
+            }
+            for outcome in &point.outcomes {
+                rows.push(vec![
+                    point.voltage.as_u32().to_string(),
+                    "0".to_owned(),
+                    outcome.pattern.to_string(),
+                    format!("{:.3}", outcome.mean_fault_count),
+                    outcome.flips_1to0.to_string(),
+                    outcome.flips_0to1.to_string(),
+                ]);
+            }
+        }
+        to_csv(
+            &[
+                "voltage_mv",
+                "crashed",
+                "pattern",
+                "mean_faults",
+                "flips_1to0",
+                "flips_0to1",
+            ],
+            &rows,
+        )
+    }
+}
+
+impl Render for HeadlineMetrics {
+    fn to_text(&self) -> String {
+        format!("{self}\n")
+    }
+
+    fn to_csv(&self) -> String {
+        to_csv(
+            &[
+                "guardband_percent",
+                "saving_at_guardband",
+                "saving_at_850mv",
+                "idle_fraction",
+                "acf_drop_at_850mv",
+            ],
+            &[vec![
+                format!("{:.2}", self.guardband_percent),
+                format!("{:.3}", self.saving_at_guardband),
+                format!("{:.3}", self.saving_at_850mv),
+                format!("{:.3}", self.idle_fraction),
+                format!("{:.3}", self.acf_drop_at_850mv),
+            ]],
+        )
+    }
 }
 
 /// Serializes any experiment artefact to pretty JSON (for archival next to
@@ -282,10 +609,7 @@ mod tests {
     #[test]
     fn stack_fraction_table() {
         let p = platform();
-        let series = stack_fraction_series(
-            p.full_scale_predictor(),
-            VoltageSweep::unsafe_region(),
-        );
+        let series = stack_fraction_series(p.full_scale_predictor(), VoltageSweep::unsafe_region());
         let table = render_stack_fractions(&series);
         assert!(table.contains("HBM0"));
         assert!(table.lines().count() == series.len() + 1);

@@ -174,6 +174,9 @@ mod tests {
     fn into_iterator() {
         let sweep = VoltageSweep::new(Millivolts(850), Millivolts(810), Millivolts(20)).unwrap();
         let points: Vec<Millivolts> = sweep.into_iter().collect();
-        assert_eq!(points, vec![Millivolts(850), Millivolts(830), Millivolts(810)]);
+        assert_eq!(
+            points,
+            vec![Millivolts(850), Millivolts(830), Millivolts(810)]
+        );
     }
 }

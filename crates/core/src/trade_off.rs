@@ -46,6 +46,27 @@ pub struct OperatingPoint {
     pub worst_fault_rate: Ratio,
 }
 
+/// One planner example of a [`TradeOffReport`]: what the lowest safe
+/// operating point looks like for a capacity fraction and fault budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannedFraction {
+    /// Required fraction of the device capacity, in `(0, 1]`.
+    pub fraction: f64,
+    /// Tolerable per-PC fault rate.
+    pub tolerable: Ratio,
+    /// The recommended point, or `None` if no swept voltage qualifies.
+    pub point: Option<OperatingPoint>,
+}
+
+/// The full §III-C artefact: the Fig. 6 curve family plus planner examples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TradeOffReport {
+    /// One usable-PC series per tolerance, loosest last.
+    pub curves: Vec<UsablePcCurve>,
+    /// Example operating points across the capacity/fault-budget space.
+    pub plans: Vec<PlannedFraction>,
+}
+
 /// The trade-off analysis: a [`FaultMap`] (per-PC rates across the sweep)
 /// combined with the power model.
 ///
@@ -161,11 +182,9 @@ impl TradeOffAnalysis {
             .filter_map(|&pc| self.map.profile(pc).at(voltage))
             .map(|e| e.union().as_f64())
             .fold(0.0, f64::max);
-        let saving = self.power.saving_factor(
-            voltage,
-            Ratio::ONE,
-            self.device_fraction(voltage),
-        );
+        let saving = self
+            .power
+            .saving_factor(voltage, Ratio::ONE, self.device_fraction(voltage));
         debug_assert!(worst <= tolerable.as_f64().max(f64::EPSILON) || tolerable == Ratio::ZERO);
         OperatingPoint {
             voltage,
@@ -174,6 +193,40 @@ impl TradeOffAnalysis {
             saving_factor: saving,
             worst_fault_rate: Ratio(worst),
         }
+    }
+
+    /// The tolerance family the paper's Fig. 6 displays.
+    #[must_use]
+    pub fn standard_tolerances() -> [Ratio; 6] {
+        [
+            Ratio::ZERO,
+            Ratio(1e-6),
+            Ratio(1e-4),
+            Ratio(0.01),
+            Ratio(0.1),
+            Ratio(0.5),
+        ]
+    }
+
+    /// Builds the full report: the standard Fig. 6 family plus planner
+    /// examples spanning the capacity/fault-budget space.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planner configuration errors (none for the built-in
+    /// example fractions).
+    pub fn report(&self) -> Result<TradeOffReport, ExperimentError> {
+        let curves = self.usable_pc_curves(&Self::standard_tolerances());
+        let examples = [(1.0, Ratio::ZERO), (0.5, Ratio(1e-6)), (0.25, Ratio(0.01))];
+        let mut plans = Vec::with_capacity(examples.len());
+        for (fraction, tolerable) in examples {
+            plans.push(PlannedFraction {
+                fraction,
+                tolerable,
+                point: self.plan_fraction(fraction, tolerable)?,
+            });
+        }
+        Ok(TradeOffReport { curves, plans })
     }
 
     /// The paper's §III-C example queries, as a convenience: returns the
@@ -205,21 +258,22 @@ mod tests {
     use hbm_faults::{FaultModelParams, RatePredictor};
 
     fn analysis() -> TradeOffAnalysis {
-        let predictor =
-            RatePredictor::new(FaultModelParams::date21(), HbmGeometry::vcu128(), 7);
-        let map = FaultMap::from_predictor(
-            &predictor,
-            Millivolts(980),
-            Millivolts(810),
-            Millivolts(10),
-        );
+        let predictor = RatePredictor::new(FaultModelParams::date21(), HbmGeometry::vcu128(), 7);
+        let map =
+            FaultMap::from_predictor(&predictor, Millivolts(980), Millivolts(810), Millivolts(10));
         TradeOffAnalysis::new(map, HbmPowerModel::date21())
     }
 
     #[test]
     fn fig6_curves_are_monotone() {
         let a = analysis();
-        let tolerances = [Ratio::ZERO, Ratio(1e-6), Ratio(1e-4), Ratio(0.01), Ratio(0.5)];
+        let tolerances = [
+            Ratio::ZERO,
+            Ratio(1e-6),
+            Ratio(1e-4),
+            Ratio(0.01),
+            Ratio(0.5),
+        ];
         let curves = a.usable_pc_curves(&tolerances);
         assert_eq!(curves.len(), tolerances.len());
         for curve in &curves {
@@ -243,10 +297,18 @@ mod tests {
     fn fault_intolerant_full_capacity_stays_near_guardband() {
         let a = analysis();
         let point = a.plan(8 << 30, Ratio::ZERO).unwrap();
-        assert!(point.voltage >= Millivolts(960), "voltage {}", point.voltage);
+        assert!(
+            point.voltage >= Millivolts(960),
+            "voltage {}",
+            point.voltage
+        );
         assert_eq!(point.usable_pcs.len(), 32);
         assert_eq!(point.capacity_bytes, 8 << 30);
-        assert!((1.45..1.65).contains(&point.saving_factor), "{}", point.saving_factor);
+        assert!(
+            (1.45..1.65).contains(&point.saving_factor),
+            "{}",
+            point.saving_factor
+        );
     }
 
     #[test]
@@ -268,7 +330,11 @@ mod tests {
         assert!(looser.voltage <= loose.voltage);
         assert!(looser.saving_factor >= strict.saving_factor);
         // Deep undervolting with high tolerance approaches the 2.3× regime.
-        assert!(looser.saving_factor > 1.8, "saving {}", looser.saving_factor);
+        assert!(
+            looser.saving_factor > 1.8,
+            "saving {}",
+            looser.saving_factor
+        );
     }
 
     #[test]

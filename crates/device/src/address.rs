@@ -266,7 +266,10 @@ impl DecodedAddress {
     /// Panics if any field exceeds the geometry.
     #[must_use]
     pub fn encode(self, geometry: HbmGeometry) -> WordOffset {
-        assert!(u32::from(self.bank.0) < u32::from(geometry.banks_per_pc()), "bank out of range");
+        assert!(
+            u32::from(self.bank.0) < u32::from(geometry.banks_per_pc()),
+            "bank out of range"
+        );
         assert!(self.row.0 < geometry.rows_per_bank(), "row out of range");
         assert!(self.col < geometry.words_per_row(), "column out of range");
         let col_bits = geometry.col_bits();

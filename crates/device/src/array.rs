@@ -66,10 +66,7 @@ impl MemoryArray {
     pub fn read(&self, offset: WordOffset) -> Result<Word256, DeviceError> {
         self.check(offset)?;
         let (page, slot) = (offset.0 / PAGE_WORDS, (offset.0 % PAGE_WORDS) as usize);
-        Ok(self
-            .pages
-            .get(&page)
-            .map_or(Word256::ZERO, |p| p[slot]))
+        Ok(self.pages.get(&page).map_or(Word256::ZERO, |p| p[slot]))
     }
 
     /// Writes `word` at `offset`, allocating its page if needed.
@@ -192,7 +189,9 @@ mod tests {
         let mut array = MemoryArray::new(1 << 23); // full-scale PC: 8M words
         array.write(WordOffset(0), Word256::ONES).unwrap();
         array.write(WordOffset(1 << 22), Word256::ONES).unwrap();
-        array.write(WordOffset((1 << 23) - 1), Word256::ONES).unwrap();
+        array
+            .write(WordOffset((1 << 23) - 1), Word256::ONES)
+            .unwrap();
         assert_eq!(array.allocated_pages(), 3);
         assert_eq!(array.resident_bytes(), 3 * 64 * 32);
     }

@@ -146,7 +146,10 @@ impl PortSet {
 
     /// Iterates over the enabled ports' ids.
     pub fn enabled_ids(&self) -> impl Iterator<Item = PortId> + '_ {
-        self.ports.iter().filter(|p| p.is_enabled()).map(AxiPort::id)
+        self.ports
+            .iter()
+            .filter(|p| p.is_enabled())
+            .map(AxiPort::id)
     }
 
     /// Iterates over all ports.

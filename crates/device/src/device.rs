@@ -146,6 +146,12 @@ impl HbmDevice {
         &self.stacks
     }
 
+    /// Mutable access to the HBM stacks (used by the per-PC sharding in
+    /// [`HbmDevice::pc_shards`]).
+    pub fn stacks_mut(&mut self) -> &mut [HbmStack] {
+        &mut self.stacks
+    }
+
     /// The AXI port set.
     #[must_use]
     pub fn ports(&self) -> &PortSet {
@@ -177,8 +183,8 @@ impl HbmDevice {
     #[must_use]
     pub fn pseudo_channel(&self, pc: PcIndex) -> &PseudoChannel {
         let (stack, channel, within) = pc.decompose(self.geometry);
-        &self.stacks[usize::from(stack.0)].channels()[usize::from(channel.0)]
-            .pseudo_channels()[usize::from(within)]
+        &self.stacks[usize::from(stack.0)].channels()[usize::from(channel.0)].pseudo_channels()
+            [usize::from(within)]
     }
 
     fn pseudo_channel_mut(&mut self, pc: PcIndex) -> &mut PseudoChannel {
@@ -299,12 +305,16 @@ impl HbmDevice {
 
     fn check_port(&self, port: PortId) -> Result<(), DeviceError> {
         if port.as_u8() >= self.geometry.total_pcs() {
-            return Err(DeviceError::InvalidPort { index: port.as_u8() });
+            return Err(DeviceError::InvalidPort {
+                index: port.as_u8(),
+            });
         }
         if self.ports.is_enabled(port) {
             Ok(())
         } else {
-            Err(DeviceError::PortDisabled { index: port.as_u8() })
+            Err(DeviceError::PortDisabled {
+                index: port.as_u8(),
+            })
         }
     }
 
@@ -369,8 +379,13 @@ mod tests {
     #[test]
     fn ports_isolate_pseudo_channels() {
         let mut device = HbmDevice::new(HbmGeometry::vcu128_reduced());
-        device.axi_write(port(0), WordOffset(5), Word256::ONES).unwrap();
-        assert_eq!(device.axi_read(port(1), WordOffset(5)).unwrap(), Word256::ZERO);
+        device
+            .axi_write(port(0), WordOffset(5), Word256::ONES)
+            .unwrap();
+        assert_eq!(
+            device.axi_read(port(1), WordOffset(5)).unwrap(),
+            Word256::ZERO
+        );
     }
 
     #[test]
@@ -382,7 +397,9 @@ mod tests {
             DeviceError::PortDisabled { index: 9 }
         );
         assert_eq!(
-            device.axi_write(port(9), WordOffset(0), Word256::ZERO).unwrap_err(),
+            device
+                .axi_write(port(9), WordOffset(0), Word256::ZERO)
+                .unwrap_err(),
             DeviceError::PortDisabled { index: 9 }
         );
     }
@@ -390,7 +407,9 @@ mod tests {
     #[test]
     fn crash_is_latched_until_power_cycle() {
         let mut device = HbmDevice::new(HbmGeometry::vcu128_reduced());
-        device.axi_write(port(0), WordOffset(0), Word256::ONES).unwrap();
+        device
+            .axi_write(port(0), WordOffset(0), Word256::ONES)
+            .unwrap();
 
         // 0.81 V is still the minimum *working* voltage.
         device.set_supply(Millivolts(810));
@@ -411,7 +430,10 @@ mod tests {
         // A power cycle revives it but loses content.
         device.power_cycle(NOMINAL_SUPPLY);
         assert!(!device.is_crashed());
-        assert_eq!(device.axi_read(port(0), WordOffset(0)).unwrap(), Word256::ZERO);
+        assert_eq!(
+            device.axi_read(port(0), WordOffset(0)).unwrap(),
+            Word256::ZERO
+        );
     }
 
     #[test]
@@ -435,7 +457,9 @@ mod tests {
             .axi_write_routed(port(0), Some(pc(4)), WordOffset(0), Word256::ONES)
             .unwrap();
         assert_eq!(
-            device.axi_read_routed(port(4), None, WordOffset(0)).unwrap(),
+            device
+                .axi_read_routed(port(4), None, WordOffset(0))
+                .unwrap(),
             Word256::ONES
         );
     }
@@ -443,10 +467,18 @@ mod tests {
     #[test]
     fn stats_accumulate_and_reset() {
         let mut device = HbmDevice::new(HbmGeometry::vcu128_reduced());
-        device.axi_write(port(0), WordOffset(0), Word256::ONES).unwrap();
+        device
+            .axi_write(port(0), WordOffset(0), Word256::ONES)
+            .unwrap();
         device.axi_read(port(0), WordOffset(0)).unwrap();
         device.axi_read(port(1), WordOffset(0)).unwrap();
-        assert_eq!(device.total_stats(), PcStats { reads: 2, writes: 1 });
+        assert_eq!(
+            device.total_stats(),
+            PcStats {
+                reads: 2,
+                writes: 1
+            }
+        );
         device.reset_stats();
         assert_eq!(device.total_stats(), PcStats::default());
     }
@@ -457,9 +489,13 @@ mod tests {
         let g = HbmGeometry::custom(1, 1, 2, 4, 16, 8);
         let mut device = HbmDevice::new(g);
         assert_eq!(g.total_pcs(), 2);
-        device.write_word(pc(1), WordOffset(0), Word256::ONES).unwrap();
+        device
+            .write_word(pc(1), WordOffset(0), Word256::ONES)
+            .unwrap();
         assert_eq!(
-            device.write_word(pc(2), WordOffset(0), Word256::ONES).unwrap_err(),
+            device
+                .write_word(pc(2), WordOffset(0), Word256::ONES)
+                .unwrap_err(),
             DeviceError::InvalidPseudoChannel { index: 2 }
         );
         assert_eq!(
@@ -471,8 +507,13 @@ mod tests {
     #[test]
     fn memory_side_word_round_trip() {
         let mut device = HbmDevice::new(HbmGeometry::vcu128_reduced());
-        device.write_word(pc(17), WordOffset(1), Word256::ONES).unwrap();
-        assert_eq!(device.read_word(pc(17), WordOffset(1)).unwrap(), Word256::ONES);
+        device
+            .write_word(pc(17), WordOffset(1), Word256::ONES)
+            .unwrap();
+        assert_eq!(
+            device.read_word(pc(17), WordOffset(1)).unwrap(),
+            Word256::ONES
+        );
         // Memory-side access shows up on the same PC as AXI-side access.
         assert_eq!(device.pseudo_channel(pc(17)).stats().writes, 1);
     }

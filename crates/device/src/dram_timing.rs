@@ -147,9 +147,7 @@ impl AccessTimingModel {
         let banks = f64::from(self.geometry.banks_per_pc());
         let data_ns = match pattern {
             AccessPattern::SequentialStream => self.row_service_ns(),
-            AccessPattern::StridedSingleWord | AccessPattern::RandomWord => {
-                self.word_transfer_ns()
-            }
+            AccessPattern::StridedSingleWord | AccessPattern::RandomWord => self.word_transfer_ns(),
         };
         // Row-cycle cost per visited row; overlapped across the other banks
         // for patterns that interleave (sequential and strided do; random

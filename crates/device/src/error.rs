@@ -50,13 +50,20 @@ pub enum DeviceError {
         /// The pseudo channel that was requested.
         target: u8,
     },
+    /// Per-pseudo-channel sharding requires the switching network to be
+    /// disabled; with the switch active a port may reach foreign pseudo
+    /// channels, so disjoint per-PC partitioning is impossible.
+    ShardingUnavailable,
 }
 
 impl fmt::Display for DeviceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             DeviceError::Crashed => {
-                write!(f, "device crashed: supply fell below critical voltage, power cycle required")
+                write!(
+                    f,
+                    "device crashed: supply fell below critical voltage, power cycle required"
+                )
             }
             DeviceError::InvalidPseudoChannel { index } => {
                 write!(f, "pseudo-channel index {index} out of range (0..32)")
@@ -75,6 +82,10 @@ impl fmt::Display for DeviceError {
             DeviceError::RouteUnavailable { port, target } => write!(
                 f,
                 "switching network disabled: port {port} cannot reach pseudo-channel {target}"
+            ),
+            DeviceError::ShardingUnavailable => write!(
+                f,
+                "switching network enabled: per-pseudo-channel sharding needs direct port mapping"
             ),
         }
     }
@@ -98,6 +109,7 @@ mod tests {
                 capacity_words: 8,
             },
             DeviceError::RouteUnavailable { port: 0, target: 5 },
+            DeviceError::ShardingUnavailable,
         ];
         for err in samples {
             let msg = err.to_string();

@@ -99,7 +99,10 @@ impl HbmGeometry {
 
     fn validate(self) {
         fn pow2(name: &str, v: u64) {
-            assert!(v != 0 && v.is_power_of_two(), "{name} must be a non-zero power of two, got {v}");
+            assert!(
+                v != 0 && v.is_power_of_two(),
+                "{name} must be a non-zero power of two, got {v}"
+            );
         }
         pow2("stacks", u64::from(self.stacks));
         pow2("channels_per_stack", u64::from(self.channels_per_stack));
@@ -124,7 +127,10 @@ impl HbmGeometry {
     /// Panics if `factor` is not a power of two.
     #[must_use]
     pub fn scaled(self, factor: u32) -> Self {
-        assert!(factor.is_power_of_two(), "scale factor must be a power of two, got {factor}");
+        assert!(
+            factor.is_power_of_two(),
+            "scale factor must be a power of two, got {factor}"
+        );
         HbmGeometry {
             rows_per_bank: (self.rows_per_bank / factor).max(1),
             ..self

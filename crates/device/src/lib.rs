@@ -49,6 +49,7 @@ mod device;
 mod dram_timing;
 mod error;
 mod geometry;
+mod shard;
 mod stack;
 mod timing;
 mod word;
@@ -60,6 +61,7 @@ pub use device::{DeviceState, HbmDevice, CRASH_FLOOR, NOMINAL_SUPPLY};
 pub use dram_timing::{AccessPattern, AccessTimingModel, DramTimings};
 pub use error::DeviceError;
 pub use geometry::HbmGeometry;
+pub use shard::PcShard;
 pub use stack::{HbmStack, MemoryChannel, PcStats, PseudoChannel};
 pub use timing::{BandwidthModel, ClockConfig};
 pub use word::Word256;

@@ -1,0 +1,239 @@
+//! Per-pseudo-channel shards: disjoint mutable views of the device used by
+//! the parallel sweep engine.
+//!
+//! With the switching network disabled (the study's configuration) every AXI
+//! port reaches exactly one pseudo channel, so the 32 PCs are independent
+//! state machines: their arrays do not overlap and their access counters are
+//! private. [`HbmDevice::pc_shards`] exploits that to hand out one mutable
+//! borrow per pseudo channel, all alive at the same time, which lets a sweep
+//! engine drive every PC from its own worker thread without locks and without
+//! `unsafe`.
+//!
+//! A shard snapshots the port-enable flag and supply voltage at creation
+//! time. Voltage changes and port reconfiguration are sweep-level operations
+//! that happen *between* measurement batches, never during one, so the
+//! snapshot is exact for the lifetime of a batch.
+
+use hbm_units::Millivolts;
+
+use crate::address::{PortId, WordOffset};
+use crate::device::HbmDevice;
+use crate::error::DeviceError;
+use crate::stack::PseudoChannel;
+use crate::word::Word256;
+
+/// Exclusive access to one pseudo channel through its direct-mapped AXI port.
+///
+/// Behaves exactly like [`HbmDevice::axi_read`]/[`HbmDevice::axi_write`] on a
+/// switch-disabled device: a disabled port rejects traffic, reads and writes
+/// update the PC's access counters. The device-level crash check happened
+/// when the shard set was created; a shard cannot observe a crash because
+/// supply changes are serialized between batches.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_device::{HbmDevice, HbmGeometry, Word256, WordOffset};
+///
+/// # fn main() -> Result<(), hbm_device::DeviceError> {
+/// let mut device = HbmDevice::new(HbmGeometry::vcu128_reduced());
+/// let mut shards = device.pc_shards()?;
+/// // All 32 shards are borrowed simultaneously and independently writable.
+/// for shard in &mut shards {
+///     shard.write(WordOffset(0), Word256::ONES)?;
+/// }
+/// assert_eq!(shards[7].read(WordOffset(0))?, Word256::ONES);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PcShard<'a> {
+    pc: &'a mut PseudoChannel,
+    port: PortId,
+    enabled: bool,
+    supply: Millivolts,
+}
+
+impl PcShard<'_> {
+    /// The AXI port this shard models (direct-mapped to its pseudo channel).
+    #[must_use]
+    pub fn port(&self) -> PortId {
+        self.port
+    }
+
+    /// Whether the port was enabled when the shard set was created.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Supply voltage snapshotted at shard creation.
+    #[must_use]
+    pub fn supply(&self) -> Millivolts {
+        self.supply
+    }
+
+    /// Reads one word through the shard's port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::PortDisabled`] if the port is disabled, or
+    /// [`DeviceError::AddressOutOfRange`] for offsets beyond the channel
+    /// capacity.
+    pub fn read(&mut self, offset: WordOffset) -> Result<Word256, DeviceError> {
+        self.check_enabled()?;
+        self.pc.read(offset)
+    }
+
+    /// Writes one word through the shard's port.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PcShard::read`].
+    pub fn write(&mut self, offset: WordOffset, word: Word256) -> Result<(), DeviceError> {
+        self.check_enabled()?;
+        self.pc.write(offset, word)
+    }
+
+    fn check_enabled(&self) -> Result<(), DeviceError> {
+        if self.enabled {
+            Ok(())
+        } else {
+            Err(DeviceError::PortDisabled {
+                index: self.port.as_u8(),
+            })
+        }
+    }
+}
+
+impl HbmDevice {
+    /// Splits the device into one [`PcShard`] per pseudo channel, in global
+    /// index order.
+    ///
+    /// Every shard is a live mutable borrow, so the whole set can be
+    /// distributed across worker threads; the borrows are disjoint by
+    /// construction (each pseudo channel owns a non-overlapping array).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Crashed`] if the device has crashed, or
+    /// [`DeviceError::ShardingUnavailable`] if the switching network is
+    /// enabled — with the switch active a port may reach foreign pseudo
+    /// channels, so per-PC partitioning would not be race-free.
+    pub fn pc_shards(&mut self) -> Result<Vec<PcShard<'_>>, DeviceError> {
+        if self.is_crashed() {
+            return Err(DeviceError::Crashed);
+        }
+        if self.switch().is_enabled() {
+            return Err(DeviceError::ShardingUnavailable);
+        }
+        let supply = self.supply();
+        let enabled: Vec<bool> = (0..self.geometry().total_pcs())
+            .map(|i| {
+                PortId::new(i)
+                    .map(|port| self.ports().is_enabled(port))
+                    .unwrap_or(false)
+            })
+            .collect();
+        let shards: Vec<PcShard<'_>> = self
+            .stacks_mut()
+            .iter_mut()
+            .flat_map(|stack| stack.pseudo_channels_mut())
+            .map(|pc| {
+                let index = pc.index().as_u8();
+                PcShard {
+                    pc,
+                    port: PortId::new(index).expect("pc index is a valid port index"),
+                    enabled: enabled.get(usize::from(index)).copied().unwrap_or(false),
+                    supply,
+                }
+            })
+            .collect();
+        Ok(shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axi::SwitchingNetwork;
+    use crate::geometry::HbmGeometry;
+    use hbm_units::Millivolts;
+
+    #[test]
+    fn shards_cover_all_pcs_in_order() {
+        let mut device = HbmDevice::new(HbmGeometry::vcu128_reduced());
+        let shards = device.pc_shards().unwrap();
+        let ports: Vec<u8> = shards.iter().map(|s| s.port().as_u8()).collect();
+        assert_eq!(ports, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shard_traffic_matches_axi_traffic() {
+        let mut via_axi = HbmDevice::new(HbmGeometry::vcu128_reduced());
+        let mut via_shards = HbmDevice::new(HbmGeometry::vcu128_reduced());
+
+        for i in 0..32 {
+            let port = PortId::new(i).unwrap();
+            let w = Word256::splat(u64::from(i) + 1);
+            via_axi.axi_write(port, WordOffset(3), w).unwrap();
+            assert_eq!(via_axi.axi_read(port, WordOffset(3)).unwrap(), w);
+        }
+        {
+            let mut shards = via_shards.pc_shards().unwrap();
+            for shard in &mut shards {
+                let w = Word256::splat(u64::from(shard.port().as_u8()) + 1);
+                shard.write(WordOffset(3), w).unwrap();
+                assert_eq!(shard.read(WordOffset(3)).unwrap(), w);
+            }
+        }
+        assert_eq!(via_axi.total_stats(), via_shards.total_stats());
+        for i in 0..32 {
+            let pc = crate::address::PcIndex::new(i).unwrap();
+            assert_eq!(
+                via_axi.pseudo_channel(pc).stats(),
+                via_shards.pseudo_channel(pc).stats()
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_port_rejected_by_shard() {
+        let mut device = HbmDevice::new(HbmGeometry::vcu128_reduced());
+        device
+            .ports_mut()
+            .set_enabled(PortId::new(5).unwrap(), false);
+        let mut shards = device.pc_shards().unwrap();
+        assert_eq!(
+            shards[5].read(WordOffset(0)).unwrap_err(),
+            DeviceError::PortDisabled { index: 5 }
+        );
+        assert!(!shards[5].is_enabled());
+        assert!(shards[6].is_enabled());
+    }
+
+    #[test]
+    fn crashed_device_refuses_to_shard() {
+        let mut device = HbmDevice::new(HbmGeometry::vcu128_reduced());
+        device.set_supply(Millivolts(790));
+        assert_eq!(device.pc_shards().unwrap_err(), DeviceError::Crashed);
+    }
+
+    #[test]
+    fn enabled_switch_refuses_to_shard() {
+        let mut device = HbmDevice::new(HbmGeometry::vcu128_reduced());
+        device.set_switch(SwitchingNetwork::enabled());
+        assert_eq!(
+            device.pc_shards().unwrap_err(),
+            DeviceError::ShardingUnavailable
+        );
+    }
+
+    #[test]
+    fn shards_snapshot_the_supply() {
+        let mut device = HbmDevice::new(HbmGeometry::vcu128_reduced());
+        device.set_supply(Millivolts(900));
+        let shards = device.pc_shards().unwrap();
+        assert!(shards.iter().all(|s| s.supply() == Millivolts(900)));
+    }
+}

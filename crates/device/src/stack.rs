@@ -193,7 +193,9 @@ impl HbmStack {
 
     /// Iterates over all pseudo channels of the stack in global-index order.
     pub fn pseudo_channels(&self) -> impl Iterator<Item = &PseudoChannel> {
-        self.channels.iter().flat_map(|c| c.pseudo_channels().iter())
+        self.channels
+            .iter()
+            .flat_map(|c| c.pseudo_channels().iter())
     }
 
     /// Mutable iteration over all pseudo channels of the stack.
@@ -212,11 +214,17 @@ mod tests {
     fn stack_construction_covers_all_pcs() {
         let g = HbmGeometry::vcu128();
         let stack0 = HbmStack::new(g, StackId(0));
-        let indices: Vec<u8> = stack0.pseudo_channels().map(|pc| pc.index().as_u8()).collect();
+        let indices: Vec<u8> = stack0
+            .pseudo_channels()
+            .map(|pc| pc.index().as_u8())
+            .collect();
         assert_eq!(indices, (0..16).collect::<Vec<_>>());
 
         let stack1 = HbmStack::new(g, StackId(1));
-        let indices: Vec<u8> = stack1.pseudo_channels().map(|pc| pc.index().as_u8()).collect();
+        let indices: Vec<u8> = stack1
+            .pseudo_channels()
+            .map(|pc| pc.index().as_u8())
+            .collect();
         assert_eq!(indices, (16..32).collect::<Vec<_>>());
     }
 
@@ -226,7 +234,13 @@ mod tests {
         let mut pc = PseudoChannel::new(PcIndex::new(3).unwrap(), g);
         pc.write(WordOffset(7), Word256::ONES).unwrap();
         assert_eq!(pc.read(WordOffset(7)).unwrap(), Word256::ONES);
-        assert_eq!(pc.stats(), PcStats { reads: 1, writes: 1 });
+        assert_eq!(
+            pc.stats(),
+            PcStats {
+                reads: 1,
+                writes: 1
+            }
+        );
         assert_eq!(pc.stats().total(), 2);
         pc.reset_stats();
         assert_eq!(pc.stats().total(), 0);

@@ -151,10 +151,8 @@ impl BandwidthModel {
     /// Raw pin bandwidth: every pseudo channel moving 8 bytes per transfer.
     #[must_use]
     pub fn raw_peak(&self) -> GigabytesPerSecond {
-        let bytes_per_sec = f64::from(self.geometry.total_pcs())
-            * 8.0
-            * self.clock.data_rate_mts()
-            * 1.0e6;
+        let bytes_per_sec =
+            f64::from(self.geometry.total_pcs()) * 8.0 * self.clock.data_rate_mts() * 1.0e6;
         GigabytesPerSecond(bytes_per_sec / 1.0e9)
     }
 
@@ -279,6 +277,9 @@ mod tests {
     fn reduced_geometry_same_bandwidth() {
         // Bandwidth depends on organization (PC count), not capacity.
         let reduced = BandwidthModel::new(HbmGeometry::vcu128_reduced(), ClockConfig::vcu128());
-        assert_eq!(reduced.achieved_peak(), BandwidthModel::vcu128().achieved_peak());
+        assert_eq!(
+            reduced.achieved_peak(),
+            BandwidthModel::vcu128().achieved_peak()
+        );
     }
 }

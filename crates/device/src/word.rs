@@ -203,7 +203,11 @@ mod tests {
 
     #[test]
     fn bit_get_set_clear() {
-        let w = Word256::ZERO.with_bit_set(0).with_bit_set(63).with_bit_set(64).with_bit_set(255);
+        let w = Word256::ZERO
+            .with_bit_set(0)
+            .with_bit_set(63)
+            .with_bit_set(64)
+            .with_bit_set(255);
         assert!(w.bit(0) && w.bit(63) && w.bit(64) && w.bit(255));
         assert!(!w.bit(1) && !w.bit(128));
         assert_eq!(w.count_ones(), 4);

@@ -48,9 +48,7 @@ impl DecodeOutcome {
     #[must_use]
     pub fn data(self) -> u64 {
         match self {
-            DecodeOutcome::Clean(d) | DecodeOutcome::Corrected(d) | DecodeOutcome::Detected(d) => {
-                d
-            }
+            DecodeOutcome::Clean(d) | DecodeOutcome::Corrected(d) | DecodeOutcome::Detected(d) => d,
         }
     }
 

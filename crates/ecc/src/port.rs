@@ -181,10 +181,7 @@ impl<P: MemoryPort> EccPort<P> {
         }
     }
 
-    fn read_with_outcomes(
-        &mut self,
-        offset: WordOffset,
-    ) -> Result<(Word256, u8), DeviceError> {
+    fn read_with_outcomes(&mut self, offset: WordOffset) -> Result<(Word256, u8), DeviceError> {
         self.bounds(offset)?;
         let raw = self.inner.read(offset)?;
         let (check_offset, slot) = self.check_location(offset.0);
@@ -193,8 +190,8 @@ impl<P: MemoryPort> EccPort<P> {
 
         let mut corrected = raw;
         let mut failed = 0u8;
-        for lane in 0..4 {
-            match Hamming7264::decode(raw.0[lane], checks[lane]) {
+        for (lane, &check) in checks.iter().enumerate() {
+            match Hamming7264::decode(raw.0[lane], check) {
                 DecodeOutcome::Clean(_) => {}
                 DecodeOutcome::Corrected(data) => {
                     corrected.0[lane] = data;
@@ -255,10 +252,14 @@ mod tests {
         let port = PortId::new(0).unwrap();
         let mut ecc = EccPort::new(DirectPort::new(&mut dev, port), 1024);
         for i in 0..64u64 {
-            ecc.write(WordOffset(i), Word256::splat(i * 0x1234_5678)).unwrap();
+            ecc.write(WordOffset(i), Word256::splat(i * 0x1234_5678))
+                .unwrap();
         }
         for i in 0..64u64 {
-            assert_eq!(ecc.read(WordOffset(i)).unwrap(), Word256::splat(i * 0x1234_5678));
+            assert_eq!(
+                ecc.read(WordOffset(i)).unwrap(),
+                Word256::splat(i * 0x1234_5678)
+            );
         }
         let stats = ecc.stats();
         assert_eq!(stats.writes, 64);
@@ -339,7 +340,10 @@ mod tests {
         let mut ecc = EccPort::new(DirectPort::new(&mut dev, port), 128);
         assert!(matches!(
             ecc.write(WordOffset(128), Word256::ZERO).unwrap_err(),
-            DeviceError::AddressOutOfRange { capacity_words: 128, .. }
+            DeviceError::AddressOutOfRange {
+                capacity_words: 128,
+                ..
+            }
         ));
         assert!(ecc.read(WordOffset(200)).is_err());
 

@@ -224,11 +224,7 @@ mod tests {
     use hbm_faults::FaultModelParams;
 
     fn injector() -> FaultInjector {
-        FaultInjector::new(
-            FaultModelParams::date21(),
-            HbmGeometry::vcu128_reduced(),
-            7,
-        )
+        FaultInjector::new(FaultModelParams::date21(), HbmGeometry::vcu128_reduced(), 7)
     }
 
     fn pc(i: u8) -> PcIndex {

@@ -117,11 +117,10 @@ impl RatePredictor {
         let v = f64::from(supply.as_u32()) / 1000.0;
         let var = &self.params.variation;
         let banks = u32::from(self.geometry.banks_per_pc());
-        let regions_per_bank =
-            (self.geometry.rows_per_bank() / var.region_rows.max(1)).max(1);
+        let regions_per_bank = (self.geometry.rows_per_bank() / var.region_rows.max(1)).max(1);
 
-        let common = self.shift_table.pc_shift_volts(pc)
-            + var.temperature_shift_volts(self.temperature);
+        let common =
+            self.shift_table.pc_shift_volts(pc) + var.temperature_shift_volts(self.temperature);
 
         let mut sum0 = 0.0;
         let mut sum1 = 0.0;
@@ -309,18 +308,18 @@ mod tests {
         // 0→1: not yet detectable at 0.97 V relative to 1→0, detectable at 0.96 V.
         let e01_970 = expected(970, false);
         let e01_960 = expected(960, false);
-        assert!(e01_970 < e10_970, "0→1 must onset later: {e01_970} vs {e10_970}");
+        assert!(
+            e01_970 < e10_970,
+            "0→1 must onset later: {e01_970} vs {e10_970}"
+        );
         assert!(e01_960 > 1.0, "0→1 detectable at 0.96 V: {e01_960}");
     }
 
     #[test]
     fn expected_faulty_bits_scale_with_geometry() {
         let full = predictor();
-        let reduced = RatePredictor::new(
-            FaultModelParams::date21(),
-            HbmGeometry::vcu128_reduced(),
-            7,
-        );
+        let reduced =
+            RatePredictor::new(FaultModelParams::date21(), HbmGeometry::vcu128_reduced(), 7);
         let v = Millivolts(880);
         let f = full.expected_faulty_bits(pc(0), v);
         let r = reduced.expected_faulty_bits(pc(0), v);

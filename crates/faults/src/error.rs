@@ -1,0 +1,102 @@
+//! Error type for fault-model configuration.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::landmarks::VoltageLandmarks;
+
+/// Errors reported when a fault-model parameter set is inconsistent.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_faults::{FaultModelError, FaultModelParams};
+///
+/// let mut params = FaultModelParams::date21();
+/// params.stuck0_share = 1.5;
+/// let err = params.try_validate().unwrap_err();
+/// assert!(matches!(err, FaultModelError::InvalidStuck0Share { .. }));
+/// assert!(err.to_string().contains("stuck0_share"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FaultModelError {
+    /// The landmark voltages violate the ordering
+    /// `v_critical ≤ v_all_faulty ≤ v_min ≤ v_nom`.
+    MisorderedLandmarks {
+        /// The offending landmark set.
+        landmarks: VoltageLandmarks,
+    },
+    /// The stuck-at-0 share lies outside the open interval `(0, 1)`.
+    InvalidStuck0Share {
+        /// The offending share.
+        share: f64,
+    },
+    /// A response curve saturates at or above V_min, which would leak faults
+    /// into the guardband even before gating.
+    CurveSaturatesAboveVmin {
+        /// The curve's saturation voltage in volts.
+        v_saturation_volts: f64,
+        /// V_min in volts.
+        v_min_volts: f64,
+    },
+}
+
+impl fmt::Display for FaultModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultModelError::MisorderedLandmarks { landmarks } => {
+                write!(f, "landmark ordering violated: {landmarks:?}")
+            }
+            FaultModelError::InvalidStuck0Share { share } => {
+                write!(f, "stuck0_share must be in (0, 1), got {share}")
+            }
+            FaultModelError::CurveSaturatesAboveVmin {
+                v_saturation_volts,
+                v_min_volts,
+            } => write!(
+                f,
+                "curves must saturate below V_min: saturation {v_saturation_volts} V \
+                 vs V_min {v_min_volts} V"
+            ),
+        }
+    }
+}
+
+impl Error for FaultModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbm_units::Millivolts;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let samples = [
+            FaultModelError::MisorderedLandmarks {
+                landmarks: VoltageLandmarks {
+                    v_nom: Millivolts(1000),
+                    v_min: Millivolts(1100),
+                    v_all_faulty: Millivolts(840),
+                    v_critical: Millivolts(810),
+                },
+            },
+            FaultModelError::InvalidStuck0Share { share: 1.5 },
+            FaultModelError::CurveSaturatesAboveVmin {
+                v_saturation_volts: 1.0,
+                v_min_volts: 0.98,
+            },
+        ];
+        for err in samples {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'), "{msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<FaultModelError>();
+    }
+}

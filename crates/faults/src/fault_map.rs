@@ -105,7 +105,7 @@ impl FaultMap {
             if v < down_to + step {
                 break;
             }
-            v = v - step;
+            v -= step;
         }
         let geometry = predictor.geometry();
         let profiles = PcIndex::all(geometry)
@@ -212,8 +212,7 @@ mod tests {
     use crate::params::FaultModelParams;
 
     fn map() -> FaultMap {
-        let predictor =
-            RatePredictor::new(FaultModelParams::date21(), HbmGeometry::vcu128(), 7);
+        let predictor = RatePredictor::new(FaultModelParams::date21(), HbmGeometry::vcu128(), 7);
         FaultMap::from_predictor(&predictor, Millivolts(980), Millivolts(810), Millivolts(10))
     }
 
@@ -291,14 +290,20 @@ mod tests {
         assert!(half.is_some());
         assert!(half.unwrap() <= Millivolts(980));
         // Nothing tolerates total failure fault-free.
-        assert_eq!(m.lowest_voltage_for(1, Ratio::ZERO) < Some(Millivolts(900)), false);
+        assert_eq!(
+            m.lowest_voltage_for(1, Ratio::ZERO) < Some(Millivolts(900)),
+            false
+        );
     }
 
     #[test]
     fn unswept_voltage_yields_empty() {
         let m = map();
         assert!(m.usable_pcs(Millivolts(985), Ratio::ONE).is_empty());
-        assert!(m.profile(PcIndex::new(0).unwrap()).at(Millivolts(985)).is_none());
+        assert!(m
+            .profile(PcIndex::new(0).unwrap())
+            .at(Millivolts(985))
+            .is_none());
     }
 
     #[test]

@@ -78,7 +78,7 @@ mod tests {
         let a = mix64(0);
         let b = mix64(1);
         assert_ne!(a, b);
-        assert!( (a ^ b).count_ones() > 10, "poor avalanche: {a:x} vs {b:x}");
+        assert!((a ^ b).count_ones() > 10, "poor avalanche: {a:x} vs {b:x}");
     }
 
     #[test]

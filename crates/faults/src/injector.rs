@@ -152,8 +152,10 @@ impl FaultInjector {
         let v = f64::from(supply.as_u32()) / 1000.0;
         let shift = self.local_shift_volts(pc, offset);
         (
-            self.params.class_probability(&self.params.curve_stuck0, v, shift),
-            self.params.class_probability(&self.params.curve_stuck1, v, shift),
+            self.params
+                .class_probability(&self.params.curve_stuck0, v, shift),
+            self.params
+                .class_probability(&self.params.curve_stuck1, v, shift),
         )
     }
 
@@ -177,10 +179,8 @@ impl FaultInjector {
         let p_any0 = p_any(s0 * c0);
         let p_any1 = p_any(s1 * c1);
         let base = &[self.seed, u64::from(pc.as_u8()), offset.0];
-        let gate0 = p_any0 > 0.0
-            && unit(combine(&[base[0], base[1], base[2], TAG_GATE0])) < p_any0;
-        let gate1 = p_any1 > 0.0
-            && unit(combine(&[base[0], base[1], base[2], TAG_GATE1])) < p_any1;
+        let gate0 = p_any0 > 0.0 && unit(combine(&[base[0], base[1], base[2], TAG_GATE0])) < p_any0;
+        let gate1 = p_any1 > 0.0 && unit(combine(&[base[0], base[1], base[2], TAG_GATE1])) < p_any1;
         if !gate0 && !gate1 {
             return (Word256::ZERO, Word256::ZERO);
         }
@@ -486,8 +486,14 @@ mod tests {
         let scanned: Vec<_> = inj.scan_faulty(pc(4), 0..4096, v).collect();
         // Same totals as the counting walk.
         let (n0, n1) = inj.count_range(pc(4), 0..4096, v);
-        let scan0: u64 = scanned.iter().map(|(_, s0, _)| u64::from(s0.count_ones())).sum();
-        let scan1: u64 = scanned.iter().map(|(_, _, s1)| u64::from(s1.count_ones())).sum();
+        let scan0: u64 = scanned
+            .iter()
+            .map(|(_, s0, _)| u64::from(s0.count_ones()))
+            .sum();
+        let scan1: u64 = scanned
+            .iter()
+            .map(|(_, _, s1)| u64::from(s1.count_ones()))
+            .sum();
         assert_eq!((scan0, scan1), (n0, n1));
         // Every yielded word really is faulty, and none is yielded twice.
         let mut seen = std::collections::HashSet::new();

@@ -3,6 +3,8 @@
 use hbm_units::Millivolts;
 use serde::{Deserialize, Serialize};
 
+use crate::error::FaultModelError;
+
 /// The characteristic voltages of the study's HBM stacks.
 ///
 /// | Landmark | Value | Meaning |
@@ -81,6 +83,24 @@ impl VoltageLandmarks {
         v < self.v_critical
     }
 
+    /// Checks the ordering invariant
+    /// `v_critical ≤ v_all_faulty ≤ v_min ≤ v_nom`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultModelError::MisorderedLandmarks`] if the invariant
+    /// does not hold.
+    pub fn try_validate(&self) -> Result<(), FaultModelError> {
+        if self.v_critical <= self.v_all_faulty
+            && self.v_all_faulty <= self.v_min
+            && self.v_min <= self.v_nom
+        {
+            Ok(())
+        } else {
+            Err(FaultModelError::MisorderedLandmarks { landmarks: *self })
+        }
+    }
+
     /// Validates the ordering invariant
     /// `v_critical ≤ v_all_faulty ≤ v_min ≤ v_nom`.
     ///
@@ -88,12 +108,9 @@ impl VoltageLandmarks {
     ///
     /// Panics if the invariant does not hold.
     pub fn validate(&self) {
-        assert!(
-            self.v_critical <= self.v_all_faulty
-                && self.v_all_faulty <= self.v_min
-                && self.v_min <= self.v_nom,
-            "landmark ordering violated: {self:?}"
-        );
+        if let Err(err) = self.try_validate() {
+            panic!("{err}");
+        }
     }
 }
 

@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 
 mod analytic;
+mod error;
 mod fault_map;
 pub mod hash;
 mod injector;
@@ -66,12 +67,15 @@ mod landmarks;
 pub mod math;
 mod params;
 mod response;
+pub mod stream;
 mod variation;
 
 pub use analytic::RatePredictor;
+pub use error::FaultModelError;
 pub use fault_map::{FaultMap, PcRateEntry, PcRateProfile};
 pub use injector::{FaultInjector, FaultPolarity};
 pub use landmarks::VoltageLandmarks;
 pub use params::FaultModelParams;
 pub use response::ResponseCurve;
+pub use stream::pc_stream;
 pub use variation::{ShiftTable, VariationModel};

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::FaultModelError;
 use crate::landmarks::VoltageLandmarks;
 use crate::response::ResponseCurve;
 use crate::variation::VariationModel;
@@ -74,12 +75,7 @@ impl FaultModelParams {
     /// the *raw* supply voltage so that no variation shift can leak faults
     /// into the guardband.
     #[must_use]
-    pub fn class_probability(
-        &self,
-        curve: &ResponseCurve,
-        v_volts: f64,
-        shift_volts: f64,
-    ) -> f64 {
+    pub fn class_probability(&self, curve: &ResponseCurve, v_volts: f64, shift_volts: f64) -> f64 {
         let tail = curve.probability(v_volts - shift_volts);
         let bulk_arg = v_volts - self.bulk_shift_scale * shift_volts - curve.v_saturation();
         let bulk = if bulk_arg <= 0.0 {
@@ -112,25 +108,41 @@ impl FaultModelParams {
         self
     }
 
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FaultModelError`] if the landmarks are mis-ordered, the
+    /// share is outside `(0, 1)`, or a curve saturates above V_min (which
+    /// would leak faults into the guardband even before gating).
+    pub fn try_validate(&self) -> Result<(), FaultModelError> {
+        self.landmarks.try_validate()?;
+        if !(self.stuck0_share > 0.0 && self.stuck0_share < 1.0) {
+            return Err(FaultModelError::InvalidStuck0Share {
+                share: self.stuck0_share,
+            });
+        }
+        let v_min = f64::from(self.landmarks.v_min.as_u32()) / 1000.0;
+        for curve in [&self.curve_stuck0, &self.curve_stuck1] {
+            if curve.v_saturation() >= v_min {
+                return Err(FaultModelError::CurveSaturatesAboveVmin {
+                    v_saturation_volts: curve.v_saturation(),
+                    v_min_volts: v_min,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
     ///
-    /// Panics if the landmarks are mis-ordered, the share is outside
-    /// `(0, 1)`, or a curve saturates above V_min (which would leak faults
-    /// into the guardband even before gating).
+    /// Panics if [`FaultModelParams::try_validate`] reports an error.
     pub fn validate(&self) {
-        self.landmarks.validate();
-        assert!(
-            self.stuck0_share > 0.0 && self.stuck0_share < 1.0,
-            "stuck0_share must be in (0, 1), got {}",
-            self.stuck0_share
-        );
-        let v_min = f64::from(self.landmarks.v_min.as_u32()) / 1000.0;
-        assert!(
-            self.curve_stuck0.v_saturation() < v_min && self.curve_stuck1.v_saturation() < v_min,
-            "curves must saturate below V_min"
-        );
+        if let Err(err) = self.try_validate() {
+            panic!("{err}");
+        }
     }
 }
 

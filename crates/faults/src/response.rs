@@ -87,7 +87,10 @@ impl ResponseCurve {
     /// Panics unless `u` is in `(0, 1]`.
     #[must_use]
     pub fn failure_voltage(&self, u: f64) -> f64 {
-        assert!(u > 0.0 && u <= 1.0, "uniform draw must be in (0, 1], got {u}");
+        assert!(
+            u > 0.0 && u <= 1.0,
+            "uniform draw must be in (0, 1], got {u}"
+        );
         self.v_saturation - u.log10() / self.decades_per_volt
     }
 

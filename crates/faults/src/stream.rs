@@ -1,0 +1,100 @@
+//! Deterministic per-(seed, voltage, pseudo-channel) random streams.
+//!
+//! The parallel sweep engine partitions each voltage point's workload by
+//! pseudo channel and runs the shards on worker threads in whatever order
+//! the scheduler picks. Any randomness consumed during a shard's work
+//! (sampled word offsets, randomized access orders) must therefore be keyed
+//! to the *work item*, never to shared mutable RNG state — otherwise the
+//! interleaving would change the draws and parallel runs would diverge from
+//! sequential ones.
+//!
+//! [`pc_stream`] provides that keying: one independent ChaCha8 stream per
+//! `(seed, voltage, pseudo channel)` triple, derived purely by hashing the
+//! triple into a 256-bit key. Two calls with the same triple yield
+//! bit-identical streams on every thread count and platform.
+
+use hbm_device::PcIndex;
+use hbm_units::Millivolts;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::hash;
+
+/// Domain tag separating stream keys from the injector's hash domains.
+const TAG_STREAM: u64 = 0x7063_5f73_7472_6d00; // "pc_strm\0"
+
+/// An independent, reproducible ChaCha8 stream for one
+/// `(seed, voltage, pseudo channel)` work item.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_device::PcIndex;
+/// use hbm_faults::stream::pc_stream;
+/// use hbm_units::Millivolts;
+/// use rand::RngCore;
+///
+/// let pc = PcIndex::new(4).unwrap();
+/// let mut a = pc_stream(7, Millivolts(900), pc);
+/// let mut b = pc_stream(7, Millivolts(900), pc);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same triple → same stream
+///
+/// let mut c = pc_stream(7, Millivolts(890), pc);
+/// assert_ne!(a.next_u64(), c.next_u64()); // any coordinate change → new stream
+/// ```
+#[must_use]
+pub fn pc_stream(seed: u64, voltage: Millivolts, pc: PcIndex) -> ChaCha8Rng {
+    let mut key = [0u8; 32];
+    for (i, chunk) in key.chunks_exact_mut(8).enumerate() {
+        let word = hash::combine(&[
+            TAG_STREAM,
+            seed,
+            u64::from(voltage.as_u32()),
+            u64::from(pc.as_u8()),
+            i as u64,
+        ]);
+        chunk.copy_from_slice(&word.to_le_bytes());
+    }
+    ChaCha8Rng::from_seed(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    fn pc(i: u8) -> PcIndex {
+        PcIndex::new(i).unwrap()
+    }
+
+    fn first_words(seed: u64, voltage: Millivolts, index: u8, n: usize) -> Vec<u64> {
+        let mut rng = pc_stream(seed, voltage, pc(index));
+        (0..n).map(|_| rng.next_u64()).collect()
+    }
+
+    #[test]
+    fn streams_are_reproducible() {
+        assert_eq!(
+            first_words(7, Millivolts(900), 3, 16),
+            first_words(7, Millivolts(900), 3, 16)
+        );
+    }
+
+    #[test]
+    fn every_coordinate_separates_streams() {
+        let base = first_words(7, Millivolts(900), 3, 4);
+        assert_ne!(base, first_words(8, Millivolts(900), 3, 4));
+        assert_ne!(base, first_words(7, Millivolts(901), 3, 4));
+        assert_ne!(base, first_words(7, Millivolts(900), 4, 4));
+    }
+
+    #[test]
+    fn all_pcs_have_distinct_streams() {
+        let mut firsts: Vec<u64> = (0..32)
+            .map(|i| first_words(21, Millivolts(870), i, 1)[0])
+            .collect();
+        firsts.sort_unstable();
+        firsts.dedup();
+        assert_eq!(firsts.len(), 32, "stream collision across pseudo channels");
+    }
+}

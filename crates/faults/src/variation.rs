@@ -223,8 +223,7 @@ impl ShiftTable {
             let lme = if var.pc_sigma_volts == 0.0 || raw.is_empty() {
                 0.0
             } else {
-                let mean: f64 =
-                    raw.iter().map(|&g| (k * g).exp()).sum::<f64>() / raw.len() as f64;
+                let mean: f64 = raw.iter().map(|&g| (k * g).exp()).sum::<f64>() / raw.len() as f64;
                 mean.ln() / k
             };
             for (&pc, &g) in normal.iter().zip(&raw) {

@@ -62,7 +62,11 @@ impl PowerAnalysis {
             out.push(AcfSample {
                 voltage,
                 acf: FaradsPerSecond(acf),
-                normalized: Ratio(if reference > 0.0 { acf / reference } else { 0.0 }),
+                normalized: Ratio(if reference > 0.0 {
+                    acf / reference
+                } else {
+                    0.0
+                }),
             });
         }
         out
@@ -124,13 +128,9 @@ mod tests {
         let series = PowerAnalysis::extract_acf(&samples);
         let lowest = series.last().unwrap();
         assert!((lowest.normalized.as_f64() - 0.86).abs() < 1e-9);
-        assert!(
-            PowerAnalysis::max_deviation_above(&series, lowest.voltage) > 0.13
-        );
+        assert!(PowerAnalysis::max_deviation_above(&series, lowest.voltage) > 0.13);
         // Above the injected point the series is still flat.
-        assert!(
-            PowerAnalysis::max_deviation_above(&series, Millivolts(820)) < 1e-9
-        );
+        assert!(PowerAnalysis::max_deviation_above(&series, Millivolts(820)) < 1e-9);
     }
 
     #[test]

@@ -231,7 +231,10 @@ mod tests {
         assert!((8.0..10.0).contains(&p.as_f64()), "full load {p}");
         // ≈3.6 pJ/bit at 310 GB/s.
         let pj_per_bit = p.as_f64() / (310.0e9 * 8.0) * 1e12;
-        assert!((2.0..7.0).contains(&pj_per_bit), "energy {pj_per_bit} pJ/bit");
+        assert!(
+            (2.0..7.0).contains(&pj_per_bit),
+            "energy {pj_per_bit} pJ/bit"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use hbm_device::{DeviceError, HbmGeometry, PortId, StackId};
 
-use crate::generator::{PortProvider, TrafficGenerator};
+use crate::generator::{MemoryPort, PortProvider, TrafficGenerator};
 use crate::program::MacroProgram;
 use crate::stats::PortStats;
 
@@ -110,6 +110,35 @@ impl StackController {
         Ok(results)
     }
 
+    /// Runs `program` over caller-supplied disjoint port accesses (one
+    /// shard per port) on up to `workers` threads, keeping only the shards
+    /// that belong to this controller's stack. Per-shard statistics are
+    /// folded into the matching generators' cumulative totals, exactly as a
+    /// sequential [`StackController::run_all`] would.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first device error in port order.
+    pub fn run_sharded<P: MemoryPort + Send>(
+        &mut self,
+        program: &MacroProgram,
+        shards: Vec<(PortId, P)>,
+        workers: usize,
+    ) -> Result<Vec<(PortId, PortStats)>, DeviceError> {
+        let jobs: Vec<crate::exec::ShardJob<'_, P>> = shards
+            .into_iter()
+            .filter(|(port, _)| self.generators.iter().any(|tg| tg.port() == *port))
+            .map(|(port, access)| (port, program, access))
+            .collect();
+        let results = crate::exec::run_sharded(jobs, workers)?;
+        for (port, stats) in &results {
+            if let Some(tg) = self.generators.iter_mut().find(|tg| tg.port() == *port) {
+                tg.absorb(stats);
+            }
+        }
+        Ok(results)
+    }
+
     /// Cumulative statistics per port since the last reset.
     #[must_use]
     pub fn cumulative(&self) -> Vec<(PortId, PortStats)> {
@@ -171,6 +200,44 @@ mod tests {
             .unwrap();
         let ids: Vec<u8> = stats.iter().map(|(p, _)| p.as_u8()).collect();
         assert_eq!(ids, vec![2, 9]);
+    }
+
+    #[test]
+    fn run_sharded_matches_run_all() {
+        use hbm_device::{PcShard, Word256, WordOffset};
+
+        struct ShardAccess<'a>(PcShard<'a>);
+        impl MemoryPort for ShardAccess<'_> {
+            fn write(&mut self, offset: WordOffset, word: Word256) -> Result<(), DeviceError> {
+                self.0.write(offset, word)
+            }
+            fn read(&mut self, offset: WordOffset) -> Result<Word256, DeviceError> {
+                self.0.read(offset)
+            }
+        }
+
+        let g = HbmGeometry::vcu128_reduced();
+        let program = MacroProgram::write_then_check(0..32, DataPattern::AllOnes);
+
+        let mut sequential_device = HbmDevice::new(g);
+        let mut sequential = StackController::new(g, StackId(0));
+        let expected = sequential
+            .run_all(&program, &mut sequential_device)
+            .unwrap();
+
+        let mut sharded_device = HbmDevice::new(g);
+        let mut sharded = StackController::new(g, StackId(0));
+        let shards: Vec<(PortId, ShardAccess<'_>)> = sharded_device
+            .pc_shards()
+            .unwrap()
+            .into_iter()
+            .map(|s| (s.port(), ShardAccess(s)))
+            .collect();
+        // Shards for the foreign stack are filtered out by the controller.
+        let results = sharded.run_sharded(&program, shards, 4).unwrap();
+
+        assert_eq!(results, expected);
+        assert_eq!(sharded.cumulative(), sequential.cumulative());
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! Sharded execution of macro programs across worker threads.
+//!
+//! The sweep engine partitions a voltage point's workload into one job per
+//! AXI port, each carrying its own disjoint [`MemoryPort`] access (a
+//! per-pseudo-channel shard of the device). [`run_sharded`] executes those
+//! jobs either sequentially or on `std::thread::scope` workers; because the
+//! accesses are disjoint and every random quantity is keyed to the job, the
+//! results are bit-identical for every worker count.
+
+use std::thread;
+
+use hbm_device::{DeviceError, PortId};
+
+use crate::generator::{MemoryPort, TrafficGenerator};
+use crate::program::MacroProgram;
+use crate::stats::PortStats;
+
+/// One unit of sharded work: a port, the program to run on it, and the
+/// exclusive memory access to drive.
+pub type ShardJob<'p, P> = (PortId, &'p MacroProgram, P);
+
+/// Runs one program per job, splitting the jobs across up to `workers`
+/// threads, and returns per-port statistics in job order.
+///
+/// `workers <= 1` runs the jobs sequentially on the calling thread (no
+/// spawn); higher counts split the job list into contiguous chunks, one
+/// scoped worker thread per chunk. Results are identical in both modes —
+/// each job touches only its own access and gathers its own statistics, so
+/// scheduling cannot influence the outcome.
+///
+/// # Errors
+///
+/// Returns the first device error in job order. Under parallel execution
+/// jobs *after* the failing one (in other chunks) may still have run against
+/// their shards before the error is reported; callers treat shard errors as
+/// fatal for the whole batch, so the partial traffic is never observed.
+pub fn run_sharded<P: MemoryPort + Send>(
+    jobs: Vec<ShardJob<'_, P>>,
+    workers: usize,
+) -> Result<Vec<(PortId, PortStats)>, DeviceError> {
+    if jobs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let workers = workers.clamp(1, jobs.len());
+    if workers == 1 {
+        let mut results = Vec::with_capacity(jobs.len());
+        for (port, program, mut access) in jobs {
+            let stats = TrafficGenerator::new(port).run(program, &mut access)?;
+            results.push((port, stats));
+        }
+        return Ok(results);
+    }
+
+    // Deterministic contiguous chunking: the first `extra` workers take one
+    // job more, so concatenating chunk results preserves job order.
+    let total = jobs.len();
+    let base = total / workers;
+    let extra = total % workers;
+    let mut rest = jobs;
+    let mut chunks = Vec::with_capacity(workers);
+    for w in 0..workers {
+        let take = base + usize::from(w < extra);
+        let tail = rest.split_off(take);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+
+    let outcomes: Vec<Vec<(PortId, Result<PortStats, DeviceError>)>> = thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut out = Vec::with_capacity(chunk.len());
+                    for (port, program, mut access) in chunk {
+                        let result = TrafficGenerator::new(port).run(program, &mut access);
+                        let failed = result.is_err();
+                        out.push((port, result));
+                        if failed {
+                            break;
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("shard worker panicked"))
+            .collect()
+    });
+
+    let mut results = Vec::with_capacity(total);
+    for (port, result) in outcomes.into_iter().flatten() {
+        results.push((port, result?));
+    }
+    Ok(results)
+}
+
+/// Merges per-shard results into canonical per-port statistics: sorted by
+/// port id, with duplicate entries for the same port folded together.
+///
+/// Folding uses [`PortStats::merge`], which is plain counter addition, so
+/// the merge is associative and commutative — any shard-to-worker assignment
+/// produces the same merged result.
+#[must_use]
+pub fn merge_shard_results(mut results: Vec<(PortId, PortStats)>) -> Vec<(PortId, PortStats)> {
+    results.sort_by_key(|(port, _)| port.as_u8());
+    let mut merged: Vec<(PortId, PortStats)> = Vec::with_capacity(results.len());
+    for (port, stats) in results {
+        match merged.last_mut() {
+            Some((last, acc)) if *last == port => acc.merge(&stats),
+            _ => merged.push((port, stats)),
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::DataPattern;
+    use hbm_device::{HbmDevice, HbmGeometry, PcShard, Word256, WordOffset};
+
+    /// Test adapter: a bare shard as a [`MemoryPort`] (no fault injection).
+    struct ShardAccess<'a>(PcShard<'a>);
+
+    impl MemoryPort for ShardAccess<'_> {
+        fn write(&mut self, offset: WordOffset, word: Word256) -> Result<(), DeviceError> {
+            self.0.write(offset, word)
+        }
+
+        fn read(&mut self, offset: WordOffset) -> Result<Word256, DeviceError> {
+            self.0.read(offset)
+        }
+    }
+
+    fn run_with_workers(workers: usize) -> Vec<(PortId, PortStats)> {
+        let mut device = HbmDevice::new(HbmGeometry::vcu128_reduced());
+        let program = MacroProgram::write_then_check(0..64, DataPattern::Checkerboard);
+        let jobs: Vec<ShardJob<'_, ShardAccess<'_>>> = device
+            .pc_shards()
+            .unwrap()
+            .into_iter()
+            .map(|shard| (shard.port(), &program, ShardAccess(shard)))
+            .collect();
+        run_sharded(jobs, workers).unwrap()
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let sequential = run_with_workers(1);
+        assert_eq!(sequential.len(), 32);
+        for workers in [2, 4, 8, 32, 64] {
+            assert_eq!(sequential, run_with_workers(workers), "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let jobs: Vec<ShardJob<'_, ShardAccess<'_>>> = Vec::new();
+        assert_eq!(run_sharded(jobs, 4).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn error_on_any_shard_fails_the_batch() {
+        let mut device = HbmDevice::new(HbmGeometry::vcu128_reduced());
+        device
+            .ports_mut()
+            .set_enabled(PortId::new(11).unwrap(), false);
+        let program = MacroProgram::write_then_check(0..4, DataPattern::AllOnes);
+        for workers in [1, 4] {
+            let jobs: Vec<ShardJob<'_, ShardAccess<'_>>> = device
+                .pc_shards()
+                .unwrap()
+                .into_iter()
+                .map(|shard| (shard.port(), &program, ShardAccess(shard)))
+                .collect();
+            assert_eq!(
+                run_sharded(jobs, workers).unwrap_err(),
+                DeviceError::PortDisabled { index: 11 },
+                "{workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_sorts_by_port_and_folds_duplicates() {
+        let stats = |flips: u64| PortStats {
+            words_written: 1,
+            words_read: 1,
+            faulty_words: u64::from(flips > 0),
+            flips_1to0: flips,
+            flips_0to1: 2 * flips,
+        };
+        let port = |i: u8| PortId::new(i).unwrap();
+        let merged = merge_shard_results(vec![
+            (port(9), stats(1)),
+            (port(2), stats(2)),
+            (port(9), stats(3)),
+        ]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].0, port(2));
+        assert_eq!(merged[1].0, port(9));
+        assert_eq!(merged[1].1.flips_1to0, 4);
+        assert_eq!(merged[1].1.flips_0to1, 8);
+        assert_eq!(merged[1].1.words_written, 2);
+    }
+
+    #[test]
+    fn merge_is_independent_of_shard_assignment() {
+        let port = |i: u8| PortId::new(i).unwrap();
+        let stats = |n: u64| PortStats {
+            words_written: n,
+            words_read: n,
+            faulty_words: n / 2,
+            flips_1to0: 3 * n,
+            flips_0to1: 5 * n,
+        };
+        // The same per-shard contributions split differently across workers.
+        let assignment_a = vec![
+            (port(0), stats(1)),
+            (port(1), stats(2)),
+            (port(0), stats(4)),
+            (port(1), stats(8)),
+        ];
+        let mut assignment_b = assignment_a.clone();
+        assignment_b.reverse();
+        assert_eq!(
+            merge_shard_results(assignment_a),
+            merge_shard_results(assignment_b)
+        );
+    }
+}

@@ -208,6 +208,12 @@ impl TrafficGenerator {
         Ok(())
     }
 
+    /// Accumulates externally gathered statistics (e.g. one shard's result
+    /// from a parallel run) into the cumulative totals.
+    pub fn absorb(&mut self, stats: &PortStats) {
+        self.cumulative.merge(stats);
+    }
+
     /// Statistics accumulated across all runs since construction or the
     /// last [`TrafficGenerator::reset`].
     #[must_use]
@@ -248,7 +254,9 @@ mod tests {
             DataPattern::AddressAsData,
         ] {
             let program = MacroProgram::write_then_check(0..512, pattern);
-            let stats = tg.run(&program, &mut DirectPort::new(&mut dev, port(0))).unwrap();
+            let stats = tg
+                .run(&program, &mut DirectPort::new(&mut dev, port(0)))
+                .unwrap();
             assert_eq!(stats.words_written, 512, "{pattern}");
             assert_eq!(stats.words_read, 512);
             assert_eq!(stats.faulty_words, 0, "{pattern}");
@@ -273,7 +281,9 @@ mod tests {
                 count: 4,
                 pattern: DataPattern::AllOnes,
             });
-        let stats = tg.run(&program, &mut DirectPort::new(&mut dev, port(1))).unwrap();
+        let stats = tg
+            .run(&program, &mut DirectPort::new(&mut dev, port(1)))
+            .unwrap();
         assert_eq!(stats.faulty_words, 4);
         assert_eq!(stats.flips_1to0, 4 * 256);
         assert_eq!(stats.flips_0to1, 0);
@@ -284,8 +294,10 @@ mod tests {
         let mut dev = device();
         let mut tg = TrafficGenerator::new(port(2));
         let program = MacroProgram::write_then_check(0..16, DataPattern::AllOnes);
-        tg.run(&program, &mut DirectPort::new(&mut dev, port(2))).unwrap();
-        tg.run(&program, &mut DirectPort::new(&mut dev, port(2))).unwrap();
+        tg.run(&program, &mut DirectPort::new(&mut dev, port(2)))
+            .unwrap();
+        tg.run(&program, &mut DirectPort::new(&mut dev, port(2)))
+            .unwrap();
         assert_eq!(tg.cumulative().words_written, 32);
         tg.reset();
         assert_eq!(tg.cumulative(), PortStats::default());
@@ -308,7 +320,9 @@ mod tests {
         let mut dev = device();
         let mut tg = TrafficGenerator::new(port(4));
         let program = MacroProgram::streaming_reads(0..128, 3);
-        let stats = tg.run(&program, &mut DirectPort::new(&mut dev, port(4))).unwrap();
+        let stats = tg
+            .run(&program, &mut DirectPort::new(&mut dev, port(4)))
+            .unwrap();
         assert_eq!(stats.words_read, 384);
         assert_eq!(stats.words_written, 0);
         assert_eq!(stats.faulty_words, 0);

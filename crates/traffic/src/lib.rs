@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod controller;
+mod exec;
 mod generator;
 mod march;
 mod pattern;
@@ -49,6 +50,7 @@ mod program;
 mod stats;
 
 pub use controller::StackController;
+pub use exec::{merge_shard_results, run_sharded, ShardJob};
 pub use generator::{DirectPort, MemoryPort, PortProvider, TrafficGenerator};
 pub use march::{AddressOrder, MarchElement, MarchOp, MarchTest};
 pub use pattern::DataPattern;

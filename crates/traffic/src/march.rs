@@ -271,7 +271,11 @@ mod tests {
                 bit: 42,
             };
             let stats = test.run(&mut faulty, 0..256).unwrap();
-            assert!(stats.flips_1to0 > 0, "{} missed the stuck-at-0 bit", test.name);
+            assert!(
+                stats.flips_1to0 > 0,
+                "{} missed the stuck-at-0 bit",
+                test.name
+            );
             assert_eq!(stats.flips_0to1, 0, "{}", test.name);
         }
     }

@@ -85,9 +85,7 @@ impl DataPattern {
             DataPattern::WalkingOnes
             | DataPattern::Prbs { .. }
             | DataPattern::AddressAsData
-            | DataPattern::Custom(_) => {
-                DataPattern::Custom(!self.word_at(0))
-            }
+            | DataPattern::Custom(_) => DataPattern::Custom(!self.word_at(0)),
         }
     }
 
@@ -150,7 +148,10 @@ mod tests {
         let b = DataPattern::InverseCheckerboard.word_at(5);
         assert_eq!(a & b, Word256::ZERO);
         assert_eq!(a | b, Word256::ONES);
-        assert_eq!(DataPattern::Checkerboard.complement(), DataPattern::InverseCheckerboard);
+        assert_eq!(
+            DataPattern::Checkerboard.complement(),
+            DataPattern::InverseCheckerboard
+        );
         assert_eq!(DataPattern::AllOnes.complement(), DataPattern::AllZeros);
     }
 

@@ -116,6 +116,31 @@ impl MacroProgram {
         }
     }
 
+    /// The sampled variant of [`MacroProgram::write_then_check`]: write
+    /// `pattern` at each listed offset, then read every offset back checking
+    /// each bit. Used by sampled sweeps whose offsets come from a
+    /// per-work-item random stream; duplicate offsets are harmless (the same
+    /// pattern word is rewritten and rechecked).
+    #[must_use]
+    pub fn write_then_check_at(offsets: &[u64], pattern: DataPattern) -> Self {
+        let mut commands = Vec::with_capacity(2 * offsets.len());
+        for &offset in offsets {
+            commands.push(MacroCommand::Write {
+                start: offset,
+                count: 1,
+                pattern,
+            });
+        }
+        for &offset in offsets {
+            commands.push(MacroCommand::ReadCheck {
+                start: offset,
+                count: 1,
+                pattern,
+            });
+        }
+        MacroProgram { commands }
+    }
+
     /// A pure bandwidth workload: repeatedly stream reads over a range.
     #[must_use]
     pub fn streaming_reads(range: Range<u64>, repeats: u32) -> Self {
@@ -193,8 +218,15 @@ mod tests {
     fn write_then_check_structure() {
         let p = MacroProgram::write_then_check(10..20, DataPattern::AllZeros);
         match p.commands() {
-            [MacroCommand::Write { start: 10, count: 10, pattern: DataPattern::AllZeros }, MacroCommand::ReadCheck { start: 10, count: 10, pattern: DataPattern::AllZeros }] => {
-            }
+            [MacroCommand::Write {
+                start: 10,
+                count: 10,
+                pattern: DataPattern::AllZeros,
+            }, MacroCommand::ReadCheck {
+                start: 10,
+                count: 10,
+                pattern: DataPattern::AllZeros,
+            }] => {}
             other => panic!("unexpected program: {other:?}"),
         }
     }
@@ -238,8 +270,9 @@ mod tests {
             assert!(a < 8192);
         }
         // Different seeds give different sequences.
-        let differs = (0..64)
-            .any(|i| MacroCommand::random_offset(5, 8192, i) != MacroCommand::random_offset(6, 8192, i));
+        let differs = (0..64).any(|i| {
+            MacroCommand::random_offset(5, 8192, i) != MacroCommand::random_offset(6, 8192, i)
+        });
         assert!(differs);
         // Zero span is safe (degenerates to offset 0).
         assert_eq!(MacroCommand::random_offset(1, 0, 3), 0);

@@ -196,8 +196,7 @@ mod tests {
 
     #[test]
     fn sums() {
-        let total: GigabytesPerSecond =
-            (0..4).map(|_| GigabytesPerSecond(77.5)).sum();
+        let total: GigabytesPerSecond = (0..4).map(|_| GigabytesPerSecond(77.5)).sum();
         assert_eq!(total, GigabytesPerSecond(310.0));
         let total: BytesPerSecond = (0..3).map(|_| BytesPerSecond(10)).sum();
         assert_eq!(total, BytesPerSecond(30));

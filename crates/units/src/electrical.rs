@@ -418,9 +418,15 @@ mod tests {
     fn millivolt_arithmetic() {
         assert_eq!(Millivolts(1200) - Millivolts(220), Millivolts(980));
         assert_eq!(Millivolts(980) + Millivolts(10), Millivolts(990));
-        assert_eq!(Millivolts(5).saturating_sub(Millivolts(10)), Millivolts::ZERO);
+        assert_eq!(
+            Millivolts(5).saturating_sub(Millivolts(10)),
+            Millivolts::ZERO
+        );
         assert_eq!(Millivolts(810).abs_diff(Millivolts(840)), Millivolts(30));
-        assert_eq!(Millivolts(2000).clamp(Millivolts(810), Millivolts(1200)), Millivolts(1200));
+        assert_eq!(
+            Millivolts(2000).clamp(Millivolts(810), Millivolts(1200)),
+            Millivolts(1200)
+        );
     }
 
     #[test]

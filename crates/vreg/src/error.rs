@@ -56,7 +56,10 @@ impl fmt::Display for PmbusError {
                 write!(f, "wrong transaction width for pmbus command 0x{code:02x}")
             }
             PmbusError::InvalidData { code, value } => {
-                write!(f, "invalid data 0x{value:04x} for pmbus command 0x{code:02x}")
+                write!(
+                    f,
+                    "invalid data 0x{value:04x} for pmbus command 0x{code:02x}"
+                )
             }
             PmbusError::Linear11Range { value } => {
                 write!(f, "value {value} does not fit the linear11 format")
@@ -81,10 +84,16 @@ mod tests {
             "wrong transaction width for pmbus command 0x20"
         );
         assert_eq!(
-            PmbusError::InvalidData { code: 0x21, value: 0xFFFF }.to_string(),
+            PmbusError::InvalidData {
+                code: 0x21,
+                value: 0xFFFF
+            }
+            .to_string(),
             "invalid data 0xffff for pmbus command 0x21"
         );
-        assert!(PmbusError::Linear11Range { value: 1e9 }.to_string().contains("linear11"));
+        assert!(PmbusError::Linear11Range { value: 1e9 }
+            .to_string()
+            .contains("linear11"));
     }
 
     #[test]

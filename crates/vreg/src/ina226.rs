@@ -233,8 +233,7 @@ impl Ina226 {
     /// the `MASK_ENABLE`/`ALERT_LIMIT` registers, as a host driver would).
     pub fn arm_power_alert(&mut self, limit: Watts) {
         self.mask_enable = MASK_POWER_OVER_LIMIT;
-        self.alert_limit =
-            (limit.as_f64() / self.config.power_lsb().as_f64()).round() as u16;
+        self.alert_limit = (limit.as_f64() / self.config.power_lsb().as_f64()).round() as u16;
         self.alert_latched = false;
     }
 
@@ -324,8 +323,7 @@ impl Ina226 {
                 counts.clamp(0.0, f64::from(u16::MAX)) as u16
             }
             Ina226Register::Current => {
-                let counts =
-                    (self.current().as_f64() / self.config.current_lsb.as_f64()).round();
+                let counts = (self.current().as_f64() / self.config.current_lsb.as_f64()).round();
                 counts.clamp(f64::from(i16::MIN), f64::from(i16::MAX)) as i16 as u16
             }
             Ina226Register::Calibration => self.config.calibration(),
@@ -414,7 +412,10 @@ mod tests {
     #[test]
     fn ids_identify_the_part() {
         let monitor = Ina226::vcc_hbm(0);
-        assert_eq!(monitor.read_register(Ina226Register::ManufacturerId), 0x5449);
+        assert_eq!(
+            monitor.read_register(Ina226Register::ManufacturerId),
+            0x5449
+        );
         assert_eq!(monitor.read_register(Ina226Register::DieId), 0x2260);
     }
 
@@ -486,10 +487,14 @@ mod tests {
     #[test]
     fn calibration_write_updates_current_lsb() {
         let mut monitor = Ina226::vcc_hbm(5);
-        monitor.write_register(Ina226Register::Calibration, 2560).unwrap();
+        monitor
+            .write_register(Ina226Register::Calibration, 2560)
+            .unwrap();
         // current_LSB = 0.00512 / (2560 × 0.002) = 1 mA.
         assert!((monitor.config().current_lsb.as_f64() - 1.0e-3).abs() < 1e-12);
-        assert!(monitor.write_register(Ina226Register::Calibration, 0).is_err());
+        assert!(monitor
+            .write_register(Ina226Register::Calibration, 0)
+            .is_err());
     }
 
     #[test]
@@ -540,7 +545,9 @@ mod tests {
     #[test]
     fn alert_limit_register_round_trip() {
         let mut monitor = Ina226::vcc_hbm(12);
-        monitor.write_register(Ina226Register::AlertLimit, 1234).unwrap();
+        monitor
+            .write_register(Ina226Register::AlertLimit, 1234)
+            .unwrap();
         assert_eq!(monitor.read_register(Ina226Register::AlertLimit), 1234);
     }
 

@@ -258,7 +258,9 @@ impl PmbusDevice for Isl68301 {
             | PmbusCommand::ReadIout
             | PmbusCommand::ReadTemperature1
             | PmbusCommand::ReadPout => Err(PmbusError::WrongTransactionWidth { code: cmd.code() }),
-            PmbusCommand::ClearFaults => Err(PmbusError::WrongTransactionWidth { code: cmd.code() }),
+            PmbusCommand::ClearFaults => {
+                Err(PmbusError::WrongTransactionWidth { code: cmd.code() })
+            }
         }
     }
 
@@ -324,18 +326,15 @@ impl PmbusDevice for Isl68301 {
                 Ok(())
             }
             PmbusCommand::VoutMax => {
-                self.limits.vout_max =
-                    decode_linear16(value, VOUT_MODE_EXPONENT).to_millivolts();
+                self.limits.vout_max = decode_linear16(value, VOUT_MODE_EXPONENT).to_millivolts();
                 Ok(())
             }
             PmbusCommand::VoutOvFaultLimit => {
-                self.limits.ov_fault =
-                    decode_linear16(value, VOUT_MODE_EXPONENT).to_millivolts();
+                self.limits.ov_fault = decode_linear16(value, VOUT_MODE_EXPONENT).to_millivolts();
                 Ok(())
             }
             PmbusCommand::VoutUvFaultLimit => {
-                self.limits.uv_fault =
-                    decode_linear16(value, VOUT_MODE_EXPONENT).to_millivolts();
+                self.limits.uv_fault = decode_linear16(value, VOUT_MODE_EXPONENT).to_millivolts();
                 Ok(())
             }
             PmbusCommand::StatusWord
@@ -429,7 +428,10 @@ mod tests {
         let mut reg = Isl68301::vcc_hbm();
         assert!(matches!(
             reg.write_byte(PmbusCommand::Operation, 0x42).unwrap_err(),
-            PmbusError::InvalidData { code: 0x01, value: 0x42 }
+            PmbusError::InvalidData {
+                code: 0x01,
+                value: 0x42
+            }
         ));
     }
 
@@ -507,7 +509,11 @@ mod tests {
         let word = encode_linear16(Millivolts(1250).to_volts(), VOUT_MODE_EXPONENT).unwrap();
         reg.write_word(PmbusCommand::VoutCommand, word).unwrap();
         reg.write_byte(PmbusCommand::Operation, 0xA8).unwrap();
-        assert_ne!(reg.status() & STATUS_VOUT_OV, 0, "1.3125 V trips the 1.30 V OV limit");
+        assert_ne!(
+            reg.status() & STATUS_VOUT_OV,
+            0,
+            "1.3125 V trips the 1.30 V OV limit"
+        );
     }
 
     #[test]

@@ -103,7 +103,8 @@ impl PowerRail {
         } else {
             Amperes::ZERO
         };
-        self.regulator.update_telemetry(current, power, self.ambient);
+        self.regulator
+            .update_telemetry(current, power, self.ambient);
         self.monitor.set_input(volts, current);
         self.monitor.convert();
     }
@@ -136,7 +137,9 @@ mod tests {
     fn rail_tracks_commanded_voltage() {
         let mut rail = PowerRail::vcc_hbm(0);
         assert_eq!(rail.voltage(), Millivolts(1200));
-        HostInterface::new(rail.regulator_mut()).set_vout(Millivolts(850)).unwrap();
+        HostInterface::new(rail.regulator_mut())
+            .set_vout(Millivolts(850))
+            .unwrap();
         assert_eq!(rail.voltage(), Millivolts(850));
     }
 

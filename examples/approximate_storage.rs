@@ -76,8 +76,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let port = PortId::new(2)?;
 
     let nominal = platform.measure_power(Ratio::ONE)?.power;
-    println!("image: {} bytes; nominal power {:.2}\n", image.len(), nominal);
-    println!("{:>8} {:>10} {:>10} {:>12}", "V", "saving", "bit flips", "PSNR (dB)");
+    println!(
+        "image: {} bytes; nominal power {:.2}\n",
+        image.len(),
+        nominal
+    );
+    println!(
+        "{:>8} {:>10} {:>10} {:>12}",
+        "V", "saving", "bit flips", "PSNR (dB)"
+    );
 
     for mv in [1200u32, 980, 950, 920, 900, 880, 870, 860, 850] {
         platform.set_voltage(Millivolts(mv))?;

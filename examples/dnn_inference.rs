@@ -119,11 +119,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter(|(label, x)| classify(&centroids, x) == *label)
         .count() as f64
         / SAMPLES as f64;
-    println!(
-        "nearest-centroid classifier: {CLASSES} classes x {DIM} dims, {SAMPLES} samples"
-    );
+    println!("nearest-centroid classifier: {CLASSES} classes x {DIM} dims, {SAMPLES} samples");
     println!("pristine accuracy: {:.1}%\n", baseline * 100.0);
-    println!("{:>8} {:>9} {:>11} {:>11} {:>10}", "V", "saving", "bit flips", "accuracy", "vs base");
+    println!(
+        "{:>8} {:>9} {:>11} {:>11} {:>10}",
+        "V", "saving", "bit flips", "accuracy", "vs base"
+    );
 
     for mv in [1200u32, 980, 920, 900, 890, 880, 870, 860, 850] {
         platform.set_voltage(Millivolts(mv))?;

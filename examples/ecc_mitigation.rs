@@ -64,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Region remapping: retain capacity by avoiding weak regions entirely.
     println!("\nRegion remapping on PC4 (capacity retained at zero faults):");
-    println!("{:>8} {:>16} {:>18}", "V", "healthy regions", "capacity retained");
+    println!(
+        "{:>8} {:>16} {:>18}",
+        "V", "healthy regions", "capacity retained"
+    );
     let injector = platform.injector().clone();
     for mv in [950u32, 930, 910, 890, 870] {
         let map = HealthMap::scan(&injector, PcIndex::new(4)?, Millivolts(mv));

@@ -6,7 +6,7 @@
 
 use hbm_undervolt_suite::faults::FaultMap;
 use hbm_undervolt_suite::power::HbmPowerModel;
-use hbm_undervolt_suite::undervolt::report::render_usable_pc_curves;
+use hbm_undervolt_suite::undervolt::report::Render;
 use hbm_undervolt_suite::undervolt::{Platform, TradeOffAnalysis};
 use hbm_units::{Millivolts, Ratio};
 
@@ -27,8 +27,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Export for downstream tools (the paper's "fault map" artefact).
     let json = serde_json::to_string(&map)?;
-    println!("fault map: {} PCs x {} voltages ({} bytes of JSON)\n",
-        map.profiles.len(), map.voltages.len(), json.len());
+    println!(
+        "fault map: {} PCs x {} voltages ({} bytes of JSON)\n",
+        map.profiles.len(),
+        map.voltages.len(),
+        json.len()
+    );
 
     let analysis = TradeOffAnalysis::new(map, HbmPowerModel::date21());
 
@@ -40,13 +44,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Ratio(0.01),
         Ratio(0.5),
     ]);
-    println!("{}", render_usable_pc_curves(&curves));
+    println!("{}", curves.to_text());
 
     // The paper's worked examples.
     let questions: [(&str, f64, Ratio); 3] = [
         ("needs all 8 GB, tolerates nothing", 1.0, Ratio::ZERO),
-        ("tolerates nothing, can shrink to 7 PCs", 7.0 / 32.0, Ratio::ZERO),
-        ("tolerates 0.0001% faults, needs half the memory", 0.5, Ratio(1e-6)),
+        (
+            "tolerates nothing, can shrink to 7 PCs",
+            7.0 / 32.0,
+            Ratio::ZERO,
+        ),
+        (
+            "tolerates 0.0001% faults, needs half the memory",
+            0.5,
+            Ratio(1e-6),
+        ),
     ];
     for (label, fraction, tolerable) in questions {
         match analysis.plan_fraction(fraction, tolerable)? {

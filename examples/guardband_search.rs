@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example guardband_search [seed]`
 
-use hbm_undervolt_suite::undervolt::{GuardbandFinder, Platform};
+use hbm_undervolt_suite::undervolt::{Experiment, GuardbandFinder, Platform};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed = std::env::args()
@@ -15,7 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let finder = GuardbandFinder::new();
 
     // The paper's methodology: expected-fault scan at full-scale counts.
-    let report = finder.run(&mut platform)?;
+    let report = Experiment::run(&finder, &mut platform)?;
     println!("specimen seed {seed}:");
     println!("  V_min      = {}   (paper: 0.980 V)", report.v_min);
     println!("  V_critical = {}   (paper: 0.810 V)", report.v_critical);

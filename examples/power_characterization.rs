@@ -5,19 +5,20 @@
 //! Run with: `cargo run --release --example power_characterization`
 
 use hbm_undervolt_suite::power::PowerAnalysis;
-use hbm_undervolt_suite::undervolt::report::{render_acf_table, render_power_table};
-use hbm_undervolt_suite::undervolt::{Platform, PowerSweep};
+use hbm_undervolt_suite::undervolt::report::Render;
+use hbm_undervolt_suite::undervolt::{AcfTable, Experiment, Platform, PowerSweep};
 use hbm_units::Millivolts;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut platform = Platform::builder().seed(7).build();
-    let report = PowerSweep::date21().run(&mut platform)?;
+    let sweep = PowerSweep::date21();
+    let report = Experiment::run(&sweep, &mut platform)?;
 
     println!("Normalized power (Fig. 2 reproduction):\n");
-    print!("{}", render_power_table(&report));
+    print!("{}", report.to_text());
 
     println!("\nNormalized effective a*C_L*f (Fig. 3 reproduction):\n");
-    print!("{}", render_acf_table(&report));
+    print!("{}", AcfTable(&report).to_text());
 
     // The quantitative takeaways the paper highlights:
     let s98 = report.saving(Millivolts(980), 32).expect("0.98 V swept");
@@ -33,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nguardband saving:      {s98:.2}x  (paper: 1.5x)");
     println!("saving at 0.85 V:      {s85:.2}x  (paper: 2.3x)");
     println!("idle / full-load:      {idle:.2}   (paper: ~1/3)");
-    println!("guardband acf flatness: {:.1}%  (paper: <=3%)", flat * 100.0);
+    println!(
+        "guardband acf flatness: {:.1}%  (paper: <=3%)",
+        flat * 100.0
+    );
     println!("acf drop at 0.85 V:    {:.1}%  (paper: 14%)", drop * 100.0);
     Ok(())
 }

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = MacroProgram::write_then_check(0..4096, DataPattern::AllOnes);
     let mut tg = TrafficGenerator::new(port);
     let stats = tg.run(&program, &mut platform.port(port))?;
-    println!("guardband probe: {} bit flips in 4096 words", stats.total_flips());
+    println!(
+        "guardband probe: {} bit flips in 4096 words",
+        stats.total_flips()
+    );
 
     // 4. Push below the guardband: more savings, but bit flips appear.
     platform.set_voltage(Millivolts(860))?;

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{label}:");
         println!("  lowest clean voltage  {}", outcome.lowest_clean);
         match outcome.tripped_at {
-            Some(v) => println!("  canary tripped at     {} ({} flips)", v, outcome.canary_flips),
+            Some(v) => println!(
+                "  canary tripped at     {} ({} flips)",
+                v, outcome.canary_flips
+            ),
             None => println!("  canary never tripped (stopped at the floor)"),
         }
         println!("  settled at            {}", outcome.settled);

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repo gate: lint, formatting, and the tier-1 build/test cycle.
+# Run from anywhere; operates on the workspace containing this script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "All checks passed."

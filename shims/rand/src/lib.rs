@@ -1,0 +1,154 @@
+//! Vendored stand-in for `rand`, scoped to what this workspace uses:
+//! [`SeedableRng::seed_from_u64`] and [`Rng::gen_range`] over integer and
+//! float ranges. The concrete generator lives in the `rand_chacha` shim.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of randomness: a 64-bit output stream.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (high half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Generators that can be constructed from seeds.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a 64-bit convenience seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Range types [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($ty:ty => $wide:ty),*) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range called with empty range");
+                let span = (self.end as $wide - self.start as $wide) as u64;
+                (self.start as $wide + (rng.next_u64() % span) as $wide) as $ty
+            }
+        }
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range called with empty range");
+                let span = ((end as $wide - start as $wide) as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full domain of a 64-bit type.
+                    return rng.next_u64() as $ty;
+                }
+                (start as $wide + (rng.next_u64() % span) as $wide) as $ty
+            }
+        }
+    )*};
+}
+
+impl_int_range!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i128, i16 => i128, i32 => i128, i64 => i128, isize => i128
+);
+
+macro_rules! impl_float_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range called with empty range");
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let sampled = self.start as f64 + unit * (self.end as f64 - self.start as f64);
+                // Guard against landing on the excluded upper bound through
+                // rounding.
+                if sampled as $ty >= self.end { self.start } else { sampled as $ty }
+            }
+        }
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range called with empty range");
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+                (start as f64 + unit * (end as f64 - start as f64)) as $ty
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// Convenience extensions over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Draws a boolean that is `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen_range(0.0f64..1.0) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Commonly used items, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn integer_ranges_stay_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-25i8..=25);
+            assert!((-25..=25).contains(&x));
+            let y = rng.gen_range(0usize..10);
+            assert!(y < 10);
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = Counter(3);
+        for _ in 0..1000 {
+            let x = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(x > 0.0 && x < 1.0);
+        }
+    }
+}

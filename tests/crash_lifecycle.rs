@@ -22,7 +22,10 @@ fn device_operates_at_exactly_v_critical() {
     // Operations succeed (they are just massively faulty at 0.81 V).
     access.write(WordOffset(0), Word256::ONES).unwrap();
     let observed = access.read(WordOffset(0)).unwrap();
-    assert!(observed.diff_bits(Word256::ONES) > 0, "0.81 V is fully faulty");
+    assert!(
+        observed.diff_bits(Word256::ONES) > 0,
+        "0.81 V is fully faulty"
+    );
 }
 
 #[test]

@@ -126,7 +126,10 @@ fn fault_fraction_independent_of_geometry_scale() {
             .device_rate(Millivolts(mv))
             .as_f64();
         let ratio = reduced / full;
-        assert!((0.7..1.4).contains(&ratio), "at {mv} mV: {reduced} vs {full}");
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "at {mv} mV: {reduced} vs {full}"
+        );
     }
     assert_eq!(p.predictor().device_rate(Millivolts(1000)), Ratio::ZERO);
 }

@@ -5,13 +5,11 @@
 use hbm_undervolt_suite::faults::FaultMap;
 use hbm_undervolt_suite::power::HbmPowerModel;
 use hbm_undervolt_suite::traffic::DataPattern;
-use hbm_undervolt_suite::undervolt::characterization::{
-    stack_fraction_series, variation_summary,
-};
+use hbm_undervolt_suite::undervolt::characterization::{stack_fraction_series, variation_summary};
 use hbm_undervolt_suite::undervolt::report::{compute_headlines, headline_metrics};
 use hbm_undervolt_suite::undervolt::{
-    GuardbandFinder, Platform, PowerSweep, ReliabilityConfig, ReliabilityTester,
-    TradeOffAnalysis, VoltageSweep,
+    GuardbandFinder, Platform, PowerSweep, ReliabilityConfig, ReliabilityTester, TradeOffAnalysis,
+    VoltageSweep,
 };
 use hbm_units::{Millivolts, Ratio};
 
@@ -109,9 +107,15 @@ fn fig4_fig5_fig6_shapes_hold_together() {
     let sweep = VoltageSweep::new(Millivolts(980), Millivolts(810), Millivolts(10)).unwrap();
     let fig4 = stack_fraction_series(predictor, sweep);
     assert_eq!(fig4[0].hbm0, Ratio::ZERO);
-    let at_830 = fig4.iter().find(|pt| pt.voltage == Millivolts(830)).unwrap();
+    let at_830 = fig4
+        .iter()
+        .find(|pt| pt.voltage == Millivolts(830))
+        .unwrap();
     assert!(at_830.hbm0.as_f64() > 0.999 && at_830.hbm1.as_f64() > 0.999);
-    let at_880 = fig4.iter().find(|pt| pt.voltage == Millivolts(880)).unwrap();
+    let at_880 = fig4
+        .iter()
+        .find(|pt| pt.voltage == Millivolts(880))
+        .unwrap();
     assert!(at_880.hbm1 > at_880.hbm0);
 
     // §III-B: onsets and ratios.
@@ -129,12 +133,19 @@ fn fig4_fig5_fig6_shapes_hold_together() {
         .usable_pc_curve(Ratio::ZERO)
         .at(Millivolts(950))
         .unwrap();
-    assert!((3..=12).contains(&n_950), "fault-free PCs at 0.95 V: {n_950}");
+    assert!(
+        (3..=12).contains(&n_950),
+        "fault-free PCs at 0.95 V: {n_950}"
+    );
     let point = analysis
         .plan((n_950 as u64) * (256 << 20), Ratio::ZERO)
         .expect("plan");
     assert!(point.voltage <= Millivolts(950));
-    assert!((1.5..1.8).contains(&point.saving_factor), "{}", point.saving_factor);
+    assert!(
+        (1.5..1.8).contains(&point.saving_factor),
+        "{}",
+        point.saving_factor
+    );
 }
 
 #[test]

@@ -1,10 +1,33 @@
 //! Cross-crate property tests at the platform level.
 
 use hbm_undervolt_suite::device::{PortId, Word256, WordOffset};
-use hbm_undervolt_suite::traffic::{DataPattern, MacroProgram, MemoryPort, TrafficGenerator};
-use hbm_undervolt_suite::undervolt::Platform;
+use hbm_undervolt_suite::traffic::{
+    merge_shard_results, DataPattern, MacroProgram, MemoryPort, PortStats, TrafficGenerator,
+};
+use hbm_undervolt_suite::undervolt::{
+    Experiment, Platform, ReliabilityConfig, ReliabilityTester, TestScope, VoltageSweep,
+};
 use hbm_units::{Millivolts, Ratio};
 use proptest::prelude::*;
+
+fn arb_stats() -> impl Strategy<Value = PortStats> {
+    (
+        0u64..1_000,
+        0u64..1_000,
+        0u64..1_000,
+        0u64..100_000,
+        0u64..100_000,
+    )
+        .prop_map(
+            |(words_written, words_read, faulty_words, flips_1to0, flips_0to1)| PortStats {
+                words_written,
+                words_read,
+                faulty_words,
+                flips_1to0,
+                flips_0to1,
+            },
+        )
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -91,5 +114,63 @@ proptest! {
         // … and back up: the stored data is intact.
         p.set_voltage(Millivolts(1000)).unwrap();
         prop_assert_eq!(p.port(port).read(WordOffset(9)).unwrap(), word);
+    }
+
+    /// The [`Experiment`] contract: for ANY seed, running the reliability
+    /// experiment on a parallel platform is bit-identical to the
+    /// sequential run.
+    #[test]
+    fn experiment_is_deterministic_for_any_seed(
+        seed in any::<u64>(),
+        workers in 2usize..9,
+        sampled in any::<bool>(),
+    ) {
+        let config = ReliabilityConfig {
+            sweep: VoltageSweep::new(Millivolts(940), Millivolts(880), Millivolts(20)).unwrap(),
+            batch_size: 1,
+            patterns: vec![DataPattern::AllOnes],
+            scope: TestScope::EntireHbm,
+            words_per_pc: Some(128),
+            sample_words: sampled.then_some(32),
+        };
+        let tester = ReliabilityTester::new(config).unwrap();
+        let mut sequential = Platform::builder().seed(seed).workers(1).build();
+        let mut parallel = Platform::builder().seed(seed).workers(workers).build();
+        prop_assert_eq!(
+            Experiment::run(&tester, &mut sequential).unwrap(),
+            Experiment::run(&tester, &mut parallel).unwrap()
+        );
+    }
+
+    /// Shard-merge arithmetic: merging per-shard statistics is a plain
+    /// field-wise sum — order-insensitive, duplicate-collapsing, and
+    /// total-preserving.
+    #[test]
+    fn shard_merge_is_order_insensitive_and_total_preserving(
+        stats in proptest::collection::vec(arb_stats(), 1..20),
+        rotation in 0usize..20,
+    ) {
+        let jobs: Vec<(PortId, PortStats)> = stats
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (PortId::new((i % 32) as u8).unwrap(), s))
+            .collect();
+
+        let mut rotated = jobs.clone();
+        rotated.rotate_left(rotation % jobs.len());
+        let merged = merge_shard_results(jobs.clone());
+        prop_assert_eq!(&merged, &merge_shard_results(rotated));
+
+        // Ports come out sorted and unique.
+        prop_assert!(merged.windows(2).all(|w| w[0].0.as_u8() < w[1].0.as_u8()));
+
+        // No flip is lost or invented by merging.
+        let total = |items: &[(PortId, PortStats)]| {
+            items.iter().fold(PortStats::default(), |mut acc, (_, s)| {
+                acc.merge(s);
+                acc
+            })
+        };
+        prop_assert_eq!(total(&merged), total(&jobs));
     }
 }
