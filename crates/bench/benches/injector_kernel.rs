@@ -1,0 +1,187 @@
+//! Kernel bench for the region-tiled fault injector: the cached path
+//! (tile probability cache + geometric skip enumeration) against the naive
+//! per-word reference path, per voltage, plus a `quick()`-shaped
+//! reliability sweep in both execution modes. Both comparisons assert
+//! bit-identical results before recording timings to
+//! `BENCH_injector_kernel.json`.
+//!
+//! This is a plain `harness = false` binary (not Criterion) because the
+//! deliverable is a machine-readable speedup record. Run with:
+//! `cargo bench -p hbm-bench --bench injector_kernel`.
+
+use std::time::Instant;
+
+use hbm_device::{HbmGeometry, PcIndex, WordOffset};
+use hbm_faults::{FaultInjector, FaultModelParams};
+use hbm_undervolt::{ExecutionMode, Platform, ReliabilityConfig, ReliabilityTester};
+use hbm_units::Millivolts;
+use serde::Serialize;
+
+const SEED: u64 = 7;
+const ITERATIONS: u32 = 5;
+/// One reduced-geometry pseudo channel, the unit the sweep engine shards by.
+const WORDS: u64 = 8192;
+/// Each timing sample repeats the kernel until this much wall clock has
+/// accumulated, so per-call times stay resolvable even when the cached
+/// path finishes in nanoseconds.
+const MIN_SAMPLE_SECS: f64 = 2e-3;
+
+#[derive(Serialize)]
+struct VoltageEntry {
+    voltage_mv: u32,
+    reference_secs: f64,
+    cached_secs: f64,
+    speedup: f64,
+    faulty_bits: u64,
+}
+
+#[derive(Serialize)]
+struct SweepEntry {
+    traffic_secs: f64,
+    cached_secs: f64,
+    speedup: f64,
+    mean_faults: f64,
+}
+
+#[derive(Serialize)]
+struct Record {
+    bench: &'static str,
+    seed: u64,
+    iterations: u32,
+    words_per_pc: u64,
+    per_voltage: Vec<VoltageEntry>,
+    safe_region_min_speedup: f64,
+    sweep: SweepEntry,
+}
+
+/// Best-of-N per-call wall clock, with enough repetitions per sample to
+/// outlast timer resolution. Returns the kernel's (checked) output too.
+fn time_per_call<F: FnMut() -> u64>(mut f: F) -> (f64, u64) {
+    let mut out = f(); // warm caches outside the timed region
+    let mut best = f64::INFINITY;
+    for _ in 0..ITERATIONS {
+        let mut calls = 0u32;
+        let start = Instant::now();
+        let elapsed = loop {
+            out = f();
+            calls += 1;
+            let elapsed = start.elapsed().as_secs_f64();
+            if elapsed >= MIN_SAMPLE_SECS {
+                break elapsed;
+            }
+        };
+        best = best.min(elapsed / f64::from(calls));
+    }
+    (best, out)
+}
+
+/// Best-of-N wall clock of a full `quick()` sweep in one execution mode,
+/// plus its total mean fault count (for the cross-mode identity check).
+fn time_sweep(mode: ExecutionMode) -> (f64, f64) {
+    let mut config = ReliabilityConfig::quick();
+    config.mode = mode;
+    let tester = ReliabilityTester::new(config).expect("config valid");
+    let mut best = f64::INFINITY;
+    let mut faults = 0.0;
+    for _ in 0..ITERATIONS {
+        // A fresh platform per run: the sweep pays its own cache warm-up,
+        // as a real experiment would.
+        let mut platform = Platform::builder().seed(SEED).build();
+        let start = Instant::now();
+        let report = tester.run(&mut platform).expect("sweep");
+        best = best.min(start.elapsed().as_secs_f64());
+        faults = report.points.iter().map(|p| p.total_mean_faults()).sum();
+    }
+    (best, faults)
+}
+
+fn main() {
+    let injector = FaultInjector::new(
+        FaultModelParams::date21(),
+        HbmGeometry::vcu128_reduced(),
+        SEED,
+    );
+    let pc = PcIndex::new(0).expect("pc0");
+    println!("injector_kernel: seed {SEED}, {WORDS} words per PC, best of {ITERATIONS}");
+
+    let mut per_voltage = Vec::new();
+    for mv in [1000u32, 990, 980, 975, 960, 940, 900, 860, 820] {
+        let v = Millivolts(mv);
+        // Reference: the naive per-word walk the pre-tiled injector ran.
+        let (reference_secs, reference_bits) = time_per_call(|| {
+            let mut bits = 0u64;
+            for w in 0..WORDS {
+                let (s0, s1) = injector.stuck_masks_per_word(pc, WordOffset(w), v);
+                bits += u64::from(s0.count_ones()) + u64::from(s1.count_ones());
+            }
+            bits
+        });
+        // Cached: tile lookup + skip enumeration over the same range.
+        let (cached_secs, cached_bits) = time_per_call(|| {
+            let (c0, c1) = injector.count_range(pc, 0..WORDS, v);
+            c0 + c1
+        });
+        assert_eq!(cached_bits, reference_bits, "kernels disagree at {v}");
+        let speedup = reference_secs / cached_secs.max(f64::MIN_POSITIVE);
+        println!(
+            "  {mv} mV: reference {:>10.3} us, cached {:>10.3} us  ({speedup:>8.1}x, {reference_bits} faulty bits)",
+            reference_secs * 1e6,
+            cached_secs * 1e6,
+        );
+        per_voltage.push(VoltageEntry {
+            voltage_mv: mv,
+            reference_secs,
+            cached_secs,
+            speedup,
+            faulty_bits: reference_bits,
+        });
+    }
+
+    let safe_region_min_speedup = per_voltage
+        .iter()
+        .filter(|e| e.voltage_mv >= 980)
+        .map(|e| e.speedup)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        safe_region_min_speedup >= 5.0,
+        "safe-region speedup regressed below 5x: {safe_region_min_speedup:.1}x"
+    );
+
+    let (traffic_secs, traffic_faults) = time_sweep(ExecutionMode::Traffic);
+    let (cached_secs, cached_faults) = time_sweep(ExecutionMode::CachedMasks);
+    assert_eq!(
+        traffic_faults, cached_faults,
+        "execution modes disagree on the quick() sweep"
+    );
+    let sweep_speedup = traffic_secs / cached_secs.max(f64::MIN_POSITIVE);
+    assert!(
+        sweep_speedup >= 2.0,
+        "quick() sweep speedup regressed below 2x: {sweep_speedup:.2}x"
+    );
+    println!(
+        "  quick() sweep: traffic {traffic_secs:.3}s, cached {cached_secs:.3}s ({sweep_speedup:.1}x, {traffic_faults:.0} mean faults)"
+    );
+
+    let record = Record {
+        bench: "injector_kernel",
+        seed: SEED,
+        iterations: ITERATIONS,
+        words_per_pc: WORDS,
+        per_voltage,
+        safe_region_min_speedup,
+        sweep: SweepEntry {
+            traffic_secs,
+            cached_secs,
+            speedup: sweep_speedup,
+            mean_faults: traffic_faults,
+        },
+    };
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_injector_kernel.json"
+    );
+    let body = serde_json::to_string_pretty(&record).expect("serialize record");
+    std::fs::write(path, body + "\n").expect("write BENCH_injector_kernel.json");
+    println!("wrote {path}");
+}

@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hbm_device::PcIndex;
 use hbm_traffic::DataPattern;
-use hbm_undervolt::{Platform, ReliabilityConfig, ReliabilityTester, TestScope, VoltageSweep};
+use hbm_undervolt::{
+    ExecutionMode, Platform, ReliabilityConfig, ReliabilityTester, TestScope, VoltageSweep,
+};
 use hbm_units::Millivolts;
 
 fn bench_reliability(c: &mut Criterion) {
@@ -21,6 +23,7 @@ fn bench_reliability(c: &mut Criterion) {
                 scope: TestScope::SinglePc(PcIndex::new(0).expect("valid pc")),
                 words_per_pc: Some(words),
                 sample_words: None,
+                mode: ExecutionMode::CachedMasks,
             };
             let tester = ReliabilityTester::new(config).expect("config valid");
             let mut platform = Platform::builder().seed(7).build();

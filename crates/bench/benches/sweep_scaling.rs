@@ -10,8 +10,8 @@ use std::time::Instant;
 
 use hbm_traffic::DataPattern;
 use hbm_undervolt::{
-    Experiment, Platform, ReliabilityConfig, ReliabilityReport, ReliabilityTester, TestScope,
-    VoltageSweep,
+    ExecutionMode, Experiment, Platform, ReliabilityConfig, ReliabilityReport, ReliabilityTester,
+    TestScope, VoltageSweep,
 };
 use hbm_units::Millivolts;
 use serde::Serialize;
@@ -46,6 +46,7 @@ fn workload() -> ReliabilityTester {
         scope: TestScope::EntireHbm,
         words_per_pc: Some(1024),
         sample_words: None,
+        mode: ExecutionMode::CachedMasks,
     };
     ReliabilityTester::new(config).expect("config valid")
 }

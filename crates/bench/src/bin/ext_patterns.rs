@@ -8,7 +8,9 @@
 
 use hbm_device::PcIndex;
 use hbm_traffic::DataPattern;
-use hbm_undervolt::{Platform, ReliabilityConfig, ReliabilityTester, TestScope, VoltageSweep};
+use hbm_undervolt::{
+    ExecutionMode, Platform, ReliabilityConfig, ReliabilityTester, TestScope, VoltageSweep,
+};
 use hbm_units::Millivolts;
 
 fn main() {
@@ -32,6 +34,7 @@ fn main() {
         scope: TestScope::SinglePc(PcIndex::new(4).expect("pc4")),
         words_per_pc: Some(4096),
         sample_words: None,
+        mode: ExecutionMode::CachedMasks,
     };
     let tester = ReliabilityTester::new(config).expect("config valid");
     let mut platform = Platform::builder().seed(seed).build();

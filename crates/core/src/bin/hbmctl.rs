@@ -13,6 +13,7 @@
 //! hbmctl reliability [--seed N] [--workers N] [--format text|csv|json]
 //!                    [--from MV] [--to MV] [--step MV]
 //!                    [--batch N] [--words N] [--sample N]
+//!                    [--kernel cached|traffic]
 //! hbmctl trade-off   [--seed N] [--format text|csv|json]
 //! hbmctl fault-map   [--seed N] [--out FILE]
 //! hbmctl plan        [--seed N] --capacity-gb G --tolerance RATE
@@ -25,8 +26,8 @@ use hbm_power::HbmPowerModel;
 use hbm_traffic::DataPattern;
 use hbm_undervolt::report::{to_json, Render};
 use hbm_undervolt::{
-    Experiment, GuardbandFinder, Platform, PowerSweep, ReliabilityConfig, ReliabilityTester,
-    TestScope, TradeOffAnalysis, VoltageSweep,
+    ExecutionMode, Experiment, GuardbandFinder, Platform, PowerSweep, ReliabilityConfig,
+    ReliabilityTester, TestScope, TradeOffAnalysis, VoltageSweep,
 };
 use hbm_units::{Millivolts, Ratio};
 
@@ -100,6 +101,7 @@ const USAGE: &str = "usage:
   hbmctl power-sweep [--seed N] [--workers N] [--format text|csv|json]
   hbmctl reliability [--seed N] [--workers N] [--format text|csv|json]
                      [--from MV] [--to MV] [--step MV] [--batch N] [--words N] [--sample N]
+                     [--kernel cached|traffic]
   hbmctl trade-off   [--seed N] [--format text|csv|json]
   hbmctl fault-map   [--seed N] [--out FILE]
   hbmctl plan        [--seed N] --capacity-gb G --tolerance RATE";
@@ -164,6 +166,12 @@ fn reliability_tester(args: &Args) -> Result<ReliabilityTester, String> {
     let batch: usize = args.flag("batch", 1)?;
     let words: u64 = args.flag("words", 1024)?;
     let sample: Option<u64> = args.optional("sample")?;
+    let kernel: String = args.flag("kernel", "cached".to_owned())?;
+    let mode = match kernel.as_str() {
+        "cached" => ExecutionMode::CachedMasks,
+        "traffic" => ExecutionMode::Traffic,
+        other => return Err(format!("unknown kernel: {other} (use cached or traffic)")),
+    };
 
     let config = ReliabilityConfig {
         sweep: VoltageSweep::new(Millivolts(from), Millivolts(to), Millivolts(step))
@@ -173,6 +181,7 @@ fn reliability_tester(args: &Args) -> Result<ReliabilityTester, String> {
         scope: TestScope::EntireHbm,
         words_per_pc: Some(words),
         sample_words: sample,
+        mode,
     };
     ReliabilityTester::new(config).map_err(|e| e.to_string())
 }

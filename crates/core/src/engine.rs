@@ -19,7 +19,8 @@
 
 use hbm_device::{DeviceError, PcShard, PortId, Word256, WordOffset};
 use hbm_faults::FaultInjector;
-use hbm_traffic::{MacroProgram, MemoryPort, PortStats, TrafficGenerator};
+use hbm_traffic::{DataPattern, MacroProgram, MemoryPort, PortStats, TrafficGenerator};
+use hbm_units::Millivolts;
 
 use crate::error::ExperimentError;
 use crate::platform::Platform;
@@ -109,11 +110,151 @@ pub(crate) fn run_jobs(
     hbm_traffic::run_sharded(sharded, workers).map_err(ExperimentError::from)
 }
 
+/// Every checked word's stuck-at masks for one port at one voltage — the
+/// batch/pattern reuse working set of the reliability tester's cached-mask
+/// mode. Built once per voltage point by [`build_mask_sets`], then replayed
+/// across every batch pass and data pattern via [`PortMasks::stats_for`].
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PortMasks {
+    port: PortId,
+    set: MaskSet,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum MaskSet {
+    /// Sequential walk over `0..words`: only the faulty words are stored —
+    /// the injector's skip-sampling enumeration never visits the rest.
+    Sequential {
+        words: u64,
+        faulty: Vec<(WordOffset, Word256, Word256)>,
+    },
+    /// Sampled mode: every drawn offset in draw order, duplicates kept —
+    /// the traffic path checks duplicates per occurrence, so must the
+    /// replay.
+    Sampled {
+        samples: Vec<(u64, Word256, Word256)>,
+    },
+}
+
+impl PortMasks {
+    /// The AXI port this working set covers.
+    pub(crate) fn port(&self) -> PortId {
+        self.port
+    }
+
+    /// Number of word checks one batch pass performs against this set.
+    pub(crate) fn words_checked(&self) -> u64 {
+        match &self.set {
+            MaskSet::Sequential { words, .. } => *words,
+            MaskSet::Sampled { samples } => samples.len() as u64,
+        }
+    }
+
+    /// The port statistics one full write/read-back pass would produce
+    /// under `pattern` — bit-identical to running the traffic generator,
+    /// by the determinism of the stuck-at model.
+    pub(crate) fn stats_for(&self, pattern: DataPattern) -> PortStats {
+        let mut stats = PortStats {
+            words_written: self.words_checked(),
+            words_read: self.words_checked(),
+            ..PortStats::default()
+        };
+        match &self.set {
+            MaskSet::Sequential { faulty, .. } => {
+                for &(offset, s0, s1) in faulty {
+                    tally(&mut stats, pattern.word_at(offset.0), s0, s1);
+                }
+            }
+            MaskSet::Sampled { samples } => {
+                for &(offset, s0, s1) in samples {
+                    tally(&mut stats, pattern.word_at(offset), s0, s1);
+                }
+            }
+        }
+        stats
+    }
+}
+
+/// Folds one word's masks into the pass statistics exactly the way the
+/// traffic generator's read-check does.
+fn tally(stats: &mut PortStats, expected: Word256, stuck0: Word256, stuck1: Word256) {
+    let observed = expected.with_stuck_bits(stuck0, stuck1);
+    if observed != expected {
+        stats.faulty_words += 1;
+        let (f10, f01) = observed.flips_from(expected);
+        stats.flips_1to0 += u64::from(f10);
+        stats.flips_0to1 += u64::from(f01);
+    }
+}
+
+/// Builds the cached-mask working sets for one voltage point, one per port,
+/// fanning the per-port kernel invocations across the platform's worker
+/// threads (the injector is `Sync`; its tile cache is shared). Results come
+/// back in `ports` order regardless of scheduling.
+///
+/// # Errors
+///
+/// [`DeviceError::PortDisabled`] if a scoped port is disabled — matching
+/// what the traffic path's first AXI access would report.
+pub(crate) fn build_mask_sets(
+    platform: &Platform,
+    ports: &[PortId],
+    words: u64,
+    sample_words: Option<u64>,
+    voltage: Millivolts,
+) -> Result<Vec<PortMasks>, ExperimentError> {
+    for &port in ports {
+        if !platform.device().ports().is_enabled(port) {
+            return Err(DeviceError::PortDisabled {
+                index: port.as_u8(),
+            }
+            .into());
+        }
+    }
+    let injector = platform.injector();
+    let seed = platform.seed();
+    let build = move |port: PortId| -> PortMasks {
+        let pc = port.direct_pc();
+        let set = match sample_words {
+            None => MaskSet::Sequential {
+                words,
+                faulty: injector.faulty_words(pc, 0..words, voltage),
+            },
+            Some(samples) => MaskSet::Sampled {
+                samples: hbm_faults::stream::sample_offsets(seed, voltage, pc, samples, words)
+                    .into_iter()
+                    .map(|w| {
+                        let (s0, s1) = injector.stuck_masks(pc, WordOffset(w), voltage);
+                        (w, s0, s1)
+                    })
+                    .collect(),
+            },
+        };
+        PortMasks { port, set }
+    };
+    let workers = platform.workers().min(ports.len()).max(1);
+    if workers <= 1 {
+        return Ok(ports.iter().map(|&p| build(p)).collect());
+    }
+    let chunk = ports.len().div_ceil(workers);
+    Ok(std::thread::scope(|scope| {
+        let handles: Vec<_> = ports
+            .chunks(chunk)
+            .map(|slice| {
+                let build = &build;
+                scope.spawn(move || slice.iter().map(|&p| build(p)).collect::<Vec<_>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("mask builder thread panicked"))
+            .collect()
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hbm_traffic::DataPattern;
-    use hbm_units::Millivolts;
 
     fn jobs_for(
         platform: &Platform,
@@ -162,6 +303,65 @@ mod tests {
         let jobs = vec![(port, program.clone()), (port, program)];
         let err = run_jobs(&mut platform, &jobs).unwrap_err();
         assert!(matches!(err, ExperimentError::Config { .. }));
+    }
+
+    #[test]
+    fn mask_sets_match_traffic_generator_stats() {
+        let mut platform = Platform::builder().seed(7).build();
+        platform.set_voltage(Millivolts(860)).unwrap();
+        let ports: Vec<PortId> = (0..4).map(|i| PortId::new(i).unwrap()).collect();
+        for sample_words in [None, Some(96)] {
+            let sets =
+                build_mask_sets(&platform, &ports, 128, sample_words, Millivolts(860)).unwrap();
+            for (set, &port) in sets.iter().zip(&ports) {
+                assert_eq!(set.port(), port);
+                for pattern in [DataPattern::AllOnes, DataPattern::Checkerboard] {
+                    let program = match sample_words {
+                        None => MacroProgram::write_then_check(0..128, pattern),
+                        Some(n) => {
+                            let offsets = hbm_faults::stream::sample_offsets(
+                                platform.seed(),
+                                Millivolts(860),
+                                port.direct_pc(),
+                                n,
+                                128,
+                            );
+                            MacroProgram::write_then_check_at(&offsets, pattern)
+                        }
+                    };
+                    let mut tg = TrafficGenerator::new(port);
+                    let stats = tg.run(&program, &mut platform.port(port)).unwrap();
+                    assert_eq!(set.stats_for(pattern), stats, "port {port:?} {pattern}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mask_sets_are_worker_count_invariant() {
+        let sets_with = |workers: usize| {
+            let mut platform = Platform::builder().seed(7).workers(workers).build();
+            platform.set_voltage(Millivolts(880)).unwrap();
+            let ports: Vec<PortId> = (0..platform.geometry().total_pcs())
+                .map(|i| PortId::new(i).unwrap())
+                .collect();
+            build_mask_sets(&platform, &ports, 256, None, Millivolts(880)).unwrap()
+        };
+        let sequential = sets_with(1);
+        assert!(sequential.iter().any(|s| s.words_checked() == 256));
+        for workers in [3usize, 8] {
+            assert_eq!(sequential, sets_with(workers), "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn mask_sets_reject_disabled_ports() {
+        let mut platform = Platform::builder().seed(7).build();
+        platform.enable_ports(4);
+        platform.set_voltage(Millivolts(900)).unwrap();
+        let ports = [PortId::new(6).unwrap()];
+        let err = build_mask_sets(&platform, &ports, 64, None, Millivolts(900)).unwrap_err();
+        assert!(err.to_string().contains('6'), "{err}");
     }
 
     #[test]

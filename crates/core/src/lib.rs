@@ -118,8 +118,8 @@ pub use guardband::{GuardbandFinder, GuardbandReport};
 pub use platform::{Platform, PlatformBuilder, PowerSample, UndervoltedPort};
 pub use power_test::{PowerPoint, PowerSweep, PowerSweepReport};
 pub use reliability::{
-    PatternOutcome, ReliabilityConfig, ReliabilityReport, ReliabilityTester, TestScope,
-    VoltagePoint,
+    ExecutionMode, PatternOutcome, ReliabilityConfig, ReliabilityReport, ReliabilityTester,
+    TestScope, VoltagePoint,
 };
 pub use report::{AcfTable, Render};
 pub use sweep::VoltageSweep;

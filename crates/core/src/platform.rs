@@ -365,6 +365,16 @@ impl Platform {
         self.rail.regulator_mut().set_load_line(r);
     }
 
+    /// Changes the operating temperature of the whole testbed: the fault
+    /// injector (whose region probability cache this invalidates), both
+    /// analytic predictors, and the rail's ambient.
+    pub fn set_temperature(&mut self, temperature: Celsius) {
+        self.injector.set_temperature(temperature);
+        self.predictor.set_temperature(temperature);
+        self.full_predictor.set_temperature(temperature);
+        self.rail.set_ambient(temperature);
+    }
+
     /// Lends fault-injecting access to one AXI port.
     pub fn port(&mut self, port: PortId) -> UndervoltedPort<'_> {
         UndervoltedPort {
@@ -583,6 +593,21 @@ mod tests {
         // … but a heavy load transient droops the rail below 0.81 V.
         p.measure_power(Ratio::ONE).unwrap();
         assert!(p.is_crashed(), "load transient must crash the device");
+    }
+
+    #[test]
+    fn temperature_change_reaches_the_injector_cache() {
+        use hbm_device::PcIndex;
+        let mut p = platform();
+        p.set_voltage(Millivolts(880)).unwrap();
+        let pc = PcIndex::new(0).unwrap();
+        // Warm the injector's region probability cache at ambient …
+        let cold = p.injector().count_range(pc, 0..512, Millivolts(880));
+        // … then heat the testbed: the cache must be invalidated, so the
+        // same query now reflects the new temperature shift.
+        p.set_temperature(Celsius(55.0));
+        let hot = p.injector().count_range(pc, 0..512, Millivolts(880));
+        assert_ne!(hot, cold, "temperature change must alter fault counts");
     }
 
     #[test]

@@ -435,6 +435,7 @@ impl Render for ReliabilityReport {
         for pattern in &self.config.patterns {
             write!(out, "{:>14}", pattern.to_string()).expect("write to string");
         }
+        write!(out, "{:>12}{:>12}", "words/s", "masks/s").expect("write to string");
         out.push('\n');
         for point in &self.points {
             write!(
@@ -447,6 +448,7 @@ impl Render for ReliabilityReport {
                 for _ in &self.config.patterns {
                     write!(out, "{:>14}", "crash").expect("write to string");
                 }
+                write!(out, "{:>12}{:>12}", "-", "-").expect("write to string");
             } else {
                 for pattern in &self.config.patterns {
                     match point.outcome(*pattern) {
@@ -455,6 +457,13 @@ impl Render for ReliabilityReport {
                     }
                     .expect("write to string");
                 }
+                write!(
+                    out,
+                    "{:>12}{:>12}",
+                    format!("{:.2e}", point.words_per_second),
+                    format!("{:.2e}", point.masks_per_second)
+                )
+                .expect("write to string");
             }
             out.push('\n');
         }
@@ -472,6 +481,8 @@ impl Render for ReliabilityReport {
                     String::new(),
                     String::new(),
                     String::new(),
+                    String::new(),
+                    String::new(),
                 ]);
                 continue;
             }
@@ -483,6 +494,8 @@ impl Render for ReliabilityReport {
                     format!("{:.3}", outcome.mean_fault_count),
                     outcome.flips_1to0.to_string(),
                     outcome.flips_0to1.to_string(),
+                    format!("{:.3}", point.words_per_second),
+                    format!("{:.3}", point.masks_per_second),
                 ]);
             }
         }
@@ -494,6 +507,8 @@ impl Render for ReliabilityReport {
                 "mean_faults",
                 "flips_1to0",
                 "flips_0to1",
+                "words_per_sec",
+                "masks_per_sec",
             ],
             &rows,
         )
@@ -641,6 +656,27 @@ mod tests {
         let table = render_usable_pc_curves(&curves);
         assert!(table.contains("0.98"));
         assert!(table.contains("32"));
+    }
+
+    #[test]
+    fn reliability_tables_report_throughput() {
+        use crate::reliability::{ReliabilityConfig, ReliabilityTester};
+        let mut p = platform();
+        let mut config = ReliabilityConfig::quick();
+        config.words_per_pc = Some(64);
+        config.batch_size = 1;
+        let report = ReliabilityTester::new(config).unwrap().run(&mut p).unwrap();
+        let text = report.to_text();
+        assert!(text.contains("words/s"), "{text}");
+        assert!(text.contains("masks/s"), "{text}");
+        let csv = report.to_csv();
+        assert!(
+            csv.starts_with(
+                "voltage_mv,crashed,pattern,mean_faults,flips_1to0,flips_0to1,\
+                 words_per_sec,masks_per_sec\n"
+            ),
+            "{csv}"
+        );
     }
 
     #[test]

@@ -290,10 +290,7 @@ mod tests {
         assert!(half.is_some());
         assert!(half.unwrap() <= Millivolts(980));
         // Nothing tolerates total failure fault-free.
-        assert_eq!(
-            m.lowest_voltage_for(1, Ratio::ZERO) < Some(Millivolts(900)),
-            false
-        );
+        assert!(m.lowest_voltage_for(1, Ratio::ZERO) >= Some(Millivolts(900)));
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! The fault injector: turns the statistical model into concrete stuck-bit
 //! masks for every word of the device, deterministically.
 
-use hbm_device::{HbmGeometry, PcIndex, Word256, WordOffset};
+use std::ops::Range;
+use std::sync::{Arc, RwLock};
+
+use hbm_device::{BankId, HbmGeometry, PcIndex, Word256, WordOffset};
 use hbm_units::{Celsius, Millivolts};
 use serde::{Deserialize, Serialize};
 
-use crate::hash::{combine, unit, unit_pair};
+use crate::hash::{combine, gate_key, key_unit, unit, unit_pair};
 use crate::params::FaultModelParams;
 use crate::variation::ShiftTable;
 
@@ -34,15 +37,43 @@ pub enum FaultPolarity {
 ///
 /// # Performance
 ///
-/// A naive implementation hashes every bit (256 hashes per word). The
-/// injector instead uses exact two-level sampling: one 64-bit hash per word
-/// and polarity acts as a gate with probability
-/// `p_any = 1 − (1 − s·c)^256`; only gated words enumerate their bits, each
-/// bit testing its (class-conditional) draw against `c / p_any`. Because
-/// `x ↦ c/(1−(1−sc)^256)` is increasing in `c` (chord slope of a concave
-/// function through the origin), monotonicity in voltage is preserved, and
-/// the per-bit marginal probability is exactly `s·c`. In the fault-free
-/// and low-fault regimes this costs ~2 hashes per word.
+/// The query kernel is a three-level pipeline; each level removes work the
+/// level below would otherwise repeat. With `W` words per pseudo channel,
+/// `T` (PC, bank, row-region) tiles and `F` gated words at the queried
+/// voltage:
+///
+/// 1. **Region-tile probability cache.** The local variation shift — and
+///    therefore the class probabilities `(c0, c1)`, the word gates
+///    `p_any = 1 − (1 − s·c)^256` and the conditional per-bit thresholds
+///    `c / p_any` — is constant within a tile. They are computed once per
+///    `(PC, voltage, temperature)` into a `T`-entry table (`O(T)` response
+///    curve evaluations instead of `O(W)`) and invalidated when the
+///    temperature changes. A per-word query is then a shift-and-mask tile
+///    lookup.
+/// 2. **Geometric skip enumeration of gated words.** The per-word gate
+///    draws `unit(hash(seed, pc, offset, class))` never depend on voltage —
+///    only the threshold `p_any` does. Per class and tile, the injector
+///    keeps the words sorted by their gate draw (a voltage-independent,
+///    build-once index), so the gated set at any voltage is a prefix found
+///    by binary search: `O(T·log W + F)` per range scan instead of `O(W)`
+///    gate hashes. Within the sorted prefix, the offset gaps between
+///    consecutive gated words follow the geometric distribution implied by
+///    `p_any` — this is the deterministic, replayable equivalent of drawing
+///    skip distances from that distribution, so fault-free and low-fault
+///    voltages cost `O(F)`, not `O(W)`. (Geometries too large to index fall
+///    back to a per-word gate walk that still uses level 1.)
+/// 3. **Per-bit enumeration.** Only the `F` gated words enumerate their 256
+///    bits, each bit testing its class-conditional draw against `c / p_any`.
+///    Because `c ↦ c/(1−(1−sc)^256)` is increasing (chord slope of a
+///    concave function through the origin), monotonicity in voltage is
+///    preserved and the per-bit marginal probability is exactly `s·c`.
+///
+/// A range scan therefore costs `O(T·log W + F·256)` after the `O(W log W)`
+/// one-time index build, and a single-word query costs the tile lookup plus
+/// two gate hashes. The pre-cache per-word path is kept as
+/// [`FaultInjector::stuck_masks_per_word`] (selected at the experiment
+/// layer by `ExecutionMode::Traffic`); property tests assert the two paths
+/// are bit-identical.
 ///
 /// # Examples
 ///
@@ -64,19 +95,152 @@ pub enum FaultPolarity {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct FaultInjector {
     params: FaultModelParams,
     geometry: HbmGeometry,
     seed: u64,
     temperature: Celsius,
     shift_table: ShiftTable,
+    grid: TileGrid,
+    /// Per-PC tile probability tables for the most recent
+    /// `(voltage, temperature)`; rebuilt lazily on any mismatch.
+    tile_cache: RwLock<Vec<Option<Arc<TileTable>>>>,
+    /// Per-PC sorted gate-draw indexes; voltage- and temperature-free.
+    gate_index: RwLock<Vec<Option<Arc<GateIndex>>>>,
 }
 
 /// Domain-separation tags for the hash streams.
 const TAG_GATE0: u64 = 0x6761_7430;
 const TAG_GATE1: u64 = 0x6761_7431;
 const TAG_BIT: u64 = 0x6269_7400;
+
+/// Largest pseudo channel (in words) the gate index is built for; larger
+/// geometries fall back to per-word gate hashing (still tile-cached).
+const MAX_INDEXED_WORDS_PER_PC: u64 = 1 << 16;
+
+/// The (bank, row-region) tiling of a pseudo channel: the granularity at
+/// which the variation shift — and so every derived probability — is
+/// constant. Mirrors the bit layout of [`WordOffset::decode`].
+#[derive(Debug, Clone, Copy)]
+struct TileGrid {
+    col_bits: u32,
+    bank_bits: u32,
+    region_rows: u32,
+    regions_per_bank: u32,
+    words_per_pc: u64,
+    tile_count: usize,
+}
+
+impl TileGrid {
+    fn new(geometry: HbmGeometry, region_rows: u32) -> Self {
+        let region_rows = region_rows.max(1);
+        let regions_per_bank = (geometry.rows_per_bank() - 1) / region_rows + 1;
+        let banks = 1u32 << geometry.bank_bits();
+        TileGrid {
+            col_bits: geometry.col_bits(),
+            bank_bits: geometry.bank_bits(),
+            region_rows,
+            regions_per_bank,
+            words_per_pc: geometry.words_per_pc(),
+            tile_count: (banks * regions_per_bank) as usize,
+        }
+    }
+
+    /// Tile index of a word offset (same decode as [`WordOffset::decode`]).
+    fn tile_of(&self, offset: u64) -> usize {
+        assert!(
+            offset < self.words_per_pc,
+            "word offset {} out of range for geometry ({} words/pc)",
+            offset,
+            self.words_per_pc
+        );
+        let bank = ((offset >> self.col_bits) & ((1 << self.bank_bits) - 1)) as u32;
+        let row = (offset >> (self.col_bits + self.bank_bits)) as u32;
+        (bank * self.regions_per_bank + row / self.region_rows) as usize
+    }
+
+    /// Inverse of [`TileGrid::tile_of`]'s tile numbering.
+    fn bank_and_region(&self, tile: usize) -> (BankId, u32) {
+        let tile = tile as u32;
+        (
+            BankId((tile / self.regions_per_bank) as u16),
+            tile % self.regions_per_bank,
+        )
+    }
+}
+
+/// Everything the bit-enumeration kernel needs about one tile at one
+/// `(voltage, temperature)`.
+#[derive(Debug, Clone, Copy)]
+struct TileProbs {
+    /// Class-conditional fault probabilities.
+    c0: f64,
+    c1: f64,
+    /// Word-level any-fault gate probabilities, `1 − (1 − s·c)^256`.
+    p_any0: f64,
+    p_any1: f64,
+    /// Conditional per-bit thresholds within a gated word, `(c/p_any).min(1)`.
+    cond0: f64,
+    cond1: f64,
+}
+
+/// One pseudo channel's tile probabilities at a fixed voltage and
+/// temperature.
+#[derive(Debug)]
+struct TileTable {
+    voltage: Millivolts,
+    temperature: Celsius,
+    tiles: Vec<TileProbs>,
+}
+
+/// One polarity class's gate draws for a pseudo channel, grouped by tile and
+/// sorted by draw so the gated words at any voltage form a binary-searchable
+/// prefix.
+#[derive(Debug)]
+struct GateClassIndex {
+    /// Slice bounds of each tile in `keys`/`offsets` (length `tiles + 1`).
+    starts: Vec<u32>,
+    /// 53-bit gate keys (see [`gate_key`]), ascending within each tile.
+    keys: Vec<u64>,
+    /// Word offsets, parallel to `keys`.
+    offsets: Vec<u32>,
+}
+
+impl GateClassIndex {
+    /// The offsets of tile `tile` whose gate draw passes `p_any`.
+    fn gated(&self, tile: usize, p_any: f64) -> &[u32] {
+        let lo = self.starts[tile] as usize;
+        let hi = self.starts[tile + 1] as usize;
+        let n = self.keys[lo..hi].partition_point(|&k| key_unit(k) < p_any);
+        &self.offsets[lo..lo + n]
+    }
+}
+
+/// Both classes' gate indexes for one pseudo channel.
+#[derive(Debug)]
+struct GateIndex {
+    class0: GateClassIndex,
+    class1: GateClassIndex,
+}
+
+impl Clone for FaultInjector {
+    fn clone(&self) -> Self {
+        FaultInjector {
+            params: self.params.clone(),
+            geometry: self.geometry,
+            seed: self.seed,
+            temperature: self.temperature,
+            shift_table: self.shift_table.clone(),
+            grid: self.grid,
+            // Cached tables are immutable snapshots behind `Arc`s, so clones
+            // share them cheaply; each clone invalidates independently (its
+            // own locks), so diverging temperatures cannot cross-pollute.
+            tile_cache: RwLock::new(self.tile_cache.read().expect("tile cache poisoned").clone()),
+            gate_index: RwLock::new(self.gate_index.read().expect("gate index poisoned").clone()),
+        }
+    }
+}
 
 impl FaultInjector {
     /// Creates an injector for a device geometry with a device seed (the
@@ -89,12 +253,17 @@ impl FaultInjector {
     pub fn new(params: FaultModelParams, geometry: HbmGeometry, seed: u64) -> Self {
         params.validate();
         let shift_table = ShiftTable::new(&params.variation, seed, geometry);
+        let grid = TileGrid::new(geometry, params.variation.region_rows);
+        let pcs = usize::from(geometry.total_pcs());
         FaultInjector {
             params,
             geometry,
             seed,
             temperature: Celsius::STUDY_AMBIENT,
             shift_table,
+            grid,
+            tile_cache: RwLock::new(vec![None; pcs]),
+            gate_index: RwLock::new(vec![None; pcs]),
         }
     }
 
@@ -123,8 +292,20 @@ impl FaultInjector {
     }
 
     /// Sets the operating temperature (the study keeps it at 35 ± 1 °C).
+    ///
+    /// Invalidates the region-tile probability cache: local shifts depend on
+    /// temperature. The gate index survives — gate draws are functions of
+    /// `(seed, PC, offset)` only.
     pub fn set_temperature(&mut self, temperature: Celsius) {
         self.temperature = temperature;
+        for slot in self
+            .tile_cache
+            .write()
+            .expect("tile cache poisoned")
+            .iter_mut()
+        {
+            *slot = None;
+        }
     }
 
     /// Total local variation shift of a word's location, in volts.
@@ -135,6 +316,113 @@ impl FaultInjector {
             + var.bank_shift_volts(self.seed, pc, decoded.bank)
             + var.region_shift_volts(self.seed, pc, decoded.bank, decoded.row)
             + var.temperature_shift_volts(self.temperature)
+    }
+
+    /// The tile probability table of `pc` at `supply` (below the guardband
+    /// only), from the cache or built on demand.
+    fn tile_table(&self, pc: PcIndex, supply: Millivolts) -> Arc<TileTable> {
+        debug_assert!(supply < self.params.landmarks.v_min);
+        {
+            let cache = self.tile_cache.read().expect("tile cache poisoned");
+            if let Some(table) = &cache[pc.as_usize()] {
+                if table.voltage == supply && table.temperature == self.temperature {
+                    return Arc::clone(table);
+                }
+            }
+        }
+        let table = Arc::new(self.build_tile_table(pc, supply));
+        self.tile_cache.write().expect("tile cache poisoned")[pc.as_usize()] =
+            Some(Arc::clone(&table));
+        table
+    }
+
+    fn build_tile_table(&self, pc: PcIndex, supply: Millivolts) -> TileTable {
+        let var = &self.params.variation;
+        let v = f64::from(supply.as_u32()) / 1000.0;
+        let pc_shift = self.shift_table.pc_shift_volts(pc);
+        let temp_shift = var.temperature_shift_volts(self.temperature);
+        let s0 = self.params.stuck0_share;
+        let s1 = self.params.stuck1_share();
+        let tiles = (0..self.grid.tile_count)
+            .map(|tile| {
+                let (bank, region) = self.grid.bank_and_region(tile);
+                // Exactly the per-word path's shift composition — the term
+                // order matters, f64 addition is not associative.
+                let shift = pc_shift
+                    + var.bank_shift_volts(self.seed, pc, bank)
+                    + var.region_shift_volts_by_index(self.seed, pc, bank, region)
+                    + temp_shift;
+                let (c0, c1) = self.params.class_probabilities(v, shift);
+                let p_any0 = p_any(s0 * c0);
+                let p_any1 = p_any(s1 * c1);
+                TileProbs {
+                    c0,
+                    c1,
+                    p_any0,
+                    p_any1,
+                    cond0: if p_any0 > 0.0 {
+                        (c0 / p_any0).min(1.0)
+                    } else {
+                        0.0
+                    },
+                    cond1: if p_any1 > 0.0 {
+                        (c1 / p_any1).min(1.0)
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+        TileTable {
+            voltage: supply,
+            temperature: self.temperature,
+            tiles,
+        }
+    }
+
+    /// The gate index of `pc`, or `None` for geometries too large to index.
+    fn pc_gate_index(&self, pc: PcIndex) -> Option<Arc<GateIndex>> {
+        if self.grid.words_per_pc > MAX_INDEXED_WORDS_PER_PC {
+            return None;
+        }
+        {
+            let cache = self.gate_index.read().expect("gate index poisoned");
+            if let Some(index) = &cache[pc.as_usize()] {
+                return Some(Arc::clone(index));
+            }
+        }
+        let index = Arc::new(GateIndex {
+            class0: self.build_class_index(pc, TAG_GATE0),
+            class1: self.build_class_index(pc, TAG_GATE1),
+        });
+        self.gate_index.write().expect("gate index poisoned")[pc.as_usize()] =
+            Some(Arc::clone(&index));
+        Some(index)
+    }
+
+    fn build_class_index(&self, pc: PcIndex, tag: u64) -> GateClassIndex {
+        let pcu = u64::from(pc.as_u8());
+        let mut entries: Vec<(u32, u64, u32)> = (0..self.grid.words_per_pc)
+            .map(|w| {
+                let tile = self.grid.tile_of(w) as u32;
+                (tile, gate_key(combine(&[self.seed, pcu, w, tag])), w as u32)
+            })
+            .collect();
+        entries.sort_unstable();
+        let mut starts = vec![0u32; self.grid.tile_count + 1];
+        for &(tile, _, _) in &entries {
+            starts[tile as usize + 1] += 1;
+        }
+        let mut acc = 0u32;
+        for s in &mut starts {
+            acc += *s;
+            *s = acc;
+        }
+        GateClassIndex {
+            starts,
+            keys: entries.iter().map(|&(_, key, _)| key).collect(),
+            offsets: entries.iter().map(|&(_, _, w)| w).collect(),
+        }
     }
 
     /// Class-conditional fault probabilities `(c_stuck0, c_stuck1)` at a
@@ -149,14 +437,28 @@ impl FaultInjector {
         if supply >= self.params.landmarks.v_min {
             return (0.0, 0.0);
         }
+        let table = self.tile_table(pc, supply);
+        let probs = table.tiles[self.grid.tile_of(offset.0)];
+        (probs.c0, probs.c1)
+    }
+
+    /// Reference implementation of [`FaultInjector::class_probabilities`]
+    /// that recomputes the variation shift and response curves per word
+    /// instead of consulting the tile cache. Kept as the validation oracle
+    /// for the cached kernel.
+    #[must_use]
+    pub fn class_probabilities_per_word(
+        &self,
+        pc: PcIndex,
+        offset: WordOffset,
+        supply: Millivolts,
+    ) -> (f64, f64) {
+        if supply >= self.params.landmarks.v_min {
+            return (0.0, 0.0);
+        }
         let v = f64::from(supply.as_u32()) / 1000.0;
         let shift = self.local_shift_volts(pc, offset);
-        (
-            self.params
-                .class_probability(&self.params.curve_stuck0, v, shift),
-            self.params
-                .class_probability(&self.params.curve_stuck1, v, shift),
-        )
+        self.params.class_probabilities(v, shift)
     }
 
     /// Computes the stuck-at masks of one word at a supply voltage:
@@ -168,7 +470,27 @@ impl FaultInjector {
         offset: WordOffset,
         supply: Millivolts,
     ) -> (Word256, Word256) {
-        let (c0, c1) = self.class_probabilities(pc, offset, supply);
+        if supply >= self.params.landmarks.v_min {
+            return (Word256::ZERO, Word256::ZERO);
+        }
+        let table = self.tile_table(pc, supply);
+        let probs = table.tiles[self.grid.tile_of(offset.0)];
+        self.masks_from_probs(pc, offset.0, probs)
+    }
+
+    /// Reference per-word implementation of [`FaultInjector::stuck_masks`]:
+    /// the pre-cache kernel, recomputing shift, probabilities and gates from
+    /// scratch for every word. Property tests assert the cached kernel is
+    /// bit-identical to this path; the experiment layer can select it via
+    /// its traffic execution mode.
+    #[must_use]
+    pub fn stuck_masks_per_word(
+        &self,
+        pc: PcIndex,
+        offset: WordOffset,
+        supply: Millivolts,
+    ) -> (Word256, Word256) {
+        let (c0, c1) = self.class_probabilities_per_word(pc, offset, supply);
         if c0 == 0.0 && c1 == 0.0 {
             return (Word256::ZERO, Word256::ZERO);
         }
@@ -188,11 +510,40 @@ impl FaultInjector {
         // Conditional per-bit thresholds within a gated word.
         let cond0 = if gate0 { (c0 / p_any0).min(1.0) } else { 0.0 };
         let cond1 = if gate1 { (c1 / p_any1).min(1.0) } else { 0.0 };
+        self.enumerate_bits(pc, offset.0, cond0, cond1)
+    }
 
+    /// The gate tests and bit enumeration for one word with its tile
+    /// probabilities already in hand.
+    fn masks_from_probs(&self, pc: PcIndex, w: u64, probs: TileProbs) -> (Word256, Word256) {
+        if probs.c0 == 0.0 && probs.c1 == 0.0 {
+            return (Word256::ZERO, Word256::ZERO);
+        }
+        let pcu = u64::from(pc.as_u8());
+        let gate0 =
+            probs.p_any0 > 0.0 && unit(combine(&[self.seed, pcu, w, TAG_GATE0])) < probs.p_any0;
+        let gate1 =
+            probs.p_any1 > 0.0 && unit(combine(&[self.seed, pcu, w, TAG_GATE1])) < probs.p_any1;
+        if !gate0 && !gate1 {
+            return (Word256::ZERO, Word256::ZERO);
+        }
+        self.enumerate_bits(
+            pc,
+            w,
+            if gate0 { probs.cond0 } else { 0.0 },
+            if gate1 { probs.cond1 } else { 0.0 },
+        )
+    }
+
+    /// The per-bit draws of a gated word against the class-conditional
+    /// thresholds (zero for an ungated class).
+    fn enumerate_bits(&self, pc: PcIndex, w: u64, cond0: f64, cond1: f64) -> (Word256, Word256) {
+        let s0 = self.params.stuck0_share;
+        let pcu = u64::from(pc.as_u8());
         let mut stuck0 = Word256::ZERO;
         let mut stuck1 = Word256::ZERO;
         for bit in 0u32..Word256::BITS {
-            let h = combine(&[base[0], base[1], base[2], TAG_BIT, u64::from(bit)]);
+            let h = combine(&[self.seed, pcu, w, TAG_BIT, u64::from(bit)]);
             let (class_u, thresh_u) = unit_pair(h);
             if class_u < s0 {
                 if thresh_u < cond0 {
@@ -245,46 +596,135 @@ impl FaultInjector {
         }
     }
 
+    /// Runs `f` over every faulty word of the range, in unspecified order,
+    /// through the skip-sampling kernel where the geometry is indexed.
+    fn for_each_faulty<F: FnMut(u64, Word256, Word256)>(
+        &self,
+        pc: PcIndex,
+        words: &Range<u64>,
+        supply: Millivolts,
+        mut f: F,
+    ) {
+        if words.is_empty() || supply >= self.params.landmarks.v_min {
+            return;
+        }
+        assert!(
+            words.end <= self.grid.words_per_pc,
+            "word range end {} out of range for geometry ({} words/pc)",
+            words.end,
+            self.grid.words_per_pc
+        );
+        let table = self.tile_table(pc, supply);
+        let pcu = u64::from(pc.as_u8());
+        let Some(index) = self.pc_gate_index(pc) else {
+            // Unindexed fallback: per-word gate hashes over the tile cache.
+            for w in words.clone() {
+                let probs = table.tiles[self.grid.tile_of(w)];
+                let (s0, s1) = self.masks_from_probs(pc, w, probs);
+                if !(s0.is_zero() && s1.is_zero()) {
+                    f(w, s0, s1);
+                }
+            }
+            return;
+        };
+        for (tile, probs) in table.tiles.iter().enumerate() {
+            if probs.c0 == 0.0 && probs.c1 == 0.0 {
+                continue;
+            }
+            // Words whose class-0 gate passes; their class-1 gate is an
+            // extra hash test, exactly as in the per-word path.
+            for &w32 in index.class0.gated(tile, probs.p_any0) {
+                let w = u64::from(w32);
+                if !words.contains(&w) {
+                    continue;
+                }
+                let gate1 = probs.p_any1 > 0.0
+                    && unit(combine(&[self.seed, pcu, w, TAG_GATE1])) < probs.p_any1;
+                let (s0, s1) =
+                    self.enumerate_bits(pc, w, probs.cond0, if gate1 { probs.cond1 } else { 0.0 });
+                if !(s0.is_zero() && s1.is_zero()) {
+                    f(w, s0, s1);
+                }
+            }
+            // Words gated only by class 1 (class-0-gated ones were already
+            // handled above — the recomputed gate-0 test reproduces the
+            // prefix membership exactly).
+            for &w32 in index.class1.gated(tile, probs.p_any1) {
+                let w = u64::from(w32);
+                if !words.contains(&w) {
+                    continue;
+                }
+                let gate0 = probs.p_any0 > 0.0
+                    && unit(combine(&[self.seed, pcu, w, TAG_GATE0])) < probs.p_any0;
+                if gate0 {
+                    continue;
+                }
+                let (s0, s1) = self.enumerate_bits(pc, w, 0.0, probs.cond1);
+                if !(s0.is_zero() && s1.is_zero()) {
+                    f(w, s0, s1);
+                }
+            }
+        }
+    }
+
     /// Counts faulty bits of each polarity over a contiguous word range of
     /// one pseudo channel: `(stuck-at-0, stuck-at-1)`.
     ///
     /// This is what a write/read-back test with both data patterns measures.
     #[must_use]
-    pub fn count_range(
-        &self,
-        pc: PcIndex,
-        words: std::ops::Range<u64>,
-        supply: Millivolts,
-    ) -> (u64, u64) {
+    pub fn count_range(&self, pc: PcIndex, words: Range<u64>, supply: Millivolts) -> (u64, u64) {
         let mut n0 = 0u64;
         let mut n1 = 0u64;
-        for w in words {
-            let (stuck0, stuck1) = self.stuck_masks(pc, WordOffset(w), supply);
-            n0 += u64::from(stuck0.count_ones());
-            n1 += u64::from(stuck1.count_ones());
-        }
+        self.for_each_faulty(pc, &words, supply, |_, s0, s1| {
+            n0 += u64::from(s0.count_ones());
+            n1 += u64::from(s1.count_ones());
+        });
         (n0, n1)
     }
 
-    /// Iterates over the *faulty* words of a range, yielding
-    /// `(offset, stuck0, stuck1)` and skipping clean words at the cost of
-    /// the two word-gate hashes only — the fast path for building fault
-    /// maps and health scans in the sparse-fault regime.
+    /// Collects the faulty words of a range in ascending offset order,
+    /// yielding `(offset, stuck0, stuck1)` per faulty word. This is the
+    /// bulk-kernel entry point the cached-mask execution mode reuses across
+    /// batch passes and data patterns.
+    #[must_use]
+    pub fn faulty_words(
+        &self,
+        pc: PcIndex,
+        words: Range<u64>,
+        supply: Millivolts,
+    ) -> Vec<(WordOffset, Word256, Word256)> {
+        let mut out = Vec::new();
+        self.for_each_faulty(pc, &words, supply, |w, s0, s1| {
+            out.push((WordOffset(w), s0, s1));
+        });
+        out.sort_unstable_by_key(|&(offset, _, _)| offset.0);
+        out
+    }
+
+    /// Iterates over the *faulty* words of a range in ascending offset
+    /// order, yielding `(offset, stuck0, stuck1)` and skipping clean words —
+    /// the fast path for building fault maps and health scans in the
+    /// sparse-fault regime.
     pub fn scan_faulty(
         &self,
         pc: PcIndex,
-        words: std::ops::Range<u64>,
+        words: Range<u64>,
         supply: Millivolts,
-    ) -> impl Iterator<Item = (WordOffset, Word256, Word256)> + '_ {
-        words.filter_map(move |w| {
-            let offset = WordOffset(w);
-            let (stuck0, stuck1) = self.stuck_masks(pc, offset, supply);
-            if stuck0.is_zero() && stuck1.is_zero() {
-                None
-            } else {
-                Some((offset, stuck0, stuck1))
-            }
-        })
+    ) -> Box<dyn Iterator<Item = (WordOffset, Word256, Word256)> + '_> {
+        if supply >= self.params.landmarks.v_min || words.is_empty() {
+            return Box::new(std::iter::empty());
+        }
+        if self.grid.words_per_pc <= MAX_INDEXED_WORDS_PER_PC {
+            return Box::new(self.faulty_words(pc, words, supply).into_iter());
+        }
+        // Unindexed geometries keep the lazy walk (no allocation
+        // proportional to the fault count).
+        let table = self.tile_table(pc, supply);
+        Box::new(words.filter_map(move |w| {
+            let probs = table.tiles[self.grid.tile_of(w)];
+            let (s0, s1) = self.masks_from_probs(pc, w, probs);
+            (!(s0.is_zero() && s1.is_zero())).then_some((WordOffset(w), s0, s1))
+        }))
     }
 }
 
@@ -318,8 +758,8 @@ mod tests {
 
     #[test]
     fn p_any_matches_naive() {
-        for p in [1e-12, 1e-9, 1e-6, 1e-3, 0.01, 0.1, 0.5, 0.999, 1.0] {
-            let naive = 1.0 - (1.0 - p as f64).powi(256);
+        for p in [1e-12f64, 1e-9, 1e-6, 1e-3, 0.01, 0.1, 0.5, 0.999, 1.0] {
+            let naive = 1.0 - (1.0 - p).powi(256);
             let fast = p_any(p);
             assert!((fast - naive).abs() < 1e-9, "p = {p}: {fast} vs {naive}");
         }
@@ -515,6 +955,123 @@ mod tests {
             let ratio = c / p_any(s * c);
             assert!(ratio >= last, "non-monotone at c = {c}");
             last = ratio;
+        }
+    }
+
+    #[test]
+    fn cached_kernel_matches_reference_path() {
+        let inj = injector();
+        for v in [1000u32, 990, 979, 960, 930, 900, 870, 840, 820] {
+            for w in [0u64, 1, 31, 32, 511, 512, 4095, 8191] {
+                let v = Millivolts(v);
+                let w = WordOffset(w);
+                assert_eq!(
+                    inj.stuck_masks(pc(6), w, v),
+                    inj.stuck_masks_per_word(pc(6), w, v),
+                    "masks diverge at {v} {w}"
+                );
+                assert_eq!(
+                    inj.class_probabilities(pc(6), w, v),
+                    inj.class_probabilities_per_word(pc(6), w, v),
+                    "probabilities diverge at {v} {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn count_range_matches_per_word_walk() {
+        let inj = injector();
+        for v in [990u32, 940, 880, 830] {
+            let v = Millivolts(v);
+            let range = 100u64..2100;
+            let mut n0 = 0u64;
+            let mut n1 = 0u64;
+            for w in range.clone() {
+                let (s0, s1) = inj.stuck_masks_per_word(pc(4), WordOffset(w), v);
+                n0 += u64::from(s0.count_ones());
+                n1 += u64::from(s1.count_ones());
+            }
+            assert_eq!(inj.count_range(pc(4), range, v), (n0, n1), "at {v}");
+        }
+    }
+
+    #[test]
+    fn temperature_change_invalidates_region_cache() {
+        let mut inj = injector();
+        let v = Millivolts(900);
+        // Populate the tile cache at ambient …
+        let cold = inj.count_range(pc(0), 0..4096, v);
+        // … then heat the device: cached tile probabilities must be rebuilt,
+        // matching an injector that never cached at ambient.
+        inj.set_temperature(Celsius(55.0));
+        let mut fresh = injector();
+        fresh.set_temperature(Celsius(55.0));
+        assert_eq!(
+            inj.count_range(pc(0), 0..4096, v),
+            fresh.count_range(pc(0), 0..4096, v)
+        );
+        assert_ne!(
+            inj.count_range(pc(0), 0..4096, v),
+            cold,
+            "a 20 °C rise must change the fault count at 900 mV"
+        );
+        for w in 0..64 {
+            assert_eq!(
+                inj.stuck_masks(pc(0), WordOffset(w), v),
+                inj.stuck_masks_per_word(pc(0), WordOffset(w), v),
+                "stale tile cache leaked after temperature change"
+            );
+        }
+    }
+
+    #[test]
+    fn clones_invalidate_independently() {
+        let mut original = injector();
+        let v = Millivolts(900);
+        let at_ambient = original.count_range(pc(0), 0..512, v); // warm cache
+        let clone = original.clone();
+        original.set_temperature(Celsius(55.0));
+        assert_eq!(
+            clone.count_range(pc(0), 0..512, v),
+            at_ambient,
+            "heating the original must not touch the clone's cache"
+        );
+    }
+
+    #[test]
+    fn faulty_words_sorted_and_matches_scan() {
+        let inj = injector();
+        let v = Millivolts(870);
+        let bulk = inj.faulty_words(pc(2), 0..4096, v);
+        assert!(bulk.windows(2).all(|w| w[0].0 .0 < w[1].0 .0));
+        let scanned: Vec<_> = inj.scan_faulty(pc(2), 0..4096, v).collect();
+        assert_eq!(bulk, scanned);
+    }
+
+    #[test]
+    fn unindexed_geometry_uses_tile_cache_fallback() {
+        // 131072 words/pc exceeds the gate-index cap, exercising the
+        // per-word fallback over the tile cache.
+        let geometry = HbmGeometry::vcu128().scaled(64);
+        assert!(geometry.words_per_pc() > MAX_INDEXED_WORDS_PER_PC);
+        let inj = FaultInjector::new(FaultModelParams::date21(), geometry, 77);
+        for v in [990u32, 900, 850] {
+            let v = Millivolts(v);
+            let mut n0 = 0u64;
+            let mut n1 = 0u64;
+            for w in 0..2048 {
+                let (s0, s1) = inj.stuck_masks_per_word(pc(1), WordOffset(w), v);
+                n0 += u64::from(s0.count_ones());
+                n1 += u64::from(s1.count_ones());
+            }
+            assert_eq!(inj.count_range(pc(1), 0..2048, v), (n0, n1), "at {v}");
+            let lazy: Vec<_> = inj.scan_faulty(pc(1), 0..2048, v).collect();
+            assert_eq!(
+                lazy,
+                inj.faulty_words(pc(1), 0..2048, v),
+                "lazy scan and bulk collection diverge at {v}"
+            );
         }
     }
 }

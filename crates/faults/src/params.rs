@@ -86,6 +86,20 @@ impl FaultModelParams {
         (tail + bulk).min(1.0)
     }
 
+    /// Both class probabilities at once, in the fixed (stuck-at-0,
+    /// stuck-at-1) evaluation order.
+    ///
+    /// This is the single formula both injector kernels go through — the
+    /// per-word reference path and the region-tile cache builder — so their
+    /// results are bit-identical by construction.
+    #[must_use]
+    pub fn class_probabilities(&self, v_volts: f64, shift_volts: f64) -> (f64, f64) {
+        (
+            self.class_probability(&self.curve_stuck0, v_volts, shift_volts),
+            self.class_probability(&self.curve_stuck1, v_volts, shift_volts),
+        )
+    }
+
     /// The stuck-at-1 share (`1 − stuck0_share`).
     #[must_use]
     pub fn stuck1_share(&self) -> f64 {

@@ -58,6 +58,27 @@ pub fn pc_stream(seed: u64, voltage: Millivolts, pc: PcIndex) -> ChaCha8Rng {
     ChaCha8Rng::from_seed(key)
 }
 
+/// The sampled-sweep word offsets for one `(seed, voltage, pseudo channel)`
+/// work item: `samples` draws from `[0, words)` off that item's
+/// [`pc_stream`].
+///
+/// Both execution paths of the reliability tester — the traffic-generator
+/// programs and the cached-mask kernel — draw their sampled offsets through
+/// this one function, so sampled sweeps visit identical words regardless of
+/// the execution mode or worker count.
+#[must_use]
+pub fn sample_offsets(
+    seed: u64,
+    voltage: Millivolts,
+    pc: PcIndex,
+    samples: u64,
+    words: u64,
+) -> Vec<u64> {
+    use rand::Rng;
+    let mut rng = pc_stream(seed, voltage, pc);
+    (0..samples).map(|_| rng.gen_range(0..words)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,6 +107,16 @@ mod tests {
         assert_ne!(base, first_words(8, Millivolts(900), 3, 4));
         assert_ne!(base, first_words(7, Millivolts(901), 3, 4));
         assert_ne!(base, first_words(7, Millivolts(900), 4, 4));
+    }
+
+    #[test]
+    fn sample_offsets_match_direct_stream_draws() {
+        use rand::Rng;
+        let mut rng = pc_stream(3, Millivolts(880), pc(5));
+        let direct: Vec<u64> = (0..64).map(|_| rng.gen_range(0..512)).collect();
+        let sampled = sample_offsets(3, Millivolts(880), pc(5), 64, 512);
+        assert_eq!(sampled, direct);
+        assert!(sampled.iter().all(|&w| w < 512));
     }
 
     #[test]

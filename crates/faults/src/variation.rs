@@ -138,10 +138,23 @@ impl VariationModel {
     /// strongly weak, the rest slightly relieved.
     #[must_use]
     pub fn region_shift_volts(&self, seed: u64, pc: PcIndex, bank: BankId, row: RowId) -> f64 {
+        self.region_shift_volts_by_index(seed, pc, bank, self.region_of(row))
+    }
+
+    /// [`VariationModel::region_shift_volts`] addressed by region index
+    /// directly — the form the injector's tile cache iterates with (one call
+    /// per region instead of one per row).
+    #[must_use]
+    pub fn region_shift_volts_by_index(
+        &self,
+        seed: u64,
+        pc: PcIndex,
+        bank: BankId,
+        region: u32,
+    ) -> f64 {
         if self.weak_region_probability == 0.0 {
             return 0.0;
         }
-        let region = self.region_of(row);
         let u = unit(combine(&[
             seed,
             0x7267,
@@ -371,6 +384,18 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(var.region_of(RowId(63)), 0);
         assert_eq!(var.region_of(RowId(64)), 1);
+    }
+
+    #[test]
+    fn region_shift_by_index_matches_row_addressing() {
+        let var = VariationModel::date21();
+        for row in [0u32, 1, 63, 64, 640, 4095] {
+            assert_eq!(
+                var.region_shift_volts(11, pc(7), BankId(2), RowId(row)),
+                var.region_shift_volts_by_index(11, pc(7), BankId(2), row / var.region_rows),
+                "row {row}"
+            );
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use hbm_device::{HbmGeometry, PcIndex, Word256, WordOffset};
 use hbm_faults::{FaultInjector, FaultMap, FaultModelParams, RatePredictor};
-use hbm_units::{Millivolts, Ratio};
+use hbm_units::{Celsius, Millivolts, Ratio};
 use proptest::prelude::*;
 
 fn injector(seed: u64) -> FaultInjector {
@@ -103,6 +103,58 @@ proptest! {
             last = rate;
             v = v.saturating_sub(Millivolts(30));
         }
+    }
+
+    /// Tentpole guarantee of the region-tiled kernel: the cached path (tile
+    /// probability cache + geometric skip enumeration) is bit-identical to
+    /// the naive per-word reference path for any seed, voltage, PC and
+    /// temperature.
+    #[test]
+    fn kernel_bit_identical_to_per_word_reference(
+        seed in any::<u64>(),
+        pc_index in 0u8..32,
+        word in 0u64..8192,
+        mv in 810u32..1050,
+        temp_tenths in 250u32..=550,
+    ) {
+        let mut inj = injector(seed);
+        inj.set_temperature(Celsius(f64::from(temp_tenths) / 10.0));
+        let pc = PcIndex::new(pc_index).unwrap();
+        let v = Millivolts(mv);
+        let w = WordOffset(word);
+        prop_assert_eq!(inj.stuck_masks(pc, w, v), inj.stuck_masks_per_word(pc, w, v));
+        prop_assert_eq!(
+            inj.class_probabilities(pc, w, v),
+            inj.class_probabilities_per_word(pc, w, v)
+        );
+    }
+
+    /// The skip-sampling range enumeration visits exactly the faulty words
+    /// the reference path finds — same counts, same masks, no extras.
+    #[test]
+    fn kernel_enumeration_matches_reference(
+        seed in any::<u64>(),
+        pc_index in 0u8..32,
+        start in 0u64..7000,
+        len in 1u64..768,
+        mv in 810u32..1000,
+    ) {
+        let inj = injector(seed);
+        let pc = PcIndex::new(pc_index).unwrap();
+        let v = Millivolts(mv);
+        let range = start..(start + len).min(8192);
+        let mut expected = Vec::new();
+        for w in range.clone() {
+            let (s0, s1) = inj.stuck_masks_per_word(pc, WordOffset(w), v);
+            if !(s0.is_zero() && s1.is_zero()) {
+                expected.push((WordOffset(w), s0, s1));
+            }
+        }
+        prop_assert_eq!(inj.faulty_words(pc, range.clone(), v), expected.clone());
+        let counted = inj.count_range(pc, range, v);
+        let sum0: u64 = expected.iter().map(|(_, s0, _)| u64::from(s0.count_ones())).sum();
+        let sum1: u64 = expected.iter().map(|(_, _, s1)| u64::from(s1.count_ones())).sum();
+        prop_assert_eq!(counted, (sum0, sum1));
     }
 
     /// Fault-map usable-PC counts are monotone in tolerance and voltage.

@@ -17,4 +17,13 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> cargo bench --workspace --no-run"
+cargo bench --workspace --no-run
+
+# Kernel determinism gate: the cached fault kernel must stay bit-identical
+# to the per-word reference path. The case count is fixed in-file
+# (with_cases) so this run is reproducible.
+echo "==> kernel bit-identity property tests"
+cargo test -q -p hbm-faults --test properties kernel_
+
 echo "All checks passed."

@@ -5,7 +5,8 @@ use hbm_undervolt_suite::traffic::{
     merge_shard_results, DataPattern, MacroProgram, MemoryPort, PortStats, TrafficGenerator,
 };
 use hbm_undervolt_suite::undervolt::{
-    Experiment, Platform, ReliabilityConfig, ReliabilityTester, TestScope, VoltageSweep,
+    ExecutionMode, Experiment, Platform, ReliabilityConfig, ReliabilityTester, TestScope,
+    VoltageSweep,
 };
 use hbm_units::{Millivolts, Ratio};
 use proptest::prelude::*;
@@ -132,6 +133,9 @@ proptest! {
             scope: TestScope::EntireHbm,
             words_per_pc: Some(128),
             sample_words: sampled.then_some(32),
+            // The subject here is the parallel traffic engine itself, so
+            // force the literal write/read-back path.
+            mode: ExecutionMode::Traffic,
         };
         let tester = ReliabilityTester::new(config).unwrap();
         let mut sequential = Platform::builder().seed(seed).workers(1).build();
