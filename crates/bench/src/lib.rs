@@ -22,7 +22,7 @@ use hbm_undervolt::{
     AcfTable, DynExperiment, Experiment, ExperimentError, GuardbandFinder, Platform, PowerSweep,
     PowerSweepReport, TradeOffAnalysis, UsablePcCurve, VoltageSweep,
 };
-use hbm_units::{Millivolts, Ratio};
+use hbm_units::{Millivolts, Ratio, Volts};
 
 /// The default device seed used by all figure binaries (the "specimen"
 /// every table in `EXPERIMENTS.md` was recorded from).
@@ -311,7 +311,7 @@ fn weak_region_fault_share(params: &FaultModelParams, seed: u64, voltage: Milliv
     let pc = PcIndex::new(0).expect("PC0 valid");
     let table = ShiftTable::new(&params.variation, seed, geometry);
     let pc_shift = table.pc_shift_volts(pc);
-    let v = f64::from(voltage.as_u32()) / 1000.0;
+    let v = voltage.to_volts();
 
     let mut rates = Vec::new();
     let regions_per_bank = geometry.rows_per_bank() / params.variation.region_rows.max(1);
@@ -323,8 +323,9 @@ fn weak_region_fault_share(params: &FaultModelParams, seed: u64, voltage: Milliv
             let shift =
                 pc_shift + bank_shift + params.variation.region_shift_volts(seed, pc, bank_id, row);
             let rate = params.stuck0_share
-                * params.class_probability(&params.curve_stuck0, v, shift)
-                + params.stuck1_share() * params.class_probability(&params.curve_stuck1, v, shift);
+                * params.class_probability(&params.curve_stuck0, v, Volts(shift))
+                + params.stuck1_share()
+                    * params.class_probability(&params.curve_stuck1, v, Volts(shift));
             rates.push(rate);
         }
     }

@@ -14,22 +14,51 @@
 //!                    [--from MV] [--to MV] [--step MV]
 //!                    [--batch N] [--words N] [--sample N]
 //!                    [--kernel cached|traffic]
+//! hbmctl sweep       [reliability flags] [--checkpoint FILE] [--resume]
+//!                    [--retries N] [--point-deadline MS] [--v-crash MV]
+//!                    [--transient-prob P] [--transient-window MV]
 //! hbmctl trade-off   [--seed N] [--format text|csv|json]
 //! hbmctl fault-map   [--seed N] [--out FILE]
 //! hbmctl plan        [--seed N] --capacity-gb G --tolerance RATE
 //! ```
+//!
+//! Exit codes: `0` success, `1` runtime failure (an experiment, device or
+//! I/O error), `2` configuration/usage error (bad flags, bad values —
+//! printed with the usage text).
 
 use std::process::ExitCode;
 
+use hbm_device::TransientCrashModel;
 use hbm_faults::FaultMap;
 use hbm_power::HbmPowerModel;
 use hbm_traffic::DataPattern;
 use hbm_undervolt::report::{to_json, Render};
 use hbm_undervolt::{
-    ExecutionMode, Experiment, GuardbandFinder, Platform, PowerSweep, ReliabilityConfig,
-    ReliabilityTester, TestScope, TradeOffAnalysis, VoltageSweep,
+    summarize, ExecutionMode, Experiment, GuardbandFinder, Platform, PowerSweep, ReliabilityConfig,
+    ReliabilityTester, SweepConfig, TestScope, TradeOffAnalysis, VoltageSweep,
 };
 use hbm_units::{Millivolts, Ratio};
+
+/// Flags that take no value.
+const BOOLEAN_FLAGS: &[&str] = &["resume"];
+
+/// A CLI failure, split by blame so `main` can pick the exit code:
+/// configuration/usage problems exit 2 (with the usage text), runtime
+/// failures exit 1.
+enum CliError {
+    Config(String),
+    Runtime(String),
+}
+
+impl CliError {
+    fn config(message: impl Into<String>) -> Self {
+        CliError::Config(message.into())
+    }
+
+    fn runtime(message: impl Into<String>) -> Self {
+        CliError::Runtime(message.into())
+    }
+}
 
 struct Args {
     positional: Vec<String>,
@@ -37,15 +66,19 @@ struct Args {
 }
 
 impl Args {
-    fn parse() -> Result<Self, String> {
+    fn parse() -> Result<Self, CliError> {
         let mut positional = Vec::new();
         let mut flags = Vec::new();
         let mut iter = std::env::args().skip(1);
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
+                if BOOLEAN_FLAGS.contains(&name) {
+                    flags.push((name.to_owned(), "true".to_owned()));
+                    continue;
+                }
                 let value = iter
                     .next()
-                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                    .ok_or_else(|| CliError::config(format!("flag --{name} needs a value")))?;
                 flags.push((name.to_owned(), value));
             } else {
                 positional.push(arg);
@@ -54,43 +87,47 @@ impl Args {
         Ok(Args { positional, flags })
     }
 
-    fn flag<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+    fn flag<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.flags.iter().find(|(n, _)| n == name) {
             None => Ok(default),
             Some((_, raw)) => raw
                 .parse()
-                .map_err(|_| format!("invalid value for --{name}: {raw}")),
+                .map_err(|_| CliError::config(format!("invalid value for --{name}: {raw}"))),
         }
     }
 
-    fn optional<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+    fn optional<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, CliError> {
         match self.flags.iter().find(|(n, _)| n == name) {
             None => Ok(None),
             Some((_, raw)) => raw
                 .parse()
                 .map(Some)
-                .map_err(|_| format!("invalid value for --{name}: {raw}")),
+                .map_err(|_| CliError::config(format!("invalid value for --{name}: {raw}"))),
         }
     }
 
-    fn required<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+    fn required<T: std::str::FromStr>(&self, name: &str) -> Result<T, CliError> {
         let (_, raw) = self
             .flags
             .iter()
             .find(|(n, _)| n == name)
-            .ok_or_else(|| format!("missing required flag --{name}"))?;
+            .ok_or_else(|| CliError::config(format!("missing required flag --{name}")))?;
         raw.parse()
-            .map_err(|_| format!("invalid value for --{name}: {raw}"))
+            .map_err(|_| CliError::config(format!("invalid value for --{name}: {raw}")))
     }
 }
 
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
+        Err(CliError::Config(message)) => {
             eprintln!("hbmctl: {message}");
             eprintln!();
             eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(message)) => {
+            eprintln!("hbmctl: {message}");
             ExitCode::FAILURE
         }
     }
@@ -102,17 +139,20 @@ const USAGE: &str = "usage:
   hbmctl reliability [--seed N] [--workers N] [--format text|csv|json]
                      [--from MV] [--to MV] [--step MV] [--batch N] [--words N] [--sample N]
                      [--kernel cached|traffic]
+  hbmctl sweep       [reliability flags] [--checkpoint FILE] [--resume]
+                     [--retries N] [--point-deadline MS] [--v-crash MV]
+                     [--transient-prob P] [--transient-window MV]
   hbmctl trade-off   [--seed N] [--format text|csv|json]
   hbmctl fault-map   [--seed N] [--out FILE]
   hbmctl plan        [--seed N] --capacity-gb G --tolerance RATE";
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), CliError> {
     let args = Args::parse()?;
     let command = args
         .positional
         .first()
         .map(String::as_str)
-        .ok_or("no command given")?;
+        .ok_or_else(|| CliError::config("no command given"))?;
     let seed: u64 = args.flag("seed", 7)?;
     let workers: usize = args.flag("workers", 1)?;
 
@@ -120,13 +160,15 @@ fn run() -> Result<(), String> {
         "guardband" => dispatch(&GuardbandFinder::new(), seed, workers, &args),
         "power-sweep" => dispatch(&PowerSweep::date21(), seed, workers, &args),
         "reliability" => {
-            let tester = reliability_tester(&args)?;
+            let tester = ReliabilityTester::new(reliability_config(&args)?)
+                .map_err(|e| CliError::config(e.to_string()))?;
             dispatch(&tester, seed, workers, &args)
         }
+        "sweep" => supervised_sweep(seed, workers, &args),
         "trade-off" => dispatch(&trade_off(seed), seed, workers, &args),
         "fault-map" => fault_map(seed, &args),
         "plan" => plan(seed, &args),
-        other => Err(format!("unknown command: {other}")),
+        other => Err(CliError::config(format!("unknown command: {other}"))),
     }
 }
 
@@ -134,9 +176,27 @@ fn platform(seed: u64, workers: usize) -> Platform {
     Platform::builder().seed(seed).workers(workers).build()
 }
 
+/// Prints a report in the requested `--format`.
+fn render<R: Render + serde::Serialize>(report: &R, format: &str) -> Result<(), CliError> {
+    match format {
+        "text" => print!("{}", report.to_text()),
+        "csv" => print!("{}", report.to_csv()),
+        "json" => println!(
+            "{}",
+            to_json(report).map_err(|e| CliError::runtime(e.to_string()))?
+        ),
+        other => {
+            return Err(CliError::config(format!(
+                "unknown format: {other} (use text, csv or json)"
+            )))
+        }
+    }
+    Ok(())
+}
+
 /// Runs any experiment and prints its report in the requested format —
 /// the whole tool funnels through this one generic function.
-fn dispatch<E>(experiment: &E, seed: u64, workers: usize, args: &Args) -> Result<(), String>
+fn dispatch<E>(experiment: &E, seed: u64, workers: usize, args: &Args) -> Result<(), CliError>
 where
     E: Experiment,
     E::Report: Render + serde::Serialize,
@@ -149,20 +209,18 @@ where
         p.workers(),
         if p.workers() == 1 { "" } else { "s" }
     );
-    let report = experiment.run(&mut p).map_err(|e| e.to_string())?;
-    match format.as_str() {
-        "text" => print!("{}", report.to_text()),
-        "csv" => print!("{}", report.to_csv()),
-        "json" => println!("{}", to_json(&report).map_err(|e| e.to_string())?),
-        other => return Err(format!("unknown format: {other} (use text, csv or json)")),
-    }
-    Ok(())
+    let report = experiment
+        .run(&mut p)
+        .map_err(|e| CliError::runtime(e.to_string()))?;
+    render(&report, &format)
 }
 
-fn reliability_tester(args: &Args) -> Result<ReliabilityTester, String> {
-    let from: u32 = args.flag("from", 980)?;
-    let to: u32 = args.flag("to", 850)?;
-    let step: u32 = args.flag("step", 10)?;
+/// The measurement flags shared by `reliability` and `sweep`. Voltages are
+/// parsed as typed [`Millivolts`] ("980" or "980mV").
+fn reliability_config(args: &Args) -> Result<ReliabilityConfig, CliError> {
+    let from: Millivolts = args.flag("from", Millivolts(980))?;
+    let to: Millivolts = args.flag("to", Millivolts(850))?;
+    let step: Millivolts = args.flag("step", Millivolts(10))?;
     let batch: usize = args.flag("batch", 1)?;
     let words: u64 = args.flag("words", 1024)?;
     let sample: Option<u64> = args.optional("sample")?;
@@ -170,20 +228,73 @@ fn reliability_tester(args: &Args) -> Result<ReliabilityTester, String> {
     let mode = match kernel.as_str() {
         "cached" => ExecutionMode::CachedMasks,
         "traffic" => ExecutionMode::Traffic,
-        other => return Err(format!("unknown kernel: {other} (use cached or traffic)")),
+        other => {
+            return Err(CliError::config(format!(
+                "unknown kernel: {other} (use cached or traffic)"
+            )))
+        }
     };
 
-    let config = ReliabilityConfig {
-        sweep: VoltageSweep::new(Millivolts(from), Millivolts(to), Millivolts(step))
-            .map_err(|e| e.to_string())?,
+    Ok(ReliabilityConfig {
+        sweep: VoltageSweep::new(from, to, step).map_err(|e| CliError::config(e.to_string()))?,
         batch_size: batch,
         patterns: vec![DataPattern::AllOnes, DataPattern::AllZeros],
         scope: TestScope::EntireHbm,
         words_per_pc: Some(words),
         sample_words: sample,
         mode,
-    };
-    ReliabilityTester::new(config).map_err(|e| e.to_string())
+    })
+}
+
+/// `hbmctl sweep`: the crash-aware resilient runtime — checkpointed
+/// resume, retry with backoff, per-port quarantine — over the reliability
+/// measurement, assembled through the unified [`SweepConfig`].
+fn supervised_sweep(seed: u64, workers: usize, args: &Args) -> Result<(), CliError> {
+    let format: String = args.flag("format", "text".to_owned())?;
+    let mut config = SweepConfig::from_reliability(reliability_config(args)?)
+        .seed(seed)
+        .workers(workers)
+        .retries(args.flag("retries", 3u32)?);
+    if let Some(deadline) = args.optional::<u64>("point-deadline")? {
+        config = config.point_deadline_ms(deadline);
+    }
+    if let Some(v_crash) = args.optional::<Millivolts>("v-crash")? {
+        config = config.v_crash(v_crash);
+    }
+    if let Some(probability) = args.optional::<f64>("transient-prob")? {
+        if !(0.0..=1.0).contains(&probability) {
+            return Err(CliError::config(
+                "--transient-prob must be a probability in [0, 1]",
+            ));
+        }
+        let window: Millivolts = args.flag("transient-window", Millivolts(50))?;
+        config = config.transient_crashes(TransientCrashModel::new(probability, window));
+    }
+    if let Some(path) = args.optional::<String>("checkpoint")? {
+        config = config.checkpoint(path);
+    }
+    let resume: bool = args.flag("resume", false)?;
+    config = config.resume(resume);
+
+    let supervisor = config
+        .build_supervisor()
+        .map_err(|e| CliError::config(e.to_string()))?;
+    let mut p = config.build_platform();
+    let points = supervisor.tester().config().sweep.len();
+    eprintln!(
+        "hbmctl: {} (seed {seed}, {} worker{}, {points} point{}{})",
+        supervisor.name(),
+        p.workers(),
+        if p.workers() == 1 { "" } else { "s" },
+        if points == 1 { "" } else { "s" },
+        if resume { ", resuming" } else { "" }
+    );
+    let report = supervisor
+        .run(&mut p)
+        .map_err(|e| CliError::runtime(e.to_string()))?;
+    render(&report, &format)?;
+    eprintln!("hbmctl: {}", summarize(&report));
+    Ok(())
 }
 
 fn trade_off(seed: u64) -> TradeOffAnalysis {
@@ -197,7 +308,7 @@ fn trade_off(seed: u64) -> TradeOffAnalysis {
     TradeOffAnalysis::new(map, HbmPowerModel::date21())
 }
 
-fn fault_map(seed: u64, args: &Args) -> Result<(), String> {
+fn fault_map(seed: u64, args: &Args) -> Result<(), CliError> {
     let p = platform(seed, 1);
     let map = FaultMap::from_predictor(
         p.full_scale_predictor(),
@@ -205,10 +316,11 @@ fn fault_map(seed: u64, args: &Args) -> Result<(), String> {
         Millivolts(810),
         Millivolts(10),
     );
-    let json = to_json(&map).map_err(|e| e.to_string())?;
+    let json = to_json(&map).map_err(|e| CliError::runtime(e.to_string()))?;
     match args.flags.iter().find(|(n, _)| n == "out") {
         Some((_, path)) => {
-            std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+            std::fs::write(path, &json)
+                .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
             println!(
                 "fault map for seed {seed}: {} PCs x {} voltages -> {path}",
                 map.profiles.len(),
@@ -220,11 +332,11 @@ fn fault_map(seed: u64, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn plan(seed: u64, args: &Args) -> Result<(), String> {
+fn plan(seed: u64, args: &Args) -> Result<(), CliError> {
     let capacity_gb: f64 = args.required("capacity-gb")?;
     let tolerance: f64 = args.required("tolerance")?;
     if !(0.0..=1.0).contains(&tolerance) {
-        return Err("tolerance must be a fraction in [0, 1]".to_owned());
+        return Err(CliError::config("tolerance must be a fraction in [0, 1]"));
     }
 
     let analysis = trade_off(seed);
@@ -242,8 +354,8 @@ fn plan(seed: u64, args: &Args) -> Result<(), String> {
             println!("  worst PC rate  {:.3e}", point.worst_fault_rate.as_f64());
             Ok(())
         }
-        None => Err(format!(
+        None => Err(CliError::runtime(format!(
             "no swept voltage provides {capacity_gb} GB within fault rate {tolerance}"
-        )),
+        ))),
     }
 }

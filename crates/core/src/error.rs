@@ -34,6 +34,19 @@ pub enum ExperimentError {
         /// What is wrong with it.
         reason: String,
     },
+    /// A sweep checkpoint could not be written, read, or does not belong to
+    /// the run trying to resume from it.
+    Checkpoint {
+        /// What went wrong.
+        reason: String,
+    },
+    /// The supervised sweep was interrupted (kill injection or an external
+    /// abort) after checkpointing `completed_points`; resume from the
+    /// checkpoint to continue.
+    Interrupted {
+        /// Voltage points durably completed before the interruption.
+        completed_points: usize,
+    },
 }
 
 impl ExperimentError {
@@ -41,6 +54,14 @@ impl ExperimentError {
     #[must_use]
     pub fn config(reason: impl Into<String>) -> Self {
         ExperimentError::Config {
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for checkpoint errors.
+    #[must_use]
+    pub fn checkpoint(reason: impl Into<String>) -> Self {
+        ExperimentError::Checkpoint {
             reason: reason.into(),
         }
     }
@@ -60,6 +81,12 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Pmbus(e) => write!(f, "pmbus error: {e}"),
             ExperimentError::Faults(e) => write!(f, "fault model error: {e}"),
             ExperimentError::Config { reason } => write!(f, "invalid configuration: {reason}"),
+            ExperimentError::Checkpoint { reason } => write!(f, "checkpoint error: {reason}"),
+            ExperimentError::Interrupted { completed_points } => write!(
+                f,
+                "sweep interrupted after {completed_points} checkpointed point(s); \
+                 resume from the checkpoint to continue"
+            ),
         }
     }
 }
@@ -70,7 +97,9 @@ impl Error for ExperimentError {
             ExperimentError::Device(e) => Some(e),
             ExperimentError::Pmbus(e) => Some(e),
             ExperimentError::Faults(e) => Some(e),
-            ExperimentError::Config { .. } => None,
+            ExperimentError::Config { .. }
+            | ExperimentError::Checkpoint { .. }
+            | ExperimentError::Interrupted { .. } => None,
         }
     }
 }
@@ -118,6 +147,16 @@ mod tests {
             config.to_string(),
             "invalid configuration: step must divide the range"
         );
+
+        let checkpoint = ExperimentError::checkpoint("version 9 is newer than this binary");
+        assert!(checkpoint.source().is_none());
+        assert!(checkpoint.to_string().starts_with("checkpoint error:"));
+
+        let interrupted = ExperimentError::Interrupted {
+            completed_points: 3,
+        };
+        assert!(interrupted.source().is_none());
+        assert!(interrupted.to_string().contains("3 checkpointed"));
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::platform::Platform;
 use crate::power_test::{PowerSweep, PowerSweepReport};
 use crate::reliability::{ReliabilityReport, ReliabilityTester};
 use crate::report::Render;
+use crate::supervisor::{SupervisedReport, SweepSupervisor};
 use crate::trade_off::{TradeOffAnalysis, TradeOffReport};
 
 /// A named experiment that runs against a [`Platform`] and produces a
@@ -103,6 +104,18 @@ impl Experiment for ReliabilityTester {
 
     fn run(&self, platform: &mut Platform) -> Result<ReliabilityReport, ExperimentError> {
         ReliabilityTester::run(self, platform)
+    }
+}
+
+impl Experiment for SweepSupervisor {
+    type Report = SupervisedReport;
+
+    fn name(&self) -> &str {
+        "supervised-sweep"
+    }
+
+    fn run(&self, platform: &mut Platform) -> Result<SupervisedReport, ExperimentError> {
+        SweepSupervisor::run(self, platform)
     }
 }
 

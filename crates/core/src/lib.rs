@@ -28,7 +28,11 @@
 //!   figure's report;
 //! - [`Experiment`]: the unified interface every study above implements —
 //!   one `run(&mut Platform)` entry point, and [`DynExperiment`] when you
-//!   want a heterogeneous campaign of boxed experiments.
+//!   want a heterogeneous campaign of boxed experiments;
+//! - [`SweepSupervisor`]: the crash-aware resilient runtime — checkpointed
+//!   resume, transient-failure retry with bounded exponential backoff, and
+//!   per-port quarantine around the reliability sweep — with
+//!   [`SweepConfig`] as the one builder for every campaign knob.
 //!
 //! # Quick start
 //!
@@ -107,7 +111,9 @@ mod power_test;
 mod reliability;
 pub mod report;
 pub mod stats;
+mod supervisor;
 mod sweep;
+mod sweep_config;
 mod trade_off;
 
 pub use engine::ShardPort;
@@ -122,7 +128,12 @@ pub use reliability::{
     TestScope, VoltagePoint,
 };
 pub use report::{AcfTable, Render};
+pub use supervisor::{
+    summarize, Clock, PointOutcome, QuarantineRecord, RetryPolicy, SupervisedPoint,
+    SupervisedReport, SweepCheckpoint, SweepSupervisor, SystemClock, TestClock, CHECKPOINT_VERSION,
+};
 pub use sweep::VoltageSweep;
+pub use sweep_config::SweepConfig;
 pub use trade_off::{
     OperatingPoint, PlannedFraction, TradeOffAnalysis, TradeOffReport, UsablePcCurve,
 };

@@ -1,13 +1,14 @@
 //! The simulated VCU128 testbed: device + rail + fault injection + traffic.
 
 use hbm_device::{
-    BandwidthModel, ClockConfig, DeviceError, HbmDevice, HbmGeometry, PortId, Word256, WordOffset,
+    BandwidthModel, ClockConfig, DeviceError, HbmDevice, HbmGeometry, PortId, TransientCrashModel,
+    Word256, WordOffset, CRASH_FLOOR,
 };
 use hbm_faults::{FaultInjector, FaultModelParams, RatePredictor};
 use hbm_power::{HbmPowerModel, PowerModelParams};
 use hbm_traffic::{MemoryPort, PortProvider};
 use hbm_units::{Amperes, Celsius, GigabytesPerSecond, Millivolts, Ratio, Watts};
-use hbm_vreg::{HostInterface, PmbusCommand, PmbusDevice, PowerRail};
+use hbm_vreg::{HostInterface, PowerRail};
 use serde::{Deserialize, Serialize};
 
 use crate::engine::ShardPort;
@@ -49,6 +50,8 @@ pub struct PlatformBuilder {
     clock: ClockConfig,
     temperature: Celsius,
     workers: usize,
+    v_crash: Millivolts,
+    transient: Option<TransientCrashModel>,
 }
 
 impl PlatformBuilder {
@@ -109,6 +112,25 @@ impl PlatformBuilder {
         self
     }
 
+    /// The crash floor `v_crash`: driving the rail below this voltage
+    /// crashes the device (default: the study's V_critical, 810 mV).
+    #[must_use]
+    pub fn v_crash(mut self, v_crash: Millivolts) -> Self {
+        self.v_crash = v_crash;
+        self
+    }
+
+    /// Enables the stochastic transient-failure model: each supply change
+    /// landing within `window` above the crash floor crashes the platform
+    /// with the given probability (deterministically keyed by seed, voltage
+    /// and attempt). Used for fault-injection testing of the resilient
+    /// sweep runtime; the default is off.
+    #[must_use]
+    pub fn transient_crashes(mut self, model: TransientCrashModel) -> Self {
+        self.transient = Some(model);
+        self
+    }
+
     /// Assembles the platform.
     ///
     /// # Panics
@@ -125,8 +147,11 @@ impl PlatformBuilder {
         full_predictor.set_temperature(self.temperature);
         let mut rail = PowerRail::vcc_hbm(self.seed);
         rail.set_ambient(self.temperature);
+        let mut device = HbmDevice::new(self.geometry);
+        device.set_crash_floor(self.v_crash);
+        device.set_transient_crashes(self.transient, self.seed);
         Platform {
-            device: HbmDevice::new(self.geometry),
+            device,
             rail,
             injector,
             predictor,
@@ -149,6 +174,8 @@ impl Default for PlatformBuilder {
             clock: ClockConfig::vcu128(),
             temperature: Celsius::STUDY_AMBIENT,
             workers: 1,
+            v_crash: CRASH_FLOOR,
+            transient: None,
         }
     }
 }
@@ -238,20 +265,33 @@ impl Platform {
         self.device.is_crashed()
     }
 
-    /// Power-cycles the board: regulator output off, back on at `restart`,
-    /// device restarted (losing DRAM content), faults cleared.
+    /// The crash floor: the device crashes whenever the rail drops below
+    /// this voltage (see [`PlatformBuilder::v_crash`]).
+    #[must_use]
+    pub fn v_crash(&self) -> Millivolts {
+        self.device.crash_floor()
+    }
+
+    /// Number of power cycles this platform has performed.
+    #[must_use]
+    pub fn power_cycle_count(&self) -> u32 {
+        self.device.power_cycle_count()
+    }
+
+    /// Power-cycles the board: the rail drives the regulator output off,
+    /// back on at `restart` and clears latched faults; the device restarts,
+    /// losing all DRAM content. Uninitialized content after the cycle is
+    /// re-randomized deterministically from the platform seed (and the
+    /// cycle count), modelling the undefined power-up state of real DRAM
+    /// without breaking run-to-run reproducibility.
     ///
     /// # Errors
     ///
     /// PMBus errors.
     pub fn power_cycle(&mut self, restart: Millivolts) -> Result<(), ExperimentError> {
-        let regulator = self.rail.regulator_mut();
-        regulator.write_byte(PmbusCommand::Operation, 0x00)?;
-        regulator.write_byte(PmbusCommand::Operation, 0x80)?;
-        let mut host = HostInterface::new(regulator);
-        host.set_vout(restart)?;
-        host.clear_faults()?;
-        self.device.power_cycle(self.rail.voltage());
+        self.rail.power_cycle(restart)?;
+        self.device
+            .power_cycle_with_seed(self.rail.voltage(), self.seed);
         Ok(())
     }
 
@@ -391,6 +431,10 @@ impl Platform {
     }
 
     /// Reconfigures the worker count (see [`PlatformBuilder::workers`]).
+    #[deprecated(
+        since = "0.4.0",
+        note = "set the worker count up front via PlatformBuilder::workers or SweepConfig::workers"
+    )]
     pub fn set_workers(&mut self, workers: usize) {
         self.workers = workers.max(1);
     }
@@ -611,7 +655,7 @@ mod tests {
     }
 
     #[test]
-    fn power_cycle_loses_content() {
+    fn power_cycle_loses_content_to_a_seeded_background() {
         let mut p = platform();
         let port = PortId::new(1).unwrap();
         {
@@ -619,7 +663,46 @@ mod tests {
             access.write(WordOffset(0), Word256::ONES).unwrap();
         }
         p.power_cycle(Millivolts(1200)).unwrap();
+        assert_eq!(p.power_cycle_count(), 1);
+        // The written word is gone; what remains is the deterministic
+        // power-up noise derived from the platform seed, not all-zeros.
+        let pc = port.direct_pc();
+        let background = p.device().pseudo_channel(pc).array().background();
+        assert_ne!(background, Word256::ONES);
+        assert_ne!(background, Word256::ZERO);
         let mut access = Platform::port(&mut p, port);
-        assert_eq!(access.read(WordOffset(0)).unwrap(), Word256::ZERO);
+        assert_eq!(access.read(WordOffset(0)).unwrap(), background);
+
+        // The same seed reproduces the same power-up state.
+        let mut q = platform();
+        q.power_cycle(Millivolts(1200)).unwrap();
+        assert_eq!(
+            q.device().pseudo_channel(pc).array().background(),
+            background
+        );
+    }
+
+    #[test]
+    fn configurable_crash_floor_and_transient_injection() {
+        let mut p = Platform::builder().seed(7).v_crash(Millivolts(900)).build();
+        assert_eq!(p.v_crash(), Millivolts(900));
+        p.set_voltage(Millivolts(890)).unwrap();
+        assert!(p.is_crashed(), "must crash below the raised floor");
+        p.power_cycle(Millivolts(1200)).unwrap();
+        assert!(!p.is_crashed());
+
+        // A certain transient (probability 1) within the window crashes the
+        // platform even though the voltage is above the crash floor.
+        let mut t = Platform::builder()
+            .seed(7)
+            .transient_crashes(TransientCrashModel::new(1.0, Millivolts(50)))
+            .build();
+        t.set_voltage(Millivolts(840)).unwrap();
+        assert!(t.is_crashed(), "certain transient must fire in the window");
+        t.power_cycle(Millivolts(1200)).unwrap();
+        assert!(!t.is_crashed());
+        // Outside the window the same platform is stable.
+        t.set_voltage(Millivolts(1000)).unwrap();
+        assert!(!t.is_crashed());
     }
 }

@@ -9,7 +9,7 @@
 
 use std::time::Instant;
 
-use hbm_device::{PcIndex, PortId};
+use hbm_device::{DeviceError, PcIndex, PortId};
 use hbm_faults::pc_stream;
 use hbm_traffic::{DataPattern, MacroProgram, PortStats};
 use hbm_units::{Millivolts, Ratio};
@@ -337,59 +337,124 @@ impl ReliabilityTester {
     /// *crash* at a swept voltage is expected behaviour and is recorded in
     /// the report rather than returned.
     pub fn run(&self, platform: &mut Platform) -> Result<ReliabilityReport, ExperimentError> {
-        let geometry = platform.geometry();
-        let ports = self.config.scope.ports(geometry.total_pcs())?;
-        if ports.is_empty() {
-            return Err(ExperimentError::config(
-                "scope selects no ports on this geometry",
-            ));
-        }
-        let words = self
-            .config
-            .words_per_pc
-            .map_or(geometry.words_per_pc(), |w| w.min(geometry.words_per_pc()));
-        let words_checked_per_pc = self.config.sample_words.unwrap_or(words);
-        let checked_bits_per_run = words_checked_per_pc * 256 * ports.len() as u64;
+        let ports = self.scoped_ports(platform)?;
+        let checked_bits_per_run = self.checked_bits_per_run(platform, &ports);
 
         let mut points = Vec::with_capacity(self.config.sweep.len());
         for voltage in self.config.sweep.iter() {
-            platform.set_voltage(voltage)?;
-            if platform.is_crashed() {
-                points.push(VoltagePoint {
-                    voltage,
-                    crashed: true,
-                    outcomes: Vec::new(),
-                    words_per_second: 0.0,
-                    masks_per_second: 0.0,
-                });
-                platform.power_cycle(Millivolts(1200))?;
-                platform.set_voltage(Millivolts(1200))?;
-                continue;
+            match self.run_point(platform, &ports, voltage) {
+                Ok(point) => points.push(point),
+                // A transient crash above the floor: the plain tester has no
+                // retry machinery (that is the SweepSupervisor's job), so it
+                // records the point as crashed and recovers, exactly like a
+                // genuine cliff crash.
+                Err(e) if e.is_crash() => {
+                    points.push(VoltagePoint {
+                        voltage,
+                        crashed: true,
+                        outcomes: Vec::new(),
+                        words_per_second: 0.0,
+                        masks_per_second: 0.0,
+                    });
+                    platform.power_cycle(Millivolts(1200))?;
+                    platform.set_voltage(Millivolts(1200))?;
+                }
+                Err(e) => return Err(e),
             }
-
-            let started = Instant::now();
-            let (outcomes, work) = match self.config.mode {
-                ExecutionMode::CachedMasks => {
-                    self.run_point_cached(platform, &ports, words, voltage)?
-                }
-                ExecutionMode::Traffic => {
-                    self.run_point_traffic(platform, &ports, words, voltage)?
-                }
-            };
-            let elapsed = started.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
-            points.push(VoltagePoint {
-                voltage,
-                crashed: false,
-                outcomes,
-                words_per_second: work.words as f64 / elapsed,
-                masks_per_second: work.masks as f64 / elapsed,
-            });
         }
 
         Ok(ReliabilityReport {
             config: self.config.clone(),
             checked_bits_per_run,
             points,
+        })
+    }
+
+    /// The ports the configured scope selects on this platform's geometry.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors for out-of-range or empty port scopes.
+    pub fn scoped_ports(&self, platform: &Platform) -> Result<Vec<PortId>, ExperimentError> {
+        let ports = self.config.scope.ports(platform.geometry().total_pcs())?;
+        if ports.is_empty() {
+            return Err(ExperimentError::config(
+                "scope selects no ports on this geometry",
+            ));
+        }
+        Ok(ports)
+    }
+
+    /// Bits checked per run per pattern over `ports` — the fault-rate
+    /// denominator of the reports.
+    #[must_use]
+    pub fn checked_bits_per_run(&self, platform: &Platform, ports: &[PortId]) -> u64 {
+        let geometry = platform.geometry();
+        let words = self
+            .config
+            .words_per_pc
+            .map_or(geometry.words_per_pc(), |w| w.min(geometry.words_per_pc()));
+        let words_checked_per_pc = self.config.sample_words.unwrap_or(words);
+        words_checked_per_pc * 256 * ports.len() as u64
+    }
+
+    /// Runs one voltage point of the sweep over `ports` and returns its
+    /// measurements. This is the unit of work the [`SweepSupervisor`]
+    /// checkpoints, retries and deadlines.
+    ///
+    /// A crash *below* the platform's crash floor is the expected cliff
+    /// behaviour: the point comes back with `crashed: true` and the
+    /// platform is recovered (power-cycled to nominal) before returning.
+    /// A crash *at or above* the floor can only be a transient failure, so
+    /// it is returned as a [`DeviceError::Crashed`] error for the caller to
+    /// retry — the platform is left crashed until someone power-cycles it.
+    ///
+    /// [`SweepSupervisor`]: crate::SweepSupervisor
+    ///
+    /// # Errors
+    ///
+    /// PMBus errors, unexpected device errors, and transient crashes as
+    /// described above.
+    pub fn run_point(
+        &self,
+        platform: &mut Platform,
+        ports: &[PortId],
+        voltage: Millivolts,
+    ) -> Result<VoltagePoint, ExperimentError> {
+        let geometry = platform.geometry();
+        let words = self
+            .config
+            .words_per_pc
+            .map_or(geometry.words_per_pc(), |w| w.min(geometry.words_per_pc()));
+
+        platform.set_voltage(voltage)?;
+        if platform.is_crashed() {
+            if voltage >= platform.v_crash() {
+                return Err(ExperimentError::from(DeviceError::Crashed));
+            }
+            platform.power_cycle(Millivolts(1200))?;
+            platform.set_voltage(Millivolts(1200))?;
+            return Ok(VoltagePoint {
+                voltage,
+                crashed: true,
+                outcomes: Vec::new(),
+                words_per_second: 0.0,
+                masks_per_second: 0.0,
+            });
+        }
+
+        let started = Instant::now();
+        let (outcomes, work) = match self.config.mode {
+            ExecutionMode::CachedMasks => self.run_point_cached(platform, ports, words, voltage)?,
+            ExecutionMode::Traffic => self.run_point_traffic(platform, ports, words, voltage)?,
+        };
+        let elapsed = started.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+        Ok(VoltagePoint {
+            voltage,
+            crashed: false,
+            outcomes,
+            words_per_second: work.words as f64 / elapsed,
+            masks_per_second: work.masks as f64 / elapsed,
         })
     }
 
@@ -522,7 +587,7 @@ impl ReliabilityTester {
             (a + s.flips_1to0, b + s.flips_0to1)
         });
         debug_assert!(
-            voltage >= Millivolts(810),
+            !platform.is_crashed(),
             "tester only runs at operational voltages"
         );
         Ok(PatternOutcome {

@@ -18,6 +18,7 @@ use crate::guardband::GuardbandReport;
 use crate::platform::Platform;
 use crate::power_test::PowerSweepReport;
 use crate::reliability::ReliabilityReport;
+use crate::supervisor::{PointOutcome, SupervisedReport};
 use crate::trade_off::{TradeOffReport, UsablePcCurve};
 
 /// A report that can render itself both as the paper's plain-text table
@@ -509,6 +510,87 @@ impl Render for ReliabilityReport {
                 "flips_0to1",
                 "words_per_sec",
                 "masks_per_sec",
+            ],
+            &rows,
+        )
+    }
+}
+
+impl Render for SupervisedReport {
+    /// The reliability table for the completed points, followed by the
+    /// resilience bookkeeping (skips and quarantines).
+    fn to_text(&self) -> String {
+        let mut out = self.to_reliability().to_text();
+        for (voltage, reason) in self.skipped_points() {
+            writeln!(
+                out,
+                "{:>8}  skipped: {reason}",
+                format!("{:.2}", f64::from(voltage.as_u32()) / 1000.0)
+            )
+            .expect("write to string");
+        }
+        for q in &self.quarantined {
+            writeln!(
+                out,
+                "quarantined port {} at {}: {}",
+                q.port, q.voltage, q.reason
+            )
+            .expect("write to string");
+        }
+        out
+    }
+
+    fn to_csv(&self) -> String {
+        let mut rows = Vec::new();
+        for point in &self.points {
+            match &point.outcome {
+                PointOutcome::Completed(p) => {
+                    let status = if p.crashed { "crashed" } else { "ok" };
+                    for outcome in &p.outcomes {
+                        rows.push(vec![
+                            point.voltage.as_u32().to_string(),
+                            status.to_owned(),
+                            point.attempts.to_string(),
+                            outcome.pattern.to_string(),
+                            format!("{:.3}", outcome.mean_fault_count),
+                            outcome.flips_1to0.to_string(),
+                            outcome.flips_0to1.to_string(),
+                        ]);
+                    }
+                    if p.outcomes.is_empty() {
+                        rows.push(vec![
+                            point.voltage.as_u32().to_string(),
+                            status.to_owned(),
+                            point.attempts.to_string(),
+                            String::new(),
+                            String::new(),
+                            String::new(),
+                            String::new(),
+                        ]);
+                    }
+                }
+                PointOutcome::Skipped { .. } => {
+                    rows.push(vec![
+                        point.voltage.as_u32().to_string(),
+                        "skipped".to_owned(),
+                        point.attempts.to_string(),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                    ]);
+                }
+            }
+        }
+        to_csv(
+            &[
+                "voltage_mv",
+                "status",
+                "attempts",
+                "pattern",
+                "mean_faults",
+                "flips_1to0",
+                "flips_0to1",
             ],
             &rows,
         )

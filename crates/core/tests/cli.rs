@@ -1,0 +1,110 @@
+//! The `hbmctl` exit-code contract: 0 for success, 1 for runtime failures
+//! (experiment, device or I/O errors), 2 for configuration/usage errors.
+
+use std::process::{Command, Output};
+
+fn hbmctl(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hbmctl"))
+        .args(args)
+        .output()
+        .expect("spawn hbmctl")
+}
+
+fn exit_code(output: &Output) -> i32 {
+    output.status.code().expect("hbmctl terminated by signal")
+}
+
+fn temp_path(stem: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("hbmctl-cli-{stem}-{}.json", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn success_exits_zero() {
+    let out = hbmctl(&[
+        "sweep", "--from", "900", "--to", "890", "--step", "10", "--words", "8",
+    ]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("0.90"), "report printed: {stdout}");
+}
+
+#[test]
+fn configuration_errors_exit_two_with_usage() {
+    for args in [
+        vec![],
+        vec!["no-such-command"],
+        vec!["sweep", "--from", "abc"],
+        vec!["sweep", "--retries"],
+        vec!["reliability", "--kernel", "warp"],
+        vec!["guardband", "--format", "xml"],
+        vec!["sweep", "--from", "900", "--to", "910", "--step", "10"],
+    ] {
+        let out = hbmctl(&args);
+        assert_eq!(exit_code(&out), 2, "args {args:?}: {out:?}");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("usage:"), "args {args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn runtime_errors_exit_one_without_usage() {
+    // An 8 GB device can never provide 100 GB: the planner fails at runtime.
+    let out = hbmctl(&["plan", "--capacity-gb", "100", "--tolerance", "0.001"]);
+    assert_eq!(exit_code(&out), 1, "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(!stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn foreign_checkpoint_is_a_runtime_error() {
+    let path = temp_path("foreign");
+    let _ = std::fs::remove_file(&path);
+    let base = [
+        "sweep", "--from", "900", "--to", "890", "--step", "10", "--words", "8",
+    ];
+
+    let mut first = base.to_vec();
+    first.extend(["--seed", "1", "--checkpoint", &path]);
+    assert_eq!(exit_code(&hbmctl(&first)), 0);
+
+    // Resuming the same file under a different seed must be refused.
+    let mut second = base.to_vec();
+    second.extend(["--seed", "2", "--checkpoint", &path, "--resume"]);
+    let out = hbmctl(&second);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(exit_code(&out), 1, "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("seed"), "{stderr}");
+}
+
+#[test]
+fn resume_reuses_checkpointed_points() {
+    let path = temp_path("resume");
+    let _ = std::fs::remove_file(&path);
+    let args = [
+        "sweep",
+        "--from",
+        "900",
+        "--to",
+        "880",
+        "--step",
+        "10",
+        "--words",
+        "8",
+        "--checkpoint",
+        &path,
+        "--resume",
+    ];
+    assert_eq!(exit_code(&hbmctl(&args)), 0);
+    let out = hbmctl(&args);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(exit_code(&out), 0);
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("3 resumed from checkpoint"),
+        "second run must resume all points: {stderr}"
+    );
+}

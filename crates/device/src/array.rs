@@ -15,8 +15,9 @@ type Page = Box<[Word256]>;
 ///
 /// Pages (2 KB) are allocated on first write, so modelling a full-scale
 /// 256 MB pseudo channel costs memory proportional to the footprint actually
-/// touched. Unwritten words read as all-zeros (the model's deterministic
-/// power-up state).
+/// touched. Unwritten words read as the array's *background* word — all
+/// zeros at construction, or whatever [`MemoryArray::clear_to`] installed
+/// after the last power cycle (the model's deterministic power-up state).
 ///
 /// # Examples
 ///
@@ -37,6 +38,7 @@ pub struct MemoryArray {
     capacity_words: u64,
     pages: HashMap<u64, Page>,
     words_written: u64,
+    background: Word256,
 }
 
 impl MemoryArray {
@@ -48,6 +50,7 @@ impl MemoryArray {
             capacity_words,
             pages: HashMap::new(),
             words_written: 0,
+            background: Word256::ZERO,
         }
     }
 
@@ -66,7 +69,7 @@ impl MemoryArray {
     pub fn read(&self, offset: WordOffset) -> Result<Word256, DeviceError> {
         self.check(offset)?;
         let (page, slot) = (offset.0 / PAGE_WORDS, (offset.0 % PAGE_WORDS) as usize);
-        Ok(self.pages.get(&page).map_or(Word256::ZERO, |p| p[slot]))
+        Ok(self.pages.get(&page).map_or(self.background, |p| p[slot]))
     }
 
     /// Writes `word` at `offset`, allocating its page if needed.
@@ -78,10 +81,11 @@ impl MemoryArray {
     pub fn write(&mut self, offset: WordOffset, word: Word256) -> Result<(), DeviceError> {
         self.check(offset)?;
         let (page, slot) = (offset.0 / PAGE_WORDS, (offset.0 % PAGE_WORDS) as usize);
+        let background = self.background;
         let page = self
             .pages
             .entry(page)
-            .or_insert_with(|| vec![Word256::ZERO; PAGE_WORDS as usize].into_boxed_slice());
+            .or_insert_with(|| vec![background; PAGE_WORDS as usize].into_boxed_slice());
         page[slot] = word;
         self.words_written += 1;
         Ok(())
@@ -108,8 +112,22 @@ impl MemoryArray {
     /// Discards all contents, returning the array to its power-up (all
     /// zeros) state and releasing page storage.
     pub fn clear(&mut self) {
+        self.clear_to(Word256::ZERO);
+    }
+
+    /// Discards all contents and installs `background` as the word every
+    /// uninitialized offset reads afterwards — how a power cycle
+    /// re-randomizes DRAM content without allocating any pages.
+    pub fn clear_to(&mut self, background: Word256) {
         self.pages.clear();
         self.words_written = 0;
+        self.background = background;
+    }
+
+    /// The word uninitialized offsets currently read as.
+    #[must_use]
+    pub fn background(&self) -> Word256 {
+        self.background
     }
 
     fn check(&self, offset: WordOffset) -> Result<(), DeviceError> {
@@ -182,6 +200,28 @@ mod tests {
         assert_eq!(array.allocated_pages(), 0);
         assert_eq!(array.words_written(), 0);
         assert_eq!(array.read(WordOffset(0)).unwrap(), Word256::ZERO);
+    }
+
+    #[test]
+    fn clear_to_installs_a_background_word() {
+        let mut array = MemoryArray::new(4096);
+        array.write(WordOffset(0), Word256::ONES).unwrap();
+        let noise = Word256::splat(0xA5A5_5A5A_A5A5_5A5A);
+        array.clear_to(noise);
+        assert_eq!(array.background(), noise);
+        // Written content is gone; every offset reads the background.
+        assert_eq!(array.read(WordOffset(0)).unwrap(), noise);
+        assert_eq!(array.read(WordOffset(4095)).unwrap(), noise);
+        assert_eq!(array.allocated_pages(), 0);
+        // A write only replaces its own word: page neighbours keep the
+        // background, not zero.
+        array.write(WordOffset(10), Word256::ZERO).unwrap();
+        assert_eq!(array.read(WordOffset(10)).unwrap(), Word256::ZERO);
+        assert_eq!(array.read(WordOffset(11)).unwrap(), noise);
+        // A plain clear restores the all-zeros power-up state.
+        array.clear();
+        assert_eq!(array.read(WordOffset(10)).unwrap(), Word256::ZERO);
+        assert_eq!(array.background(), Word256::ZERO);
     }
 
     #[test]

@@ -29,7 +29,69 @@ pub const NOMINAL_SUPPLY: Millivolts = Millivolts(1200);
 /// Supply voltage below which the device stops responding. The study finds
 /// V_critical = 0.81 V is the minimum working voltage: operation continues
 /// *at* 0.81 V and the device crashes *below* it.
+///
+/// This is the *default* crash floor; a specimen's actual floor is
+/// configurable via [`HbmDevice::set_crash_floor`].
 pub const CRASH_FLOOR: Millivolts = Millivolts(810);
+
+/// Optional stochastic transient-failure model near the crash cliff.
+///
+/// Real silicon driven just above its minimum working voltage does not fail
+/// deterministically: the study power-cycled and re-ran points that hung or
+/// crashed sporadically. This knob reproduces that nuisance regime for
+/// fault-injection testing of the resilient sweep runtime: every time the
+/// supply is commanded into the window `[crash_floor, crash_floor + window)`
+/// while the device is operational, the device crashes with probability
+/// `probability`.
+///
+/// Draws are deterministic: they are keyed by `(seed, voltage, attempt)`
+/// where `attempt` counts the set-supply calls at that exact voltage over
+/// the device's lifetime. A retry after a power cycle therefore sees a
+/// *fresh* draw (the attempt index advanced), while two identical runs see
+/// identical crash schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransientCrashModel {
+    /// Per-set-supply crash probability inside the window, in `[0, 1]`.
+    pub probability: f64,
+    /// Width of the fragile band above the crash floor.
+    pub window: Millivolts,
+}
+
+impl TransientCrashModel {
+    /// Creates a model after validating the probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `probability` is in `[0, 1]`.
+    #[must_use]
+    pub fn new(probability: f64, window: Millivolts) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "transient crash probability must be in [0, 1], got {probability}"
+        );
+        TransientCrashModel {
+            probability,
+            window,
+        }
+    }
+}
+
+/// SplitMix64: the device's local deterministic mixer for transient-crash
+/// draws and power-up background content. Kept here (rather than depending
+/// on the fault crate's ChaCha streams) so the device stays a leaf crate.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A uniform draw in `[0, 1)` keyed by `(seed, voltage, attempt)`.
+fn unit_draw(seed: u64, voltage_mv: u32, attempt: u32) -> f64 {
+    let key = (u64::from(voltage_mv) << 32) | u64::from(attempt);
+    let mixed = splitmix64(seed.wrapping_add(splitmix64(key)));
+    (mixed >> 11) as f64 / (1u64 << 53) as f64
+}
 
 /// The complete HBM-enabled device model.
 ///
@@ -73,6 +135,11 @@ pub struct HbmDevice {
     switch: SwitchingNetwork,
     supply: Millivolts,
     state: DeviceState,
+    crash_floor: Millivolts,
+    transient: Option<TransientCrashModel>,
+    transient_seed: u64,
+    transient_attempts: std::collections::HashMap<u32, u32>,
+    power_cycles: u32,
 }
 
 impl HbmDevice {
@@ -89,6 +156,11 @@ impl HbmDevice {
             switch: SwitchingNetwork::disabled(),
             supply: NOMINAL_SUPPLY,
             state: DeviceState::Operational,
+            crash_floor: CRASH_FLOOR,
+            transient: None,
+            transient_seed: 0,
+            transient_attempts: std::collections::HashMap::new(),
+            power_cycles: 0,
         }
     }
 
@@ -104,13 +176,63 @@ impl HbmDevice {
         self.supply
     }
 
-    /// Applies a new supply voltage. Falling below [`CRASH_FLOOR`] latches
+    /// The specimen's crash floor (`v_crash`): the supply below which the
+    /// device stops responding. Defaults to [`CRASH_FLOOR`].
+    #[must_use]
+    pub fn crash_floor(&self) -> Millivolts {
+        self.crash_floor
+    }
+
+    /// Reconfigures the crash floor. Takes effect at the next
+    /// [`HbmDevice::set_supply`]; it does not retroactively crash or revive
+    /// the device at the present supply.
+    pub fn set_crash_floor(&mut self, floor: Millivolts) {
+        self.crash_floor = floor;
+    }
+
+    /// Installs (or removes, with `None`) the stochastic transient-crash
+    /// model; `seed` keys its deterministic draws.
+    pub fn set_transient_crashes(&mut self, model: Option<TransientCrashModel>, seed: u64) {
+        self.transient = model;
+        self.transient_seed = seed;
+    }
+
+    /// The installed transient-crash model, if any.
+    #[must_use]
+    pub fn transient_crashes(&self) -> Option<TransientCrashModel> {
+        self.transient
+    }
+
+    /// Number of power cycles this device has been through.
+    #[must_use]
+    pub fn power_cycle_count(&self) -> u32 {
+        self.power_cycles
+    }
+
+    /// Applies a new supply voltage. Falling below the crash floor latches
     /// the crashed state; raising the voltage afterwards does not recover
-    /// the device (see [`HbmDevice::power_cycle`]).
+    /// the device (see [`HbmDevice::power_cycle`]). With a
+    /// [`TransientCrashModel`] installed, commanding a supply inside the
+    /// fragile window above the floor may also crash the device
+    /// stochastically (deterministic per `(seed, voltage, attempt)`).
     pub fn set_supply(&mut self, supply: Millivolts) {
         self.supply = supply;
-        if supply < CRASH_FLOOR {
+        if supply < self.crash_floor {
             self.state = DeviceState::Crashed;
+            return;
+        }
+        if self.state != DeviceState::Operational {
+            return;
+        }
+        if let Some(model) = self.transient {
+            if model.probability > 0.0 && supply < self.crash_floor + model.window {
+                let attempt = self.transient_attempts.entry(supply.as_u32()).or_insert(0);
+                let draw = unit_draw(self.transient_seed, supply.as_u32(), *attempt);
+                *attempt += 1;
+                if draw < model.probability {
+                    self.state = DeviceState::Crashed;
+                }
+            }
         }
     }
 
@@ -127,13 +249,37 @@ impl HbmDevice {
     }
 
     /// Powers the device down and back up at `supply`. All DRAM content is
-    /// lost and access statistics reset. If `supply` is itself below the
-    /// crash floor the device immediately crashes again.
+    /// lost (every word reads all-zeros afterwards) and access statistics
+    /// reset. If `supply` is itself below the crash floor the device
+    /// immediately crashes again.
     pub fn power_cycle(&mut self, supply: Millivolts) {
+        self.restart(supply, None);
+    }
+
+    /// Powers the device down and back up at `supply`, re-randomizing the
+    /// uninitialized DRAM content deterministically from `seed`: after the
+    /// cycle every unwritten word of pseudo channel `pc` reads a fixed
+    /// pseudo-random word derived from `(seed, power-cycle index, pc)` —
+    /// the indeterminate state real DRAM powers up with, made reproducible.
+    /// Access statistics reset as with [`HbmDevice::power_cycle`].
+    pub fn power_cycle_with_seed(&mut self, supply: Millivolts, seed: u64) {
+        self.restart(supply, Some(seed));
+    }
+
+    fn restart(&mut self, supply: Millivolts, seed: Option<u64>) {
+        self.power_cycles += 1;
+        let cycle = u64::from(self.power_cycles);
+        let mut global: u64 = 0;
         for stack in &mut self.stacks {
             for pc in stack.pseudo_channels_mut() {
-                pc.clear();
+                let background = seed.map_or(Word256::ZERO, |s| {
+                    let lane =
+                        |i: u64| splitmix64(s ^ splitmix64((cycle << 40) | (global << 8) | i));
+                    Word256([lane(0), lane(1), lane(2), lane(3)])
+                });
+                pc.clear_to(background);
                 pc.reset_stats();
+                global += 1;
             }
         }
         self.state = DeviceState::Operational;
@@ -441,6 +587,99 @@ mod tests {
         let mut device = HbmDevice::new(HbmGeometry::vcu128_reduced());
         device.power_cycle(Millivolts(790));
         assert!(device.is_crashed());
+    }
+
+    #[test]
+    fn crash_floor_is_configurable() {
+        let mut device = HbmDevice::new(HbmGeometry::vcu128_reduced());
+        assert_eq!(device.crash_floor(), CRASH_FLOOR);
+        device.set_crash_floor(Millivolts(850));
+        device.set_supply(Millivolts(850));
+        assert!(!device.is_crashed(), "operation continues at the floor");
+        device.set_supply(Millivolts(840));
+        assert!(device.is_crashed(), "below the raised floor must crash");
+        // A lowered floor tolerates what the default would not.
+        let mut tough = HbmDevice::new(HbmGeometry::vcu128_reduced());
+        tough.set_crash_floor(Millivolts(780));
+        tough.set_supply(Millivolts(800));
+        assert!(!tough.is_crashed());
+    }
+
+    #[test]
+    fn seeded_power_cycle_rerandomizes_content_deterministically() {
+        let mut device = HbmDevice::new(HbmGeometry::vcu128_reduced());
+        device
+            .axi_write(port(0), WordOffset(0), Word256::ONES)
+            .unwrap();
+        device.power_cycle_with_seed(NOMINAL_SUPPLY, 42);
+        let after_first = device.axi_read(port(0), WordOffset(0)).unwrap();
+        assert_ne!(after_first, Word256::ONES, "content must be lost");
+        assert_ne!(after_first, Word256::ZERO, "content must be noise");
+        // Different PCs power up with different noise.
+        let other_pc = device.axi_read(port(1), WordOffset(0)).unwrap();
+        assert_ne!(after_first, other_pc);
+        // The same cycle index on a fresh device reproduces the content
+        // exactly; a different seed does not.
+        let mut twin = HbmDevice::new(HbmGeometry::vcu128_reduced());
+        twin.power_cycle_with_seed(NOMINAL_SUPPLY, 42);
+        assert_eq!(twin.axi_read(port(0), WordOffset(0)).unwrap(), after_first);
+        let mut stranger = HbmDevice::new(HbmGeometry::vcu128_reduced());
+        stranger.power_cycle_with_seed(NOMINAL_SUPPLY, 43);
+        assert_ne!(
+            stranger.axi_read(port(0), WordOffset(0)).unwrap(),
+            after_first
+        );
+        // Successive cycles re-randomize.
+        device.power_cycle_with_seed(NOMINAL_SUPPLY, 42);
+        assert_ne!(
+            device.axi_read(port(0), WordOffset(0)).unwrap(),
+            after_first
+        );
+        assert_eq!(device.power_cycle_count(), 2);
+    }
+
+    #[test]
+    fn transient_crashes_are_deterministic_and_redrawn_per_attempt() {
+        let model = TransientCrashModel::new(0.5, Millivolts(40));
+        let run = |seed: u64| {
+            let mut device = HbmDevice::new(HbmGeometry::vcu128_reduced());
+            device.set_transient_crashes(Some(model), seed);
+            let mut crashes = Vec::new();
+            for attempt in 0..32 {
+                device.set_supply(Millivolts(830));
+                crashes.push(device.is_crashed());
+                if device.is_crashed() {
+                    device.power_cycle(NOMINAL_SUPPLY);
+                }
+                let _ = attempt;
+            }
+            crashes
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed, same crash schedule");
+        assert!(a.iter().any(|&c| c), "p = 0.5 must crash sometimes");
+        assert!(!a.iter().all(|&c| c), "p = 0.5 must also survive sometimes");
+        assert_ne!(a, run(8), "different seed, different schedule");
+    }
+
+    #[test]
+    fn transient_model_spares_voltages_outside_the_window() {
+        let mut device = HbmDevice::new(HbmGeometry::vcu128_reduced());
+        device.set_transient_crashes(Some(TransientCrashModel::new(1.0, Millivolts(40))), 7);
+        // Above floor + window: certain-crash probability never fires.
+        for _ in 0..16 {
+            device.set_supply(Millivolts(850));
+            assert!(!device.is_crashed());
+        }
+        // Inside the window with p = 1: the very first attempt crashes.
+        device.set_supply(Millivolts(849));
+        assert!(device.is_crashed());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn transient_model_rejects_bad_probability() {
+        let _ = TransientCrashModel::new(1.5, Millivolts(40));
     }
 
     #[test]

@@ -57,7 +57,7 @@ mod word;
 pub use address::{BankId, ChannelId, DecodedAddress, PcIndex, PortId, RowId, StackId, WordOffset};
 pub use array::MemoryArray;
 pub use axi::{AxiPort, PortSet, SwitchingNetwork};
-pub use device::{DeviceState, HbmDevice, CRASH_FLOOR, NOMINAL_SUPPLY};
+pub use device::{DeviceState, HbmDevice, TransientCrashModel, CRASH_FLOOR, NOMINAL_SUPPLY};
 pub use dram_timing::{AccessPattern, AccessTimingModel, DramTimings};
 pub use error::DeviceError;
 pub use geometry::HbmGeometry;

@@ -109,6 +109,13 @@ impl PseudoChannel {
     pub fn clear(&mut self) {
         self.array.clear();
     }
+
+    /// Discards contents and installs `background` as the power-up word
+    /// every uninitialized offset reads afterwards (see
+    /// [`MemoryArray::clear_to`]).
+    pub fn clear_to(&mut self, background: Word256) {
+        self.array.clear_to(background);
+    }
 }
 
 /// A 128-bit memory channel: two pseudo channels sharing clock and command

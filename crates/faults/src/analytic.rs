@@ -8,7 +8,7 @@
 //! sampling injector produces.
 
 use hbm_device::{BankId, HbmGeometry, PcIndex, RowId, StackId};
-use hbm_units::{Celsius, Millivolts, Ratio};
+use hbm_units::{Celsius, Millivolts, Ratio, Volts};
 use serde::{Deserialize, Serialize};
 
 use crate::params::FaultModelParams;
@@ -114,7 +114,7 @@ impl RatePredictor {
                 rate_0to1: Ratio::ZERO,
             };
         }
-        let v = f64::from(supply.as_u32()) / 1000.0;
+        let v = supply.to_volts();
         let var = &self.params.variation;
         let banks = u32::from(self.geometry.banks_per_pc());
         let regions_per_bank = (self.geometry.rows_per_bank() / var.region_rows.max(1)).max(1);
@@ -133,10 +133,10 @@ impl RatePredictor {
                     common + bank_shift + var.region_shift_volts(self.seed, pc, bank_id, row);
                 sum0 += self
                     .params
-                    .class_probability(&self.params.curve_stuck0, v, shift);
+                    .class_probability(&self.params.curve_stuck0, v, Volts(shift));
                 sum1 += self
                     .params
-                    .class_probability(&self.params.curve_stuck1, v, shift);
+                    .class_probability(&self.params.curve_stuck1, v, Volts(shift));
             }
         }
         let cells = f64::from(banks * regions_per_bank);

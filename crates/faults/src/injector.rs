@@ -5,7 +5,7 @@ use std::ops::Range;
 use std::sync::{Arc, RwLock};
 
 use hbm_device::{BankId, HbmGeometry, PcIndex, Word256, WordOffset};
-use hbm_units::{Celsius, Millivolts};
+use hbm_units::{Celsius, Millivolts, Volts};
 use serde::{Deserialize, Serialize};
 
 use crate::hash::{combine, gate_key, key_unit, unit, unit_pair};
@@ -338,7 +338,7 @@ impl FaultInjector {
 
     fn build_tile_table(&self, pc: PcIndex, supply: Millivolts) -> TileTable {
         let var = &self.params.variation;
-        let v = f64::from(supply.as_u32()) / 1000.0;
+        let v = supply.to_volts();
         let pc_shift = self.shift_table.pc_shift_volts(pc);
         let temp_shift = var.temperature_shift_volts(self.temperature);
         let s0 = self.params.stuck0_share;
@@ -352,7 +352,7 @@ impl FaultInjector {
                     + var.bank_shift_volts(self.seed, pc, bank)
                     + var.region_shift_volts_by_index(self.seed, pc, bank, region)
                     + temp_shift;
-                let (c0, c1) = self.params.class_probabilities(v, shift);
+                let (c0, c1) = self.params.class_probabilities(v, Volts(shift));
                 let p_any0 = p_any(s0 * c0);
                 let p_any1 = p_any(s1 * c1);
                 TileProbs {
@@ -456,9 +456,9 @@ impl FaultInjector {
         if supply >= self.params.landmarks.v_min {
             return (0.0, 0.0);
         }
-        let v = f64::from(supply.as_u32()) / 1000.0;
+        let v = supply.to_volts();
         let shift = self.local_shift_volts(pc, offset);
-        self.params.class_probabilities(v, shift)
+        self.params.class_probabilities(v, Volts(shift))
     }
 
     /// Computes the stuck-at masks of one word at a supply voltage:

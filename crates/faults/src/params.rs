@@ -1,5 +1,6 @@
 //! The complete parameter set of the fault model.
 
+use hbm_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::error::FaultModelError;
@@ -58,8 +59,8 @@ impl FaultModelParams {
     pub fn date21() -> Self {
         FaultModelParams {
             landmarks: VoltageLandmarks::date21(),
-            curve_stuck0: ResponseCurve::new(0.840, 79.2),
-            curve_stuck1: ResponseCurve::new(0.841, 86.0),
+            curve_stuck0: ResponseCurve::new(Volts(0.840), 79.2),
+            curve_stuck1: ResponseCurve::new(Volts(0.841), 86.0),
             stuck0_share: 0.47,
             variation: VariationModel::date21(),
             bulk_decades_per_volt: 400.0,
@@ -68,16 +69,17 @@ impl FaultModelParams {
     }
 
     /// Fault probability of a bit of the class described by `curve`, at
-    /// supply `v_volts` under a local variation shift, combining the
-    /// exponential weak-bit tail with the steep bulk collapse.
+    /// supply `v` under a local variation `shift`, combining the exponential
+    /// weak-bit tail with the steep bulk collapse.
     ///
     /// The guardband gate (zero at or above V_min) is applied by callers on
     /// the *raw* supply voltage so that no variation shift can leak faults
     /// into the guardband.
     #[must_use]
-    pub fn class_probability(&self, curve: &ResponseCurve, v_volts: f64, shift_volts: f64) -> f64 {
-        let tail = curve.probability(v_volts - shift_volts);
-        let bulk_arg = v_volts - self.bulk_shift_scale * shift_volts - curve.v_saturation();
+    pub fn class_probability(&self, curve: &ResponseCurve, v: Volts, shift: Volts) -> f64 {
+        let tail = curve.probability(v - shift);
+        let bulk_arg =
+            v.as_f64() - self.bulk_shift_scale * shift.as_f64() - curve.v_saturation().as_f64();
         let bulk = if bulk_arg <= 0.0 {
             1.0
         } else {
@@ -93,10 +95,10 @@ impl FaultModelParams {
     /// per-word reference path and the region-tile cache builder — so their
     /// results are bit-identical by construction.
     #[must_use]
-    pub fn class_probabilities(&self, v_volts: f64, shift_volts: f64) -> (f64, f64) {
+    pub fn class_probabilities(&self, v: Volts, shift: Volts) -> (f64, f64) {
         (
-            self.class_probability(&self.curve_stuck0, v_volts, shift_volts),
-            self.class_probability(&self.curve_stuck1, v_volts, shift_volts),
+            self.class_probability(&self.curve_stuck0, v, shift),
+            self.class_probability(&self.curve_stuck1, v, shift),
         )
     }
 
@@ -136,12 +138,12 @@ impl FaultModelParams {
                 share: self.stuck0_share,
             });
         }
-        let v_min = f64::from(self.landmarks.v_min.as_u32()) / 1000.0;
+        let v_min = self.landmarks.v_min.to_volts();
         for curve in [&self.curve_stuck0, &self.curve_stuck1] {
             if curve.v_saturation() >= v_min {
                 return Err(FaultModelError::CurveSaturatesAboveVmin {
-                    v_saturation_volts: curve.v_saturation(),
-                    v_min_volts: v_min,
+                    v_saturation_volts: curve.v_saturation().as_f64(),
+                    v_min_volts: v_min.as_f64(),
                 });
             }
         }
@@ -193,18 +195,21 @@ mod tests {
     fn class_probability_combines_tail_and_bulk() {
         let p = FaultModelParams::date21();
         // Deep in the tail regime the bulk is invisible.
-        let tail_only = p.curve_stuck0.probability(0.95);
-        let combined = p.class_probability(&p.curve_stuck0, 0.95, 0.0);
+        let tail_only = p.curve_stuck0.probability(Volts(0.95));
+        let combined = p.class_probability(&p.curve_stuck0, Volts(0.95), Volts(0.0));
         assert!((combined - tail_only) / tail_only < 1e-6);
         // At the saturation voltage everything is faulty, even for a bit
         // population with a strongly negative (robust) shift.
-        assert_eq!(p.class_probability(&p.curve_stuck0, 0.83, -0.030), 1.0);
+        assert_eq!(
+            p.class_probability(&p.curve_stuck0, Volts(0.83), Volts(-0.030)),
+            1.0
+        );
         // Monotone in voltage for positive and negative shifts.
         for shift in [-0.02, 0.0, 0.02] {
             let mut last = 2.0;
             for step in 0..150 {
                 let v = 0.80 + f64::from(step) * 0.001;
-                let c = p.class_probability(&p.curve_stuck0, v, shift);
+                let c = p.class_probability(&p.curve_stuck0, Volts(v), Volts(shift));
                 assert!(c <= last, "non-monotone at {v} shift {shift}");
                 last = c;
             }
@@ -218,11 +223,11 @@ mod tests {
         // near the onset (so 1→0 flips appear first).
         let p = FaultModelParams::date21();
         assert!(
-            p.curve_stuck1.probability(0.97) < p.curve_stuck0.probability(0.97),
+            p.curve_stuck1.probability(Volts(0.97)) < p.curve_stuck0.probability(Volts(0.97)),
             "1→0 must onset first"
         );
         assert!(
-            p.curve_stuck1.probability(0.85) > p.curve_stuck0.probability(0.85),
+            p.curve_stuck1.probability(Volts(0.85)) > p.curve_stuck0.probability(Volts(0.85)),
             "0→1 must dominate at low voltage"
         );
     }

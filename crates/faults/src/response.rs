@@ -1,5 +1,6 @@
 //! The exponential voltage-response curve of a fault polarity class.
 
+use hbm_units::Volts;
 use serde::{Deserialize, Serialize};
 
 /// An exponential fault-probability curve
@@ -19,12 +20,13 @@ use serde::{Deserialize, Serialize};
 ///
 /// ```
 /// use hbm_faults::ResponseCurve;
+/// use hbm_units::Volts;
 ///
-/// let c = ResponseCurve::new(0.840, 79.2);
-/// assert_eq!(c.probability(0.840), 1.0);          // saturated
-/// assert_eq!(c.probability(0.800), 1.0);          // stays saturated below
-/// assert!(c.probability(0.970) < 1e-10);          // vanishing at onset
-/// assert!(c.probability(0.90) > c.probability(0.91)); // monotone
+/// let c = ResponseCurve::new(Volts(0.840), 79.2);
+/// assert_eq!(c.probability(Volts(0.840)), 1.0);          // saturated
+/// assert_eq!(c.probability(Volts(0.800)), 1.0);          // stays saturated below
+/// assert!(c.probability(Volts(0.970)) < 1e-10);          // vanishing at onset
+/// assert!(c.probability(Volts(0.90)) > c.probability(Volts(0.91))); // monotone
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ResponseCurve {
@@ -33,16 +35,16 @@ pub struct ResponseCurve {
 }
 
 impl ResponseCurve {
-    /// Creates a curve saturating at `v_saturation` volts with slope
+    /// Creates a curve saturating at `v_saturation` with slope
     /// `decades_per_volt`.
     ///
     /// # Panics
     ///
     /// Panics unless both parameters are positive and finite.
     #[must_use]
-    pub fn new(v_saturation: f64, decades_per_volt: f64) -> Self {
+    pub fn new(v_saturation: Volts, decades_per_volt: f64) -> Self {
         assert!(
-            v_saturation.is_finite() && v_saturation > 0.0,
+            v_saturation.is_finite() && v_saturation.as_f64() > 0.0,
             "saturation voltage must be positive, got {v_saturation}"
         );
         assert!(
@@ -50,15 +52,15 @@ impl ResponseCurve {
             "slope must be positive, got {decades_per_volt}"
         );
         ResponseCurve {
-            v_saturation,
+            v_saturation: v_saturation.as_f64(),
             decades_per_volt,
         }
     }
 
-    /// The saturation voltage in volts.
+    /// The saturation voltage.
     #[must_use]
-    pub fn v_saturation(&self) -> f64 {
-        self.v_saturation
+    pub fn v_saturation(&self) -> Volts {
+        Volts(self.v_saturation)
     }
 
     /// The slope in decades per volt.
@@ -67,10 +69,10 @@ impl ResponseCurve {
         self.decades_per_volt
     }
 
-    /// Fault probability of a bit of this class at effective voltage
-    /// `v_volts`.
+    /// Fault probability of a bit of this class at effective voltage `v`.
     #[must_use]
-    pub fn probability(&self, v_volts: f64) -> f64 {
+    pub fn probability(&self, v: Volts) -> f64 {
+        let v_volts = v.as_f64();
         if v_volts <= self.v_saturation {
             return 1.0;
         }
@@ -86,20 +88,20 @@ impl ResponseCurve {
     ///
     /// Panics unless `u` is in `(0, 1]`.
     #[must_use]
-    pub fn failure_voltage(&self, u: f64) -> f64 {
+    pub fn failure_voltage(&self, u: f64) -> Volts {
         assert!(
             u > 0.0 && u <= 1.0,
             "uniform draw must be in (0, 1], got {u}"
         );
-        self.v_saturation - u.log10() / self.decades_per_volt
+        Volts(self.v_saturation - u.log10() / self.decades_per_volt)
     }
 
-    /// Returns a curve shifted by `dv` volts (positive = more sensitive:
-    /// the same probabilities occur at voltages `dv` higher).
+    /// Returns a curve shifted by `dv` (positive = more sensitive: the same
+    /// probabilities occur at voltages `dv` higher).
     #[must_use]
-    pub fn shifted(&self, dv: f64) -> ResponseCurve {
+    pub fn shifted(&self, dv: Volts) -> ResponseCurve {
         ResponseCurve {
-            v_saturation: self.v_saturation + dv,
+            v_saturation: self.v_saturation + dv.as_f64(),
             decades_per_volt: self.decades_per_volt,
         }
     }
@@ -110,23 +112,23 @@ mod tests {
     use super::*;
 
     fn curve() -> ResponseCurve {
-        ResponseCurve::new(0.840, 79.2)
+        ResponseCurve::new(Volts(0.840), 79.2)
     }
 
     #[test]
     fn saturates_at_and_below_v_sat() {
         let c = curve();
-        assert_eq!(c.probability(0.840), 1.0);
-        assert_eq!(c.probability(0.810), 1.0);
-        assert_eq!(c.probability(0.0), 1.0);
+        assert_eq!(c.probability(Volts(0.840)), 1.0);
+        assert_eq!(c.probability(Volts(0.810)), 1.0);
+        assert_eq!(c.probability(Volts(0.0)), 1.0);
     }
 
     #[test]
     fn exponential_decades() {
         let c = curve();
         // One decade per 1/79.2 volts.
-        let p1 = c.probability(0.90);
-        let p2 = c.probability(0.90 + 1.0 / 79.2);
+        let p1 = c.probability(Volts(0.90));
+        let p2 = c.probability(Volts(0.90 + 1.0 / 79.2));
         assert!((p1 / p2 - 10.0).abs() < 1e-6);
     }
 
@@ -135,7 +137,7 @@ mod tests {
         let c = curve();
         let mut last = 2.0;
         for step in 0..200 {
-            let v = 0.80 + f64::from(step) * 0.001;
+            let v = Volts(0.80 + f64::from(step) * 0.001);
             let p = c.probability(v);
             assert!(p <= last, "non-monotone at {v}");
             last = p;
@@ -150,8 +152,8 @@ mod tests {
             // At the failure voltage the probability equals the draw …
             assert!((c.probability(v) - u).abs() / u < 1e-9, "u = {u}");
             // … slightly above it the bit is healthy, slightly below faulty.
-            assert!(c.probability(v + 1e-6) < u);
-            assert!(c.probability(v - 1e-6) > u);
+            assert!(c.probability(v + Volts(1e-6)) < u);
+            assert!(c.probability(v - Volts(1e-6)) > u);
         }
         // u = 1 maps exactly to the saturation voltage.
         assert_eq!(c.failure_voltage(1.0), c.v_saturation());
@@ -162,7 +164,7 @@ mod tests {
         // c10 with the study's defaults: ~5e-11 at 0.97 V → a handful of
         // first flips in 8 GB (6.9e10 bits).
         let c = curve();
-        let p = c.probability(0.970);
+        let p = c.probability(Volts(0.970));
         let expected_flips = p * 6.9e10 * 0.47;
         assert!(
             (0.5..30.0).contains(&expected_flips),
@@ -173,15 +175,15 @@ mod tests {
     #[test]
     fn shifted_curve_is_more_sensitive() {
         let base = curve();
-        let weak = base.shifted(0.015);
-        assert!(weak.probability(0.95) > base.probability(0.95));
-        assert_eq!(weak.probability(0.855), 1.0); // saturation moved up
+        let weak = base.shifted(Volts(0.015));
+        assert!(weak.probability(Volts(0.95)) > base.probability(Volts(0.95)));
+        assert_eq!(weak.probability(Volts(0.855)), 1.0); // saturation moved up
     }
 
     #[test]
     #[should_panic(expected = "must be positive")]
     fn invalid_slope_rejected() {
-        let _ = ResponseCurve::new(0.84, 0.0);
+        let _ = ResponseCurve::new(Volts(0.84), 0.0);
     }
 
     #[test]

@@ -90,6 +90,67 @@ impl fmt::Display for Millivolts {
     }
 }
 
+/// Error returned when a voltage string cannot be parsed as [`Millivolts`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMillivoltsError {
+    input: String,
+}
+
+impl fmt::Display for ParseMillivoltsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid voltage `{}` (use millivolts like `980` or `980mV`, or volts like `0.98V`)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseMillivoltsError {}
+
+/// Parses a voltage from the notations hosts actually type: a bare integer
+/// is millivolts (`"980"`), an explicit `mV` suffix is millivolts
+/// (`"980mV"`), a `V` suffix or a decimal point is volts (`"0.98V"`,
+/// `"1.2"`). All hbmctl flags and CSV ingestion funnel through this one
+/// impl so every surface accepts the same spellings.
+///
+/// ```
+/// use hbm_units::Millivolts;
+///
+/// assert_eq!("980".parse::<Millivolts>().unwrap(), Millivolts(980));
+/// assert_eq!("980mV".parse::<Millivolts>().unwrap(), Millivolts(980));
+/// assert_eq!("0.98V".parse::<Millivolts>().unwrap(), Millivolts(980));
+/// assert_eq!("1.2".parse::<Millivolts>().unwrap(), Millivolts(1200));
+/// assert!("abc".parse::<Millivolts>().is_err());
+/// ```
+impl std::str::FromStr for Millivolts {
+    type Err = ParseMillivoltsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseMillivoltsError {
+            input: s.to_owned(),
+        };
+        let trimmed = s.trim();
+        let lower = trimmed.to_ascii_lowercase();
+        if let Some(mv) = lower.strip_suffix("mv") {
+            return mv.trim().parse::<u32>().map(Millivolts).map_err(|_| err());
+        }
+        let (body, is_volts) = match lower.strip_suffix('v') {
+            Some(body) => (body.trim(), true),
+            None => (lower.as_str(), trimmed.contains('.')),
+        };
+        if is_volts {
+            let volts: f64 = body.parse().map_err(|_| err())?;
+            if !volts.is_finite() || !(0.0..=f64::from(u32::MAX) / 1000.0).contains(&volts) {
+                return Err(err());
+            }
+            Ok(Millivolts::from_volts(volts))
+        } else {
+            body.parse::<u32>().map(Millivolts).map_err(|_| err())
+        }
+    }
+}
+
 impl Add for Millivolts {
     type Output = Millivolts;
     fn add(self, rhs: Millivolts) -> Millivolts {
@@ -433,6 +494,39 @@ mod tests {
     #[should_panic(expected = "voltage out of range")]
     fn negative_volts_rejected() {
         let _ = Millivolts::from_volts(-0.1);
+    }
+
+    #[test]
+    fn millivolt_from_str_accepts_all_spellings() {
+        for (text, expected) in [
+            ("980", 980),
+            ("  1200 ", 1200),
+            ("980mV", 980),
+            ("980 mV", 980),
+            ("810MV", 810),
+            ("0.98V", 980),
+            ("0.98 v", 980),
+            ("1.2", 1200),
+            ("0V", 0),
+            ("0", 0),
+        ] {
+            assert_eq!(
+                text.parse::<Millivolts>().unwrap(),
+                Millivolts(expected),
+                "parsing {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn millivolt_from_str_rejects_garbage() {
+        for text in ["", "abc", "-980", "-0.98V", "9.8e300V", "12.5mV", "1,2V"] {
+            let err = text.parse::<Millivolts>().unwrap_err();
+            assert!(
+                err.to_string().contains("invalid voltage"),
+                "parsing {text:?}: {err}"
+            );
+        }
     }
 
     #[test]

@@ -35,7 +35,9 @@ mod ratio;
 mod thermal;
 
 pub use bandwidth::{BytesPerSecond, GigabytesPerSecond};
-pub use electrical::{Amperes, FaradsPerSecond, Megahertz, Millivolts, Ohms, Volts, Watts};
+pub use electrical::{
+    Amperes, FaradsPerSecond, Megahertz, Millivolts, Ohms, ParseMillivoltsError, Volts, Watts,
+};
 pub use ratio::Ratio;
 pub use thermal::Celsius;
 

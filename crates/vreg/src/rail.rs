@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 use crate::error::PmbusError;
 use crate::ina226::{Ina226, Ina226Register};
 use crate::isl68301::Isl68301;
+use crate::pmbus::{HostInterface, PmbusCommand, PmbusDevice};
 
 /// One telemetry sample of the rail, as the host sees it.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -48,6 +49,7 @@ pub struct PowerRail {
     regulator: Isl68301,
     monitor: Ina226,
     ambient: Celsius,
+    power_cycles: u32,
 }
 
 impl PowerRail {
@@ -59,7 +61,34 @@ impl PowerRail {
             regulator: Isl68301::vcc_hbm(),
             monitor: Ina226::vcc_hbm(seed),
             ambient: Celsius::STUDY_AMBIENT,
+            power_cycles: 0,
         }
+    }
+
+    /// Power-cycles the rail the way the study's host scripts do: commands
+    /// the regulator output off via the PMBus `OPERATION` register, back on,
+    /// re-programs the set-point to `restart` and clears latched faults.
+    /// The caller (platform layer) is responsible for restarting whatever
+    /// load the rail feeds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PMBus transaction errors (e.g. `restart` above
+    /// `VOUT_MAX`).
+    pub fn power_cycle(&mut self, restart: Millivolts) -> Result<(), PmbusError> {
+        self.regulator.write_byte(PmbusCommand::Operation, 0x00)?;
+        self.regulator.write_byte(PmbusCommand::Operation, 0x80)?;
+        let mut host = HostInterface::new(&mut self.regulator);
+        host.set_vout(restart)?;
+        host.clear_faults()?;
+        self.power_cycles += 1;
+        Ok(())
+    }
+
+    /// Number of power cycles the rail has performed.
+    #[must_use]
+    pub fn power_cycle_count(&self) -> u32 {
+        self.power_cycles
     }
 
     /// The present output voltage of the rail (zero when the regulator is
@@ -174,6 +203,28 @@ mod tests {
         let sample = rail.sample().unwrap();
         assert_eq!(sample.requested, Millivolts::ZERO);
         assert_eq!(sample.bus_voltage, Volts::ZERO);
+    }
+
+    #[test]
+    fn power_cycle_restores_output_and_counts() {
+        use crate::pmbus::{PmbusCommand, PmbusDevice};
+        let mut rail = PowerRail::vcc_hbm(5);
+        HostInterface::new(rail.regulator_mut())
+            .set_vout(Millivolts(850))
+            .unwrap();
+        assert_eq!(rail.power_cycle_count(), 0);
+        rail.power_cycle(Millivolts(1200)).unwrap();
+        assert_eq!(rail.voltage(), Millivolts(1200));
+        assert_eq!(rail.power_cycle_count(), 1);
+        // The regulator is back on (operation = 0x80 → output tracks the
+        // set-point rather than reading zero).
+        rail.regulator_mut()
+            .write_byte(PmbusCommand::Operation, 0x00)
+            .unwrap();
+        assert_eq!(rail.voltage(), Millivolts::ZERO);
+        rail.power_cycle(Millivolts(980)).unwrap();
+        assert_eq!(rail.voltage(), Millivolts(980));
+        assert_eq!(rail.power_cycle_count(), 2);
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Resilient sweep: a reliability campaign that survives crashes, flaky
+//! transients and a process kill. A transiently-crashing specimen is swept
+//! under the [`SweepSupervisor`]; the run is "killed" partway through
+//! (exactly what SIGKILL between two voltage points would do), then a
+//! fresh process resumes from the checkpoint and the final report is
+//! verified bit-identical to an uninterrupted campaign.
+//!
+//! Run with: `cargo run --release --example resilient_sweep [seed]`
+
+use hbm_undervolt_suite::device::TransientCrashModel;
+use hbm_undervolt_suite::traffic::DataPattern;
+use hbm_undervolt_suite::undervolt::report::Render;
+use hbm_undervolt_suite::undervolt::{
+    summarize, ExperimentError, ReliabilityConfig, RetryPolicy, SweepConfig, TestScope,
+    VoltageSweep,
+};
+use hbm_units::Millivolts;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(11);
+    let checkpoint = std::env::temp_dir().join(format!("resilient-sweep-{seed}.json"));
+    let _ = std::fs::remove_file(&checkpoint);
+
+    // A campaign across the cliff on a specimen that also crashes
+    // transiently in the 40 mV band above the 810 mV floor.
+    let mut measurement = ReliabilityConfig::quick();
+    measurement.sweep = VoltageSweep::new(Millivolts(860), Millivolts(790), Millivolts(10))?;
+    measurement.batch_size = 1;
+    measurement.words_per_pc = Some(64);
+    measurement.patterns = vec![DataPattern::AllOnes, DataPattern::AllZeros];
+    measurement.scope = TestScope::EntireHbm;
+
+    let campaign = SweepConfig::from_reliability(measurement)
+        .seed(seed)
+        .transient_crashes(TransientCrashModel::new(0.4, Millivolts(40)))
+        .retry_policy(RetryPolicy::new(3))
+        .checkpoint(checkpoint.to_string_lossy().into_owned())
+        .resume(true);
+
+    // The reference: the same campaign run uninterrupted (no checkpoint).
+    let reference = SweepConfig::from_reliability(campaign.reliability().clone())
+        .seed(seed)
+        .transient_crashes(TransientCrashModel::new(0.4, Millivolts(40)))
+        .retry_policy(RetryPolicy::new(3))
+        .run()?;
+
+    // "Kill" the campaign after three checkpointed points.
+    println!("running the campaign, killing it after 3 points ...");
+    let kill = campaign
+        .build_supervisor()?
+        .abort_after(3)
+        .run(&mut campaign.build_platform());
+    match kill {
+        Err(ExperimentError::Interrupted { completed_points }) => {
+            println!("  killed with {completed_points} points checkpointed");
+        }
+        other => panic!("expected the injected kill, got {other:?}"),
+    }
+
+    // A fresh process picks the campaign back up from the file.
+    println!("resuming from {} ...", checkpoint.display());
+    let report = campaign.run()?;
+    println!("{}", report.to_text());
+    println!("{}", summarize(&report));
+
+    assert_eq!(
+        report, reference,
+        "resumed campaign must be bit-identical to the uninterrupted run"
+    );
+    println!("resumed report is bit-identical to the uninterrupted campaign");
+
+    let _ = std::fs::remove_file(&checkpoint);
+    Ok(())
+}

@@ -26,4 +26,19 @@ cargo bench --workspace --no-run
 echo "==> kernel bit-identity property tests"
 cargo test -q -p hbm-faults --test properties kernel_
 
+# Resilience gate: kill-at-every-point resume bit-identity, retry backoff,
+# quarantine records, and the hbmctl exit-code contract.
+echo "==> resilient sweep runtime tests"
+cargo test -q --test resilience
+cargo test -q -p hbm-undervolt --test cli
+
+# Smoke: a checkpointed supervised sweep resumes from its own file.
+echo "==> hbmctl sweep --checkpoint/--resume smoke"
+ckpt="$(mktemp -u /tmp/hbmctl-check-XXXXXX.json)"
+./target/release/hbmctl sweep --from 900 --to 880 --step 10 --words 8 \
+    --checkpoint "$ckpt" >/dev/null
+./target/release/hbmctl sweep --from 900 --to 880 --step 10 --words 8 \
+    --checkpoint "$ckpt" --resume >/dev/null
+rm -f "$ckpt"
+
 echo "All checks passed."

@@ -106,6 +106,8 @@ fn workers_knob_clamps_to_at_least_one() {
     assert_eq!(platform.workers(), 1);
     let mut platform = Platform::builder().seed(7).workers(6).build();
     assert_eq!(platform.workers(), 6);
+    // The deprecated forwarder must keep working for old callers.
+    #[allow(deprecated)]
     platform.set_workers(0);
     assert_eq!(platform.workers(), 1);
 }

@@ -1,0 +1,257 @@
+//! Integration tests of the crash-aware resilient sweep runtime: a sweep
+//! killed between any two voltage points and resumed from its checkpoint
+//! must produce a report bit-identical to the uninterrupted run, transient
+//! crashes must be retried with backoff, and port failures must quarantine
+//! the port with an explicit record instead of sinking the campaign.
+
+use hbm_undervolt_suite::device::TransientCrashModel;
+use hbm_undervolt_suite::traffic::DataPattern;
+use hbm_undervolt_suite::undervolt::{
+    ExperimentError, Platform, ReliabilityConfig, RetryPolicy, SweepCheckpoint, SweepConfig,
+    SweepSupervisor, TestClock, TestScope, VoltageSweep, CHECKPOINT_VERSION,
+};
+use hbm_units::Millivolts;
+use proptest::prelude::*;
+
+/// A sweep that crosses the crash cliff (810 mV floor) in a few points.
+fn cliff_config() -> ReliabilityConfig {
+    let mut config = ReliabilityConfig::quick();
+    config.sweep = VoltageSweep::new(Millivolts(850), Millivolts(790), Millivolts(10)).unwrap();
+    config.batch_size = 1;
+    config.words_per_pc = Some(16);
+    config.patterns = vec![DataPattern::AllOnes];
+    config
+}
+
+fn temp_path(stem: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("hbm-resilience-{stem}-{}.json", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn kill_at_every_voltage_point_then_resume_is_bit_identical() {
+    let config = cliff_config();
+    let points = config.sweep.len();
+
+    let reference = SweepConfig::from_reliability(config.clone())
+        .seed(7)
+        .run()
+        .unwrap();
+
+    for kill_after in 1..points {
+        let path = temp_path(&format!("kill{kill_after}"));
+        let _ = std::fs::remove_file(&path);
+
+        let supervisor = SweepSupervisor::new(
+            SweepConfig::from_reliability(config.clone())
+                .build_tester()
+                .unwrap(),
+        )
+        .checkpoint(&path)
+        .resume(true);
+
+        // "Kill" the process after `kill_after` checkpointed points.
+        let mut victim = Platform::builder().seed(7).build();
+        let err = supervisor
+            .clone()
+            .abort_after(kill_after)
+            .run(&mut victim)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ExperimentError::Interrupted {
+                completed_points: kill_after
+            }
+        );
+
+        // A fresh process with a fresh platform resumes from the file.
+        let mut resumer = Platform::builder().seed(7).build();
+        let resumed = supervisor.run(&mut resumer).unwrap();
+        assert_eq!(resumed.resumed_points, kill_after);
+        assert_eq!(
+            resumed, reference,
+            "kill after point {kill_after} must resume bit-identically"
+        );
+
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The kill/resume identity holds for any specimen seed and any kill
+    /// point, not just the defaults the deterministic test uses.
+    #[test]
+    fn resume_is_bit_identical_for_any_seed_and_kill_point(
+        seed in 0u64..1024,
+        kill_after in 1usize..4,
+    ) {
+        let mut config = ReliabilityConfig::quick();
+        config.sweep =
+            VoltageSweep::new(Millivolts(840), Millivolts(800), Millivolts(10)).unwrap();
+        config.batch_size = 1;
+        config.words_per_pc = Some(8);
+        config.patterns = vec![DataPattern::AllZeros];
+
+        let reference = SweepConfig::from_reliability(config.clone())
+            .seed(seed)
+            .run()
+            .unwrap();
+
+        let path = temp_path(&format!("prop-{seed}-{kill_after}"));
+        let _ = std::fs::remove_file(&path);
+        let base = SweepConfig::from_reliability(config)
+            .seed(seed)
+            .checkpoint(&path)
+            .resume(true);
+
+        let err = base
+            .clone()
+            .build_supervisor()
+            .unwrap()
+            .abort_after(kill_after)
+            .run(&mut base.build_platform())
+            .unwrap_err();
+        prop_assert!(matches!(err, ExperimentError::Interrupted { .. }));
+
+        let resumed = base.run().unwrap();
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(resumed, reference);
+    }
+}
+
+#[test]
+fn transient_crashes_are_retried_and_do_not_break_resume_identity() {
+    // Transient crashes fire deterministically per (seed, voltage, attempt),
+    // so even a flaky campaign resumes bit-identically: completed points are
+    // never re-run, and the in-flight point restarts its attempt sequence
+    // exactly like the uninterrupted run's first visit.
+    let transient = TransientCrashModel::new(0.4, Millivolts(40));
+    let campaign = |checkpoint: Option<&str>, resume: bool| {
+        let mut config = SweepConfig::from_reliability(cliff_config())
+            .seed(11)
+            .transient_crashes(transient)
+            .retry_policy(RetryPolicy {
+                max_retries: 2,
+                base_delay_ms: 1,
+                max_delay_ms: 4,
+            })
+            .resume(resume);
+        if let Some(path) = checkpoint {
+            config = config.checkpoint(path);
+        }
+        config
+    };
+
+    let reference = campaign(None, false).run().unwrap();
+
+    let path = temp_path("transient");
+    let _ = std::fs::remove_file(&path);
+    let interrupted = campaign(Some(&path), true);
+    let err = interrupted
+        .clone()
+        .build_supervisor()
+        .unwrap()
+        .abort_after(2)
+        .run(&mut interrupted.build_platform())
+        .unwrap_err();
+    assert!(matches!(err, ExperimentError::Interrupted { .. }));
+
+    let resumed = interrupted.run().unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(resumed, reference);
+}
+
+#[test]
+fn quarantined_port_yields_explicit_records_and_survives_resume() {
+    let mut config = cliff_config();
+    config.scope = TestScope::Ports(vec![0, 1, 2]);
+    let build_platform = || {
+        let mut p = Platform::builder().seed(7).build();
+        p.enable_ports(2); // port 2 is broken for the whole campaign
+        p
+    };
+
+    let supervisor = SweepSupervisor::new(
+        SweepConfig::from_reliability(config.clone())
+            .build_tester()
+            .unwrap(),
+    );
+    let reference = supervisor.run(&mut build_platform()).unwrap();
+    assert_eq!(reference.quarantined.len(), 1);
+    assert_eq!(reference.quarantined[0].port, 2);
+    assert!(reference.completed_points().count() > 0);
+    for point in reference.completed_points().filter(|p| !p.crashed) {
+        assert_eq!(point.outcomes[0].per_port.len(), 2, "port 2 excluded");
+    }
+
+    // The quarantine record survives a kill/resume round trip.
+    let path = temp_path("quarantine");
+    let _ = std::fs::remove_file(&path);
+    let checkpointed = supervisor.clone().checkpoint(&path).resume(true);
+    let err = checkpointed
+        .clone()
+        .abort_after(1)
+        .run(&mut build_platform())
+        .unwrap_err();
+    assert!(matches!(err, ExperimentError::Interrupted { .. }));
+    let resumed = checkpointed.run(&mut build_platform()).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(resumed, reference);
+    assert_eq!(resumed.quarantined.len(), 1);
+}
+
+#[test]
+fn checkpoint_file_is_versioned_json_matching_the_report() {
+    let path = temp_path("roundtrip");
+    let _ = std::fs::remove_file(&path);
+    let config = SweepConfig::from_reliability(cliff_config())
+        .seed(7)
+        .checkpoint(&path);
+    let report = config.run().unwrap();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let checkpoint: SweepCheckpoint = serde_json::from_str(&text).unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(checkpoint.version, CHECKPOINT_VERSION);
+    assert_eq!(checkpoint.experiment, "supervised-sweep");
+    assert_eq!(checkpoint.seed, 7);
+    assert_eq!(checkpoint.points, report.points);
+    assert_eq!(checkpoint.quarantined, report.quarantined);
+}
+
+#[test]
+fn hopeless_transient_point_is_skipped_after_the_backoff_schedule() {
+    // probability 1.0 inside the window: 840 mV can never complete. The
+    // supervisor must walk the backoff schedule on a mocked clock (no real
+    // sleeps) and record the point as skipped rather than fail the run.
+    let mut config = cliff_config();
+    config.sweep = VoltageSweep::new(Millivolts(840), Millivolts(840), Millivolts(10)).unwrap();
+    let sweep_config = SweepConfig::from_reliability(config)
+        .seed(7)
+        .transient_crashes(TransientCrashModel::new(1.0, Millivolts(50)))
+        .retry_policy(RetryPolicy {
+            max_retries: 3,
+            base_delay_ms: 10,
+            max_delay_ms: 25,
+        });
+
+    let mut clock = TestClock::new();
+    let mut platform = sweep_config.build_platform();
+    let report = sweep_config
+        .build_supervisor()
+        .unwrap()
+        .run_with_clock(&mut platform, &mut clock)
+        .unwrap();
+
+    assert_eq!(clock.sleeps, [10, 20, 25], "bounded exponential backoff");
+    assert_eq!(report.completed_points().count(), 0);
+    let (voltage, reason) = report.skipped_points().next().unwrap();
+    assert_eq!(voltage, Millivolts(840));
+    assert!(reason.contains("4 attempt(s)"), "reason: {reason}");
+    assert!(!platform.is_crashed(), "supervisor must leave it recovered");
+}
