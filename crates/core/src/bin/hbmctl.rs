@@ -17,6 +17,7 @@
 //! hbmctl sweep       [reliability flags] [--checkpoint FILE] [--resume]
 //!                    [--retries N] [--point-deadline MS] [--v-crash MV]
 //!                    [--transient-prob P] [--transient-window MV]
+//!                    [--trace-file FILE] [--progress]
 //! hbmctl trade-off   [--seed N] [--format text|csv|json]
 //! hbmctl fault-map   [--seed N] [--out FILE]
 //! hbmctl plan        [--seed N] --capacity-gb G --tolerance RATE
@@ -34,13 +35,14 @@ use hbm_power::HbmPowerModel;
 use hbm_traffic::DataPattern;
 use hbm_undervolt::report::{to_json, Render};
 use hbm_undervolt::{
-    summarize, ExecutionMode, Experiment, GuardbandFinder, Platform, PowerSweep, ReliabilityConfig,
-    ReliabilityTester, SweepConfig, TestScope, TradeOffAnalysis, VoltageSweep,
+    summarize, ExecutionMode, Experiment, GuardbandFinder, JsonlSink, Platform, PowerSweep,
+    ProgressSink, ReliabilityConfig, ReliabilityTester, SweepConfig, SystemClock, Telemetry,
+    TestScope, TradeOffAnalysis, VoltageSweep,
 };
 use hbm_units::{Millivolts, Ratio};
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["resume"];
+const BOOLEAN_FLAGS: &[&str] = &["resume", "progress"];
 
 /// A CLI failure, split by blame so `main` can pick the exit code:
 /// configuration/usage problems exit 2 (with the usage text), runtime
@@ -142,6 +144,7 @@ const USAGE: &str = "usage:
   hbmctl sweep       [reliability flags] [--checkpoint FILE] [--resume]
                      [--retries N] [--point-deadline MS] [--v-crash MV]
                      [--transient-prob P] [--transient-window MV]
+                     [--trace-file FILE] [--progress]
   hbmctl trade-off   [--seed N] [--format text|csv|json]
   hbmctl fault-map   [--seed N] [--out FILE]
   hbmctl plan        [--seed N] --capacity-gb G --tolerance RATE";
@@ -276,6 +279,19 @@ fn supervised_sweep(seed: u64, workers: usize, args: &Args) -> Result<(), CliErr
     let resume: bool = args.flag("resume", false)?;
     config = config.resume(resume);
 
+    // Observation: --trace-file streams the typed event log as JSONL (in
+    // diffable mode, so traces for one campaign compare byte-for-byte
+    // across runs and worker counts); --progress narrates to stderr.
+    let mut telemetry = Telemetry::new();
+    if let Some(path) = args.optional::<String>("trace-file")? {
+        let file = std::fs::File::create(&path)
+            .map_err(|e| CliError::runtime(format!("creating {path}: {e}")))?;
+        telemetry.add_observer(Box::new(JsonlSink::diffable(std::io::BufWriter::new(file))));
+    }
+    if args.flag("progress", false)? {
+        telemetry.add_observer(Box::new(ProgressSink::new(std::io::stderr())));
+    }
+
     let supervisor = config
         .build_supervisor()
         .map_err(|e| CliError::config(e.to_string()))?;
@@ -289,9 +305,9 @@ fn supervised_sweep(seed: u64, workers: usize, args: &Args) -> Result<(), CliErr
         if points == 1 { "" } else { "s" },
         if resume { ", resuming" } else { "" }
     );
-    let report = supervisor
-        .run(&mut p)
-        .map_err(|e| CliError::runtime(e.to_string()))?;
+    let result = supervisor.run_observed(&mut p, &mut SystemClock::new(), &telemetry);
+    telemetry.finish();
+    let report = result.map_err(|e| CliError::runtime(e.to_string()))?;
     render(&report, &format)?;
     eprintln!("hbmctl: {}", summarize(&report));
     Ok(())

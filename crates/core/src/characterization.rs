@@ -11,6 +11,7 @@ use crate::engine;
 use crate::error::ExperimentError;
 use crate::platform::Platform;
 use crate::sweep::VoltageSweep;
+use crate::telemetry::Telemetry;
 
 /// One cell of the per-PC fault table.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -156,7 +157,7 @@ impl PcFaultTable {
             if platform.is_crashed() {
                 return Err(ExperimentError::from(hbm_device::DeviceError::Crashed));
             }
-            for (port, stats) in engine::run_jobs(platform, &jobs)? {
+            for (port, stats) in engine::run_jobs(platform, &jobs, Telemetry::disabled())? {
                 let flips = stats.total_flips();
                 columns[usize::from(port.as_u8())].push(if flips == 0 {
                     CellValue::NoFault

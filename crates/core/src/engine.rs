@@ -24,6 +24,7 @@ use hbm_units::Millivolts;
 
 use crate::error::ExperimentError;
 use crate::platform::Platform;
+use crate::telemetry::{Telemetry, TelemetryEvent};
 
 /// Fault-injecting access to one pseudo-channel shard: the parallel
 /// counterpart of [`crate::UndervoltedPort`]. Writes go straight to the
@@ -70,12 +71,31 @@ impl MemoryPort for ShardPort<'_> {
 /// [`Platform::port`]; with more workers the device is split into
 /// per-pseudo-channel shards and the jobs run on scoped threads.
 ///
+/// After every job joins, one [`TelemetryEvent::WorkerShardDone`] is emitted
+/// per job in job order — never from inside a worker — so the trace is
+/// identical at every worker count.
+///
 /// # Errors
 ///
 /// The first device error in job order; a configuration error if a port
 /// appears twice in a sharded batch (a port's shard can only be handed to
 /// one job).
 pub(crate) fn run_jobs(
+    platform: &mut Platform,
+    jobs: &[(PortId, MacroProgram)],
+    telemetry: &Telemetry,
+) -> Result<Vec<(PortId, PortStats)>, ExperimentError> {
+    let results = run_jobs_inner(platform, jobs)?;
+    for (port, stats) in &results {
+        telemetry.emit(TelemetryEvent::WorkerShardDone {
+            port: port.as_u8(),
+            words: stats.words_written + stats.words_read,
+        });
+    }
+    Ok(results)
+}
+
+fn run_jobs_inner(
     platform: &mut Platform,
     jobs: &[(PortId, MacroProgram)],
 ) -> Result<Vec<(PortId, PortStats)>, ExperimentError> {
@@ -190,7 +210,10 @@ fn tally(stats: &mut PortStats, expected: Word256, stuck0: Word256, stuck1: Word
 /// Builds the cached-mask working sets for one voltage point, one per port,
 /// fanning the per-port kernel invocations across the platform's worker
 /// threads (the injector is `Sync`; its tile cache is shared). Results come
-/// back in `ports` order regardless of scheduling.
+/// back in `ports` order regardless of scheduling, and one
+/// [`TelemetryEvent::WorkerShardDone`] is emitted per port in that order
+/// after all builders join — so the trace is identical at every worker
+/// count.
 ///
 /// # Errors
 ///
@@ -202,6 +225,7 @@ pub(crate) fn build_mask_sets(
     words: u64,
     sample_words: Option<u64>,
     voltage: Millivolts,
+    telemetry: &Telemetry,
 ) -> Result<Vec<PortMasks>, ExperimentError> {
     for &port in ports {
         if !platform.device().ports().is_enabled(port) {
@@ -233,23 +257,31 @@ pub(crate) fn build_mask_sets(
         PortMasks { port, set }
     };
     let workers = platform.workers().min(ports.len()).max(1);
-    if workers <= 1 {
-        return Ok(ports.iter().map(|&p| build(p)).collect());
+    let sets: Vec<PortMasks> = if workers <= 1 {
+        ports.iter().map(|&p| build(p)).collect()
+    } else {
+        let chunk = ports.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ports
+                .chunks(chunk)
+                .map(|slice| {
+                    let build = &build;
+                    scope.spawn(move || slice.iter().map(|&p| build(p)).collect::<Vec<_>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("mask builder thread panicked"))
+                .collect()
+        })
+    };
+    for set in &sets {
+        telemetry.emit(TelemetryEvent::WorkerShardDone {
+            port: set.port().as_u8(),
+            words: set.words_checked(),
+        });
     }
-    let chunk = ports.len().div_ceil(workers);
-    Ok(std::thread::scope(|scope| {
-        let handles: Vec<_> = ports
-            .chunks(chunk)
-            .map(|slice| {
-                let build = &build;
-                scope.spawn(move || slice.iter().map(|&p| build(p)).collect::<Vec<_>>())
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("mask builder thread panicked"))
-            .collect()
-    }))
+    Ok(sets)
 }
 
 #[cfg(test)]
@@ -275,7 +307,7 @@ mod tests {
         let mut platform = Platform::builder().seed(7).workers(workers).build();
         platform.set_voltage(voltage).unwrap();
         let jobs = jobs_for(&platform, 128, DataPattern::AllOnes);
-        run_jobs(&mut platform, &jobs).unwrap()
+        run_jobs(&mut platform, &jobs, Telemetry::disabled()).unwrap()
     }
 
     #[test]
@@ -301,7 +333,7 @@ mod tests {
         let port = PortId::new(3).unwrap();
         let program = MacroProgram::write_then_check(0..4, DataPattern::AllOnes);
         let jobs = vec![(port, program.clone()), (port, program)];
-        let err = run_jobs(&mut platform, &jobs).unwrap_err();
+        let err = run_jobs(&mut platform, &jobs, Telemetry::disabled()).unwrap_err();
         assert!(matches!(err, ExperimentError::Config { .. }));
     }
 
@@ -311,8 +343,15 @@ mod tests {
         platform.set_voltage(Millivolts(860)).unwrap();
         let ports: Vec<PortId> = (0..4).map(|i| PortId::new(i).unwrap()).collect();
         for sample_words in [None, Some(96)] {
-            let sets =
-                build_mask_sets(&platform, &ports, 128, sample_words, Millivolts(860)).unwrap();
+            let sets = build_mask_sets(
+                &platform,
+                &ports,
+                128,
+                sample_words,
+                Millivolts(860),
+                Telemetry::disabled(),
+            )
+            .unwrap();
             for (set, &port) in sets.iter().zip(&ports) {
                 assert_eq!(set.port(), port);
                 for pattern in [DataPattern::AllOnes, DataPattern::Checkerboard] {
@@ -345,7 +384,15 @@ mod tests {
             let ports: Vec<PortId> = (0..platform.geometry().total_pcs())
                 .map(|i| PortId::new(i).unwrap())
                 .collect();
-            build_mask_sets(&platform, &ports, 256, None, Millivolts(880)).unwrap()
+            build_mask_sets(
+                &platform,
+                &ports,
+                256,
+                None,
+                Millivolts(880),
+                Telemetry::disabled(),
+            )
+            .unwrap()
         };
         let sequential = sets_with(1);
         assert!(sequential.iter().any(|s| s.words_checked() == 256));
@@ -360,7 +407,15 @@ mod tests {
         platform.enable_ports(4);
         platform.set_voltage(Millivolts(900)).unwrap();
         let ports = [PortId::new(6).unwrap()];
-        let err = build_mask_sets(&platform, &ports, 64, None, Millivolts(900)).unwrap_err();
+        let err = build_mask_sets(
+            &platform,
+            &ports,
+            64,
+            None,
+            Millivolts(900),
+            Telemetry::disabled(),
+        )
+        .unwrap_err();
         assert!(err.to_string().contains('6'), "{err}");
     }
 
@@ -370,7 +425,7 @@ mod tests {
             let mut platform = Platform::builder().seed(7).workers(workers).build();
             platform.set_voltage(Millivolts(900)).unwrap();
             let jobs = jobs_for(&platform, 64, DataPattern::Checkerboard);
-            run_jobs(&mut platform, &jobs).unwrap();
+            run_jobs(&mut platform, &jobs, Telemetry::disabled()).unwrap();
             platform.device().total_stats()
         };
         assert_eq!(total_stats(1), total_stats(8));

@@ -9,6 +9,7 @@ use crate::engine;
 use crate::error::ExperimentError;
 use crate::platform::Platform;
 use crate::sweep::VoltageSweep;
+use crate::telemetry::Telemetry;
 
 /// The measured landmarks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -175,7 +176,7 @@ impl GuardbandFinder {
         for pattern in [DataPattern::AllOnes, DataPattern::AllZeros] {
             let program = MacroProgram::write_then_check(0..self.probe_words, pattern);
             let jobs: Vec<_> = ids.iter().map(|&port| (port, program.clone())).collect();
-            total += engine::run_jobs(platform, &jobs)?
+            total += engine::run_jobs(platform, &jobs, Telemetry::disabled())?
                 .iter()
                 .map(|(_, stats)| stats.total_flips())
                 .sum::<u64>();

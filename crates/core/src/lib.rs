@@ -32,7 +32,11 @@
 //! - [`SweepSupervisor`]: the crash-aware resilient runtime — checkpointed
 //!   resume, transient-failure retry with bounded exponential backoff, and
 //!   per-port quarantine around the reliability sweep — with
-//!   [`SweepConfig`] as the one builder for every campaign knob.
+//!   [`SweepConfig`] as the one builder for every campaign knob;
+//! - [`telemetry`]: structured observation of a running sweep — typed
+//!   lifecycle events fanned out to JSONL and human-progress sinks, plus a
+//!   counters/histogram registry ([`telemetry::Metrics`]) covering cache
+//!   hits, scanned words, checkpoint bytes and per-point wall time.
 //!
 //! # Quick start
 //!
@@ -114,6 +118,7 @@ pub mod stats;
 mod supervisor;
 mod sweep;
 mod sweep_config;
+pub mod telemetry;
 mod trade_off;
 
 pub use engine::ShardPort;
@@ -134,6 +139,10 @@ pub use supervisor::{
 };
 pub use sweep::VoltageSweep;
 pub use sweep_config::SweepConfig;
+pub use telemetry::{
+    JsonlSink, MetricsSnapshot, Observer, ProgressSink, SharedBuffer, Telemetry, TelemetryEvent,
+    TraceRecord,
+};
 pub use trade_off::{
     OperatingPoint, PlannedFraction, TradeOffAnalysis, TradeOffReport, UsablePcCurve,
 };

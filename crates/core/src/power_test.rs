@@ -15,6 +15,7 @@ use crate::engine;
 use crate::error::ExperimentError;
 use crate::platform::Platform;
 use crate::sweep::VoltageSweep;
+use crate::telemetry::{Telemetry, TelemetryEvent};
 
 /// One measured point of the power sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -103,6 +104,20 @@ impl PowerSweep {
     ///
     /// PMBus/device errors; the sweep must stay at or above V_critical.
     pub fn run(&self, platform: &mut Platform) -> Result<PowerSweepReport, ExperimentError> {
+        self.run_observed(platform, Telemetry::disabled())
+    }
+
+    /// [`PowerSweep::run`] with telemetry: emits the sweep lifecycle and one
+    /// [`PowerMeasured`](TelemetryEvent::PowerMeasured) event per point.
+    ///
+    /// # Errors
+    ///
+    /// See [`PowerSweep::run`].
+    pub fn run_observed(
+        &self,
+        platform: &mut Platform,
+        telemetry: &Telemetry,
+    ) -> Result<PowerSweepReport, ExperimentError> {
         // Reference: nominal voltage, all ports.
         platform.set_voltage(Millivolts(1200))?;
         platform.enable_ports(32);
@@ -112,6 +127,13 @@ impl PowerSweep {
                 "reference power measurement is non-positive",
             ));
         }
+        telemetry.emit(TelemetryEvent::SweepStarted {
+            experiment: "power-sweep".to_owned(),
+            seed: platform.seed(),
+            points: (self.port_steps.len() * self.sweep.len()) as u64,
+            from_mv: self.sweep.from().as_u32(),
+            to_mv: self.sweep.down_to().as_u32(),
+        });
 
         let mut points = Vec::with_capacity(self.port_steps.len() * self.sweep.len());
         for &ports in &self.port_steps {
@@ -122,8 +144,13 @@ impl PowerSweep {
                 if platform.is_crashed() {
                     return Err(ExperimentError::from(hbm_device::DeviceError::Crashed));
                 }
-                self.warm_up(platform, ports)?;
+                self.warm_up(platform, ports, telemetry)?;
                 let sample = platform.measure_power(utilization)?;
+                telemetry.emit(TelemetryEvent::PowerMeasured {
+                    voltage_mv: voltage.as_u32(),
+                    ports: ports as u64,
+                    watts: sample.power.as_f64(),
+                });
                 points.push(PowerPoint {
                     voltage,
                     enabled_ports: ports,
@@ -133,6 +160,11 @@ impl PowerSweep {
                 });
             }
         }
+        telemetry.emit(TelemetryEvent::SweepCompleted {
+            completed: points.len() as u64,
+            skipped: 0,
+            quarantined: 0,
+        });
         Ok(PowerSweepReport {
             reference,
             port_steps: self.port_steps.clone(),
@@ -141,7 +173,12 @@ impl PowerSweep {
         })
     }
 
-    fn warm_up(&self, platform: &mut Platform, ports: usize) -> Result<(), ExperimentError> {
+    fn warm_up(
+        &self,
+        platform: &mut Platform,
+        ports: usize,
+        telemetry: &Telemetry,
+    ) -> Result<(), ExperimentError> {
         if self.warmup_words == 0 {
             return Ok(());
         }
@@ -152,7 +189,7 @@ impl PowerSweep {
             .into_iter()
             .map(|port| (port, program.clone()))
             .collect();
-        engine::run_jobs(platform, &jobs)?;
+        engine::run_jobs(platform, &jobs, telemetry)?;
         Ok(())
     }
 }

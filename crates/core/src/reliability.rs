@@ -21,6 +21,7 @@ use crate::error::ExperimentError;
 use crate::platform::Platform;
 use crate::stats::BatchSummary;
 use crate::sweep::VoltageSweep;
+use crate::telemetry::{Telemetry, TelemetryEvent};
 
 /// Which part of the memory a reliability test covers — the paper's
 /// `memSize` selector (entire HBM: 256M words; one PC: 8M words).
@@ -198,14 +199,25 @@ pub struct VoltagePoint {
     pub outcomes: Vec<PatternOutcome>,
     /// Measured throughput: logical word transactions (writes plus
     /// read-checks, across all batch passes and patterns) per wall-clock
-    /// second at this point. Zero for crashed points.
-    pub words_per_second: f64,
+    /// second at this point. `None` when no measurement exists — crashed
+    /// points never report a throughput (rendering a crash as
+    /// "0 words/s" would fabricate a data point), and non-finite rates
+    /// are excluded the same way.
+    pub words_per_second: Option<f64>,
     /// Measured throughput: stuck-at mask evaluations the fault kernel
     /// performed per wall-clock second at this point. In cached-mask mode
     /// each word's masks are computed once per voltage, so this is far
     /// below `words_per_second`; in traffic mode every read evaluates a
-    /// mask. Zero for crashed points.
-    pub masks_per_second: f64,
+    /// mask. `None` for crashed points, like `words_per_second`.
+    pub masks_per_second: Option<f64>,
+}
+
+/// A throughput rate that is a real measurement or nothing: non-finite
+/// values (a zero or denormal elapsed time) are excluded rather than
+/// surfaced as data.
+fn rate(count: u64, elapsed_secs: f64) -> Option<f64> {
+    let rate = count as f64 / elapsed_secs;
+    rate.is_finite().then_some(rate)
 }
 
 impl PartialEq for VoltagePoint {
@@ -337,31 +349,100 @@ impl ReliabilityTester {
     /// *crash* at a swept voltage is expected behaviour and is recorded in
     /// the report rather than returned.
     pub fn run(&self, platform: &mut Platform) -> Result<ReliabilityReport, ExperimentError> {
+        self.run_observed(platform, Telemetry::disabled())
+    }
+
+    /// [`ReliabilityTester::run`] with telemetry: emits the sweep and point
+    /// lifecycle events (stamped `t_ms: 0` — the plain tester has no
+    /// [`Clock`](crate::Clock); the [`SweepSupervisor`] does) and updates
+    /// the scan counters.
+    ///
+    /// [`SweepSupervisor`]: crate::SweepSupervisor
+    ///
+    /// # Errors
+    ///
+    /// See [`ReliabilityTester::run`].
+    pub fn run_observed(
+        &self,
+        platform: &mut Platform,
+        telemetry: &Telemetry,
+    ) -> Result<ReliabilityReport, ExperimentError> {
         let ports = self.scoped_ports(platform)?;
         let checked_bits_per_run = self.checked_bits_per_run(platform, &ports);
+        let sweep = &self.config.sweep;
+        telemetry.emit(TelemetryEvent::SweepStarted {
+            experiment: "reliability".to_owned(),
+            seed: platform.seed(),
+            points: sweep.len() as u64,
+            from_mv: sweep.from().as_u32(),
+            to_mv: sweep.down_to().as_u32(),
+        });
 
-        let mut points = Vec::with_capacity(self.config.sweep.len());
+        let mut points = Vec::with_capacity(sweep.len());
         for voltage in self.config.sweep.iter() {
-            match self.run_point(platform, &ports, voltage) {
-                Ok(point) => points.push(point),
+            telemetry.emit(TelemetryEvent::PointStarted {
+                voltage_mv: voltage.as_u32(),
+                attempt: 1,
+            });
+            match self.run_point_observed(platform, &ports, voltage, telemetry) {
+                Ok(point) => {
+                    if point.crashed {
+                        telemetry.emit(TelemetryEvent::DeviceCrashed {
+                            voltage_mv: voltage.as_u32(),
+                            attempt: 1,
+                            transient: false,
+                        });
+                        telemetry.emit(TelemetryEvent::PowerCycled {
+                            restart_mv: 1200,
+                            cycle: platform.power_cycle_count(),
+                        });
+                    }
+                    telemetry.emit(TelemetryEvent::PointCompleted {
+                        voltage_mv: voltage.as_u32(),
+                        attempt: 1,
+                        crashed: point.crashed,
+                        mean_faults: point.total_mean_faults(),
+                    });
+                    points.push(point);
+                }
                 // A transient crash above the floor: the plain tester has no
                 // retry machinery (that is the SweepSupervisor's job), so it
                 // records the point as crashed and recovers, exactly like a
                 // genuine cliff crash.
                 Err(e) if e.is_crash() => {
+                    telemetry.emit(TelemetryEvent::DeviceCrashed {
+                        voltage_mv: voltage.as_u32(),
+                        attempt: 1,
+                        transient: true,
+                    });
                     points.push(VoltagePoint {
                         voltage,
                         crashed: true,
                         outcomes: Vec::new(),
-                        words_per_second: 0.0,
-                        masks_per_second: 0.0,
+                        words_per_second: None,
+                        masks_per_second: None,
                     });
                     platform.power_cycle(Millivolts(1200))?;
+                    telemetry.emit(TelemetryEvent::PowerCycled {
+                        restart_mv: 1200,
+                        cycle: platform.power_cycle_count(),
+                    });
                     platform.set_voltage(Millivolts(1200))?;
+                    telemetry.emit(TelemetryEvent::PointCompleted {
+                        voltage_mv: voltage.as_u32(),
+                        attempt: 1,
+                        crashed: true,
+                        mean_faults: 0.0,
+                    });
                 }
                 Err(e) => return Err(e),
             }
         }
+        telemetry.emit(TelemetryEvent::SweepCompleted {
+            completed: points.len() as u64,
+            skipped: 0,
+            quarantined: 0,
+        });
 
         Ok(ReliabilityReport {
             config: self.config.clone(),
@@ -421,6 +502,26 @@ impl ReliabilityTester {
         ports: &[PortId],
         voltage: Millivolts,
     ) -> Result<VoltagePoint, ExperimentError> {
+        self.run_point_observed(platform, ports, voltage, Telemetry::disabled())
+    }
+
+    /// [`ReliabilityTester::run_point`] with telemetry: threads the hub into
+    /// the engine (which emits the per-port
+    /// [`WorkerShardDone`](TelemetryEvent::WorkerShardDone) events) and adds
+    /// the point's scanned words/masks to the counter registry. Point
+    /// lifecycle events are the *caller's* to emit — the supervisor knows
+    /// the attempt number and the clock; this method does not.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReliabilityTester::run_point`].
+    pub fn run_point_observed(
+        &self,
+        platform: &mut Platform,
+        ports: &[PortId],
+        voltage: Millivolts,
+        telemetry: &Telemetry,
+    ) -> Result<VoltagePoint, ExperimentError> {
         let geometry = platform.geometry();
         let words = self
             .config
@@ -438,23 +539,29 @@ impl ReliabilityTester {
                 voltage,
                 crashed: true,
                 outcomes: Vec::new(),
-                words_per_second: 0.0,
-                masks_per_second: 0.0,
+                words_per_second: None,
+                masks_per_second: None,
             });
         }
 
         let started = Instant::now();
         let (outcomes, work) = match self.config.mode {
-            ExecutionMode::CachedMasks => self.run_point_cached(platform, ports, words, voltage)?,
-            ExecutionMode::Traffic => self.run_point_traffic(platform, ports, words, voltage)?,
+            ExecutionMode::CachedMasks => {
+                self.run_point_cached(platform, ports, words, voltage, telemetry)?
+            }
+            ExecutionMode::Traffic => {
+                self.run_point_traffic(platform, ports, words, voltage, telemetry)?
+            }
         };
         let elapsed = started.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+        telemetry.metrics().add_words_scanned(work.words);
+        telemetry.metrics().add_masks_scanned(work.masks);
         Ok(VoltagePoint {
             voltage,
             crashed: false,
             outcomes,
-            words_per_second: work.words as f64 / elapsed,
-            masks_per_second: work.masks as f64 / elapsed,
+            words_per_second: rate(work.words, elapsed),
+            masks_per_second: rate(work.masks, elapsed),
         })
     }
 
@@ -494,11 +601,14 @@ impl ReliabilityTester {
         ports: &[PortId],
         words: u64,
         voltage: Millivolts,
+        telemetry: &Telemetry,
     ) -> Result<(Vec<PatternOutcome>, PointWork), ExperimentError> {
         let mut work = PointWork::default();
         let mut outcomes = Vec::with_capacity(self.config.patterns.len());
         for &pattern in &self.config.patterns {
-            outcomes.push(self.run_pattern(platform, ports, words, pattern, voltage, &mut work)?);
+            outcomes.push(self.run_pattern(
+                platform, ports, words, pattern, voltage, &mut work, telemetry,
+            )?);
         }
         Ok((outcomes, work))
     }
@@ -516,9 +626,16 @@ impl ReliabilityTester {
         ports: &[PortId],
         words: u64,
         voltage: Millivolts,
+        telemetry: &Telemetry,
     ) -> Result<(Vec<PatternOutcome>, PointWork), ExperimentError> {
-        let mask_sets =
-            engine::build_mask_sets(platform, ports, words, self.config.sample_words, voltage)?;
+        let mask_sets = engine::build_mask_sets(
+            platform,
+            ports,
+            words,
+            self.config.sample_words,
+            voltage,
+            telemetry,
+        )?;
         let mut work = PointWork {
             words: 0,
             masks: mask_sets.iter().map(|s| s.words_checked()).sum(),
@@ -553,6 +670,7 @@ impl ReliabilityTester {
         Ok((outcomes, work))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_pattern(
         &self,
         platform: &mut Platform,
@@ -561,6 +679,7 @@ impl ReliabilityTester {
         pattern: DataPattern,
         voltage: Millivolts,
         work: &mut PointWork,
+        telemetry: &Telemetry,
     ) -> Result<PatternOutcome, ExperimentError> {
         let jobs = self.build_jobs(platform, ports, words, pattern, voltage);
         let mut run_totals = Vec::with_capacity(self.config.batch_size);
@@ -569,7 +688,7 @@ impl ReliabilityTester {
         for _ in 0..self.config.batch_size {
             // The paper's reset_axi_ports().
             platform.device_mut().reset_stats();
-            let results = engine::run_jobs(platform, &jobs)?;
+            let results = engine::run_jobs(platform, &jobs, telemetry)?;
             let mut per_port = Vec::with_capacity(results.len());
             let mut total = 0u64;
             for (port, stats) in results {
@@ -697,14 +816,49 @@ mod tests {
         let report = quick_tester().run(&mut platform()).unwrap();
         for point in &report.points {
             assert!(!point.crashed);
-            assert!(point.words_per_second > 0.0, "at {}", point.voltage);
-            assert!(point.masks_per_second > 0.0, "at {}", point.voltage);
+            assert!(
+                point.words_per_second.unwrap() > 0.0,
+                "at {}",
+                point.voltage
+            );
+            assert!(
+                point.masks_per_second.unwrap() > 0.0,
+                "at {}",
+                point.voltage
+            );
         }
         let mut scaled = report.points[0].clone();
         let original = scaled.clone();
-        scaled.words_per_second *= 2.0;
-        scaled.masks_per_second = 0.0;
+        scaled.words_per_second = scaled.words_per_second.map(|r| r * 2.0);
+        scaled.masks_per_second = None;
         assert_eq!(scaled, original, "throughput must not affect equality");
+    }
+
+    #[test]
+    fn crashed_points_report_no_throughput() {
+        // Regression: crashed points used to report `words_per_second: 0.0`,
+        // which every renderer then displayed as a real measurement.
+        let mut config = ReliabilityConfig::quick();
+        config.sweep = VoltageSweep::new(Millivolts(820), Millivolts(800), Millivolts(10)).unwrap();
+        config.batch_size = 1;
+        config.words_per_pc = Some(16);
+        let report = ReliabilityTester::new(config)
+            .unwrap()
+            .run(&mut platform())
+            .unwrap();
+        let crashed = report.at(Millivolts(800)).unwrap();
+        assert!(crashed.crashed);
+        assert_eq!(crashed.words_per_second, None);
+        assert_eq!(crashed.masks_per_second, None);
+        let live = report.at(Millivolts(820)).unwrap();
+        assert!(live.words_per_second.is_some());
+    }
+
+    #[test]
+    fn non_finite_rates_are_excluded() {
+        assert_eq!(super::rate(10, 0.0), None, "infinite rate is not data");
+        assert_eq!(super::rate(0, 0.0), None, "NaN rate is not data");
+        assert_eq!(super::rate(10, 2.0), Some(5.0));
     }
 
     #[test]

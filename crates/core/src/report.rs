@@ -461,8 +461,8 @@ impl Render for ReliabilityReport {
                 write!(
                     out,
                     "{:>12}{:>12}",
-                    format!("{:.2e}", point.words_per_second),
-                    format!("{:.2e}", point.masks_per_second)
+                    rate_text(point.words_per_second),
+                    rate_text(point.masks_per_second)
                 )
                 .expect("write to string");
             }
@@ -495,8 +495,8 @@ impl Render for ReliabilityReport {
                     format!("{:.3}", outcome.mean_fault_count),
                     outcome.flips_1to0.to_string(),
                     outcome.flips_0to1.to_string(),
-                    format!("{:.3}", point.words_per_second),
-                    format!("{:.3}", point.masks_per_second),
+                    rate_csv(point.words_per_second),
+                    rate_csv(point.masks_per_second),
                 ]);
             }
         }
@@ -555,6 +555,7 @@ impl Render for SupervisedReport {
                             format!("{:.3}", outcome.mean_fault_count),
                             outcome.flips_1to0.to_string(),
                             outcome.flips_0to1.to_string(),
+                            String::new(),
                         ]);
                     }
                     if p.outcomes.is_empty() {
@@ -566,10 +567,11 @@ impl Render for SupervisedReport {
                             String::new(),
                             String::new(),
                             String::new(),
+                            String::new(),
                         ]);
                     }
                 }
-                PointOutcome::Skipped { .. } => {
+                PointOutcome::Skipped { reason } => {
                     rows.push(vec![
                         point.voltage.as_u32().to_string(),
                         "skipped".to_owned(),
@@ -578,6 +580,7 @@ impl Render for SupervisedReport {
                         String::new(),
                         String::new(),
                         String::new(),
+                        reason.clone(),
                     ]);
                 }
             }
@@ -591,6 +594,7 @@ impl Render for SupervisedReport {
                 "mean_faults",
                 "flips_1to0",
                 "flips_0to1",
+                "detail",
             ],
             &rows,
         )
@@ -634,14 +638,55 @@ pub fn to_json<T: Serialize>(value: &T) -> Result<String, ExperimentError> {
         .map_err(|e| ExperimentError::config(format!("serialization failed: {e}")))
 }
 
-/// Writes a simple CSV from header + rows.
+/// A measured rate for a plain-text table: `-` when absent.
+fn rate_text(rate: Option<f64>) -> String {
+    rate.map_or_else(|| "-".to_owned(), |r| format!("{r:.2e}"))
+}
+
+/// A measured rate for a CSV cell: blank when absent, so consumers see a
+/// missing value rather than a fabricated `0.0`.
+fn rate_csv(rate: Option<f64>) -> String {
+    rate.map_or_else(String::new, |r| format!("{r:.3}"))
+}
+
+/// Appends one field, quoting per RFC 4180 when it contains a comma,
+/// quote, or line break (inner quotes are doubled). Every CSV cell the
+/// crate emits flows through here, so escaping lives in exactly one place.
+fn push_csv_field(out: &mut String, field: &str) {
+    if field.contains(['"', ',', '\n', '\r']) {
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// Appends one newline-terminated CSV record.
+fn push_csv_row<'a>(out: &mut String, fields: impl IntoIterator<Item = &'a str>) {
+    for (i, field) in fields.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_csv_field(out, field);
+    }
+    out.push('\n');
+}
+
+/// Writes a CSV from header + rows, quoting fields per RFC 4180 where
+/// needed (commas, quotes and line breaks in a field — e.g. a skip-reason
+/// message quoting a device error — no longer corrupt the row structure).
 #[must_use]
 pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
-    let mut out = header.join(",");
-    out.push('\n');
+    let mut out = String::new();
+    push_csv_row(&mut out, header.iter().copied());
     for row in rows {
-        out.push_str(&row.join(","));
-        out.push('\n');
+        push_csv_row(&mut out, row.iter().map(String::as_str));
     }
     out
 }
@@ -775,5 +820,76 @@ mod tests {
 
         let json = to_json(&vec![1, 2, 3]).unwrap();
         assert!(json.contains('1'));
+    }
+
+    #[test]
+    fn csv_fields_with_commas_quotes_and_newlines_are_escaped() {
+        let csv = to_csv(
+            &["reason", "count"],
+            &[vec!["said \"no, thanks\"\nand left".into(), "2".into()]],
+        );
+        assert_eq!(
+            csv,
+            "reason,count\n\"said \"\"no, thanks\"\"\nand left\",2\n"
+        );
+        // Unremarkable fields stay unquoted.
+        let plain = to_csv(&["a"], &[vec!["plain".into()]]);
+        assert_eq!(plain, "a\nplain\n");
+    }
+
+    #[test]
+    fn supervised_csv_escapes_hostile_skip_reasons() {
+        use crate::reliability::ReliabilityConfig;
+        let report = SupervisedReport {
+            config: ReliabilityConfig::quick(),
+            checked_bits_per_run: 0,
+            points: vec![crate::supervisor::SupervisedPoint {
+                voltage: Millivolts(900),
+                attempts: 3,
+                outcome: PointOutcome::Skipped {
+                    reason: "gave up: device said \"no\", then\ncrashed".to_owned(),
+                },
+            }],
+            quarantined: Vec::new(),
+            resumed_points: 0,
+            power_cycles: 0,
+        };
+        let csv = report.to_csv();
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().ends_with(",detail"));
+        // The reason's comma and newline are contained inside one quoted
+        // field: the record still parses as exactly 8 columns.
+        assert!(
+            csv.contains("\"gave up: device said \"\"no\"\", then\ncrashed\""),
+            "{csv}"
+        );
+    }
+
+    #[test]
+    fn crashed_points_render_blank_throughput_not_zero() {
+        use crate::reliability::{ReliabilityConfig, VoltagePoint};
+        let mut config = ReliabilityConfig::quick();
+        config.patterns = vec![DataPattern::AllOnes];
+        let report = ReliabilityReport {
+            config,
+            checked_bits_per_run: 0,
+            points: vec![VoltagePoint {
+                voltage: Millivolts(820),
+                crashed: true,
+                outcomes: Vec::new(),
+                words_per_second: None,
+                masks_per_second: None,
+            }],
+        };
+        let text = report.to_text();
+        assert!(text.contains('-'), "{text}");
+        assert!(!text.contains("0.0e0"), "{text}");
+        let csv = report.to_csv();
+        let row = csv.lines().nth(1).unwrap();
+        assert!(
+            row.ends_with(",,"),
+            "crashed rows must leave throughput blank: {row}"
+        );
+        assert!(!row.contains("0.000"), "{row}");
     }
 }

@@ -6,8 +6,9 @@
 //! campaign survives all three:
 //!
 //! - **checkpointing** — every completed [`VoltagePoint`] is written to a
-//!   versioned JSON checkpoint (atomically: temp file + rename), so a
-//!   killed process resumes exactly where it stopped;
+//!   versioned JSON checkpoint (durably: synced temp file + rename + parent
+//!   directory sync, with a copy fallback for cross-filesystem targets), so
+//!   a killed process resumes exactly where it stopped;
 //! - **retry with backoff** — a transient crash (or a blown per-point
 //!   deadline) triggers a power cycle and a bounded-exponential wait
 //!   ([`RetryPolicy`]) before the point is re-attempted; after the budget
@@ -24,6 +25,7 @@
 //! (enforced by the `resilience` integration tests).
 
 use std::fmt::Write as _;
+use std::io::Write as _;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
@@ -35,11 +37,16 @@ use serde::{Deserialize, Serialize};
 use crate::error::ExperimentError;
 use crate::platform::Platform;
 use crate::reliability::{ReliabilityConfig, ReliabilityReport, ReliabilityTester, VoltagePoint};
+use crate::telemetry::{Telemetry, TelemetryEvent};
 
 /// Version stamp of the checkpoint file format. Bumped on any incompatible
 /// change to [`SweepCheckpoint`]; resuming from a different version is
 /// refused with a [`ExperimentError::Checkpoint`] error.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// Version history: 1 — the original format; 2 — [`VoltagePoint`]
+/// throughput fields became optional (`null` for crashed points instead of
+/// a fabricated `0.0`).
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// The supply every recovery power cycle restarts at.
 const NOMINAL_RESTART: Millivolts = Millivolts(1200);
@@ -389,7 +396,8 @@ impl SweepSupervisor {
         self
     }
 
-    /// Checkpoints every completed point to `path` (atomic temp+rename).
+    /// Checkpoints every completed point to `path` (durable replace:
+    /// synced temp file + rename + parent-directory sync).
     #[must_use]
     pub fn checkpoint(mut self, path: impl Into<String>) -> Self {
         self.checkpoint_path = Some(path.into());
@@ -443,6 +451,29 @@ impl SweepSupervisor {
         platform: &mut Platform,
         clock: &mut dyn Clock,
     ) -> Result<SupervisedReport, ExperimentError> {
+        self.run_observed(platform, clock, Telemetry::disabled())
+    }
+
+    /// [`SweepSupervisor::run_with_clock`] with telemetry: the full sweep
+    /// and point lifecycle — attempts, retries, crashes, power cycles,
+    /// quarantines, checkpoint writes — is emitted through `telemetry`,
+    /// stamped with `clock` readings, and the counter registry tracks
+    /// scanned words/masks, retry backoff, power cycles, checkpoint bytes,
+    /// per-point wall times and the injector's tile-cache hit ratio.
+    ///
+    /// Every emission point sits in the supervisor's (single-threaded)
+    /// control flow, so for a fixed seed the event stream is identical at
+    /// every engine worker count.
+    ///
+    /// # Errors
+    ///
+    /// See [`SweepSupervisor::run`].
+    pub fn run_observed(
+        &self,
+        platform: &mut Platform,
+        clock: &mut dyn Clock,
+        telemetry: &Telemetry,
+    ) -> Result<SupervisedReport, ExperimentError> {
         let all_ports = self.tester.scoped_ports(platform)?;
         let checked_bits_per_run = self.tester.checked_bits_per_run(platform, &all_ports);
         let config_json = report_config_json(self.tester.config())?;
@@ -459,6 +490,18 @@ impl SweepSupervisor {
         let resumed_points = points.len();
         let cycles_at_start = platform.power_cycle_count();
 
+        let sweep = &self.tester.config().sweep;
+        telemetry.emit_at(
+            clock.now_ms(),
+            TelemetryEvent::SweepStarted {
+                experiment: "supervised-sweep".to_owned(),
+                seed: platform.seed(),
+                points: voltages.len() as u64,
+                from_mv: sweep.from().as_u32(),
+                to_mv: sweep.down_to().as_u32(),
+            },
+        );
+
         let mut active: Vec<PortId> = all_ports
             .iter()
             .copied()
@@ -466,8 +509,14 @@ impl SweepSupervisor {
             .collect();
 
         for &voltage in voltages.iter().skip(points.len()) {
-            let point =
-                self.run_supervised_point(platform, clock, voltage, &mut active, &mut quarantined)?;
+            let point = self.run_supervised_point(
+                platform,
+                clock,
+                voltage,
+                &mut active,
+                &mut quarantined,
+                telemetry,
+            )?;
             points.push(point);
             if let Some(path) = &self.checkpoint_path {
                 let checkpoint = SweepCheckpoint {
@@ -478,7 +527,16 @@ impl SweepSupervisor {
                     points: points.clone(),
                     quarantined: quarantined.clone(),
                 };
-                write_checkpoint(path, &checkpoint)?;
+                let bytes = write_checkpoint(path, &checkpoint)?;
+                telemetry.metrics().add_checkpoint(bytes);
+                telemetry.emit_at(
+                    clock.now_ms(),
+                    TelemetryEvent::CheckpointWritten {
+                        path: path.clone(),
+                        bytes,
+                        points: points.len() as u64,
+                    },
+                );
             }
             if let Some(limit) = self.abort_after {
                 if points.len() - resumed_points >= limit && points.len() < voltages.len() {
@@ -489,18 +547,38 @@ impl SweepSupervisor {
             }
         }
 
+        let (hits, misses) = platform.injector().tile_cache_stats();
+        telemetry.metrics().set_tile_cache(hits, misses);
+        let power_cycles = platform.power_cycle_count() - cycles_at_start;
+        telemetry
+            .metrics()
+            .add_power_cycles(u64::from(power_cycles));
+        let completed = points.iter().filter(|p| p.completed().is_some()).count();
+        telemetry.emit_at(
+            clock.now_ms(),
+            TelemetryEvent::SweepCompleted {
+                completed: completed as u64,
+                skipped: (points.len() - completed) as u64,
+                quarantined: quarantined.len() as u64,
+            },
+        );
+
         Ok(SupervisedReport {
             config: self.tester.config().clone(),
             checked_bits_per_run,
             points,
             quarantined,
             resumed_points,
-            power_cycles: platform.power_cycle_count() - cycles_at_start,
+            power_cycles,
         })
     }
 
     /// Attempts one voltage until it completes, its retry budget runs out,
     /// or every port is quarantined.
+    ///
+    /// Event timestamps reuse the attempt's own `started`/`elapsed` clock
+    /// readings (no extra `now_ms` calls inside the attempt loop), so the
+    /// deadline arithmetic is exactly what the events report.
     fn run_supervised_point(
         &self,
         platform: &mut Platform,
@@ -508,10 +586,17 @@ impl SweepSupervisor {
         voltage: Millivolts,
         active: &mut Vec<PortId>,
         quarantined: &mut Vec<QuarantineRecord>,
+        telemetry: &Telemetry,
     ) -> Result<SupervisedPoint, ExperimentError> {
+        let voltage_mv = voltage.as_u32();
         let mut attempts = 0u32;
         loop {
             if active.is_empty() {
+                telemetry.emit(TelemetryEvent::PointSkipped {
+                    voltage_mv,
+                    attempts,
+                    reason: "every port in scope is quarantined".to_owned(),
+                });
                 return Ok(SupervisedPoint {
                     voltage,
                     attempts,
@@ -522,8 +607,19 @@ impl SweepSupervisor {
             }
             attempts += 1;
             let started = clock.now_ms();
-            let result = self.tester.run_point(platform, active, voltage);
+            telemetry.emit_at(
+                started,
+                TelemetryEvent::PointStarted {
+                    voltage_mv,
+                    attempt: attempts,
+                },
+            );
+            let result = self
+                .tester
+                .run_point_observed(platform, active, voltage, telemetry);
             let elapsed = clock.now_ms().saturating_sub(started);
+            let end = started + elapsed;
+            telemetry.metrics().record_point_wall_ms(elapsed);
 
             let failure = match result {
                 Ok(point) => match self.point_deadline_ms {
@@ -531,11 +627,37 @@ impl SweepSupervisor {
                         format!("point took {elapsed} ms, over the {deadline} ms deadline")
                     }
                     _ => {
+                        if point.crashed {
+                            telemetry.emit_at(
+                                end,
+                                TelemetryEvent::DeviceCrashed {
+                                    voltage_mv,
+                                    attempt: attempts,
+                                    transient: false,
+                                },
+                            );
+                            telemetry.emit_at(
+                                end,
+                                TelemetryEvent::PowerCycled {
+                                    restart_mv: NOMINAL_RESTART.as_u32(),
+                                    cycle: platform.power_cycle_count(),
+                                },
+                            );
+                        }
+                        telemetry.emit_at(
+                            end,
+                            TelemetryEvent::PointCompleted {
+                                voltage_mv,
+                                attempt: attempts,
+                                crashed: point.crashed,
+                                mean_faults: point.total_mean_faults(),
+                            },
+                        );
                         return Ok(SupervisedPoint {
                             voltage,
                             attempts,
                             outcome: PointOutcome::Completed(point),
-                        })
+                        });
                     }
                 },
                 Err(e) => {
@@ -546,6 +668,14 @@ impl SweepSupervisor {
                         // the transient retry budget (the loop terminates
                         // because `active` shrinks).
                         active.retain(|p| p.as_u8() != port);
+                        telemetry.emit_at(
+                            end,
+                            TelemetryEvent::PortQuarantined {
+                                port,
+                                voltage_mv,
+                                reason: e.to_string(),
+                            },
+                        );
                         quarantined.push(QuarantineRecord {
                             port,
                             voltage,
@@ -557,6 +687,14 @@ impl SweepSupervisor {
                     if !e.is_crash() {
                         return Err(e);
                     }
+                    telemetry.emit_at(
+                        end,
+                        TelemetryEvent::DeviceCrashed {
+                            voltage_mv,
+                            attempt: attempts,
+                            transient: true,
+                        },
+                    );
                     e.to_string()
                 }
             };
@@ -566,7 +704,22 @@ impl SweepSupervisor {
             if attempts > self.retry.max_retries {
                 if platform.is_crashed() {
                     platform.power_cycle(NOMINAL_RESTART)?;
+                    telemetry.emit_at(
+                        end,
+                        TelemetryEvent::PowerCycled {
+                            restart_mv: NOMINAL_RESTART.as_u32(),
+                            cycle: platform.power_cycle_count(),
+                        },
+                    );
                 }
+                telemetry.emit_at(
+                    end,
+                    TelemetryEvent::PointSkipped {
+                        voltage_mv,
+                        attempts,
+                        reason: format!("gave up after {attempts} attempt(s): {failure}"),
+                    },
+                );
                 return Ok(SupervisedPoint {
                     voltage,
                     attempts,
@@ -575,8 +728,26 @@ impl SweepSupervisor {
                     },
                 });
             }
-            clock.sleep_ms(self.retry.delay_ms(attempts - 1));
+            let delay = self.retry.delay_ms(attempts - 1);
+            telemetry.emit_at(
+                end,
+                TelemetryEvent::RetryScheduled {
+                    voltage_mv,
+                    attempt: attempts,
+                    delay_ms: delay,
+                    reason: failure,
+                },
+            );
+            telemetry.metrics().add_retry(delay);
+            clock.sleep_ms(delay);
             platform.power_cycle(NOMINAL_RESTART)?;
+            telemetry.emit_at(
+                end + delay,
+                TelemetryEvent::PowerCycled {
+                    restart_mv: NOMINAL_RESTART.as_u32(),
+                    cycle: platform.power_cycle_count(),
+                },
+            );
         }
     }
 }
@@ -599,18 +770,73 @@ fn report_config_json(config: &ReliabilityConfig) -> Result<String, ExperimentEr
         .map_err(|e| ExperimentError::checkpoint(format!("serializing the config: {e}")))
 }
 
-/// Atomically replaces the checkpoint file: write a sibling temp file,
-/// then rename over the target, so a kill mid-write never corrupts an
-/// existing checkpoint.
-fn write_checkpoint(path: &str, checkpoint: &SweepCheckpoint) -> Result<(), ExperimentError> {
+/// Durably replaces the checkpoint file and reports how many bytes were
+/// written. See [`persist_atomic`] for the crash-safety contract.
+fn write_checkpoint(path: &str, checkpoint: &SweepCheckpoint) -> Result<u64, ExperimentError> {
     let json = serde_json::to_string_pretty(checkpoint)
         .map_err(|e| ExperimentError::checkpoint(format!("serializing the checkpoint: {e}")))?;
+    persist_atomic(path, json.as_bytes())
+}
+
+/// Durably and atomically replaces `path` with `contents`: write a sibling
+/// temp file, fsync it, then rename it over the target and fsync the parent
+/// directory, so neither a kill mid-write nor a power loss right after the
+/// rename can corrupt or lose an existing checkpoint.
+///
+/// When the rename fails with `EXDEV` (`path` and the temp file ended up on
+/// different filesystems — e.g. the checkpoint directory is a bind mount),
+/// falls back to writing the target directly and syncing it. That loses
+/// atomicity but keeps durability; the alternative was failing the sweep.
+fn persist_atomic(path: &str, contents: &[u8]) -> Result<u64, ExperimentError> {
+    persist_atomic_with(path, contents, |tmp, target| std::fs::rename(tmp, target))
+}
+
+/// [`persist_atomic`] with an injectable rename, so tests can force the
+/// cross-device fallback without an actual second filesystem.
+fn persist_atomic_with<F>(path: &str, contents: &[u8], rename: F) -> Result<u64, ExperimentError>
+where
+    F: Fn(&Path, &Path) -> std::io::Result<()>,
+{
+    let target = Path::new(path);
     let tmp = format!("{path}.tmp");
-    std::fs::write(&tmp, json)
+    let tmp_path = Path::new(&tmp);
+    let write_synced = |dest: &Path| -> std::io::Result<()> {
+        let mut file = std::fs::File::create(dest)?;
+        file.write_all(contents)?;
+        file.sync_all()
+    };
+    write_synced(tmp_path)
         .map_err(|e| ExperimentError::checkpoint(format!("writing {tmp}: {e}")))?;
-    std::fs::rename(&tmp, path)
-        .map_err(|e| ExperimentError::checkpoint(format!("replacing {path}: {e}")))?;
-    Ok(())
+    match rename(tmp_path, target) {
+        Ok(()) => {}
+        Err(e) if is_cross_device(&e) => {
+            // Cross-filesystem rename: write the target in place instead.
+            write_synced(target)
+                .map_err(|e| ExperimentError::checkpoint(format!("writing {path}: {e}")))?;
+            let _ = std::fs::remove_file(tmp_path);
+        }
+        Err(e) => {
+            return Err(ExperimentError::checkpoint(format!(
+                "replacing {path}: {e}"
+            )));
+        }
+    }
+    // Make the rename itself durable. Directory fsync is best-effort: some
+    // filesystems refuse to open directories for syncing.
+    let parent = match target.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => dir,
+        _ => Path::new("."),
+    };
+    if let Ok(dir) = std::fs::File::open(parent) {
+        let _ = dir.sync_all();
+    }
+    Ok(contents.len() as u64)
+}
+
+/// Whether an I/O error is `EXDEV` (rename across filesystem boundaries).
+fn is_cross_device(e: &std::io::Error) -> bool {
+    let exdev = if cfg!(windows) { 17 } else { 18 };
+    e.raw_os_error() == Some(exdev)
 }
 
 /// Loads and validates a checkpoint for resumption. A missing file is a
@@ -944,5 +1170,52 @@ mod tests {
         let summary = summarize(&report);
         assert!(summary.contains("1 completed"), "{summary}");
         assert!(summary.contains("quarantined port 2"), "{summary}");
+    }
+
+    #[test]
+    fn persist_atomic_replaces_durably_and_reports_bytes() {
+        let path = temp_path("persist");
+        std::fs::write(&path, "old contents").unwrap();
+        let bytes = persist_atomic(&path, b"new contents").unwrap();
+        assert_eq!(bytes, 12);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "new contents");
+        assert!(
+            !Path::new(&format!("{path}.tmp")).exists(),
+            "temp file must be consumed by the rename"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn persist_atomic_falls_back_to_copy_on_cross_device_rename() {
+        // Simulate a checkpoint path on another filesystem: the first
+        // rename fails with EXDEV, which `persist_atomic` must survive by
+        // writing the target directly.
+        let path = temp_path("exdev");
+        std::fs::write(&path, "old contents").unwrap();
+        let exdev = if cfg!(windows) { 17 } else { 18 };
+        let bytes = persist_atomic_with(&path, b"fallback contents", |_, _| {
+            Err(std::io::Error::from_raw_os_error(exdev))
+        })
+        .unwrap();
+        assert_eq!(bytes, 17);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "fallback contents");
+        assert!(
+            !Path::new(&format!("{path}.tmp")).exists(),
+            "temp file must be cleaned up after the fallback"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn persist_atomic_propagates_non_exdev_rename_errors() {
+        let path = temp_path("rename-err");
+        let err = persist_atomic_with(&path, b"data", |_, _| {
+            Err(std::io::Error::from_raw_os_error(13)) // EACCES
+        })
+        .unwrap_err();
+        assert!(matches!(err, ExperimentError::Checkpoint { .. }));
+        let _ = std::fs::remove_file(format!("{path}.tmp"));
+        let _ = std::fs::remove_file(&path);
     }
 }

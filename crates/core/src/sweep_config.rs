@@ -16,8 +16,9 @@ use hbm_units::Millivolts;
 use crate::error::ExperimentError;
 use crate::platform::Platform;
 use crate::reliability::{ExecutionMode, ReliabilityConfig, ReliabilityTester, TestScope};
-use crate::supervisor::{RetryPolicy, SupervisedReport, SweepSupervisor};
+use crate::supervisor::{RetryPolicy, SupervisedReport, SweepSupervisor, SystemClock};
 use crate::sweep::VoltageSweep;
+use crate::telemetry::Telemetry;
 
 /// Every knob of a sweep campaign — platform, measurement and resilience —
 /// in one builder.
@@ -259,6 +260,19 @@ impl SweepConfig {
     pub fn run(&self) -> Result<SupervisedReport, ExperimentError> {
         let mut platform = self.build_platform();
         self.build_supervisor()?.run(&mut platform)
+    }
+
+    /// Like [`SweepConfig::run`], but publishing lifecycle events and
+    /// counters to `telemetry` as the sweep executes (wall-clock
+    /// timestamps from [`SystemClock`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`SweepSupervisor::run`].
+    pub fn run_observed(&self, telemetry: &Telemetry) -> Result<SupervisedReport, ExperimentError> {
+        let mut platform = self.build_platform();
+        self.build_supervisor()?
+            .run_observed(&mut platform, &mut SystemClock::new(), telemetry)
     }
 }
 

@@ -37,6 +37,8 @@ fn configuration_errors_exit_two_with_usage() {
         vec![],
         vec!["no-such-command"],
         vec!["sweep", "--from", "abc"],
+        vec!["sweep", "--from", "-900"],
+        vec!["sweep", "--from", "-0.0V"],
         vec!["sweep", "--retries"],
         vec!["reliability", "--kernel", "warp"],
         vec!["guardband", "--format", "xml"],

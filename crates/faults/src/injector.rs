@@ -2,6 +2,7 @@
 //! masks for every word of the device, deterministically.
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use hbm_device::{BankId, HbmGeometry, PcIndex, Word256, WordOffset};
@@ -108,6 +109,10 @@ pub struct FaultInjector {
     tile_cache: RwLock<Vec<Option<Arc<TileTable>>>>,
     /// Per-PC sorted gate-draw indexes; voltage- and temperature-free.
     gate_index: RwLock<Vec<Option<Arc<GateIndex>>>>,
+    /// Lifetime tile-table lookups served from `tile_cache`.
+    cache_hits: AtomicU64,
+    /// Lifetime tile-table lookups that had to rebuild the table.
+    cache_misses: AtomicU64,
 }
 
 /// Domain-separation tags for the hash streams.
@@ -238,6 +243,8 @@ impl Clone for FaultInjector {
             // own locks), so diverging temperatures cannot cross-pollute.
             tile_cache: RwLock::new(self.tile_cache.read().expect("tile cache poisoned").clone()),
             gate_index: RwLock::new(self.gate_index.read().expect("gate index poisoned").clone()),
+            cache_hits: AtomicU64::new(self.cache_hits.load(Ordering::Relaxed)),
+            cache_misses: AtomicU64::new(self.cache_misses.load(Ordering::Relaxed)),
         }
     }
 }
@@ -264,6 +271,8 @@ impl FaultInjector {
             grid,
             tile_cache: RwLock::new(vec![None; pcs]),
             gate_index: RwLock::new(vec![None; pcs]),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
         }
     }
 
@@ -289,6 +298,21 @@ impl FaultInjector {
     #[must_use]
     pub fn temperature(&self) -> Celsius {
         self.temperature
+    }
+
+    /// Lifetime `(hits, misses)` of the region-tile probability cache.
+    ///
+    /// A hit serves a tile-table lookup from the cached
+    /// `(voltage, temperature)` snapshot; a miss rebuilds the table. The
+    /// split is scheduling-dependent under parallel engine workers (whoever
+    /// reaches a pseudo channel first takes the miss), so it belongs in a
+    /// metrics registry, never in a deterministic trace.
+    #[must_use]
+    pub fn tile_cache_stats(&self) -> (u64, u64) {
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Sets the operating temperature (the study keeps it at 35 ± 1 °C).
@@ -326,10 +350,12 @@ impl FaultInjector {
             let cache = self.tile_cache.read().expect("tile cache poisoned");
             if let Some(table) = &cache[pc.as_usize()] {
                 if table.voltage == supply && table.temperature == self.temperature {
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
                     return Arc::clone(table);
                 }
             }
         }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
         let table = Arc::new(self.build_tile_table(pc, supply));
         self.tile_cache.write().expect("tile cache poisoned")[pc.as_usize()] =
             Some(Arc::clone(&table));
@@ -796,6 +822,26 @@ mod tests {
         let total = (n0 + n1) as f64;
         let share0 = n0 as f64 / total;
         assert!((share0 - 0.47).abs() < 0.02, "share0 = {share0}");
+    }
+
+    #[test]
+    fn tile_cache_stats_count_hits_and_misses() {
+        let inj = injector();
+        assert_eq!(inj.tile_cache_stats(), (0, 0));
+        // First lookup at a voltage builds the table, repeats hit it.
+        inj.stuck_masks(pc(0), WordOffset(0), Millivolts(880));
+        inj.stuck_masks(pc(0), WordOffset(1), Millivolts(880));
+        let (hits, misses) = inj.tile_cache_stats();
+        assert_eq!(misses, 1, "one build for the first (PC, voltage)");
+        assert!(hits >= 1, "second word must be served from the cache");
+        // A new voltage invalidates that PC's entry: another miss.
+        inj.stuck_masks(pc(0), WordOffset(0), Millivolts(870));
+        assert_eq!(inj.tile_cache_stats().1, 2);
+        // Clones inherit the counters but diverge independently.
+        let cloned = inj.clone();
+        assert_eq!(cloned.tile_cache_stats(), inj.tile_cache_stats());
+        cloned.stuck_masks(pc(0), WordOffset(0), Millivolts(870));
+        assert_eq!(cloned.tile_cache_stats().0, inj.tile_cache_stats().0 + 1);
     }
 
     #[test]

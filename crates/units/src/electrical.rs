@@ -122,6 +122,8 @@ impl std::error::Error for ParseMillivoltsError {}
 /// assert_eq!("0.98V".parse::<Millivolts>().unwrap(), Millivolts(980));
 /// assert_eq!("1.2".parse::<Millivolts>().unwrap(), Millivolts(1200));
 /// assert!("abc".parse::<Millivolts>().is_err());
+/// assert!("-900".parse::<Millivolts>().is_err());
+/// assert!("-0.0V".parse::<Millivolts>().is_err());
 /// ```
 impl std::str::FromStr for Millivolts {
     type Err = ParseMillivoltsError;
@@ -131,6 +133,13 @@ impl std::str::FromStr for Millivolts {
             input: s.to_owned(),
         };
         let trimmed = s.trim();
+        // Voltages are unsigned, so any leading minus is malformed. Checked
+        // explicitly because `-0.0` would otherwise slip through the
+        // `>= 0.0` range check below (IEEE negative zero equals zero) and
+        // silently parse as 0 mV.
+        if trimmed.starts_with('-') {
+            return Err(err());
+        }
         let lower = trimmed.to_ascii_lowercase();
         if let Some(mv) = lower.strip_suffix("mv") {
             return mv.trim().parse::<u32>().map(Millivolts).map_err(|_| err());
@@ -525,6 +534,32 @@ mod tests {
             assert!(
                 err.to_string().contains("invalid voltage"),
                 "parsing {text:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn millivolt_from_str_rejects_negatives_overflow_and_blanks() {
+        for text in [
+            // Negative zero used to satisfy the `>= 0.0` range check and
+            // parse as 0 mV.
+            "-0.0",
+            "-0.0V",
+            "-0mV",
+            "  -900 ",
+            "- 900",
+            // Overflow in every notation.
+            "4294967296",
+            "4294967296mV",
+            "4294967.296V",
+            "1e300",
+            // Whitespace-only input.
+            "   ",
+            "\t\n",
+        ] {
+            assert!(
+                text.parse::<Millivolts>().is_err(),
+                "parsing {text:?} must fail"
             );
         }
     }

@@ -69,6 +69,25 @@ proptest! {
         prop_assert!((back.as_f64() - gbps).abs() < 1e-9 + gbps * 1e-12);
     }
 
+    /// Parsing inverts Display for every representable voltage, in all
+    /// three accepted spellings (the `Display` volts form, bare
+    /// millivolts, and the `mV` suffix).
+    #[test]
+    fn millivolt_parse_display_round_trip(mv in 0u32..=u32::MAX) {
+        let v = Millivolts(mv);
+        prop_assert_eq!(v.to_string().parse::<Millivolts>().unwrap(), v);
+        prop_assert_eq!(mv.to_string().parse::<Millivolts>().unwrap(), v);
+        prop_assert_eq!(format!("{mv}mV").parse::<Millivolts>().unwrap(), v);
+    }
+
+    /// A negated spelling of any voltage never parses — including `-0`,
+    /// which is the regression case for the negative-zero hole.
+    #[test]
+    fn negated_voltages_never_parse(mv in 0u32..=u32::MAX) {
+        prop_assert!(format!("-{mv}").parse::<Millivolts>().is_err());
+        prop_assert!(format!("-{}", Millivolts(mv)).parse::<Millivolts>().is_err());
+    }
+
     /// Watts sums are order-independent (within fp) and Display precision
     /// formatting never panics.
     #[test]

@@ -13,6 +13,9 @@ cargo fmt --check
 
 echo "==> tier-1: cargo build --release"
 cargo build --release
+# The root-package build above does not cover member binaries; the smoke
+# runs below need a current hbmctl.
+cargo build --release --workspace
 
 echo "==> tier-1: cargo test -q"
 cargo test -q
@@ -40,5 +43,38 @@ ckpt="$(mktemp -u /tmp/hbmctl-check-XXXXXX.json)"
 ./target/release/hbmctl sweep --from 900 --to 880 --step 10 --words 8 \
     --checkpoint "$ckpt" --resume >/dev/null
 rm -f "$ckpt"
+
+# Telemetry gate: deterministic event traces, CSV escaping, checkpoint
+# durability and the millivolt parser hardening.
+echo "==> telemetry, CSV-escaping and checkpoint-durability tests"
+cargo test -q --test telemetry_determinism
+cargo test -q -p hbm-undervolt --lib telemetry
+cargo test -q -p hbm-undervolt --lib report::tests
+cargo test -q -p hbm-undervolt --lib persist_atomic
+cargo test -q -p hbm-units millivolt
+
+# Smoke: the JSONL trace of a fixed-seed sweep is byte-identical across
+# worker counts and records the sweep lifecycle.
+echo "==> hbmctl sweep --trace-file smoke"
+trace1="$(mktemp -u /tmp/hbmctl-trace-w1-XXXXXX.jsonl)"
+trace4="$(mktemp -u /tmp/hbmctl-trace-w4-XXXXXX.jsonl)"
+./target/release/hbmctl sweep --from 900 --to 880 --step 10 --words 8 \
+    --workers 1 --trace-file "$trace1" >/dev/null
+./target/release/hbmctl sweep --from 900 --to 880 --step 10 --words 8 \
+    --workers 4 --trace-file "$trace4" >/dev/null
+cmp "$trace1" "$trace4"
+grep -q SweepCompleted "$trace1"
+rm -f "$trace1" "$trace4"
+
+# Forced-crash trace: the recovery story must appear as typed events.
+tracec="$(mktemp -u /tmp/hbmctl-trace-crash-XXXXXX.jsonl)"
+ckptc="$(mktemp -u /tmp/hbmctl-check-crash-XXXXXX.json)"
+./target/release/hbmctl sweep --from 850 --to 790 --step 10 --words 8 \
+    --transient-prob 1 --retries 2 --checkpoint "$ckptc" \
+    --trace-file "$tracec" >/dev/null
+for event in RetryScheduled PowerCycled CheckpointWritten SweepCompleted; do
+    grep -q "$event" "$tracec"
+done
+rm -f "$tracec" "$ckptc"
 
 echo "All checks passed."

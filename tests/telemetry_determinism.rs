@@ -1,0 +1,112 @@
+//! Integration tests of the telemetry subsystem: the JSONL event trace of
+//! a supervised sweep must be byte-identical across worker counts (events
+//! are emitted only from the single-threaded supervision path, stamped by
+//! the injected clock), and a crash-heavy run must surface its whole
+//! recovery story — retries, power cycles, checkpoints — as typed events.
+
+use hbm_undervolt_suite::device::TransientCrashModel;
+use hbm_undervolt_suite::traffic::DataPattern;
+use hbm_undervolt_suite::undervolt::telemetry::{JsonlSink, SharedBuffer, Telemetry, TraceRecord};
+use hbm_undervolt_suite::undervolt::{ReliabilityConfig, SweepConfig, TestClock, VoltageSweep};
+use hbm_units::Millivolts;
+
+fn cliff_config() -> ReliabilityConfig {
+    let mut config = ReliabilityConfig::quick();
+    config.sweep = VoltageSweep::new(Millivolts(850), Millivolts(790), Millivolts(10)).unwrap();
+    config.batch_size = 1;
+    config.words_per_pc = Some(16);
+    config.patterns = vec![DataPattern::AllOnes];
+    config
+}
+
+fn temp_path(stem: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("hbm-telemetry-{stem}-{}.json", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// Runs the same campaign with `workers` threads and returns the full
+/// JSONL trace (clock stamps included — the injected [`TestClock`] makes
+/// them deterministic too).
+fn trace_with_workers(workers: usize) -> String {
+    let config = SweepConfig::from_reliability(cliff_config())
+        .seed(7)
+        .workers(workers);
+    let buffer = SharedBuffer::new();
+    let telemetry = Telemetry::new().with_observer(Box::new(JsonlSink::new(buffer.clone())));
+    let supervisor = config.build_supervisor().unwrap();
+    let mut platform = config.build_platform();
+    supervisor
+        .run_observed(&mut platform, &mut TestClock::new(), &telemetry)
+        .unwrap();
+    telemetry.finish();
+    buffer.contents()
+}
+
+#[test]
+fn trace_is_byte_identical_across_worker_counts() {
+    let sequential = trace_with_workers(1);
+    assert!(!sequential.is_empty());
+    assert!(sequential.contains("SweepStarted"), "{sequential}");
+    assert!(sequential.contains("SweepCompleted"), "{sequential}");
+    for workers in [2, 4] {
+        assert_eq!(
+            sequential,
+            trace_with_workers(workers),
+            "trace diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn every_trace_line_parses_with_strictly_increasing_seq() {
+    let trace = trace_with_workers(1);
+    let mut last_seq = None;
+    for line in trace.lines() {
+        let record: TraceRecord = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("unparseable trace line {line:?}: {e}"));
+        if let Some(prev) = last_seq {
+            assert!(record.seq > prev, "seq went {prev} -> {}", record.seq);
+        }
+        last_seq = Some(record.seq);
+    }
+    assert!(last_seq.is_some(), "trace must not be empty");
+}
+
+#[test]
+fn forced_crash_run_traces_retries_power_cycles_and_checkpoints() {
+    let path = temp_path("crashy");
+    let _ = std::fs::remove_file(&path);
+
+    let config = SweepConfig::from_reliability(cliff_config())
+        .seed(7)
+        .retries(2)
+        .transient_crashes(TransientCrashModel::new(1.0, Millivolts(30)))
+        .checkpoint(&path);
+    let buffer = SharedBuffer::new();
+    let telemetry = Telemetry::new().with_observer(Box::new(JsonlSink::new(buffer.clone())));
+    let supervisor = config.build_supervisor().unwrap();
+    let mut platform = config.build_platform();
+    supervisor
+        .run_observed(&mut platform, &mut TestClock::new(), &telemetry)
+        .unwrap();
+    telemetry.finish();
+    let trace = buffer.contents();
+    let _ = std::fs::remove_file(&path);
+
+    for needed in [
+        "SweepStarted",
+        "PointStarted",
+        "PointCompleted",
+        "DeviceCrashed",
+        "RetryScheduled",
+        "PowerCycled",
+        "PointSkipped",
+        "CheckpointWritten",
+        "WorkerShardDone",
+        "SweepCompleted",
+    ] {
+        assert!(trace.contains(needed), "trace lacks {needed}:\n{trace}");
+    }
+}
