@@ -5,7 +5,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use hbm_device::PcIndex;
 use hbm_traffic::DataPattern;
 use hbm_undervolt::{
-    ExecutionMode, Platform, ReliabilityConfig, ReliabilityTester, TestScope, VoltageSweep,
+    ExecutionMode, FaultFieldMode, Platform, ReliabilityConfig, ReliabilityTester, TestScope,
+    VoltageSweep,
 };
 use hbm_units::Millivolts;
 
@@ -24,6 +25,8 @@ fn bench_reliability(c: &mut Criterion) {
                 words_per_pc: Some(words),
                 sample_words: None,
                 mode: ExecutionMode::CachedMasks,
+                fault_field: FaultFieldMode::PerVoltage,
+                carry_forward: true,
             };
             let tester = ReliabilityTester::new(config).expect("config valid");
             let mut platform = Platform::builder().seed(7).build();

@@ -10,8 +10,8 @@ use std::time::Instant;
 
 use hbm_traffic::DataPattern;
 use hbm_undervolt::{
-    ExecutionMode, Experiment, Platform, ReliabilityConfig, ReliabilityReport, ReliabilityTester,
-    TestScope, VoltageSweep,
+    ExecutionMode, Experiment, FaultFieldMode, Platform, ReliabilityConfig, ReliabilityReport,
+    ReliabilityTester, TestScope, VoltageSweep,
 };
 use hbm_units::Millivolts;
 use serde::Serialize;
@@ -47,6 +47,8 @@ fn workload() -> ReliabilityTester {
         words_per_pc: Some(1024),
         sample_words: None,
         mode: ExecutionMode::CachedMasks,
+        fault_field: FaultFieldMode::PerVoltage,
+        carry_forward: true,
     };
     ReliabilityTester::new(config).expect("config valid")
 }

@@ -9,7 +9,8 @@
 use hbm_device::PcIndex;
 use hbm_traffic::DataPattern;
 use hbm_undervolt::{
-    ExecutionMode, Platform, ReliabilityConfig, ReliabilityTester, TestScope, VoltageSweep,
+    ExecutionMode, FaultFieldMode, Platform, ReliabilityConfig, ReliabilityTester, TestScope,
+    VoltageSweep,
 };
 use hbm_units::Millivolts;
 
@@ -35,6 +36,8 @@ fn main() {
         words_per_pc: Some(4096),
         sample_words: None,
         mode: ExecutionMode::CachedMasks,
+        fault_field: FaultFieldMode::PerVoltage,
+        carry_forward: true,
     };
     let tester = ReliabilityTester::new(config).expect("config valid");
     let mut platform = Platform::builder().seed(seed).build();

@@ -17,13 +17,14 @@
 //! `workers` comes from the platform ([`crate::PlatformBuilder::workers`]);
 //! the default of 1 keeps the exact sequential code path.
 
-use hbm_device::{DeviceError, PcShard, PortId, Word256, WordOffset};
-use hbm_faults::FaultInjector;
+use hbm_device::{DeviceError, PcIndex, PcShard, PortId, Word256, WordOffset};
+use hbm_faults::{CarryStats, FaultFieldMode, FaultInjector};
 use hbm_traffic::{DataPattern, MacroProgram, MemoryPort, PortStats, TrafficGenerator};
 use hbm_units::Millivolts;
 
 use crate::error::ExperimentError;
 use crate::platform::Platform;
+use crate::reliability::SweepCarry;
 use crate::telemetry::{Telemetry, TelemetryEvent};
 
 /// Fault-injecting access to one pseudo-channel shard: the parallel
@@ -154,6 +155,15 @@ enum MaskSet {
     Sampled {
         samples: Vec<(u64, Word256, Word256)>,
     },
+    /// Dense-regime streaming fold: the per-pattern pass statistics were
+    /// computed *during* enumeration and no masks are stored at all, so
+    /// the working set stays O(patterns) even when nearly every word of
+    /// the range is faulty. Mask sums commute, so the fold is identical to
+    /// replaying a collected vector.
+    Streamed {
+        words: u64,
+        stats: Vec<(DataPattern, PortStats)>,
+    },
 }
 
 impl PortMasks {
@@ -165,7 +175,7 @@ impl PortMasks {
     /// Number of word checks one batch pass performs against this set.
     pub(crate) fn words_checked(&self) -> u64 {
         match &self.set {
-            MaskSet::Sequential { words, .. } => *words,
+            MaskSet::Sequential { words, .. } | MaskSet::Streamed { words, .. } => *words,
             MaskSet::Sampled { samples } => samples.len() as u64,
         }
     }
@@ -174,6 +184,13 @@ impl PortMasks {
     /// under `pattern` — bit-identical to running the traffic generator,
     /// by the determinism of the stuck-at model.
     pub(crate) fn stats_for(&self, pattern: DataPattern) -> PortStats {
+        if let MaskSet::Streamed { stats, .. } = &self.set {
+            return stats
+                .iter()
+                .find(|(p, _)| *p == pattern)
+                .map(|(_, s)| *s)
+                .expect("pattern folded at build time");
+        }
         let mut stats = PortStats {
             words_written: self.words_checked(),
             words_read: self.words_checked(),
@@ -190,6 +207,7 @@ impl PortMasks {
                     tally(&mut stats, pattern.word_at(offset), s0, s1);
                 }
             }
+            MaskSet::Streamed { .. } => unreachable!("handled above"),
         }
         stats
     }
@@ -207,6 +225,73 @@ fn tally(stats: &mut PortStats, expected: Word256, stuck0: Word256, stuck1: Word
     }
 }
 
+/// Above this predicted fraction of faulty words, a sequential build folds
+/// its per-pattern statistics during enumeration ([`MaskSet::Streamed`])
+/// instead of collecting a mask vector that would rival the size of the
+/// scanned range itself. The prediction comes from the injector's tile
+/// cache ([`FaultInjector::expected_active_fraction`]), so the choice is
+/// made before enumerating anything.
+const STREAM_DENSITY_THRESHOLD: f64 = 0.5;
+
+/// Folds a stream of faulty-word masks into one [`PortStats`] per pattern
+/// without storing any mask: the streamed counterpart of replaying a
+/// collected vector through [`PortMasks::stats_for`]. The fold is a sum of
+/// per-word contributions, so it is independent of enumeration order.
+fn streamed_stats<F>(words: u64, patterns: &[DataPattern], for_each: F) -> MaskSet
+where
+    F: FnOnce(&mut dyn FnMut(WordOffset, Word256, Word256)),
+{
+    let mut stats: Vec<(DataPattern, PortStats)> = patterns
+        .iter()
+        .map(|&pattern| {
+            (
+                pattern,
+                PortStats {
+                    words_written: words,
+                    words_read: words,
+                    ..PortStats::default()
+                },
+            )
+        })
+        .collect();
+    for_each(&mut |offset, s0, s1| {
+        for (pattern, port_stats) in &mut stats {
+            tally(port_stats, pattern.word_at(offset.0), s0, s1);
+        }
+    });
+    MaskSet::Streamed { words, stats }
+}
+
+/// Builds one sequential-walk working set, picking between the sparse
+/// collected representation and the dense streaming fold by predicted
+/// fault density.
+fn build_sequential(
+    injector: &FaultInjector,
+    fault_field: FaultFieldMode,
+    pc: PcIndex,
+    words: u64,
+    voltage: Millivolts,
+    patterns: &[DataPattern],
+) -> MaskSet {
+    if injector.expected_active_fraction(pc, voltage) > STREAM_DENSITY_THRESHOLD {
+        return match fault_field {
+            FaultFieldMode::PerVoltage => streamed_stats(words, patterns, |fold| {
+                injector.for_each_faulty_word(pc, 0..words, voltage, fold);
+            }),
+            FaultFieldMode::MonotoneCoupled => streamed_stats(words, patterns, |fold| {
+                injector.coupled_for_each_faulty(pc, 0..words, voltage, fold);
+            }),
+        };
+    }
+    MaskSet::Sequential {
+        words,
+        faulty: match fault_field {
+            FaultFieldMode::PerVoltage => injector.faulty_words(pc, 0..words, voltage),
+            FaultFieldMode::MonotoneCoupled => injector.coupled_faulty_words(pc, 0..words, voltage),
+        },
+    }
+}
+
 /// Builds the cached-mask working sets for one voltage point, one per port,
 /// fanning the per-port kernel invocations across the platform's worker
 /// threads (the injector is `Sync`; its tile cache is shared). Results come
@@ -215,16 +300,24 @@ fn tally(stats: &mut PortStats, expected: Word256, stuck0: Word256, stuck1: Word
 /// after all builders join — so the trace is identical at every worker
 /// count.
 ///
+/// `fault_field` selects which injector kernel supplies the masks;
+/// `patterns` is needed up front because dense-regime sequential builds
+/// fold their per-pattern statistics during enumeration (streaming mode)
+/// instead of collecting masks.
+///
 /// # Errors
 ///
 /// [`DeviceError::PortDisabled`] if a scoped port is disabled — matching
 /// what the traffic path's first AXI access would report.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn build_mask_sets(
     platform: &Platform,
     ports: &[PortId],
     words: u64,
     sample_words: Option<u64>,
     voltage: Millivolts,
+    fault_field: FaultFieldMode,
+    patterns: &[DataPattern],
     telemetry: &Telemetry,
 ) -> Result<Vec<PortMasks>, ExperimentError> {
     for &port in ports {
@@ -240,15 +333,19 @@ pub(crate) fn build_mask_sets(
     let build = move |port: PortId| -> PortMasks {
         let pc = port.direct_pc();
         let set = match sample_words {
-            None => MaskSet::Sequential {
-                words,
-                faulty: injector.faulty_words(pc, 0..words, voltage),
-            },
+            None => build_sequential(injector, fault_field, pc, words, voltage, patterns),
             Some(samples) => MaskSet::Sampled {
                 samples: hbm_faults::stream::sample_offsets(seed, voltage, pc, samples, words)
                     .into_iter()
                     .map(|w| {
-                        let (s0, s1) = injector.stuck_masks(pc, WordOffset(w), voltage);
+                        let (s0, s1) = match fault_field {
+                            FaultFieldMode::PerVoltage => {
+                                injector.stuck_masks(pc, WordOffset(w), voltage)
+                            }
+                            FaultFieldMode::MonotoneCoupled => {
+                                injector.coupled_stuck_masks(pc, WordOffset(w), voltage)
+                            }
+                        };
                         (w, s0, s1)
                     })
                     .collect(),
@@ -282,6 +379,83 @@ pub(crate) fn build_mask_sets(
         });
     }
     Ok(sets)
+}
+
+/// The incremental counterpart of [`build_mask_sets`] for the coupled
+/// fault field: advances each port's carried faulty-word working set to
+/// `voltage` — re-enumerating only words whose masks changed since the
+/// previous point — and folds the carried masks straight into per-pattern
+/// [`MaskSet::Streamed`] statistics, so no point ever materializes a mask
+/// vector. A port with no carry yet (or a carry over a different word
+/// range) is rebuilt from scratch, accounted as `activated`.
+///
+/// The resulting statistics are bit-identical to a from-scratch
+/// [`build_mask_sets`] at the same voltage: the carry's masks are exact
+/// (`coupled_carry_advance` guarantees it) and the fold is the same sum.
+/// Ports are processed sequentially — the carry is mutable shared state,
+/// and the advance's per-port cost is proportional to the mask *delta*,
+/// which is exactly the work parallelism would amortize away.
+///
+/// Returns the mask sets in `ports` order plus the aggregated carry
+/// accounting for the point.
+///
+/// # Errors
+///
+/// [`DeviceError::PortDisabled`] if a scoped port is disabled, exactly
+/// like [`build_mask_sets`].
+pub(crate) fn build_mask_sets_carried(
+    platform: &Platform,
+    ports: &[PortId],
+    words: u64,
+    voltage: Millivolts,
+    carry: &mut SweepCarry,
+    patterns: &[DataPattern],
+    telemetry: &Telemetry,
+) -> Result<(Vec<PortMasks>, CarryStats), ExperimentError> {
+    for &port in ports {
+        if !platform.device().ports().is_enabled(port) {
+            return Err(DeviceError::PortDisabled {
+                index: port.as_u8(),
+            }
+            .into());
+        }
+    }
+    let injector = platform.injector();
+    let mut total = CarryStats::default();
+    let mut sets = Vec::with_capacity(ports.len());
+    for &port in ports {
+        let pc = port.direct_pc();
+        let id = port.as_u8();
+        let existing = carry
+            .carries
+            .iter()
+            .position(|(p, c)| *p == id && c.words() == (0..words));
+        let (stats, index) = match existing {
+            Some(index) => (
+                injector.coupled_carry_advance(&mut carry.carries[index].1, voltage),
+                index,
+            ),
+            None => {
+                // Also drops a stale same-port carry over a different
+                // word range — it can never be advanced to this one.
+                carry.carries.retain(|(p, _)| *p != id);
+                let (fresh, stats) = injector.coupled_carry_start(pc, 0..words, voltage);
+                carry.carries.push((id, fresh));
+                (stats, carry.carries.len() - 1)
+            }
+        };
+        total.absorb(stats);
+        let pc_carry = &carry.carries[index].1;
+        let set = streamed_stats(words, patterns, |fold| pc_carry.for_each_mask(fold));
+        sets.push(PortMasks { port, set });
+    }
+    for set in &sets {
+        telemetry.emit(TelemetryEvent::WorkerShardDone {
+            port: set.port().as_u8(),
+            words: set.words_checked(),
+        });
+    }
+    Ok((sets, total))
 }
 
 #[cfg(test)]
@@ -349,6 +523,8 @@ mod tests {
                 128,
                 sample_words,
                 Millivolts(860),
+                FaultFieldMode::PerVoltage,
+                &[DataPattern::AllOnes, DataPattern::Checkerboard],
                 Telemetry::disabled(),
             )
             .unwrap();
@@ -390,6 +566,8 @@ mod tests {
                 256,
                 None,
                 Millivolts(880),
+                FaultFieldMode::PerVoltage,
+                &[DataPattern::AllOnes],
                 Telemetry::disabled(),
             )
             .unwrap()
@@ -413,6 +591,8 @@ mod tests {
             64,
             None,
             Millivolts(900),
+            FaultFieldMode::PerVoltage,
+            &[DataPattern::AllOnes],
             Telemetry::disabled(),
         )
         .unwrap_err();

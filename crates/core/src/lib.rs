@@ -126,11 +126,12 @@ pub use error::ExperimentError;
 pub use experiment::{DynExperiment, Experiment};
 pub use governor::{outcome_saving, GovernorConfig, GovernorOutcome, UndervoltGovernor};
 pub use guardband::{GuardbandFinder, GuardbandReport};
+pub use hbm_faults::FaultFieldMode;
 pub use platform::{Platform, PlatformBuilder, PowerSample, UndervoltedPort};
 pub use power_test::{PowerPoint, PowerSweep, PowerSweepReport};
 pub use reliability::{
     ExecutionMode, PatternOutcome, ReliabilityConfig, ReliabilityReport, ReliabilityTester,
-    TestScope, VoltagePoint,
+    SweepCarry, TestScope, VoltagePoint,
 };
 pub use report::{AcfTable, Render};
 pub use supervisor::{

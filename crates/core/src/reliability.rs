@@ -10,7 +10,7 @@
 use std::time::Instant;
 
 use hbm_device::{DeviceError, PcIndex, PortId};
-use hbm_faults::pc_stream;
+use hbm_faults::{pc_stream, FaultFieldMode, PcSweepCarry};
 use hbm_traffic::{DataPattern, MacroProgram, PortStats};
 use hbm_units::{Millivolts, Ratio};
 use rand::Rng;
@@ -102,6 +102,19 @@ pub struct ReliabilityConfig {
     /// Which kernel executes each voltage point (default:
     /// [`ExecutionMode::CachedMasks`]).
     pub mode: ExecutionMode,
+    /// How the fault injector keys per-bit randomness across the sweep
+    /// (default: [`FaultFieldMode::PerVoltage`], bit-compatible with every
+    /// existing report). Under [`FaultFieldMode::MonotoneCoupled`] fault
+    /// sets are inclusion-monotone across descending voltage, which
+    /// enables the incremental carry-forward sweep kernel.
+    pub fault_field: FaultFieldMode,
+    /// Whether a coupled-field descending sweep carries its faulty-word
+    /// working set from point to point, re-enumerating only changed words
+    /// (default: `true`). Only effective with
+    /// [`FaultFieldMode::MonotoneCoupled`] in sequential cached-mask runs;
+    /// ignored otherwise. Carried and from-scratch points are bit-identical,
+    /// so this is purely a performance knob.
+    pub carry_forward: bool,
 }
 
 impl ReliabilityConfig {
@@ -117,6 +130,8 @@ impl ReliabilityConfig {
             words_per_pc: None,
             sample_words: None,
             mode: ExecutionMode::CachedMasks,
+            fault_field: FaultFieldMode::PerVoltage,
+            carry_forward: true,
         }
     }
 
@@ -133,6 +148,8 @@ impl ReliabilityConfig {
             words_per_pc: Some(512),
             sample_words: None,
             mode: ExecutionMode::CachedMasks,
+            fault_field: FaultFieldMode::PerVoltage,
+            carry_forward: true,
         }
     }
 
@@ -157,6 +174,13 @@ impl ReliabilityConfig {
         if self.sample_words == Some(0) {
             return Err(ExperimentError::config(
                 "sampled mode needs at least one word per pseudo channel",
+            ));
+        }
+        if self.fault_field == FaultFieldMode::MonotoneCoupled
+            && self.mode == ExecutionMode::Traffic
+        {
+            return Err(ExperimentError::config(
+                "the coupled fault field supports only the cached-mask kernel",
             ));
         }
         Ok(())
@@ -210,6 +234,13 @@ pub struct VoltagePoint {
     /// below `words_per_second`; in traffic mode every read evaluates a
     /// mask. `None` for crashed points, like `words_per_second`.
     pub masks_per_second: Option<f64>,
+    /// Fraction of the point's faulty-word working set served unchanged
+    /// from the previous point's carry under the incremental coupled-field
+    /// kernel (`carried / (carried + refreshed + activated)`). `None` when
+    /// the point was not carried — the legacy field, rescan runs, sampled
+    /// mode, crashed points, and the first point of a carry chain all
+    /// rebuilt from scratch.
+    pub mask_reuse: Option<f64>,
 }
 
 /// A throughput rate that is a real measurement or nothing: non-finite
@@ -221,8 +252,9 @@ fn rate(count: u64, elapsed_secs: f64) -> Option<f64> {
 }
 
 impl PartialEq for VoltagePoint {
-    /// The throughput rates are wall-clock measurements, not model outputs:
-    /// reports taken at different worker counts or execution modes must
+    /// The throughput rates and the carry-reuse ratio are measurements of
+    /// *how* the point was computed, not model outputs: reports taken at
+    /// different worker counts, execution modes or carry settings must
     /// still compare equal, so equality covers only the deterministic
     /// fields.
     fn eq(&self, other: &Self) -> bool {
@@ -294,6 +326,40 @@ impl ReliabilityReport {
             .filter(|p| p.crashed)
             .map(|p| p.voltage)
             .max()
+    }
+}
+
+/// The carried faulty-word working sets of a descending coupled-field
+/// sweep, one [`PcSweepCarry`] per scoped port's pseudo channel.
+///
+/// Created empty, filled by the first carried point
+/// ([`ReliabilityTester::run_point_carried`]) and advanced in place by
+/// every following one. Clearing it is always safe — the next carried
+/// point simply rebuilds from scratch — which is how the sweep runtimes
+/// keep crash-recovery semantics unchanged: the carry is dropped on every
+/// power cycle, retry and resume.
+#[derive(Debug, Clone, Default)]
+pub struct SweepCarry {
+    /// `(port id, carry)` pairs, in first-use order.
+    pub(crate) carries: Vec<(u8, PcSweepCarry)>,
+}
+
+impl SweepCarry {
+    /// An empty carry: the next carried point rebuilds from scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        SweepCarry::default()
+    }
+
+    /// Drops every carried working set.
+    pub fn clear(&mut self) {
+        self.carries.clear();
+    }
+
+    /// `true` if no port carries a working set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.carries.is_empty()
     }
 }
 
@@ -379,12 +445,19 @@ impl ReliabilityTester {
         });
 
         let mut points = Vec::with_capacity(sweep.len());
+        let use_carry = self.uses_carry();
+        let mut carry = SweepCarry::new();
         for voltage in self.config.sweep.iter() {
             telemetry.emit(TelemetryEvent::PointStarted {
                 voltage_mv: voltage.as_u32(),
                 attempt: 1,
             });
-            match self.run_point_observed(platform, &ports, voltage, telemetry) {
+            let result = if use_carry {
+                self.run_point_carried(platform, &ports, voltage, &mut carry, telemetry)
+            } else {
+                self.run_point_observed(platform, &ports, voltage, telemetry)
+            };
+            match result {
                 Ok(point) => {
                     if point.crashed {
                         telemetry.emit(TelemetryEvent::DeviceCrashed {
@@ -410,6 +483,7 @@ impl ReliabilityTester {
                 // records the point as crashed and recovers, exactly like a
                 // genuine cliff crash.
                 Err(e) if e.is_crash() => {
+                    carry.clear();
                     telemetry.emit(TelemetryEvent::DeviceCrashed {
                         voltage_mv: voltage.as_u32(),
                         attempt: 1,
@@ -421,6 +495,7 @@ impl ReliabilityTester {
                         outcomes: Vec::new(),
                         words_per_second: None,
                         masks_per_second: None,
+                        mask_reuse: None,
                     });
                     platform.power_cycle(Millivolts(1200))?;
                     telemetry.emit(TelemetryEvent::PowerCycled {
@@ -541,6 +616,7 @@ impl ReliabilityTester {
                 outcomes: Vec::new(),
                 words_per_second: None,
                 masks_per_second: None,
+                mask_reuse: None,
             });
         }
 
@@ -562,6 +638,103 @@ impl ReliabilityTester {
             outcomes,
             words_per_second: rate(work.words, elapsed),
             masks_per_second: rate(work.masks, elapsed),
+            mask_reuse: None,
+        })
+    }
+
+    /// `true` if sweeps run the incremental carry-forward kernel: the
+    /// coupled fault field with `carry_forward` enabled, in cached-mask
+    /// mode over sequential (unsampled) word ranges. Sampled mode redraws
+    /// its offsets per voltage, so there is no stable working set to carry.
+    #[must_use]
+    pub fn uses_carry(&self) -> bool {
+        self.config.fault_field == FaultFieldMode::MonotoneCoupled
+            && self.config.carry_forward
+            && self.config.mode == ExecutionMode::CachedMasks
+            && self.config.sample_words.is_none()
+    }
+
+    /// The carry-forward counterpart of
+    /// [`ReliabilityTester::run_point_observed`]: advances `carry` to
+    /// `voltage` (or builds it, when empty) and measures the point from the
+    /// carried working set, touching only the words whose masks changed
+    /// since the previous point. The outcomes are bit-identical to a
+    /// from-scratch coupled-field rescan at the same voltage; the point's
+    /// `mask_reuse` records the fraction of the working set served from the
+    /// carry.
+    ///
+    /// Crash handling matches the non-carried path, except the carry is
+    /// dropped on every crash — after a power cycle the next point rebuilds
+    /// from scratch, so recovery semantics are unchanged.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReliabilityTester::run_point`].
+    pub fn run_point_carried(
+        &self,
+        platform: &mut Platform,
+        ports: &[PortId],
+        voltage: Millivolts,
+        carry: &mut SweepCarry,
+        telemetry: &Telemetry,
+    ) -> Result<VoltagePoint, ExperimentError> {
+        debug_assert!(
+            self.uses_carry(),
+            "carried points need the coupled field in sequential cached-mask mode"
+        );
+        let geometry = platform.geometry();
+        let words = self
+            .config
+            .words_per_pc
+            .map_or(geometry.words_per_pc(), |w| w.min(geometry.words_per_pc()));
+
+        platform.set_voltage(voltage)?;
+        if platform.is_crashed() {
+            carry.clear();
+            if voltage >= platform.v_crash() {
+                return Err(ExperimentError::from(DeviceError::Crashed));
+            }
+            platform.power_cycle(Millivolts(1200))?;
+            platform.set_voltage(Millivolts(1200))?;
+            return Ok(VoltagePoint {
+                voltage,
+                crashed: true,
+                outcomes: Vec::new(),
+                words_per_second: None,
+                masks_per_second: None,
+                mask_reuse: None,
+            });
+        }
+
+        let started = Instant::now();
+        let (mask_sets, stats) = engine::build_mask_sets_carried(
+            platform,
+            ports,
+            words,
+            voltage,
+            carry,
+            &self.config.patterns,
+            telemetry,
+        )?;
+        let mut work = PointWork {
+            words: 0,
+            masks: stats.delta_words(),
+        };
+        let outcomes = self.fold_mask_outcomes(&mask_sets, &mut work);
+        let elapsed = started.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+        telemetry.metrics().add_words_scanned(work.words);
+        telemetry.metrics().add_masks_scanned(work.masks);
+        telemetry
+            .metrics()
+            .add_delta_words_scanned(stats.delta_words());
+        telemetry.metrics().add_masks_carried(stats.carried);
+        Ok(VoltagePoint {
+            voltage,
+            crashed: false,
+            outcomes,
+            words_per_second: rate(work.words, elapsed),
+            masks_per_second: rate(work.masks, elapsed),
+            mask_reuse: Some(stats.reuse_ratio()),
         })
     }
 
@@ -634,17 +807,33 @@ impl ReliabilityTester {
             words,
             self.config.sample_words,
             voltage,
+            self.config.fault_field,
+            &self.config.patterns,
             telemetry,
         )?;
         let mut work = PointWork {
             words: 0,
             masks: mask_sets.iter().map(|s| s.words_checked()).sum(),
         };
+        let outcomes = self.fold_mask_outcomes(&mask_sets, &mut work);
+        Ok((outcomes, work))
+    }
+
+    /// Replays a point's per-port mask sets across every pattern and all
+    /// `batch_size` passes as pure mask/popcount work, accumulating the
+    /// logical word transactions into `work`. Shared by the per-voltage
+    /// cached path and the carried coupled-field path — given equal mask
+    /// sets, their outcomes are equal by construction.
+    fn fold_mask_outcomes(
+        &self,
+        mask_sets: &[engine::PortMasks],
+        work: &mut PointWork,
+    ) -> Vec<PatternOutcome> {
         let mut outcomes = Vec::with_capacity(self.config.patterns.len());
         for &pattern in &self.config.patterns {
             let mut per_port = Vec::with_capacity(mask_sets.len());
             let mut total = 0u64;
-            for set in &mask_sets {
+            for set in mask_sets {
                 let stats = set.stats_for(pattern);
                 work.words +=
                     (stats.words_written + stats.words_read) * self.config.batch_size as u64;
@@ -667,7 +856,7 @@ impl ReliabilityTester {
                 per_port,
             });
         }
-        Ok((outcomes, work))
+        outcomes
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -756,6 +945,87 @@ mod tests {
         let mut c = ReliabilityConfig::quick();
         c.scope = TestScope::Ports(vec![]);
         assert!(ReliabilityTester::new(c).is_err());
+
+        // The coupled field has no traffic-mode kernel.
+        let mut c = ReliabilityConfig::quick();
+        c.fault_field = FaultFieldMode::MonotoneCoupled;
+        c.mode = ExecutionMode::Traffic;
+        assert!(ReliabilityTester::new(c).is_err());
+    }
+
+    #[test]
+    fn coupled_incremental_sweep_matches_from_scratch_rescans() {
+        let mut config = ReliabilityConfig::quick();
+        config.fault_field = FaultFieldMode::MonotoneCoupled;
+        config.scope = TestScope::Ports(vec![0, 1, 2, 3]);
+        let mut rescan_config = config.clone();
+        rescan_config.carry_forward = false;
+
+        let incremental = ReliabilityTester::new(config)
+            .unwrap()
+            .run(&mut platform())
+            .unwrap();
+        let rescan = ReliabilityTester::new(rescan_config)
+            .unwrap()
+            .run(&mut platform())
+            .unwrap();
+        // Full per-point equality, including per-port statistics: the
+        // carried working set must be bit-identical to re-enumerating
+        // every point from scratch.
+        assert_eq!(incremental.points, rescan.points);
+        assert!(
+            incremental
+                .points
+                .iter()
+                .all(|p| p.mask_reuse.is_some() == !p.crashed),
+            "every live carried point must record its reuse ratio"
+        );
+        assert!(
+            incremental
+                .points
+                .iter()
+                .skip(1)
+                .filter_map(|p| p.mask_reuse)
+                .any(|r| r > 0.0),
+            "a descending sweep must reuse carried masks after the first point"
+        );
+        assert!(
+            rescan.points.iter().all(|p| p.mask_reuse.is_none()),
+            "rescan points are not carried"
+        );
+    }
+
+    #[test]
+    fn coupled_rescan_sweep_shows_the_paper_phenomenology() {
+        // The coupled field shares the analytic model, so the qualitative
+        // results — guardband, growth, polarity split — must survive the
+        // re-keying.
+        let mut config = ReliabilityConfig::quick();
+        config.fault_field = FaultFieldMode::MonotoneCoupled;
+        config.carry_forward = false;
+        let report = ReliabilityTester::new(config)
+            .unwrap()
+            .run(&mut platform())
+            .unwrap();
+        let totals: Vec<f64> = report
+            .points
+            .iter()
+            .filter(|p| !p.crashed)
+            .map(VoltagePoint::total_mean_faults)
+            .collect();
+        assert!(
+            totals.windows(2).all(|w| w[0] <= w[1]),
+            "non-monotone: {totals:?}"
+        );
+        assert!(totals.last().copied().unwrap_or(0.0) > 0.0);
+        for point in report.points.iter().filter(|p| !p.crashed) {
+            if let Some(ones) = point.outcome(DataPattern::AllOnes) {
+                assert_eq!(ones.flips_0to1, 0);
+            }
+            if let Some(zeros) = point.outcome(DataPattern::AllZeros) {
+                assert_eq!(zeros.flips_1to0, 0);
+            }
+        }
     }
 
     #[test]

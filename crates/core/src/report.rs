@@ -879,6 +879,7 @@ mod tests {
                 outcomes: Vec::new(),
                 words_per_second: None,
                 masks_per_second: None,
+                mask_reuse: None,
             }],
         };
         let text = report.to_text();

@@ -36,7 +36,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::ExperimentError;
 use crate::platform::Platform;
-use crate::reliability::{ReliabilityConfig, ReliabilityReport, ReliabilityTester, VoltagePoint};
+use crate::reliability::{
+    ReliabilityConfig, ReliabilityReport, ReliabilityTester, SweepCarry, VoltagePoint,
+};
 use crate::telemetry::{Telemetry, TelemetryEvent};
 
 /// Version stamp of the checkpoint file format. Bumped on any incompatible
@@ -45,8 +47,10 @@ use crate::telemetry::{Telemetry, TelemetryEvent};
 ///
 /// Version history: 1 — the original format; 2 — [`VoltagePoint`]
 /// throughput fields became optional (`null` for crashed points instead of
-/// a fabricated `0.0`).
-pub const CHECKPOINT_VERSION: u32 = 2;
+/// a fabricated `0.0`); 3 — [`ReliabilityConfig`] gained the
+/// fault-field/carry-forward knobs and [`VoltagePoint`] the mask-reuse
+/// ratio.
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// The supply every recovery power cycle restarts at.
 const NOMINAL_RESTART: Millivolts = Millivolts(1200);
@@ -508,6 +512,11 @@ impl SweepSupervisor {
             .filter(|p| quarantined.iter().all(|q| q.port != p.as_u8()))
             .collect();
 
+        // The coupled-field carry always starts empty — including on
+        // resume, where the pre-crash working set is gone. The first
+        // post-resume point rebuilds it from scratch, so resumed and
+        // uninterrupted runs stay bit-identical.
+        let mut carry = SweepCarry::new();
         for &voltage in voltages.iter().skip(points.len()) {
             let point = self.run_supervised_point(
                 platform,
@@ -515,6 +524,7 @@ impl SweepSupervisor {
                 voltage,
                 &mut active,
                 &mut quarantined,
+                &mut carry,
                 telemetry,
             )?;
             points.push(point);
@@ -579,6 +589,7 @@ impl SweepSupervisor {
     /// Event timestamps reuse the attempt's own `started`/`elapsed` clock
     /// readings (no extra `now_ms` calls inside the attempt loop), so the
     /// deadline arithmetic is exactly what the events report.
+    #[allow(clippy::too_many_arguments)]
     fn run_supervised_point(
         &self,
         platform: &mut Platform,
@@ -586,6 +597,7 @@ impl SweepSupervisor {
         voltage: Millivolts,
         active: &mut Vec<PortId>,
         quarantined: &mut Vec<QuarantineRecord>,
+        carry: &mut SweepCarry,
         telemetry: &Telemetry,
     ) -> Result<SupervisedPoint, ExperimentError> {
         let voltage_mv = voltage.as_u32();
@@ -614,9 +626,13 @@ impl SweepSupervisor {
                     attempt: attempts,
                 },
             );
-            let result = self
-                .tester
-                .run_point_observed(platform, active, voltage, telemetry);
+            let result = if self.tester.uses_carry() {
+                self.tester
+                    .run_point_carried(platform, active, voltage, carry, telemetry)
+            } else {
+                self.tester
+                    .run_point_observed(platform, active, voltage, telemetry)
+            };
             let elapsed = clock.now_ms().saturating_sub(started);
             let end = started + elapsed;
             telemetry.metrics().record_point_wall_ms(elapsed);
@@ -681,6 +697,9 @@ impl SweepSupervisor {
                             voltage,
                             reason: e.to_string(),
                         });
+                        // The carry may hold a working set for the pulled
+                        // port; dropping it wholesale is always safe.
+                        carry.clear();
                         attempts -= 1;
                         continue;
                     }
@@ -700,7 +719,11 @@ impl SweepSupervisor {
             };
 
             // Transient failure: recover the platform, then either give up
-            // (budget exhausted) or back off and go again.
+            // (budget exhausted) or back off and go again. The carry is
+            // dropped on every failure — the next carried point rebuilds
+            // from scratch, keeping recovery semantics identical to the
+            // per-voltage path.
+            carry.clear();
             if attempts > self.retry.max_retries {
                 if platform.is_crashed() {
                     platform.power_cycle(NOMINAL_RESTART)?;
@@ -926,6 +949,7 @@ mod tests {
     use crate::reliability::TestScope;
     use crate::sweep::VoltageSweep;
     use hbm_device::TransientCrashModel;
+    use hbm_faults::FaultFieldMode;
     use hbm_traffic::DataPattern;
 
     fn tiny_config(from: u32, to: u32) -> ReliabilityConfig {
@@ -1153,6 +1177,42 @@ mod tests {
         let resumed = supervisor.run(&mut resumed_platform).unwrap();
         assert_eq!(resumed.resumed_points, 2);
         assert_eq!(resumed, reference, "resume must be bit-identical");
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn coupled_killed_and_resumed_run_matches_the_uninterrupted_run() {
+        // The incremental carry is process-local state that a checkpoint
+        // cannot persist. A resumed coupled run starts with an empty carry
+        // and must still be bit-identical to the uninterrupted one.
+        let path = temp_path("resume-coupled");
+        let _ = std::fs::remove_file(&path);
+        let mut config = tiny_config(850, 790); // crosses the crash cliff
+        config.fault_field = FaultFieldMode::MonotoneCoupled;
+
+        let mut reference_platform = Platform::builder().seed(7).build();
+        let reference = SweepSupervisor::from_config(config.clone())
+            .unwrap()
+            .run(&mut reference_platform)
+            .unwrap();
+
+        let supervisor = SweepSupervisor::from_config(config)
+            .unwrap()
+            .checkpoint(&path)
+            .resume(true);
+        let mut platform = Platform::builder().seed(7).build();
+        let err = supervisor
+            .clone()
+            .abort_after(2)
+            .run(&mut platform)
+            .unwrap_err();
+        assert!(matches!(err, ExperimentError::Interrupted { .. }));
+
+        let mut resumed_platform = Platform::builder().seed(7).build();
+        let resumed = supervisor.run(&mut resumed_platform).unwrap();
+        assert_eq!(resumed.resumed_points, 2);
+        assert_eq!(resumed, reference, "coupled resume must be bit-identical");
 
         let _ = std::fs::remove_file(&path);
     }

@@ -10,6 +10,7 @@
 //! can never drift apart.
 
 use hbm_device::TransientCrashModel;
+use hbm_faults::FaultFieldMode;
 use hbm_traffic::DataPattern;
 use hbm_units::Millivolts;
 
@@ -160,6 +161,22 @@ impl SweepConfig {
     #[must_use]
     pub fn mode(mut self, mode: ExecutionMode) -> Self {
         self.reliability.mode = mode;
+        self
+    }
+
+    /// How the fault injector keys per-bit randomness across the sweep.
+    #[must_use]
+    pub fn fault_field(mut self, field: FaultFieldMode) -> Self {
+        self.reliability.fault_field = field;
+        self
+    }
+
+    /// Whether coupled-field sweeps carry their faulty-word working set
+    /// from point to point (a pure performance knob; see
+    /// [`ReliabilityConfig::carry_forward`]).
+    #[must_use]
+    pub fn carry_forward(mut self, carry: bool) -> Self {
+        self.reliability.carry_forward = carry;
         self
     }
 

@@ -41,6 +41,7 @@ fn configuration_errors_exit_two_with_usage() {
         vec!["sweep", "--from", "-0.0V"],
         vec!["sweep", "--retries"],
         vec!["reliability", "--kernel", "warp"],
+        vec!["sweep", "--fault-field", "warp"],
         vec!["guardband", "--format", "xml"],
         vec!["sweep", "--from", "900", "--to", "910", "--step", "10"],
     ] {
@@ -80,6 +81,58 @@ fn foreign_checkpoint_is_a_runtime_error() {
     assert_eq!(exit_code(&out), 1, "{out:?}");
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("seed"), "{stderr}");
+}
+
+#[test]
+fn cross_fault_field_resume_is_a_configuration_error() {
+    let path = temp_path("cross-field");
+    let _ = std::fs::remove_file(&path);
+    let base = [
+        "sweep", "--from", "900", "--to", "890", "--step", "10", "--words", "8",
+    ];
+
+    // Checkpoint a run under the default (per-voltage) fault field …
+    let mut first = base.to_vec();
+    first.extend(["--checkpoint", &path]);
+    assert_eq!(exit_code(&hbmctl(&first)), 0);
+
+    // … then ask to resume it under the coupled field: the points would
+    // mix two different fault universes, so this is refused up front as a
+    // usage error (exit 2), not a runtime failure.
+    let mut second = base.to_vec();
+    second.extend([
+        "--fault-field",
+        "coupled",
+        "--checkpoint",
+        &path,
+        "--resume",
+    ]);
+    let out = hbmctl(&second);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(exit_code(&out), 2, "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("fault-field"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn coupled_sweep_succeeds_from_the_cli() {
+    let out = hbmctl(&[
+        "sweep",
+        "--fault-field",
+        "coupled",
+        "--from",
+        "900",
+        "--to",
+        "890",
+        "--step",
+        "10",
+        "--words",
+        "8",
+    ]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("0.90"), "report printed: {stdout}");
 }
 
 #[test]

@@ -144,17 +144,38 @@ impl FaultMap {
         &self.profiles[pc.as_usize()]
     }
 
+    /// Index of `voltage` in the descending sweep grid, by binary search;
+    /// `None` for unswept voltages (including those between grid points).
+    fn voltage_index(&self, voltage: Millivolts) -> Option<usize> {
+        // `voltages` is sorted descending, so the strictly-greater prefix
+        // found by `partition_point` ends where `voltage` would sit.
+        let idx = self.voltages.partition_point(|&v| v > voltage);
+        (self.voltages.get(idx) == Some(&voltage)).then_some(idx)
+    }
+
     /// The pseudo channels whose fault rate at `voltage` is within
     /// `tolerable`. A zero tolerance means strictly fault-free (expected
     /// faulty bits below one half).
     ///
-    /// Returns an empty vector for voltages outside the sweep.
+    /// The result is stably sorted by pseudo-channel index. Returns an
+    /// empty vector for voltages outside the sweep (including voltages
+    /// between grid points).
+    ///
+    /// The swept voltage is located by one binary search over the
+    /// descending grid; each profile's entry is then a direct index
+    /// (entries are parallel to the grid), so the query costs
+    /// `O(log V + P)` instead of the per-profile linear scan's `O(P·V)`.
     #[must_use]
     pub fn usable_pcs(&self, voltage: Millivolts, tolerable: Ratio) -> Vec<PcIndex> {
-        self.profiles
+        let Some(idx) = self.voltage_index(voltage) else {
+            return Vec::new();
+        };
+        let mut pcs: Vec<PcIndex> = self
+            .profiles
             .iter()
             .filter_map(|profile| {
-                let entry = profile.at(voltage)?;
+                let entry = profile.entries.get(idx)?;
+                debug_assert_eq!(entry.voltage, voltage, "entries parallel to grid");
                 let ok = if tolerable == Ratio::ZERO {
                     entry.is_fault_free()
                 } else {
@@ -162,7 +183,11 @@ impl FaultMap {
                 };
                 ok.then(|| PcIndex::new(profile.pc).expect("profile indices valid"))
             })
-            .collect()
+            .collect();
+        // Profiles are ordered by index on construction, but a map built by
+        // hand (e.g. deserialized) may not be; keep the contract explicit.
+        pcs.sort_by_key(|pc| pc.as_u8());
+        pcs
     }
 
     /// Number of usable pseudo channels (the y-axis of the study's Fig. 6).
@@ -301,6 +326,28 @@ mod tests {
             .profile(PcIndex::new(0).unwrap())
             .at(Millivolts(985))
             .is_none());
+    }
+
+    #[test]
+    fn between_grid_points_yields_empty_and_grid_points_stay_sorted() {
+        let m = map();
+        // 975 mV sits strictly between the 980 and 970 grid points: the
+        // binary search must not round to a neighbour.
+        assert!(m.usable_pcs(Millivolts(975), Ratio::ONE).is_empty());
+        assert_eq!(m.usable_bytes(Millivolts(975), Ratio::ONE), 0);
+        // Off both ends of the grid.
+        assert!(m.usable_pcs(Millivolts(1100), Ratio::ONE).is_empty());
+        assert!(m.usable_pcs(Millivolts(805), Ratio::ONE).is_empty());
+        // Exact grid points keep working and come back stably sorted by
+        // pseudo-channel index.
+        for &v in &m.voltages {
+            let pcs = m.usable_pcs(v, Ratio(0.01));
+            assert!(
+                pcs.windows(2).all(|w| w[0].as_u8() < w[1].as_u8()),
+                "unsorted usable set at {v}"
+            );
+        }
+        assert_eq!(m.usable_pc_count(Millivolts(980), Ratio::ZERO), 32);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use hbm_device::{BankId, HbmGeometry, PcIndex, Word256, WordOffset};
 use hbm_units::{Celsius, Millivolts, Volts};
 use serde::{Deserialize, Serialize};
 
+use crate::field::{CarryEntry, CarryStats, PcSweepCarry, PendingBits, PendingClass};
 use crate::hash::{combine, gate_key, key_unit, unit, unit_pair};
 use crate::params::FaultModelParams;
 use crate::variation::ShiftTable;
@@ -109,6 +110,9 @@ pub struct FaultInjector {
     tile_cache: RwLock<Vec<Option<Arc<TileTable>>>>,
     /// Per-PC sorted gate-draw indexes; voltage- and temperature-free.
     gate_index: RwLock<Vec<Option<Arc<GateIndex>>>>,
+    /// Per-PC coupled-field activation indexes (per-class sorted minimum
+    /// bit thresholds); voltage- and temperature-free.
+    coupled_index: RwLock<Vec<Option<Arc<CoupledIndex>>>>,
     /// Lifetime tile-table lookups served from `tile_cache`.
     cache_hits: AtomicU64,
     /// Lifetime tile-table lookups that had to rebuild the table.
@@ -119,10 +123,28 @@ pub struct FaultInjector {
 const TAG_GATE0: u64 = 0x6761_7430;
 const TAG_GATE1: u64 = 0x6761_7431;
 const TAG_BIT: u64 = 0x6269_7400;
+/// Coupled-field per-bit persistent thresholds ("cbit"); a domain distinct
+/// from `TAG_BIT` so the two fault fields are statistically independent.
+const TAG_CBIT: u64 = 0x6362_6974;
 
 /// Largest pseudo channel (in words) the gate index is built for; larger
 /// geometries fall back to per-word gate hashing (still tile-cached).
 const MAX_INDEXED_WORDS_PER_PC: u64 = 1 << 16;
+
+/// Largest word range a [`PcSweepCarry`] keeps bit-granular pending
+/// thresholds for. The bit tier stores every still-clean bit of the range
+/// (≈2 KiB per word transiently, shrinking to zero as the sweep saturates);
+/// above this cap the carry falls back to word-granular refresh tracking,
+/// which stays O(entries) in memory at any scale.
+const MAX_BIT_CARRY_WORDS: u64 = 4096;
+
+/// Exact reconstruction of a pending bit's threshold from its stored raw
+/// 32-bit key — the identical `f64` that [`unit_pair`] produced when the
+/// bit was first hashed, so the prefix-drain comparison and the per-bit
+/// fault test are the same comparison on the same value.
+fn threshold_from_raw(raw: u32) -> f64 {
+    unit_pair(u64::from(raw) << 32).1
+}
 
 /// The (bank, row-region) tiling of a pseudo channel: the granularity at
 /// which the variation shift — and so every derived probability — is
@@ -229,6 +251,54 @@ struct GateIndex {
     class1: GateClassIndex,
 }
 
+/// One polarity class of the coupled field's word-activation index for a
+/// pseudo channel: every word's minimum per-bit threshold, grouped by tile
+/// and sorted, so the words with at least one faulty bit of the class at
+/// probability `c` form a binary-searchable prefix. The per-bit fault test
+/// and the prefix predicate are the *same* comparison (`threshold < c`),
+/// so prefix membership is exact — no conditional rescaling, no recheck.
+#[derive(Debug)]
+struct CoupledClassIndex {
+    /// Slice bounds of each tile in `thresholds`/`offsets` (length
+    /// `tiles + 1`).
+    starts: Vec<u32>,
+    /// Per-word minimum bit thresholds, ascending within each tile.
+    thresholds: Vec<f64>,
+    /// Word offsets, parallel to `thresholds`.
+    offsets: Vec<u32>,
+    /// Minimum bit threshold indexed by word offset (activation lookup).
+    by_word: Vec<f64>,
+}
+
+impl CoupledClassIndex {
+    /// The offsets of tile `tile` with at least one faulty bit of this
+    /// class at class probability `c`.
+    fn active(&self, tile: usize, c: f64) -> &[u32] {
+        let lo = self.starts[tile] as usize;
+        let hi = self.starts[tile + 1] as usize;
+        let n = self.thresholds[lo..hi].partition_point(|&t| t < c);
+        &self.offsets[lo..lo + n]
+    }
+
+    /// The offsets of tile `tile` whose first bit of this class activates
+    /// as the class probability grows from `c_prev` to `c_next`.
+    fn activated(&self, tile: usize, c_prev: f64, c_next: f64) -> &[u32] {
+        let lo = self.starts[tile] as usize;
+        let hi = self.starts[tile + 1] as usize;
+        let slice = &self.thresholds[lo..hi];
+        let a = slice.partition_point(|&t| t < c_prev);
+        let b = slice.partition_point(|&t| t < c_next);
+        &self.offsets[lo + a..lo + b.max(a)]
+    }
+}
+
+/// Both classes' activation indexes for one pseudo channel.
+#[derive(Debug)]
+struct CoupledIndex {
+    class0: CoupledClassIndex,
+    class1: CoupledClassIndex,
+}
+
 impl Clone for FaultInjector {
     fn clone(&self) -> Self {
         FaultInjector {
@@ -243,6 +313,12 @@ impl Clone for FaultInjector {
             // own locks), so diverging temperatures cannot cross-pollute.
             tile_cache: RwLock::new(self.tile_cache.read().expect("tile cache poisoned").clone()),
             gate_index: RwLock::new(self.gate_index.read().expect("gate index poisoned").clone()),
+            coupled_index: RwLock::new(
+                self.coupled_index
+                    .read()
+                    .expect("coupled index poisoned")
+                    .clone(),
+            ),
             cache_hits: AtomicU64::new(self.cache_hits.load(Ordering::Relaxed)),
             cache_misses: AtomicU64::new(self.cache_misses.load(Ordering::Relaxed)),
         }
@@ -271,6 +347,7 @@ impl FaultInjector {
             grid,
             tile_cache: RwLock::new(vec![None; pcs]),
             gate_index: RwLock::new(vec![None; pcs]),
+            coupled_index: RwLock::new(vec![None; pcs]),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
         }
@@ -727,6 +804,25 @@ impl FaultInjector {
         out
     }
 
+    /// Streams every faulty word of the range through `f` as
+    /// `(offset, stuck0, stuck1)`, in unspecified order, without
+    /// materializing a mask vector. This is the zero-allocation counterpart
+    /// of [`FaultInjector::faulty_words`] for callers that fold the masks
+    /// into order-independent aggregates (sums, counts) on the fly — the
+    /// dense-fault regime where a collected vector would rival the size of
+    /// the scanned range itself.
+    pub fn for_each_faulty_word<F: FnMut(WordOffset, Word256, Word256)>(
+        &self,
+        pc: PcIndex,
+        words: Range<u64>,
+        supply: Millivolts,
+        mut f: F,
+    ) {
+        self.for_each_faulty(pc, &words, supply, |w, s0, s1| {
+            f(WordOffset(w), s0, s1);
+        });
+    }
+
     /// Iterates over the *faulty* words of a range in ascending offset
     /// order, yielding `(offset, stuck0, stuck1)` and skipping clean words —
     /// the fast path for building fault maps and health scans in the
@@ -751,6 +847,806 @@ impl FaultInjector {
             let (s0, s1) = self.masks_from_probs(pc, w, probs);
             (!(s0.is_zero() && s1.is_zero())).then_some((WordOffset(w), s0, s1))
         }))
+    }
+
+    // ------------------------------------------------------------------
+    // Coupled fault field (`FaultFieldMode::MonotoneCoupled`)
+    // ------------------------------------------------------------------
+
+    /// One word's coupled-field draws against the class probabilities: the
+    /// stuck masks plus each class's smallest still-clean bit threshold
+    /// (`f64::INFINITY` when every bit of the class is already faulty).
+    fn coupled_word(&self, pc: PcIndex, w: u64, c0: f64, c1: f64) -> (Word256, Word256, f64, f64) {
+        let s0_share = self.params.stuck0_share;
+        let pcu = u64::from(pc.as_u8());
+        let mut stuck0 = Word256::ZERO;
+        let mut stuck1 = Word256::ZERO;
+        let mut next0 = f64::INFINITY;
+        let mut next1 = f64::INFINITY;
+        for bit in 0u32..Word256::BITS {
+            let h = combine(&[self.seed, pcu, w, TAG_CBIT, u64::from(bit)]);
+            let (class_u, t) = unit_pair(h);
+            if class_u < s0_share {
+                if t < c0 {
+                    stuck0 = stuck0.with_bit_set(bit);
+                } else if t < next0 {
+                    next0 = t;
+                }
+            } else if t < c1 {
+                stuck1 = stuck1.with_bit_set(bit);
+            } else if t < next1 {
+                next1 = t;
+            }
+        }
+        (stuck0, stuck1, next0, next1)
+    }
+
+    /// The coupled-field activation index of `pc`, or `None` for geometries
+    /// too large to index.
+    fn pc_coupled_index(&self, pc: PcIndex) -> Option<Arc<CoupledIndex>> {
+        if self.grid.words_per_pc > MAX_INDEXED_WORDS_PER_PC {
+            return None;
+        }
+        {
+            let cache = self.coupled_index.read().expect("coupled index poisoned");
+            if let Some(index) = &cache[pc.as_usize()] {
+                return Some(Arc::clone(index));
+            }
+        }
+        let index = Arc::new(self.build_coupled_index(pc));
+        self.coupled_index.write().expect("coupled index poisoned")[pc.as_usize()] =
+            Some(Arc::clone(&index));
+        Some(index)
+    }
+
+    /// One pass over every bit of the pseudo channel, recording each word's
+    /// minimum threshold per class; thresholds never depend on voltage or
+    /// temperature, so the index is built once per PC.
+    fn build_coupled_index(&self, pc: PcIndex) -> CoupledIndex {
+        let s0_share = self.params.stuck0_share;
+        let pcu = u64::from(pc.as_u8());
+        let words = usize::try_from(self.grid.words_per_pc).expect("indexed geometry fits usize");
+        let mut by0 = vec![f64::INFINITY; words];
+        let mut by1 = vec![f64::INFINITY; words];
+        for w in 0..self.grid.words_per_pc {
+            let (mut m0, mut m1) = (f64::INFINITY, f64::INFINITY);
+            for bit in 0u32..Word256::BITS {
+                let h = combine(&[self.seed, pcu, w, TAG_CBIT, u64::from(bit)]);
+                let (class_u, t) = unit_pair(h);
+                if class_u < s0_share {
+                    m0 = m0.min(t);
+                } else {
+                    m1 = m1.min(t);
+                }
+            }
+            by0[w as usize] = m0;
+            by1[w as usize] = m1;
+        }
+        CoupledIndex {
+            class0: self.sorted_threshold_index(by0),
+            class1: self.sorted_threshold_index(by1),
+        }
+    }
+
+    fn sorted_threshold_index(&self, by_word: Vec<f64>) -> CoupledClassIndex {
+        let mut entries: Vec<(u32, f64, u32)> = by_word
+            .iter()
+            .enumerate()
+            .map(|(w, &t)| (self.grid.tile_of(w as u64) as u32, t, w as u32))
+            .collect();
+        entries
+            .sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let mut starts = vec![0u32; self.grid.tile_count + 1];
+        for &(tile, _, _) in &entries {
+            starts[tile as usize + 1] += 1;
+        }
+        let mut acc = 0u32;
+        for s in &mut starts {
+            acc += *s;
+            *s = acc;
+        }
+        CoupledClassIndex {
+            starts,
+            thresholds: entries.iter().map(|&(_, t, _)| t).collect(),
+            offsets: entries.iter().map(|&(_, _, w)| w).collect(),
+            by_word,
+        }
+    }
+
+    /// Computes the stuck-at masks of one word at a supply voltage under
+    /// the coupled fault field ([`crate::FaultFieldMode::MonotoneCoupled`]).
+    ///
+    /// Each `(pc, word, bit)` owns one persistent threshold drawn from a
+    /// counter-based hash of the device seed and the bit's address; the bit
+    /// is faulty iff its polarity class's fault probability at `supply`
+    /// exceeds the threshold. Masks are disjoint, deterministic, guardband
+    /// fault-free, and inclusion-monotone across descending voltage by
+    /// construction. The expected per-bit fault rate equals the legacy
+    /// field's (`share_π × c_π`), so the two fields are statistically
+    /// interchangeable at any single voltage.
+    #[must_use]
+    pub fn coupled_stuck_masks(
+        &self,
+        pc: PcIndex,
+        offset: WordOffset,
+        supply: Millivolts,
+    ) -> (Word256, Word256) {
+        if supply >= self.params.landmarks.v_min {
+            return (Word256::ZERO, Word256::ZERO);
+        }
+        let table = self.tile_table(pc, supply);
+        let probs = table.tiles[self.grid.tile_of(offset.0)];
+        if probs.c0 == 0.0 && probs.c1 == 0.0 {
+            return (Word256::ZERO, Word256::ZERO);
+        }
+        let (s0, s1, _, _) = self.coupled_word(pc, offset.0, probs.c0, probs.c1);
+        (s0, s1)
+    }
+
+    /// Runs `f` over every word of the range with at least one
+    /// coupled-field faulty bit, in unspecified order, yielding the masks
+    /// and both next-clean thresholds.
+    fn coupled_for_each_active<F: FnMut(u64, Word256, Word256, f64, f64)>(
+        &self,
+        pc: PcIndex,
+        words: &Range<u64>,
+        supply: Millivolts,
+        mut f: F,
+    ) {
+        if words.is_empty() || supply >= self.params.landmarks.v_min {
+            return;
+        }
+        assert!(
+            words.end <= self.grid.words_per_pc,
+            "word range end {} out of range for geometry ({} words/pc)",
+            words.end,
+            self.grid.words_per_pc
+        );
+        let table = self.tile_table(pc, supply);
+        let Some(index) = self.pc_coupled_index(pc) else {
+            // Unindexed fallback: per-word bit walk over the tile cache.
+            for w in words.clone() {
+                let probs = table.tiles[self.grid.tile_of(w)];
+                if probs.c0 == 0.0 && probs.c1 == 0.0 {
+                    continue;
+                }
+                let (s0, s1, n0, n1) = self.coupled_word(pc, w, probs.c0, probs.c1);
+                if !(s0.is_zero() && s1.is_zero()) {
+                    f(w, s0, s1, n0, n1);
+                }
+            }
+            return;
+        };
+        for (tile, probs) in table.tiles.iter().enumerate() {
+            if probs.c0 == 0.0 && probs.c1 == 0.0 {
+                continue;
+            }
+            // Words whose class-0 minimum threshold is crossed; each has at
+            // least one stuck-at-0 bit by the prefix predicate.
+            for &w32 in index.class0.active(tile, probs.c0) {
+                let w = u64::from(w32);
+                if !words.contains(&w) {
+                    continue;
+                }
+                let (s0, s1, n0, n1) = self.coupled_word(pc, w, probs.c0, probs.c1);
+                f(w, s0, s1, n0, n1);
+            }
+            // Words active only through class 1 (class-0-active words were
+            // already yielded; the by-word lookup reproduces the prefix
+            // membership exactly).
+            for &w32 in index.class1.active(tile, probs.c1) {
+                let w = u64::from(w32);
+                if !words.contains(&w) {
+                    continue;
+                }
+                if index.class0.by_word[w32 as usize] < probs.c0 {
+                    continue;
+                }
+                let (s0, s1, n0, n1) = self.coupled_word(pc, w, probs.c0, probs.c1);
+                f(w, s0, s1, n0, n1);
+            }
+        }
+    }
+
+    /// Collects the coupled-field faulty words of a range in ascending
+    /// offset order — the [`crate::FaultFieldMode::MonotoneCoupled`]
+    /// counterpart of [`FaultInjector::faulty_words`].
+    #[must_use]
+    pub fn coupled_faulty_words(
+        &self,
+        pc: PcIndex,
+        words: Range<u64>,
+        supply: Millivolts,
+    ) -> Vec<(WordOffset, Word256, Word256)> {
+        let mut out = Vec::new();
+        self.coupled_for_each_active(pc, &words, supply, |w, s0, s1, _, _| {
+            out.push((WordOffset(w), s0, s1));
+        });
+        out.sort_unstable_by_key(|&(offset, _, _)| offset.0);
+        out
+    }
+
+    /// Streams every coupled-field faulty word of the range through `f` as
+    /// `(offset, stuck0, stuck1)`, in unspecified order — the
+    /// [`crate::FaultFieldMode::MonotoneCoupled`] counterpart of
+    /// [`FaultInjector::for_each_faulty_word`] for dense-regime streaming
+    /// folds.
+    pub fn coupled_for_each_faulty<F: FnMut(WordOffset, Word256, Word256)>(
+        &self,
+        pc: PcIndex,
+        words: Range<u64>,
+        supply: Millivolts,
+        mut f: F,
+    ) {
+        self.coupled_for_each_active(pc, &words, supply, |w, s0, s1, _, _| {
+            f(WordOffset(w), s0, s1);
+        });
+    }
+
+    /// The expected fraction of words with at least one faulty bit at
+    /// `supply`, averaged over the pseudo channel's tiles — `0.0` in the
+    /// guardband. Identical for both fault-field modes (they share the
+    /// analytic model) and cheap to evaluate (tile cache hit plus a pass
+    /// over the tile probabilities), so callers can use it to pick between
+    /// collecting faulty-word vectors (sparse regime) and streaming folds
+    /// (dense regime) *before* enumerating anything.
+    #[must_use]
+    pub fn expected_active_fraction(&self, pc: PcIndex, supply: Millivolts) -> f64 {
+        if supply >= self.params.landmarks.v_min {
+            return 0.0;
+        }
+        let table = self.tile_table(pc, supply);
+        if table.tiles.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = table
+            .tiles
+            .iter()
+            .map(|t| 1.0 - (1.0 - t.p_any0) * (1.0 - t.p_any1))
+            .sum();
+        sum / table.tiles.len() as f64
+    }
+
+    /// Counts coupled-field faulty bits of each polarity over a contiguous
+    /// word range: `(stuck-at-0, stuck-at-1)`.
+    #[must_use]
+    pub fn coupled_count_range(
+        &self,
+        pc: PcIndex,
+        words: Range<u64>,
+        supply: Millivolts,
+    ) -> (u64, u64) {
+        let mut n0 = 0u64;
+        let mut n1 = 0u64;
+        self.coupled_for_each_active(pc, &words, supply, |_, s0, s1, _, _| {
+            n0 += u64::from(s0.count_ones());
+            n1 += u64::from(s1.count_ones());
+        });
+        (n0, n1)
+    }
+
+    /// The coupled-field words of `words` that *activate* — gain their
+    /// first faulty bit — when the supply descends from `v_prev` to
+    /// `v_next`, with their full masks at `v_next`, ascending by offset.
+    ///
+    /// A word already faulty at `v_prev` is **not** reported even if it
+    /// gains further bits at `v_next`; callers patching a carried working
+    /// set use [`FaultInjector::coupled_carry_advance`], which also
+    /// refreshes grown words. With `v_prev` at or above the guardband this
+    /// equals [`FaultInjector::coupled_faulty_words`] at `v_next`; with
+    /// `v_next > v_prev` (not a descent) it is empty.
+    ///
+    /// # Performance
+    ///
+    /// Activations are located on the per-tile sorted
+    /// minimum-bit-threshold index (built once per pseudo channel,
+    /// voltage- and temperature-free): each tile and class contributes the
+    /// slice of words whose minimum threshold lies in
+    /// `[c(v_prev), c(v_next))`, found by two binary searches. The call
+    /// therefore costs `O(T·log W + A·256)` hash draws, where `A` is the
+    /// number of activating words — independent of how many words are
+    /// already faulty, which is what makes a descending sweep scale with
+    /// fault *deltas* instead of *points × words*. The per-bit fault test
+    /// and the prefix predicate are the same comparison (`threshold < c`),
+    /// so the enumerated set is exact, not a superset needing recheck.
+    /// Geometries above the index cap fall back to a per-word walk of the
+    /// range (one bit pass per word, evaluating both voltages at once).
+    #[must_use]
+    pub fn faulty_words_delta(
+        &self,
+        pc: PcIndex,
+        words: Range<u64>,
+        v_prev: Millivolts,
+        v_next: Millivolts,
+    ) -> Vec<(WordOffset, Word256, Word256)> {
+        let mut out = Vec::new();
+        if words.is_empty() || v_next >= self.params.landmarks.v_min || v_next > v_prev {
+            return out;
+        }
+        assert!(
+            words.end <= self.grid.words_per_pc,
+            "word range end {} out of range for geometry ({} words/pc)",
+            words.end,
+            self.grid.words_per_pc
+        );
+        let next = self.tile_table(pc, v_next);
+        let prev_tiles =
+            (v_prev < self.params.landmarks.v_min).then(|| self.build_tile_table(pc, v_prev).tiles);
+        let prev_c = |tile: usize| {
+            prev_tiles
+                .as_ref()
+                .map_or((0.0, 0.0), |t| (t[tile].c0, t[tile].c1))
+        };
+        let Some(index) = self.pc_coupled_index(pc) else {
+            let s0_share = self.params.stuck0_share;
+            let pcu = u64::from(pc.as_u8());
+            for w in words.clone() {
+                let tile = self.grid.tile_of(w);
+                let probs = next.tiles[tile];
+                if probs.c0 == 0.0 && probs.c1 == 0.0 {
+                    continue;
+                }
+                let (c0p, c1p) = prev_c(tile);
+                let mut active_prev = false;
+                let mut stuck0 = Word256::ZERO;
+                let mut stuck1 = Word256::ZERO;
+                for bit in 0u32..Word256::BITS {
+                    let h = combine(&[self.seed, pcu, w, TAG_CBIT, u64::from(bit)]);
+                    let (class_u, t) = unit_pair(h);
+                    if class_u < s0_share {
+                        if t < probs.c0 {
+                            stuck0 = stuck0.with_bit_set(bit);
+                        }
+                        active_prev |= t < c0p;
+                    } else {
+                        if t < probs.c1 {
+                            stuck1 = stuck1.with_bit_set(bit);
+                        }
+                        active_prev |= t < c1p;
+                    }
+                }
+                let active_next = !stuck0.is_zero() || !stuck1.is_zero();
+                if !active_prev && active_next {
+                    out.push((WordOffset(w), stuck0, stuck1));
+                }
+            }
+            out.sort_unstable_by_key(|&(offset, _, _)| offset.0);
+            return out;
+        };
+        for (tile, probs) in next.tiles.iter().enumerate() {
+            if probs.c0 == 0.0 && probs.c1 == 0.0 {
+                continue;
+            }
+            let (c0p, c1p) = prev_c(tile);
+            for &w32 in index.class0.activated(tile, c0p, probs.c0) {
+                let w = u64::from(w32);
+                if !words.contains(&w) {
+                    continue;
+                }
+                // Skip words that were already active through class 1.
+                if index.class1.by_word[w32 as usize] < c1p {
+                    continue;
+                }
+                let (s0, s1, _, _) = self.coupled_word(pc, w, probs.c0, probs.c1);
+                out.push((WordOffset(w), s0, s1));
+            }
+            for &w32 in index.class1.activated(tile, c1p, probs.c1) {
+                let w = u64::from(w32);
+                if !words.contains(&w) {
+                    continue;
+                }
+                // Skip words active — or activating — through class 0;
+                // those were handled by the class-0 slice.
+                if index.class0.by_word[w32 as usize] < probs.c0 {
+                    continue;
+                }
+                let (s0, s1, _, _) = self.coupled_word(pc, w, probs.c0, probs.c1);
+                out.push((WordOffset(w), s0, s1));
+            }
+        }
+        out.sort_unstable_by_key(|&(offset, _, _)| offset.0);
+        out
+    }
+
+    /// Builds the carried working set of a descending sweep at its first
+    /// measured point: every coupled-field faulty word of the range at
+    /// `supply`, plus the state that makes
+    /// [`FaultInjector::coupled_carry_advance`] cheap.
+    ///
+    /// Ranges up to [`MAX_BIT_CARRY_WORDS`] get the *bit-granular* tier:
+    /// one hash pass records every still-clean bit's threshold into
+    /// per-tile sorted pending lists, after which a whole descending sweep
+    /// never hashes any bit again — each advance drains the prefix of bits
+    /// whose thresholds the new probabilities cross. Larger ranges get the
+    /// word-granular tier (per-word next-change thresholds, re-enumerating
+    /// a word's 256 bits whenever one crosses), which needs no per-bit
+    /// storage. Both tiers produce bit-identical masks.
+    ///
+    /// The build is accounted as `activated` words in the returned stats.
+    #[must_use]
+    pub fn coupled_carry_start(
+        &self,
+        pc: PcIndex,
+        words: Range<u64>,
+        supply: Millivolts,
+    ) -> (PcSweepCarry, CarryStats) {
+        let len = words.end.saturating_sub(words.start);
+        if len > 0 && len <= MAX_BIT_CARRY_WORDS {
+            return self.coupled_bit_carry_start(pc, words, supply);
+        }
+        let mut entries = Vec::new();
+        self.coupled_for_each_active(pc, &words, supply, |w, s0, s1, n0, n1| {
+            entries.push(CarryEntry {
+                offset: w as u32,
+                stuck0: s0,
+                stuck1: s1,
+                next0: n0,
+                next1: n1,
+                touch: 0,
+            });
+        });
+        entries.sort_unstable_by_key(|e| e.offset);
+        let stats = CarryStats {
+            carried: 0,
+            refreshed: 0,
+            activated: entries.len() as u64,
+        };
+        (
+            PcSweepCarry {
+                pc,
+                words,
+                voltage: supply,
+                temperature: self.temperature,
+                entries,
+                pending: None,
+            },
+            stats,
+        )
+    }
+
+    /// The bit-granular carry build: one pass over every bit of the range,
+    /// setting the masks faulty at `supply` and recording each still-clean
+    /// bit's raw threshold key into its tile-and-class pending list.
+    fn coupled_bit_carry_start(
+        &self,
+        pc: PcIndex,
+        words: Range<u64>,
+        supply: Millivolts,
+    ) -> (PcSweepCarry, CarryStats) {
+        assert!(
+            words.end <= self.grid.words_per_pc,
+            "word range end {} out of range for geometry ({} words/pc)",
+            words.end,
+            self.grid.words_per_pc
+        );
+        let tiles = (supply < self.params.landmarks.v_min).then(|| self.tile_table(pc, supply));
+        let s0_share = self.params.stuck0_share;
+        let pcu = u64::from(pc.as_u8());
+        let len = usize::try_from(words.end - words.start).expect("bit-carry range fits usize");
+        let mut class0 = vec![PendingClass::default(); self.grid.tile_count];
+        let mut class1 = vec![PendingClass::default(); self.grid.tile_count];
+        let mut entry_of = vec![u32::MAX; len];
+        let mut entries = Vec::new();
+        for w in words.clone() {
+            let tile = self.grid.tile_of(w);
+            let (c0, c1) = tiles
+                .as_ref()
+                .map_or((0.0, 0.0), |t| (t.tiles[tile].c0, t.tiles[tile].c1));
+            let slot = (w - words.start) as u32;
+            let mut stuck0 = Word256::ZERO;
+            let mut stuck1 = Word256::ZERO;
+            for bit in 0u32..Word256::BITS {
+                let h = combine(&[self.seed, pcu, w, TAG_CBIT, u64::from(bit)]);
+                let (class_u, t) = unit_pair(h);
+                let raw = (h >> 32) as u32;
+                if class_u < s0_share {
+                    if t < c0 {
+                        stuck0 = stuck0.with_bit_set(bit);
+                    } else {
+                        class0[tile].bits.push((raw, (slot << 8) | bit));
+                    }
+                } else if t < c1 {
+                    stuck1 = stuck1.with_bit_set(bit);
+                } else {
+                    class1[tile].bits.push((raw, (slot << 8) | bit));
+                }
+            }
+            if !(stuck0.is_zero() && stuck1.is_zero()) {
+                entry_of[slot as usize] = entries.len() as u32;
+                entries.push(CarryEntry {
+                    offset: w as u32,
+                    stuck0,
+                    stuck1,
+                    next0: f64::INFINITY,
+                    next1: f64::INFINITY,
+                    touch: 0,
+                });
+            }
+        }
+        for pending in class0.iter_mut().chain(class1.iter_mut()) {
+            pending.bits.sort_unstable();
+        }
+        let stats = CarryStats {
+            carried: 0,
+            refreshed: 0,
+            activated: entries.len() as u64,
+        };
+        (
+            PcSweepCarry {
+                pc,
+                words,
+                voltage: supply,
+                temperature: self.temperature,
+                entries,
+                pending: Some(PendingBits {
+                    class0,
+                    class1,
+                    entry_of,
+                    seq: 0,
+                }),
+            },
+            stats,
+        )
+    }
+
+    /// Advances a carried working set to a lower supply voltage, touching
+    /// only the words whose masks change. The resulting masks are
+    /// bit-identical to [`FaultInjector::coupled_faulty_words`] at
+    /// `supply`.
+    ///
+    /// A non-descending `supply` or a temperature change since the carry
+    /// was built voids the carry: it is rebuilt from scratch (accounted as
+    /// `activated`). Advancing to the carry's own voltage is a no-op that
+    /// reports every word as `carried`.
+    ///
+    /// # Performance
+    ///
+    /// On the bit-granular tier (ranges up to 4096 words) an advance
+    /// hashes *nothing*: it drains, per tile and class, the sorted-prefix
+    /// of pending bit thresholds the new probabilities cross and ORs
+    /// exactly those bits into the carried masks, so a whole descent costs
+    /// one hash pass at carry start plus `O(bit flips)` total — against
+    /// `O(points × faulty words × 256)` draws for per-point rescans. On
+    /// the word-granular fallback tier a carried word is reused untouched
+    /// unless one of its still-clean minimum thresholds (`next0`/`next1`)
+    /// is crossed, in which case its 256 bits are re-enumerated; newly
+    /// activated words are appended from the activation index (the
+    /// stateful counterpart of [`FaultInjector::faulty_words_delta`]).
+    pub fn coupled_carry_advance(
+        &self,
+        carry: &mut PcSweepCarry,
+        supply: Millivolts,
+    ) -> CarryStats {
+        if supply > carry.voltage || carry.temperature != self.temperature {
+            let (fresh, stats) = self.coupled_carry_start(carry.pc, carry.words.clone(), supply);
+            *carry = fresh;
+            return stats;
+        }
+        if supply == carry.voltage {
+            return CarryStats {
+                carried: carry.entries.len() as u64,
+                refreshed: 0,
+                activated: 0,
+            };
+        }
+        if supply >= self.params.landmarks.v_min {
+            // Still inside the guardband: nothing can be active.
+            carry.voltage = supply;
+            return CarryStats::default();
+        }
+        if carry.pending.is_some() {
+            return self.coupled_bit_advance(carry, supply);
+        }
+        let pc = carry.pc;
+        let table = self.tile_table(pc, supply);
+        let prev_voltage = carry.voltage;
+        let prev_tiles = (prev_voltage < self.params.landmarks.v_min)
+            .then(|| self.build_tile_table(pc, prev_voltage).tiles);
+        let prev_c = |tile: usize| {
+            prev_tiles
+                .as_ref()
+                .map_or((0.0, 0.0), |t| (t[tile].c0, t[tile].c1))
+        };
+        let mut stats = CarryStats::default();
+        // (a) Refresh carried words whose next clean threshold was crossed;
+        // monotonicity guarantees existing mask bits never disappear.
+        for entry in &mut carry.entries {
+            let probs = table.tiles[self.grid.tile_of(u64::from(entry.offset))];
+            if entry.next0 < probs.c0 || entry.next1 < probs.c1 {
+                let (s0, s1, n0, n1) =
+                    self.coupled_word(pc, u64::from(entry.offset), probs.c0, probs.c1);
+                entry.stuck0 = s0;
+                entry.stuck1 = s1;
+                entry.next0 = n0;
+                entry.next1 = n1;
+                stats.refreshed += 1;
+            } else {
+                stats.carried += 1;
+            }
+        }
+        // (b) Append the words activating in the (v_prev, supply] window.
+        let mut fresh: Vec<CarryEntry> = Vec::new();
+        if let Some(index) = self.pc_coupled_index(pc) {
+            for (tile, probs) in table.tiles.iter().enumerate() {
+                if probs.c0 == 0.0 && probs.c1 == 0.0 {
+                    continue;
+                }
+                let (c0p, c1p) = prev_c(tile);
+                for &w32 in index.class0.activated(tile, c0p, probs.c0) {
+                    let w = u64::from(w32);
+                    if !carry.words.contains(&w) {
+                        continue;
+                    }
+                    if index.class1.by_word[w32 as usize] < c1p {
+                        continue;
+                    }
+                    let (s0, s1, n0, n1) = self.coupled_word(pc, w, probs.c0, probs.c1);
+                    fresh.push(CarryEntry {
+                        offset: w32,
+                        stuck0: s0,
+                        stuck1: s1,
+                        next0: n0,
+                        next1: n1,
+                        touch: 0,
+                    });
+                }
+                for &w32 in index.class1.activated(tile, c1p, probs.c1) {
+                    let w = u64::from(w32);
+                    if !carry.words.contains(&w) {
+                        continue;
+                    }
+                    if index.class0.by_word[w32 as usize] < probs.c0 {
+                        continue;
+                    }
+                    let (s0, s1, n0, n1) = self.coupled_word(pc, w, probs.c0, probs.c1);
+                    fresh.push(CarryEntry {
+                        offset: w32,
+                        stuck0: s0,
+                        stuck1: s1,
+                        next0: n0,
+                        next1: n1,
+                        touch: 0,
+                    });
+                }
+            }
+        } else {
+            // Unindexed fallback: walk the range against the sorted carried
+            // offsets, enumerating only non-carried words.
+            let mut carried = carry.entries.iter().map(|e| u64::from(e.offset)).peekable();
+            for w in carry.words.clone() {
+                if carried.peek() == Some(&w) {
+                    carried.next();
+                    continue;
+                }
+                let probs = table.tiles[self.grid.tile_of(w)];
+                if probs.c0 == 0.0 && probs.c1 == 0.0 {
+                    continue;
+                }
+                let (s0, s1, n0, n1) = self.coupled_word(pc, w, probs.c0, probs.c1);
+                if !(s0.is_zero() && s1.is_zero()) {
+                    fresh.push(CarryEntry {
+                        offset: w as u32,
+                        stuck0: s0,
+                        stuck1: s1,
+                        next0: n0,
+                        next1: n1,
+                        touch: 0,
+                    });
+                }
+            }
+        }
+        stats.activated = fresh.len() as u64;
+        if !fresh.is_empty() {
+            carry.entries.extend(fresh);
+            carry.entries.sort_unstable_by_key(|e| e.offset);
+        }
+        carry.voltage = supply;
+        stats
+    }
+
+    /// The bit-granular advance: for each tile and class, drains the prefix
+    /// of pending bits whose thresholds the new class probability crosses
+    /// and sets exactly those bits in the carried masks. No bit is ever
+    /// re-hashed — across a whole descent each `(word, bit)` is applied at
+    /// most once, so the total advance work is proportional to the number
+    /// of bit flips, not to `points × faulty words`.
+    fn coupled_bit_advance(&self, carry: &mut PcSweepCarry, supply: Millivolts) -> CarryStats {
+        let table = self.tile_table(carry.pc, supply);
+        let start = carry.words.start;
+        let before = carry.entries.len();
+        let entries = &mut carry.entries;
+        let pending = carry.pending.as_mut().expect("bit carry has pending state");
+        pending.seq += 1;
+        let seq = pending.seq;
+        let mut refreshed = 0u64;
+        for (tile, probs) in table.tiles.iter().enumerate() {
+            drain_pending_class(
+                &mut pending.class0[tile],
+                probs.c0,
+                true,
+                start,
+                seq,
+                entries,
+                &mut pending.entry_of,
+                &mut refreshed,
+            );
+            drain_pending_class(
+                &mut pending.class1[tile],
+                probs.c1,
+                false,
+                start,
+                seq,
+                entries,
+                &mut pending.entry_of,
+                &mut refreshed,
+            );
+        }
+        let activated = (entries.len() - before) as u64;
+        if activated > 0 {
+            entries.sort_unstable_by_key(|e| e.offset);
+            for (i, entry) in entries.iter().enumerate() {
+                pending.entry_of[(u64::from(entry.offset) - start) as usize] = i as u32;
+            }
+        }
+        carry.voltage = supply;
+        CarryStats {
+            carried: before as u64 - refreshed,
+            refreshed,
+            activated,
+        }
+    }
+}
+
+/// Applies one tile-and-class pending prefix to the carried masks: every
+/// bit whose threshold is below `c` becomes faulty now and is consumed
+/// from the list (freeing the list entirely once the class saturates).
+#[allow(clippy::too_many_arguments)]
+fn drain_pending_class(
+    pend: &mut PendingClass,
+    c: f64,
+    class0: bool,
+    start: u64,
+    seq: u32,
+    entries: &mut Vec<CarryEntry>,
+    entry_of: &mut [u32],
+    refreshed: &mut u64,
+) {
+    while pend.cursor < pend.bits.len() {
+        let (raw, packed) = pend.bits[pend.cursor];
+        if threshold_from_raw(raw) >= c {
+            break;
+        }
+        pend.cursor += 1;
+        let slot = (packed >> 8) as usize;
+        let bit = packed & 0xFF;
+        let entry = if entry_of[slot] == u32::MAX {
+            entry_of[slot] = entries.len() as u32;
+            entries.push(CarryEntry {
+                offset: (start + slot as u64) as u32,
+                stuck0: Word256::ZERO,
+                stuck1: Word256::ZERO,
+                next0: f64::INFINITY,
+                next1: f64::INFINITY,
+                touch: seq,
+            });
+            entries.last_mut().expect("just pushed")
+        } else {
+            let entry = &mut entries[entry_of[slot] as usize];
+            if entry.touch != seq {
+                entry.touch = seq;
+                *refreshed += 1;
+            }
+            entry
+        };
+        if class0 {
+            entry.stuck0 = entry.stuck0.with_bit_set(bit);
+        } else {
+            entry.stuck1 = entry.stuck1.with_bit_set(bit);
+        }
+    }
+    if pend.cursor == pend.bits.len() && !pend.bits.is_empty() {
+        pend.bits = Vec::new();
+        pend.cursor = 0;
     }
 }
 
@@ -1119,5 +2015,274 @@ mod tests {
                 "lazy scan and bulk collection diverge at {v}"
             );
         }
+    }
+
+    #[test]
+    fn coupled_guardband_is_fault_free() {
+        let inj = injector();
+        for v in [1200u32, 1000, 990, 980] {
+            for w in 0..128 {
+                let (s0, s1) = inj.coupled_stuck_masks(pc(5), WordOffset(w), Millivolts(v));
+                assert!(s0.is_zero() && s1.is_zero(), "coupled fault at {v} mV");
+            }
+        }
+    }
+
+    #[test]
+    fn coupled_masks_disjoint_deterministic_and_saturating() {
+        let inj = injector();
+        for w in 0..64 {
+            let v = Millivolts(820);
+            let (s0, s1) = inj.coupled_stuck_masks(pc(0), WordOffset(w), v);
+            assert_eq!((s0 | s1).count_ones(), 256, "word {w} not fully faulty");
+            assert!((s0 & s1).is_zero());
+            assert_eq!(inj.coupled_stuck_masks(pc(0), WordOffset(w), v), (s0, s1));
+        }
+        // The coupled field is a different specimen realization than the
+        // legacy field at the same seed (distinct hash domains).
+        let mid = Millivolts(870);
+        let differs = (0..512).any(|w| {
+            inj.coupled_stuck_masks(pc(0), WordOffset(w), mid)
+                != inj.stuck_masks(pc(0), WordOffset(w), mid)
+        });
+        assert!(differs, "coupled and legacy fields should not coincide");
+    }
+
+    #[test]
+    fn coupled_fault_set_monotone_in_voltage() {
+        let inj = injector();
+        for w in 0..128u64 {
+            let mut prev0 = Word256::ZERO;
+            let mut prev1 = Word256::ZERO;
+            let mut v = Millivolts(980);
+            while v >= Millivolts(820) {
+                let (s0, s1) = inj.coupled_stuck_masks(pc(2), WordOffset(w), v);
+                assert_eq!(s0 & prev0, prev0, "stuck-0 set shrank at {v} word {w}");
+                assert_eq!(s1 & prev1, prev1, "stuck-1 set shrank at {v} word {w}");
+                prev0 = s0;
+                prev1 = s1;
+                v = v.saturating_sub(Millivolts(10));
+            }
+        }
+    }
+
+    #[test]
+    fn coupled_enumeration_matches_per_word_masks() {
+        let inj = injector();
+        for v in [990u32, 965, 940, 900, 870, 840] {
+            let v = Millivolts(v);
+            let range = 0u64..2048;
+            let mut expected = Vec::new();
+            for w in range.clone() {
+                let (s0, s1) = inj.coupled_stuck_masks(pc(6), WordOffset(w), v);
+                if !(s0.is_zero() && s1.is_zero()) {
+                    expected.push((WordOffset(w), s0, s1));
+                }
+            }
+            let bulk = inj.coupled_faulty_words(pc(6), range.clone(), v);
+            assert_eq!(bulk, expected, "coupled enumeration diverges at {v}");
+            let (n0, n1) = inj.coupled_count_range(pc(6), range, v);
+            let sum0: u64 = expected
+                .iter()
+                .map(|(_, s0, _)| u64::from(s0.count_ones()))
+                .sum();
+            let sum1: u64 = expected
+                .iter()
+                .map(|(_, _, s1)| u64::from(s1.count_ones()))
+                .sum();
+            assert_eq!((n0, n1), (sum0, sum1), "coupled counts diverge at {v}");
+        }
+    }
+
+    #[test]
+    fn coupled_rate_tracks_legacy_rate() {
+        // Same marginal per-bit probability `s·c` in both fields: aggregate
+        // counts over a decent sample must agree statistically.
+        let inj = injector();
+        let v = Millivolts(860);
+        let (l0, l1) = inj.count_range(pc(7), 0..8192, v);
+        let (c0, c1) = inj.coupled_count_range(pc(7), 0..8192, v);
+        let legacy = (l0 + l1) as f64;
+        let coupled = (c0 + c1) as f64;
+        let ratio = coupled / legacy;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "coupled {coupled} vs legacy {legacy}"
+        );
+    }
+
+    #[test]
+    fn faulty_words_delta_matches_set_difference() {
+        let inj = injector();
+        let range = 0u64..4096;
+        for (hi, lo) in [
+            (990u32, 965u32),
+            (965, 940),
+            (940, 900),
+            (900, 860),
+            (860, 830),
+        ] {
+            let (hi, lo) = (Millivolts(hi), Millivolts(lo));
+            let before: std::collections::HashSet<u64> = inj
+                .coupled_faulty_words(pc(3), range.clone(), hi)
+                .iter()
+                .map(|&(offset, _, _)| offset.0)
+                .collect();
+            let expected: Vec<_> = inj
+                .coupled_faulty_words(pc(3), range.clone(), lo)
+                .into_iter()
+                .filter(|(offset, _, _)| !before.contains(&offset.0))
+                .collect();
+            let delta = inj.faulty_words_delta(pc(3), range.clone(), hi, lo);
+            assert_eq!(delta, expected, "delta diverges for {hi} → {lo}");
+        }
+        // A non-descent or a same-voltage window is empty.
+        assert!(inj
+            .faulty_words_delta(pc(3), range.clone(), Millivolts(900), Millivolts(900))
+            .is_empty());
+        assert!(inj
+            .faulty_words_delta(pc(3), range.clone(), Millivolts(900), Millivolts(950))
+            .is_empty());
+        // From inside the guardband the delta is the full faulty set.
+        assert_eq!(
+            inj.faulty_words_delta(pc(3), range.clone(), Millivolts(1200), Millivolts(900)),
+            inj.coupled_faulty_words(pc(3), range, Millivolts(900))
+        );
+    }
+
+    #[test]
+    fn carry_advance_is_bit_identical_to_rescan() {
+        let inj = injector();
+        let range = 0u64..4096;
+        let mut v = Millivolts(990);
+        let (mut carry, start) = inj.coupled_carry_start(pc(2), range.clone(), v);
+        assert_eq!(carry.voltage(), v);
+        assert_eq!(
+            carry.masks(),
+            inj.coupled_faulty_words(pc(2), range.clone(), v)
+        );
+        let mut total = start;
+        while v > Millivolts(820) {
+            v = v.saturating_sub(Millivolts(10));
+            let stats = inj.coupled_carry_advance(&mut carry, v);
+            total.absorb(stats);
+            assert_eq!(carry.voltage(), v);
+            assert_eq!(
+                carry.masks(),
+                inj.coupled_faulty_words(pc(2), range.clone(), v),
+                "carry diverged from rescan at {v}"
+            );
+        }
+        assert!(total.carried > 0, "descent never reused a carried word");
+        assert!(carry.len() > 0 && !carry.is_empty());
+        // Below both saturation voltages every bit has flipped: a further
+        // advance is pure reuse — nothing pending, nothing re-enumerated.
+        let stats = inj.coupled_carry_advance(&mut carry, Millivolts(815));
+        assert_eq!(stats.carried, carry.len() as u64);
+        assert_eq!(stats.delta_words(), 0);
+        assert_eq!(stats.reuse_ratio(), 1.0);
+    }
+
+    #[test]
+    fn word_tier_carry_advance_matches_rescan() {
+        // A range above the bit-carry capacity exercises the word-granular
+        // tier (per-word next-change thresholds, no pending bit lists).
+        let inj = injector();
+        let range = 0u64..8192;
+        assert!(range.end - range.start > MAX_BIT_CARRY_WORDS);
+        let (mut carry, _) = inj.coupled_carry_start(pc(2), range.clone(), Millivolts(990));
+        for v in [970u32, 940, 900, 870, 840, 820] {
+            let v = Millivolts(v);
+            inj.coupled_carry_advance(&mut carry, v);
+            assert_eq!(
+                carry.masks(),
+                inj.coupled_faulty_words(pc(2), range.clone(), v),
+                "word-tier carry diverged from rescan at {v}"
+            );
+        }
+        // Saturated: the word tier's next-thresholds are all exhausted, so
+        // a further advance is also pure reuse.
+        let stats = inj.coupled_carry_advance(&mut carry, Millivolts(815));
+        assert_eq!(stats.carried, carry.len() as u64);
+        assert_eq!(stats.delta_words(), 0);
+    }
+
+    #[test]
+    fn carry_rebuilds_on_ascent_or_temperature_change() {
+        let mut inj = injector();
+        let range = 0u64..1024;
+        let (mut carry, _) = inj.coupled_carry_start(pc(4), range.clone(), Millivolts(880));
+        // Ascending is not a descent: the carry is rebuilt, still exact.
+        let stats = inj.coupled_carry_advance(&mut carry, Millivolts(940));
+        assert_eq!(stats.carried, 0);
+        assert_eq!(
+            carry.masks(),
+            inj.coupled_faulty_words(pc(4), range.clone(), Millivolts(940))
+        );
+        // A temperature change voids the carried probabilities.
+        inj.set_temperature(Celsius(55.0));
+        let stats = inj.coupled_carry_advance(&mut carry, Millivolts(920));
+        assert_eq!(stats.carried, 0);
+        assert_eq!(
+            carry.masks(),
+            inj.coupled_faulty_words(pc(4), range.clone(), Millivolts(920))
+        );
+        // Advancing to the same voltage is a carried no-op.
+        let len = carry.len() as u64;
+        let stats = inj.coupled_carry_advance(&mut carry, Millivolts(920));
+        assert_eq!(stats.carried, len);
+        assert_eq!(stats.delta_words(), 0);
+    }
+
+    #[test]
+    fn coupled_unindexed_geometry_falls_back() {
+        let geometry = HbmGeometry::vcu128().scaled(64);
+        assert!(geometry.words_per_pc() > MAX_INDEXED_WORDS_PER_PC);
+        let inj = FaultInjector::new(FaultModelParams::date21(), geometry, 77);
+        let range = 0u64..1024;
+        for v in [940u32, 880] {
+            let v = Millivolts(v);
+            let mut expected = Vec::new();
+            for w in range.clone() {
+                let (s0, s1) = inj.coupled_stuck_masks(pc(1), WordOffset(w), v);
+                if !(s0.is_zero() && s1.is_zero()) {
+                    expected.push((WordOffset(w), s0, s1));
+                }
+            }
+            assert_eq!(
+                inj.coupled_faulty_words(pc(1), range.clone(), v),
+                expected,
+                "unindexed coupled enumeration diverges at {v}"
+            );
+        }
+        // Delta and carry advance agree with rescans through the fallback.
+        let delta = inj.faulty_words_delta(pc(1), range.clone(), Millivolts(940), Millivolts(880));
+        let before: std::collections::HashSet<u64> = inj
+            .coupled_faulty_words(pc(1), range.clone(), Millivolts(940))
+            .iter()
+            .map(|&(offset, _, _)| offset.0)
+            .collect();
+        let expected: Vec<_> = inj
+            .coupled_faulty_words(pc(1), range.clone(), Millivolts(880))
+            .into_iter()
+            .filter(|(offset, _, _)| !before.contains(&offset.0))
+            .collect();
+        assert_eq!(delta, expected);
+        let (mut carry, _) = inj.coupled_carry_start(pc(1), range.clone(), Millivolts(940));
+        inj.coupled_carry_advance(&mut carry, Millivolts(880));
+        assert_eq!(
+            carry.masks(),
+            inj.coupled_faulty_words(pc(1), range, Millivolts(880))
+        );
+        // A range above the bit-carry cap takes the word tier's unindexed
+        // two-pointer fallback for newly activated words.
+        let wide = 0u64..6000;
+        assert!(wide.end - wide.start > MAX_BIT_CARRY_WORDS);
+        let (mut carry, _) = inj.coupled_carry_start(pc(1), wide.clone(), Millivolts(940));
+        inj.coupled_carry_advance(&mut carry, Millivolts(880));
+        assert_eq!(
+            carry.masks(),
+            inj.coupled_faulty_words(pc(1), wide, Millivolts(880))
+        );
     }
 }

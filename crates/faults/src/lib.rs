@@ -61,6 +61,7 @@
 mod analytic;
 mod error;
 mod fault_map;
+mod field;
 pub mod hash;
 mod injector;
 mod landmarks;
@@ -73,6 +74,7 @@ mod variation;
 pub use analytic::RatePredictor;
 pub use error::FaultModelError;
 pub use fault_map::{FaultMap, PcRateEntry, PcRateProfile};
+pub use field::{CarryStats, FaultFieldMode, PcSweepCarry};
 pub use injector::{FaultInjector, FaultPolarity};
 pub use landmarks::VoltageLandmarks;
 pub use params::FaultModelParams;

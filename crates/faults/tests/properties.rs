@@ -157,6 +157,108 @@ proptest! {
         prop_assert_eq!(counted, (sum0, sum1));
     }
 
+    /// Coupled-field inclusion monotonicity by construction: dropping the
+    /// voltage can only grow each polarity's fault set, for any seed,
+    /// address and descent step.
+    #[test]
+    fn coupled_fault_sets_monotone(
+        seed in any::<u64>(),
+        pc_index in 0u8..32,
+        word in 0u64..8192,
+        hi in 811u32..980,
+        delta in 1u32..120,
+    ) {
+        let inj = injector(seed);
+        let pc = PcIndex::new(pc_index).unwrap();
+        let lo = Millivolts(hi.saturating_sub(delta).max(810));
+        let hi = Millivolts(hi);
+        let (hi0, hi1) = inj.coupled_stuck_masks(pc, WordOffset(word), hi);
+        let (lo0, lo1) = inj.coupled_stuck_masks(pc, WordOffset(word), lo);
+        prop_assert_eq!(lo0 & hi0, hi0, "coupled stuck-at-0 set shrank");
+        prop_assert_eq!(lo1 & hi1, hi1, "coupled stuck-at-1 set shrank");
+    }
+
+    /// Tentpole guarantee of the incremental sweep kernel: over a random
+    /// descending voltage sequence, the carried working set (start +
+    /// advances) and the delta enumeration are both bit-identical to a
+    /// from-scratch coupled enumeration at every point. Ranges above the
+    /// bit-carry capacity exercise the word-granular tier.
+    #[test]
+    fn coupled_carry_matches_from_scratch(
+        seed in any::<u64>(),
+        pc_index in 0u8..32,
+        start_word in 0u64..4096,
+        len in 1u64..8192,
+        first_mv in 830u32..980,
+        steps in proptest::collection::vec(1u32..40, 1..5),
+    ) {
+        let inj = injector(seed);
+        let pc = PcIndex::new(pc_index).unwrap();
+        let range = start_word..(start_word + len).min(8192);
+
+        let mut v = Millivolts(first_mv);
+        let (mut carry, _) = inj.coupled_carry_start(pc, range.clone(), v);
+        prop_assert_eq!(
+            carry.masks(),
+            inj.coupled_faulty_words(pc, range.clone(), v),
+            "carry start diverged at {}", v
+        );
+
+        for step in steps {
+            let prev = v;
+            v = Millivolts(v.as_u32().saturating_sub(step).max(810));
+            let scratch = inj.coupled_faulty_words(pc, range.clone(), v);
+
+            // The carried set advances to exactly the from-scratch set.
+            inj.coupled_carry_advance(&mut carry, v);
+            prop_assert_eq!(&carry.masks(), &scratch, "carry advance diverged at {}", v);
+
+            // The delta enumeration reports exactly the activations: the
+            // words faulty at the next voltage but clean at the previous
+            // one, with their full masks at the next voltage.
+            let prev_offsets: std::collections::BTreeSet<u64> = inj
+                .coupled_faulty_words(pc, range.clone(), prev)
+                .into_iter()
+                .map(|(w, _, _)| w.0)
+                .collect();
+            let expected: Vec<_> = scratch
+                .iter()
+                .filter(|(w, _, _)| !prev_offsets.contains(&w.0))
+                .copied()
+                .collect();
+            prop_assert_eq!(
+                inj.faulty_words_delta(pc, range.clone(), prev, v),
+                expected,
+                "delta enumeration diverged at {}", v
+            );
+        }
+    }
+
+    /// The two fault fields share one analytic model, so their aggregate
+    /// fault counts agree statistically at any voltage — near the guardband
+    /// (where both are essentially zero), mid-slope, and at saturation.
+    #[test]
+    fn legacy_and_coupled_rates_agree(seed in any::<u64>(), pc_index in 0u8..32) {
+        let inj = injector(seed);
+        let pc = PcIndex::new(pc_index).unwrap();
+        for mv in [970u32, 960, 840] {
+            let v = Millivolts(mv);
+            let (l0, l1) = inj.count_range(pc, 0..8192, v);
+            let (c0, c1) = inj.coupled_count_range(pc, 0..8192, v);
+            for (legacy, coupled, class) in [(l0, c0, "stuck0"), (l1, c1, "stuck1")] {
+                let scale = legacy.max(coupled) as f64;
+                let diff = legacy.abs_diff(coupled) as f64;
+                // Two independent binomial draws of the same expectation:
+                // allow a generous relative band plus an absolute floor so
+                // near-zero counts (high voltages) never flake.
+                prop_assert!(
+                    diff <= 0.25 * scale + 64.0,
+                    "{class} at {v}: legacy {legacy} vs coupled {coupled}"
+                );
+            }
+        }
+    }
+
     /// Fault-map usable-PC counts are monotone in tolerance and voltage.
     #[test]
     fn fault_map_monotonicity(seed in any::<u64>()) {

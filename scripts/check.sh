@@ -29,6 +29,14 @@ cargo bench --workspace --no-run
 echo "==> kernel bit-identity property tests"
 cargo test -q -p hbm-faults --test properties kernel_
 
+# Coupled fault-field gate: inclusion monotonicity by construction, the
+# carried working set's bit-identity to from-scratch rescans (injector
+# and sweep layer), and legacy/coupled rate agreement.
+echo "==> coupled-field monotonicity and incremental-equality tests"
+cargo test -q -p hbm-faults --test properties coupled
+cargo test -q -p hbm-faults --test properties legacy_and_coupled_rates_agree
+cargo test -q -p hbm-undervolt --lib coupled
+
 # Resilience gate: kill-at-every-point resume bit-identity, retry backoff,
 # quarantine records, and the hbmctl exit-code contract.
 echo "==> resilient sweep runtime tests"
