@@ -13,8 +13,8 @@ use std::time::Instant;
 
 use hbm_traffic::DataPattern;
 use hbm_undervolt::{
-    ExecutionMode, Experiment, FaultFieldMode, Platform, ReliabilityConfig, ReliabilityReport,
-    ReliabilityTester, TestScope, VoltageSweep,
+    ExecutionMode, Experiment, FaultFieldMode, KernelBackend, Platform, ReliabilityConfig,
+    ReliabilityReport, ReliabilityTester, TestScope, VoltageSweep,
 };
 use hbm_units::Millivolts;
 use serde::Serialize;
@@ -53,6 +53,7 @@ fn workload(fault_field: FaultFieldMode, carry_forward: bool) -> ReliabilityTest
         sample_words: None,
         mode: ExecutionMode::CachedMasks,
         fault_field,
+        kernel: KernelBackend::Auto,
         carry_forward,
     };
     ReliabilityTester::new(config).expect("config valid")

@@ -1,8 +1,9 @@
 //! Kernel bench for the region-tiled fault injector: the cached path
 //! (tile probability cache + geometric skip enumeration) against the naive
-//! per-word reference path, per voltage, plus a `quick()`-shaped
-//! reliability sweep in both execution modes. Both comparisons assert
-//! bit-identical results before recording timings to
+//! per-word reference path, per voltage; the bit-sliced dense-region
+//! kernel against the forced-scalar walk in the dense regime (≤ 860 mV);
+//! and a `quick()`-shaped reliability sweep in both execution modes. Every
+//! comparison asserts bit-identical results before recording timings to
 //! `BENCH_injector_kernel.json`.
 //!
 //! This is a plain `harness = false` binary (not Criterion) because the
@@ -12,7 +13,7 @@
 use std::time::Instant;
 
 use hbm_device::{HbmGeometry, PcIndex, WordOffset};
-use hbm_faults::{FaultInjector, FaultModelParams};
+use hbm_faults::{FaultFieldMode, FaultInjector, FaultModelParams, KernelBackend, MaskKernel};
 use hbm_undervolt::{ExecutionMode, Platform, ReliabilityConfig, ReliabilityTester};
 use hbm_units::Millivolts;
 use serde::Serialize;
@@ -36,6 +37,15 @@ struct VoltageEntry {
 }
 
 #[derive(Serialize)]
+struct DenseEntry {
+    voltage_mv: u32,
+    scalar_secs: f64,
+    bitsliced_secs: f64,
+    speedup: f64,
+    faulty_bits: u64,
+}
+
+#[derive(Serialize)]
 struct SweepEntry {
     traffic_secs: f64,
     cached_secs: f64,
@@ -51,6 +61,8 @@ struct Record {
     words_per_pc: u64,
     per_voltage: Vec<VoltageEntry>,
     safe_region_min_speedup: f64,
+    dense: Vec<DenseEntry>,
+    dense_region_min_speedup: f64,
     sweep: SweepEntry,
 }
 
@@ -102,6 +114,9 @@ fn main() {
         SEED,
     );
     let pc = PcIndex::new(0).expect("pc0");
+    let auto = injector.kernel(FaultFieldMode::PerVoltage, KernelBackend::Auto);
+    let scalar = injector.kernel(FaultFieldMode::PerVoltage, KernelBackend::Scalar);
+    let sliced = injector.kernel(FaultFieldMode::PerVoltage, KernelBackend::BitSliced);
     println!("injector_kernel: seed {SEED}, {WORDS} words per PC, best of {ITERATIONS}");
 
     let mut per_voltage = Vec::new();
@@ -111,14 +126,14 @@ fn main() {
         let (reference_secs, reference_bits) = time_per_call(|| {
             let mut bits = 0u64;
             for w in 0..WORDS {
-                let (s0, s1) = injector.stuck_masks_per_word(pc, WordOffset(w), v);
+                let (s0, s1) = auto.reference_masks(pc, WordOffset(w), v);
                 bits += u64::from(s0.count_ones()) + u64::from(s1.count_ones());
             }
             bits
         });
-        // Cached: tile lookup + skip enumeration over the same range.
+        // Cached: tile lookup + density-adaptive enumeration of the range.
         let (cached_secs, cached_bits) = time_per_call(|| {
-            let (c0, c1) = injector.count_range(pc, 0..WORDS, v);
+            let (c0, c1) = auto.count_range(pc, 0..WORDS, v);
             c0 + c1
         });
         assert_eq!(cached_bits, reference_bits, "kernels disagree at {v}");
@@ -147,6 +162,47 @@ fn main() {
         "safe-region speedup regressed below 5x: {safe_region_min_speedup:.1}x"
     );
 
+    // Dense regime: at and below 860 mV nearly every word carries faults,
+    // so the bit-sliced whole-word kernel is compared against the forced
+    // scalar walk over the same range.
+    let mut dense = Vec::new();
+    for mv in [860u32, 820] {
+        let v = Millivolts(mv);
+        let (scalar_secs, scalar_bits) = time_per_call(|| {
+            let (c0, c1) = scalar.count_range(pc, 0..WORDS, v);
+            c0 + c1
+        });
+        let (bitsliced_secs, bitsliced_bits) = time_per_call(|| {
+            let (c0, c1) = sliced.count_range(pc, 0..WORDS, v);
+            c0 + c1
+        });
+        assert_eq!(
+            bitsliced_bits, scalar_bits,
+            "dense-region kernels disagree at {v}"
+        );
+        let speedup = scalar_secs / bitsliced_secs.max(f64::MIN_POSITIVE);
+        println!(
+            "  {mv} mV dense: scalar {:>10.3} us, bitsliced {:>10.3} us  ({speedup:>8.1}x, {scalar_bits} faulty bits)",
+            scalar_secs * 1e6,
+            bitsliced_secs * 1e6,
+        );
+        dense.push(DenseEntry {
+            voltage_mv: mv,
+            scalar_secs,
+            bitsliced_secs,
+            speedup,
+            faulty_bits: scalar_bits,
+        });
+    }
+    let dense_region_min_speedup = dense
+        .iter()
+        .map(|e| e.speedup)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        dense_region_min_speedup >= 8.0,
+        "dense-region bit-sliced speedup regressed below 8x: {dense_region_min_speedup:.1}x"
+    );
+
     let (traffic_secs, traffic_faults) = time_sweep(ExecutionMode::Traffic);
     let (cached_secs, cached_faults) = time_sweep(ExecutionMode::CachedMasks);
     assert_eq!(
@@ -169,6 +225,8 @@ fn main() {
         words_per_pc: WORDS,
         per_voltage,
         safe_region_min_speedup,
+        dense,
+        dense_region_min_speedup,
         sweep: SweepEntry {
             traffic_secs,
             cached_secs,

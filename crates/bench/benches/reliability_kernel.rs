@@ -5,8 +5,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use hbm_device::PcIndex;
 use hbm_traffic::DataPattern;
 use hbm_undervolt::{
-    ExecutionMode, FaultFieldMode, Platform, ReliabilityConfig, ReliabilityTester, TestScope,
-    VoltageSweep,
+    ExecutionMode, FaultFieldMode, KernelBackend, Platform, ReliabilityConfig, ReliabilityTester,
+    TestScope, VoltageSweep,
 };
 use hbm_units::Millivolts;
 
@@ -26,6 +26,7 @@ fn bench_reliability(c: &mut Criterion) {
                 sample_words: None,
                 mode: ExecutionMode::CachedMasks,
                 fault_field: FaultFieldMode::PerVoltage,
+                kernel: KernelBackend::Auto,
                 carry_forward: true,
             };
             let tester = ReliabilityTester::new(config).expect("config valid");

@@ -10,8 +10,8 @@ use std::time::Instant;
 
 use hbm_traffic::DataPattern;
 use hbm_undervolt::{
-    ExecutionMode, Experiment, FaultFieldMode, Platform, ReliabilityConfig, ReliabilityReport,
-    ReliabilityTester, TestScope, VoltageSweep,
+    ExecutionMode, Experiment, FaultFieldMode, KernelBackend, Platform, ReliabilityConfig,
+    ReliabilityReport, ReliabilityTester, TestScope, VoltageSweep,
 };
 use hbm_units::Millivolts;
 use serde::Serialize;
@@ -48,6 +48,7 @@ fn workload() -> ReliabilityTester {
         sample_words: None,
         mode: ExecutionMode::CachedMasks,
         fault_field: FaultFieldMode::PerVoltage,
+        kernel: KernelBackend::Auto,
         carry_forward: true,
     };
     ReliabilityTester::new(config).expect("config valid")

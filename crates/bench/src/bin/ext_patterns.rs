@@ -9,8 +9,8 @@
 use hbm_device::PcIndex;
 use hbm_traffic::DataPattern;
 use hbm_undervolt::{
-    ExecutionMode, FaultFieldMode, Platform, ReliabilityConfig, ReliabilityTester, TestScope,
-    VoltageSweep,
+    ExecutionMode, FaultFieldMode, KernelBackend, Platform, ReliabilityConfig, ReliabilityTester,
+    TestScope, VoltageSweep,
 };
 use hbm_units::Millivolts;
 
@@ -37,6 +37,7 @@ fn main() {
         sample_words: None,
         mode: ExecutionMode::CachedMasks,
         fault_field: FaultFieldMode::PerVoltage,
+        kernel: KernelBackend::Auto,
         carry_forward: true,
     };
     let tester = ReliabilityTester::new(config).expect("config valid");

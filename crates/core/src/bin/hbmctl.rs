@@ -13,7 +13,8 @@
 //! hbmctl reliability [--seed N] [--workers N] [--format text|csv|json]
 //!                    [--from MV] [--to MV] [--step MV]
 //!                    [--batch N] [--words N] [--sample N]
-//!                    [--kernel cached|traffic]
+//!                    [--exec cached|traffic]
+//!                    [--kernel scalar|bitsliced|auto]
 //!                    [--fault-field per-voltage|coupled]
 //! hbmctl sweep       [reliability flags] [--checkpoint FILE] [--resume]
 //!                    [--retries N] [--point-deadline MS] [--v-crash MV]
@@ -36,9 +37,10 @@ use hbm_power::HbmPowerModel;
 use hbm_traffic::DataPattern;
 use hbm_undervolt::report::{to_json, Render};
 use hbm_undervolt::{
-    summarize, ExecutionMode, Experiment, FaultFieldMode, GuardbandFinder, JsonlSink, Platform,
-    PowerSweep, ProgressSink, ReliabilityConfig, ReliabilityTester, SweepCheckpoint, SweepConfig,
-    SystemClock, Telemetry, TestScope, TradeOffAnalysis, VoltageSweep,
+    summarize, ExecutionMode, Experiment, FaultFieldMode, GuardbandFinder, JsonlSink,
+    KernelBackend, Platform, PowerSweep, ProgressSink, ReliabilityConfig, ReliabilityTester,
+    SweepCheckpoint, SweepConfig, SystemClock, Telemetry, TestScope, TradeOffAnalysis,
+    VoltageSweep,
 };
 use hbm_units::{Millivolts, Ratio};
 
@@ -141,7 +143,8 @@ const USAGE: &str = "usage:
   hbmctl power-sweep [--seed N] [--workers N] [--format text|csv|json]
   hbmctl reliability [--seed N] [--workers N] [--format text|csv|json]
                      [--from MV] [--to MV] [--step MV] [--batch N] [--words N] [--sample N]
-                     [--kernel cached|traffic] [--fault-field per-voltage|coupled]
+                     [--exec cached|traffic] [--kernel scalar|bitsliced|auto]
+                     [--fault-field per-voltage|coupled]
   hbmctl sweep       [reliability flags] [--checkpoint FILE] [--resume]
                      [--retries N] [--point-deadline MS] [--v-crash MV]
                      [--transient-prob P] [--transient-window MV]
@@ -228,16 +231,22 @@ fn reliability_config(args: &Args) -> Result<ReliabilityConfig, CliError> {
     let batch: usize = args.flag("batch", 1)?;
     let words: u64 = args.flag("words", 1024)?;
     let sample: Option<u64> = args.optional("sample")?;
-    let kernel: String = args.flag("kernel", "cached".to_owned())?;
-    let mode = match kernel.as_str() {
+    let exec: String = args.flag("exec", "cached".to_owned())?;
+    let mode = match exec.as_str() {
         "cached" => ExecutionMode::CachedMasks,
         "traffic" => ExecutionMode::Traffic,
         other => {
             return Err(CliError::config(format!(
-                "unknown kernel: {other} (use cached or traffic)"
+                "unknown execution mode: {other} (use cached or traffic)"
             )))
         }
     };
+    let kernel_token: String = args.flag("kernel", "auto".to_owned())?;
+    let kernel = KernelBackend::from_token(&kernel_token).ok_or_else(|| {
+        CliError::config(format!(
+            "unknown kernel: {kernel_token} (use scalar, bitsliced or auto)"
+        ))
+    })?;
     let field_token: String = args.flag("fault-field", "per-voltage".to_owned())?;
     let fault_field = FaultFieldMode::from_token(&field_token).ok_or_else(|| {
         CliError::config(format!(
@@ -254,6 +263,7 @@ fn reliability_config(args: &Args) -> Result<ReliabilityConfig, CliError> {
         sample_words: sample,
         mode,
         fault_field,
+        kernel,
         carry_forward: true,
     })
 }
@@ -265,6 +275,7 @@ fn supervised_sweep(seed: u64, workers: usize, args: &Args) -> Result<(), CliErr
     let format: String = args.flag("format", "text".to_owned())?;
     let reliability = reliability_config(args)?;
     let fault_field = reliability.fault_field;
+    let kernel = reliability.kernel;
     let mut config = SweepConfig::from_reliability(reliability)
         .seed(seed)
         .workers(workers)
@@ -293,6 +304,7 @@ fn supervised_sweep(seed: u64, workers: usize, args: &Args) -> Result<(), CliErr
     if resume {
         if let Some(path) = &checkpoint_path {
             check_resume_fault_field(path, fault_field)?;
+            check_resume_kernel(path, kernel)?;
         }
     }
 
@@ -352,6 +364,29 @@ fn check_resume_fault_field(path: &str, requested: FaultFieldMode) -> Result<(),
             "--resume: checkpoint {path} was recorded with --fault-field {}, \
              but this run requests --fault-field {}",
             config.fault_field.as_token(),
+            requested.as_token()
+        )));
+    }
+    Ok(())
+}
+
+/// Rejects `--resume` when the checkpoint on disk was recorded under a
+/// different `--kernel` backend. All backends are bit-identical, but a
+/// resumed campaign must stay reproducible by its recorded configuration
+/// alone; like a fault-field mix, this is a *usage* mistake (exit 2), and
+/// an unreadable checkpoint is left to the supervisor's own validation.
+fn check_resume_kernel(path: &str, requested: KernelBackend) -> Result<(), CliError> {
+    let Ok(contents) = std::fs::read_to_string(path) else {
+        return Ok(());
+    };
+    let Ok(checkpoint) = serde_json::from_str::<SweepCheckpoint>(&contents) else {
+        return Ok(());
+    };
+    if checkpoint.kernel != requested.as_token() {
+        return Err(CliError::config(format!(
+            "--resume: checkpoint {path} was recorded with --kernel {}, \
+             but this run requests --kernel {}",
+            checkpoint.kernel,
             requested.as_token()
         )));
     }

@@ -18,7 +18,9 @@
 //! the default of 1 keeps the exact sequential code path.
 
 use hbm_device::{DeviceError, PcIndex, PcShard, PortId, Word256, WordOffset};
-use hbm_faults::{CarryStats, FaultFieldMode, FaultInjector};
+use hbm_faults::{
+    CarryStats, FaultFieldMode, FaultInjector, FieldKernel, KernelBackend, MaskKernel,
+};
 use hbm_traffic::{DataPattern, MacroProgram, MemoryPort, PortStats, TrafficGenerator};
 use hbm_units::Millivolts;
 
@@ -266,29 +268,20 @@ where
 /// collected representation and the dense streaming fold by predicted
 /// fault density.
 fn build_sequential(
-    injector: &FaultInjector,
-    fault_field: FaultFieldMode,
+    kernel: FieldKernel<'_>,
     pc: PcIndex,
     words: u64,
     voltage: Millivolts,
     patterns: &[DataPattern],
 ) -> MaskSet {
-    if injector.expected_active_fraction(pc, voltage) > STREAM_DENSITY_THRESHOLD {
-        return match fault_field {
-            FaultFieldMode::PerVoltage => streamed_stats(words, patterns, |fold| {
-                injector.for_each_faulty_word(pc, 0..words, voltage, fold);
-            }),
-            FaultFieldMode::MonotoneCoupled => streamed_stats(words, patterns, |fold| {
-                injector.coupled_for_each_faulty(pc, 0..words, voltage, fold);
-            }),
-        };
+    if kernel.expected_active_fraction(pc, voltage) > STREAM_DENSITY_THRESHOLD {
+        return streamed_stats(words, patterns, |fold| {
+            kernel.for_each_faulty_word(pc, 0..words, voltage, fold);
+        });
     }
     MaskSet::Sequential {
         words,
-        faulty: match fault_field {
-            FaultFieldMode::PerVoltage => injector.faulty_words(pc, 0..words, voltage),
-            FaultFieldMode::MonotoneCoupled => injector.coupled_faulty_words(pc, 0..words, voltage),
-        },
+        faulty: kernel.faulty_words(pc, 0..words, voltage),
     }
 }
 
@@ -300,7 +293,8 @@ fn build_sequential(
 /// after all builders join — so the trace is identical at every worker
 /// count.
 ///
-/// `fault_field` selects which injector kernel supplies the masks;
+/// `fault_field` and `backend` pick the [`MaskKernel`] that supplies the
+/// masks (all backends are bit-identical, so `backend` only affects speed);
 /// `patterns` is needed up front because dense-regime sequential builds
 /// fold their per-pattern statistics during enumeration (streaming mode)
 /// instead of collecting masks.
@@ -317,6 +311,7 @@ pub(crate) fn build_mask_sets(
     sample_words: Option<u64>,
     voltage: Millivolts,
     fault_field: FaultFieldMode,
+    backend: KernelBackend,
     patterns: &[DataPattern],
     telemetry: &Telemetry,
 ) -> Result<Vec<PortMasks>, ExperimentError> {
@@ -328,24 +323,17 @@ pub(crate) fn build_mask_sets(
             .into());
         }
     }
-    let injector = platform.injector();
+    let kernel = platform.injector().kernel(fault_field, backend);
     let seed = platform.seed();
     let build = move |port: PortId| -> PortMasks {
         let pc = port.direct_pc();
         let set = match sample_words {
-            None => build_sequential(injector, fault_field, pc, words, voltage, patterns),
+            None => build_sequential(kernel, pc, words, voltage, patterns),
             Some(samples) => MaskSet::Sampled {
                 samples: hbm_faults::stream::sample_offsets(seed, voltage, pc, samples, words)
                     .into_iter()
                     .map(|w| {
-                        let (s0, s1) = match fault_field {
-                            FaultFieldMode::PerVoltage => {
-                                injector.stuck_masks(pc, WordOffset(w), voltage)
-                            }
-                            FaultFieldMode::MonotoneCoupled => {
-                                injector.coupled_stuck_masks(pc, WordOffset(w), voltage)
-                            }
-                        };
+                        let (s0, s1) = kernel.masks(pc, WordOffset(w), voltage);
                         (w, s0, s1)
                     })
                     .collect(),
@@ -391,7 +379,8 @@ pub(crate) fn build_mask_sets(
 ///
 /// The resulting statistics are bit-identical to a from-scratch
 /// [`build_mask_sets`] at the same voltage: the carry's masks are exact
-/// (`coupled_carry_advance` guarantees it) and the fold is the same sum.
+/// ([`MaskKernel::carry_advance`] guarantees it, for every backend) and the
+/// fold is the same sum.
 /// Ports are processed sequentially — the carry is mutable shared state,
 /// and the advance's per-port cost is proportional to the mask *delta*,
 /// which is exactly the work parallelism would amortize away.
@@ -403,12 +392,14 @@ pub(crate) fn build_mask_sets(
 ///
 /// [`DeviceError::PortDisabled`] if a scoped port is disabled, exactly
 /// like [`build_mask_sets`].
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn build_mask_sets_carried(
     platform: &Platform,
     ports: &[PortId],
     words: u64,
     voltage: Millivolts,
     carry: &mut SweepCarry,
+    backend: KernelBackend,
     patterns: &[DataPattern],
     telemetry: &Telemetry,
 ) -> Result<(Vec<PortMasks>, CarryStats), ExperimentError> {
@@ -420,7 +411,9 @@ pub(crate) fn build_mask_sets_carried(
             .into());
         }
     }
-    let injector = platform.injector();
+    let kernel = platform
+        .injector()
+        .kernel(FaultFieldMode::MonotoneCoupled, backend);
     let mut total = CarryStats::default();
     let mut sets = Vec::with_capacity(ports.len());
     for &port in ports {
@@ -432,14 +425,14 @@ pub(crate) fn build_mask_sets_carried(
             .position(|(p, c)| *p == id && c.words() == (0..words));
         let (stats, index) = match existing {
             Some(index) => (
-                injector.coupled_carry_advance(&mut carry.carries[index].1, voltage),
+                kernel.carry_advance(&mut carry.carries[index].1, voltage),
                 index,
             ),
             None => {
                 // Also drops a stale same-port carry over a different
                 // word range — it can never be advanced to this one.
                 carry.carries.retain(|(p, _)| *p != id);
-                let (fresh, stats) = injector.coupled_carry_start(pc, 0..words, voltage);
+                let (fresh, stats) = kernel.carry_start(pc, 0..words, voltage);
                 carry.carries.push((id, fresh));
                 (stats, carry.carries.len() - 1)
             }
@@ -524,6 +517,7 @@ mod tests {
                 sample_words,
                 Millivolts(860),
                 FaultFieldMode::PerVoltage,
+                KernelBackend::Auto,
                 &[DataPattern::AllOnes, DataPattern::Checkerboard],
                 Telemetry::disabled(),
             )
@@ -567,6 +561,7 @@ mod tests {
                 None,
                 Millivolts(880),
                 FaultFieldMode::PerVoltage,
+                KernelBackend::Auto,
                 &[DataPattern::AllOnes],
                 Telemetry::disabled(),
             )
@@ -592,6 +587,7 @@ mod tests {
             None,
             Millivolts(900),
             FaultFieldMode::PerVoltage,
+            KernelBackend::Auto,
             &[DataPattern::AllOnes],
             Telemetry::disabled(),
         )

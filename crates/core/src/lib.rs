@@ -126,7 +126,7 @@ pub use error::ExperimentError;
 pub use experiment::{DynExperiment, Experiment};
 pub use governor::{outcome_saving, GovernorConfig, GovernorOutcome, UndervoltGovernor};
 pub use guardband::{GuardbandFinder, GuardbandReport};
-pub use hbm_faults::FaultFieldMode;
+pub use hbm_faults::{FaultFieldMode, FieldKernel, InstructionSet, KernelBackend, MaskKernel};
 pub use platform::{Platform, PlatformBuilder, PowerSample, UndervoltedPort};
 pub use power_test::{PowerPoint, PowerSweep, PowerSweepReport};
 pub use reliability::{

@@ -642,15 +642,21 @@ mod tests {
     #[test]
     fn temperature_change_reaches_the_injector_cache() {
         use hbm_device::PcIndex;
+        use hbm_faults::{FaultFieldMode, KernelBackend, MaskKernel};
         let mut p = platform();
         p.set_voltage(Millivolts(880)).unwrap();
         let pc = PcIndex::new(0).unwrap();
+        let count = |p: &Platform| {
+            p.injector()
+                .kernel(FaultFieldMode::PerVoltage, KernelBackend::Auto)
+                .count_range(pc, 0..512, Millivolts(880))
+        };
         // Warm the injector's region probability cache at ambient …
-        let cold = p.injector().count_range(pc, 0..512, Millivolts(880));
+        let cold = count(&p);
         // … then heat the testbed: the cache must be invalidated, so the
         // same query now reflects the new temperature shift.
         p.set_temperature(Celsius(55.0));
-        let hot = p.injector().count_range(pc, 0..512, Millivolts(880));
+        let hot = count(&p);
         assert_ne!(hot, cold, "temperature change must alter fault counts");
     }
 

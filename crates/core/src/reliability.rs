@@ -10,7 +10,7 @@
 use std::time::Instant;
 
 use hbm_device::{DeviceError, PcIndex, PortId};
-use hbm_faults::{pc_stream, FaultFieldMode, PcSweepCarry};
+use hbm_faults::{pc_stream, FaultFieldMode, KernelBackend, PcSweepCarry};
 use hbm_traffic::{DataPattern, MacroProgram, PortStats};
 use hbm_units::{Millivolts, Ratio};
 use rand::Rng;
@@ -115,6 +115,13 @@ pub struct ReliabilityConfig {
     /// ignored otherwise. Carried and from-scratch points are bit-identical,
     /// so this is purely a performance knob.
     pub carry_forward: bool,
+    /// Which mask-generation backend the fault-injector kernel uses
+    /// (default: [`KernelBackend::Auto`], which bit-slices dense tiles and
+    /// keeps sparse tiles scalar). All backends are bit-identical, so this
+    /// is purely a performance knob; it is recorded in checkpoints and a
+    /// resume refuses a mismatched backend the same way it refuses a
+    /// mismatched fault field.
+    pub kernel: KernelBackend,
 }
 
 impl ReliabilityConfig {
@@ -132,6 +139,7 @@ impl ReliabilityConfig {
             mode: ExecutionMode::CachedMasks,
             fault_field: FaultFieldMode::PerVoltage,
             carry_forward: true,
+            kernel: KernelBackend::Auto,
         }
     }
 
@@ -150,6 +158,7 @@ impl ReliabilityConfig {
             mode: ExecutionMode::CachedMasks,
             fault_field: FaultFieldMode::PerVoltage,
             carry_forward: true,
+            kernel: KernelBackend::Auto,
         }
     }
 
@@ -442,6 +451,7 @@ impl ReliabilityTester {
             points: sweep.len() as u64,
             from_mv: sweep.from().as_u32(),
             to_mv: sweep.down_to().as_u32(),
+            kernel: self.config.kernel.as_token().to_owned(),
         });
 
         let mut points = Vec::with_capacity(sweep.len());
@@ -713,6 +723,7 @@ impl ReliabilityTester {
             words,
             voltage,
             carry,
+            self.config.kernel,
             &self.config.patterns,
             telemetry,
         )?;
@@ -808,6 +819,7 @@ impl ReliabilityTester {
             self.config.sample_words,
             voltage,
             self.config.fault_field,
+            self.config.kernel,
             &self.config.patterns,
             telemetry,
         )?;
@@ -993,6 +1005,33 @@ mod tests {
             rescan.points.iter().all(|p| p.mask_reuse.is_none()),
             "rescan points are not carried"
         );
+    }
+
+    #[test]
+    fn auto_kernel_never_changes_results_vs_forced_scalar() {
+        // The kernel backend is a pure performance knob: a quick sweep
+        // under density-adaptive dispatch must be bit-identical to the
+        // same sweep forced onto the scalar path, in both fault fields.
+        for fault_field in [FaultFieldMode::PerVoltage, FaultFieldMode::MonotoneCoupled] {
+            let mut auto = ReliabilityConfig::quick();
+            auto.fault_field = fault_field;
+            auto.kernel = KernelBackend::Auto;
+            let mut scalar = auto.clone();
+            scalar.kernel = KernelBackend::Scalar;
+
+            let auto_report = ReliabilityTester::new(auto)
+                .unwrap()
+                .run(&mut platform())
+                .unwrap();
+            let scalar_report = ReliabilityTester::new(scalar)
+                .unwrap()
+                .run(&mut platform())
+                .unwrap();
+            assert_eq!(
+                auto_report.points, scalar_report.points,
+                "{fault_field:?}: auto and scalar kernels diverged"
+            );
+        }
     }
 
     #[test]

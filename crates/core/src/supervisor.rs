@@ -49,8 +49,9 @@ use crate::telemetry::{Telemetry, TelemetryEvent};
 /// throughput fields became optional (`null` for crashed points instead of
 /// a fabricated `0.0`); 3 — [`ReliabilityConfig`] gained the
 /// fault-field/carry-forward knobs and [`VoltagePoint`] the mask-reuse
-/// ratio.
-pub const CHECKPOINT_VERSION: u32 = 3;
+/// ratio; 4 — the checkpoint records the mask-kernel backend so resume can
+/// refuse a cross-kernel mix, like the fault field.
+pub const CHECKPOINT_VERSION: u32 = 4;
 
 /// The supply every recovery power cycle restarts at.
 const NOMINAL_RESTART: Millivolts = Millivolts(1200);
@@ -256,6 +257,11 @@ pub struct SweepCheckpoint {
     /// The full [`ReliabilityConfig`] as canonical JSON, compared verbatim
     /// on resume — any config drift invalidates the checkpoint.
     pub config_json: String,
+    /// The mask-kernel backend token the campaign runs with
+    /// ([`hbm_faults::KernelBackend::as_token`]). Stored separately from
+    /// `config_json` so tools can refuse a cross-kernel resume with a
+    /// targeted message instead of a generic config-drift error.
+    pub kernel: String,
     /// Completed points, in sweep (descending-voltage) order.
     pub points: Vec<SupervisedPoint>,
     /// Ports quarantined so far.
@@ -503,6 +509,7 @@ impl SweepSupervisor {
                 points: voltages.len() as u64,
                 from_mv: sweep.from().as_u32(),
                 to_mv: sweep.down_to().as_u32(),
+                kernel: self.tester.config().kernel.as_token().to_owned(),
             },
         );
 
@@ -534,6 +541,7 @@ impl SweepSupervisor {
                     experiment: "supervised-sweep".to_owned(),
                     seed: platform.seed(),
                     config_json: config_json.clone(),
+                    kernel: self.tester.config().kernel.as_token().to_owned(),
                     points: points.clone(),
                     quarantined: quarantined.clone(),
                 };
@@ -559,6 +567,8 @@ impl SweepSupervisor {
 
         let (hits, misses) = platform.injector().tile_cache_stats();
         telemetry.metrics().set_tile_cache(hits, misses);
+        let (dense, sparse) = platform.injector().kernel_dispatch_stats();
+        telemetry.metrics().set_kernel_dispatch(dense, sparse);
         let power_cycles = platform.power_cycle_count() - cycles_at_start;
         telemetry
             .metrics()
@@ -1081,6 +1091,7 @@ mod tests {
             experiment: "supervised-sweep".to_owned(),
             seed: 7,
             config_json: report_config_json(supervisor.tester().config()).unwrap(),
+            kernel: supervisor.tester().config().kernel.as_token().to_owned(),
             points: report.points.clone(),
             quarantined: vec![QuarantineRecord {
                 port: 3,

@@ -180,6 +180,14 @@ impl SweepConfig {
         self
     }
 
+    /// Which mask-kernel backend generates stuck-at masks (a pure
+    /// performance knob; see [`ReliabilityConfig::kernel`]).
+    #[must_use]
+    pub fn kernel(mut self, kernel: hbm_faults::KernelBackend) -> Self {
+        self.reliability.kernel = kernel;
+        self
+    }
+
     // ---- resilience knobs -----------------------------------------------
 
     /// The full transient-failure retry policy.

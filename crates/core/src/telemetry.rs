@@ -91,6 +91,11 @@ pub enum TelemetryEvent {
         from_mv: u32,
         /// The sweep's last (lowest) voltage, in millivolts.
         to_mv: u32,
+        /// The mask-kernel backend token (`"scalar"` / `"bitsliced"` /
+        /// `"auto"`) the sweep generates faults with. Recorded because
+        /// resumed sweeps must keep the backend fixed, like the fault
+        /// field; all backends produce bit-identical results.
+        kernel: String,
     },
     /// An attempt at one voltage point began.
     PointStarted {
@@ -339,6 +344,8 @@ impl fmt::Debug for Telemetry {
 pub struct Metrics {
     tile_cache_hits: AtomicU64,
     tile_cache_misses: AtomicU64,
+    dense_tiles_bitsliced: AtomicU64,
+    sparse_tiles_scalar: AtomicU64,
     words_scanned: AtomicU64,
     masks_scanned: AtomicU64,
     delta_words_scanned: AtomicU64,
@@ -358,6 +365,8 @@ impl Metrics {
         Metrics {
             tile_cache_hits: AtomicU64::new(0),
             tile_cache_misses: AtomicU64::new(0),
+            dense_tiles_bitsliced: AtomicU64::new(0),
+            sparse_tiles_scalar: AtomicU64::new(0),
             words_scanned: AtomicU64::new(0),
             masks_scanned: AtomicU64::new(0),
             delta_words_scanned: AtomicU64::new(0),
@@ -418,6 +427,18 @@ impl Metrics {
         self.tile_cache_misses.store(misses, Ordering::Relaxed);
     }
 
+    /// Overwrites the kernel-dispatch counters with the injector's lifetime
+    /// totals: tiles whose range scans took the bit-sliced dense path vs
+    /// the scalar sparse walk. Like the tile-cache ratio, the split can be
+    /// scheduling-dependent (tile probabilities are cached per worker
+    /// arrival order), so it belongs here and never in the trace.
+    pub fn set_kernel_dispatch(&self, dense_bitsliced: u64, sparse_scalar: u64) {
+        self.dense_tiles_bitsliced
+            .store(dense_bitsliced, Ordering::Relaxed);
+        self.sparse_tiles_scalar
+            .store(sparse_scalar, Ordering::Relaxed);
+    }
+
     /// Records one completed point attempt's wall time.
     pub fn record_point_wall_ms(&self, ms: u64) {
         self.point_wall_ms
@@ -433,6 +454,8 @@ impl Metrics {
         MetricsSnapshot {
             tile_cache_hits: self.tile_cache_hits.load(Ordering::Relaxed),
             tile_cache_misses: self.tile_cache_misses.load(Ordering::Relaxed),
+            dense_tiles_bitsliced: self.dense_tiles_bitsliced.load(Ordering::Relaxed),
+            sparse_tiles_scalar: self.sparse_tiles_scalar.load(Ordering::Relaxed),
             words_scanned: self.words_scanned.load(Ordering::Relaxed),
             masks_scanned: self.masks_scanned.load(Ordering::Relaxed),
             delta_words_scanned: self.delta_words_scanned.load(Ordering::Relaxed),
@@ -460,6 +483,10 @@ pub struct MetricsSnapshot {
     pub tile_cache_hits: u64,
     /// Injector tile-table lookups that rebuilt the table.
     pub tile_cache_misses: u64,
+    /// Tiles whose range scans ran the bit-sliced dense kernel.
+    pub dense_tiles_bitsliced: u64,
+    /// Tiles whose range scans ran the scalar sparse walk.
+    pub sparse_tiles_scalar: u64,
     /// Word transactions (writes plus read-checks) scanned.
     pub words_scanned: u64,
     /// Stuck-at mask evaluations performed by the fault kernel.
@@ -644,11 +671,12 @@ impl<W: Write + Send> Observer for ProgressSink<W> {
                 points,
                 from_mv,
                 to_mv,
+                kernel,
             } => {
                 self.points = *points;
                 writeln!(
                     out,
-                    "{experiment} (seed {seed}): {points} point(s), {} -> {}",
+                    "{experiment} (seed {seed}, {kernel} kernel): {points} point(s), {} -> {}",
                     Millivolts(*from_mv),
                     Millivolts(*to_mv)
                 )
@@ -746,7 +774,7 @@ impl<W: Write + Send> Observer for ProgressSink<W> {
         let _ = writeln!(
             out,
             "counters: {} words scanned, {} masks scanned, {} carried/{} delta words, \
-             tile cache {}/{} hit/miss, \
+             tile cache {}/{} hit/miss, kernel dispatch {}/{} bitsliced/scalar tiles, \
              {} retry(s) ({} ms backoff), {} power cycle(s), {} checkpoint(s) ({} B)",
             snapshot.words_scanned,
             snapshot.masks_scanned,
@@ -754,6 +782,8 @@ impl<W: Write + Send> Observer for ProgressSink<W> {
             snapshot.delta_words_scanned,
             snapshot.tile_cache_hits,
             snapshot.tile_cache_misses,
+            snapshot.dense_tiles_bitsliced,
+            snapshot.sparse_tiles_scalar,
             snapshot.retries,
             snapshot.retry_backoff_ms,
             snapshot.power_cycles,
@@ -899,6 +929,7 @@ mod tests {
         metrics.add_retry(100);
         metrics.add_power_cycles(3);
         metrics.set_tile_cache(7, 2);
+        metrics.set_kernel_dispatch(9, 4);
         metrics.record_point_wall_ms(0);
         metrics.record_point_wall_ms(3);
         metrics.record_point_wall_ms(1_000_000);
@@ -913,6 +944,10 @@ mod tests {
         assert_eq!(snap.retry_backoff_ms, 150);
         assert_eq!(snap.power_cycles, 3);
         assert_eq!((snap.tile_cache_hits, snap.tile_cache_misses), (7, 2));
+        assert_eq!(
+            (snap.dense_tiles_bitsliced, snap.sparse_tiles_scalar),
+            (9, 4)
+        );
         let wall = &snap.point_wall_ms;
         assert_eq!(wall.count, 3);
         assert_eq!(wall.min_ms, 0);
@@ -939,6 +974,7 @@ mod tests {
             points: 2,
             from_mv: 900,
             to_mv: 890,
+            kernel: "auto".to_owned(),
         });
         telemetry.emit(TelemetryEvent::PointCompleted {
             voltage_mv: 900,
@@ -953,7 +989,10 @@ mod tests {
         });
         telemetry.finish();
         let contents = buffer.contents();
-        assert!(contents.contains("supervised-sweep (seed 7)"), "{contents}");
+        assert!(
+            contents.contains("supervised-sweep (seed 7, auto kernel)"),
+            "{contents}"
+        );
         assert!(contents.contains("[1/2] 0.900 V: 12.0"), "{contents}");
         assert!(contents.contains("[2/2] 0.890 V: skipped"), "{contents}");
         assert!(contents.contains("counters:"), "{contents}");

@@ -41,6 +41,8 @@ fn configuration_errors_exit_two_with_usage() {
         vec!["sweep", "--from", "-0.0V"],
         vec!["sweep", "--retries"],
         vec!["reliability", "--kernel", "warp"],
+        vec!["reliability", "--exec", "warp"],
+        vec!["sweep", "--kernel", "cached"],
         vec!["sweep", "--fault-field", "warp"],
         vec!["guardband", "--format", "xml"],
         vec!["sweep", "--from", "900", "--to", "910", "--step", "10"],
@@ -113,6 +115,47 @@ fn cross_fault_field_resume_is_a_configuration_error() {
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("fault-field"), "{stderr}");
     assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn cross_kernel_resume_is_a_configuration_error() {
+    let path = temp_path("cross-kernel");
+    let _ = std::fs::remove_file(&path);
+    let base = [
+        "sweep", "--from", "900", "--to", "890", "--step", "10", "--words", "8",
+    ];
+
+    // Checkpoint a run under the default (auto) kernel backend …
+    let mut first = base.to_vec();
+    first.extend(["--checkpoint", &path]);
+    assert_eq!(exit_code(&hbmctl(&first)), 0);
+
+    // … then ask to resume it with the scalar backend: though backends are
+    // bit-identical, a campaign must stay reproducible by its recorded
+    // configuration alone, so the mix is refused as a usage error.
+    let mut second = base.to_vec();
+    second.extend(["--kernel", "scalar", "--checkpoint", &path, "--resume"]);
+    let out = hbmctl(&second);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(exit_code(&out), 2, "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("kernel"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn bitsliced_kernel_sweep_matches_scalar_from_the_cli() {
+    let base = [
+        "sweep", "--from", "870", "--to", "840", "--step", "10", "--words", "64", "--format", "csv",
+    ];
+    let run = |kernel: &str| {
+        let mut args = base.to_vec();
+        args.extend(["--kernel", kernel]);
+        let out = hbmctl(&args);
+        assert_eq!(exit_code(&out), 0, "--kernel {kernel}: {out:?}");
+        String::from_utf8(out.stdout).unwrap()
+    };
+    assert_eq!(run("scalar"), run("bitsliced"), "CSV reports diverged");
 }
 
 #[test]

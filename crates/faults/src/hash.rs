@@ -93,6 +93,36 @@ pub fn unit_pair(hash: u64) -> (f64, f64) {
     (lo, hi)
 }
 
+/// The exact integer cutoff of a [`unit_pair`] comparison: the number of raw
+/// 32-bit values `x` whose uniform `u(x)` is strictly below `t`, so that for
+/// any hash half `r` (a raw `u32` widened to `u64`)
+///
+/// `u(r) < t  ⟺  r < unit_cutoff(t)`.
+///
+/// This is what lets the bit-sliced kernel replace the per-bit
+/// float-division-and-compare with one integer compare per bit while staying
+/// bit-identical to the scalar path: the cutoff is computed once per tile by
+/// binary search over the monotone map `u(x) = x / (2³² − 1) / (1 + ε)`, and
+/// every representable `t` (including `0.0`, `1.0`, values below `u(1)`, and
+/// `NaN`, which cuts nothing) resolves to the exact comparison boundary.
+#[must_use]
+pub fn unit_cutoff(t: f64) -> u64 {
+    if t.is_nan() || t <= 0.0 {
+        return 0; // zero, negative, or NaN: nothing passes `u < t`
+    }
+    let uniform = |x: u64| x as f64 / f64::from(u32::MAX) / (1.0 + f64::EPSILON);
+    let (mut lo, mut hi) = (0u64, 1u64 << 32);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if uniform(mid) < t {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +174,40 @@ mod tests {
             let (lo, hi) = unit_pair(mix64(i));
             assert!((0.0..1.0).contains(&lo));
             assert!((0.0..1.0).contains(&hi));
+        }
+    }
+
+    #[test]
+    fn unit_cutoff_is_the_exact_comparison_boundary() {
+        let uniform = |x: u64| x as f64 / f64::from(u32::MAX) / (1.0 + f64::EPSILON);
+        // Degenerate thresholds.
+        assert_eq!(unit_cutoff(0.0), 0);
+        assert_eq!(unit_cutoff(-1.0), 0);
+        assert_eq!(unit_cutoff(f64::NAN), 0);
+        // Every uniform is strictly below 1.0 (the `1 + ε` divisor), so the
+        // full threshold admits the entire raw range.
+        assert_eq!(unit_cutoff(1.0), 1 << 32);
+        // Exact agreement with the float comparison on random hash halves
+        // and adversarial thresholds: exact raw images, their neighbours,
+        // and random uniforms.
+        for i in 0..2000u64 {
+            let h = mix64(i);
+            let (lo, hi) = unit_pair(h);
+            let raw_lo = h & 0xFFFF_FFFF;
+            let raw_hi = h >> 32;
+            for t in [
+                lo,
+                hi,
+                uniform(raw_lo.saturating_sub(1)),
+                uniform((raw_hi + 1).min(u64::from(u32::MAX))),
+                unit(mix64(i ^ 0xABCD)),
+                1e-13,
+                0.5,
+            ] {
+                let cut = unit_cutoff(t);
+                assert_eq!(raw_lo < cut, lo < t, "lo half, t = {t:e}, h = {h:#x}");
+                assert_eq!(raw_hi < cut, hi < t, "hi half, t = {t:e}, h = {h:#x}");
+            }
         }
     }
 

@@ -10,7 +10,8 @@ use hbm_units::{Celsius, Millivolts, Volts};
 use serde::{Deserialize, Serialize};
 
 use crate::field::{CarryEntry, CarryStats, PcSweepCarry, PendingBits, PendingClass};
-use crate::hash::{combine, gate_key, key_unit, unit, unit_pair};
+use crate::hash::{combine, gate_key, key_unit, unit, unit_cutoff, unit_pair};
+use crate::kernel::{bitsliced, BackendSel, InstructionSet};
 use crate::params::FaultModelParams;
 use crate::variation::ShiftTable;
 
@@ -39,7 +40,7 @@ pub enum FaultPolarity {
 ///
 /// # Performance
 ///
-/// The query kernel is a three-level pipeline; each level removes work the
+/// The query kernel is a four-level pipeline; each level removes work the
 /// level below would otherwise repeat. With `W` words per pseudo channel,
 /// `T` (PC, bank, row-region) tiles and `F` gated words at the queried
 /// voltage:
@@ -64,18 +65,38 @@ pub enum FaultPolarity {
 ///    skip distances from that distribution, so fault-free and low-fault
 ///    voltages cost `O(F)`, not `O(W)`. (Geometries too large to index fall
 ///    back to a per-word gate walk that still uses level 1.)
-/// 3. **Per-bit enumeration.** Only the `F` gated words enumerate their 256
-///    bits, each bit testing its class-conditional draw against `c / p_any`.
-///    Because `c ↦ c/(1−(1−sc)^256)` is increasing (chord slope of a
-///    concave function through the origin), monotonicity in voltage is
-///    preserved and the per-bit marginal probability is exactly `s·c`.
+/// 3. **Density-adaptive dispatch.** Per tile, the backend selector
+///    ([`crate::KernelBackend`], resolved to a
+///    [`crate::kernel`]-internal choice through the runtime
+///    [`crate::InstructionSet`] probe) compares the tile's word-gate
+///    probability against a density threshold. Sparse tiles — the safe
+///    region and the fault onset — keep the scalar per-bit enumeration of
+///    level 4a. Dense tiles, where most words gate open and per-bit work
+///    dominates, switch to the bit-sliced generation of level 4b. `Scalar`
+///    and `BitSliced` force one arm; `Auto` applies the threshold.
+/// 4. **Per-bit mask generation**, in one of two bit-identical arms:
+///    - **(a) scalar enumeration**: each of the 256 bits hashes and tests
+///      its class-conditional draw against `c / p_any` as an `f64`
+///      comparison. Because `c ↦ c/(1−(1−sc)^256)` is increasing (chord
+///      slope of a concave function through the origin), monotonicity in
+///      voltage is preserved and the per-bit marginal probability is
+///      exactly `s·c`.
+///    - **(b) bit-sliced generation**: the word's hash prefix is combined
+///      once, the per-tile `f64` thresholds are converted to their exact
+///      integer images by [`crate::hash::unit_cutoff`], and the 256 bits
+///      are produced a 64-bit lane at a time as `u64` bitplanes — one
+///      integer mix and two integer compares per bit, with an AVX2 tier
+///      (four lanes per instruction) behind the runtime feature probe.
+///      The cutoffs are exact, so equality with arm (a) is a theorem,
+///      enforced end to end by the `bitsliced_matches_scalar` proptests.
 ///
 /// A range scan therefore costs `O(T·log W + F·256)` after the `O(W log W)`
 /// one-time index build, and a single-word query costs the tile lookup plus
-/// two gate hashes. The pre-cache per-word path is kept as
-/// [`FaultInjector::stuck_masks_per_word`] (selected at the experiment
-/// layer by `ExecutionMode::Traffic`); property tests assert the two paths
-/// are bit-identical.
+/// two gate hashes. All four levels sit behind the [`crate::MaskKernel`]
+/// trait ([`FaultInjector::kernel`] constructs one); the pre-cache per-word
+/// oracle is kept as [`crate::MaskKernel::reference_masks`] (selected at the
+/// experiment layer by `ExecutionMode::Traffic`); property tests assert all
+/// paths are bit-identical.
 ///
 /// # Examples
 ///
@@ -117,6 +138,10 @@ pub struct FaultInjector {
     cache_hits: AtomicU64,
     /// Lifetime tile-table lookups that had to rebuild the table.
     cache_misses: AtomicU64,
+    /// Lifetime range-scan tiles dispatched to the bit-sliced arm.
+    dense_tiles_bitsliced: AtomicU64,
+    /// Lifetime range-scan tiles dispatched to the scalar arm.
+    sparse_tiles_scalar: AtomicU64,
 }
 
 /// Domain-separation tags for the hash streams.
@@ -144,6 +169,23 @@ const MAX_BIT_CARRY_WORDS: u64 = 4096;
 /// fault test are the same comparison on the same value.
 fn threshold_from_raw(raw: u32) -> f64 {
     unit_pair(u64::from(raw) << 32).1
+}
+
+/// Exact reconstruction of a bit-sliced minimum raw key as the `f64`
+/// threshold the scalar kernel would have tracked (`INFINITY` when the
+/// class was exhausted, encoded as a key above `u32::MAX`).
+fn raw_min_threshold(min: u64) -> f64 {
+    u32::try_from(min).map_or(f64::INFINITY, threshold_from_raw)
+}
+
+/// One tile's thresholds converted to their exact integer images for the
+/// bit-sliced arm: the polarity-class cutoff and the two per-class fault
+/// cutoffs ([`unit_cutoff`] images of the tile's `f64` probabilities).
+#[derive(Debug, Clone, Copy)]
+struct TileCuts {
+    class_cut: u64,
+    cut0: u64,
+    cut1: u64,
 }
 
 /// The (bank, row-region) tiling of a pseudo channel: the granularity at
@@ -321,6 +363,10 @@ impl Clone for FaultInjector {
             ),
             cache_hits: AtomicU64::new(self.cache_hits.load(Ordering::Relaxed)),
             cache_misses: AtomicU64::new(self.cache_misses.load(Ordering::Relaxed)),
+            dense_tiles_bitsliced: AtomicU64::new(
+                self.dense_tiles_bitsliced.load(Ordering::Relaxed),
+            ),
+            sparse_tiles_scalar: AtomicU64::new(self.sparse_tiles_scalar.load(Ordering::Relaxed)),
         }
     }
 }
@@ -350,6 +396,8 @@ impl FaultInjector {
             coupled_index: RwLock::new(vec![None; pcs]),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            dense_tiles_bitsliced: AtomicU64::new(0),
+            sparse_tiles_scalar: AtomicU64::new(0),
         }
     }
 
@@ -389,6 +437,20 @@ impl FaultInjector {
         (
             self.cache_hits.load(Ordering::Relaxed),
             self.cache_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Lifetime `(dense, sparse)` kernel-dispatch decisions: range-scan and
+    /// carry tiles sent to the bit-sliced arm vs the scalar arm.
+    ///
+    /// Like [`FaultInjector::tile_cache_stats`], the totals depend on how
+    /// work was scheduled across engine workers, so they belong in a metrics
+    /// registry, never in a deterministic trace.
+    #[must_use]
+    pub fn kernel_dispatch_stats(&self) -> (u64, u64) {
+        (
+            self.dense_tiles_bitsliced.load(Ordering::Relaxed),
+            self.sparse_tiles_scalar.load(Ordering::Relaxed),
         )
     }
 
@@ -573,12 +635,28 @@ impl FaultInjector {
         offset: WordOffset,
         supply: Millivolts,
     ) -> (Word256, Word256) {
+        self.stuck_masks_sel(pc, offset, supply, BackendSel::Scalar)
+    }
+
+    /// Backend-selected [`FaultInjector::stuck_masks`]: the single-word
+    /// entry point of [`crate::MaskKernel::masks`]. Single-word queries do
+    /// not touch the dispatch counters — those track range-scan tiles.
+    pub(crate) fn stuck_masks_sel(
+        &self,
+        pc: PcIndex,
+        offset: WordOffset,
+        supply: Millivolts,
+        sel: BackendSel,
+    ) -> (Word256, Word256) {
         if supply >= self.params.landmarks.v_min {
             return (Word256::ZERO, Word256::ZERO);
         }
         let table = self.tile_table(pc, supply);
         let probs = table.tiles[self.grid.tile_of(offset.0)];
-        self.masks_from_probs(pc, offset.0, probs)
+        let plan = sel
+            .bitsliced_for_tile(probs.p_any0.max(probs.p_any1))
+            .then(|| self.tile_cuts(&probs, false));
+        self.masks_from_probs_sel(pc, offset.0, probs, plan, sel.isa())
     }
 
     /// Reference per-word implementation of [`FaultInjector::stuck_masks`]:
@@ -586,8 +664,20 @@ impl FaultInjector {
     /// scratch for every word. Property tests assert the cached kernel is
     /// bit-identical to this path; the experiment layer can select it via
     /// its traffic execution mode.
+    #[deprecated(note = "use FaultInjector::kernel(...) and MaskKernel::reference_masks")]
     #[must_use]
     pub fn stuck_masks_per_word(
+        &self,
+        pc: PcIndex,
+        offset: WordOffset,
+        supply: Millivolts,
+    ) -> (Word256, Word256) {
+        self.stuck_masks_per_word_impl(pc, offset, supply)
+    }
+
+    /// The body of the deprecated [`FaultInjector::stuck_masks_per_word`]
+    /// shim; stays the scalar oracle every backend is tested against.
+    pub(crate) fn stuck_masks_per_word_impl(
         &self,
         pc: PcIndex,
         offset: WordOffset,
@@ -617,8 +707,17 @@ impl FaultInjector {
     }
 
     /// The gate tests and bit enumeration for one word with its tile
-    /// probabilities already in hand.
-    fn masks_from_probs(&self, pc: PcIndex, w: u64, probs: TileProbs) -> (Word256, Word256) {
+    /// probabilities already in hand. `plan` carries the tile's integer
+    /// cutoffs when the dispatch chose the bit-sliced arm; gate tests stay
+    /// scalar either way (two hashes per word, identical in both arms).
+    fn masks_from_probs_sel(
+        &self,
+        pc: PcIndex,
+        w: u64,
+        probs: TileProbs,
+        plan: Option<TileCuts>,
+        isa: InstructionSet,
+    ) -> (Word256, Word256) {
         if probs.c0 == 0.0 && probs.c1 == 0.0 {
             return (Word256::ZERO, Word256::ZERO);
         }
@@ -630,12 +729,56 @@ impl FaultInjector {
         if !gate0 && !gate1 {
             return (Word256::ZERO, Word256::ZERO);
         }
-        self.enumerate_bits(
-            pc,
-            w,
-            if gate0 { probs.cond0 } else { 0.0 },
-            if gate1 { probs.cond1 } else { 0.0 },
-        )
+        match plan {
+            Some(cuts) => self.enumerate_bits_sliced(
+                pc,
+                w,
+                if gate0 { cuts.cut0 } else { 0 },
+                if gate1 { cuts.cut1 } else { 0 },
+                cuts.class_cut,
+                isa,
+            ),
+            None => self.enumerate_bits(
+                pc,
+                w,
+                if gate0 { probs.cond0 } else { 0.0 },
+                if gate1 { probs.cond1 } else { 0.0 },
+            ),
+        }
+    }
+
+    /// The scalar-arm [`FaultInjector::masks_from_probs_sel`].
+    fn masks_from_probs(&self, pc: PcIndex, w: u64, probs: TileProbs) -> (Word256, Word256) {
+        self.masks_from_probs_sel(pc, w, probs, None, InstructionSet::Portable)
+    }
+
+    /// One tile's probabilities as exact integer cutoffs for the bit-sliced
+    /// arm: the per-voltage field compares bits against the conditional
+    /// thresholds of gated words, the coupled field against the raw class
+    /// probabilities.
+    fn tile_cuts(&self, probs: &TileProbs, coupled: bool) -> TileCuts {
+        let (t0, t1) = if coupled {
+            (probs.c0, probs.c1)
+        } else {
+            (probs.cond0, probs.cond1)
+        };
+        TileCuts {
+            class_cut: unit_cutoff(self.params.stuck0_share),
+            cut0: unit_cutoff(t0),
+            cut1: unit_cutoff(t1),
+        }
+    }
+
+    /// The per-tile dispatch decision of a range scan: `None` keeps the
+    /// scalar arm, `Some` carries the cutoffs for the bit-sliced arm. Bumps
+    /// the lifetime dispatch counters.
+    fn tile_plan(&self, sel: BackendSel, probs: &TileProbs, coupled: bool) -> Option<TileCuts> {
+        if !sel.bitsliced_for_tile(probs.p_any0.max(probs.p_any1)) {
+            self.sparse_tiles_scalar.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        self.dense_tiles_bitsliced.fetch_add(1, Ordering::Relaxed);
+        Some(self.tile_cuts(probs, coupled))
     }
 
     /// The per-bit draws of a gated word against the class-conditional
@@ -657,6 +800,24 @@ impl FaultInjector {
             }
         }
         (stuck0, stuck1)
+    }
+
+    /// The bit-sliced arm of [`FaultInjector::enumerate_bits`]: the word's
+    /// hash prefix is combined once (`combine` folds each suffix part with
+    /// one `mix64`, so `combine(&[.., TAG_BIT, bit])` equals
+    /// `mix64(prefix ^ bit)`), and the 256 bits are generated as `u64`
+    /// bitplanes against the tile's integer cutoffs.
+    fn enumerate_bits_sliced(
+        &self,
+        pc: PcIndex,
+        w: u64,
+        cut0: u64,
+        cut1: u64,
+        class_cut: u64,
+        isa: InstructionSet,
+    ) -> (Word256, Word256) {
+        let prefix = combine(&[self.seed, u64::from(pc.as_u8()), w, TAG_BIT]);
+        bitsliced::bit_planes(prefix, class_cut, cut0, cut1, isa)
     }
 
     /// Applies the fault model to a stored word: what a read at `supply`
@@ -700,12 +861,14 @@ impl FaultInjector {
     }
 
     /// Runs `f` over every faulty word of the range, in unspecified order,
-    /// through the skip-sampling kernel where the geometry is indexed.
-    fn for_each_faulty<F: FnMut(u64, Word256, Word256)>(
+    /// through the skip-sampling kernel where the geometry is indexed, with
+    /// the per-tile backend dispatch of `sel`.
+    fn for_each_faulty_sel<F: FnMut(u64, Word256, Word256)>(
         &self,
         pc: PcIndex,
         words: &Range<u64>,
         supply: Millivolts,
+        sel: BackendSel,
         mut f: F,
     ) {
         if words.is_empty() || supply >= self.params.landmarks.v_min {
@@ -720,10 +883,17 @@ impl FaultInjector {
         let table = self.tile_table(pc, supply);
         let pcu = u64::from(pc.as_u8());
         let Some(index) = self.pc_gate_index(pc) else {
-            // Unindexed fallback: per-word gate hashes over the tile cache.
+            // Unindexed fallback: per-word gate hashes over the tile cache,
+            // the dispatch decision memoized per visited tile.
+            let mut plans: Vec<Option<Option<TileCuts>>> = vec![None; self.grid.tile_count];
             for w in words.clone() {
-                let probs = table.tiles[self.grid.tile_of(w)];
-                let (s0, s1) = self.masks_from_probs(pc, w, probs);
+                let tile = self.grid.tile_of(w);
+                let probs = table.tiles[tile];
+                if probs.c0 == 0.0 && probs.c1 == 0.0 {
+                    continue;
+                }
+                let plan = *plans[tile].get_or_insert_with(|| self.tile_plan(sel, &probs, false));
+                let (s0, s1) = self.masks_from_probs_sel(pc, w, probs, plan, sel.isa());
                 if !(s0.is_zero() && s1.is_zero()) {
                     f(w, s0, s1);
                 }
@@ -734,6 +904,7 @@ impl FaultInjector {
             if probs.c0 == 0.0 && probs.c1 == 0.0 {
                 continue;
             }
+            let plan = self.tile_plan(sel, probs, false);
             // Words whose class-0 gate passes; their class-1 gate is an
             // extra hash test, exactly as in the per-word path.
             for &w32 in index.class0.gated(tile, probs.p_any0) {
@@ -743,8 +914,22 @@ impl FaultInjector {
                 }
                 let gate1 = probs.p_any1 > 0.0
                     && unit(combine(&[self.seed, pcu, w, TAG_GATE1])) < probs.p_any1;
-                let (s0, s1) =
-                    self.enumerate_bits(pc, w, probs.cond0, if gate1 { probs.cond1 } else { 0.0 });
+                let (s0, s1) = match plan {
+                    Some(cuts) => self.enumerate_bits_sliced(
+                        pc,
+                        w,
+                        cuts.cut0,
+                        if gate1 { cuts.cut1 } else { 0 },
+                        cuts.class_cut,
+                        sel.isa(),
+                    ),
+                    None => self.enumerate_bits(
+                        pc,
+                        w,
+                        probs.cond0,
+                        if gate1 { probs.cond1 } else { 0.0 },
+                    ),
+                };
                 if !(s0.is_zero() && s1.is_zero()) {
                     f(w, s0, s1);
                 }
@@ -762,7 +947,12 @@ impl FaultInjector {
                 if gate0 {
                     continue;
                 }
-                let (s0, s1) = self.enumerate_bits(pc, w, 0.0, probs.cond1);
+                let (s0, s1) = match plan {
+                    Some(cuts) => {
+                        self.enumerate_bits_sliced(pc, w, 0, cuts.cut1, cuts.class_cut, sel.isa())
+                    }
+                    None => self.enumerate_bits(pc, w, 0.0, probs.cond1),
+                };
                 if !(s0.is_zero() && s1.is_zero()) {
                     f(w, s0, s1);
                 }
@@ -774,11 +964,23 @@ impl FaultInjector {
     /// one pseudo channel: `(stuck-at-0, stuck-at-1)`.
     ///
     /// This is what a write/read-back test with both data patterns measures.
+    #[deprecated(note = "use FaultInjector::kernel(...) and MaskKernel::count_range")]
     #[must_use]
     pub fn count_range(&self, pc: PcIndex, words: Range<u64>, supply: Millivolts) -> (u64, u64) {
+        self.count_range_sel(pc, words, supply, BackendSel::Scalar)
+    }
+
+    /// Backend-selected [`FaultInjector::count_range`].
+    pub(crate) fn count_range_sel(
+        &self,
+        pc: PcIndex,
+        words: Range<u64>,
+        supply: Millivolts,
+        sel: BackendSel,
+    ) -> (u64, u64) {
         let mut n0 = 0u64;
         let mut n1 = 0u64;
-        self.for_each_faulty(pc, &words, supply, |_, s0, s1| {
+        self.for_each_faulty_sel(pc, &words, supply, sel, |_, s0, s1| {
             n0 += u64::from(s0.count_ones());
             n1 += u64::from(s1.count_ones());
         });
@@ -789,6 +991,7 @@ impl FaultInjector {
     /// yielding `(offset, stuck0, stuck1)` per faulty word. This is the
     /// bulk-kernel entry point the cached-mask execution mode reuses across
     /// batch passes and data patterns.
+    #[deprecated(note = "use FaultInjector::kernel(...) and MaskKernel::faulty_words")]
     #[must_use]
     pub fn faulty_words(
         &self,
@@ -796,8 +999,19 @@ impl FaultInjector {
         words: Range<u64>,
         supply: Millivolts,
     ) -> Vec<(WordOffset, Word256, Word256)> {
+        self.faulty_words_sel(pc, words, supply, BackendSel::Scalar)
+    }
+
+    /// Backend-selected [`FaultInjector::faulty_words`].
+    pub(crate) fn faulty_words_sel(
+        &self,
+        pc: PcIndex,
+        words: Range<u64>,
+        supply: Millivolts,
+        sel: BackendSel,
+    ) -> Vec<(WordOffset, Word256, Word256)> {
         let mut out = Vec::new();
-        self.for_each_faulty(pc, &words, supply, |w, s0, s1| {
+        self.for_each_faulty_sel(pc, &words, supply, sel, |w, s0, s1| {
             out.push((WordOffset(w), s0, s1));
         });
         out.sort_unstable_by_key(|&(offset, _, _)| offset.0);
@@ -811,6 +1025,7 @@ impl FaultInjector {
     /// into order-independent aggregates (sums, counts) on the fly — the
     /// dense-fault regime where a collected vector would rival the size of
     /// the scanned range itself.
+    #[deprecated(note = "use FaultInjector::kernel(...) and MaskKernel::for_each_faulty_word")]
     pub fn for_each_faulty_word<F: FnMut(WordOffset, Word256, Word256)>(
         &self,
         pc: PcIndex,
@@ -818,7 +1033,22 @@ impl FaultInjector {
         supply: Millivolts,
         mut f: F,
     ) {
-        self.for_each_faulty(pc, &words, supply, |w, s0, s1| {
+        self.for_each_faulty_word_sel(pc, words, supply, BackendSel::Scalar, &mut |o, s0, s1| {
+            f(o, s0, s1);
+        });
+    }
+
+    /// Backend-selected [`FaultInjector::for_each_faulty_word`]. Takes a
+    /// `dyn` callback so the [`crate::MaskKernel`] trait stays object-safe.
+    pub(crate) fn for_each_faulty_word_sel(
+        &self,
+        pc: PcIndex,
+        words: Range<u64>,
+        supply: Millivolts,
+        sel: BackendSel,
+        f: &mut dyn FnMut(WordOffset, Word256, Word256),
+    ) {
+        self.for_each_faulty_sel(pc, &words, supply, sel, |w, s0, s1| {
             f(WordOffset(w), s0, s1);
         });
     }
@@ -837,7 +1067,10 @@ impl FaultInjector {
             return Box::new(std::iter::empty());
         }
         if self.grid.words_per_pc <= MAX_INDEXED_WORDS_PER_PC {
-            return Box::new(self.faulty_words(pc, words, supply).into_iter());
+            return Box::new(
+                self.faulty_words_sel(pc, words, supply, BackendSel::Scalar)
+                    .into_iter(),
+            );
         }
         // Unindexed geometries keep the lazy walk (no allocation
         // proportional to the fault count).
@@ -879,6 +1112,37 @@ impl FaultInjector {
             }
         }
         (stuck0, stuck1, next0, next1)
+    }
+
+    /// The bit-sliced arm of [`FaultInjector::coupled_word`]: whole-word
+    /// counter hashing against the tile's integer cutoffs, the per-class
+    /// minimum still-clean raw keys converted back to the exact `f64`
+    /// thresholds the scalar arm tracks (monotone conversion, so the
+    /// minimum commutes with it).
+    fn coupled_word_sliced(
+        &self,
+        pc: PcIndex,
+        w: u64,
+        cuts: TileCuts,
+    ) -> (Word256, Word256, f64, f64) {
+        let prefix = combine(&[self.seed, u64::from(pc.as_u8()), w, TAG_CBIT]);
+        let (s0, s1, min0, min1) =
+            bitsliced::coupled_word(prefix, cuts.class_cut, cuts.cut0, cuts.cut1);
+        (s0, s1, raw_min_threshold(min0), raw_min_threshold(min1))
+    }
+
+    /// Dispatches one coupled word through the tile's plan.
+    fn coupled_word_sel(
+        &self,
+        pc: PcIndex,
+        w: u64,
+        probs: &TileProbs,
+        plan: Option<TileCuts>,
+    ) -> (Word256, Word256, f64, f64) {
+        match plan {
+            Some(cuts) => self.coupled_word_sliced(pc, w, cuts),
+            None => self.coupled_word(pc, w, probs.c0, probs.c1),
+        }
     }
 
     /// The coupled-field activation index of `pc`, or `None` for geometries
@@ -964,12 +1228,25 @@ impl FaultInjector {
     /// construction. The expected per-bit fault rate equals the legacy
     /// field's (`share_π × c_π`), so the two fields are statistically
     /// interchangeable at any single voltage.
+    #[deprecated(note = "use FaultInjector::kernel(...) and MaskKernel::masks")]
     #[must_use]
     pub fn coupled_stuck_masks(
         &self,
         pc: PcIndex,
         offset: WordOffset,
         supply: Millivolts,
+    ) -> (Word256, Word256) {
+        self.coupled_stuck_masks_sel(pc, offset, supply, BackendSel::Scalar)
+    }
+
+    /// Backend-selected [`FaultInjector::coupled_stuck_masks`].
+    /// Single-word queries do not touch the dispatch counters.
+    pub(crate) fn coupled_stuck_masks_sel(
+        &self,
+        pc: PcIndex,
+        offset: WordOffset,
+        supply: Millivolts,
+        sel: BackendSel,
     ) -> (Word256, Word256) {
         if supply >= self.params.landmarks.v_min {
             return (Word256::ZERO, Word256::ZERO);
@@ -979,7 +1256,10 @@ impl FaultInjector {
         if probs.c0 == 0.0 && probs.c1 == 0.0 {
             return (Word256::ZERO, Word256::ZERO);
         }
-        let (s0, s1, _, _) = self.coupled_word(pc, offset.0, probs.c0, probs.c1);
+        let plan = sel
+            .bitsliced_for_tile(probs.p_any0.max(probs.p_any1))
+            .then(|| self.tile_cuts(&probs, true));
+        let (s0, s1, _, _) = self.coupled_word_sel(pc, offset.0, &probs, plan);
         (s0, s1)
     }
 
@@ -991,6 +1271,7 @@ impl FaultInjector {
         pc: PcIndex,
         words: &Range<u64>,
         supply: Millivolts,
+        sel: BackendSel,
         mut f: F,
     ) {
         if words.is_empty() || supply >= self.params.landmarks.v_min {
@@ -1004,13 +1285,17 @@ impl FaultInjector {
         );
         let table = self.tile_table(pc, supply);
         let Some(index) = self.pc_coupled_index(pc) else {
-            // Unindexed fallback: per-word bit walk over the tile cache.
+            // Unindexed fallback: per-word bit walk over the tile cache,
+            // the dispatch decision memoized per visited tile.
+            let mut plans: Vec<Option<Option<TileCuts>>> = vec![None; self.grid.tile_count];
             for w in words.clone() {
-                let probs = table.tiles[self.grid.tile_of(w)];
+                let tile = self.grid.tile_of(w);
+                let probs = table.tiles[tile];
                 if probs.c0 == 0.0 && probs.c1 == 0.0 {
                     continue;
                 }
-                let (s0, s1, n0, n1) = self.coupled_word(pc, w, probs.c0, probs.c1);
+                let plan = *plans[tile].get_or_insert_with(|| self.tile_plan(sel, &probs, true));
+                let (s0, s1, n0, n1) = self.coupled_word_sel(pc, w, &probs, plan);
                 if !(s0.is_zero() && s1.is_zero()) {
                     f(w, s0, s1, n0, n1);
                 }
@@ -1021,6 +1306,7 @@ impl FaultInjector {
             if probs.c0 == 0.0 && probs.c1 == 0.0 {
                 continue;
             }
+            let plan = self.tile_plan(sel, probs, true);
             // Words whose class-0 minimum threshold is crossed; each has at
             // least one stuck-at-0 bit by the prefix predicate.
             for &w32 in index.class0.active(tile, probs.c0) {
@@ -1028,7 +1314,7 @@ impl FaultInjector {
                 if !words.contains(&w) {
                     continue;
                 }
-                let (s0, s1, n0, n1) = self.coupled_word(pc, w, probs.c0, probs.c1);
+                let (s0, s1, n0, n1) = self.coupled_word_sel(pc, w, probs, plan);
                 f(w, s0, s1, n0, n1);
             }
             // Words active only through class 1 (class-0-active words were
@@ -1042,7 +1328,7 @@ impl FaultInjector {
                 if index.class0.by_word[w32 as usize] < probs.c0 {
                     continue;
                 }
-                let (s0, s1, n0, n1) = self.coupled_word(pc, w, probs.c0, probs.c1);
+                let (s0, s1, n0, n1) = self.coupled_word_sel(pc, w, probs, plan);
                 f(w, s0, s1, n0, n1);
             }
         }
@@ -1051,6 +1337,7 @@ impl FaultInjector {
     /// Collects the coupled-field faulty words of a range in ascending
     /// offset order — the [`crate::FaultFieldMode::MonotoneCoupled`]
     /// counterpart of [`FaultInjector::faulty_words`].
+    #[deprecated(note = "use FaultInjector::kernel(...) and MaskKernel::faulty_words")]
     #[must_use]
     pub fn coupled_faulty_words(
         &self,
@@ -1058,8 +1345,19 @@ impl FaultInjector {
         words: Range<u64>,
         supply: Millivolts,
     ) -> Vec<(WordOffset, Word256, Word256)> {
+        self.coupled_faulty_words_sel(pc, words, supply, BackendSel::Scalar)
+    }
+
+    /// Backend-selected [`FaultInjector::coupled_faulty_words`].
+    pub(crate) fn coupled_faulty_words_sel(
+        &self,
+        pc: PcIndex,
+        words: Range<u64>,
+        supply: Millivolts,
+        sel: BackendSel,
+    ) -> Vec<(WordOffset, Word256, Word256)> {
         let mut out = Vec::new();
-        self.coupled_for_each_active(pc, &words, supply, |w, s0, s1, _, _| {
+        self.coupled_for_each_active(pc, &words, supply, sel, |w, s0, s1, _, _| {
             out.push((WordOffset(w), s0, s1));
         });
         out.sort_unstable_by_key(|&(offset, _, _)| offset.0);
@@ -1071,6 +1369,7 @@ impl FaultInjector {
     /// [`crate::FaultFieldMode::MonotoneCoupled`] counterpart of
     /// [`FaultInjector::for_each_faulty_word`] for dense-regime streaming
     /// folds.
+    #[deprecated(note = "use FaultInjector::kernel(...) and MaskKernel::for_each_faulty_word")]
     pub fn coupled_for_each_faulty<F: FnMut(WordOffset, Word256, Word256)>(
         &self,
         pc: PcIndex,
@@ -1078,7 +1377,28 @@ impl FaultInjector {
         supply: Millivolts,
         mut f: F,
     ) {
-        self.coupled_for_each_active(pc, &words, supply, |w, s0, s1, _, _| {
+        self.coupled_for_each_faulty_sel(
+            pc,
+            words,
+            supply,
+            BackendSel::Scalar,
+            &mut |o, s0, s1| {
+                f(o, s0, s1);
+            },
+        );
+    }
+
+    /// Backend-selected [`FaultInjector::coupled_for_each_faulty`]. Takes a
+    /// `dyn` callback so the [`crate::MaskKernel`] trait stays object-safe.
+    pub(crate) fn coupled_for_each_faulty_sel(
+        &self,
+        pc: PcIndex,
+        words: Range<u64>,
+        supply: Millivolts,
+        sel: BackendSel,
+        f: &mut dyn FnMut(WordOffset, Word256, Word256),
+    ) {
+        self.coupled_for_each_active(pc, &words, supply, sel, |w, s0, s1, _, _| {
             f(WordOffset(w), s0, s1);
         });
     }
@@ -1109,6 +1429,7 @@ impl FaultInjector {
 
     /// Counts coupled-field faulty bits of each polarity over a contiguous
     /// word range: `(stuck-at-0, stuck-at-1)`.
+    #[deprecated(note = "use FaultInjector::kernel(...) and MaskKernel::count_range")]
     #[must_use]
     pub fn coupled_count_range(
         &self,
@@ -1116,9 +1437,20 @@ impl FaultInjector {
         words: Range<u64>,
         supply: Millivolts,
     ) -> (u64, u64) {
+        self.coupled_count_range_sel(pc, words, supply, BackendSel::Scalar)
+    }
+
+    /// Backend-selected [`FaultInjector::coupled_count_range`].
+    pub(crate) fn coupled_count_range_sel(
+        &self,
+        pc: PcIndex,
+        words: Range<u64>,
+        supply: Millivolts,
+        sel: BackendSel,
+    ) -> (u64, u64) {
         let mut n0 = 0u64;
         let mut n1 = 0u64;
-        self.coupled_for_each_active(pc, &words, supply, |_, s0, s1, _, _| {
+        self.coupled_for_each_active(pc, &words, supply, sel, |_, s0, s1, _, _| {
             n0 += u64::from(s0.count_ones());
             n1 += u64::from(s1.count_ones());
         });
@@ -1263,6 +1595,7 @@ impl FaultInjector {
     /// storage. Both tiers produce bit-identical masks.
     ///
     /// The build is accounted as `activated` words in the returned stats.
+    #[deprecated(note = "use FaultInjector::kernel(...) and MaskKernel::carry_start")]
     #[must_use]
     pub fn coupled_carry_start(
         &self,
@@ -1270,12 +1603,23 @@ impl FaultInjector {
         words: Range<u64>,
         supply: Millivolts,
     ) -> (PcSweepCarry, CarryStats) {
+        self.coupled_carry_start_sel(pc, words, supply, BackendSel::Scalar)
+    }
+
+    /// Backend-selected [`FaultInjector::coupled_carry_start`].
+    pub(crate) fn coupled_carry_start_sel(
+        &self,
+        pc: PcIndex,
+        words: Range<u64>,
+        supply: Millivolts,
+        sel: BackendSel,
+    ) -> (PcSweepCarry, CarryStats) {
         let len = words.end.saturating_sub(words.start);
         if len > 0 && len <= MAX_BIT_CARRY_WORDS {
-            return self.coupled_bit_carry_start(pc, words, supply);
+            return self.coupled_bit_carry_start(pc, words, supply, sel);
         }
         let mut entries = Vec::new();
-        self.coupled_for_each_active(pc, &words, supply, |w, s0, s1, n0, n1| {
+        self.coupled_for_each_active(pc, &words, supply, sel, |w, s0, s1, n0, n1| {
             entries.push(CarryEntry {
                 offset: w as u32,
                 stuck0: s0,
@@ -1307,11 +1651,17 @@ impl FaultInjector {
     /// The bit-granular carry build: one pass over every bit of the range,
     /// setting the masks faulty at `supply` and recording each still-clean
     /// bit's raw threshold key into its tile-and-class pending list.
+    ///
+    /// On dense tiles the bit-sliced arm hashes each word as whole 64-bit
+    /// lanes ([`bitsliced::coupled_scan`]) and fills the pending lists from
+    /// the recorded raw keys; the final per-list sort makes the push order
+    /// immaterial, so both arms build identical carries.
     fn coupled_bit_carry_start(
         &self,
         pc: PcIndex,
         words: Range<u64>,
         supply: Millivolts,
+        sel: BackendSel,
     ) -> (PcSweepCarry, CarryStats) {
         assert!(
             words.end <= self.grid.words_per_pc,
@@ -1327,28 +1677,77 @@ impl FaultInjector {
         let mut class1 = vec![PendingClass::default(); self.grid.tile_count];
         let mut entry_of = vec![u32::MAX; len];
         let mut entries = Vec::new();
+        let mut plans: Vec<Option<Option<TileCuts>>> = vec![None; self.grid.tile_count];
+        let mut raws = [0u32; 256];
         for w in words.clone() {
             let tile = self.grid.tile_of(w);
-            let (c0, c1) = tiles
-                .as_ref()
-                .map_or((0.0, 0.0), |t| (t.tiles[tile].c0, t.tiles[tile].c1));
             let slot = (w - words.start) as u32;
+            // Inside the guardband there is no tile table; every bit is
+            // clean and the scalar walk records all thresholds.
+            let plan = match tiles.as_ref() {
+                Some(t) => {
+                    let probs = t.tiles[tile];
+                    *plans[tile].get_or_insert_with(|| self.tile_plan(sel, &probs, true))
+                }
+                None => None,
+            };
             let mut stuck0 = Word256::ZERO;
             let mut stuck1 = Word256::ZERO;
-            for bit in 0u32..Word256::BITS {
-                let h = combine(&[self.seed, pcu, w, TAG_CBIT, u64::from(bit)]);
-                let (class_u, t) = unit_pair(h);
-                let raw = (h >> 32) as u32;
-                if class_u < s0_share {
-                    if t < c0 {
-                        stuck0 = stuck0.with_bit_set(bit);
-                    } else {
-                        class0[tile].bits.push((raw, (slot << 8) | bit));
+            match plan {
+                Some(cuts) => {
+                    let prefix = combine(&[self.seed, pcu, w, TAG_CBIT]);
+                    let (class_plane, s0, s1) = bitsliced::coupled_scan(
+                        prefix,
+                        cuts.class_cut,
+                        cuts.cut0,
+                        cuts.cut1,
+                        &mut raws,
+                    );
+                    stuck0 = s0;
+                    stuck1 = s1;
+                    // Still-clean bits per class, drained lane by lane.
+                    let clean0 = class_plane & !s0;
+                    let clean1 = !class_plane & !s1;
+                    for (lane, (&l0, &l1)) in clean0.0.iter().zip(clean1.0.iter()).enumerate() {
+                        let base = (lane * 64) as u32;
+                        let mut m = l0;
+                        while m != 0 {
+                            let bit = base + m.trailing_zeros();
+                            class0[tile]
+                                .bits
+                                .push((raws[bit as usize], (slot << 8) | bit));
+                            m &= m - 1;
+                        }
+                        let mut m = l1;
+                        while m != 0 {
+                            let bit = base + m.trailing_zeros();
+                            class1[tile]
+                                .bits
+                                .push((raws[bit as usize], (slot << 8) | bit));
+                            m &= m - 1;
+                        }
                     }
-                } else if t < c1 {
-                    stuck1 = stuck1.with_bit_set(bit);
-                } else {
-                    class1[tile].bits.push((raw, (slot << 8) | bit));
+                }
+                None => {
+                    let (c0, c1) = tiles
+                        .as_ref()
+                        .map_or((0.0, 0.0), |t| (t.tiles[tile].c0, t.tiles[tile].c1));
+                    for bit in 0u32..Word256::BITS {
+                        let h = combine(&[self.seed, pcu, w, TAG_CBIT, u64::from(bit)]);
+                        let (class_u, t) = unit_pair(h);
+                        let raw = (h >> 32) as u32;
+                        if class_u < s0_share {
+                            if t < c0 {
+                                stuck0 = stuck0.with_bit_set(bit);
+                            } else {
+                                class0[tile].bits.push((raw, (slot << 8) | bit));
+                            }
+                        } else if t < c1 {
+                            stuck1 = stuck1.with_bit_set(bit);
+                        } else {
+                            class1[tile].bits.push((raw, (slot << 8) | bit));
+                        }
+                    }
                 }
             }
             if !(stuck0.is_zero() && stuck1.is_zero()) {
@@ -1412,13 +1811,25 @@ impl FaultInjector {
     /// is crossed, in which case its 256 bits are re-enumerated; newly
     /// activated words are appended from the activation index (the
     /// stateful counterpart of [`FaultInjector::faulty_words_delta`]).
+    #[deprecated(note = "use FaultInjector::kernel(...) and MaskKernel::carry_advance")]
     pub fn coupled_carry_advance(
         &self,
         carry: &mut PcSweepCarry,
         supply: Millivolts,
     ) -> CarryStats {
+        self.coupled_carry_advance_sel(carry, supply, BackendSel::Scalar)
+    }
+
+    /// Backend-selected [`FaultInjector::coupled_carry_advance`].
+    pub(crate) fn coupled_carry_advance_sel(
+        &self,
+        carry: &mut PcSweepCarry,
+        supply: Millivolts,
+        sel: BackendSel,
+    ) -> CarryStats {
         if supply > carry.voltage || carry.temperature != self.temperature {
-            let (fresh, stats) = self.coupled_carry_start(carry.pc, carry.words.clone(), supply);
+            let (fresh, stats) =
+                self.coupled_carry_start_sel(carry.pc, carry.words.clone(), supply, sel);
             *carry = fresh;
             return stats;
         }
@@ -1448,13 +1859,19 @@ impl FaultInjector {
                 .map_or((0.0, 0.0), |t| (t[tile].c0, t[tile].c1))
         };
         let mut stats = CarryStats::default();
+        // One dispatch decision per tile for the whole advance (refresh and
+        // activation loops share the memo); only tiles that actually hash a
+        // word are decided and counted.
+        let mut plans: Vec<Option<Option<TileCuts>>> = vec![None; self.grid.tile_count];
         // (a) Refresh carried words whose next clean threshold was crossed;
         // monotonicity guarantees existing mask bits never disappear.
         for entry in &mut carry.entries {
-            let probs = table.tiles[self.grid.tile_of(u64::from(entry.offset))];
+            let tile = self.grid.tile_of(u64::from(entry.offset));
+            let probs = table.tiles[tile];
             if entry.next0 < probs.c0 || entry.next1 < probs.c1 {
+                let plan = *plans[tile].get_or_insert_with(|| self.tile_plan(sel, &probs, true));
                 let (s0, s1, n0, n1) =
-                    self.coupled_word(pc, u64::from(entry.offset), probs.c0, probs.c1);
+                    self.coupled_word_sel(pc, u64::from(entry.offset), &probs, plan);
                 entry.stuck0 = s0;
                 entry.stuck1 = s1;
                 entry.next0 = n0;
@@ -1480,7 +1897,8 @@ impl FaultInjector {
                     if index.class1.by_word[w32 as usize] < c1p {
                         continue;
                     }
-                    let (s0, s1, n0, n1) = self.coupled_word(pc, w, probs.c0, probs.c1);
+                    let plan = *plans[tile].get_or_insert_with(|| self.tile_plan(sel, probs, true));
+                    let (s0, s1, n0, n1) = self.coupled_word_sel(pc, w, probs, plan);
                     fresh.push(CarryEntry {
                         offset: w32,
                         stuck0: s0,
@@ -1498,7 +1916,8 @@ impl FaultInjector {
                     if index.class0.by_word[w32 as usize] < probs.c0 {
                         continue;
                     }
-                    let (s0, s1, n0, n1) = self.coupled_word(pc, w, probs.c0, probs.c1);
+                    let plan = *plans[tile].get_or_insert_with(|| self.tile_plan(sel, probs, true));
+                    let (s0, s1, n0, n1) = self.coupled_word_sel(pc, w, probs, plan);
                     fresh.push(CarryEntry {
                         offset: w32,
                         stuck0: s0,
@@ -1518,11 +1937,13 @@ impl FaultInjector {
                     carried.next();
                     continue;
                 }
-                let probs = table.tiles[self.grid.tile_of(w)];
+                let tile = self.grid.tile_of(w);
+                let probs = table.tiles[tile];
                 if probs.c0 == 0.0 && probs.c1 == 0.0 {
                     continue;
                 }
-                let (s0, s1, n0, n1) = self.coupled_word(pc, w, probs.c0, probs.c1);
+                let plan = *plans[tile].get_or_insert_with(|| self.tile_plan(sel, &probs, true));
+                let (s0, s1, n0, n1) = self.coupled_word_sel(pc, w, &probs, plan);
                 if !(s0.is_zero() && s1.is_zero()) {
                     fresh.push(CarryEntry {
                         offset: w as u32,
@@ -1663,6 +2084,9 @@ fn p_any(p_bit: f64) -> f64 {
 }
 
 #[cfg(test)]
+// The legacy entry points stay under test for their deprecation release:
+// they are the scalar reference the kernel backends are compared against.
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

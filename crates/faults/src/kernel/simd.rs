@@ -1,0 +1,153 @@
+//! The AVX2 tier of the bit-sliced kernel: four 64-bit hash lanes per
+//! instruction, with the SplitMix64 finalizer's 64×64 multiplies built from
+//! 32-bit partial products (`vpmuludq`) and the comparison results
+//! extracted four flags at a time through the sign-bit movemask.
+//!
+//! This is the only unsafe code in the crate, confined to this module and
+//! reached exclusively through [`bit_planes_avx2`], which is only called
+//! with [`InstructionSet::Avx2`](super::InstructionSet::Avx2) — a value
+//! [`InstructionSet::detect`](super::InstructionSet::detect) constructs
+//! after the runtime CPUID probe. All comparison operands fit in 32 bits
+//! (hash halves) or 33 bits (cutoffs, at most `2³²`), so the signed
+//! `vpcmpgtq` compare is exact for the unsigned quantities involved.
+
+use std::arch::x86_64::{
+    __m256i, _mm256_add_epi64, _mm256_and_si256, _mm256_andnot_si256, _mm256_castsi256_pd,
+    _mm256_cmpgt_epi64, _mm256_movemask_pd, _mm256_mul_epu32, _mm256_set1_epi64x,
+    _mm256_set_epi64x, _mm256_slli_epi64, _mm256_srli_epi64, _mm256_xor_si256,
+};
+
+use hbm_device::Word256;
+
+/// The AVX2 [`super::bitsliced::bit_planes`] tier. Safe wrapper: the
+/// target-feature entry is only reached after the caller's runtime probe,
+/// re-checked here in debug builds.
+pub(crate) fn bit_planes_avx2(
+    prefix: u64,
+    class_cut: u64,
+    cut0: u64,
+    cut1: u64,
+) -> (Word256, Word256) {
+    debug_assert!(
+        std::arch::is_x86_feature_detected!("avx2"),
+        "AVX2 kernel dispatched without hardware support"
+    );
+    // SAFETY: this path is only selected when `InstructionSet::detect`
+    // observed AVX2 support on the running CPU.
+    unsafe { bit_planes_avx2_inner(prefix, class_cut, cut0, cut1) }
+}
+
+/// # Safety
+///
+/// The running CPU must support AVX2.
+#[target_feature(enable = "avx2")]
+unsafe fn bit_planes_avx2_inner(
+    prefix: u64,
+    class_cut: u64,
+    cut0: u64,
+    cut1: u64,
+) -> (Word256, Word256) {
+    // SAFETY: every intrinsic below is an AVX2 register operation (no
+    // memory access beyond the local arrays), valid under the function's
+    // AVX2 requirement.
+    unsafe {
+        let prefix_v = _mm256_set1_epi64x(prefix as i64);
+        let class_v = _mm256_set1_epi64x(class_cut as i64);
+        let cut0_v = _mm256_set1_epi64x(cut0 as i64);
+        let cut1_v = _mm256_set1_epi64x(cut1 as i64);
+        let lo_mask = _mm256_set1_epi64x(0xFFFF_FFFF);
+        let step = _mm256_set_epi64x(3, 2, 1, 0);
+
+        let mut plane0 = [0u64; 4];
+        let mut plane1 = [0u64; 4];
+        for (lane, (p0, p1)) in plane0.iter_mut().zip(plane1.iter_mut()).enumerate() {
+            let base = lane as u64 * 64;
+            let (mut m0, mut m1) = (0u64, 0u64);
+            let mut b = 0u64;
+            while b < 64 {
+                let idx = _mm256_add_epi64(step, _mm256_set1_epi64x((base + b) as i64));
+                let h = mix64x4(_mm256_xor_si256(prefix_v, idx));
+                let lo = _mm256_and_si256(h, lo_mask);
+                let hi = _mm256_srli_epi64(h, 32);
+                // Unsigned `<` via signed compare: both sides are < 2³³.
+                let is0 = _mm256_cmpgt_epi64(class_v, lo);
+                let f0 = _mm256_and_si256(is0, _mm256_cmpgt_epi64(cut0_v, hi));
+                let f1 = _mm256_andnot_si256(is0, _mm256_cmpgt_epi64(cut1_v, hi));
+                // Lane k's flag (its sign bit) lands in movemask bit k, so
+                // the four flags pack directly into plane bits b..b+3.
+                m0 |= (_mm256_movemask_pd(_mm256_castsi256_pd(f0)) as u64 & 0xF) << b;
+                m1 |= (_mm256_movemask_pd(_mm256_castsi256_pd(f1)) as u64 & 0xF) << b;
+                b += 4;
+            }
+            *p0 = m0;
+            *p1 = m1;
+        }
+        (Word256(plane0), Word256(plane1))
+    }
+}
+
+/// Four SplitMix64 finalizers at once; lane-for-lane identical to
+/// [`crate::hash::mix64`].
+#[target_feature(enable = "avx2")]
+unsafe fn mix64x4(x: __m256i) -> __m256i {
+    // SAFETY: register-only AVX2 intrinsics under the AVX2 requirement.
+    unsafe {
+        let mut x = _mm256_add_epi64(x, _mm256_set1_epi64x(0x9E37_79B9_7F4A_7C15_u64 as i64));
+        x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 30));
+        x = mul64(x, 0xBF58_476D_1CE4_E5B9);
+        x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 27));
+        x = mul64(x, 0x94D0_49BB_1331_11EB);
+        _mm256_xor_si256(x, _mm256_srli_epi64(x, 31))
+    }
+}
+
+/// Lane-wise wrapping 64×64→64 multiply by a constant. AVX2 has no 64-bit
+/// multiply, so build it from 32-bit partial products: with `a = a_hi·2³² +
+/// a_lo` and `b` likewise, the low 64 bits of `a·b` are
+/// `a_lo·b_lo + ((a_lo·b_hi + a_hi·b_lo) << 32)`.
+#[target_feature(enable = "avx2")]
+unsafe fn mul64(a: __m256i, b: u64) -> __m256i {
+    // Register-only AVX2 intrinsics: safe calls inside a matching
+    // `#[target_feature]` function (the `unsafe fn` records the caller's
+    // obligation that the CPU supports AVX2).
+    let b_lo = _mm256_set1_epi64x((b & 0xFFFF_FFFF) as i64);
+    let b_hi = _mm256_set1_epi64x((b >> 32) as i64);
+    let a_hi = _mm256_srli_epi64(a, 32);
+    let low = _mm256_mul_epu32(a, b_lo);
+    let cross = _mm256_add_epi64(_mm256_mul_epu32(a, b_hi), _mm256_mul_epu32(a_hi, b_lo));
+    _mm256_add_epi64(low, _mm256_slli_epi64(cross, 32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::bitsliced::bit_planes_portable;
+    use super::*;
+    use crate::hash::combine;
+
+    #[test]
+    fn avx2_planes_match_portable_planes() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return; // nothing to check on this host
+        }
+        for seed in 0..64u64 {
+            let prefix = combine(&[seed, seed % 7, seed * 31, 0x6269_7400]);
+            for (class_cut, cut0, cut1) in [
+                (0, 0, 0),
+                (1 << 32, 1 << 32, 1 << 32),
+                (1 << 31, 1 << 20, 1 << 28),
+                (u64::from(u32::MAX), 1, 1 << 31),
+                (
+                    seed.wrapping_mul(0x9E37_79B9) & 0xFFFF_FFFF,
+                    seed << 20,
+                    seed << 24,
+                ),
+            ] {
+                assert_eq!(
+                    bit_planes_avx2(prefix, class_cut, cut0, cut1),
+                    bit_planes_portable(prefix, class_cut, cut0, cut1),
+                    "diverged at seed {seed}, cuts ({class_cut}, {cut0}, {cut1})"
+                );
+            }
+        }
+    }
+}

@@ -55,7 +55,10 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the AVX2 tier of the bit-sliced kernel needs
+// `std::arch` intrinsics, and `kernel::simd` is the one module allowed to
+// use them (behind a runtime feature probe). Everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod analytic;
@@ -64,6 +67,7 @@ mod fault_map;
 mod field;
 pub mod hash;
 mod injector;
+mod kernel;
 mod landmarks;
 pub mod math;
 mod params;
@@ -76,6 +80,7 @@ pub use error::FaultModelError;
 pub use fault_map::{FaultMap, PcRateEntry, PcRateProfile};
 pub use field::{CarryStats, FaultFieldMode, PcSweepCarry};
 pub use injector::{FaultInjector, FaultPolarity};
+pub use kernel::{FieldKernel, InstructionSet, KernelBackend, MaskKernel};
 pub use landmarks::VoltageLandmarks;
 pub use params::FaultModelParams;
 pub use response::ResponseCurve;

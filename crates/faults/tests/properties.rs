@@ -1,7 +1,15 @@
 //! Property-based tests of the fault model's core guarantees.
 
+// The deprecated per-strategy entry points stay under test for their
+// deprecation release: they are the scalar reference the kernel API's
+// backends are checked against.
+#![allow(deprecated)]
+
 use hbm_device::{HbmGeometry, PcIndex, Word256, WordOffset};
-use hbm_faults::{FaultInjector, FaultMap, FaultModelParams, RatePredictor};
+use hbm_faults::{
+    FaultFieldMode, FaultInjector, FaultMap, FaultModelParams, KernelBackend, MaskKernel,
+    RatePredictor,
+};
 use hbm_units::{Celsius, Millivolts, Ratio};
 use proptest::prelude::*;
 
@@ -231,6 +239,100 @@ proptest! {
                 expected,
                 "delta enumeration diverged at {}", v
             );
+        }
+    }
+
+    /// Tentpole guarantee of the bit-sliced kernel: every [`MaskKernel`]
+    /// backend is bit-identical to the scalar oracle — same enumerations,
+    /// same counts, same per-word masks — in both fault fields, for any
+    /// seed, range, voltage and temperature.
+    #[test]
+    fn bitsliced_matches_scalar(
+        seed in any::<u64>(),
+        pc_index in 0u8..32,
+        start in 0u64..7000,
+        len in 1u64..768,
+        mv in 810u32..1000,
+        temp_tenths in 250u32..=550,
+    ) {
+        let mut inj = injector(seed);
+        inj.set_temperature(Celsius(f64::from(temp_tenths) / 10.0));
+        let pc = PcIndex::new(pc_index).unwrap();
+        let v = Millivolts(mv);
+        let range = start..(start + len).min(8192);
+        for field in [FaultFieldMode::PerVoltage, FaultFieldMode::MonotoneCoupled] {
+            let scalar = inj.kernel(field, KernelBackend::Scalar);
+            for backend in [KernelBackend::BitSliced, KernelBackend::Auto] {
+                let kernel = inj.kernel(field, backend);
+                prop_assert_eq!(
+                    kernel.faulty_words(pc, range.clone(), v),
+                    scalar.faulty_words(pc, range.clone(), v),
+                    "{:?}/{:?} enumeration diverged at {}", field, backend, v
+                );
+                prop_assert_eq!(
+                    kernel.count_range(pc, range.clone(), v),
+                    scalar.count_range(pc, range.clone(), v),
+                    "{:?}/{:?} counts diverged at {}", field, backend, v
+                );
+                prop_assert_eq!(
+                    kernel.masks(pc, WordOffset(start), v),
+                    kernel.reference_masks(pc, WordOffset(start), v),
+                    "{:?}/{:?} single-word masks diverged at {}", field, backend, v
+                );
+            }
+        }
+    }
+
+    /// Carried descending sweeps are backend-independent: starting and
+    /// advancing a coupled carry under the bit-sliced or auto backend
+    /// yields the same masks AND the same carry accounting as the scalar
+    /// backend at every point of a random descent.
+    #[test]
+    fn bitsliced_carried_advances_match_scalar(
+        seed in any::<u64>(),
+        pc_index in 0u8..32,
+        start_word in 0u64..4096,
+        len in 1u64..8192,
+        first_mv in 830u32..980,
+        steps in proptest::collection::vec(1u32..40, 1..5),
+    ) {
+        let inj = injector(seed);
+        let pc = PcIndex::new(pc_index).unwrap();
+        let range = start_word..(start_word + len).min(8192);
+        let kernels = [
+            inj.kernel(FaultFieldMode::MonotoneCoupled, KernelBackend::Scalar),
+            inj.kernel(FaultFieldMode::MonotoneCoupled, KernelBackend::BitSliced),
+            inj.kernel(FaultFieldMode::MonotoneCoupled, KernelBackend::Auto),
+        ];
+
+        let mut v = Millivolts(first_mv);
+        let mut carries = Vec::new();
+        let mut start_stats = Vec::new();
+        for kernel in &kernels {
+            let (carry, stats) = kernel.carry_start(pc, range.clone(), v);
+            carries.push(carry);
+            start_stats.push(stats);
+        }
+        for i in 1..kernels.len() {
+            prop_assert_eq!(&start_stats[i], &start_stats[0],
+                "carry-start stats diverged ({:?})", kernels[i].backend());
+            prop_assert_eq!(carries[i].masks(), carries[0].masks(),
+                "carry-start masks diverged ({:?})", kernels[i].backend());
+        }
+
+        for step in steps {
+            v = Millivolts(v.as_u32().saturating_sub(step).max(810));
+            let stats: Vec<_> = kernels
+                .iter()
+                .zip(carries.iter_mut())
+                .map(|(kernel, carry)| kernel.carry_advance(carry, v))
+                .collect();
+            for i in 1..kernels.len() {
+                prop_assert_eq!(&stats[i], &stats[0],
+                    "advance stats diverged at {} ({:?})", v, kernels[i].backend());
+                prop_assert_eq!(carries[i].masks(), carries[0].masks(),
+                    "advance masks diverged at {} ({:?})", v, kernels[i].backend());
+            }
         }
     }
 

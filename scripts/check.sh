@@ -24,10 +24,12 @@ echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 
 # Kernel determinism gate: the cached fault kernel must stay bit-identical
-# to the per-word reference path. The case count is fixed in-file
-# (with_cases) so this run is reproducible.
+# to the per-word reference path, and the bit-sliced dense-region backend
+# must stay bit-identical to the scalar one — one-shot and carried. The
+# case count is fixed in-file (with_cases) so this run is reproducible.
 echo "==> kernel bit-identity property tests"
 cargo test -q -p hbm-faults --test properties kernel_
+cargo test -q -p hbm-faults --test properties bitsliced
 
 # Coupled fault-field gate: inclusion monotonicity by construction, the
 # carried working set's bit-identity to from-scratch rescans (injector
@@ -42,6 +44,18 @@ cargo test -q -p hbm-undervolt --lib coupled
 echo "==> resilient sweep runtime tests"
 cargo test -q --test resilience
 cargo test -q -p hbm-undervolt --test cli
+
+# Smoke: deep in the dense regime (840 mV), a forced-scalar sweep and a
+# forced-bit-sliced sweep must emit byte-identical CSV reports.
+echo "==> hbmctl sweep --kernel scalar/bitsliced smoke"
+csvs="$(mktemp -u /tmp/hbmctl-kernel-scalar-XXXXXX.csv)"
+csvb="$(mktemp -u /tmp/hbmctl-kernel-bitsliced-XXXXXX.csv)"
+./target/release/hbmctl sweep --from 860 --to 840 --step 10 --words 64 \
+    --kernel scalar --format csv >"$csvs"
+./target/release/hbmctl sweep --from 860 --to 840 --step 10 --words 64 \
+    --kernel bitsliced --format csv >"$csvb"
+cmp "$csvs" "$csvb"
+rm -f "$csvs" "$csvb"
 
 # Smoke: a checkpointed supervised sweep resumes from its own file.
 echo "==> hbmctl sweep --checkpoint/--resume smoke"

@@ -137,6 +137,7 @@ proptest! {
             // force the literal write/read-back path.
             mode: ExecutionMode::Traffic,
             fault_field: hbm_undervolt_suite::faults::FaultFieldMode::PerVoltage,
+            kernel: hbm_undervolt_suite::faults::KernelBackend::Auto,
             carry_forward: true,
         };
         let tester = ReliabilityTester::new(config).unwrap();
