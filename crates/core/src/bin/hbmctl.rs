@@ -23,6 +23,13 @@
 //! hbmctl trade-off   [--seed N] [--format text|csv|json]
 //! hbmctl fault-map   [--seed N] [--out FILE]
 //! hbmctl plan        [--seed N] --capacity-gb G --tolerance RATE
+//! hbmctl fleet sweep   [--devices N] [--seed N] [--workers N]
+//!                      [--from MV] [--to MV] [--step MV] [--words N]
+//!                      [--weak-reference MV] [--out FILE] [--export FILE]
+//! hbmctl fleet query   --artifact FILE --device ID
+//!                      [--target-rate R] [--min-pcs N] [--format text|json]
+//! hbmctl fleet export  --artifact FILE [--out FILE]
+//! hbmctl fleet summary --artifact FILE
 //! ```
 //!
 //! Exit codes: `0` success, `1` runtime failure (an experiment, device or
@@ -33,6 +40,10 @@ use std::process::ExitCode;
 
 use hbm_device::TransientCrashModel;
 use hbm_faults::FaultMap;
+use hbm_fleet::{
+    ArtifactMeta, FleetConfig, FleetCostModel, FleetError, FleetExport, FleetQuery, FleetStore,
+    PopulationSummary,
+};
 use hbm_power::HbmPowerModel;
 use hbm_traffic::DataPattern;
 use hbm_undervolt::report::{to_json, Render};
@@ -151,7 +162,13 @@ const USAGE: &str = "usage:
                      [--trace-file FILE] [--progress]
   hbmctl trade-off   [--seed N] [--format text|csv|json]
   hbmctl fault-map   [--seed N] [--out FILE]
-  hbmctl plan        [--seed N] --capacity-gb G --tolerance RATE";
+  hbmctl plan        [--seed N] --capacity-gb G --tolerance RATE
+  hbmctl fleet sweep   [--devices N] [--seed N] [--workers N] [--from MV] [--to MV] [--step MV]
+                       [--words N] [--weak-reference MV] [--out FILE] [--export FILE]
+  hbmctl fleet query   --artifact FILE --device ID [--target-rate R] [--min-pcs N]
+                       [--format text|json]
+  hbmctl fleet export  --artifact FILE [--out FILE]
+  hbmctl fleet summary --artifact FILE";
 
 fn run() -> Result<(), CliError> {
     let args = Args::parse()?;
@@ -175,6 +192,7 @@ fn run() -> Result<(), CliError> {
         "trade-off" => dispatch(&trade_off(seed), seed, workers, &args),
         "fault-map" => fault_map(seed, &args),
         "plan" => plan(seed, &args),
+        "fleet" => fleet(seed, &args),
         other => Err(CliError::config(format!("unknown command: {other}"))),
     }
 }
@@ -454,4 +472,206 @@ fn plan(seed: u64, args: &Args) -> Result<(), CliError> {
             "no swept voltage provides {capacity_gb} GB within fault rate {tolerance}"
         ))),
     }
+}
+
+/// `hbmctl fleet`: population-scale characterization — sweep N simulated
+/// devices through the work-stealing engine, persist/load the columnar
+/// artifact, and answer per-device voltage queries against it.
+fn fleet(seed: u64, args: &Args) -> Result<(), CliError> {
+    let sub = args.positional.get(1).map(String::as_str).ok_or_else(|| {
+        CliError::config("fleet needs a subcommand: sweep, query, export or summary")
+    })?;
+    match sub {
+        "sweep" => fleet_sweep(seed, args),
+        "query" => fleet_query(args),
+        "export" => fleet_export(args),
+        "summary" => fleet_summary(args),
+        other => Err(CliError::config(format!(
+            "unknown fleet subcommand: {other} (use sweep, query, export or summary)"
+        ))),
+    }
+}
+
+/// Splits fleet-layer failures by blame: malformed configuration exits 2,
+/// everything else (I/O, a corrupt or future-versioned artifact, an
+/// unknown device) is a runtime failure and exits 1.
+fn fleet_err(error: FleetError) -> CliError {
+    match error {
+        FleetError::Config(_) => CliError::config(error.to_string()),
+        _ => CliError::runtime(error.to_string()),
+    }
+}
+
+/// Rejects artifact/output paths that cannot name a file — empty, or an
+/// existing directory — as usage mistakes before any work happens.
+fn checked_path(path: &str, flag: &str) -> Result<(), CliError> {
+    if path.is_empty() {
+        return Err(CliError::config(format!("--{flag} path is empty")));
+    }
+    if std::path::Path::new(path).is_dir() {
+        return Err(CliError::config(format!(
+            "--{flag} path {path} is a directory"
+        )));
+    }
+    Ok(())
+}
+
+fn open_store(args: &Args) -> Result<FleetStore, CliError> {
+    let path: String = args.required("artifact")?;
+    checked_path(&path, "artifact")?;
+    FleetStore::open(&path).map_err(fleet_err)
+}
+
+fn fleet_config(seed: u64, args: &Args) -> Result<FleetConfig, CliError> {
+    let cfg = FleetConfig {
+        devices: args.flag("devices", 64u32)?,
+        base_seed: seed,
+        workers: args.flag("workers", 0usize)?,
+        from: args.flag("from", Millivolts(1000))?,
+        down_to: args.flag("to", Millivolts(820))?,
+        step: args.flag("step", Millivolts(10))?,
+        words_per_pc: args.flag("words", 64u64)?,
+        weak_reference: args.flag("weak-reference", Millivolts(900))?,
+        ..FleetConfig::default()
+    };
+    cfg.validate().map_err(fleet_err)?;
+    Ok(cfg)
+}
+
+fn fleet_sweep(seed: u64, args: &Args) -> Result<(), CliError> {
+    let cfg = fleet_config(seed, args)?;
+    let out: Option<String> = args.optional("out")?;
+    let export: Option<String> = args.optional("export")?;
+    if let Some(path) = &out {
+        checked_path(path, "out")?;
+    }
+    if let Some(path) = &export {
+        checked_path(path, "export")?;
+    }
+
+    eprintln!(
+        "hbmctl: fleet sweep ({} devices, seed {seed}, {} knots)",
+        cfg.devices,
+        cfg.knots().len()
+    );
+    let report = hbm_fleet::sweep::run(&cfg).map_err(fleet_err)?;
+
+    // Fold the run's accounting into the shared counter registry so fleet
+    // sweeps surface through the same metrics vocabulary as supervised
+    // sweeps.
+    let telemetry = Telemetry::new();
+    telemetry
+        .metrics()
+        .add_devices_swept(report.stats.devices_swept);
+    telemetry
+        .metrics()
+        .add_devices_stolen(report.stats.devices_stolen);
+
+    if let Some(path) = &out {
+        let bytes =
+            hbm_fleet::artifact::write_to_path(path, &cfg, &report.records).map_err(fleet_err)?;
+        telemetry.metrics().add_artifact_bytes_written(bytes);
+        println!(
+            "fleet artifact: {} devices x {} PCs x {} knots -> {path} ({bytes} bytes)",
+            cfg.devices,
+            cfg.geometry.total_pcs(),
+            cfg.knots().len()
+        );
+    }
+    if let Some(path) = &export {
+        let json = FleetExport::from_records(&cfg, &report.records).to_json();
+        std::fs::write(path, &json)
+            .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
+        println!(
+            "fleet export: {} devices -> {path} ({} bytes)",
+            cfg.devices,
+            json.len()
+        );
+    }
+    if out.is_none() && export.is_none() {
+        let meta = ArtifactMeta::from_config(&cfg);
+        let summary =
+            PopulationSummary::from_records(&meta, &report.records, &FleetCostModel::default());
+        print!("{}", summary.to_text());
+    }
+
+    telemetry.finish();
+    let snapshot = telemetry.metrics().snapshot();
+    eprintln!(
+        "hbmctl: fleet swept {} devices on {} worker{} in {} ms \
+         ({} stolen across {} steals, {} artifact bytes)",
+        snapshot.devices_swept,
+        report.stats.workers,
+        if report.stats.workers == 1 { "" } else { "s" },
+        report.stats.wall_ms,
+        snapshot.devices_stolen,
+        report.stats.steals,
+        snapshot.artifact_bytes_written
+    );
+    Ok(())
+}
+
+fn fleet_query(args: &Args) -> Result<(), CliError> {
+    let store = open_store(args)?;
+    let device_id: u32 = args.required("device")?;
+    let target_rate: f64 = args.flag("target-rate", 1e-4)?;
+    let min_pcs: usize = args.flag("min-pcs", 1usize)?;
+    let format: String = args.flag("format", "text".to_owned())?;
+    let rec = store
+        .recommend(FleetQuery {
+            device_id,
+            target_rate,
+            min_pcs,
+        })
+        .map_err(fleet_err)?;
+    match format.as_str() {
+        "text" => {
+            println!("device {device_id} (target rate {target_rate:.1e}, >= {min_pcs} PCs):");
+            println!("  voltage        {} mV", rec.voltage_mv);
+            println!(
+                "  usable PCs     {} of {}",
+                rec.usable_pcs.len(),
+                store.meta().pc_count
+            );
+            println!("  crash floor    {} mV", rec.crash_mv);
+            println!("  power saving   {:.2}x vs nominal", rec.saving_factor);
+        }
+        "json" => println!(
+            "{}",
+            to_json(&rec).map_err(|e| CliError::runtime(e.to_string()))?
+        ),
+        other => {
+            return Err(CliError::config(format!(
+                "unknown format: {other} (use text or json)"
+            )))
+        }
+    }
+    Ok(())
+}
+
+fn fleet_export(args: &Args) -> Result<(), CliError> {
+    let store = open_store(args)?;
+    let json = store.export().to_json();
+    match args.optional::<String>("out")? {
+        Some(path) => {
+            checked_path(&path, "out")?;
+            std::fs::write(&path, &json)
+                .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
+            println!(
+                "fleet export: {} devices -> {path} ({} bytes)",
+                store.len(),
+                json.len()
+            );
+        }
+        None => print!("{json}"),
+    }
+    Ok(())
+}
+
+fn fleet_summary(args: &Args) -> Result<(), CliError> {
+    let store = open_store(args)?;
+    let summary =
+        PopulationSummary::from_records(store.meta(), &store.records(), &FleetCostModel::default());
+    print!("{}", summary.to_text());
+    Ok(())
 }

@@ -108,6 +108,7 @@ pub mod characterization;
 mod engine;
 mod error;
 mod experiment;
+pub mod fleet;
 mod governor;
 mod guardband;
 mod platform;
@@ -124,6 +125,7 @@ mod trade_off;
 pub use engine::ShardPort;
 pub use error::ExperimentError;
 pub use experiment::{DynExperiment, Experiment};
+pub use fleet::{supervised_device_record, supervised_sweep_config};
 pub use governor::{outcome_saving, GovernorConfig, GovernorOutcome, UndervoltGovernor};
 pub use guardband::{GuardbandFinder, GuardbandReport};
 pub use hbm_faults::{FaultFieldMode, FieldKernel, InstructionSet, KernelBackend, MaskKernel};

@@ -989,7 +989,7 @@ mod tests {
             incremental
                 .points
                 .iter()
-                .all(|p| p.mask_reuse.is_some() == !p.crashed),
+                .all(|p| p.mask_reuse.is_some() != p.crashed),
             "every live carried point must record its reuse ratio"
         );
         assert!(

@@ -355,6 +355,9 @@ pub struct Metrics {
     retries: AtomicU64,
     retry_backoff_ms: AtomicU64,
     power_cycles: AtomicU64,
+    devices_swept: AtomicU64,
+    devices_stolen: AtomicU64,
+    artifact_bytes_written: AtomicU64,
     point_wall_ms: Mutex<Histogram>,
 }
 
@@ -376,6 +379,9 @@ impl Metrics {
             retries: AtomicU64::new(0),
             retry_backoff_ms: AtomicU64::new(0),
             power_cycles: AtomicU64::new(0),
+            devices_swept: AtomicU64::new(0),
+            devices_stolen: AtomicU64::new(0),
+            artifact_bytes_written: AtomicU64::new(0),
             point_wall_ms: Mutex::new(Histogram::new()),
         }
     }
@@ -418,6 +424,23 @@ impl Metrics {
     /// Records `n` power cycles.
     pub fn add_power_cycles(&self, n: u64) {
         self.power_cycles.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` fleet devices characterized.
+    pub fn add_devices_swept(&self, n: u64) {
+        self.devices_swept.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` fleet devices that migrated to another worker through
+    /// a work steal. Scheduling-dependent by nature, hence a metric and
+    /// never a trace event.
+    pub fn add_devices_stolen(&self, n: u64) {
+        self.devices_stolen.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` fleet-artifact bytes durably written.
+    pub fn add_artifact_bytes_written(&self, n: u64) {
+        self.artifact_bytes_written.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Overwrites the injector tile-cache counters with the injector's
@@ -465,6 +488,9 @@ impl Metrics {
             retries: self.retries.load(Ordering::Relaxed),
             retry_backoff_ms: self.retry_backoff_ms.load(Ordering::Relaxed),
             power_cycles: self.power_cycles.load(Ordering::Relaxed),
+            devices_swept: self.devices_swept.load(Ordering::Relaxed),
+            devices_stolen: self.devices_stolen.load(Ordering::Relaxed),
+            artifact_bytes_written: self.artifact_bytes_written.load(Ordering::Relaxed),
             point_wall_ms: wall.stats(),
         }
     }
@@ -506,6 +532,12 @@ pub struct MetricsSnapshot {
     pub retry_backoff_ms: u64,
     /// Power cycles spent recovering the platform.
     pub power_cycles: u64,
+    /// Fleet devices characterized.
+    pub devices_swept: u64,
+    /// Fleet devices that migrated to another worker through a work steal.
+    pub devices_stolen: u64,
+    /// Fleet-artifact bytes durably written.
+    pub artifact_bytes_written: u64,
     /// Per-point wall-time distribution.
     pub point_wall_ms: WallTimeStats,
 }

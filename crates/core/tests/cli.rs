@@ -179,6 +179,134 @@ fn coupled_sweep_succeeds_from_the_cli() {
 }
 
 #[test]
+fn fleet_usage_mistakes_exit_two_with_usage() {
+    let dir = std::env::temp_dir();
+    let dir = dir.to_str().unwrap();
+    for args in [
+        vec!["fleet"],
+        vec!["fleet", "frobnicate"],
+        vec!["fleet", "sweep", "--devices", "0"],
+        vec!["fleet", "sweep", "--devices", "abc"],
+        // 256 words per PC would overflow the artifact's u16 count column.
+        vec!["fleet", "sweep", "--devices", "2", "--words", "256"],
+        vec!["fleet", "sweep", "--devices", "2", "--out", ""],
+        vec!["fleet", "sweep", "--devices", "2", "--out", dir],
+        vec!["fleet", "query", "--device", "0"],
+        vec!["fleet", "query", "--artifact", "", "--device", "0"],
+        vec!["fleet", "query", "--artifact", dir, "--device", "0"],
+        vec!["fleet", "summary"],
+        vec!["fleet", "export", "--artifact", dir],
+    ] {
+        let out = hbmctl(&args);
+        assert_eq!(exit_code(&out), 2, "args {args:?}: {out:?}");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("usage:"), "args {args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn fleet_artifact_read_failures_exit_one_without_usage() {
+    let missing = temp_path("fleet-missing");
+    let _ = std::fs::remove_file(&missing);
+    let garbage = temp_path("fleet-garbage");
+    std::fs::write(&garbage, b"not an HBFA artifact").unwrap();
+
+    for args in [
+        vec!["fleet", "summary", "--artifact", missing.as_str()],
+        vec!["fleet", "summary", "--artifact", garbage.as_str()],
+        vec!["fleet", "export", "--artifact", garbage.as_str()],
+        vec![
+            "fleet",
+            "query",
+            "--artifact",
+            garbage.as_str(),
+            "--device",
+            "0",
+        ],
+    ] {
+        let out = hbmctl(&args);
+        assert_eq!(exit_code(&out), 1, "args {args:?}: {out:?}");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(!stderr.contains("usage:"), "args {args:?}: {stderr}");
+    }
+    let _ = std::fs::remove_file(&garbage);
+}
+
+#[test]
+fn fleet_sweep_query_export_round_trip() {
+    let artifact = temp_path("fleet-artifact");
+    let _ = std::fs::remove_file(&artifact);
+
+    let out = hbmctl(&[
+        "fleet",
+        "sweep",
+        "--devices",
+        "4",
+        "--words",
+        "8",
+        "--out",
+        &artifact,
+    ]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("fleet swept 4 devices"), "{stderr}");
+
+    // Query against the persisted artifact: a known device resolves …
+    let out = hbmctl(&["fleet", "query", "--artifact", &artifact, "--device", "2"]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("voltage"), "{stdout}");
+
+    // … an unknown device and a nonsense target rate are refused.
+    let out = hbmctl(&["fleet", "query", "--artifact", &artifact, "--device", "9"]);
+    assert_eq!(exit_code(&out), 1, "{out:?}");
+    let out = hbmctl(&[
+        "fleet",
+        "query",
+        "--artifact",
+        &artifact,
+        "--device",
+        "2",
+        "--target-rate",
+        "1.5",
+    ]);
+    assert_eq!(exit_code(&out), 2, "{out:?}");
+
+    // The JSON export of the artifact is byte-identical to the direct
+    // export of the same sweep.
+    let out = hbmctl(&["fleet", "export", "--artifact", &artifact]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let from_store = String::from_utf8(out.stdout).unwrap();
+    let direct = temp_path("fleet-direct");
+    let out = hbmctl(&[
+        "fleet",
+        "sweep",
+        "--devices",
+        "4",
+        "--words",
+        "8",
+        "--export",
+        &direct,
+    ]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let from_sweep = std::fs::read_to_string(&direct).unwrap();
+    assert_eq!(
+        from_store, from_sweep,
+        "store export diverged from sweep export"
+    );
+
+    // Summary renders the population roll-up.
+    let out = hbmctl(&["fleet", "summary", "--artifact", &artifact]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("fleet devices        4"), "{stdout}");
+    assert!(stdout.contains("fleet power"), "{stdout}");
+
+    let _ = std::fs::remove_file(&artifact);
+    let _ = std::fs::remove_file(&direct);
+}
+
+#[test]
 fn resume_reuses_checkpointed_points() {
     let path = temp_path("resume");
     let _ = std::fs::remove_file(&path);

@@ -159,7 +159,7 @@ mod tests {
     fn position_tables_are_consistent() {
         // 64 data positions, none a power of two, all within 3..=71.
         for (i, &pos) in POS_OF_DATA.iter().enumerate() {
-            assert!(pos >= 3 && pos <= 71);
+            assert!((3..=71).contains(&pos));
             assert_ne!(pos.count_ones(), 1, "data position {pos} is a parity slot");
             assert_eq!(DATA_OF_POS[pos as usize], i as i8);
         }

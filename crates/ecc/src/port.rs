@@ -325,7 +325,8 @@ mod tests {
         // Corrupt one bit of the packed check word in the device.
         let check_offset = WordOffset(1024 + 9 / 8);
         let check = dev.axi_read(port, check_offset).unwrap();
-        dev.axi_write(port, check_offset, check.with_bit_set((9 % 8) * 32))
+        // Word 9 packs into slot 9 % 8 = 1 of its check word: bit 1 * 32.
+        dev.axi_write(port, check_offset, check.with_bit_set(32))
             .unwrap();
 
         // The flipped check bit (at most one per lane) is corrected away.

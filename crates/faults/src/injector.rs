@@ -2149,18 +2149,18 @@ mod tests {
         let inj = injector();
         assert_eq!(inj.tile_cache_stats(), (0, 0));
         // First lookup at a voltage builds the table, repeats hit it.
-        inj.stuck_masks(pc(0), WordOffset(0), Millivolts(880));
-        inj.stuck_masks(pc(0), WordOffset(1), Millivolts(880));
+        let _ = inj.stuck_masks(pc(0), WordOffset(0), Millivolts(880));
+        let _ = inj.stuck_masks(pc(0), WordOffset(1), Millivolts(880));
         let (hits, misses) = inj.tile_cache_stats();
         assert_eq!(misses, 1, "one build for the first (PC, voltage)");
         assert!(hits >= 1, "second word must be served from the cache");
         // A new voltage invalidates that PC's entry: another miss.
-        inj.stuck_masks(pc(0), WordOffset(0), Millivolts(870));
+        let _ = inj.stuck_masks(pc(0), WordOffset(0), Millivolts(870));
         assert_eq!(inj.tile_cache_stats().1, 2);
         // Clones inherit the counters but diverge independently.
         let cloned = inj.clone();
         assert_eq!(cloned.tile_cache_stats(), inj.tile_cache_stats());
-        cloned.stuck_masks(pc(0), WordOffset(0), Millivolts(870));
+        let _ = cloned.stuck_masks(pc(0), WordOffset(0), Millivolts(870));
         assert_eq!(cloned.tile_cache_stats().0, inj.tile_cache_stats().0 + 1);
     }
 
@@ -2598,7 +2598,7 @@ mod tests {
             );
         }
         assert!(total.carried > 0, "descent never reused a carried word");
-        assert!(carry.len() > 0 && !carry.is_empty());
+        assert!(!carry.is_empty());
         // Below both saturation voltages every bit has flipped: a further
         // advance is pure reuse — nothing pending, nothing re-enumerated.
         let stats = inj.coupled_carry_advance(&mut carry, Millivolts(815));

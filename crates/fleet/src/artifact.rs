@@ -1,0 +1,640 @@
+//! The columnar fleet artifact: a little-endian binary replacing JSON as
+//! the at-scale result store, with JSON kept as an export path.
+//!
+//! # Layout (all integers little-endian)
+//!
+//! ```text
+//! offset  field
+//!      0  magic            [u8; 4]  = "HBFA"
+//!      4  version          u32      = 1
+//!      8  device_count     u32
+//!     12  pc_count         u32
+//!     16  knot_count       u32
+//!     20  nominal_mv       u16
+//!     22  weak_reference_mv u16
+//!     24  base_seed        u64
+//!     32  words_per_pc     u64
+//!     40  crash_jitter_mv  u16
+//!     42  reserved         u16      = 0
+//!     44  column_count     u32      = 6
+//!     48  weak_rate_threshold f64   (IEEE-754 bits)
+//!     56  index_offset     u64      (byte offset of the column index)
+//!     64  knot table       u16 × knot_count   (mV, descending)
+//!      …  column index     column_count × { tag u32, elem_bytes u32,
+//!                                           offset u64, byte_len u64 }
+//!      …  columns, each 8-byte aligned
+//! ```
+//!
+//! Columns (fixed element widths, one element per device unless noted):
+//!
+//! | tag | name      | element | notes                                   |
+//! |-----|-----------|---------|-----------------------------------------|
+//! | 1   | DEVICE_ID | u32     | ascending                               |
+//! | 2   | SEED      | u64     | per-device fault-universe seed          |
+//! | 3   | V_MIN_MV  | u16     | 0 = no fault-free knot observed         |
+//! | 4   | CRASH_MV  | u16     | per-device crash floor                  |
+//! | 5   | WEAK_PCS  | u32     | weak-PC bitmap                          |
+//! | 6   | FAULTS    | u16     | device × pc × knot counts, 0xFFFF = crashed |
+//!
+//! The column index lets a reader seek straight to any column without
+//! parsing records, and [`FleetStore::column_bytes`] exposes each column
+//! as a zero-copy `&[u8]` view over the loaded (or mmapped) buffer.
+
+use std::ops::Range;
+use std::path::Path;
+
+use hbm_units::Millivolts;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{FleetConfig, FleetError};
+use crate::record::{DeviceRecord, CRASHED_KNOT};
+
+/// Artifact magic bytes.
+pub const ARTIFACT_MAGIC: [u8; 4] = *b"HBFA";
+
+/// Format version this build writes and reads.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 64;
+const INDEX_ENTRY_LEN: usize = 24;
+const COLUMN_COUNT: usize = 6;
+
+/// Column tags, in index order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum Column {
+    /// Device IDs, ascending.
+    DeviceId = 1,
+    /// Per-device seeds.
+    Seed = 2,
+    /// Per-device V_min in millivolts.
+    VMin = 3,
+    /// Per-device crash floors in millivolts.
+    Crash = 4,
+    /// Per-device weak-PC bitmaps.
+    WeakPcs = 5,
+    /// Fault-count matrix, device-major then PC-major.
+    Faults = 6,
+}
+
+const COLUMNS: [(Column, usize); COLUMN_COUNT] = [
+    (Column::DeviceId, 4),
+    (Column::Seed, 8),
+    (Column::VMin, 2),
+    (Column::Crash, 2),
+    (Column::WeakPcs, 4),
+    (Column::Faults, 2),
+];
+
+/// Everything the header records about a fleet run — enough to interpret
+/// and re-derive the fleet without the originating [`FleetConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArtifactMeta {
+    /// Format version.
+    pub version: u32,
+    /// Devices in the artifact.
+    pub device_count: u32,
+    /// Pseudo channels per device.
+    pub pc_count: u32,
+    /// Knots per fault-rate curve.
+    pub knot_count: u32,
+    /// Nominal supply the guardband is measured against.
+    pub nominal_mv: u16,
+    /// Weak-PC reference knot.
+    pub weak_reference_mv: u16,
+    /// Base seed of the fleet.
+    pub base_seed: u64,
+    /// Words sampled per pseudo channel (the rate denominator is
+    /// `words_per_pc × 256`).
+    pub words_per_pc: u64,
+    /// Crash-floor jitter half-width.
+    pub crash_jitter_mv: u16,
+    /// Weak-PC rate threshold.
+    pub weak_rate_threshold: f64,
+}
+
+impl ArtifactMeta {
+    /// Meta block for a run of `cfg`.
+    #[must_use]
+    pub fn from_config(cfg: &FleetConfig) -> ArtifactMeta {
+        ArtifactMeta {
+            version: ARTIFACT_VERSION,
+            device_count: cfg.devices,
+            pc_count: u32::from(cfg.geometry.total_pcs()),
+            knot_count: cfg.knots().len() as u32,
+            nominal_mv: cfg.nominal.as_u32() as u16,
+            weak_reference_mv: cfg.weak_reference.as_u32() as u16,
+            base_seed: cfg.base_seed,
+            words_per_pc: cfg.words_per_pc,
+            crash_jitter_mv: cfg.crash_jitter.as_u32() as u16,
+            weak_rate_threshold: cfg.weak_rate_threshold,
+        }
+    }
+
+    /// Bits checked per pseudo channel per knot.
+    #[must_use]
+    pub fn bits_per_pc(&self) -> u64 {
+        self.words_per_pc * 256
+    }
+}
+
+fn align8(n: usize) -> usize {
+    (n + 7) & !7
+}
+
+/// Encodes a finished fleet into the columnar binary format.
+///
+/// # Panics
+///
+/// Panics when a record's matrix shape disagrees with the config — encode
+/// only ever sees records the sweep engine produced.
+#[must_use]
+pub fn encode(cfg: &FleetConfig, records: &[DeviceRecord]) -> Vec<u8> {
+    let meta = ArtifactMeta::from_config(cfg);
+    let knots = cfg.knots();
+    assert_eq!(records.len(), meta.device_count as usize, "fleet size");
+
+    let n = records.len();
+    let cells = n * meta.pc_count as usize * meta.knot_count as usize;
+    let knot_table_len = knots.len() * 2;
+    let index_offset = align8(HEADER_LEN + knot_table_len);
+    let mut column_offsets = [0usize; COLUMN_COUNT];
+    let mut cursor = align8(index_offset + COLUMN_COUNT * INDEX_ENTRY_LEN);
+    for (slot, (tag, elem)) in COLUMNS.iter().enumerate() {
+        column_offsets[slot] = cursor;
+        let elems = if *tag == Column::Faults { cells } else { n };
+        cursor = align8(cursor + elems * elem);
+    }
+
+    let mut out = vec![0u8; cursor];
+    out[0..4].copy_from_slice(&ARTIFACT_MAGIC);
+    out[4..8].copy_from_slice(&ARTIFACT_VERSION.to_le_bytes());
+    out[8..12].copy_from_slice(&meta.device_count.to_le_bytes());
+    out[12..16].copy_from_slice(&meta.pc_count.to_le_bytes());
+    out[16..20].copy_from_slice(&meta.knot_count.to_le_bytes());
+    out[20..22].copy_from_slice(&meta.nominal_mv.to_le_bytes());
+    out[22..24].copy_from_slice(&meta.weak_reference_mv.to_le_bytes());
+    out[24..32].copy_from_slice(&meta.base_seed.to_le_bytes());
+    out[32..40].copy_from_slice(&meta.words_per_pc.to_le_bytes());
+    out[40..42].copy_from_slice(&meta.crash_jitter_mv.to_le_bytes());
+    out[44..48].copy_from_slice(&(COLUMN_COUNT as u32).to_le_bytes());
+    out[48..56].copy_from_slice(&meta.weak_rate_threshold.to_bits().to_le_bytes());
+    out[56..64].copy_from_slice(&(index_offset as u64).to_le_bytes());
+
+    for (k, knot) in knots.iter().enumerate() {
+        let at = HEADER_LEN + k * 2;
+        out[at..at + 2].copy_from_slice(&(knot.as_u32() as u16).to_le_bytes());
+    }
+
+    for (slot, (tag, elem)) in COLUMNS.iter().enumerate() {
+        let at = index_offset + slot * INDEX_ENTRY_LEN;
+        let elems = if *tag == Column::Faults { cells } else { n };
+        out[at..at + 4].copy_from_slice(&(*tag as u32).to_le_bytes());
+        out[at + 4..at + 8].copy_from_slice(&(*elem as u32).to_le_bytes());
+        out[at + 8..at + 16].copy_from_slice(&(column_offsets[slot] as u64).to_le_bytes());
+        out[at + 16..at + 24].copy_from_slice(&((elems * elem) as u64).to_le_bytes());
+    }
+
+    for (i, rec) in records.iter().enumerate() {
+        assert_eq!(
+            rec.faults.len(),
+            meta.pc_count as usize * meta.knot_count as usize,
+            "record matrix shape"
+        );
+        let put = |out: &mut Vec<u8>, slot: usize, bytes: &[u8]| {
+            let elem = COLUMNS[slot].1;
+            let at = column_offsets[slot] + i * elem;
+            out[at..at + elem].copy_from_slice(bytes);
+        };
+        put(&mut out, 0, &rec.device_id.to_le_bytes());
+        put(&mut out, 1, &rec.seed.to_le_bytes());
+        put(&mut out, 2, &rec.v_min_mv.to_le_bytes());
+        put(&mut out, 3, &rec.crash_mv.to_le_bytes());
+        put(&mut out, 4, &rec.weak_pcs.to_le_bytes());
+        let row_len = rec.faults.len() * 2;
+        let at = column_offsets[5] + i * row_len;
+        for (j, count) in rec.faults.iter().enumerate() {
+            out[at + j * 2..at + j * 2 + 2].copy_from_slice(&count.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Encodes and durably writes an artifact, returning the byte count.
+///
+/// # Errors
+///
+/// Returns [`FleetError::Io`] when the write fails.
+pub fn write_to_path(
+    path: impl AsRef<Path>,
+    cfg: &FleetConfig,
+    records: &[DeviceRecord],
+) -> Result<u64, FleetError> {
+    let bytes = encode(cfg, records);
+    std::fs::write(path.as_ref(), &bytes)
+        .map_err(|e| FleetError::Io(format!("{}: {e}", path.as_ref().display())))?;
+    Ok(bytes.len() as u64)
+}
+
+/// A loaded artifact: owns the raw buffer and serves zero-copy column
+/// views plus typed per-device accessors that decode on read.
+#[derive(Debug, Clone)]
+pub struct FleetStore {
+    bytes: Vec<u8>,
+    meta: ArtifactMeta,
+    knots: Vec<Millivolts>,
+    columns: [Range<usize>; COLUMN_COUNT],
+}
+
+impl FleetStore {
+    /// Parses an artifact buffer (typically `fs::read` or an mmap copy).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Artifact`] for truncation, bad magic or inconsistent
+    /// bounds; [`FleetError::Version`] for an unsupported format version.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<FleetStore, FleetError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(FleetError::Artifact(format!(
+                "truncated header: {} bytes",
+                bytes.len()
+            )));
+        }
+        if bytes[0..4] != ARTIFACT_MAGIC {
+            return Err(FleetError::Artifact("bad magic (not an HBFA file)".into()));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("len checked"));
+        if version != ARTIFACT_VERSION {
+            return Err(FleetError::Version {
+                found: version,
+                expected: ARTIFACT_VERSION,
+            });
+        }
+        let read_u32 = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let read_u16 = |at: usize| u16::from_le_bytes(bytes[at..at + 2].try_into().unwrap());
+        let read_u64 = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+        let meta = ArtifactMeta {
+            version,
+            device_count: read_u32(8),
+            pc_count: read_u32(12),
+            knot_count: read_u32(16),
+            nominal_mv: read_u16(20),
+            weak_reference_mv: read_u16(22),
+            base_seed: read_u64(24),
+            words_per_pc: read_u64(32),
+            crash_jitter_mv: read_u16(40),
+            weak_rate_threshold: f64::from_bits(read_u64(48)),
+        };
+        let column_count = read_u32(44) as usize;
+        if column_count != COLUMN_COUNT {
+            return Err(FleetError::Artifact(format!(
+                "expected {COLUMN_COUNT} columns, header lists {column_count}"
+            )));
+        }
+        let knot_table_end = HEADER_LEN + meta.knot_count as usize * 2;
+        let index_offset = read_u64(56) as usize;
+        let index_end = index_offset + COLUMN_COUNT * INDEX_ENTRY_LEN;
+        if knot_table_end > bytes.len() || index_offset < knot_table_end || index_end > bytes.len()
+        {
+            return Err(FleetError::Artifact("column index out of bounds".into()));
+        }
+        let knots: Vec<Millivolts> = (0..meta.knot_count as usize)
+            .map(|k| Millivolts(u32::from(read_u16(HEADER_LEN + k * 2))))
+            .collect();
+
+        let n = meta.device_count as usize;
+        let cells = n * meta.pc_count as usize * meta.knot_count as usize;
+        let mut columns: [Range<usize>; COLUMN_COUNT] = std::array::from_fn(|_| 0..0);
+        for (slot, (tag, elem)) in COLUMNS.iter().enumerate() {
+            let at = index_offset + slot * INDEX_ENTRY_LEN;
+            let found_tag = read_u32(at);
+            let found_elem = read_u32(at + 4) as usize;
+            let offset = read_u64(at + 8) as usize;
+            let len = read_u64(at + 16) as usize;
+            let elems = if *tag == Column::Faults { cells } else { n };
+            if found_tag != *tag as u32 || found_elem != *elem || len != elems * elem {
+                return Err(FleetError::Artifact(format!(
+                    "column {slot}: tag {found_tag} elem {found_elem} len {len} \
+                     does not match the declared fleet shape"
+                )));
+            }
+            let end = offset.checked_add(len).filter(|&e| e <= bytes.len());
+            let Some(end) = end else {
+                return Err(FleetError::Artifact(format!(
+                    "column {slot} extends past the buffer"
+                )));
+            };
+            columns[slot] = offset..end;
+        }
+        Ok(FleetStore {
+            bytes,
+            meta,
+            knots,
+            columns,
+        })
+    }
+
+    /// Loads an artifact file.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Io`] when the file cannot be read, otherwise as
+    /// [`FleetStore::from_bytes`].
+    pub fn open(path: impl AsRef<Path>) -> Result<FleetStore, FleetError> {
+        let bytes = std::fs::read(path.as_ref())
+            .map_err(|e| FleetError::Io(format!("{}: {e}", path.as_ref().display())))?;
+        FleetStore::from_bytes(bytes)
+    }
+
+    /// The header meta block.
+    #[must_use]
+    pub fn meta(&self) -> &ArtifactMeta {
+        &self.meta
+    }
+
+    /// The knot grid, descending.
+    #[must_use]
+    pub fn knots(&self) -> &[Millivolts] {
+        &self.knots
+    }
+
+    /// Devices stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.meta.device_count as usize
+    }
+
+    /// `true` when the artifact holds no devices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Zero-copy view of one column's raw little-endian bytes.
+    #[must_use]
+    pub fn column_bytes(&self, column: Column) -> &[u8] {
+        let slot = COLUMNS
+            .iter()
+            .position(|(tag, _)| *tag == column)
+            .expect("all tags indexed");
+        &self.bytes[self.columns[slot].clone()]
+    }
+
+    fn scalar<const W: usize>(&self, column: Column, i: usize) -> [u8; W] {
+        let col = self.column_bytes(column);
+        col[i * W..(i + 1) * W].try_into().expect("fixed width")
+    }
+
+    /// Device ID at row `i`.
+    #[must_use]
+    pub fn device_id(&self, i: usize) -> u32 {
+        u32::from_le_bytes(self.scalar::<4>(Column::DeviceId, i))
+    }
+
+    /// Seed at row `i`.
+    #[must_use]
+    pub fn seed(&self, i: usize) -> u64 {
+        u64::from_le_bytes(self.scalar::<8>(Column::Seed, i))
+    }
+
+    /// V_min at row `i` in millivolts (0 = none observed).
+    #[must_use]
+    pub fn v_min_mv(&self, i: usize) -> u16 {
+        u16::from_le_bytes(self.scalar::<2>(Column::VMin, i))
+    }
+
+    /// Crash floor at row `i` in millivolts.
+    #[must_use]
+    pub fn crash_mv(&self, i: usize) -> u16 {
+        u16::from_le_bytes(self.scalar::<2>(Column::Crash, i))
+    }
+
+    /// Weak-PC bitmap at row `i`.
+    #[must_use]
+    pub fn weak_pcs(&self, i: usize) -> u32 {
+        u32::from_le_bytes(self.scalar::<4>(Column::WeakPcs, i))
+    }
+
+    /// Fault count of `(row, pc, knot)`; [`CRASHED_KNOT`] marks a crashed
+    /// knot.
+    #[must_use]
+    pub fn fault(&self, i: usize, pc: usize, knot: usize) -> u16 {
+        let stride = self.meta.pc_count as usize * self.meta.knot_count as usize;
+        let at = i * stride + pc * self.meta.knot_count as usize + knot;
+        let col = self.column_bytes(Column::Faults);
+        u16::from_le_bytes(col[at * 2..at * 2 + 2].try_into().expect("fixed width"))
+    }
+
+    /// Row index of `device_id` (rows are sorted by device ID).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownDevice`] when absent.
+    pub fn find(&self, device_id: u32) -> Result<usize, FleetError> {
+        let n = self.len();
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.device_id(mid) < device_id {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo < n && self.device_id(lo) == device_id {
+            Ok(lo)
+        } else {
+            Err(FleetError::UnknownDevice(device_id))
+        }
+    }
+
+    /// Decodes row `i` back into a [`DeviceRecord`].
+    #[must_use]
+    pub fn record(&self, i: usize) -> DeviceRecord {
+        let stride = self.meta.pc_count as usize * self.meta.knot_count as usize;
+        let col = self.column_bytes(Column::Faults);
+        let faults = (0..stride)
+            .map(|j| {
+                let at = (i * stride + j) * 2;
+                u16::from_le_bytes(col[at..at + 2].try_into().expect("fixed width"))
+            })
+            .collect();
+        DeviceRecord {
+            device_id: self.device_id(i),
+            seed: self.seed(i),
+            v_min_mv: self.v_min_mv(i),
+            crash_mv: self.crash_mv(i),
+            weak_pcs: self.weak_pcs(i),
+            faults,
+        }
+    }
+
+    /// Decodes every row.
+    #[must_use]
+    pub fn records(&self) -> Vec<DeviceRecord> {
+        (0..self.len()).map(|i| self.record(i)).collect()
+    }
+
+    /// The JSON export view of this artifact.
+    #[must_use]
+    pub fn export(&self) -> FleetExport {
+        FleetExport::build(&self.meta, &self.knots, &self.records())
+    }
+}
+
+/// The JSON export: the artifact's full content as rates (exact dyadic
+/// `count / (words_per_pc × 256)` quotients), with `null` marking crashed
+/// knots. Kept as the interchange path; the binary is the at-scale store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetExport {
+    /// Header fields, echoed.
+    pub meta: ArtifactMeta,
+    /// Knot grid in millivolts, descending.
+    pub knots_mv: Vec<u16>,
+    /// Per-device export rows, ascending by device ID.
+    pub fleet: Vec<DeviceExport>,
+}
+
+/// One device's JSON export row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceExport {
+    /// Fleet position.
+    pub device_id: u32,
+    /// Fault-universe seed.
+    pub seed: u64,
+    /// Lowest fault-free knot (0 = none).
+    pub v_min_mv: u16,
+    /// Crash floor.
+    pub crash_mv: u16,
+    /// Weak-PC bitmap.
+    pub weak_pcs: u32,
+    /// Union fault-rate curve per pseudo channel; `null` = crashed knot.
+    pub rates: Vec<Vec<Option<f64>>>,
+}
+
+impl FleetExport {
+    /// Builds the export view of `records` under `cfg`.
+    #[must_use]
+    pub fn from_records(cfg: &FleetConfig, records: &[DeviceRecord]) -> FleetExport {
+        let knots = cfg.knots();
+        FleetExport::build(&ArtifactMeta::from_config(cfg), &knots, records)
+    }
+
+    fn build(meta: &ArtifactMeta, knots: &[Millivolts], records: &[DeviceRecord]) -> FleetExport {
+        let bits = meta.bits_per_pc() as f64;
+        let fleet = records
+            .iter()
+            .map(|rec| {
+                let rates = (0..meta.pc_count as usize)
+                    .map(|pc| {
+                        (0..knots.len())
+                            .map(|k| {
+                                let count = rec.faults[pc * knots.len() + k];
+                                if count == CRASHED_KNOT {
+                                    None
+                                } else {
+                                    Some(f64::from(count) / bits)
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
+                DeviceExport {
+                    device_id: rec.device_id,
+                    seed: rec.seed,
+                    v_min_mv: rec.v_min_mv,
+                    crash_mv: rec.crash_mv,
+                    weak_pcs: rec.weak_pcs,
+                    rates,
+                }
+            })
+            .collect();
+        FleetExport {
+            meta: *meta,
+            knots_mv: knots.iter().map(|k| k.as_u32() as u16).collect(),
+            fleet,
+        }
+    }
+
+    /// Serializes the export as one JSON document plus trailing newline.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut json = serde_json::to_string(self).expect("export serializes");
+        json.push('\n');
+        json
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep;
+
+    fn artifact_fixture() -> (FleetConfig, Vec<DeviceRecord>) {
+        let cfg = FleetConfig {
+            devices: 3,
+            workers: 1,
+            words_per_pc: 8,
+            from: Millivolts(980),
+            down_to: Millivolts(900),
+            step: Millivolts(40),
+            weak_reference: Millivolts(900),
+            ..FleetConfig::default()
+        };
+        let records = sweep::run(&cfg).unwrap().records;
+        (cfg, records)
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let (cfg, records) = artifact_fixture();
+        let bytes = encode(&cfg, &records);
+        let store = FleetStore::from_bytes(bytes).unwrap();
+        assert_eq!(store.records(), records);
+        assert_eq!(store.knots(), cfg.knots());
+        assert_eq!(store.meta().base_seed, cfg.base_seed);
+        assert_eq!(store.export(), FleetExport::from_records(&cfg, &records));
+    }
+
+    #[test]
+    fn columns_are_fixed_width_views() {
+        let (cfg, records) = artifact_fixture();
+        let store = FleetStore::from_bytes(encode(&cfg, &records)).unwrap();
+        assert_eq!(store.column_bytes(Column::DeviceId).len(), 3 * 4);
+        assert_eq!(store.column_bytes(Column::Seed).len(), 3 * 8);
+        let cells = 3 * usize::from(cfg.geometry.total_pcs()) * cfg.knots().len();
+        assert_eq!(store.column_bytes(Column::Faults).len(), cells * 2);
+        assert_eq!(store.find(2).unwrap(), 2);
+        assert!(matches!(store.find(9), Err(FleetError::UnknownDevice(9))));
+    }
+
+    #[test]
+    fn bad_magic_and_truncation_are_artifact_errors() {
+        let (cfg, records) = artifact_fixture();
+        let bytes = encode(&cfg, &records);
+        let mut wrong = bytes.clone();
+        wrong[0] = b'X';
+        assert!(matches!(
+            FleetStore::from_bytes(wrong),
+            Err(FleetError::Artifact(_))
+        ));
+        assert!(matches!(
+            FleetStore::from_bytes(bytes[..32].to_vec()),
+            Err(FleetError::Artifact(_))
+        ));
+    }
+
+    #[test]
+    fn version_bump_is_rejected() {
+        let (cfg, records) = artifact_fixture();
+        let mut bytes = encode(&cfg, &records);
+        bytes[4..8].copy_from_slice(&(ARTIFACT_VERSION + 1).to_le_bytes());
+        assert_eq!(
+            FleetStore::from_bytes(bytes).unwrap_err(),
+            FleetError::Version {
+                found: ARTIFACT_VERSION + 1,
+                expected: ARTIFACT_VERSION,
+            }
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Fleet-scale HBM undervolting characterization.
+//!
+//! The paper characterizes one board; this crate characterizes a
+//! *population*. `N` simulated devices — each a seed-varied instance of
+//! the process-variation model in `hbm-faults` — are swept through the
+//! coupled-carry mask kernel by a work-stealing thread pool, and the
+//! results land in a compact columnar binary artifact
+//! ([`artifact::encode`] / [`FleetStore`]) that readers can seek without
+//! parsing. On top sit population statistics ([`PopulationSummary`]) and
+//! a per-device voltage-recommendation query ([`FleetStore::recommend`]).
+//!
+//! # Determinism
+//!
+//! Every [`DeviceRecord`] is a pure function of `(FleetConfig,
+//! device_id)`: per-device seeds derive from the base seed through the
+//! same counter-based hash discipline as `pc_stream`, workers only ever
+//! partition the device-ID space, and the merge sorts by device ID.
+//! Records, artifacts and population percentiles are therefore
+//! bit-identical across worker counts and steal interleavings — the
+//! property the fleet proptests pin.
+//!
+//! ```
+//! use hbm_fleet::{FleetConfig, FleetQuery, FleetStore};
+//! use hbm_units::Millivolts;
+//!
+//! let cfg = FleetConfig {
+//!     devices: 4,
+//!     words_per_pc: 8,
+//!     from: Millivolts(980),
+//!     down_to: Millivolts(900),
+//!     step: Millivolts(40),
+//!     weak_reference: Millivolts(900),
+//!     ..FleetConfig::default()
+//! };
+//! let report = hbm_fleet::sweep::run(&cfg).unwrap();
+//! let store = FleetStore::from_bytes(hbm_fleet::artifact::encode(&cfg, &report.records)).unwrap();
+//! let rec = store
+//!     .recommend(FleetQuery { device_id: 2, target_rate: 1e-3, min_pcs: 16 })
+//!     .unwrap();
+//! assert!(rec.voltage_mv >= rec.crash_mv);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod config;
+pub mod population;
+pub mod query;
+pub mod record;
+pub mod sweep;
+
+pub use artifact::{
+    ArtifactMeta, Column, FleetExport, FleetStore, ARTIFACT_MAGIC, ARTIFACT_VERSION,
+};
+pub use config::{DeviceSpec, FleetConfig, FleetError};
+pub use population::{FleetCostModel, PopulationSummary};
+pub use query::{FleetQuery, Recommendation};
+pub use record::{DeviceRecord, CRASHED_KNOT, NO_VMIN};
+pub use sweep::{characterize_device, FleetReport, FleetRunStats};

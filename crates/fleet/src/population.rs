@@ -1,0 +1,270 @@
+//! Population statistics over a characterized fleet: guardband and V_min
+//! distributions, weak-PC census, and the fleet-level power/cost roll-up.
+//!
+//! The roll-up constants mirror the reallm HBM2 configuration
+//! (SNIPPETS.md §2): 7.5 $/GB, 31.2 pJ/B at 1.2 V nominal — TDP per
+//! device is `bandwidth × pJ/B`, and undervolted power scales with the
+//! quadratic `V²` model the paper fits (via [`HbmPowerModel`]).
+
+use hbm_power::HbmPowerModel;
+use hbm_units::{Millivolts, Ratio};
+use serde::{Deserialize, Serialize};
+
+use crate::artifact::ArtifactMeta;
+use crate::record::{DeviceRecord, NO_VMIN};
+
+/// Fleet-economics constants, grounded in the reallm HBM2 config.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetCostModel {
+    /// Memory price in dollars per gigabyte.
+    pub cost_per_gb: f64,
+    /// Access energy in picojoules per byte at nominal supply.
+    pub pj_per_byte: f64,
+    /// Sustained per-device bandwidth in bytes per second (the study's
+    /// VCU128 HBM2 stacks sustain ~460 GB/s).
+    pub bytes_per_second: f64,
+    /// Per-device capacity in gigabytes.
+    pub capacity_gb: f64,
+}
+
+impl Default for FleetCostModel {
+    fn default() -> Self {
+        FleetCostModel {
+            cost_per_gb: 7.5,
+            pj_per_byte: 31.2,
+            bytes_per_second: 460.0e9,
+            capacity_gb: 8.0,
+        }
+    }
+}
+
+impl FleetCostModel {
+    /// Nominal per-device thermal design power in watts:
+    /// `bandwidth × pJ/B` (the reallm `tdp` formula).
+    #[must_use]
+    pub fn device_tdp_w(&self) -> f64 {
+        self.bytes_per_second * self.pj_per_byte * 1e-12
+    }
+
+    /// Per-device memory cost in dollars.
+    #[must_use]
+    pub fn device_cost_usd(&self) -> f64 {
+        self.capacity_gb * self.cost_per_gb
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (`p` in `(0, 100]`).
+fn nearest_rank(sorted: &[u16], p: f64) -> u16 {
+    assert!(!sorted.is_empty(), "percentile of empty population");
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Population summary of one fleet artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopulationSummary {
+    /// Devices aggregated.
+    pub devices: u32,
+    /// Devices with at least one fault-free knot (the V_min percentiles
+    /// cover exactly these).
+    pub devices_with_v_min: u32,
+    /// 1st-percentile V_min in millivolts (best devices).
+    pub v_min_p1_mv: u16,
+    /// Median V_min in millivolts.
+    pub v_min_p50_mv: u16,
+    /// 99th-percentile V_min in millivolts (worst devices).
+    pub v_min_p99_mv: u16,
+    /// Smallest proven guardband against nominal, in millivolts.
+    pub guardband_min_mv: u16,
+    /// Mean proven guardband in millivolts.
+    pub guardband_mean_mv: f64,
+    /// Largest proven guardband in millivolts.
+    pub guardband_max_mv: u16,
+    /// Median crash floor in millivolts.
+    pub crash_p50_mv: u16,
+    /// Per-PC weak-device counts: entry `p` is how many devices flagged
+    /// pseudo channel `p` weak at the reference knot.
+    pub weak_census: Vec<u32>,
+    /// Devices flagging at least one weak PC.
+    pub devices_with_weak_pcs: u32,
+    /// Fleet memory cost in dollars.
+    pub fleet_cost_usd: f64,
+    /// Fleet power at nominal supply, in watts.
+    pub fleet_power_nominal_w: f64,
+    /// Fleet power with every device at its own V_min (devices without a
+    /// V_min stay at nominal), in watts.
+    pub fleet_power_undervolted_w: f64,
+    /// `1 − undervolted/nominal`.
+    pub fleet_power_saving: f64,
+}
+
+impl PopulationSummary {
+    /// Aggregates `records` (any order) under the artifact `meta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty fleet — artifacts always hold ≥ 1 device.
+    #[must_use]
+    pub fn from_records(
+        meta: &ArtifactMeta,
+        records: &[DeviceRecord],
+        cost: &FleetCostModel,
+    ) -> PopulationSummary {
+        assert!(!records.is_empty(), "population of zero devices");
+        let nominal = Millivolts(u32::from(meta.nominal_mv));
+        let power = HbmPowerModel::date21();
+
+        let mut v_mins: Vec<u16> = records
+            .iter()
+            .map(|r| r.v_min_mv)
+            .filter(|&v| v != NO_VMIN)
+            .collect();
+        v_mins.sort_unstable();
+        let mut crashes: Vec<u16> = records.iter().map(|r| r.crash_mv).collect();
+        crashes.sort_unstable();
+
+        let guardbands: Vec<u16> = v_mins
+            .iter()
+            .map(|&v| (nominal.as_u32() as u16).saturating_sub(v))
+            .collect();
+        let (gb_min, gb_max, gb_mean) = if guardbands.is_empty() {
+            (0, 0, 0.0)
+        } else {
+            (
+                *guardbands.iter().min().expect("non-empty"),
+                *guardbands.iter().max().expect("non-empty"),
+                guardbands.iter().map(|&g| f64::from(g)).sum::<f64>() / guardbands.len() as f64,
+            )
+        };
+
+        let mut weak_census = vec![0u32; meta.pc_count as usize];
+        let mut devices_with_weak = 0u32;
+        for rec in records {
+            if rec.weak_pcs != 0 {
+                devices_with_weak += 1;
+            }
+            for (pc, slot) in weak_census.iter_mut().enumerate() {
+                if rec.weak_pcs & (1u32 << pc) != 0 {
+                    *slot += 1;
+                }
+            }
+        }
+
+        let nominal_device_w = cost.device_tdp_w();
+        let nominal_fleet_w = nominal_device_w * records.len() as f64;
+        let undervolted_fleet_w: f64 = records
+            .iter()
+            .map(|rec| {
+                if rec.v_min_mv == NO_VMIN {
+                    nominal_device_w
+                } else {
+                    // The V² law of the fitted power model, applied to the
+                    // reallm TDP base: fault-free at V_min, full utilization.
+                    let setpoint = Millivolts(u32::from(rec.v_min_mv));
+                    nominal_device_w / power.saving_factor(setpoint, Ratio::ONE, Ratio::ZERO)
+                }
+            })
+            .sum();
+
+        let (p1, p50, p99) = if v_mins.is_empty() {
+            (NO_VMIN, NO_VMIN, NO_VMIN)
+        } else {
+            (
+                nearest_rank(&v_mins, 1.0),
+                nearest_rank(&v_mins, 50.0),
+                nearest_rank(&v_mins, 99.0),
+            )
+        };
+
+        PopulationSummary {
+            devices: records.len() as u32,
+            devices_with_v_min: v_mins.len() as u32,
+            v_min_p1_mv: p1,
+            v_min_p50_mv: p50,
+            v_min_p99_mv: p99,
+            guardband_min_mv: gb_min,
+            guardband_mean_mv: gb_mean,
+            guardband_max_mv: gb_max,
+            crash_p50_mv: nearest_rank(&crashes, 50.0),
+            weak_census,
+            devices_with_weak_pcs: devices_with_weak,
+            fleet_cost_usd: cost.device_cost_usd() * records.len() as f64,
+            fleet_power_nominal_w: nominal_fleet_w,
+            fleet_power_undervolted_w: undervolted_fleet_w,
+            fleet_power_saving: 1.0 - undervolted_fleet_w / nominal_fleet_w,
+        }
+    }
+
+    /// Renders the summary as aligned human-readable text.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("fleet devices        {}\n", self.devices));
+        out.push_str(&format!(
+            "v_min p1/p50/p99     {} / {} / {} mV  ({} devices measured)\n",
+            self.v_min_p1_mv, self.v_min_p50_mv, self.v_min_p99_mv, self.devices_with_v_min
+        ));
+        out.push_str(&format!(
+            "guardband min/mean/max {} / {:.1} / {} mV\n",
+            self.guardband_min_mv, self.guardband_mean_mv, self.guardband_max_mv
+        ));
+        out.push_str(&format!("crash floor p50      {} mV\n", self.crash_p50_mv));
+        let weak_total: u32 = self.weak_census.iter().sum();
+        out.push_str(&format!(
+            "weak PCs             {} flags across {} devices\n",
+            weak_total, self.devices_with_weak_pcs
+        ));
+        out.push_str(&format!(
+            "fleet cost           ${:.2}\n",
+            self.fleet_cost_usd
+        ));
+        out.push_str(&format!(
+            "fleet power          {:.1} W nominal -> {:.1} W undervolted ({:.1}% saved)\n",
+            self.fleet_power_nominal_w,
+            self.fleet_power_undervolted_w,
+            self.fleet_power_saving * 100.0
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FleetConfig;
+    use crate::sweep;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let sorted = [10u16, 20, 30, 40, 50];
+        assert_eq!(nearest_rank(&sorted, 1.0), 10);
+        assert_eq!(nearest_rank(&sorted, 50.0), 30);
+        assert_eq!(nearest_rank(&sorted, 99.0), 50);
+        assert_eq!(nearest_rank(&[7], 50.0), 7);
+    }
+
+    #[test]
+    fn summary_is_consistent_with_records() {
+        let cfg = FleetConfig {
+            devices: 12,
+            workers: 2,
+            words_per_pc: 8,
+            from: Millivolts(1000),
+            down_to: Millivolts(900),
+            step: Millivolts(20),
+            weak_reference: Millivolts(900),
+            ..FleetConfig::default()
+        };
+        let records = sweep::run(&cfg).unwrap().records;
+        let meta = crate::artifact::ArtifactMeta::from_config(&cfg);
+        let summary = PopulationSummary::from_records(&meta, &records, &FleetCostModel::default());
+        assert_eq!(summary.devices, 12);
+        assert!(summary.v_min_p1_mv <= summary.v_min_p50_mv);
+        assert!(summary.v_min_p50_mv <= summary.v_min_p99_mv || summary.devices_with_v_min == 0);
+        assert!(summary.fleet_power_undervolted_w <= summary.fleet_power_nominal_w);
+        assert!(summary.fleet_power_saving >= 0.0);
+        assert!((summary.fleet_cost_usd - 12.0 * 60.0).abs() < 1e-9);
+        let text = summary.to_text();
+        assert!(text.contains("fleet devices"), "{text}");
+    }
+}

@@ -1,0 +1,205 @@
+//! The fleet query API: per-device voltage recommendations straight off a
+//! columnar artifact.
+//!
+//! Semantics: for device `X` and target fault rate `Z`, walk the knot grid
+//! downward and keep the lowest knot that (a) sits on or above the
+//! device's crash floor and (b) still leaves at least `min_pcs` pseudo
+//! channels whose union fault rate is ≤ `Z`. The usable-PC list at that
+//! knot is the answer — the fleet-scale analogue of the single-device
+//! `FaultMap::usable_pcs` contract.
+
+use hbm_power::HbmPowerModel;
+use hbm_units::{Millivolts, Ratio};
+use serde::{Deserialize, Serialize};
+
+use crate::artifact::FleetStore;
+use crate::config::FleetError;
+use crate::record::CRASHED_KNOT;
+
+/// One fleet query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetQuery {
+    /// Device to look up.
+    pub device_id: u32,
+    /// Highest acceptable union fault rate per pseudo channel.
+    pub target_rate: f64,
+    /// Minimum pseudo channels that must stay usable.
+    pub min_pcs: usize,
+}
+
+/// A voltage recommendation for one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// Device the recommendation is for.
+    pub device_id: u32,
+    /// Recommended supply in millivolts.
+    pub voltage_mv: u16,
+    /// Pseudo channels usable at the recommendation (rate ≤ target).
+    pub usable_pcs: Vec<u8>,
+    /// The device's crash floor, for operator context.
+    pub crash_mv: u16,
+    /// Power-saving factor versus 1.20 V nominal under the paper's fitted
+    /// quadratic model (fault-free, same utilization).
+    pub saving_factor: f64,
+}
+
+impl FleetStore {
+    /// Answers `query` against this artifact.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownDevice`] when the device is absent;
+    /// [`FleetError::Config`] when the query itself is malformed (target
+    /// rate outside `[0, 1]`, or `min_pcs` exceeding the artifact's PC
+    /// count). A device whose curves never satisfy the query falls back
+    /// to the highest swept knot — the artifact proves nothing above it.
+    pub fn recommend(&self, query: FleetQuery) -> Result<Recommendation, FleetError> {
+        if !(0.0..=1.0).contains(&query.target_rate) {
+            return Err(FleetError::Config(format!(
+                "target rate must be in [0, 1], got {}",
+                query.target_rate
+            )));
+        }
+        let pcs = self.meta().pc_count as usize;
+        if query.min_pcs > pcs {
+            return Err(FleetError::Config(format!(
+                "min-pcs {} exceeds the artifact's {pcs} pseudo channels",
+                query.min_pcs
+            )));
+        }
+        let row = self.find(query.device_id)?;
+        let crash = Millivolts(u32::from(self.crash_mv(row)));
+        let bits = self.meta().bits_per_pc() as f64;
+        let knots = self.knots().to_vec();
+
+        let usable_at = |k: usize| -> Vec<u8> {
+            (0..pcs)
+                .filter(|&pc| {
+                    let count = self.fault(row, pc, k);
+                    count != CRASHED_KNOT && f64::from(count) / bits <= query.target_rate
+                })
+                .map(|pc| pc as u8)
+                .collect()
+        };
+
+        let mut best: Option<(usize, Vec<u8>)> = None;
+        for (k, &v) in knots.iter().enumerate() {
+            if v < crash {
+                break;
+            }
+            let usable = usable_at(k);
+            if usable.len() >= query.min_pcs {
+                best = Some((k, usable));
+            }
+        }
+        // No knot satisfies the query: recommend the top knot — the sweep
+        // proves nothing above it, so that is the safest stored answer.
+        let (k, usable) = best.unwrap_or_else(|| (0, usable_at(0)));
+        let voltage = knots[k];
+        let power = HbmPowerModel::date21();
+        Ok(Recommendation {
+            device_id: query.device_id,
+            voltage_mv: voltage.as_u32() as u16,
+            usable_pcs: usable,
+            crash_mv: crash.as_u32() as u16,
+            saving_factor: power.saving_factor(voltage, Ratio::ONE, Ratio::ZERO),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::encode;
+    use crate::config::FleetConfig;
+    use crate::sweep;
+
+    fn store() -> (FleetConfig, FleetStore) {
+        let cfg = FleetConfig {
+            devices: 4,
+            workers: 1,
+            words_per_pc: 16,
+            from: Millivolts(1000),
+            down_to: Millivolts(860),
+            step: Millivolts(20),
+            weak_reference: Millivolts(900),
+            ..FleetConfig::default()
+        };
+        let records = sweep::run(&cfg).unwrap().records;
+        let bytes = encode(&cfg, &records);
+        (cfg, FleetStore::from_bytes(bytes).unwrap())
+    }
+
+    #[test]
+    fn strict_queries_recommend_higher_voltages() {
+        let (_, store) = store();
+        let loose = store
+            .recommend(FleetQuery {
+                device_id: 1,
+                target_rate: 1e-2,
+                min_pcs: 24,
+            })
+            .unwrap();
+        let strict = store
+            .recommend(FleetQuery {
+                device_id: 1,
+                target_rate: 0.0,
+                min_pcs: 32,
+            })
+            .unwrap();
+        assert!(strict.voltage_mv >= loose.voltage_mv);
+        assert!(strict.usable_pcs.len() >= 32);
+        assert!(loose.voltage_mv >= strict.crash_mv);
+        assert!(loose.saving_factor >= strict.saving_factor);
+    }
+
+    #[test]
+    fn zero_tolerance_full_width_matches_v_min() {
+        let (_, store) = store();
+        for row in 0..store.len() {
+            let rec = store
+                .recommend(FleetQuery {
+                    device_id: store.device_id(row),
+                    target_rate: 0.0,
+                    min_pcs: store.meta().pc_count as usize,
+                })
+                .unwrap();
+            let v_min = store.v_min_mv(row);
+            if v_min != 0 {
+                assert_eq!(rec.voltage_mv, v_min, "device row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_queries_are_config_errors() {
+        let (_, store) = store();
+        for query in [
+            FleetQuery {
+                device_id: 0,
+                target_rate: -0.5,
+                min_pcs: 1,
+            },
+            FleetQuery {
+                device_id: 0,
+                target_rate: 1.5,
+                min_pcs: 1,
+            },
+            FleetQuery {
+                device_id: 0,
+                target_rate: 0.1,
+                min_pcs: 33,
+            },
+        ] {
+            assert!(matches!(store.recommend(query), Err(FleetError::Config(_))));
+        }
+        assert!(matches!(
+            store.recommend(FleetQuery {
+                device_id: 99,
+                target_rate: 0.1,
+                min_pcs: 1,
+            }),
+            Err(FleetError::UnknownDevice(99))
+        ));
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests pinning the fleet layer's determinism contract: every
+//! per-device record, the encoded artifact, and the population percentiles
+//! are bit-identical across worker counts and device scheduling orders,
+//! and the columnar artifact round-trips losslessly.
+
+use hbm_fleet::{
+    artifact, characterize_device, sweep, ArtifactMeta, FleetConfig, FleetCostModel, FleetError,
+    FleetExport, FleetStore, PopulationSummary, ARTIFACT_VERSION,
+};
+use hbm_units::Millivolts;
+use proptest::prelude::*;
+
+/// A small fleet whose knot grid straddles the crash-floor band
+/// (810 ± 15 mV), so schedules cover crashed and clean knots alike.
+fn small_config(devices: u32, base_seed: u64) -> FleetConfig {
+    FleetConfig {
+        devices,
+        base_seed,
+        workers: 1,
+        words_per_pc: 4,
+        from: Millivolts(960),
+        down_to: Millivolts(820),
+        step: Millivolts(20),
+        weak_reference: Millivolts(900),
+        ..FleetConfig::default()
+    }
+}
+
+/// Deterministic Fisher–Yates driven by an LCG, so shuffled schedules are
+/// reproducible from the proptest seed alone.
+fn shuffled_schedule(devices: u32, mut state: u64) -> Vec<u32> {
+    let mut schedule: Vec<u32> = (0..devices).collect();
+    for i in (1..schedule.len()).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        schedule.swap(i, j);
+    }
+    schedule
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn records_artifact_and_percentiles_are_scheduling_invariant(
+        devices in 3u32..12,
+        base_seed in 0u64..1_000_000,
+        shuffle in any::<u64>(),
+    ) {
+        let mut cfg = small_config(devices, base_seed);
+        let baseline = sweep::run(&cfg).unwrap();
+        let baseline_bytes = artifact::encode(&cfg, &baseline.records);
+        let meta = ArtifactMeta::from_config(&cfg);
+        let cost = FleetCostModel::default();
+        let baseline_summary =
+            PopulationSummary::from_records(&meta, &baseline.records, &cost);
+
+        for workers in [2usize, 4, 8] {
+            cfg.workers = workers;
+            let report = sweep::run(&cfg).unwrap();
+            prop_assert_eq!(&report.records, &baseline.records, "workers {}", workers);
+            prop_assert_eq!(
+                artifact::encode(&cfg, &report.records),
+                baseline_bytes.clone(),
+                "artifact bytes diverged at {} workers",
+                workers
+            );
+            prop_assert_eq!(
+                PopulationSummary::from_records(&meta, &report.records, &cost),
+                baseline_summary.clone(),
+                "percentiles diverged at {} workers",
+                workers
+            );
+        }
+
+        // An adversarially shuffled schedule under a worker count that
+        // does not divide the fleet must still merge to the same records.
+        cfg.workers = 3;
+        let schedule = shuffled_schedule(devices, shuffle);
+        let shuffled = sweep::run_scheduled(&cfg, &schedule, characterize_device).unwrap();
+        prop_assert_eq!(&shuffled.records, &baseline.records);
+        prop_assert_eq!(
+            artifact::encode(&cfg, &shuffled.records),
+            baseline_bytes
+        );
+    }
+
+    #[test]
+    fn artifact_write_read_export_round_trips(
+        devices in 1u32..8,
+        base_seed in 0u64..1_000_000,
+    ) {
+        let cfg = small_config(devices, base_seed);
+        let report = sweep::run(&cfg).unwrap();
+
+        let path = std::env::temp_dir().join(format!(
+            "fleet-prop-{}-{base_seed}-{devices}.hbfa",
+            std::process::id()
+        ));
+        let written = artifact::write_to_path(&path, &cfg, &report.records).unwrap();
+        let store = FleetStore::open(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        prop_assert_eq!(written, artifact::encode(&cfg, &report.records).len() as u64);
+        prop_assert_eq!(store.meta(), &ArtifactMeta::from_config(&cfg));
+        prop_assert_eq!(store.records(), report.records.clone());
+        prop_assert_eq!(
+            store.export().to_json(),
+            FleetExport::from_records(&cfg, &report.records).to_json()
+        );
+    }
+
+    #[test]
+    fn future_artifact_versions_are_rejected(bump in 1u32..1000) {
+        let cfg = small_config(2, 7);
+        let report = sweep::run(&cfg).unwrap();
+        let mut bytes = artifact::encode(&cfg, &report.records);
+        let future = ARTIFACT_VERSION + bump;
+        bytes[4..8].copy_from_slice(&future.to_le_bytes());
+        match FleetStore::from_bytes(bytes) {
+            Err(FleetError::Version { found, expected }) => {
+                prop_assert_eq!(found, future);
+                prop_assert_eq!(expected, ARTIFACT_VERSION);
+            }
+            Err(other) => return Err(TestCaseError::fail(format!(
+                "expected a version error, got {other}"
+            ))),
+            Ok(_) => return Err(TestCaseError::fail(
+                "a future-versioned artifact must not load",
+            )),
+        }
+    }
+}

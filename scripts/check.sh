@@ -5,8 +5,8 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace -- -D warnings
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -87,6 +87,29 @@ trace4="$(mktemp -u /tmp/hbmctl-trace-w4-XXXXXX.jsonl)"
 cmp "$trace1" "$trace4"
 grep -q SweepCompleted "$trace1"
 rm -f "$trace1" "$trace4"
+
+# Fleet determinism gate: per-device records, artifact bytes and
+# population percentiles bit-identical across worker counts and shuffled
+# scheduling, plus artifact roundtrip and version-bump rejection.
+echo "==> fleet determinism property tests"
+cargo test -q -p hbm-fleet --test properties
+cargo test -q --test fleet_determinism
+
+# Smoke: a small fleet sweep persists a columnar artifact the query and
+# summary paths can read, and its JSON export is byte-identical to the
+# committed golden — any drift in the engine, the artifact codec or the
+# export serialization fails the gate.
+echo "==> hbmctl fleet sweep/query/export smoke"
+hbfa="$(mktemp -u /tmp/hbmctl-fleet-XXXXXX.hbfa)"
+fjson="$(mktemp -u /tmp/hbmctl-fleet-XXXXXX.json)"
+./target/release/hbmctl fleet sweep --devices 4 --words 8 \
+    --from 960 --to 820 --step 20 --weak-reference 900 \
+    --out "$hbfa" >/dev/null
+./target/release/hbmctl fleet query --artifact "$hbfa" --device 2 >/dev/null
+./target/release/hbmctl fleet summary --artifact "$hbfa" >/dev/null
+./target/release/hbmctl fleet export --artifact "$hbfa" >"$fjson"
+cmp "$fjson" scripts/golden/fleet_smoke.json
+rm -f "$hbfa" "$fjson"
 
 # Forced-crash trace: the recovery story must appear as typed events.
 tracec="$(mktemp -u /tmp/hbmctl-trace-crash-XXXXXX.jsonl)"

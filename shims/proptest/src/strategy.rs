@@ -17,10 +17,7 @@ pub trait Strategy {
     where
         Self: Sized,
     {
-        Map {
-            source: self,
-            map,
-        }
+        Map { source: self, map }
     }
 
     /// Retains only generated values satisfying the predicate; other draws
@@ -82,7 +79,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return candidate;
             }
         }
-        panic!("prop_filter `{}` rejected 1024 consecutive draws", self.whence);
+        panic!(
+            "prop_filter `{}` rejected 1024 consecutive draws",
+            self.whence
+        );
     }
 }
 

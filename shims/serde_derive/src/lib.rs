@@ -26,8 +26,14 @@ struct Variant {
 }
 
 enum Item {
-    Struct { name: String, fields: Fields },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Derives the stand-in `serde::Serialize` (value-tree construction).
@@ -228,7 +234,10 @@ fn serialize_struct(name: &str, fields: &Fields) -> String {
                     )
                 })
                 .collect();
-            format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
         }
         Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
         Fields::Tuple(n) => {
@@ -309,9 +318,7 @@ fn named_struct_constructor(path: &str, field_names: &[String], source: &str) ->
     let fields: Vec<String> = field_names
         .iter()
         .map(|f| {
-            format!(
-                "{f}: ::serde::Deserialize::from_value(::serde::field({source}, \"{f}\")?)?"
-            )
+            format!("{f}: ::serde::Deserialize::from_value(::serde::field({source}, \"{f}\")?)?")
         })
         .collect();
     format!("{path} {{ {} }}", fields.join(", "))
@@ -324,9 +331,9 @@ fn deserialize_struct(name: &str, fields: &Fields) -> String {
             "::std::result::Result::Ok({})",
             named_struct_constructor(name, field_names, "value")
         ),
-        Fields::Tuple(1) => format!(
-            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
-        ),
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
         Fields::Tuple(n) => {
             let items: Vec<String> = (0..*n)
                 .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))

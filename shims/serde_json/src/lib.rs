@@ -155,10 +155,7 @@ fn parse_value(text: &str) -> Result<Value, Error> {
 
 impl Parser<'_> {
     fn skip_whitespace(&mut self) {
-        while matches!(
-            self.bytes.get(self.pos),
-            Some(b' ' | b'\t' | b'\n' | b'\r')
-        ) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
             self.pos += 1;
         }
     }
@@ -226,7 +223,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Value::Array(items));
                 }
-                _ => return Err(Error::custom(format!("expected `,` or `]` at {}", self.pos))),
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `]` at {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -254,7 +256,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Value::Object(entries));
                 }
-                _ => return Err(Error::custom(format!("expected `,` or `}}` at {}", self.pos))),
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `}}` at {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }

@@ -12,6 +12,7 @@
 //! - [`power`]: analytical power models
 //! - [`faults`]: the voltage-dependent fault model
 //! - [`traffic`]: AXI traffic generators
+//! - [`fleet`]: population-scale characterization and the columnar artifact
 //! - [`undervolt`]: the study's measurement methodology (the core library)
 //!
 //! # Examples
@@ -28,6 +29,7 @@
 pub use hbm_device as device;
 pub use hbm_ecc as ecc;
 pub use hbm_faults as faults;
+pub use hbm_fleet as fleet;
 pub use hbm_power as power;
 pub use hbm_traffic as traffic;
 pub use hbm_undervolt as undervolt;

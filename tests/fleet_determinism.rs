@@ -1,0 +1,70 @@
+//! The fleet engine's hard guarantee, pinned at the workspace tier: the
+//! work-stealing multi-device sweep produces bit-identical records,
+//! artifacts and population statistics for every worker count and
+//! scheduling order, and `hbmctl fleet` results therefore depend only on
+//! `(config, device_id)`.
+
+use hbm_undervolt_suite::fleet::{
+    artifact, characterize_device, sweep, ArtifactMeta, FleetConfig, FleetCostModel,
+    PopulationSummary,
+};
+use hbm_units::Millivolts;
+
+fn fleet_config(workers: usize) -> FleetConfig {
+    FleetConfig {
+        devices: 24,
+        base_seed: 7,
+        workers,
+        words_per_pc: 8,
+        from: Millivolts(960),
+        down_to: Millivolts(820),
+        step: Millivolts(20),
+        weak_reference: Millivolts(900),
+        ..FleetConfig::default()
+    }
+}
+
+#[test]
+fn fleet_records_are_identical_across_worker_counts() {
+    let baseline = sweep::run(&fleet_config(1)).unwrap();
+    for workers in [2, 3, 8] {
+        let report = sweep::run(&fleet_config(workers)).unwrap();
+        assert_eq!(
+            report.records, baseline.records,
+            "{workers} workers diverged from the sequential run"
+        );
+    }
+}
+
+#[test]
+fn fleet_artifact_and_summary_are_schedule_independent() {
+    let cfg = fleet_config(4);
+    let forward = sweep::run(&cfg).unwrap();
+
+    // Workers encountering devices in reverse order must merge to the
+    // same artifact bytes and the same population roll-up.
+    let reversed: Vec<u32> = (0..cfg.devices).rev().collect();
+    let backward = sweep::run_scheduled(&cfg, &reversed, characterize_device).unwrap();
+
+    assert_eq!(
+        artifact::encode(&cfg, &forward.records),
+        artifact::encode(&cfg, &backward.records)
+    );
+    let meta = ArtifactMeta::from_config(&cfg);
+    let cost = FleetCostModel::default();
+    assert_eq!(
+        PopulationSummary::from_records(&meta, &forward.records, &cost),
+        PopulationSummary::from_records(&meta, &backward.records, &cost)
+    );
+}
+
+#[test]
+fn every_device_is_swept_exactly_once() {
+    let cfg = fleet_config(0);
+    let report = sweep::run(&cfg).unwrap();
+    assert_eq!(report.records.len(), cfg.devices as usize);
+    assert_eq!(report.stats.devices_swept, u64::from(cfg.devices));
+    for (i, record) in report.records.iter().enumerate() {
+        assert_eq!(record.device_id, i as u32, "records sorted by device ID");
+    }
+}
