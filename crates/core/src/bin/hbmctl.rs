@@ -29,8 +29,15 @@
 //! hbmctl fleet query   --artifact FILE --device ID
 //!                      [--target-rate R] [--min-pcs N] [--format text|json]
 //! hbmctl fleet export  --artifact FILE [--out FILE]
-//! hbmctl fleet summary --artifact FILE
+//! hbmctl fleet summary --artifact FILE [--format text|json]
+//! hbmctl fleet compress --artifact FILE --out FILE [--keep-exact]
+//! hbmctl fleet fidelity --artifact FILE [--format text|json]
+//! hbmctl serve         --artifact FILE
 //! ```
+//!
+//! Every fleet question — one-shot subcommand or long-lived `serve` loop —
+//! routes through the same typed [`FleetRequest`]/[`FleetResponse`] pair
+//! from `hbm_fleet::api`, so the two transports cannot drift.
 //!
 //! Exit codes: `0` success, `1` runtime failure (an experiment, device or
 //! I/O error), `2` configuration/usage error (bad flags, bad values —
@@ -41,8 +48,8 @@ use std::process::ExitCode;
 use hbm_device::TransientCrashModel;
 use hbm_faults::FaultMap;
 use hbm_fleet::{
-    ArtifactMeta, FleetConfig, FleetCostModel, FleetError, FleetExport, FleetQuery, FleetStore,
-    PopulationSummary,
+    ApiError, ArtifactMeta, FleetConfig, FleetCostModel, FleetError, FleetExport, FleetRequest,
+    FleetResponse, FleetService, FleetStore, PopulationSummary,
 };
 use hbm_power::HbmPowerModel;
 use hbm_traffic::DataPattern;
@@ -56,7 +63,7 @@ use hbm_undervolt::{
 use hbm_units::{Millivolts, Ratio};
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["resume", "progress"];
+const BOOLEAN_FLAGS: &[&str] = &["resume", "progress", "keep-exact"];
 
 /// A CLI failure, split by blame so `main` can pick the exit code:
 /// configuration/usage problems exit 2 (with the usage text), runtime
@@ -168,7 +175,10 @@ const USAGE: &str = "usage:
   hbmctl fleet query   --artifact FILE --device ID [--target-rate R] [--min-pcs N]
                        [--format text|json]
   hbmctl fleet export  --artifact FILE [--out FILE]
-  hbmctl fleet summary --artifact FILE";
+  hbmctl fleet summary --artifact FILE [--format text|json]
+  hbmctl fleet compress --artifact FILE --out FILE [--keep-exact]
+  hbmctl fleet fidelity --artifact FILE [--format text|json]
+  hbmctl serve         --artifact FILE";
 
 fn run() -> Result<(), CliError> {
     let args = Args::parse()?;
@@ -193,6 +203,7 @@ fn run() -> Result<(), CliError> {
         "fault-map" => fault_map(seed, &args),
         "plan" => plan(seed, &args),
         "fleet" => fleet(seed, &args),
+        "serve" => serve_loop(&args),
         other => Err(CliError::config(format!("unknown command: {other}"))),
     }
 }
@@ -479,15 +490,20 @@ fn plan(seed: u64, args: &Args) -> Result<(), CliError> {
 /// artifact, and answer per-device voltage queries against it.
 fn fleet(seed: u64, args: &Args) -> Result<(), CliError> {
     let sub = args.positional.get(1).map(String::as_str).ok_or_else(|| {
-        CliError::config("fleet needs a subcommand: sweep, query, export or summary")
+        CliError::config(
+            "fleet needs a subcommand: sweep, query, export, summary, compress or fidelity",
+        )
     })?;
     match sub {
         "sweep" => fleet_sweep(seed, args),
         "query" => fleet_query(args),
         "export" => fleet_export(args),
         "summary" => fleet_summary(args),
+        "compress" => fleet_compress(args),
+        "fidelity" => fleet_fidelity(args),
         other => Err(CliError::config(format!(
-            "unknown fleet subcommand: {other} (use sweep, query, export or summary)"
+            "unknown fleet subcommand: {other} \
+             (use sweep, query, export, summary, compress or fidelity)"
         ))),
     }
 }
@@ -611,19 +627,56 @@ fn fleet_sweep(seed: u64, args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Splits typed-API errors by blame like [`fleet_err`]: `kind: "config"`
+/// is a usage mistake (exit 2, usage text), every other kind a runtime
+/// failure (exit 1).
+fn api_err(error: &ApiError) -> CliError {
+    if error.kind == "config" {
+        CliError::config(error.message.clone())
+    } else {
+        CliError::runtime(error.message.clone())
+    }
+}
+
+/// Sends one request through the typed API and unwraps the error variant
+/// into the CLI's exit-code discipline — the single funnel every one-shot
+/// fleet question goes through, identical to a `serve` session's routing.
+fn ask(service: &FleetService, request: FleetRequest) -> Result<FleetResponse, CliError> {
+    match service.handle(&request) {
+        FleetResponse::Error(err) => Err(api_err(&err)),
+        response => Ok(response),
+    }
+}
+
+/// Folds a service's serving counters into the shared metrics registry so
+/// one-shot queries and `serve` sessions surface through the same
+/// vocabulary as sweeps.
+fn fold_serve_stats(service: &FleetService, telemetry: &Telemetry) {
+    let stats = service.stats();
+    let metrics = telemetry.metrics();
+    metrics.add_queries_served(stats.queries_served);
+    metrics.add_compressed_hits(stats.compressed_hits);
+    metrics.add_exact_rescans(stats.exact_rescans);
+    metrics.set_model_bytes(stats.model_bytes);
+}
+
 fn fleet_query(args: &Args) -> Result<(), CliError> {
-    let store = open_store(args)?;
+    let service = FleetService::new(open_store(args)?);
     let device_id: u32 = args.required("device")?;
     let target_rate: f64 = args.flag("target-rate", 1e-4)?;
-    let min_pcs: usize = args.flag("min-pcs", 1usize)?;
+    let min_pcs: u32 = args.flag("min-pcs", 1u32)?;
     let format: String = args.flag("format", "text".to_owned())?;
-    let rec = store
-        .recommend(FleetQuery {
-            device_id,
-            target_rate,
-            min_pcs,
-        })
-        .map_err(fleet_err)?;
+    let request = FleetRequest::Recommend {
+        device_id,
+        target_rate,
+        min_pcs,
+    };
+    let response = ask(&service, request)?;
+    let FleetResponse::Recommendation(rec) = &response else {
+        return Err(CliError::runtime(
+            "recommend answered with a non-recommendation",
+        ));
+    };
     match format.as_str() {
         "text" => {
             println!("device {device_id} (target rate {target_rate:.1e}, >= {min_pcs} PCs):");
@@ -631,15 +684,12 @@ fn fleet_query(args: &Args) -> Result<(), CliError> {
             println!(
                 "  usable PCs     {} of {}",
                 rec.usable_pcs.len(),
-                store.meta().pc_count
+                service.store().meta().pc_count
             );
             println!("  crash floor    {} mV", rec.crash_mv);
             println!("  power saving   {:.2}x vs nominal", rec.saving_factor);
         }
-        "json" => println!(
-            "{}",
-            to_json(&rec).map_err(|e| CliError::runtime(e.to_string()))?
-        ),
+        "json" => println!("{}", response.to_json().map_err(|e| api_err(&e))?),
         other => {
             return Err(CliError::config(format!(
                 "unknown format: {other} (use text or json)"
@@ -650,8 +700,11 @@ fn fleet_query(args: &Args) -> Result<(), CliError> {
 }
 
 fn fleet_export(args: &Args) -> Result<(), CliError> {
-    let store = open_store(args)?;
-    let json = store.export().to_json();
+    let service = FleetService::new(open_store(args)?);
+    let FleetResponse::Export(doc) = ask(&service, FleetRequest::Export)? else {
+        return Err(CliError::runtime("export answered with a non-export"));
+    };
+    let json = doc.to_json();
     match args.optional::<String>("out")? {
         Some(path) => {
             checked_path(&path, "out")?;
@@ -659,7 +712,7 @@ fn fleet_export(args: &Args) -> Result<(), CliError> {
                 .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
             println!(
                 "fleet export: {} devices -> {path} ({} bytes)",
-                store.len(),
+                service.store().len(),
                 json.len()
             );
         }
@@ -669,9 +722,105 @@ fn fleet_export(args: &Args) -> Result<(), CliError> {
 }
 
 fn fleet_summary(args: &Args) -> Result<(), CliError> {
+    let service = FleetService::new(open_store(args)?);
+    let format: String = args.flag("format", "text".to_owned())?;
+    let response = ask(&service, FleetRequest::Summary)?;
+    let FleetResponse::Summary(summary) = &response else {
+        return Err(CliError::runtime("summary answered with a non-summary"));
+    };
+    match format.as_str() {
+        "text" => print!("{}", summary.to_text()),
+        "json" => println!("{}", response.to_json().map_err(|e| api_err(&e))?),
+        other => {
+            return Err(CliError::config(format!(
+                "unknown format: {other} (use text or json)"
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// `hbmctl fleet compress`: re-encode an exact artifact with fitted
+/// parametric models (and optionally the exact columns alongside).
+fn fleet_compress(args: &Args) -> Result<(), CliError> {
     let store = open_store(args)?;
-    let summary =
-        PopulationSummary::from_records(store.meta(), &store.records(), &FleetCostModel::default());
-    print!("{}", summary.to_text());
+    let out: String = args.required("out")?;
+    checked_path(&out, "out")?;
+    let keep_exact: bool = args.flag("keep-exact", false)?;
+    let before = store.size_bytes();
+    let bytes = hbm_fleet::model::compress_store(&store, keep_exact).map_err(fleet_err)?;
+    std::fs::write(&out, &bytes).map_err(|e| CliError::runtime(format!("writing {out}: {e}")))?;
+    println!(
+        "fleet compress: {} devices, {before} -> {} bytes ({:.1}x){} -> {out}",
+        store.len(),
+        bytes.len(),
+        before as f64 / bytes.len() as f64,
+        if keep_exact { ", exact kept" } else { "" }
+    );
+    Ok(())
+}
+
+/// `hbmctl fleet fidelity`: quantify the compressed models against the
+/// exact columns of the same artifact.
+fn fleet_fidelity(args: &Args) -> Result<(), CliError> {
+    let service = FleetService::new(open_store(args)?);
+    let format: String = args.flag("format", "text".to_owned())?;
+    let response = ask(&service, FleetRequest::Fidelity)?;
+    let FleetResponse::Fidelity(report) = &response else {
+        return Err(CliError::runtime("fidelity answered with a non-report"));
+    };
+    match format.as_str() {
+        "text" => print!("{}", report.to_text()),
+        "json" => println!("{}", response.to_json().map_err(|e| api_err(&e))?),
+        other => {
+            return Err(CliError::config(format!(
+                "unknown format: {other} (use text or json)"
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// `hbmctl serve`: load one artifact and answer typed requests over
+/// stdin/stdout as line-delimited JSON until EOF — no per-query artifact
+/// load, model-first recommendations, exact evidence only on fallback.
+fn serve_loop(args: &Args) -> Result<(), CliError> {
+    let service = FleetService::new(open_store(args)?);
+    eprintln!(
+        "hbmctl: serving {} devices ({}, {} model bytes); \
+         one JSON request per line, EOF ends the session",
+        service.store().len(),
+        if service.store().has_exact_counts() {
+            "exact+model"
+        } else if service.store().has_model() {
+            "model only"
+        } else {
+            "exact only"
+        },
+        service.store().model_bytes()
+    );
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let stats = hbm_fleet::serve::serve(&service, stdin.lock(), stdout.lock())
+        .map_err(|e| CliError::runtime(format!("serve transport: {e}")))?;
+    let telemetry = Telemetry::new();
+    fold_serve_stats(&service, &telemetry);
+    telemetry.finish();
+    eprintln!(
+        "hbmctl: served {} quer{} ({} compressed hit{}, {} exact rescan{}, \
+         {} exact column reads, {} model bytes)",
+        stats.queries_served,
+        if stats.queries_served == 1 {
+            "y"
+        } else {
+            "ies"
+        },
+        stats.compressed_hits,
+        if stats.compressed_hits == 1 { "" } else { "s" },
+        stats.exact_rescans,
+        if stats.exact_rescans == 1 { "" } else { "s" },
+        service.store().exact_column_reads(),
+        stats.model_bytes
+    );
     Ok(())
 }

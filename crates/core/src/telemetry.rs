@@ -358,6 +358,10 @@ pub struct Metrics {
     devices_swept: AtomicU64,
     devices_stolen: AtomicU64,
     artifact_bytes_written: AtomicU64,
+    queries_served: AtomicU64,
+    compressed_hits: AtomicU64,
+    exact_rescans: AtomicU64,
+    model_bytes: AtomicU64,
     point_wall_ms: Mutex<Histogram>,
 }
 
@@ -382,6 +386,10 @@ impl Metrics {
             devices_swept: AtomicU64::new(0),
             devices_stolen: AtomicU64::new(0),
             artifact_bytes_written: AtomicU64::new(0),
+            queries_served: AtomicU64::new(0),
+            compressed_hits: AtomicU64::new(0),
+            exact_rescans: AtomicU64::new(0),
+            model_bytes: AtomicU64::new(0),
             point_wall_ms: Mutex::new(Histogram::new()),
         }
     }
@@ -443,6 +451,29 @@ impl Metrics {
         self.artifact_bytes_written.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` fleet requests answered through the typed API.
+    pub fn add_queries_served(&self, n: u64) {
+        self.queries_served.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` recommendations answered purely from the compressed
+    /// parametric models, with zero exact-column reads.
+    pub fn add_compressed_hits(&self, n: u64) {
+        self.compressed_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` recommendations that needed exact evidence — a stored
+    /// FAULTS column read or an on-demand kernel rescan.
+    pub fn add_exact_rescans(&self, n: u64) {
+        self.exact_rescans.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the loaded-MODEL-column size gauge: bytes of compressed
+    /// model resident in the serving store.
+    pub fn set_model_bytes(&self, n: u64) {
+        self.model_bytes.store(n, Ordering::Relaxed);
+    }
+
     /// Overwrites the injector tile-cache counters with the injector's
     /// lifetime totals (folded in once at the end of an observed run).
     pub fn set_tile_cache(&self, hits: u64, misses: u64) {
@@ -491,6 +522,10 @@ impl Metrics {
             devices_swept: self.devices_swept.load(Ordering::Relaxed),
             devices_stolen: self.devices_stolen.load(Ordering::Relaxed),
             artifact_bytes_written: self.artifact_bytes_written.load(Ordering::Relaxed),
+            queries_served: self.queries_served.load(Ordering::Relaxed),
+            compressed_hits: self.compressed_hits.load(Ordering::Relaxed),
+            exact_rescans: self.exact_rescans.load(Ordering::Relaxed),
+            model_bytes: self.model_bytes.load(Ordering::Relaxed),
             point_wall_ms: wall.stats(),
         }
     }
@@ -538,6 +573,15 @@ pub struct MetricsSnapshot {
     pub devices_stolen: u64,
     /// Fleet-artifact bytes durably written.
     pub artifact_bytes_written: u64,
+    /// Fleet requests answered through the typed API.
+    pub queries_served: u64,
+    /// Recommendations answered purely from compressed models.
+    pub compressed_hits: u64,
+    /// Recommendations that needed exact evidence (stored column or
+    /// kernel rescan).
+    pub exact_rescans: u64,
+    /// Bytes of compressed MODEL column resident in the serving store.
+    pub model_bytes: u64,
     /// Per-point wall-time distribution.
     pub point_wall_ms: WallTimeStats,
 }

@@ -306,6 +306,212 @@ fn fleet_sweep_query_export_round_trip() {
     let _ = std::fs::remove_file(&direct);
 }
 
+/// Runs `hbmctl` with `input` piped to stdin, returning the completed
+/// output.
+fn hbmctl_with_stdin(args: &[&str], input: &str) -> Output {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hbmctl"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn hbmctl");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(input.as_bytes())
+        .expect("write requests");
+    child.wait_with_output().expect("hbmctl exit")
+}
+
+/// Degenerate target rates (exactly 0.0 or 1.0, or out of range) and an
+/// impossible PC floor are usage mistakes: exit 2 with the usage block,
+/// through the same typed validation the serve loop applies.
+#[test]
+fn fleet_query_boundary_parameters_exit_two_with_usage() {
+    let artifact = temp_path("fleet-boundary");
+    let _ = std::fs::remove_file(&artifact);
+    let out = hbmctl(&[
+        "fleet",
+        "sweep",
+        "--devices",
+        "2",
+        "--words",
+        "8",
+        "--out",
+        &artifact,
+    ]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+
+    for (flag, value) in [
+        ("--target-rate", "0.0"),
+        ("--target-rate", "1.0"),
+        ("--target-rate", "-0.5"),
+        ("--target-rate", "1.5"),
+        ("--min-pcs", "33"),
+    ] {
+        let out = hbmctl(&[
+            "fleet",
+            "query",
+            "--artifact",
+            &artifact,
+            "--device",
+            "0",
+            flag,
+            value,
+        ]);
+        assert_eq!(exit_code(&out), 2, "{flag} {value}: {out:?}");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("usage:"), "{flag} {value}: {stderr}");
+    }
+    let _ = std::fs::remove_file(&artifact);
+}
+
+/// Every one-shot fleet question and its `serve` equivalent produce the
+/// same bytes: both transports route through `hbm_fleet::api`, and this
+/// replay pins that they cannot drift.
+#[test]
+fn serve_replays_one_shot_fleet_answers_identically() {
+    let artifact = temp_path("fleet-serve-replay");
+    let _ = std::fs::remove_file(&artifact);
+    let out = hbmctl(&[
+        "fleet",
+        "sweep",
+        "--devices",
+        "3",
+        "--words",
+        "8",
+        "--out",
+        &artifact,
+    ]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+
+    let one_shot = |args: &[&str]| -> String {
+        let out = hbmctl(args);
+        assert_eq!(exit_code(&out), 0, "{args:?}: {out:?}");
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let query = one_shot(&[
+        "fleet",
+        "query",
+        "--artifact",
+        &artifact,
+        "--device",
+        "1",
+        "--target-rate",
+        "1e-3",
+        "--min-pcs",
+        "16",
+        "--format",
+        "json",
+    ]);
+    let summary = one_shot(&[
+        "fleet",
+        "summary",
+        "--artifact",
+        &artifact,
+        "--format",
+        "json",
+    ]);
+    let fidelity = one_shot(&[
+        "fleet",
+        "fidelity",
+        "--artifact",
+        &artifact,
+        "--format",
+        "json",
+    ]);
+    let export = one_shot(&["fleet", "export", "--artifact", &artifact]);
+
+    let requests = concat!(
+        "{\"Recommend\":{\"device_id\":1,\"target_rate\":0.001,\"min_pcs\":16}}\n",
+        "\"Summary\"\n",
+        "\"Fidelity\"\n",
+        "\"Export\"\n",
+    );
+    let out = hbmctl_with_stdin(&["serve", "--artifact", &artifact], requests);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 4, "{stdout}");
+    assert_eq!(lines[0], query.trim_end(), "query diverged from serve");
+    assert_eq!(lines[1], summary.trim_end(), "summary diverged from serve");
+    assert_eq!(
+        lines[2],
+        fidelity.trim_end(),
+        "fidelity diverged from serve"
+    );
+    // The one-shot export prints the bare document; serve wraps it in the
+    // response envelope around the same serialization.
+    assert_eq!(
+        lines[3],
+        format!("{{\"Export\":{}}}", export.trim_end()),
+        "export diverged from serve"
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("served 4 queries"), "{stderr}");
+    let _ = std::fs::remove_file(&artifact);
+}
+
+/// A compress -> serve pipeline answers recommendations from the model
+/// alone: the counters prove zero exact-column reads on the happy path.
+#[test]
+fn compressed_serving_reports_zero_exact_reads() {
+    let artifact = temp_path("fleet-compress-src");
+    let compressed = temp_path("fleet-compress-dst");
+    let _ = std::fs::remove_file(&artifact);
+    let _ = std::fs::remove_file(&compressed);
+    // An all-clean grid far above the crash band: every cell is certainly
+    // fault-free, so the envelope decides every query.
+    let out = hbmctl(&[
+        "fleet",
+        "sweep",
+        "--devices",
+        "2",
+        "--words",
+        "8",
+        "--from",
+        "1000",
+        "--to",
+        "960",
+        "--weak-reference",
+        "980",
+        "--out",
+        &artifact,
+    ]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let out = hbmctl(&[
+        "fleet",
+        "compress",
+        "--artifact",
+        &artifact,
+        "--out",
+        &compressed,
+        "--keep-exact",
+    ]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("exact kept"), "{stdout}");
+
+    let requests = concat!(
+        "{\"Recommend\":{\"device_id\":0,\"target_rate\":0.01,\"min_pcs\":16}}\n",
+        "{\"Recommend\":{\"device_id\":1,\"target_rate\":0.001,\"min_pcs\":32}}\n",
+        "\"Summary\"\n",
+    );
+    let out = hbmctl_with_stdin(&["serve", "--artifact", &compressed], requests);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("2 compressed hits, 0 exact rescans, 0 exact column reads"),
+        "counters must prove the model served alone: {stderr}"
+    );
+    let _ = std::fs::remove_file(&artifact);
+    let _ = std::fs::remove_file(&compressed);
+}
+
 #[test]
 fn resume_reuses_checkpointed_points() {
     let path = temp_path("resume");

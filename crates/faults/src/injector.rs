@@ -609,10 +609,11 @@ impl FaultInjector {
 
     /// Reference implementation of [`FaultInjector::class_probabilities`]
     /// that recomputes the variation shift and response curves per word
-    /// instead of consulting the tile cache. Kept as the validation oracle
-    /// for the cached kernel.
+    /// instead of consulting the tile cache. Internal validation oracle for
+    /// the cached kernel, reachable through
+    /// [`crate::MaskKernel::reference_masks`].
     #[must_use]
-    pub fn class_probabilities_per_word(
+    pub(crate) fn class_probabilities_per_word(
         &self,
         pc: PcIndex,
         offset: WordOffset,
@@ -661,22 +662,8 @@ impl FaultInjector {
 
     /// Reference per-word implementation of [`FaultInjector::stuck_masks`]:
     /// the pre-cache kernel, recomputing shift, probabilities and gates from
-    /// scratch for every word. Property tests assert the cached kernel is
-    /// bit-identical to this path; the experiment layer can select it via
-    /// its traffic execution mode.
-    #[deprecated(note = "use FaultInjector::kernel(...) and MaskKernel::reference_masks")]
-    #[must_use]
-    pub fn stuck_masks_per_word(
-        &self,
-        pc: PcIndex,
-        offset: WordOffset,
-        supply: Millivolts,
-    ) -> (Word256, Word256) {
-        self.stuck_masks_per_word_impl(pc, offset, supply)
-    }
-
-    /// The body of the deprecated [`FaultInjector::stuck_masks_per_word`]
-    /// shim; stays the scalar oracle every backend is tested against.
+    /// scratch for every word. The scalar oracle every backend is tested
+    /// against, reachable through [`crate::MaskKernel::reference_masks`].
     pub(crate) fn stuck_masks_per_word_impl(
         &self,
         pc: PcIndex,
@@ -2333,7 +2320,7 @@ mod tests {
                 let w = WordOffset(w);
                 assert_eq!(
                     inj.stuck_masks(pc(6), w, v),
-                    inj.stuck_masks_per_word(pc(6), w, v),
+                    inj.stuck_masks_per_word_impl(pc(6), w, v),
                     "masks diverge at {v} {w}"
                 );
                 assert_eq!(
@@ -2354,7 +2341,7 @@ mod tests {
             let mut n0 = 0u64;
             let mut n1 = 0u64;
             for w in range.clone() {
-                let (s0, s1) = inj.stuck_masks_per_word(pc(4), WordOffset(w), v);
+                let (s0, s1) = inj.stuck_masks_per_word_impl(pc(4), WordOffset(w), v);
                 n0 += u64::from(s0.count_ones());
                 n1 += u64::from(s1.count_ones());
             }
@@ -2385,7 +2372,7 @@ mod tests {
         for w in 0..64 {
             assert_eq!(
                 inj.stuck_masks(pc(0), WordOffset(w), v),
-                inj.stuck_masks_per_word(pc(0), WordOffset(w), v),
+                inj.stuck_masks_per_word_impl(pc(0), WordOffset(w), v),
                 "stale tile cache leaked after temperature change"
             );
         }
@@ -2427,7 +2414,7 @@ mod tests {
             let mut n0 = 0u64;
             let mut n1 = 0u64;
             for w in 0..2048 {
-                let (s0, s1) = inj.stuck_masks_per_word(pc(1), WordOffset(w), v);
+                let (s0, s1) = inj.stuck_masks_per_word_impl(pc(1), WordOffset(w), v);
                 n0 += u64::from(s0.count_ones());
                 n1 += u64::from(s1.count_ones());
             }

@@ -1,8 +1,8 @@
 //! The unified mask-generation kernel API.
 //!
 //! Historically the injector accreted one entry point per enumeration
-//! strategy (`stuck_masks_per_word`, the tiled scan, `coupled_stuck_masks`,
-//! the carry start/advance pair), and every caller had to match on
+//! strategy (the per-word reference path, the tiled scan, the coupled
+//! family, the carry start/advance pair), and every caller had to match on
 //! [`FaultFieldMode`] to pick the right family. This module collapses them
 //! behind one [`MaskKernel`] trait: callers obtain a kernel with
 //! [`FaultInjector::kernel`], choosing a [`KernelBackend`], and every mask
@@ -238,6 +238,41 @@ pub trait MaskKernel {
     /// Panics under [`FaultFieldMode::PerVoltage`]; see
     /// [`MaskKernel::carry_start`].
     fn carry_advance(&self, carry: &mut PcSweepCarry, supply: Millivolts) -> CarryStats;
+
+    /// Union fault-bit counts of one pseudo channel along a descending
+    /// voltage schedule, via one carried sweep: entry `k` is the total
+    /// stuck-at count (both polarities) over `words` at `schedule[k]`.
+    ///
+    /// This is the exact-rescan entry point the fleet layer uses to
+    /// re-derive a device's per-knot curve when a compressed model cannot
+    /// answer a query within its fidelity bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`FaultFieldMode::PerVoltage`] (see
+    /// [`MaskKernel::carry_start`]) and when `schedule` is not strictly
+    /// descending.
+    fn count_descent(&self, pc: PcIndex, words: Range<u64>, schedule: &[Millivolts]) -> Vec<u64> {
+        let mut counts = Vec::with_capacity(schedule.len());
+        let mut carry: Option<PcSweepCarry> = None;
+        for &supply in schedule {
+            match carry.as_mut() {
+                None => carry = Some(self.carry_start(pc, words.clone(), supply).0),
+                Some(c) => {
+                    self.carry_advance(c, supply);
+                }
+            }
+            let mut count = 0u64;
+            carry
+                .as_ref()
+                .expect("carry initialized above")
+                .for_each_mask(|_, s0, s1| {
+                    count += u64::from(s0.count_ones()) + u64::from(s1.count_ones());
+                });
+            counts.push(count);
+        }
+        counts
+    }
 }
 
 /// The concrete [`MaskKernel`]: a borrowed [`FaultInjector`] plus the
@@ -439,6 +474,21 @@ mod tests {
                 assert_eq!(kernel.field(), field);
                 assert_eq!(kernel.backend(), backend);
             }
+        }
+    }
+
+    #[test]
+    fn count_descent_matches_per_knot_counts() {
+        let injector =
+            FaultInjector::new(FaultModelParams::date21(), HbmGeometry::vcu128_reduced(), 9);
+        let kernel = injector.kernel(FaultFieldMode::MonotoneCoupled, KernelBackend::Auto);
+        let pc = PcIndex::new(3).unwrap();
+        let schedule: Vec<Millivolts> = [980u32, 940, 900, 860].map(Millivolts).to_vec();
+        let counts = kernel.count_descent(pc, 0..64, &schedule);
+        assert_eq!(counts.len(), schedule.len());
+        for (k, &v) in schedule.iter().enumerate() {
+            let (n0, n1) = kernel.count_range(pc, 0..64, v);
+            assert_eq!(counts[k], n0 + n1, "knot {v}");
         }
     }
 

@@ -130,11 +130,8 @@ proptest! {
         let pc = PcIndex::new(pc_index).unwrap();
         let v = Millivolts(mv);
         let w = WordOffset(word);
-        prop_assert_eq!(inj.stuck_masks(pc, w, v), inj.stuck_masks_per_word(pc, w, v));
-        prop_assert_eq!(
-            inj.class_probabilities(pc, w, v),
-            inj.class_probabilities_per_word(pc, w, v)
-        );
+        let kernel = inj.kernel(FaultFieldMode::PerVoltage, KernelBackend::Auto);
+        prop_assert_eq!(inj.stuck_masks(pc, w, v), kernel.reference_masks(pc, w, v));
     }
 
     /// The skip-sampling range enumeration visits exactly the faulty words
@@ -151,9 +148,10 @@ proptest! {
         let pc = PcIndex::new(pc_index).unwrap();
         let v = Millivolts(mv);
         let range = start..(start + len).min(8192);
+        let reference = inj.kernel(FaultFieldMode::PerVoltage, KernelBackend::Scalar);
         let mut expected = Vec::new();
         for w in range.clone() {
-            let (s0, s1) = inj.stuck_masks_per_word(pc, WordOffset(w), v);
+            let (s0, s1) = reference.reference_masks(pc, WordOffset(w), v);
             if !(s0.is_zero() && s1.is_zero()) {
                 expected.push((WordOffset(w), s0, s1));
             }

@@ -6,7 +6,7 @@
 //! ```text
 //! offset  field
 //!      0  magic            [u8; 4]  = "HBFA"
-//!      4  version          u32      = 1
+//!      4  version          u32      = 1 or 2
 //!      8  device_count     u32
 //!     12  pc_count         u32
 //!     16  knot_count       u32
@@ -16,7 +16,7 @@
 //!     32  words_per_pc     u64
 //!     40  crash_jitter_mv  u16
 //!     42  reserved         u16      = 0
-//!     44  column_count     u32      = 6
+//!     44  column_count     u32      (v1: always 6; v2: varies)
 //!     48  weak_rate_threshold f64   (IEEE-754 bits)
 //!     56  index_offset     u64      (byte offset of the column index)
 //!     64  knot table       u16 × knot_count   (mV, descending)
@@ -35,29 +35,52 @@
 //! | 4   | CRASH_MV  | u16     | per-device crash floor                  |
 //! | 5   | WEAK_PCS  | u32     | weak-PC bitmap                          |
 //! | 6   | FAULTS    | u16     | device × pc × knot counts, 0xFFFF = crashed |
+//! | 7   | MODEL     | 8 + pc  | per-device compressed parametric model (v2) |
+//!
+//! # v2 layout delta
+//!
+//! Version 2 keeps the v1 header, knot table and index machinery
+//! byte-for-byte and relaxes only the column-set rule: the scalar columns
+//! (tags 1–5) stay mandatory, while FAULTS becomes *optional* and the new
+//! MODEL column (tag 7, [`crate::model::DeviceModel`] blobs) may take its
+//! place. At least one of FAULTS/MODEL must be present. A v2 artifact that
+//! carries the exact columns is bit-identical to its v1 counterpart except
+//! for the version word, which the roundtrip proptests pin.
 //!
 //! The column index lets a reader seek straight to any column without
 //! parsing records, and [`FleetStore::column_bytes`] exposes each column
-//! as a zero-copy `&[u8]` view over the loaded (or mmapped) buffer.
+//! as a zero-copy `&[u8]` view over the loaded (or mmapped) buffer. Reads
+//! of the FAULTS column are counted ([`FleetStore::exact_column_reads`])
+//! so serving layers can prove compressed queries never touched the exact
+//! map.
 
 use std::ops::Range;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use hbm_units::Millivolts;
 use serde::{Deserialize, Serialize};
 
 use crate::config::{FleetConfig, FleetError};
+use crate::model::DeviceModel;
 use crate::record::{DeviceRecord, CRASHED_KNOT};
 
 /// Artifact magic bytes.
 pub const ARTIFACT_MAGIC: [u8; 4] = *b"HBFA";
 
-/// Format version this build writes and reads.
-pub const ARTIFACT_VERSION: u32 = 1;
+/// Format version this build writes: v2, the compressed-model revision.
+pub const ARTIFACT_VERSION: u32 = 2;
+
+/// The pre-compression format this build still reads: exactly the six
+/// fixed columns, exact counts mandatory.
+pub const ARTIFACT_VERSION_V1: u32 = 1;
 
 const HEADER_LEN: usize = 64;
 const INDEX_ENTRY_LEN: usize = 24;
-const COLUMN_COUNT: usize = 6;
+/// Number of known column tags (the maximum a v2 artifact may carry).
+const TAG_COUNT: usize = 7;
+/// The fixed v1 column set: the five scalars plus exact counts.
+const V1_COLUMN_COUNT: usize = 6;
 
 /// Column tags, in index order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,16 +98,40 @@ pub enum Column {
     WeakPcs = 5,
     /// Fault-count matrix, device-major then PC-major.
     Faults = 6,
+    /// Compressed per-device parametric models (v2 only).
+    Model = 7,
 }
 
-const COLUMNS: [(Column, usize); COLUMN_COUNT] = [
+impl Column {
+    fn from_tag(tag: u32) -> Option<Column> {
+        match tag {
+            1 => Some(Column::DeviceId),
+            2 => Some(Column::Seed),
+            3 => Some(Column::VMin),
+            4 => Some(Column::Crash),
+            5 => Some(Column::WeakPcs),
+            6 => Some(Column::Faults),
+            7 => Some(Column::Model),
+            _ => None,
+        }
+    }
+}
+
+/// The five mandatory scalar columns and their element widths.
+const SCALAR_COLUMNS: [(Column, usize); 5] = [
     (Column::DeviceId, 4),
     (Column::Seed, 8),
     (Column::VMin, 2),
     (Column::Crash, 2),
     (Column::WeakPcs, 4),
-    (Column::Faults, 2),
 ];
+
+/// One column headed for the generic writer: tag, element width, payload.
+pub(crate) struct RawColumn {
+    pub(crate) tag: Column,
+    pub(crate) elem: usize,
+    pub(crate) data: Vec<u8>,
+}
 
 /// Everything the header records about a fleet run — enough to interpret
 /// and re-derive the fleet without the originating [`FleetConfig`].
@@ -142,33 +189,28 @@ fn align8(n: usize) -> usize {
     (n + 7) & !7
 }
 
-/// Encodes a finished fleet into the columnar binary format.
-///
-/// # Panics
-///
-/// Panics when a record's matrix shape disagrees with the config — encode
-/// only ever sees records the sweep engine produced.
-#[must_use]
-pub fn encode(cfg: &FleetConfig, records: &[DeviceRecord]) -> Vec<u8> {
-    let meta = ArtifactMeta::from_config(cfg);
-    let knots = cfg.knots();
-    assert_eq!(records.len(), meta.device_count as usize, "fleet size");
-
-    let n = records.len();
-    let cells = n * meta.pc_count as usize * meta.knot_count as usize;
+/// The generic column writer both format versions share: header, knot
+/// table, index, then each column 8-byte aligned, in the order given.
+pub(crate) fn write_artifact(
+    meta: &ArtifactMeta,
+    knots: &[Millivolts],
+    version: u32,
+    columns: &[RawColumn],
+) -> Vec<u8> {
+    assert_eq!(knots.len(), meta.knot_count as usize, "knot table shape");
     let knot_table_len = knots.len() * 2;
     let index_offset = align8(HEADER_LEN + knot_table_len);
-    let mut column_offsets = [0usize; COLUMN_COUNT];
-    let mut cursor = align8(index_offset + COLUMN_COUNT * INDEX_ENTRY_LEN);
-    for (slot, (tag, elem)) in COLUMNS.iter().enumerate() {
-        column_offsets[slot] = cursor;
-        let elems = if *tag == Column::Faults { cells } else { n };
-        cursor = align8(cursor + elems * elem);
+    let mut column_offsets = Vec::with_capacity(columns.len());
+    let mut cursor = align8(index_offset + columns.len() * INDEX_ENTRY_LEN);
+    for col in columns {
+        assert_eq!(col.data.len() % col.elem.max(1), 0, "ragged column");
+        column_offsets.push(cursor);
+        cursor = align8(cursor + col.data.len());
     }
 
     let mut out = vec![0u8; cursor];
     out[0..4].copy_from_slice(&ARTIFACT_MAGIC);
-    out[4..8].copy_from_slice(&ARTIFACT_VERSION.to_le_bytes());
+    out[4..8].copy_from_slice(&version.to_le_bytes());
     out[8..12].copy_from_slice(&meta.device_count.to_le_bytes());
     out[12..16].copy_from_slice(&meta.pc_count.to_le_bytes());
     out[16..20].copy_from_slice(&meta.knot_count.to_le_bytes());
@@ -177,7 +219,7 @@ pub fn encode(cfg: &FleetConfig, records: &[DeviceRecord]) -> Vec<u8> {
     out[24..32].copy_from_slice(&meta.base_seed.to_le_bytes());
     out[32..40].copy_from_slice(&meta.words_per_pc.to_le_bytes());
     out[40..42].copy_from_slice(&meta.crash_jitter_mv.to_le_bytes());
-    out[44..48].copy_from_slice(&(COLUMN_COUNT as u32).to_le_bytes());
+    out[44..48].copy_from_slice(&(columns.len() as u32).to_le_bytes());
     out[48..56].copy_from_slice(&meta.weak_rate_threshold.to_bits().to_le_bytes());
     out[56..64].copy_from_slice(&(index_offset as u64).to_le_bytes());
 
@@ -186,38 +228,91 @@ pub fn encode(cfg: &FleetConfig, records: &[DeviceRecord]) -> Vec<u8> {
         out[at..at + 2].copy_from_slice(&(knot.as_u32() as u16).to_le_bytes());
     }
 
-    for (slot, (tag, elem)) in COLUMNS.iter().enumerate() {
+    for (slot, col) in columns.iter().enumerate() {
         let at = index_offset + slot * INDEX_ENTRY_LEN;
-        let elems = if *tag == Column::Faults { cells } else { n };
-        out[at..at + 4].copy_from_slice(&(*tag as u32).to_le_bytes());
-        out[at + 4..at + 8].copy_from_slice(&(*elem as u32).to_le_bytes());
+        out[at..at + 4].copy_from_slice(&(col.tag as u32).to_le_bytes());
+        out[at + 4..at + 8].copy_from_slice(&(col.elem as u32).to_le_bytes());
         out[at + 8..at + 16].copy_from_slice(&(column_offsets[slot] as u64).to_le_bytes());
-        out[at + 16..at + 24].copy_from_slice(&((elems * elem) as u64).to_le_bytes());
-    }
-
-    for (i, rec) in records.iter().enumerate() {
-        assert_eq!(
-            rec.faults.len(),
-            meta.pc_count as usize * meta.knot_count as usize,
-            "record matrix shape"
-        );
-        let put = |out: &mut Vec<u8>, slot: usize, bytes: &[u8]| {
-            let elem = COLUMNS[slot].1;
-            let at = column_offsets[slot] + i * elem;
-            out[at..at + elem].copy_from_slice(bytes);
-        };
-        put(&mut out, 0, &rec.device_id.to_le_bytes());
-        put(&mut out, 1, &rec.seed.to_le_bytes());
-        put(&mut out, 2, &rec.v_min_mv.to_le_bytes());
-        put(&mut out, 3, &rec.crash_mv.to_le_bytes());
-        put(&mut out, 4, &rec.weak_pcs.to_le_bytes());
-        let row_len = rec.faults.len() * 2;
-        let at = column_offsets[5] + i * row_len;
-        for (j, count) in rec.faults.iter().enumerate() {
-            out[at + j * 2..at + j * 2 + 2].copy_from_slice(&count.to_le_bytes());
-        }
+        out[at + 16..at + 24].copy_from_slice(&(col.data.len() as u64).to_le_bytes());
+        out[column_offsets[slot]..column_offsets[slot] + col.data.len()].copy_from_slice(&col.data);
     }
     out
+}
+
+/// Builds the six exact columns (five scalars + FAULTS) from records.
+fn exact_columns(meta: &ArtifactMeta, records: &[DeviceRecord]) -> Vec<RawColumn> {
+    let n = records.len();
+    let stride = meta.pc_count as usize * meta.knot_count as usize;
+    let mut columns: Vec<RawColumn> = SCALAR_COLUMNS
+        .iter()
+        .map(|&(tag, elem)| RawColumn {
+            tag,
+            elem,
+            data: Vec::with_capacity(n * elem),
+        })
+        .collect();
+    let mut faults = Vec::with_capacity(n * stride * 2);
+    for rec in records {
+        assert_eq!(rec.faults.len(), stride, "record matrix shape");
+        columns[0]
+            .data
+            .extend_from_slice(&rec.device_id.to_le_bytes());
+        columns[1].data.extend_from_slice(&rec.seed.to_le_bytes());
+        columns[2]
+            .data
+            .extend_from_slice(&rec.v_min_mv.to_le_bytes());
+        columns[3]
+            .data
+            .extend_from_slice(&rec.crash_mv.to_le_bytes());
+        columns[4]
+            .data
+            .extend_from_slice(&rec.weak_pcs.to_le_bytes());
+        for count in &rec.faults {
+            faults.extend_from_slice(&count.to_le_bytes());
+        }
+    }
+    columns.push(RawColumn {
+        tag: Column::Faults,
+        elem: 2,
+        data: faults,
+    });
+    columns
+}
+
+/// Encodes a finished fleet into the columnar binary format (v2, exact
+/// columns only — [`crate::model::compress_store`] derives the compressed
+/// form).
+///
+/// # Panics
+///
+/// Panics when a record's matrix shape disagrees with the config — encode
+/// only ever sees records the sweep engine produced.
+#[must_use]
+pub fn encode(cfg: &FleetConfig, records: &[DeviceRecord]) -> Vec<u8> {
+    let meta = ArtifactMeta::from_config(cfg);
+    assert_eq!(records.len(), meta.device_count as usize, "fleet size");
+    write_artifact(
+        &meta,
+        &cfg.knots(),
+        ARTIFACT_VERSION,
+        &exact_columns(&meta, records),
+    )
+}
+
+/// Encodes the fleet in the legacy v1 layout. Kept so the format-evolution
+/// gate can prove a v2 artifact with exact columns is bit-identical to
+/// what v1 readers decoded — and so archived v1 fixtures can be
+/// regenerated.
+#[must_use]
+pub fn encode_legacy_v1(cfg: &FleetConfig, records: &[DeviceRecord]) -> Vec<u8> {
+    let meta = ArtifactMeta::from_config(cfg);
+    assert_eq!(records.len(), meta.device_count as usize, "fleet size");
+    write_artifact(
+        &meta,
+        &cfg.knots(),
+        ARTIFACT_VERSION_V1,
+        &exact_columns(&meta, records),
+    )
 }
 
 /// Encodes and durably writes an artifact, returning the byte count.
@@ -238,16 +333,38 @@ pub fn write_to_path(
 
 /// A loaded artifact: owns the raw buffer and serves zero-copy column
 /// views plus typed per-device accessors that decode on read.
-#[derive(Debug, Clone)]
+///
+/// Reads of the exact FAULTS column are counted so serving layers can
+/// verify compressed queries never touched the exact map; the counter is
+/// observational only and never part of equality or persisted state.
+#[derive(Debug)]
 pub struct FleetStore {
     bytes: Vec<u8>,
     meta: ArtifactMeta,
     knots: Vec<Millivolts>,
-    columns: [Range<usize>; COLUMN_COUNT],
+    /// Column byte ranges, indexed by `tag - 1`; `None` when absent.
+    columns: [Option<Range<usize>>; TAG_COUNT],
+    exact_reads: AtomicU64,
+}
+
+impl Clone for FleetStore {
+    fn clone(&self) -> FleetStore {
+        FleetStore {
+            bytes: self.bytes.clone(),
+            meta: self.meta,
+            knots: self.knots.clone(),
+            columns: self.columns.clone(),
+            exact_reads: AtomicU64::new(self.exact_reads.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl FleetStore {
     /// Parses an artifact buffer (typically `fs::read` or an mmap copy).
+    ///
+    /// Accepts both format versions: v1 requires exactly the six fixed
+    /// columns; v2 requires the five scalars and at least one of
+    /// FAULTS/MODEL.
     ///
     /// # Errors
     ///
@@ -264,7 +381,7 @@ impl FleetStore {
             return Err(FleetError::Artifact("bad magic (not an HBFA file)".into()));
         }
         let version = u32::from_le_bytes(bytes[4..8].try_into().expect("len checked"));
-        if version != ARTIFACT_VERSION {
+        if version != ARTIFACT_VERSION && version != ARTIFACT_VERSION_V1 {
             return Err(FleetError::Version {
                 found: version,
                 expected: ARTIFACT_VERSION,
@@ -286,14 +403,19 @@ impl FleetStore {
             weak_rate_threshold: f64::from_bits(read_u64(48)),
         };
         let column_count = read_u32(44) as usize;
-        if column_count != COLUMN_COUNT {
+        if version == ARTIFACT_VERSION_V1 && column_count != V1_COLUMN_COUNT {
             return Err(FleetError::Artifact(format!(
-                "expected {COLUMN_COUNT} columns, header lists {column_count}"
+                "v1 requires {V1_COLUMN_COUNT} columns, header lists {column_count}"
+            )));
+        }
+        if column_count == 0 || column_count > TAG_COUNT {
+            return Err(FleetError::Artifact(format!(
+                "column count {column_count} outside 1..={TAG_COUNT}"
             )));
         }
         let knot_table_end = HEADER_LEN + meta.knot_count as usize * 2;
         let index_offset = read_u64(56) as usize;
-        let index_end = index_offset + COLUMN_COUNT * INDEX_ENTRY_LEN;
+        let index_end = index_offset + column_count * INDEX_ENTRY_LEN;
         if knot_table_end > bytes.len() || index_offset < knot_table_end || index_end > bytes.len()
         {
             return Err(FleetError::Artifact("column index out of bounds".into()));
@@ -304,15 +426,30 @@ impl FleetStore {
 
         let n = meta.device_count as usize;
         let cells = n * meta.pc_count as usize * meta.knot_count as usize;
-        let mut columns: [Range<usize>; COLUMN_COUNT] = std::array::from_fn(|_| 0..0);
-        for (slot, (tag, elem)) in COLUMNS.iter().enumerate() {
+        let mut columns: [Option<Range<usize>>; TAG_COUNT] = std::array::from_fn(|_| None);
+        for slot in 0..column_count {
             let at = index_offset + slot * INDEX_ENTRY_LEN;
             let found_tag = read_u32(at);
             let found_elem = read_u32(at + 4) as usize;
             let offset = read_u64(at + 8) as usize;
             let len = read_u64(at + 16) as usize;
-            let elems = if *tag == Column::Faults { cells } else { n };
-            if found_tag != *tag as u32 || found_elem != *elem || len != elems * elem {
+            let Some(tag) = Column::from_tag(found_tag) else {
+                return Err(FleetError::Artifact(format!(
+                    "column {slot}: unknown tag {found_tag}"
+                )));
+            };
+            let (elem, elems) = match tag {
+                Column::Faults => (2, cells),
+                Column::Model => (DeviceModel::elem_bytes(meta.pc_count as usize), n),
+                _ => {
+                    let (_, elem) = SCALAR_COLUMNS
+                        .iter()
+                        .find(|(t, _)| *t == tag)
+                        .expect("scalar tag");
+                    (*elem, n)
+                }
+            };
+            if found_elem != elem || len != elems * elem {
                 return Err(FleetError::Artifact(format!(
                     "column {slot}: tag {found_tag} elem {found_elem} len {len} \
                      does not match the declared fleet shape"
@@ -324,13 +461,38 @@ impl FleetStore {
                     "column {slot} extends past the buffer"
                 )));
             };
-            columns[slot] = offset..end;
+            let slot_index = found_tag as usize - 1;
+            if columns[slot_index].is_some() {
+                return Err(FleetError::Artifact(format!(
+                    "column tag {found_tag} listed twice"
+                )));
+            }
+            columns[slot_index] = Some(offset..end);
+        }
+        for (tag, _) in SCALAR_COLUMNS {
+            if columns[tag as usize - 1].is_none() {
+                return Err(FleetError::Artifact(format!(
+                    "mandatory scalar column {} missing",
+                    tag as u32
+                )));
+            }
+        }
+        if version == ARTIFACT_VERSION_V1 && columns[Column::Faults as usize - 1].is_none() {
+            return Err(FleetError::Artifact("v1 requires the FAULTS column".into()));
+        }
+        if columns[Column::Faults as usize - 1].is_none()
+            && columns[Column::Model as usize - 1].is_none()
+        {
+            return Err(FleetError::Artifact(
+                "artifact carries neither exact counts nor compressed models".into(),
+            ));
         }
         Ok(FleetStore {
             bytes,
             meta,
             knots,
             columns,
+            exact_reads: AtomicU64::new(0),
         })
     }
 
@@ -370,14 +532,55 @@ impl FleetStore {
         self.len() == 0
     }
 
+    /// Total size of the loaded artifact in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// `true` when the artifact carries `column`.
+    #[must_use]
+    pub fn has_column(&self, column: Column) -> bool {
+        self.columns[column as usize - 1].is_some()
+    }
+
+    /// `true` when the exact FAULTS column is present.
+    #[must_use]
+    pub fn has_exact_counts(&self) -> bool {
+        self.has_column(Column::Faults)
+    }
+
+    /// `true` when the compressed MODEL column is present.
+    #[must_use]
+    pub fn has_model(&self) -> bool {
+        self.has_column(Column::Model)
+    }
+
+    /// Number of reads served from the exact FAULTS column since this
+    /// store was loaded (observational; a clone starts from the current
+    /// value). The compressed-serving happy path keeps this at zero.
+    #[must_use]
+    pub fn exact_column_reads(&self) -> u64 {
+        self.exact_reads.load(Ordering::Relaxed)
+    }
+
     /// Zero-copy view of one column's raw little-endian bytes.
+    ///
+    /// Requesting the FAULTS column counts as an exact-column read.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the column is absent (possible only for FAULTS/MODEL on
+    /// v2 artifacts) — gate on [`FleetStore::has_column`] first.
     #[must_use]
     pub fn column_bytes(&self, column: Column) -> &[u8] {
-        let slot = COLUMNS
-            .iter()
-            .position(|(tag, _)| *tag == column)
-            .expect("all tags indexed");
-        &self.bytes[self.columns[slot].clone()]
+        if column == Column::Faults {
+            self.exact_reads.fetch_add(1, Ordering::Relaxed);
+        }
+        let range = self.columns[column as usize - 1]
+            .clone()
+            .unwrap_or_else(|| panic!("column tag {} absent from artifact", column as u32));
+        &self.bytes[range]
     }
 
     fn scalar<const W: usize>(&self, column: Column, i: usize) -> [u8; W] {
@@ -415,8 +618,34 @@ impl FleetStore {
         u32::from_le_bytes(self.scalar::<4>(Column::WeakPcs, i))
     }
 
+    /// Decodes row `i`'s compressed parametric model, `None` when the
+    /// artifact carries no MODEL column.
+    #[must_use]
+    pub fn model(&self, i: usize) -> Option<DeviceModel> {
+        let range = self.columns[Column::Model as usize - 1].clone()?;
+        let elem = DeviceModel::elem_bytes(self.meta.pc_count as usize);
+        let col = &self.bytes[range];
+        Some(DeviceModel::decode(
+            &col[i * elem..(i + 1) * elem],
+            self.meta.pc_count as usize,
+        ))
+    }
+
+    /// Size of the MODEL column in bytes (0 when absent) — the
+    /// `model_bytes` telemetry gauge.
+    #[must_use]
+    pub fn model_bytes(&self) -> u64 {
+        self.columns[Column::Model as usize - 1]
+            .clone()
+            .map_or(0, |r| r.len() as u64)
+    }
+
     /// Fault count of `(row, pc, knot)`; [`CRASHED_KNOT`] marks a crashed
-    /// knot.
+    /// knot. Counts as an exact-column read.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the FAULTS column is absent.
     #[must_use]
     pub fn fault(&self, i: usize, pc: usize, knot: usize) -> u16 {
         let stride = self.meta.pc_count as usize * self.meta.knot_count as usize;
@@ -448,7 +677,12 @@ impl FleetStore {
         }
     }
 
-    /// Decodes row `i` back into a [`DeviceRecord`].
+    /// Decodes row `i` back into a [`DeviceRecord`]. Counts as an
+    /// exact-column read.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the FAULTS column is absent.
     #[must_use]
     pub fn record(&self, i: usize) -> DeviceRecord {
         let stride = self.meta.pc_count as usize * self.meta.knot_count as usize;
@@ -470,12 +704,21 @@ impl FleetStore {
     }
 
     /// Decodes every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the FAULTS column is absent.
     #[must_use]
     pub fn records(&self) -> Vec<DeviceRecord> {
         (0..self.len()).map(|i| self.record(i)).collect()
     }
 
     /// The JSON export view of this artifact.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the FAULTS column is absent — the export documents
+    /// exact rates.
     #[must_use]
     pub fn export(&self) -> FleetExport {
         FleetExport::build(&self.meta, &self.knots, &self.records())

@@ -242,6 +242,73 @@ impl FleetConfig {
         }
     }
 
+    /// Reconstructs the run configuration an artifact was swept under,
+    /// from its header and knot table alone.
+    ///
+    /// This is what lets a compressed (model-only) store fall back to an
+    /// on-demand exact rescan: every per-device seed and crash floor is a
+    /// pure function of the config, and the config is a pure function of
+    /// the header. The geometry, calibration and backend are not stamped
+    /// into the header — artifacts are always swept under the study's
+    /// reduced VCU128 footprint with the DATE'21 calibration, and the
+    /// backend cannot change results (every backend is bit-identical to
+    /// the scalar oracle), so `Auto` is always faithful.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Artifact`] when the knot table is not a uniform
+    /// descending grid or the header's PC count does not match the study
+    /// geometry.
+    pub fn from_meta(
+        meta: &crate::artifact::ArtifactMeta,
+        knots: &[Millivolts],
+    ) -> Result<FleetConfig, FleetError> {
+        let geometry = HbmGeometry::vcu128_reduced();
+        if meta.pc_count != u32::from(geometry.total_pcs()) {
+            return Err(FleetError::Artifact(format!(
+                "artifact PC count {} does not match the study geometry's {}",
+                meta.pc_count,
+                geometry.total_pcs()
+            )));
+        }
+        let (first, last) = match (knots.first(), knots.last()) {
+            (Some(&first), Some(&last)) => (first, last),
+            _ => return Err(FleetError::Artifact("artifact has no knots".into())),
+        };
+        let step = if knots.len() >= 2 {
+            let step = knots[0].saturating_sub(knots[1]);
+            if step == Millivolts::ZERO
+                || knots.windows(2).any(|w| w[0].saturating_sub(w[1]) != step)
+            {
+                return Err(FleetError::Artifact(
+                    "artifact knots are not a uniform descending grid".into(),
+                ));
+            }
+            step
+        } else {
+            // A single-knot grid regenerates from any positive step.
+            Millivolts(10)
+        };
+        let cfg = FleetConfig {
+            devices: meta.device_count,
+            base_seed: meta.base_seed,
+            workers: 1,
+            geometry,
+            params: FaultModelParams::date21(),
+            from: first,
+            down_to: last,
+            step,
+            words_per_pc: meta.words_per_pc,
+            nominal: Millivolts(u32::from(meta.nominal_mv)),
+            weak_reference: Millivolts(u32::from(meta.weak_reference_mv)),
+            weak_rate_threshold: meta.weak_rate_threshold,
+            backend: KernelBackend::Auto,
+            crash_jitter: Millivolts(u32::from(meta.crash_jitter_mv)),
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
     /// Effective worker count: `workers`, or available parallelism when 0,
     /// never more than one worker per device.
     #[must_use]

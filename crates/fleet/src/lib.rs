@@ -6,8 +6,11 @@
 //! coupled-carry mask kernel by a work-stealing thread pool, and the
 //! results land in a compact columnar binary artifact
 //! ([`artifact::encode`] / [`FleetStore`]) that readers can seek without
-//! parsing. On top sit population statistics ([`PopulationSummary`]) and
-//! a per-device voltage-recommendation query ([`FleetStore::recommend`]).
+//! parsing. On top sit population statistics ([`PopulationSummary`]), a
+//! compressed parametric fault model per device ([`model::DeviceModel`])
+//! that shrinks the artifact ~27× while keeping queries answerable, and a
+//! long-lived typed serving surface ([`api::FleetRequest`] /
+//! [`serve::FleetService`]) shared by every `hbmctl` fleet entry point.
 //!
 //! # Determinism
 //!
@@ -20,7 +23,7 @@
 //! property the fleet proptests pin.
 //!
 //! ```
-//! use hbm_fleet::{FleetConfig, FleetQuery, FleetStore};
+//! use hbm_fleet::{FleetConfig, FleetStore};
 //! use hbm_units::Millivolts;
 //!
 //! let cfg = FleetConfig {
@@ -34,27 +37,41 @@
 //! };
 //! let report = hbm_fleet::sweep::run(&cfg).unwrap();
 //! let store = FleetStore::from_bytes(hbm_fleet::artifact::encode(&cfg, &report.records)).unwrap();
-//! let rec = store
-//!     .recommend(FleetQuery { device_id: 2, target_rate: 1e-3, min_pcs: 16 })
-//!     .unwrap();
-//! assert!(rec.voltage_mv >= rec.crash_mv);
+//! let service = hbm_fleet::serve::FleetService::new(store);
+//! let response = service.handle(&hbm_fleet::api::FleetRequest::Recommend {
+//!     device_id: 2,
+//!     target_rate: 1e-3,
+//!     min_pcs: 16,
+//! });
+//! match response {
+//!     hbm_fleet::api::FleetResponse::Recommendation(rec) => {
+//!         assert!(rec.voltage_mv >= rec.crash_mv);
+//!     }
+//!     other => panic!("unexpected response: {other:?}"),
+//! }
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod artifact;
 pub mod config;
+pub mod model;
 pub mod population;
 pub mod query;
 pub mod record;
+pub mod serve;
 pub mod sweep;
 
+pub use api::{ApiError, FleetRequest, FleetResponse, API_VERSION};
 pub use artifact::{
     ArtifactMeta, Column, FleetExport, FleetStore, ARTIFACT_MAGIC, ARTIFACT_VERSION,
 };
 pub use config::{DeviceSpec, FleetConfig, FleetError};
+pub use model::{DeviceModel, FidelityReport, OPERATING_TARGET_RATE};
 pub use population::{FleetCostModel, PopulationSummary};
 pub use query::{FleetQuery, Recommendation};
 pub use record::{DeviceRecord, CRASHED_KNOT, NO_VMIN};
+pub use serve::{FleetService, ServeStats};
 pub use sweep::{characterize_device, FleetReport, FleetRunStats};

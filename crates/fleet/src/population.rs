@@ -10,7 +10,7 @@ use hbm_power::HbmPowerModel;
 use hbm_units::{Millivolts, Ratio};
 use serde::{Deserialize, Serialize};
 
-use crate::artifact::ArtifactMeta;
+use crate::artifact::{ArtifactMeta, FleetStore};
 use crate::record::{DeviceRecord, NO_VMIN};
 
 /// Fleet-economics constants, grounded in the reallm HBM2 config.
@@ -110,17 +110,46 @@ impl PopulationSummary {
         records: &[DeviceRecord],
         cost: &FleetCostModel,
     ) -> PopulationSummary {
+        let scalars: Vec<(u16, u16, u32)> = records
+            .iter()
+            .map(|r| (r.v_min_mv, r.crash_mv, r.weak_pcs))
+            .collect();
+        Self::from_scalars(meta, &scalars, cost)
+    }
+
+    /// Aggregates a store from its scalar columns alone — the summary
+    /// never reads per-knot counts, so it works identically on exact and
+    /// compressed (model-only) artifacts without touching FAULTS.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty fleet — artifacts always hold ≥ 1 device.
+    #[must_use]
+    pub fn from_store(store: &FleetStore, cost: &FleetCostModel) -> PopulationSummary {
+        let scalars: Vec<(u16, u16, u32)> = (0..store.len())
+            .map(|i| (store.v_min_mv(i), store.crash_mv(i), store.weak_pcs(i)))
+            .collect();
+        Self::from_scalars(store.meta(), &scalars, cost)
+    }
+
+    /// Shared aggregation over per-device `(v_min, crash, weak_pcs)`
+    /// scalar triples.
+    fn from_scalars(
+        meta: &ArtifactMeta,
+        records: &[(u16, u16, u32)],
+        cost: &FleetCostModel,
+    ) -> PopulationSummary {
         assert!(!records.is_empty(), "population of zero devices");
         let nominal = Millivolts(u32::from(meta.nominal_mv));
         let power = HbmPowerModel::date21();
 
         let mut v_mins: Vec<u16> = records
             .iter()
-            .map(|r| r.v_min_mv)
+            .map(|&(v_min, _, _)| v_min)
             .filter(|&v| v != NO_VMIN)
             .collect();
         v_mins.sort_unstable();
-        let mut crashes: Vec<u16> = records.iter().map(|r| r.crash_mv).collect();
+        let mut crashes: Vec<u16> = records.iter().map(|&(_, crash, _)| crash).collect();
         crashes.sort_unstable();
 
         let guardbands: Vec<u16> = v_mins
@@ -139,12 +168,12 @@ impl PopulationSummary {
 
         let mut weak_census = vec![0u32; meta.pc_count as usize];
         let mut devices_with_weak = 0u32;
-        for rec in records {
-            if rec.weak_pcs != 0 {
+        for &(_, _, weak_pcs) in records {
+            if weak_pcs != 0 {
                 devices_with_weak += 1;
             }
             for (pc, slot) in weak_census.iter_mut().enumerate() {
-                if rec.weak_pcs & (1u32 << pc) != 0 {
+                if weak_pcs & (1u32 << pc) != 0 {
                     *slot += 1;
                 }
             }
@@ -154,13 +183,13 @@ impl PopulationSummary {
         let nominal_fleet_w = nominal_device_w * records.len() as f64;
         let undervolted_fleet_w: f64 = records
             .iter()
-            .map(|rec| {
-                if rec.v_min_mv == NO_VMIN {
+            .map(|&(v_min_mv, _, _)| {
+                if v_min_mv == NO_VMIN {
                     nominal_device_w
                 } else {
                     // The V² law of the fitted power model, applied to the
                     // reallm TDP base: fault-free at V_min, full utilization.
-                    let setpoint = Millivolts(u32::from(rec.v_min_mv));
+                    let setpoint = Millivolts(u32::from(v_min_mv));
                     nominal_device_w / power.saving_factor(setpoint, Ratio::ONE, Ratio::ZERO)
                 }
             })

@@ -7,14 +7,29 @@
 //! channels whose union fault rate is ≤ `Z`. The usable-PC list at that
 //! knot is the answer — the fleet-scale analogue of the single-device
 //! `FaultMap::usable_pcs` contract.
+//!
+//! The walk itself is shared by three evidence sources:
+//!
+//! * **exact** — the artifact's FAULTS column, every cell decidable;
+//! * **model** — the compressed [`crate::model::DeviceModel`], each cell
+//!   judged through its fidelity envelope and allowed to abstain
+//!   ([`CellVerdict::Ambiguous`]) when the envelope straddles the target;
+//! * **rescan** — the coupled-carry kernel re-deriving the exact counts on
+//!   demand from the header's reconstructed [`FleetConfig`], for stores
+//!   whose exact columns were dropped at compression time.
+//!
+//! A model-path answer is returned only when every knot the walk depends
+//! on is decidable, so it is always identical to the exact answer.
 
 use hbm_power::HbmPowerModel;
 use hbm_units::{Millivolts, Ratio};
 use serde::{Deserialize, Serialize};
 
 use crate::artifact::FleetStore;
-use crate::config::FleetError;
+use crate::config::{FleetConfig, FleetError};
+use crate::model::DeviceModel;
 use crate::record::CRASHED_KNOT;
+use crate::sweep;
 
 /// One fleet query.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,6 +58,208 @@ pub struct Recommendation {
     pub saving_factor: f64,
 }
 
+/// What one evidence source can say about a single `(pc, knot)` cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CellVerdict {
+    /// The cell's union fault rate is provably ≤ the target.
+    Usable,
+    /// The cell's union fault rate is provably > the target (or the knot
+    /// sits below the device's crash floor).
+    Unusable,
+    /// The evidence cannot decide — only the model path emits this, when
+    /// its error envelope straddles the target.
+    Ambiguous,
+}
+
+/// The shared recommendation walk over one device's knot grid.
+///
+/// Returns the chosen knot index and its usable-PC list, or `None` when
+/// an [`CellVerdict::Ambiguous`] cell makes the answer undecidable: either
+/// a knot below the best provably-qualifying one *might* qualify, or the
+/// chosen knot's own usable list is uncertain. Exact evidence never
+/// abstains, so the exact walk always returns `Some`.
+fn recommend_walk(
+    knots: &[Millivolts],
+    crash: Millivolts,
+    pcs: usize,
+    min_pcs: usize,
+    mut verdict: impl FnMut(usize, usize) -> CellVerdict,
+) -> Option<(usize, Vec<u8>)> {
+    let mut best: Option<usize> = None;
+    let mut possible: Option<usize> = None;
+    for (k, &v) in knots.iter().enumerate() {
+        if v < crash {
+            break;
+        }
+        let (mut usable, mut ambiguous) = (0usize, 0usize);
+        for pc in 0..pcs {
+            match verdict(pc, k) {
+                CellVerdict::Usable => usable += 1,
+                CellVerdict::Ambiguous => ambiguous += 1,
+                CellVerdict::Unusable => {}
+            }
+        }
+        if usable >= min_pcs {
+            best = Some(k);
+        }
+        if usable + ambiguous >= min_pcs {
+            possible = Some(k);
+        }
+    }
+    // A knot below `best` might still qualify under the unproven side of
+    // the envelope: the lowest-qualifying-knot answer is undecidable.
+    if possible != best {
+        return None;
+    }
+    // No knot satisfies the query: recommend the top knot — the sweep
+    // proves nothing above it, so that is the safest stored answer.
+    let k = best.unwrap_or(0);
+    let mut usable = Vec::new();
+    if knots[k] >= crash {
+        for pc in 0..pcs {
+            match verdict(pc, k) {
+                CellVerdict::Usable => usable.push(pc as u8),
+                CellVerdict::Ambiguous => return None,
+                CellVerdict::Unusable => {}
+            }
+        }
+    }
+    Some((k, usable))
+}
+
+/// Assembles the public recommendation from a finished walk.
+fn finish(store: &FleetStore, row: usize, k: usize, usable: Vec<u8>) -> Recommendation {
+    let voltage = store.knots()[k];
+    let power = HbmPowerModel::date21();
+    Recommendation {
+        device_id: store.device_id(row),
+        voltage_mv: voltage.as_u32() as u16,
+        usable_pcs: usable,
+        crash_mv: store.crash_mv(row),
+        saving_factor: power.saving_factor(voltage, Ratio::ONE, Ratio::ZERO),
+    }
+}
+
+/// Answers a validated query from the exact FAULTS column.
+///
+/// # Panics
+///
+/// Panics when the store has no exact columns.
+pub(crate) fn recommend_exact(
+    store: &FleetStore,
+    row: usize,
+    target_rate: f64,
+    min_pcs: usize,
+) -> Recommendation {
+    let pcs = store.meta().pc_count as usize;
+    let bits = store.meta().bits_per_pc() as f64;
+    let crash = Millivolts(u32::from(store.crash_mv(row)));
+    let (k, usable) = recommend_walk(store.knots(), crash, pcs, min_pcs, |pc, k| {
+        let count = store.fault(row, pc, k);
+        if count != CRASHED_KNOT && f64::from(count) / bits <= target_rate {
+            CellVerdict::Usable
+        } else {
+            CellVerdict::Unusable
+        }
+    })
+    .expect("exact evidence never abstains");
+    finish(store, row, k, usable)
+}
+
+/// Answers a validated query from the compressed model alone, through its
+/// fidelity envelope. `None` means the envelope cannot decide and the
+/// caller must fall back to exact evidence.
+///
+/// Comparisons happen in rate space (`count / bits ≤ target`), the same
+/// expression the exact path evaluates; division by the shared positive
+/// denominator is monotone, so an envelope-decided cell always agrees
+/// with the exact verdict.
+pub(crate) fn recommend_model(
+    store: &FleetStore,
+    row: usize,
+    model: &DeviceModel,
+    target_rate: f64,
+    min_pcs: usize,
+) -> Option<Recommendation> {
+    let meta = *store.meta();
+    let knots = store.knots().to_vec();
+    let pcs = meta.pc_count as usize;
+    let bits = meta.bits_per_pc() as f64;
+    let crash = Millivolts(u32::from(store.crash_mv(row)));
+    let (k, usable) = recommend_walk(&knots, crash, pcs, min_pcs, |pc, k| {
+        let m = model.predicted_count(&meta, &knots, pc, k);
+        let (lo, hi) = model.count_bounds(m, bits);
+        if hi / bits <= target_rate {
+            CellVerdict::Usable
+        } else if lo / bits > target_rate {
+            CellVerdict::Unusable
+        } else {
+            CellVerdict::Ambiguous
+        }
+    })?;
+    Some(finish(store, row, k, usable))
+}
+
+/// Answers a validated query from the model's point estimate, with no
+/// envelope and no abstention — the fidelity report uses this to score
+/// how often the raw curve alone reproduces the exact recommendation.
+pub(crate) fn recommend_model_raw(
+    store: &FleetStore,
+    row: usize,
+    model: &DeviceModel,
+    target_rate: f64,
+    min_pcs: usize,
+) -> Recommendation {
+    let meta = *store.meta();
+    let knots = store.knots().to_vec();
+    let pcs = meta.pc_count as usize;
+    let bits = meta.bits_per_pc() as f64;
+    let crash = Millivolts(u32::from(store.crash_mv(row)));
+    let (k, usable) = recommend_walk(&knots, crash, pcs, min_pcs, |pc, k| {
+        let m = model.predicted_count(&meta, &knots, pc, k);
+        if m / bits <= target_rate {
+            CellVerdict::Usable
+        } else {
+            CellVerdict::Unusable
+        }
+    })
+    .expect("point estimates never abstain");
+    finish(store, row, k, usable)
+}
+
+/// Answers a validated query by re-deriving the device's exact count row
+/// with the coupled-carry kernel — the fallback for compressed stores
+/// whose exact columns were dropped.
+///
+/// # Errors
+///
+/// [`FleetError::Artifact`] when the store's header cannot be turned back
+/// into a sweep configuration.
+pub(crate) fn recommend_rescan(
+    store: &FleetStore,
+    row: usize,
+    target_rate: f64,
+    min_pcs: usize,
+) -> Result<Recommendation, FleetError> {
+    let cfg = FleetConfig::from_meta(store.meta(), store.knots())?;
+    let spec = cfg.device_spec(store.device_id(row));
+    let record = sweep::characterize_device(&cfg, spec);
+    let pcs = store.meta().pc_count as usize;
+    let kn = store.knots().len();
+    let bits = store.meta().bits_per_pc() as f64;
+    let crash = Millivolts(u32::from(store.crash_mv(row)));
+    let (k, usable) = recommend_walk(store.knots(), crash, pcs, min_pcs, |pc, k| {
+        let count = record.faults[pc * kn + k];
+        if count != CRASHED_KNOT && f64::from(count) / bits <= target_rate {
+            CellVerdict::Usable
+        } else {
+            CellVerdict::Unusable
+        }
+    })
+    .expect("exact evidence never abstains");
+    Ok(finish(store, row, k, usable))
+}
+
 impl FleetStore {
     /// Answers `query` against this artifact.
     ///
@@ -53,6 +270,12 @@ impl FleetStore {
     /// rate outside `[0, 1]`, or `min_pcs` exceeding the artifact's PC
     /// count). A device whose curves never satisfy the query falls back
     /// to the highest swept knot — the artifact proves nothing above it.
+    #[deprecated(
+        since = "0.8.0",
+        note = "route queries through `fleet::api::FleetRequest::Recommend` \
+                and `fleet::serve::FleetService`, which add model-first \
+                serving and the stricter open-interval validation"
+    )]
     pub fn recommend(&self, query: FleetQuery) -> Result<Recommendation, FleetError> {
         if !(0.0..=1.0).contains(&query.target_rate) {
             return Err(FleetError::Config(format!(
@@ -68,50 +291,27 @@ impl FleetStore {
             )));
         }
         let row = self.find(query.device_id)?;
-        let crash = Millivolts(u32::from(self.crash_mv(row)));
-        let bits = self.meta().bits_per_pc() as f64;
-        let knots = self.knots().to_vec();
-
-        let usable_at = |k: usize| -> Vec<u8> {
-            (0..pcs)
-                .filter(|&pc| {
-                    let count = self.fault(row, pc, k);
-                    count != CRASHED_KNOT && f64::from(count) / bits <= query.target_rate
-                })
-                .map(|pc| pc as u8)
-                .collect()
-        };
-
-        let mut best: Option<(usize, Vec<u8>)> = None;
-        for (k, &v) in knots.iter().enumerate() {
-            if v < crash {
-                break;
-            }
-            let usable = usable_at(k);
-            if usable.len() >= query.min_pcs {
-                best = Some((k, usable));
-            }
+        if self.has_exact_counts() {
+            return Ok(recommend_exact(self, row, query.target_rate, query.min_pcs));
         }
-        // No knot satisfies the query: recommend the top knot — the sweep
-        // proves nothing above it, so that is the safest stored answer.
-        let (k, usable) = best.unwrap_or_else(|| (0, usable_at(0)));
-        let voltage = knots[k];
-        let power = HbmPowerModel::date21();
-        Ok(Recommendation {
-            device_id: query.device_id,
-            voltage_mv: voltage.as_u32() as u16,
-            usable_pcs: usable,
-            crash_mv: crash.as_u32() as u16,
-            saving_factor: power.saving_factor(voltage, Ratio::ONE, Ratio::ZERO),
-        })
+        let model = self
+            .model(row)
+            .expect("decodable artifacts carry FAULTS or MODEL");
+        match recommend_model(self, row, &model, query.target_rate, query.min_pcs) {
+            Some(rec) => Ok(rec),
+            None => recommend_rescan(self, row, query.target_rate, query.min_pcs),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use crate::artifact::encode;
     use crate::config::FleetConfig;
+    use crate::model::compress_store;
     use crate::sweep;
 
     fn store() -> (FleetConfig, FleetStore) {
@@ -201,5 +401,34 @@ mod tests {
             }),
             Err(FleetError::UnknownDevice(99))
         ));
+    }
+
+    #[test]
+    fn model_path_agrees_with_exact_when_decided() {
+        let (_, exact) = store();
+        let compressed = FleetStore::from_bytes(compress_store(&exact, false).unwrap()).unwrap();
+        for row in 0..exact.len() {
+            let model = compressed.model(row).unwrap();
+            for (target, min_pcs) in [(1e-3, 32usize), (1e-2, 16), (0.5, 1)] {
+                if let Some(rec) = recommend_model(&compressed, row, &model, target, min_pcs) {
+                    let want = recommend_exact(&exact, row, target, min_pcs);
+                    assert_eq!(rec, want, "row {row} target {target} min_pcs {min_pcs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rescan_reproduces_exact_recommendations() {
+        let (_, exact) = store();
+        let compressed = FleetStore::from_bytes(compress_store(&exact, false).unwrap()).unwrap();
+        assert!(!compressed.has_exact_counts());
+        for row in 0..exact.len() {
+            for (target, min_pcs) in [(1e-3, 32usize), (1e-2, 16)] {
+                let rescanned = recommend_rescan(&compressed, row, target, min_pcs).unwrap();
+                let want = recommend_exact(&exact, row, target, min_pcs);
+                assert_eq!(rescanned, want, "row {row} target {target}");
+            }
+        }
     }
 }

@@ -1,0 +1,328 @@
+//! The long-lived fleet serving loop: one loaded artifact, many queries.
+//!
+//! [`FleetService`] wraps a [`FleetStore`] and answers [`FleetRequest`]s
+//! without re-opening the artifact per query — the whole point of the
+//! compressed format. Recommendations are served **model-first**: the
+//! per-device [`crate::model::DeviceModel`] decides every cell through
+//! its fidelity envelope, and only when a cell is genuinely undecidable
+//! does the service fall back to exact evidence — the stored FAULTS
+//! column when the artifact kept it, else an on-demand kernel rescan
+//! reconstructed from the header. Either way the answer is identical to
+//! the exact one; the envelope only ever changes *where* it comes from.
+//!
+//! [`serve`] runs the LDJSON transport: one request JSON per input line,
+//! one response JSON per output line, same order. A malformed line
+//! produces an `Error` response (kind `parse`) and the loop continues;
+//! EOF ends the session and returns the counters.
+
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use crate::api::{ApiError, FleetRequest, FleetResponse};
+use crate::artifact::FleetStore;
+use crate::model::{fit_store, FidelityReport};
+use crate::population::{FleetCostModel, PopulationSummary};
+use crate::query;
+
+/// Serving counters, reported once per session at EOF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Requests answered (including error replies).
+    pub queries_served: u64,
+    /// Recommendations answered purely from the compressed model.
+    pub compressed_hits: u64,
+    /// Recommendations that needed exact evidence (stored column or
+    /// kernel rescan).
+    pub exact_rescans: u64,
+    /// Size of the loaded MODEL column in bytes (0 when absent).
+    pub model_bytes: u64,
+}
+
+/// A loaded artifact plus the counters of everything served from it.
+#[derive(Debug)]
+pub struct FleetService {
+    store: FleetStore,
+    queries_served: AtomicU64,
+    compressed_hits: AtomicU64,
+    exact_rescans: AtomicU64,
+}
+
+impl FleetService {
+    /// Wraps a loaded store for serving.
+    #[must_use]
+    pub fn new(store: FleetStore) -> FleetService {
+        FleetService {
+            store,
+            queries_served: AtomicU64::new(0),
+            compressed_hits: AtomicU64::new(0),
+            exact_rescans: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped store.
+    #[must_use]
+    pub fn store(&self) -> &FleetStore {
+        &self.store
+    }
+
+    /// Current counter values.
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            queries_served: self.queries_served.load(Ordering::Relaxed),
+            compressed_hits: self.compressed_hits.load(Ordering::Relaxed),
+            exact_rescans: self.exact_rescans.load(Ordering::Relaxed),
+            model_bytes: self.store.model_bytes(),
+        }
+    }
+
+    /// Answers one request. Never panics on caller input: invalid
+    /// parameters come back as [`FleetResponse::Error`].
+    pub fn handle(&self, request: &FleetRequest) -> FleetResponse {
+        self.queries_served.fetch_add(1, Ordering::Relaxed);
+        if let Err(err) = request.validate(self.store.meta().pc_count) {
+            return FleetResponse::Error(err);
+        }
+        match *request {
+            FleetRequest::Recommend {
+                device_id,
+                target_rate,
+                min_pcs,
+            } => self.recommend(device_id, target_rate, min_pcs as usize),
+            FleetRequest::Summary => FleetResponse::Summary(PopulationSummary::from_store(
+                &self.store,
+                &FleetCostModel::default(),
+            )),
+            FleetRequest::Fidelity => self.fidelity(),
+            FleetRequest::Export => {
+                if self.store.has_exact_counts() {
+                    FleetResponse::Export(self.store.export())
+                } else {
+                    FleetResponse::Error(ApiError::runtime(
+                        "export needs the exact FAULTS column; this artifact was \
+                         compressed without --keep-exact",
+                    ))
+                }
+            }
+        }
+    }
+
+    fn recommend(&self, device_id: u32, target_rate: f64, min_pcs: usize) -> FleetResponse {
+        let row = match self.store.find(device_id) {
+            Ok(row) => row,
+            Err(err) => return FleetResponse::Error(ApiError::from(&err)),
+        };
+        if let Some(model) = self.store.model(row) {
+            if let Some(rec) =
+                query::recommend_model(&self.store, row, &model, target_rate, min_pcs)
+            {
+                self.compressed_hits.fetch_add(1, Ordering::Relaxed);
+                return FleetResponse::Recommendation(rec);
+            }
+        }
+        // No model column, or the envelope abstained: exact evidence.
+        self.exact_rescans.fetch_add(1, Ordering::Relaxed);
+        if self.store.has_exact_counts() {
+            return FleetResponse::Recommendation(query::recommend_exact(
+                &self.store,
+                row,
+                target_rate,
+                min_pcs,
+            ));
+        }
+        match query::recommend_rescan(&self.store, row, target_rate, min_pcs) {
+            Ok(rec) => FleetResponse::Recommendation(rec),
+            Err(err) => FleetResponse::Error(ApiError::from(&err)),
+        }
+    }
+
+    fn fidelity(&self) -> FleetResponse {
+        let models = match self.stored_or_fresh_models() {
+            Ok(models) => models,
+            Err(err) => return FleetResponse::Error(err),
+        };
+        match FidelityReport::compute(&self.store, &models) {
+            Ok(report) => FleetResponse::Fidelity(report),
+            Err(err) => FleetResponse::Error(ApiError::from(&err)),
+        }
+    }
+
+    fn stored_or_fresh_models(&self) -> Result<Vec<crate::model::DeviceModel>, ApiError> {
+        if self.store.has_model() {
+            Ok((0..self.store.len())
+                .map(|i| self.store.model(i).expect("MODEL column present"))
+                .collect())
+        } else {
+            fit_store(&self.store).map_err(|err| ApiError::from(&err))
+        }
+    }
+}
+
+/// Runs the LDJSON request loop until EOF and returns the session stats.
+///
+/// # Errors
+///
+/// Only transport I/O errors abort the loop; request-level problems are
+/// answered in-band as [`FleetResponse::Error`] lines.
+pub fn serve(
+    service: &FleetService,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> std::io::Result<ServeStats> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match serde_json::from_str::<FleetRequest>(&line) {
+            Ok(request) => service.handle(&request),
+            Err(err) => {
+                service.queries_served.fetch_add(1, Ordering::Relaxed);
+                FleetResponse::Error(ApiError::parse(format!("bad request line: {err}")))
+            }
+        };
+        let json = response
+            .to_json()
+            .map_err(|err| std::io::Error::new(std::io::ErrorKind::InvalidData, err.message))?;
+        writeln!(output, "{json}")?;
+    }
+    output.flush()?;
+    Ok(service.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::encode;
+    use crate::config::FleetConfig;
+    use crate::model::compress_store;
+    use crate::sweep;
+    use hbm_units::Millivolts;
+
+    fn exact_store(devices: u32) -> FleetStore {
+        let cfg = FleetConfig {
+            devices,
+            workers: 1,
+            words_per_pc: 16,
+            from: Millivolts(1000),
+            down_to: Millivolts(860),
+            step: Millivolts(20),
+            weak_reference: Millivolts(900),
+            ..FleetConfig::default()
+        };
+        let records = sweep::run(&cfg).unwrap().records;
+        FleetStore::from_bytes(encode(&cfg, &records)).unwrap()
+    }
+
+    /// An all-clean grid: the sweep stops far above every onset voltage,
+    /// so every cell is certainly fault-free and the model envelope
+    /// decides every query without exact evidence.
+    fn clean_store() -> FleetStore {
+        let cfg = FleetConfig {
+            devices: 3,
+            workers: 1,
+            words_per_pc: 8,
+            from: Millivolts(1000),
+            down_to: Millivolts(960),
+            step: Millivolts(20),
+            weak_reference: Millivolts(980),
+            ..FleetConfig::default()
+        };
+        let records = sweep::run(&cfg).unwrap().records;
+        FleetStore::from_bytes(encode(&cfg, &records)).unwrap()
+    }
+
+    #[test]
+    fn happy_path_serves_without_exact_column_reads() {
+        let exact = clean_store();
+        let compressed = FleetStore::from_bytes(compress_store(&exact, true).unwrap()).unwrap();
+        assert!(compressed.has_exact_counts() && compressed.has_model());
+        let service = FleetService::new(compressed);
+        let response = service.handle(&FleetRequest::Recommend {
+            device_id: 1,
+            target_rate: 1e-2,
+            min_pcs: 16,
+        });
+        assert!(
+            matches!(response, FleetResponse::Recommendation(_)),
+            "{response:?}"
+        );
+        let summary = service.handle(&FleetRequest::Summary);
+        assert!(matches!(summary, FleetResponse::Summary(_)), "{summary:?}");
+        let stats = service.stats();
+        assert_eq!(stats.queries_served, 2);
+        assert_eq!(stats.compressed_hits, 1);
+        assert_eq!(stats.exact_rescans, 0);
+        assert!(stats.model_bytes > 0);
+        // The artifact kept its exact columns, yet neither query read them.
+        assert_eq!(service.store().exact_column_reads(), 0);
+    }
+
+    #[test]
+    fn model_answers_match_exact_answers() {
+        let exact = exact_store(4);
+        let compressed = FleetStore::from_bytes(compress_store(&exact, false).unwrap()).unwrap();
+        let service = FleetService::new(compressed);
+        for device_id in 0..4u32 {
+            for (target, min_pcs) in [(1e-3, 32u32), (1e-2, 16), (0.5, 1)] {
+                let row = exact.find(device_id).unwrap();
+                let want = query::recommend_exact(&exact, row, target, min_pcs as usize);
+                let got = service.handle(&FleetRequest::Recommend {
+                    device_id,
+                    target_rate: target,
+                    min_pcs,
+                });
+                assert_eq!(
+                    got,
+                    FleetResponse::Recommendation(want),
+                    "device {device_id} target {target}"
+                );
+            }
+        }
+        let stats = service.stats();
+        assert_eq!(stats.queries_served, 12);
+        assert_eq!(stats.compressed_hits + stats.exact_rescans, 12);
+    }
+
+    #[test]
+    fn ldjson_loop_answers_in_order_and_survives_garbage() {
+        let service = FleetService::new(exact_store(2));
+        let input = concat!(
+            "{\"Recommend\":{\"device_id\":0,\"target_rate\":0.01,\"min_pcs\":16}}\n",
+            "not json\n",
+            "\"Summary\"\n",
+            "{\"Recommend\":{\"device_id\":0,\"target_rate\":0.0,\"min_pcs\":16}}\n",
+        );
+        let mut output = Vec::new();
+        let stats = serve(&service, input.as_bytes(), &mut output).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&output).unwrap().lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("{\"Recommendation\":"), "{}", lines[0]);
+        assert!(lines[1].contains("\"parse\""), "{}", lines[1]);
+        assert!(lines[2].starts_with("{\"Summary\":"), "{}", lines[2]);
+        assert!(lines[3].contains("\"config\""), "{}", lines[3]);
+        assert_eq!(stats.queries_served, 4);
+    }
+
+    #[test]
+    fn fidelity_route_works_on_exact_stores_and_fails_cleanly_without_exact() {
+        let exact = exact_store(3);
+        let service = FleetService::new(exact.clone());
+        assert!(matches!(
+            service.handle(&FleetRequest::Fidelity),
+            FleetResponse::Fidelity(_)
+        ));
+        let compressed = FleetStore::from_bytes(compress_store(&exact, false).unwrap()).unwrap();
+        let service = FleetService::new(compressed);
+        match service.handle(&FleetRequest::Fidelity) {
+            FleetResponse::Error(err) => assert_eq!(err.kind, "artifact"),
+            other => panic!("unexpected: {other:?}"),
+        }
+        match service.handle(&FleetRequest::Export) {
+            FleetResponse::Error(err) => assert_eq!(err.kind, "runtime"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

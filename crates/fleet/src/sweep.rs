@@ -133,31 +133,21 @@ pub fn characterize_device(cfg: &FleetConfig, spec: DeviceSpec) -> DeviceRecord 
     let words = 0..cfg.words_per_pc;
     let pcs = cfg.geometry.total_pcs();
 
+    // Knots only descend: everything below the crash floor stays crashed.
+    let live: Vec<_> = knots
+        .iter()
+        .copied()
+        .take_while(|&v| v >= spec.crash_floor)
+        .collect();
     let mut faults = vec![CRASHED_KNOT; usize::from(pcs) * knots.len()];
     for pc in 0..pcs {
         let pc_index = hbm_device::PcIndex::new(pc).expect("geometry PC in range");
         let row = usize::from(pc) * knots.len();
-        let mut carry = None;
-        for (k, &v) in knots.iter().enumerate() {
-            if v < spec.crash_floor {
-                break; // knots only descend: everything below stays crashed
-            }
-            match carry.as_mut() {
-                None => {
-                    let (c, _) = kernel.carry_start(pc_index, words.clone(), v);
-                    carry = Some(c);
-                }
-                Some(c) => {
-                    kernel.carry_advance(c, v);
-                }
-            }
-            let mut count = 0u64;
-            carry
-                .as_ref()
-                .expect("carry initialized above")
-                .for_each_mask(|_, s0, s1| {
-                    count += u64::from(s0.count_ones()) + u64::from(s1.count_ones());
-                });
+        for (k, count) in kernel
+            .count_descent(pc_index, words.clone(), &live)
+            .into_iter()
+            .enumerate()
+        {
             faults[row + k] = u16::try_from(count).expect("counts bounded by words*256 <= 65280");
         }
     }

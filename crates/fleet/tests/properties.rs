@@ -1,11 +1,13 @@
 //! Property tests pinning the fleet layer's determinism contract: every
 //! per-device record, the encoded artifact, and the population percentiles
 //! are bit-identical across worker counts and device scheduling orders,
-//! and the columnar artifact round-trips losslessly.
+//! the columnar artifact round-trips losslessly, and the compressed
+//! parametric models answer queries identically to the exact columns.
 
 use hbm_fleet::{
-    artifact, characterize_device, sweep, ArtifactMeta, FleetConfig, FleetCostModel, FleetError,
-    FleetExport, FleetStore, PopulationSummary, ARTIFACT_VERSION,
+    artifact, characterize_device, model, sweep, ArtifactMeta, FleetConfig, FleetCostModel,
+    FleetError, FleetExport, FleetRequest, FleetService, FleetStore, PopulationSummary,
+    ARTIFACT_VERSION, CRASHED_KNOT,
 };
 use hbm_units::Millivolts;
 use proptest::prelude::*;
@@ -110,6 +112,126 @@ proptest! {
             store.export().to_json(),
             FleetExport::from_records(&cfg, &report.records).to_json()
         );
+    }
+
+    /// Every recommendation served from a compressed (model-only) store
+    /// equals the one served from the exact store, for any target/width —
+    /// the fidelity envelope either proves the exact answer or the
+    /// service falls back to a rescan that recomputes it.
+    #[test]
+    fn compressed_serving_agrees_with_exact_serving(
+        devices in 2u32..6,
+        base_seed in 0u64..1_000_000,
+        target_log in -5.0f64..-0.1,
+        min_pcs in 1u32..33,
+    ) {
+        let cfg = small_config(devices, base_seed);
+        let report = sweep::run(&cfg).unwrap();
+        let exact =
+            FleetStore::from_bytes(artifact::encode(&cfg, &report.records)).unwrap();
+        let compressed =
+            FleetStore::from_bytes(model::compress_store(&exact, false).unwrap()).unwrap();
+        prop_assert!(!compressed.has_exact_counts());
+        prop_assert!(compressed.has_model());
+
+        let exact_service = FleetService::new(exact);
+        let compressed_service = FleetService::new(compressed);
+        let target_rate = 10f64.powf(target_log);
+        for device_id in 0..devices {
+            let request = FleetRequest::Recommend { device_id, target_rate, min_pcs };
+            prop_assert_eq!(
+                compressed_service.handle(&request),
+                exact_service.handle(&request),
+                "device {} target {:.3e} min_pcs {}",
+                device_id, target_rate, min_pcs
+            );
+        }
+        // Summaries come from the scalar columns both stores share.
+        prop_assert_eq!(
+            compressed_service.handle(&FleetRequest::Summary),
+            exact_service.handle(&FleetRequest::Summary)
+        );
+    }
+
+    /// The stored fidelity envelope is sound: every non-crashed exact
+    /// count lies inside the model's declared `[lo, hi]` band.
+    #[test]
+    fn fidelity_envelope_covers_every_exact_cell(
+        devices in 1u32..5,
+        base_seed in 0u64..1_000_000,
+    ) {
+        let cfg = small_config(devices, base_seed);
+        let report = sweep::run(&cfg).unwrap();
+        let exact =
+            FleetStore::from_bytes(artifact::encode(&cfg, &report.records)).unwrap();
+        let compressed = FleetStore::from_bytes(
+            model::compress_store(&exact, true).unwrap()
+        ).unwrap();
+        let meta = *compressed.meta();
+        let knots = compressed.knots().to_vec();
+        let bits = meta.bits_per_pc() as f64;
+        for i in 0..compressed.len() {
+            let device_model = compressed.model(i).unwrap();
+            for pc in 0..meta.pc_count as usize {
+                for k in 0..knots.len() {
+                    let count = exact.fault(i, pc, k);
+                    if count == CRASHED_KNOT {
+                        continue;
+                    }
+                    let m = device_model.predicted_count(&meta, &knots, pc, k);
+                    let (lo, hi) = device_model.count_bounds(m, bits);
+                    let e = f64::from(count);
+                    prop_assert!(
+                        lo <= e && e <= hi,
+                        "device {} pc {} knot {}: exact {} outside [{}, {}]",
+                        i, pc, k, e, lo, hi
+                    );
+                }
+            }
+        }
+    }
+
+    /// A v2 artifact that keeps its exact columns carries byte-identical
+    /// data to what a v1 reader saw: same records, and every v1 column's
+    /// raw bytes unchanged — only the header version, the column count and
+    /// the appended MODEL column differ.
+    #[test]
+    fn v2_with_exact_matches_v1_column_bytes(
+        devices in 1u32..6,
+        base_seed in 0u64..1_000_000,
+    ) {
+        let cfg = small_config(devices, base_seed);
+        let report = sweep::run(&cfg).unwrap();
+        let v1 = FleetStore::from_bytes(
+            artifact::encode_legacy_v1(&cfg, &report.records)
+        ).unwrap();
+        let v2 = FleetStore::from_bytes(
+            artifact::encode(&cfg, &report.records)
+        ).unwrap();
+        prop_assert_eq!(v1.meta().version, 1);
+        prop_assert_eq!(v2.meta().version, ARTIFACT_VERSION);
+        prop_assert_eq!(v1.records(), v2.records());
+        for column in [
+            artifact::Column::DeviceId,
+            artifact::Column::Seed,
+            artifact::Column::VMin,
+            artifact::Column::Crash,
+            artifact::Column::WeakPcs,
+            artifact::Column::Faults,
+        ] {
+            prop_assert_eq!(
+                v1.column_bytes(column),
+                v2.column_bytes(column),
+                "column {:?} diverged between v1 and v2",
+                column
+            );
+        }
+        // And compressing the v2 store keeps those same exact bytes when
+        // asked to.
+        let kept = FleetStore::from_bytes(
+            model::compress_store(&v2, true).unwrap()
+        ).unwrap();
+        prop_assert_eq!(kept.records(), v1.records());
     }
 
     #[test]

@@ -111,6 +111,37 @@ fjson="$(mktemp -u /tmp/hbmctl-fleet-XXXXXX.json)"
 cmp "$fjson" scripts/golden/fleet_smoke.json
 rm -f "$hbfa" "$fjson"
 
+# Compressed-model fidelity gate: the envelope soundness and
+# exact-agreement property tests, plus the model codec unit tests.
+echo "==> compressed-model fidelity property tests"
+cargo test -q -p hbm-fleet --lib model
+cargo test -q -p hbm-fleet --test properties compressed
+cargo test -q -p hbm-fleet --test properties fidelity
+cargo test -q -p hbm-fleet --test properties v2_with_exact
+
+# Smoke: sweep -> compress -> fidelity -> serve. The LDJSON answers a
+# serve session gives from the compressed (model-only) artifact must be
+# byte-identical to the committed golden — recommendation routing, the
+# typed error surface and the wire format are all pinned at once.
+echo "==> hbmctl fleet compress/fidelity/serve smoke"
+hbfa="$(mktemp -u /tmp/hbmctl-fleet-exact-XXXXXX.hbfa)"
+chbfa="$(mktemp -u /tmp/hbmctl-fleet-model-XXXXXX.hbfa)"
+sjson="$(mktemp -u /tmp/hbmctl-serve-XXXXXX.jsonl)"
+./target/release/hbmctl fleet sweep --devices 3 --words 8 \
+    --from 960 --to 820 --step 20 --weak-reference 900 \
+    --out "$hbfa" >/dev/null
+./target/release/hbmctl fleet compress --artifact "$hbfa" \
+    --out "$chbfa" >/dev/null
+./target/release/hbmctl fleet fidelity --artifact "$hbfa" >/dev/null
+printf '%s\n' \
+    '{"Recommend":{"device_id":1,"target_rate":0.01,"min_pcs":16}}' \
+    '"Summary"' \
+    '{"Recommend":{"device_id":1,"target_rate":0.0,"min_pcs":16}}' \
+    'not json' \
+    | ./target/release/hbmctl serve --artifact "$chbfa" 2>/dev/null >"$sjson"
+cmp "$sjson" scripts/golden/serve_smoke.jsonl
+rm -f "$hbfa" "$chbfa" "$sjson"
+
 # Forced-crash trace: the recovery story must appear as typed events.
 tracec="$(mktemp -u /tmp/hbmctl-trace-crash-XXXXXX.jsonl)"
 ckptc="$(mktemp -u /tmp/hbmctl-check-crash-XXXXXX.json)"
