@@ -8,6 +8,7 @@
 
 use std::time::Instant;
 
+use hbm_device::TimingStretchModel;
 use hbm_traffic::DataPattern;
 use hbm_undervolt::{
     ExecutionMode, Experiment, FaultFieldMode, KernelBackend, Platform, ReliabilityConfig,
@@ -27,6 +28,17 @@ struct Entry {
     mean_faults: f64,
 }
 
+/// Wall-clock comparison of the same sweep with the voltage–latency
+/// stretch model armed vs disabled. Effective timings are computed on
+/// demand from the rail — never inside the sweep loop — so the armed run
+/// must not be measurably slower.
+#[derive(Serialize)]
+struct TimingOverhead {
+    stretched_secs: f64,
+    stretch_free_secs: f64,
+    overhead_ratio: f64,
+}
+
 #[derive(Serialize)]
 struct Record {
     bench: &'static str,
@@ -35,6 +47,7 @@ struct Record {
     iterations: u32,
     note: &'static str,
     results: Vec<Entry>,
+    timing_overhead: TimingOverhead,
 }
 
 fn workload() -> ReliabilityTester {
@@ -74,6 +87,54 @@ fn total_faults(report: &ReliabilityReport) -> f64 {
     report.points.iter().map(|p| p.total_mean_faults()).sum()
 }
 
+/// Best-of-N wall clock for the sequential sweep under an explicit
+/// timing-stretch model, plus the final report.
+fn time_sweep_with_stretch(stretch: TimingStretchModel) -> (f64, ReliabilityReport) {
+    let tester = workload();
+    let mut best = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..ITERATIONS {
+        let mut platform = Platform::builder()
+            .seed(SEED)
+            .workers(1)
+            .timing_stretch(stretch)
+            .build();
+        let start = Instant::now();
+        let r = Experiment::run(&tester, &mut platform).expect("sweep");
+        best = best.min(start.elapsed().as_secs_f64());
+        report = Some(r);
+    }
+    (best, report.expect("at least one iteration"))
+}
+
+/// The stretch model must be free at sweep time: effective timings are a
+/// pure on-demand function of the rail, so a sweep with the model armed is
+/// bit-identical to a stretch-free sweep and not measurably slower. The
+/// ratio bound is loose (wall clocks are noisy) but one-sided: a timing
+/// computation leaking into the per-word hot path would blow well past it.
+fn measure_timing_overhead() -> TimingOverhead {
+    let (stretched_secs, stretched) = time_sweep_with_stretch(TimingStretchModel::date21());
+    let (stretch_free_secs, stretch_free) = time_sweep_with_stretch(TimingStretchModel::none());
+    assert_eq!(
+        stretched, stretch_free,
+        "the stretch model changed the fault counting of a sweep"
+    );
+    let overhead_ratio = stretched_secs / stretch_free_secs;
+    assert!(
+        overhead_ratio < 1.25,
+        "stretch model added measurable sweep overhead: {overhead_ratio:.3}x"
+    );
+    println!(
+        "  timing overhead: {stretched_secs:.3}s armed vs {stretch_free_secs:.3}s \
+         stretch-free ({overhead_ratio:.2}x, bit-identical)"
+    );
+    TimingOverhead {
+        stretched_secs,
+        stretch_free_secs,
+        overhead_ratio,
+    }
+}
+
 fn main() {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("sweep_scaling: seed {SEED}, {cores} host core(s), best of {ITERATIONS} runs");
@@ -105,6 +166,8 @@ fn main() {
         });
     }
 
+    let timing_overhead = measure_timing_overhead();
+
     let record = Record {
         bench: "sweep_scaling",
         seed: SEED,
@@ -117,6 +180,7 @@ fn main() {
             "speedup = sequential wall clock / parallel wall clock, best of N"
         },
         results,
+        timing_overhead,
     };
 
     let path = concat!(

@@ -21,8 +21,14 @@
 //!                    [--transient-prob P] [--transient-window MV]
 //!                    [--trace-file FILE] [--progress]
 //! hbmctl trade-off   [--seed N] [--format text|csv|json]
+//! hbmctl governor    [--seed N] [--workers N] [--format text|csv|json]
+//!                    [--workload throughput|latency|both]
+//!                    [--latency-budget NS] [--bandwidth-target GBPS]
+//!                    [--step MV] [--floor MV] [--margin MV] [--canary-words N]
 //! hbmctl fault-map   [--seed N] [--out FILE]
 //! hbmctl plan        [--seed N] --capacity-gb G --tolerance RATE
+//!                    [--workload throughput|latency]
+//!                    [--latency-budget NS] [--min-bandwidth GBPS]
 //! hbmctl fleet sweep   [--devices N] [--seed N] [--workers N]
 //!                      [--from MV] [--to MV] [--step MV] [--words N]
 //!                      [--weak-reference MV] [--out FILE] [--export FILE]
@@ -55,10 +61,10 @@ use hbm_power::HbmPowerModel;
 use hbm_traffic::DataPattern;
 use hbm_undervolt::report::{to_json, Render};
 use hbm_undervolt::{
-    summarize, ExecutionMode, Experiment, FaultFieldMode, GuardbandFinder, JsonlSink,
-    KernelBackend, Platform, PowerSweep, ProgressSink, ReliabilityConfig, ReliabilityTester,
-    SweepCheckpoint, SweepConfig, SystemClock, Telemetry, TestScope, TradeOffAnalysis,
-    VoltageSweep,
+    summarize, ExecutionMode, Experiment, FaultFieldMode, GovernorConfig, GovernorScenario,
+    GuardbandFinder, JsonlSink, KernelBackend, PlanRequest, Platform, PowerSweep, ProgressSink,
+    ReliabilityConfig, ReliabilityTester, SweepCheckpoint, SweepConfig, SystemClock, Telemetry,
+    TestScope, TradeOffAnalysis, VoltageSweep, WorkloadMode,
 };
 use hbm_units::{Millivolts, Ratio};
 
@@ -168,8 +174,14 @@ const USAGE: &str = "usage:
                      [--transient-prob P] [--transient-window MV]
                      [--trace-file FILE] [--progress]
   hbmctl trade-off   [--seed N] [--format text|csv|json]
+  hbmctl governor    [--seed N] [--workers N] [--format text|csv|json]
+                     [--workload throughput|latency|both]
+                     [--latency-budget NS] [--bandwidth-target GBPS]
+                     [--step MV] [--floor MV] [--margin MV] [--canary-words N]
   hbmctl fault-map   [--seed N] [--out FILE]
   hbmctl plan        [--seed N] --capacity-gb G --tolerance RATE
+                     [--workload throughput|latency]
+                     [--latency-budget NS] [--min-bandwidth GBPS]
   hbmctl fleet sweep   [--devices N] [--seed N] [--workers N] [--from MV] [--to MV] [--step MV]
                        [--words N] [--weak-reference MV] [--out FILE] [--export FILE]
   hbmctl fleet query   --artifact FILE --device ID [--target-rate R] [--min-pcs N]
@@ -200,6 +212,7 @@ fn run() -> Result<(), CliError> {
         }
         "sweep" => supervised_sweep(seed, workers, &args),
         "trade-off" => dispatch(&trade_off(seed), seed, workers, &args),
+        "governor" => governor(seed, workers, &args),
         "fault-map" => fault_map(seed, &args),
         "plan" => plan(seed, &args),
         "fleet" => fleet(seed, &args),
@@ -433,6 +446,50 @@ fn trade_off(seed: u64) -> TradeOffAnalysis {
     TradeOffAnalysis::new(map, HbmPowerModel::date21())
 }
 
+/// The latency budget the two-row `--workload both` scenario descends
+/// with when none is given: a little above the nominal random-access
+/// latency (≈30 ns), so the latency row trips on timing stretch inside
+/// the fault-free guardband while the throughput row descends to flips.
+const DEFAULT_LATENCY_BUDGET_NS: f64 = 33.0;
+
+/// `hbmctl governor`: closed-loop descents as an [`Experiment`]. The
+/// default `--workload both` runs the canonical latency-vs-throughput
+/// scenario; a single mode runs one descent under that workload's
+/// pattern and constraints.
+fn governor(seed: u64, workers: usize, args: &Args) -> Result<(), CliError> {
+    let base = GovernorConfig {
+        step: args.flag("step", Millivolts(10))?,
+        canary_words: args.flag("canary-words", 512u64)?,
+        floor: args.flag("floor", Millivolts(840))?,
+        margin: args.flag("margin", Millivolts(10))?,
+        latency_budget_ns: args.optional("latency-budget")?,
+        bandwidth_target_gbps: args.optional("bandwidth-target")?,
+        ..GovernorConfig::default()
+    };
+    let workload: String = args.flag("workload", "both".to_owned())?;
+    let scenario = match workload.as_str() {
+        "both" => GovernorScenario::latency_vs_throughput(
+            base,
+            base.latency_budget_ns.unwrap_or(DEFAULT_LATENCY_BUDGET_NS),
+        ),
+        token => {
+            let mode = WorkloadMode::from_token(token).ok_or_else(|| {
+                CliError::config(format!(
+                    "unknown workload: {token} (use throughput, latency or both)"
+                ))
+            })?;
+            GovernorScenario::new().with_variant(
+                token,
+                GovernorConfig {
+                    workload: mode,
+                    ..base
+                },
+            )
+        }
+    };
+    dispatch(&scenario, seed, workers, args)
+}
+
 fn fault_map(seed: u64, args: &Args) -> Result<(), CliError> {
     let p = platform(seed, 1);
     let map = FaultMap::from_predictor(
@@ -464,9 +521,23 @@ fn plan(seed: u64, args: &Args) -> Result<(), CliError> {
         return Err(CliError::config("tolerance must be a fraction in [0, 1]"));
     }
 
+    let workload_token: String = args.flag("workload", "throughput".to_owned())?;
+    let mode = WorkloadMode::from_token(&workload_token).ok_or_else(|| {
+        CliError::config(format!(
+            "unknown workload: {workload_token} (use throughput or latency)"
+        ))
+    })?;
+
     let analysis = trade_off(seed);
     let bytes = (capacity_gb * (1u64 << 30) as f64) as u64;
-    match analysis.plan(bytes, Ratio(tolerance)) {
+    let mut request = PlanRequest::new(bytes, Ratio(tolerance)).with_pattern(mode.pattern());
+    if let Some(budget) = args.optional::<f64>("latency-budget")? {
+        request = request.with_latency_budget_ns(budget);
+    }
+    if let Some(floor) = args.optional::<f64>("min-bandwidth")? {
+        request = request.with_min_delivered_gbps(floor);
+    }
+    match analysis.plan_request(&request) {
         Some(point) => {
             println!("operating point for ≥{capacity_gb} GB at ≤{tolerance} fault rate:");
             println!("  voltage        {}", point.voltage);
@@ -477,10 +548,16 @@ fn plan(seed: u64, args: &Args) -> Result<(), CliError> {
             );
             println!("  power saving   {:.2}x vs nominal", point.saving_factor);
             println!("  worst PC rate  {:.3e}", point.worst_fault_rate.as_f64());
+            println!(
+                "  delivered      {:.1} GB/s ({} pattern)",
+                point.delivered_gbps, workload_token
+            );
+            println!("  access latency {:.1} ns", point.access_latency_ns);
             Ok(())
         }
         None => Err(CliError::runtime(format!(
-            "no swept voltage provides {capacity_gb} GB within fault rate {tolerance}"
+            "no swept voltage provides {capacity_gb} GB within fault rate {tolerance} \
+             under the requested timing constraints"
         ))),
     }
 }

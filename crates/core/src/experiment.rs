@@ -11,6 +11,7 @@
 //! `Vec<Box<dyn DynExperiment>>` loop.
 
 use crate::error::ExperimentError;
+use crate::governor::{GovernorScenario, GovernorScenarioReport};
 use crate::guardband::{GuardbandFinder, GuardbandReport};
 use crate::platform::Platform;
 use crate::power_test::{PowerSweep, PowerSweepReport};
@@ -140,6 +141,18 @@ impl Experiment for GuardbandFinder {
 
     fn run(&self, platform: &mut Platform) -> Result<GuardbandReport, ExperimentError> {
         GuardbandFinder::run(self, platform)
+    }
+}
+
+impl Experiment for GovernorScenario {
+    type Report = GovernorScenarioReport;
+
+    fn name(&self) -> &str {
+        "governor"
+    }
+
+    fn run(&self, platform: &mut Platform) -> Result<GovernorScenarioReport, ExperimentError> {
+        GovernorScenario::run(self, platform)
     }
 }
 

@@ -126,7 +126,10 @@ pub use engine::ShardPort;
 pub use error::ExperimentError;
 pub use experiment::{DynExperiment, Experiment};
 pub use fleet::{supervised_device_record, supervised_sweep_config};
-pub use governor::{outcome_saving, GovernorConfig, GovernorOutcome, UndervoltGovernor};
+pub use governor::{
+    outcome_saving, GovernorConfig, GovernorOutcome, GovernorScenario, GovernorScenarioReport,
+    GovernorScenarioRow, GovernorVariant, TripReason, UndervoltGovernor, WorkloadMode,
+};
 pub use guardband::{GuardbandFinder, GuardbandReport};
 pub use hbm_faults::{FaultFieldMode, FieldKernel, InstructionSet, KernelBackend, MaskKernel};
 pub use platform::{Platform, PlatformBuilder, PowerSample, UndervoltedPort};
@@ -147,5 +150,6 @@ pub use telemetry::{
     TraceRecord,
 };
 pub use trade_off::{
-    OperatingPoint, PlannedFraction, TradeOffAnalysis, TradeOffReport, UsablePcCurve,
+    OperatingPoint, PlanRequest, PlannedFraction, SurfacePoint, TradeOffAnalysis, TradeOffReport,
+    UsablePcCurve,
 };

@@ -1,8 +1,9 @@
 //! The simulated VCU128 testbed: device + rail + fault injection + traffic.
 
 use hbm_device::{
-    BandwidthModel, ClockConfig, DeviceError, HbmDevice, HbmGeometry, PortId, TransientCrashModel,
-    Word256, WordOffset, CRASH_FLOOR,
+    AccessPattern, AccessTimingModel, BandwidthModel, ClockConfig, DeviceError, DramTimings,
+    HbmDevice, HbmGeometry, PortId, TimingStretchModel, TransientCrashModel, Word256, WordOffset,
+    CRASH_FLOOR,
 };
 use hbm_faults::{FaultInjector, FaultModelParams, RatePredictor};
 use hbm_power::{HbmPowerModel, PowerModelParams};
@@ -52,6 +53,8 @@ pub struct PlatformBuilder {
     workers: usize,
     v_crash: Millivolts,
     transient: Option<TransientCrashModel>,
+    timings: DramTimings,
+    timing_stretch: TimingStretchModel,
 }
 
 impl PlatformBuilder {
@@ -131,6 +134,26 @@ impl PlatformBuilder {
         self
     }
 
+    /// Nominal DRAM core timings (defaults: representative HBM2 values at
+    /// the study's 900 MHz clock). These are the *nominal-voltage* values;
+    /// the effective timings at the present rail come from the stretch
+    /// model (see [`Platform::effective_timings`]).
+    #[must_use]
+    pub fn timings(mut self, timings: DramTimings) -> Self {
+        self.timings = timings;
+        self
+    }
+
+    /// The voltage→timing stretch model coupling the rail to the DRAM core
+    /// timings (defaults: [`TimingStretchModel::date21`]). Pass
+    /// [`TimingStretchModel::none`] for the pre-Voltron assumption that
+    /// timings are voltage-independent.
+    #[must_use]
+    pub fn timing_stretch(mut self, stretch: TimingStretchModel) -> Self {
+        self.timing_stretch = stretch;
+        self
+    }
+
     /// Assembles the platform.
     ///
     /// # Panics
@@ -158,6 +181,8 @@ impl PlatformBuilder {
             full_predictor,
             power_model: HbmPowerModel::new(self.power_params),
             bandwidth: BandwidthModel::new(self.geometry, self.clock),
+            timing: AccessTimingModel::new(self.geometry, self.clock, self.timings),
+            timing_stretch: self.timing_stretch,
             seed: self.seed,
             workers: self.workers,
         }
@@ -176,6 +201,8 @@ impl Default for PlatformBuilder {
             workers: 1,
             v_crash: CRASH_FLOOR,
             transient: None,
+            timings: DramTimings::hbm2(),
+            timing_stretch: TimingStretchModel::date21(),
         }
     }
 }
@@ -212,6 +239,8 @@ pub struct Platform {
     full_predictor: RatePredictor,
     power_model: HbmPowerModel,
     bandwidth: BandwidthModel,
+    timing: AccessTimingModel,
+    timing_stretch: TimingStretchModel,
     seed: u64,
     workers: usize,
 }
@@ -335,6 +364,53 @@ impl Platform {
     #[must_use]
     pub fn bandwidth_model(&self) -> &BandwidthModel {
         &self.bandwidth
+    }
+
+    /// The access-timing model at *nominal* voltage (the builder's
+    /// [`DramTimings`]).
+    #[must_use]
+    pub fn timing_model(&self) -> &AccessTimingModel {
+        &self.timing
+    }
+
+    /// The voltage→timing stretch model in effect.
+    #[must_use]
+    pub fn timing_stretch(&self) -> &TimingStretchModel {
+        &self.timing_stretch
+    }
+
+    /// The access-timing model at the supply the device currently *sees*
+    /// (the drooped rail output, not just the set-point): `set_voltage`
+    /// and load-induced droop both move it. A pure function of
+    /// `(seed, supply)`, so it is bit-identical across worker counts and
+    /// adds no state to the sweep hot path.
+    #[must_use]
+    pub fn effective_timing_model(&self) -> AccessTimingModel {
+        self.timing
+            .at_voltage(&self.timing_stretch, self.seed, self.device.supply())
+    }
+
+    /// The DRAM core timings at the present supply (stretched below the
+    /// knee; see [`TimingStretchModel`]).
+    #[must_use]
+    pub fn effective_timings(&self) -> DramTimings {
+        self.effective_timing_model().timings()
+    }
+
+    /// Delivered bandwidth a pattern sustains at the present supply, all
+    /// ports running: the raw pin rate derated by the stretched-timing
+    /// efficiency estimate. This is the fourth axis of the trade-off —
+    /// what undervolting costs in GB/s before it costs a single bit.
+    #[must_use]
+    pub fn delivered_bandwidth(&self, pattern: AccessPattern) -> GigabytesPerSecond {
+        GigabytesPerSecond(self.effective_timing_model().delivered_gbps(pattern))
+    }
+
+    /// Latency of one access under a pattern at the present supply, in
+    /// nanoseconds (see [`AccessTimingModel::access_latency_ns`]).
+    #[must_use]
+    pub fn access_latency_ns(&self, pattern: AccessPattern) -> f64 {
+        self.effective_timing_model().access_latency_ns(pattern)
     }
 
     /// Enables exactly the first `n` AXI ports (the study's bandwidth
@@ -605,6 +681,44 @@ mod tests {
         p.set_voltage(Millivolts(850)).unwrap();
         let f = p.fault_fraction().as_f64();
         assert!((0.1..0.4).contains(&f), "fraction {f}");
+    }
+
+    #[test]
+    fn undervolting_stretches_latency_and_sheds_bandwidth() {
+        let mut p = platform();
+        let lat_nom = p.access_latency_ns(AccessPattern::RandomWord);
+        let bw_nom = p.delivered_bandwidth(AccessPattern::SequentialStream);
+        p.set_voltage(Millivolts(900)).unwrap();
+        let lat_low = p.access_latency_ns(AccessPattern::RandomWord);
+        let bw_low = p.delivered_bandwidth(AccessPattern::SequentialStream);
+        assert!(lat_low > lat_nom, "latency {lat_nom} !< {lat_low}");
+        assert!(bw_low < bw_nom, "bandwidth {bw_low} !< {bw_nom}");
+        // Restoring nominal restores nominal timing exactly.
+        p.set_voltage(Millivolts(1200)).unwrap();
+        assert_eq!(p.effective_timings(), p.timing_model().timings());
+    }
+
+    #[test]
+    fn timing_stretch_sees_the_drooped_rail_not_the_setpoint() {
+        use hbm_units::Ohms;
+        let mut p = platform();
+        p.set_voltage(Millivolts(1000)).unwrap();
+        let undrooped = p.access_latency_ns(AccessPattern::RandomWord);
+        p.set_load_line(Ohms(0.004));
+        p.measure_power(Ratio::ONE).unwrap();
+        // Same set-point, sagged rail: effective timing must be slower.
+        assert!(p.access_latency_ns(AccessPattern::RandomWord) > undrooped);
+    }
+
+    #[test]
+    fn stretch_free_builds_are_voltage_blind() {
+        let mut p = Platform::builder()
+            .seed(7)
+            .timing_stretch(TimingStretchModel::none())
+            .build();
+        let nominal = p.effective_timings();
+        p.set_voltage(Millivolts(850)).unwrap();
+        assert_eq!(p.effective_timings(), nominal);
     }
 
     #[test]

@@ -14,12 +14,13 @@ use serde::{Deserialize, Serialize};
 
 use crate::characterization::{PcFaultTable, StackFractionPoint};
 use crate::error::ExperimentError;
+use crate::governor::GovernorScenarioReport;
 use crate::guardband::GuardbandReport;
 use crate::platform::Platform;
 use crate::power_test::PowerSweepReport;
 use crate::reliability::ReliabilityReport;
 use crate::supervisor::{PointOutcome, SupervisedReport};
-use crate::trade_off::{TradeOffReport, UsablePcCurve};
+use crate::trade_off::{SurfacePoint, TradeOffReport, UsablePcCurve};
 
 /// A report that can render itself both as the paper's plain-text table
 /// and as CSV.
@@ -369,6 +370,38 @@ impl Render for Vec<UsablePcCurve> {
 impl Render for TradeOffReport {
     fn to_text(&self) -> String {
         let mut out = self.curves.to_text();
+        if !self.surface.is_empty() {
+            writeln!(
+                out,
+                "{:>8}{:>6}{:>10}{:>9}{:>10}{:>10}{:>10}{:>9}{:>9}",
+                "V",
+                "PCs",
+                "cap GiB",
+                "saving",
+                "seq GB/s",
+                "strd GB/s",
+                "rand GB/s",
+                "rand ns",
+                "pJ/bit"
+            )
+            .expect("write to string");
+            for p in &self.surface {
+                writeln!(
+                    out,
+                    "{:>8}{:>6}{:>10.2}{:>8.2}x{:>10.1}{:>10.1}{:>10.1}{:>9.1}{:>9.2}",
+                    p.voltage.to_string(),
+                    p.usable_pcs,
+                    p.capacity_bytes as f64 / f64::from(1u32 << 30),
+                    p.saving_factor,
+                    p.sequential_gbps,
+                    p.strided_gbps,
+                    p.random_gbps,
+                    p.random_latency_ns,
+                    p.sequential_pj_per_bit,
+                )
+                .expect("write to string");
+            }
+        }
         for plan in &self.plans {
             match &plan.point {
                 Some(p) => writeln!(
@@ -393,7 +426,110 @@ impl Render for TradeOffReport {
     }
 
     fn to_csv(&self) -> String {
-        self.curves.to_csv()
+        // The curve family augmented with the four-factor surface columns:
+        // the timing axis depends only on the voltage, so its values repeat
+        // across the tolerance series of the same row voltage.
+        let mut rows = Vec::new();
+        for curve in &self.curves {
+            for &(v, n) in &curve.points {
+                let surface = self.surface.iter().find(|p| p.voltage == v);
+                let timing_cell = |f: fn(&SurfacePoint) -> f64| {
+                    surface.map_or_else(String::new, |p| format!("{:.3}", f(p)))
+                };
+                rows.push(vec![
+                    format!("{:e}", curve.tolerable.as_f64()),
+                    v.as_u32().to_string(),
+                    n.to_string(),
+                    timing_cell(|p| p.saving_factor),
+                    timing_cell(|p| p.sequential_gbps),
+                    timing_cell(|p| p.strided_gbps),
+                    timing_cell(|p| p.random_gbps),
+                    timing_cell(|p| p.random_latency_ns),
+                    timing_cell(|p| p.sequential_pj_per_bit),
+                ]);
+            }
+        }
+        to_csv(
+            &[
+                "tolerable",
+                "voltage_mv",
+                "usable_pcs",
+                "saving_factor",
+                "sequential_gbps",
+                "strided_gbps",
+                "random_gbps",
+                "random_latency_ns",
+                "sequential_pj_per_bit",
+            ],
+            &rows,
+        )
+    }
+}
+
+impl Render for GovernorScenarioReport {
+    fn to_text(&self) -> String {
+        let mut out = String::from("closed-loop governor scenarios\n");
+        for row in &self.rows {
+            let trip = match (row.outcome.trip_reason, row.outcome.tripped_at) {
+                (Some(reason), Some(v)) => format!("{} at {}", reason.as_str(), v),
+                _ => "floor reached".to_owned(),
+            };
+            writeln!(
+                out,
+                "{:>12} ({:>10}): settled {}, lowest clean {}, {trip}, \
+                 {} flip(s), {:.1} GB/s, {:.1} ns, {:.2}x saving",
+                row.label,
+                row.workload.as_token(),
+                row.outcome.settled,
+                row.outcome.lowest_clean,
+                row.outcome.canary_flips,
+                row.outcome.delivered_gbps,
+                row.outcome.access_latency_ns,
+                row.saving_factor,
+            )
+            .expect("write to string");
+        }
+        out
+    }
+
+    fn to_csv(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| {
+                vec![
+                    row.label.clone(),
+                    row.workload.as_token().to_owned(),
+                    row.outcome.settled.as_u32().to_string(),
+                    row.outcome.lowest_clean.as_u32().to_string(),
+                    row.outcome
+                        .tripped_at
+                        .map_or_else(String::new, |v| v.as_u32().to_string()),
+                    row.outcome
+                        .trip_reason
+                        .map_or_else(String::new, |r| r.as_str().to_owned()),
+                    row.outcome.canary_flips.to_string(),
+                    format!("{:.3}", row.outcome.delivered_gbps),
+                    format!("{:.3}", row.outcome.access_latency_ns),
+                    format!("{:.4}", row.saving_factor),
+                ]
+            })
+            .collect();
+        to_csv(
+            &[
+                "scenario",
+                "workload",
+                "settled_mv",
+                "lowest_clean_mv",
+                "tripped_at_mv",
+                "trip_reason",
+                "canary_flips",
+                "delivered_gbps",
+                "access_latency_ns",
+                "saving_factor",
+            ],
+            &rows,
+        )
     }
 }
 

@@ -357,6 +357,9 @@ pub struct Metrics {
     power_cycles: AtomicU64,
     devices_swept: AtomicU64,
     devices_stolen: AtomicU64,
+    canary_passes: AtomicU64,
+    governor_flip_trips: AtomicU64,
+    governor_timing_trips: AtomicU64,
     artifact_bytes_written: AtomicU64,
     queries_served: AtomicU64,
     compressed_hits: AtomicU64,
@@ -385,6 +388,9 @@ impl Metrics {
             power_cycles: AtomicU64::new(0),
             devices_swept: AtomicU64::new(0),
             devices_stolen: AtomicU64::new(0),
+            canary_passes: AtomicU64::new(0),
+            governor_flip_trips: AtomicU64::new(0),
+            governor_timing_trips: AtomicU64::new(0),
             artifact_bytes_written: AtomicU64::new(0),
             queries_served: AtomicU64::new(0),
             compressed_hits: AtomicU64::new(0),
@@ -444,6 +450,23 @@ impl Metrics {
     /// never a trace event.
     pub fn add_devices_stolen(&self, n: u64) {
         self.devices_stolen.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` governor canary passes (one write/read-back sweep of
+    /// every enabled port's canary region).
+    pub fn add_canary_passes(&self, n: u64) {
+        self.canary_passes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` governor descents stopped by canary bit flips.
+    pub fn add_governor_flip_trips(&self, n: u64) {
+        self.governor_flip_trips.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` governor descents stopped by a timing constraint (a
+    /// latency budget or a delivered-bandwidth target).
+    pub fn add_governor_timing_trips(&self, n: u64) {
+        self.governor_timing_trips.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records `n` fleet-artifact bytes durably written.
@@ -521,6 +544,9 @@ impl Metrics {
             power_cycles: self.power_cycles.load(Ordering::Relaxed),
             devices_swept: self.devices_swept.load(Ordering::Relaxed),
             devices_stolen: self.devices_stolen.load(Ordering::Relaxed),
+            canary_passes: self.canary_passes.load(Ordering::Relaxed),
+            governor_flip_trips: self.governor_flip_trips.load(Ordering::Relaxed),
+            governor_timing_trips: self.governor_timing_trips.load(Ordering::Relaxed),
             artifact_bytes_written: self.artifact_bytes_written.load(Ordering::Relaxed),
             queries_served: self.queries_served.load(Ordering::Relaxed),
             compressed_hits: self.compressed_hits.load(Ordering::Relaxed),
@@ -571,6 +597,12 @@ pub struct MetricsSnapshot {
     pub devices_swept: u64,
     /// Fleet devices that migrated to another worker through a work steal.
     pub devices_stolen: u64,
+    /// Governor canary passes executed (all ports, both patterns).
+    pub canary_passes: u64,
+    /// Governor descents stopped by canary bit flips.
+    pub governor_flip_trips: u64,
+    /// Governor descents stopped by a latency budget or bandwidth target.
+    pub governor_timing_trips: u64,
     /// Fleet-artifact bytes durably written.
     pub artifact_bytes_written: u64,
     /// Fleet requests answered through the typed API.
@@ -866,6 +898,15 @@ impl<W: Write + Send> Observer for ProgressSink<W> {
             snapshot.checkpoints_written,
             snapshot.checkpoint_bytes,
         );
+        if snapshot.canary_passes > 0 {
+            let _ = writeln!(
+                out,
+                "governor: {} canary pass(es), {} flip trip(s), {} timing trip(s)",
+                snapshot.canary_passes,
+                snapshot.governor_flip_trips,
+                snapshot.governor_timing_trips,
+            );
+        }
         if snapshot.point_wall_ms.count > 0 {
             let wall = &snapshot.point_wall_ms;
             let _ = writeln!(

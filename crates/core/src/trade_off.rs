@@ -1,7 +1,20 @@
-//! The three-factor trade-off among power, fault rate and memory capacity
-//! (§III-C and Fig. 6 of the paper).
+//! The trade-off surface among power, fault rate, memory capacity and
+//! delivered bandwidth (§III-C and Fig. 6 of the paper, extended with the
+//! voltage–latency axis Voltron observes).
+//!
+//! The paper's Fig. 6 stops at three factors: how many pseudo channels
+//! stay usable (capacity) at which voltage (power) under which fault
+//! budget (reliability). This module adds the fourth: below the timing
+//! knee the stretched tRCD/tCL shave delivered bandwidth and inflate
+//! access latency *before* the first bit flips, so an operating point is
+//! only complete with its delivered GB/s and per-access latency attached.
+//! [`TradeOffAnalysis::surface`] tabulates all four factors per swept
+//! voltage, and [`PlanRequest`] lets the planner reject points that are
+//! fault-clean but too slow.
 
-use hbm_device::PcIndex;
+use hbm_device::{
+    AccessPattern, AccessTimingModel, ClockConfig, DramTimings, PcIndex, TimingStretchModel,
+};
 use hbm_faults::FaultMap;
 use hbm_power::HbmPowerModel;
 use hbm_units::{Millivolts, Ratio};
@@ -20,18 +33,27 @@ pub struct UsablePcCurve {
 }
 
 impl UsablePcCurve {
-    /// The count at an exact voltage.
+    /// The count at the grid knot *nearest* to `voltage`.
+    ///
+    /// Off-grid queries (a planner probing 0.985 V against a 10 mV sweep)
+    /// resolve to the closest swept voltage; exact hits resolve to
+    /// themselves; queries beyond either end clamp to the boundary knot.
+    /// When two knots are equidistant the higher voltage wins (the
+    /// conservative read, since counts never increase as voltage drops).
+    /// Returns `None` only for an empty curve.
     #[must_use]
     pub fn at(&self, voltage: Millivolts) -> Option<usize> {
+        // Points are in descending voltage order, so on a distance tie
+        // `min_by_key` keeps the first — the higher — knot.
         self.points
             .iter()
-            .find(|(v, _)| *v == voltage)
+            .min_by_key(|(v, _)| v.as_u32().abs_diff(voltage.as_u32()))
             .map(|&(_, n)| n)
     }
 }
 
 /// An operating point the planner recommends: how low to go for a given
-/// capacity and fault budget, and what it buys.
+/// capacity, fault budget and timing constraints, and what it buys.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OperatingPoint {
     /// The recommended supply voltage.
@@ -44,6 +66,64 @@ pub struct OperatingPoint {
     pub saving_factor: f64,
     /// The worst per-PC fault rate among the selected PCs.
     pub worst_fault_rate: Ratio,
+    /// Delivered bandwidth at this voltage under the planned access
+    /// pattern, in GB/s (stretched timings included).
+    pub delivered_gbps: f64,
+    /// Latency of one access under the planned pattern, in nanoseconds.
+    pub access_latency_ns: f64,
+}
+
+/// A full four-factor planner query: capacity and fault budget (the
+/// paper's axes) plus the timing constraints of the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlanRequest {
+    /// Minimum usable capacity, in bytes.
+    pub min_capacity_bytes: u64,
+    /// Tolerable per-PC fault rate.
+    pub tolerable: Ratio,
+    /// The access pattern latency and bandwidth are evaluated under.
+    pub pattern: AccessPattern,
+    /// Reject voltages whose per-access latency exceeds this budget, in
+    /// nanoseconds (`None` = latency-blind, the paper's 3-factor planner).
+    pub latency_budget_ns: Option<f64>,
+    /// Reject voltages delivering less than this bandwidth, in GB/s.
+    pub min_delivered_gbps: Option<f64>,
+}
+
+impl PlanRequest {
+    /// A 3-factor request (sequential pattern, no timing constraints) —
+    /// exactly what [`TradeOffAnalysis::plan`] historically answered.
+    #[must_use]
+    pub fn new(min_capacity_bytes: u64, tolerable: Ratio) -> Self {
+        PlanRequest {
+            min_capacity_bytes,
+            tolerable,
+            pattern: AccessPattern::SequentialStream,
+            latency_budget_ns: None,
+            min_delivered_gbps: None,
+        }
+    }
+
+    /// Builder-style access-pattern override.
+    #[must_use]
+    pub fn with_pattern(mut self, pattern: AccessPattern) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    /// Builder-style latency budget.
+    #[must_use]
+    pub fn with_latency_budget_ns(mut self, budget: f64) -> Self {
+        self.latency_budget_ns = Some(budget);
+        self
+    }
+
+    /// Builder-style delivered-bandwidth floor.
+    #[must_use]
+    pub fn with_min_delivered_gbps(mut self, gbps: f64) -> Self {
+        self.min_delivered_gbps = Some(gbps);
+        self
+    }
 }
 
 /// One planner example of a [`TradeOffReport`]: what the lowest safe
@@ -58,17 +138,46 @@ pub struct PlannedFraction {
     pub point: Option<OperatingPoint>,
 }
 
-/// The full §III-C artefact: the Fig. 6 curve family plus planner examples.
+/// One voltage of the four-factor surface: power saving, fault-free
+/// capacity, and the delivered bandwidth / latency of every access
+/// pattern, all at the same rail.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurfacePoint {
+    /// The swept supply voltage.
+    pub voltage: Millivolts,
+    /// Pseudo channels usable at zero fault tolerance.
+    pub usable_pcs: usize,
+    /// Fault-free capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Power-saving factor versus nominal.
+    pub saving_factor: f64,
+    /// Delivered GB/s for long sequential streams.
+    pub sequential_gbps: f64,
+    /// Delivered GB/s for strided single-word access.
+    pub strided_gbps: f64,
+    /// Delivered GB/s for uniformly random words.
+    pub random_gbps: f64,
+    /// Latency of one random-word access, in nanoseconds.
+    pub random_latency_ns: f64,
+    /// Energy per *delivered* sequential bit, in picojoules: the power
+    /// model evaluated against the stretched (not pin) bandwidth.
+    pub sequential_pj_per_bit: f64,
+}
+
+/// The full §III-C artefact: the Fig. 6 curve family, the four-factor
+/// surface, and planner examples.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TradeOffReport {
     /// One usable-PC series per tolerance, loosest last.
     pub curves: Vec<UsablePcCurve>,
+    /// The four-factor surface, one row per swept voltage.
+    pub surface: Vec<SurfacePoint>,
     /// Example operating points across the capacity/fault-budget space.
     pub plans: Vec<PlannedFraction>,
 }
 
 /// The trade-off analysis: a [`FaultMap`] (per-PC rates across the sweep)
-/// combined with the power model.
+/// combined with the power model and the voltage-dependent timing model.
 ///
 /// # Examples
 ///
@@ -88,24 +197,66 @@ pub struct TradeOffReport {
 /// let full = analysis.plan(8 << 30, Ratio::ZERO).unwrap();
 /// assert!(full.voltage >= Millivolts(960));
 /// assert!(full.saving_factor >= 1.49);
+/// // The fourth axis rides along: the point knows what it delivers.
+/// assert!(full.delivered_gbps > 300.0);
 /// ```
 #[derive(Debug, Clone)]
 pub struct TradeOffAnalysis {
     map: FaultMap,
     power: HbmPowerModel,
+    timing: AccessTimingModel,
+    stretch: TimingStretchModel,
 }
 
 impl TradeOffAnalysis {
-    /// Combines a fault map with a power model.
+    /// Combines a fault map with a power model, using the study clock,
+    /// HBM2 core timings and the date21 stretch calibration for the
+    /// timing axis. The stretch seed is the map's own device seed, so
+    /// timing variation and fault variation describe the same device.
     #[must_use]
     pub fn new(map: FaultMap, power: HbmPowerModel) -> Self {
-        TradeOffAnalysis { map, power }
+        let timing =
+            AccessTimingModel::new(map.geometry, ClockConfig::vcu128(), DramTimings::hbm2());
+        TradeOffAnalysis {
+            map,
+            power,
+            timing,
+            stretch: TimingStretchModel::date21(),
+        }
+    }
+
+    /// Overrides the timing model and stretch calibration (use
+    /// [`TimingStretchModel::none`] to reproduce the pre-Voltron
+    /// 3-factor analysis).
+    #[must_use]
+    pub fn with_timing(mut self, timing: AccessTimingModel, stretch: TimingStretchModel) -> Self {
+        self.timing = timing;
+        self.stretch = stretch;
+        self
     }
 
     /// The underlying fault map.
     #[must_use]
     pub fn fault_map(&self) -> &FaultMap {
         &self.map
+    }
+
+    /// The timing model stretched to a swept voltage for this device.
+    fn timing_at(&self, voltage: Millivolts) -> AccessTimingModel {
+        self.timing
+            .at_voltage(&self.stretch, self.map.seed, voltage)
+    }
+
+    /// Delivered bandwidth under a pattern at a swept voltage, in GB/s.
+    #[must_use]
+    pub fn delivered_gbps(&self, voltage: Millivolts, pattern: AccessPattern) -> f64 {
+        self.timing_at(voltage).delivered_gbps(pattern)
+    }
+
+    /// Latency of one access under a pattern at a swept voltage, in ns.
+    #[must_use]
+    pub fn access_latency_ns(&self, voltage: Millivolts, pattern: AccessPattern) -> f64 {
+        self.timing_at(voltage).access_latency_ns(pattern)
     }
 
     /// Builds one Fig. 6 series for a tolerable fault rate.
@@ -131,6 +282,38 @@ impl TradeOffAnalysis {
             .collect()
     }
 
+    /// Tabulates the four-factor surface: one [`SurfacePoint`] per swept
+    /// voltage, in the map's (descending) voltage order.
+    #[must_use]
+    pub fn surface(&self) -> Vec<SurfacePoint> {
+        self.map
+            .voltages
+            .iter()
+            .map(|&v| {
+                let timing = self.timing_at(v);
+                let usable = self.map.usable_pc_count(v, Ratio::ZERO);
+                let fraction = self.device_fraction(v);
+                let sequential_gbps = timing.delivered_gbps(AccessPattern::SequentialStream);
+                SurfacePoint {
+                    voltage: v,
+                    usable_pcs: usable,
+                    capacity_bytes: usable as u64 * self.map.geometry.bytes_per_pc(),
+                    saving_factor: self.power.saving_factor(v, Ratio::ONE, fraction),
+                    sequential_gbps,
+                    strided_gbps: timing.delivered_gbps(AccessPattern::StridedSingleWord),
+                    random_gbps: timing.delivered_gbps(AccessPattern::RandomWord),
+                    random_latency_ns: timing.access_latency_ns(AccessPattern::RandomWord),
+                    sequential_pj_per_bit: self.power.energy_per_bit_pj(
+                        v,
+                        Ratio::ONE,
+                        fraction,
+                        sequential_gbps,
+                    ),
+                }
+            })
+            .collect()
+    }
+
     /// The device-mean union fault rate at a voltage (drives the
     /// capacitance-degradation term of the saving factor).
     fn device_fraction(&self, voltage: Millivolts) -> Ratio {
@@ -150,19 +333,39 @@ impl TradeOffAnalysis {
     }
 
     /// Plans the lowest-voltage operating point that keeps at least
-    /// `min_capacity_bytes` of memory within `tolerable` fault rate.
-    /// Returns `None` if no swept voltage satisfies the requirement.
+    /// `min_capacity_bytes` of memory within `tolerable` fault rate
+    /// (3-factor: timing-blind). Returns `None` if no swept voltage
+    /// satisfies the requirement.
     #[must_use]
     pub fn plan(&self, min_capacity_bytes: u64, tolerable: Ratio) -> Option<OperatingPoint> {
+        self.plan_request(&PlanRequest::new(min_capacity_bytes, tolerable))
+    }
+
+    /// Plans the lowest-voltage operating point satisfying a full
+    /// four-factor [`PlanRequest`]: enough capacity within the fault
+    /// budget, within the latency budget, above the bandwidth floor.
+    /// Returns `None` if no swept voltage satisfies all of them.
+    #[must_use]
+    pub fn plan_request(&self, request: &PlanRequest) -> Option<OperatingPoint> {
         let bytes_per_pc = self.map.geometry.bytes_per_pc();
-        let needed_pcs = min_capacity_bytes.div_ceil(bytes_per_pc).max(1) as usize;
+        let needed_pcs = request.min_capacity_bytes.div_ceil(bytes_per_pc).max(1) as usize;
         let mut best: Option<OperatingPoint> = None;
         for &voltage in &self.map.voltages {
-            let usable = self.map.usable_pcs(voltage, tolerable);
+            let usable = self.map.usable_pcs(voltage, request.tolerable);
             if usable.len() < needed_pcs {
                 continue;
             }
-            let point = self.operating_point(voltage, &usable, tolerable);
+            let timing = self.timing_at(voltage);
+            let latency = timing.access_latency_ns(request.pattern);
+            if request.latency_budget_ns.is_some_and(|b| latency > b) {
+                continue;
+            }
+            let delivered = timing.delivered_gbps(request.pattern);
+            if request.min_delivered_gbps.is_some_and(|m| delivered < m) {
+                continue;
+            }
+            let point =
+                self.operating_point(voltage, &usable, request.tolerable, delivered, latency);
             match &best {
                 Some(b) if b.voltage <= point.voltage => {}
                 _ => best = Some(point),
@@ -176,6 +379,8 @@ impl TradeOffAnalysis {
         voltage: Millivolts,
         usable: &[PcIndex],
         tolerable: Ratio,
+        delivered_gbps: f64,
+        access_latency_ns: f64,
     ) -> OperatingPoint {
         let worst = usable
             .iter()
@@ -192,6 +397,8 @@ impl TradeOffAnalysis {
             capacity_bytes: usable.len() as u64 * self.map.geometry.bytes_per_pc(),
             saving_factor: saving,
             worst_fault_rate: Ratio(worst),
+            delivered_gbps,
+            access_latency_ns,
         }
     }
 
@@ -208,8 +415,9 @@ impl TradeOffAnalysis {
         ]
     }
 
-    /// Builds the full report: the standard Fig. 6 family plus planner
-    /// examples spanning the capacity/fault-budget space.
+    /// Builds the full report: the standard Fig. 6 family, the
+    /// four-factor surface, and planner examples spanning the
+    /// capacity/fault-budget space.
     ///
     /// # Errors
     ///
@@ -226,7 +434,11 @@ impl TradeOffAnalysis {
                 point: self.plan_fraction(fraction, tolerable)?,
             });
         }
-        Ok(TradeOffReport { curves, plans })
+        Ok(TradeOffReport {
+            curves,
+            surface: self.surface(),
+            plans,
+        })
     }
 
     /// The paper's §III-C example queries, as a convenience: returns the
@@ -241,13 +453,30 @@ impl TradeOffAnalysis {
         fraction: f64,
         tolerable: Ratio,
     ) -> Result<Option<OperatingPoint>, ExperimentError> {
+        Ok(self.plan_request(&self.request_for_fraction(fraction, tolerable)?))
+    }
+
+    /// Builds a [`PlanRequest`] asking for a fraction of the device
+    /// capacity (timing-unconstrained; refine it with the builders).
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error if `fraction` is outside `(0, 1]`.
+    pub fn request_for_fraction(
+        &self,
+        fraction: f64,
+        tolerable: Ratio,
+    ) -> Result<PlanRequest, ExperimentError> {
         if !(fraction > 0.0 && fraction <= 1.0) {
             return Err(ExperimentError::config(format!(
                 "capacity fraction must be in (0, 1], got {fraction}"
             )));
         }
         let total = self.map.geometry.total_bytes();
-        Ok(self.plan((total as f64 * fraction).ceil() as u64, tolerable))
+        Ok(PlanRequest::new(
+            (total as f64 * fraction).ceil() as u64,
+            tolerable,
+        ))
     }
 }
 
@@ -357,11 +586,116 @@ mod tests {
     }
 
     #[test]
-    fn curve_lookup() {
+    fn curve_lookup_snaps_to_the_nearest_knot() {
         let a = analysis();
         let curve = a.usable_pc_curve(Ratio::ZERO);
+        // Exact hits.
         assert_eq!(curve.at(Millivolts(980)), Some(32));
-        assert_eq!(curve.at(Millivolts(985)), None);
         assert_eq!(curve.at(Millivolts(810)), Some(0));
+        // Off-grid snaps to the nearest knot (983 → 980, 812 → 810).
+        assert_eq!(curve.at(Millivolts(983)), curve.at(Millivolts(980)));
+        assert_eq!(curve.at(Millivolts(812)), curve.at(Millivolts(810)));
+        // Equidistant queries prefer the higher knot.
+        assert_eq!(curve.at(Millivolts(975)), curve.at(Millivolts(980)));
+        // Beyond either end clamps to the boundary.
+        assert_eq!(curve.at(Millivolts(1200)), Some(32));
+        assert_eq!(curve.at(Millivolts(500)), Some(0));
+        // Only an empty curve has nothing to say.
+        let empty = UsablePcCurve {
+            tolerable: Ratio::ZERO,
+            points: Vec::new(),
+        };
+        assert_eq!(empty.at(Millivolts(900)), None);
+    }
+
+    #[test]
+    fn surface_tracks_all_four_factors() {
+        let a = analysis();
+        let surface = a.surface();
+        assert_eq!(surface.len(), a.fault_map().voltages.len());
+        for w in surface.windows(2) {
+            let (hi, lo) = (&w[0], &w[1]);
+            assert!(hi.voltage > lo.voltage, "descending order");
+            // Power saving grows as voltage drops …
+            assert!(lo.saving_factor >= hi.saving_factor);
+            // … while capacity and delivered bandwidth only shrink, and
+            // latency only grows (the stretch model is monotone).
+            assert!(lo.usable_pcs <= hi.usable_pcs);
+            assert!(lo.sequential_gbps <= hi.sequential_gbps);
+            assert!(lo.random_gbps <= hi.random_gbps);
+            assert!(lo.random_latency_ns >= hi.random_latency_ns);
+        }
+        // Energy per delivered bit still improves with depth: the
+        // quadratic power win outruns the stretched-timing bandwidth loss.
+        for w in surface.windows(2) {
+            assert!(w[1].sequential_pj_per_bit <= w[0].sequential_pj_per_bit);
+        }
+        let top = &surface[0];
+        assert!(top.sequential_gbps > top.strided_gbps);
+        assert!(top.strided_gbps >= top.random_gbps);
+        assert!(top.random_gbps > 0.0);
+        assert!(top.sequential_pj_per_bit > 0.0);
+    }
+
+    #[test]
+    fn latency_budget_raises_the_planned_voltage() {
+        let a = analysis();
+        let unconstrained = a.plan_fraction(0.5, Ratio(1e-6)).unwrap().unwrap();
+        // A budget equal to the latency four grid steps above the
+        // unconstrained answer: strictly-monotone stretch means every
+        // voltage below that reference violates it.
+        let reference = unconstrained.voltage + Millivolts(40);
+        let budget = a.access_latency_ns(reference, AccessPattern::RandomWord);
+        let request = a
+            .request_for_fraction(0.5, Ratio(1e-6))
+            .unwrap()
+            .with_pattern(AccessPattern::RandomWord)
+            .with_latency_budget_ns(budget);
+        let budgeted = a.plan_request(&request).unwrap();
+        assert!(
+            budgeted.voltage >= reference,
+            "budgeted {budgeted:?} vs unconstrained {unconstrained:?}"
+        );
+        assert!(budgeted.voltage > unconstrained.voltage);
+        assert!(budgeted.access_latency_ns <= budget);
+        // An impossible budget (below nominal latency) finds nothing.
+        let impossible = a.plan_request(&request.with_latency_budget_ns(1.0));
+        assert!(impossible.is_none());
+    }
+
+    #[test]
+    fn bandwidth_floor_raises_the_planned_voltage() {
+        let a = analysis();
+        let unconstrained = a.plan_fraction(0.25, Ratio(0.01)).unwrap().unwrap();
+        let reference = unconstrained.voltage + Millivolts(40);
+        let floor = a.delivered_gbps(reference, AccessPattern::SequentialStream);
+        let request = a
+            .request_for_fraction(0.25, Ratio(0.01))
+            .unwrap()
+            .with_min_delivered_gbps(floor);
+        let floored = a.plan_request(&request).unwrap();
+        assert!(
+            floored.voltage >= reference,
+            "floored {floored:?} vs unconstrained {unconstrained:?}"
+        );
+        assert!(floored.delivered_gbps >= floor);
+    }
+
+    #[test]
+    fn stretch_free_timing_reproduces_the_3_factor_planner() {
+        let a = analysis();
+        let blind = a
+            .clone()
+            .with_timing(a.timing_at(Millivolts(1200)), TimingStretchModel::none());
+        // With no stretch, even a tight budget changes nothing: every
+        // voltage delivers nominal bandwidth and latency.
+        let request = blind
+            .request_for_fraction(0.5, Ratio(1e-6))
+            .unwrap()
+            .with_pattern(AccessPattern::RandomWord)
+            .with_latency_budget_ns(31.0);
+        let budgeted = blind.plan_request(&request).unwrap();
+        let unconstrained = blind.plan_fraction(0.5, Ratio(1e-6)).unwrap().unwrap();
+        assert_eq!(budgeted.voltage, unconstrained.voltage);
     }
 }

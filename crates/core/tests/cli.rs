@@ -46,12 +46,99 @@ fn configuration_errors_exit_two_with_usage() {
         vec!["sweep", "--fault-field", "warp"],
         vec!["guardband", "--format", "xml"],
         vec!["sweep", "--from", "900", "--to", "910", "--step", "10"],
+        vec!["governor", "--workload", "warp"],
+        vec!["governor", "--latency-budget", "abc"],
+        vec!["governor", "--format", "xml"],
+        vec![
+            "plan",
+            "--capacity-gb",
+            "4",
+            "--tolerance",
+            "0.001",
+            "--workload",
+            "both",
+        ],
     ] {
         let out = hbmctl(&args);
         assert_eq!(exit_code(&out), 2, "args {args:?}: {out:?}");
         let stderr = String::from_utf8(out.stderr).unwrap();
         assert!(stderr.contains("usage:"), "args {args:?}: {stderr}");
     }
+}
+
+/// The default `governor` run is the two-row latency-vs-throughput
+/// scenario; the CSV pins the headline result — a tight latency budget
+/// stops the descent at a strictly higher voltage than a flip-only
+/// throughput descent on the same seed.
+#[test]
+fn governor_latency_budget_settles_higher_from_the_cli() {
+    let out = hbmctl(&["governor", "--format", "csv"]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let mut lines = stdout.lines();
+    let header = lines.next().expect("csv header");
+    assert!(
+        header.starts_with("scenario,workload,settled_mv"),
+        "{header}"
+    );
+    let rows: Vec<Vec<&str>> = lines.map(|l| l.split(',').collect()).collect();
+    assert_eq!(rows.len(), 2, "{stdout}");
+    assert_eq!(rows[0][1], "throughput", "{stdout}");
+    assert_eq!(rows[1][1], "latency", "{stdout}");
+    let settled = |row: &[&str]| row[2].parse::<u32>().expect("settled_mv");
+    assert!(
+        settled(&rows[1]) > settled(&rows[0]),
+        "latency row must settle higher: {stdout}"
+    );
+    assert_eq!(rows[1][5], "latency-budget", "{stdout}");
+}
+
+/// A single-workload governor run produces one row under that mode, and
+/// the text rendering names the trip.
+#[test]
+fn single_workload_governor_runs_one_descent() {
+    let out = hbmctl(&["governor", "--workload", "throughput"]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("closed-loop governor"), "{stdout}");
+    assert!(stdout.contains("throughput"), "{stdout}");
+    assert!(!stdout.contains("latency-budget"), "{stdout}");
+}
+
+/// `plan` reports the timing axis, and an impossible latency budget is a
+/// runtime failure (no swept voltage can meet 1 ns), not a usage error.
+#[test]
+fn latency_budgeted_plan_reports_the_timing_axis() {
+    let out = hbmctl(&[
+        "plan",
+        "--capacity-gb",
+        "4",
+        "--tolerance",
+        "0.0001",
+        "--workload",
+        "latency",
+    ]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("delivered"), "{stdout}");
+    assert!(stdout.contains("access latency"), "{stdout}");
+    assert!(stdout.contains("latency pattern"), "{stdout}");
+
+    let out = hbmctl(&[
+        "plan",
+        "--capacity-gb",
+        "4",
+        "--tolerance",
+        "0.0001",
+        "--workload",
+        "latency",
+        "--latency-budget",
+        "1",
+    ]);
+    assert_eq!(exit_code(&out), 1, "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(!stderr.contains("usage:"), "{stderr}");
+    assert!(stderr.contains("timing constraints"), "{stderr}");
 }
 
 #[test]

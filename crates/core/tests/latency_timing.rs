@@ -1,0 +1,110 @@
+//! Property tests for the voltage–latency coupling: the timing stretch is
+//! monotone in the rail, a pure function of `(seed, voltage)` (so worker
+//! counts cannot perturb it), and the governor's closed-loop use of it is
+//! bit-identical per `(seed, config)`.
+
+use hbm_device::{AccessPattern, AccessTimingModel, TimingStretchModel};
+use hbm_undervolt::{GovernorConfig, GovernorScenario, Platform, UndervoltGovernor, WorkloadMode};
+use hbm_units::Millivolts;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// As the rail descends from nominal to the deep-undervolt band, every
+    /// access pattern's latency is non-decreasing and its delivered
+    /// bandwidth non-increasing — for any device specimen, including its
+    /// ±10 % hashed slope variation.
+    #[test]
+    fn timing_stretch_is_monotone_in_voltage(seed in any::<u64>()) {
+        let model = AccessTimingModel::vcu128();
+        let stretch = TimingStretchModel::date21();
+        for pattern in [
+            AccessPattern::SequentialStream,
+            AccessPattern::StridedSingleWord,
+            AccessPattern::RandomWord,
+        ] {
+            let mut last_latency = 0.0f64;
+            let mut last_bandwidth = f64::INFINITY;
+            let mut v = Millivolts(1200);
+            while v >= Millivolts(810) {
+                let at = model.at_voltage(&stretch, seed, v);
+                let latency = at.access_latency_ns(pattern);
+                let bandwidth = at.delivered_gbps(pattern);
+                prop_assert!(
+                    latency >= last_latency,
+                    "{pattern:?} latency shrank at {v}: {latency} < {last_latency}"
+                );
+                prop_assert!(
+                    bandwidth <= last_bandwidth,
+                    "{pattern:?} bandwidth grew at {v}: {bandwidth} > {last_bandwidth}"
+                );
+                prop_assert!(bandwidth > 0.0, "{pattern:?} delivers nothing at {v}");
+                last_latency = latency;
+                last_bandwidth = bandwidth;
+                v = v.saturating_sub(Millivolts(10));
+            }
+        }
+    }
+
+    /// The platform's effective timings are a pure function of the seed
+    /// and the rail the device sees: the engine's worker count cannot
+    /// perturb them at any set-point.
+    #[test]
+    fn effective_timings_ignore_worker_count(seed in any::<u64>(), dv in 0u32..36) {
+        let v = Millivolts(1200 - dv * 10);
+        let mut sequential = Platform::builder().seed(seed).workers(1).build();
+        let mut parallel = Platform::builder().seed(seed).workers(4).build();
+        sequential.set_voltage(v).unwrap();
+        parallel.set_voltage(v).unwrap();
+        prop_assert_eq!(
+            sequential.effective_timings(),
+            parallel.effective_timings()
+        );
+        prop_assert_eq!(
+            sequential.delivered_bandwidth(AccessPattern::RandomWord),
+            parallel.delivered_bandwidth(AccessPattern::RandomWord)
+        );
+    }
+
+    /// Governor outcomes are bit-identical per `(seed, config)`: a fresh
+    /// platform at any worker count reproduces the descent exactly —
+    /// settled point, trip reason, flip count, and the measured timing
+    /// figures.
+    #[test]
+    fn governor_outcome_is_deterministic(seed in any::<u64>(), budget in 31.0f64..40.0) {
+        let config = GovernorConfig {
+            workload: WorkloadMode::Latency,
+            latency_budget_ns: Some(budget),
+            canary_words: 64,
+            ..GovernorConfig::default()
+        };
+        let governor = UndervoltGovernor::new(config);
+        let mut first = Platform::builder().seed(seed).workers(1).build();
+        let mut again = Platform::builder().seed(seed).workers(4).build();
+        prop_assert_eq!(
+            governor.run(&mut first).unwrap(),
+            governor.run(&mut again).unwrap()
+        );
+    }
+
+    /// The headline trade-off holds across specimens: with a tight latency
+    /// budget the latency descent never settles below the flip-only
+    /// throughput descent on the same seed.
+    #[test]
+    fn latency_budget_never_settles_below_throughput(seed in 0u64..1024) {
+        let base = GovernorConfig {
+            canary_words: 64,
+            ..GovernorConfig::default()
+        };
+        let mut platform = Platform::builder().seed(seed).build();
+        let report = GovernorScenario::latency_vs_throughput(base, 33.0)
+            .run(&mut platform)
+            .unwrap();
+        prop_assert!(
+            report.rows[1].outcome.settled >= report.rows[0].outcome.settled,
+            "latency settled below throughput: {:?}",
+            report.rows
+        );
+    }
+}

@@ -1,4 +1,5 @@
-//! DRAM core timing and an access-pattern efficiency estimator.
+//! DRAM core timing, voltage-dependent timing stretch, and an
+//! access-pattern efficiency estimator.
 //!
 //! The organizational model treats memory accesses as instantaneous; this
 //! module adds the DRAM core timing parameters (row activate/precharge,
@@ -10,12 +11,158 @@
 //!   ≈429 GB/s datasheet figure;
 //! - controller/arbitration overhead of the traffic-generator design takes
 //!   it further to the ≈310 GB/s the authors report reaching.
+//!
+//! # Voltage dependence
+//!
+//! Below-nominal supply does not only flip bits: the Voltron line of work
+//! shows that reduced voltage first *stretches* the tRCD/tRAS-class core
+//! timings, trading access latency before any fault appears.
+//! [`TimingStretchModel`] captures that third axis deterministically: each
+//! row-timing parameter grows linearly per volt below a knee voltage, with
+//! a counter-hashed per-device slope variation seeded the same way the
+//! fault field's process variation is — so one device seed fixes both its
+//! fault map *and* its timing walls.
 
-use hbm_units::Megahertz;
+use hbm_units::{Megahertz, Millivolts};
 use serde::{Deserialize, Serialize};
 
 use crate::geometry::HbmGeometry;
 use crate::timing::ClockConfig;
+
+/// SplitMix64 finalizer, duplicated from the device's crash/power-up mixer
+/// so the timing model stays usable without the fault crate (the device is
+/// a leaf crate) while producing the same style of counter-hashed,
+/// seed-reproducible variation.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Domain tag for the per-device timing-slope draw, so the timing
+/// variation is independent of every other seeded quantity.
+const TIMING_VARIATION_TAG: u64 = 0x7452_4344; // "tRCD"
+
+/// Deterministic voltage→timing-stretch model (the Voltron third axis).
+///
+/// At or above [`knee`](TimingStretchModel::knee) the core timings are
+/// nominal. Below it, each parameter family stretches linearly:
+///
+/// ```text
+/// stretch(v) = 1 + slope · (knee − v) · device_factor(seed)
+/// ```
+///
+/// where `slope` is a fractional stretch per volt below the knee
+/// ([`row_slope_per_volt`](TimingStretchModel::row_slope_per_volt) for the
+/// tRCD/tRP/tRAS/tCL family,
+/// [`refresh_slope_per_volt`](TimingStretchModel::refresh_slope_per_volt)
+/// for tRFC) and `device_factor` is a counter-hashed per-device multiplier
+/// in `[1 − variation, 1 + variation]` — the same SplitMix64 seeding
+/// discipline as the fault field's process variation, so a device seed
+/// pins its timing behaviour exactly like its fault map. tREFI is a
+/// controller constant and never stretches.
+///
+/// Stretch factors are non-decreasing as the supply descends (the slopes
+/// and the device factor are non-negative by construction), which gives
+/// the monotone latency guarantee the trade-off planner and the governor
+/// rely on.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_device::{DramTimings, TimingStretchModel};
+/// use hbm_units::Millivolts;
+///
+/// let stretch = TimingStretchModel::date21();
+/// let nominal = DramTimings::hbm2();
+/// let deep = nominal.at_voltage(&stretch, 7, Millivolts(900));
+/// assert!(deep.t_rcd_ns > nominal.t_rcd_ns);
+/// // Above the knee nothing changes.
+/// assert_eq!(nominal.at_voltage(&stretch, 7, Millivolts(1200)), nominal);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingStretchModel {
+    /// Knee voltage: timings are nominal at or above it.
+    pub knee: Millivolts,
+    /// Fractional stretch of the row-timing family (tRCD, tRP, tRAS, tCL)
+    /// per volt of supply below the knee.
+    pub row_slope_per_volt: f64,
+    /// Fractional stretch of the refresh cycle time (tRFC) per volt of
+    /// supply below the knee.
+    pub refresh_slope_per_volt: f64,
+    /// Half-width of the per-device slope variation, as a fraction
+    /// (`0.1` = slopes vary ±10 % across devices).
+    pub variation: f64,
+}
+
+impl TimingStretchModel {
+    /// The calibration used by this reproduction: stretch begins at
+    /// 1.10 V (inside the fault-free guardband, as Voltron observes),
+    /// row timings grow 200 % per volt below the knee (≈ +2 % per 10 mV)
+    /// and tRFC half as fast, with ±10 % per-device slope variation.
+    #[must_use]
+    pub fn date21() -> Self {
+        TimingStretchModel {
+            knee: Millivolts(1100),
+            row_slope_per_volt: 2.0,
+            refresh_slope_per_volt: 1.0,
+            variation: 0.10,
+        }
+    }
+
+    /// A stretch-free model: timings stay nominal at every voltage
+    /// (the pre-Voltron assumption, for ablations).
+    #[must_use]
+    pub fn none() -> Self {
+        TimingStretchModel {
+            knee: Millivolts(0),
+            row_slope_per_volt: 0.0,
+            refresh_slope_per_volt: 0.0,
+            variation: 0.0,
+        }
+    }
+
+    /// The per-device slope multiplier in `[1 − variation, 1 + variation]`,
+    /// counter-hashed from the device seed (clamped to stay non-negative so
+    /// stretch remains monotone even for adversarial `variation`).
+    #[must_use]
+    pub fn device_factor(&self, seed: u64) -> f64 {
+        if self.variation == 0.0 {
+            return 1.0;
+        }
+        let hash = mix64(seed.wrapping_add(mix64(TIMING_VARIATION_TAG)));
+        let unit = (hash >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        (1.0 + (2.0 * unit - 1.0) * self.variation).max(0.0)
+    }
+
+    /// Volts of supply below the knee (zero at or above it).
+    fn undershoot_volts(&self, voltage: Millivolts) -> f64 {
+        f64::from(self.knee.saturating_sub(voltage).as_u32()) / 1000.0
+    }
+
+    /// The row-family stretch factor (≥ 1) for a device at a voltage.
+    #[must_use]
+    pub fn row_stretch(&self, seed: u64, voltage: Millivolts) -> f64 {
+        1.0 + self.row_slope_per_volt.max(0.0)
+            * self.undershoot_volts(voltage)
+            * self.device_factor(seed)
+    }
+
+    /// The tRFC stretch factor (≥ 1) for a device at a voltage.
+    #[must_use]
+    pub fn refresh_stretch(&self, seed: u64, voltage: Millivolts) -> f64 {
+        1.0 + self.refresh_slope_per_volt.max(0.0)
+            * self.undershoot_volts(voltage)
+            * self.device_factor(seed)
+    }
+}
+
+impl Default for TimingStretchModel {
+    fn default() -> Self {
+        TimingStretchModel::date21()
+    }
+}
 
 /// DRAM core timing parameters, in nanoseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -58,6 +205,29 @@ impl DramTimings {
     #[must_use]
     pub fn refresh_overhead(&self) -> f64 {
         self.t_rfc_ns / self.t_refi_ns
+    }
+
+    /// The effective timings of a device at a supply voltage: the row
+    /// family (tRCD, tRP, tRAS, tCL) and tRFC stretched per the model,
+    /// tREFI unchanged. Deterministic in `(seed, voltage)`, with every
+    /// parameter non-decreasing as the voltage descends.
+    #[must_use]
+    pub fn at_voltage(
+        &self,
+        stretch: &TimingStretchModel,
+        seed: u64,
+        voltage: Millivolts,
+    ) -> DramTimings {
+        let row = stretch.row_stretch(seed, voltage);
+        let refresh = stretch.refresh_stretch(seed, voltage);
+        DramTimings {
+            t_rcd_ns: self.t_rcd_ns * row,
+            t_rp_ns: self.t_rp_ns * row,
+            t_cl_ns: self.t_cl_ns * row,
+            t_ras_ns: self.t_ras_ns * row,
+            t_rfc_ns: self.t_rfc_ns * refresh,
+            t_refi_ns: self.t_refi_ns,
+        }
     }
 }
 
@@ -125,6 +295,48 @@ impl AccessTimingModel {
     #[must_use]
     pub fn timings(&self) -> DramTimings {
         self.timings
+    }
+
+    /// The same model with its core timings stretched for a device at a
+    /// supply voltage (see [`DramTimings::at_voltage`]).
+    #[must_use]
+    pub fn at_voltage(
+        &self,
+        stretch: &TimingStretchModel,
+        seed: u64,
+        voltage: Millivolts,
+    ) -> AccessTimingModel {
+        AccessTimingModel {
+            geometry: self.geometry,
+            clock: self.clock,
+            timings: self.timings.at_voltage(stretch, seed, voltage),
+        }
+    }
+
+    /// Raw pin bandwidth in GB/s: every pseudo channel moving 8 bytes per
+    /// transfer (460.8 GB/s on the study platform).
+    #[must_use]
+    pub fn raw_peak_gbps(&self) -> f64 {
+        f64::from(self.geometry.total_pcs()) * 8.0 * self.clock.data_rate_mts() * 1e6 / 1e9
+    }
+
+    /// Delivered bandwidth in GB/s a pattern sustains at this model's
+    /// timings: the raw pin rate times [`efficiency`](Self::efficiency).
+    #[must_use]
+    pub fn delivered_gbps(&self, pattern: AccessPattern) -> f64 {
+        self.raw_peak_gbps() * self.efficiency(pattern)
+    }
+
+    /// Latency of one access under a pattern, in nanoseconds: row-missing
+    /// patterns pay the activate (tRCD) plus CAS latency before the word
+    /// transfers; sequential streams hit the open row and pay only CAS.
+    #[must_use]
+    pub fn access_latency_ns(&self, pattern: AccessPattern) -> f64 {
+        let row_miss = match pattern {
+            AccessPattern::SequentialStream => 0.0,
+            AccessPattern::StridedSingleWord | AccessPattern::RandomWord => self.timings.t_rcd_ns,
+        };
+        row_miss + self.timings.t_cl_ns + self.word_transfer_ns()
     }
 
     /// Transfer time of one 256-bit AXI word on a 64-bit pseudo channel:
@@ -238,6 +450,82 @@ mod tests {
         let random = m.efficiency(AccessPattern::RandomWord);
         // data 2.22 ns vs visible stall ≈ 28 − 3.75×2.22 ≈ 19.7 ns.
         assert!((0.05..0.2).contains(&random), "random efficiency {random}");
+    }
+
+    #[test]
+    fn stretch_is_identity_at_and_above_the_knee() {
+        let stretch = TimingStretchModel::date21();
+        let nominal = DramTimings::hbm2();
+        for mv in [1100, 1150, 1200] {
+            assert_eq!(
+                nominal.at_voltage(&stretch, 7, Millivolts(mv)),
+                nominal,
+                "no stretch at {mv} mV"
+            );
+        }
+    }
+
+    #[test]
+    fn stretch_grows_monotonically_below_the_knee() {
+        let stretch = TimingStretchModel::date21();
+        let nominal = DramTimings::hbm2();
+        let mut last = nominal;
+        for mv in (810..=1090).rev().step_by(10) {
+            let t = nominal.at_voltage(&stretch, 7, Millivolts(mv));
+            assert!(t.t_rcd_ns >= last.t_rcd_ns, "tRCD monotone at {mv} mV");
+            assert!(t.t_ras_ns >= last.t_ras_ns, "tRAS monotone at {mv} mV");
+            assert!(t.t_rfc_ns >= last.t_rfc_ns, "tRFC monotone at {mv} mV");
+            assert_eq!(t.t_refi_ns, nominal.t_refi_ns, "tREFI never stretches");
+            last = t;
+        }
+        // The full descent is a substantial stretch, not a rounding blip.
+        assert!(last.t_rcd_ns > nominal.t_rcd_ns * 1.3);
+    }
+
+    #[test]
+    fn device_factor_is_seeded_and_bounded() {
+        let stretch = TimingStretchModel::date21();
+        let a = stretch.device_factor(1);
+        let b = stretch.device_factor(2);
+        assert_eq!(a, stretch.device_factor(1), "deterministic per seed");
+        assert_ne!(a, b, "different devices draw different slopes");
+        for seed in 0..64 {
+            let f = stretch.device_factor(seed);
+            assert!((0.9..=1.1).contains(&f), "seed {seed}: factor {f}");
+        }
+        assert_eq!(TimingStretchModel::none().device_factor(7), 1.0);
+    }
+
+    #[test]
+    fn latency_and_bandwidth_track_voltage() {
+        let stretch = TimingStretchModel::date21();
+        let nominal = AccessTimingModel::vcu128();
+        let deep = nominal.at_voltage(&stretch, 7, Millivolts(900));
+        // Random access pays the stretched activate directly.
+        assert!(
+            deep.access_latency_ns(AccessPattern::RandomWord)
+                > nominal.access_latency_ns(AccessPattern::RandomWord)
+        );
+        assert!(
+            deep.delivered_gbps(AccessPattern::RandomWord)
+                < nominal.delivered_gbps(AccessPattern::RandomWord)
+        );
+        // Sequential streams hide the row cost behind bank overlap; only
+        // the tRFC stretch shows, so the derate is small but real.
+        let seq_drop = nominal.delivered_gbps(AccessPattern::SequentialStream)
+            - deep.delivered_gbps(AccessPattern::SequentialStream);
+        assert!(seq_drop > 0.0);
+        assert!(seq_drop < 20.0, "sequential loses only refresh: {seq_drop}");
+        // The raw pin rate itself is voltage-independent.
+        assert_eq!(deep.raw_peak_gbps(), nominal.raw_peak_gbps());
+        assert!((nominal.raw_peak_gbps() - 460.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stretch_free_model_is_voltage_blind() {
+        let nominal = AccessTimingModel::vcu128();
+        let at_floor = nominal.at_voltage(&TimingStretchModel::none(), 7, Millivolts(810));
+        assert_eq!(at_floor.timings(), nominal.timings());
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub use address::{BankId, ChannelId, DecodedAddress, PcIndex, PortId, RowId, Sta
 pub use array::MemoryArray;
 pub use axi::{AxiPort, PortSet, SwitchingNetwork};
 pub use device::{DeviceState, HbmDevice, TransientCrashModel, CRASH_FLOOR, NOMINAL_SUPPLY};
-pub use dram_timing::{AccessPattern, AccessTimingModel, DramTimings};
+pub use dram_timing::{AccessPattern, AccessTimingModel, DramTimings, TimingStretchModel};
 pub use error::DeviceError;
 pub use geometry::HbmGeometry;
 pub use shard::PcShard;

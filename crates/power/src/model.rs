@@ -143,6 +143,27 @@ impl HbmPowerModel {
         let nominal = self.power(Millivolts(1200), utilization, Ratio::ZERO);
         nominal / self.power(supply, utilization, fault_fraction)
     }
+
+    /// Energy per *delivered* bit, in picojoules: total power over the bit
+    /// rate the workload actually sustains. Pin-rate energy figures flatter
+    /// deep undervolting; feeding the timing model's delivered bandwidth
+    /// here makes the stretch below the knee claw back part of the
+    /// quadratic saving. Returns infinity for a zero/negative bandwidth
+    /// (an idle or crashed device delivers nothing).
+    #[must_use]
+    pub fn energy_per_bit_pj(
+        &self,
+        supply: Millivolts,
+        utilization: Ratio,
+        fault_fraction: Ratio,
+        delivered_gbps: f64,
+    ) -> f64 {
+        if delivered_gbps <= 0.0 {
+            return f64::INFINITY;
+        }
+        let watts = self.power(supply, utilization, fault_fraction).as_f64();
+        watts / (delivered_gbps * 8.0e9) * 1e12
+    }
 }
 
 impl Default for HbmPowerModel {
@@ -235,6 +256,24 @@ mod tests {
             (2.0..7.0).contains(&pj_per_bit),
             "energy {pj_per_bit} pJ/bit"
         );
+    }
+
+    #[test]
+    fn energy_per_delivered_bit_matches_the_headline_figure() {
+        let m = HbmPowerModel::date21();
+        // ≈3.6 pJ/bit streaming 310 GB/s at nominal.
+        let nominal = m.energy_per_bit_pj(Millivolts(1200), Ratio::ONE, Ratio::ZERO, 310.0);
+        assert!((2.0..7.0).contains(&nominal), "{nominal} pJ/bit");
+        // Undervolting at unchanged bandwidth wins quadratically …
+        let cheap = m.energy_per_bit_pj(Millivolts(980), Ratio::ONE, Ratio::ZERO, 310.0);
+        assert!((nominal / cheap - 1.4994).abs() < 0.01);
+        // … but lost bandwidth at the same rail costs energy per bit.
+        let slowed = m.energy_per_bit_pj(Millivolts(980), Ratio::ONE, Ratio::ZERO, 280.0);
+        assert!(slowed > cheap);
+        // Nothing delivered, nothing amortized.
+        assert!(m
+            .energy_per_bit_pj(Millivolts(1200), Ratio::ONE, Ratio::ZERO, 0.0)
+            .is_infinite());
     }
 
     #[test]

@@ -142,6 +142,32 @@ printf '%s\n' \
 cmp "$sjson" scripts/golden/serve_smoke.jsonl
 rm -f "$hbfa" "$chbfa" "$sjson"
 
+# Voltage–latency coupling gate: stretch monotonicity, worker-count
+# invariance of effective timings, and governor bit-identity per
+# (seed, config), plus the governor/trade-off unit suites.
+echo "==> voltage-latency coupling property tests"
+cargo test -q -p hbm-undervolt --test latency_timing
+cargo test -q -p hbm-undervolt --lib governor
+cargo test -q -p hbm-undervolt --lib trade_off
+
+# Smoke: a flip-only throughput descent and a latency-budgeted descent on
+# the same seed, pinned byte-for-byte against committed goldens — and the
+# headline result re-derived from them: the latency-aware governor settles
+# strictly higher than the throughput one.
+echo "==> hbmctl governor latency-vs-throughput smoke"
+gthr="$(mktemp -u /tmp/hbmctl-governor-thr-XXXXXX.csv)"
+glat="$(mktemp -u /tmp/hbmctl-governor-lat-XXXXXX.csv)"
+./target/release/hbmctl governor --workload throughput --canary-words 64 \
+    --format csv >"$gthr"
+./target/release/hbmctl governor --workload latency --latency-budget 33 \
+    --canary-words 64 --format csv >"$glat"
+cmp "$gthr" scripts/golden/governor_throughput.csv
+cmp "$glat" scripts/golden/governor_latency.csv
+thr_mv="$(awk -F, 'NR==2{print $3}' "$gthr")"
+lat_mv="$(awk -F, 'NR==2{print $3}' "$glat")"
+test "$lat_mv" -gt "$thr_mv"
+rm -f "$gthr" "$glat"
+
 # Forced-crash trace: the recovery story must appear as typed events.
 tracec="$(mktemp -u /tmp/hbmctl-trace-crash-XXXXXX.jsonl)"
 ckptc="$(mktemp -u /tmp/hbmctl-check-crash-XXXXXX.json)"
