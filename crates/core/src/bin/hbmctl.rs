@@ -35,10 +35,10 @@
 //! hbmctl fleet query   --artifact FILE --device ID
 //!                      [--target-rate R] [--min-pcs N] [--format text|json]
 //! hbmctl fleet export  --artifact FILE [--out FILE]
-//! hbmctl fleet summary --artifact FILE [--format text|json]
+//! hbmctl fleet summary --artifact FILE [--format text|csv|json]
 //! hbmctl fleet compress --artifact FILE --out FILE [--keep-exact]
 //! hbmctl fleet fidelity --artifact FILE [--format text|json]
-//! hbmctl serve         --artifact FILE
+//! hbmctl serve         --artifact FILE [--serve-workers N] [--rescan-cache-mb M]
 //! ```
 //!
 //! Every fleet question — one-shot subcommand or long-lived `serve` loop —
@@ -187,10 +187,10 @@ const USAGE: &str = "usage:
   hbmctl fleet query   --artifact FILE --device ID [--target-rate R] [--min-pcs N]
                        [--format text|json]
   hbmctl fleet export  --artifact FILE [--out FILE]
-  hbmctl fleet summary --artifact FILE [--format text|json]
+  hbmctl fleet summary --artifact FILE [--format text|csv|json]
   hbmctl fleet compress --artifact FILE --out FILE [--keep-exact]
   hbmctl fleet fidelity --artifact FILE [--format text|json]
-  hbmctl serve         --artifact FILE";
+  hbmctl serve         --artifact FILE [--serve-workers N] [--rescan-cache-mb M]";
 
 fn run() -> Result<(), CliError> {
     let args = Args::parse()?;
@@ -735,6 +735,27 @@ fn fold_serve_stats(service: &FleetService, telemetry: &Telemetry) {
     metrics.add_compressed_hits(stats.compressed_hits);
     metrics.add_exact_rescans(stats.exact_rescans);
     metrics.set_model_bytes(stats.model_bytes);
+    metrics.add_rescan_cache_hits(stats.rescan_cache_hits);
+    metrics.add_kernel_rescans(stats.kernel_rescans);
+    metrics.add_rescan_cache_evictions(stats.rescan_cache_evictions);
+    metrics.add_singleflight_waits(stats.singleflight_waits);
+}
+
+/// Folds the concurrent pipeline's scheduling-dependent gauges (worker
+/// count, queue-depth high-water mark, per-request latency histogram)
+/// into the metrics registry, alongside [`fold_serve_stats`].
+fn fold_pipeline_stats(stats: &hbm_fleet::PipelineStats, telemetry: &Telemetry) {
+    let metrics = telemetry.metrics();
+    metrics.set_serve_workers(stats.workers as u64);
+    metrics.set_serve_queue_depth_max(stats.queue_depth_max);
+    let latency = &stats.latency;
+    metrics.merge_request_wall_us(
+        latency.count,
+        latency.sum_us,
+        latency.min_us,
+        latency.max_us,
+        &latency.log2_buckets,
+    );
 }
 
 fn fleet_query(args: &Args) -> Result<(), CliError> {
@@ -807,10 +828,11 @@ fn fleet_summary(args: &Args) -> Result<(), CliError> {
     };
     match format.as_str() {
         "text" => print!("{}", summary.to_text()),
+        "csv" => print!("{}", summary.to_csv()),
         "json" => println!("{}", response.to_json().map_err(|e| api_err(&e))?),
         other => {
             return Err(CliError::config(format!(
-                "unknown format: {other} (use text or json)"
+                "unknown format: {other} (use text, csv or json)"
             )))
         }
     }
@@ -861,8 +883,18 @@ fn fleet_fidelity(args: &Args) -> Result<(), CliError> {
 /// `hbmctl serve`: load one artifact and answer typed requests over
 /// stdin/stdout as line-delimited JSON until EOF — no per-query artifact
 /// load, model-first recommendations, exact evidence only on fallback.
+///
+/// All worker counts route through the concurrent pipeline
+/// ([`hbm_fleet::serve_concurrent`]); its in-order emitter makes the
+/// output byte-identical to sequential serving at every `--serve-workers`
+/// value, so the flag only changes throughput, never answers.
 fn serve_loop(args: &Args) -> Result<(), CliError> {
-    let service = FleetService::new(open_store(args)?);
+    let workers: usize = args.flag("serve-workers", 1usize)?;
+    if workers == 0 {
+        return Err(CliError::config("--serve-workers must be at least 1"));
+    }
+    let cache_mb: usize = args.flag("rescan-cache-mb", 64usize)?;
+    let service = FleetService::with_rescan_cache(open_store(args)?, cache_mb * 1024 * 1024);
     eprintln!(
         "hbmctl: serving {} devices ({}, {} model bytes); \
          one JSON request per line, EOF ends the session",
@@ -877,11 +909,18 @@ fn serve_loop(args: &Args) -> Result<(), CliError> {
         service.store().model_bytes()
     );
     let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
-    let stats = hbm_fleet::serve::serve(&service, stdin.lock(), stdout.lock())
+    let options = hbm_fleet::PipelineOptions {
+        workers,
+        completion_jitter: None,
+    };
+    // `Stdout` (not the lock guard) crosses into the emitter thread; the
+    // emitter is the only writer, so per-call locking costs nothing.
+    let pipeline = hbm_fleet::serve_concurrent(&service, stdin.lock(), std::io::stdout(), &options)
         .map_err(|e| CliError::runtime(format!("serve transport: {e}")))?;
+    let stats = pipeline.serve;
     let telemetry = Telemetry::new();
     fold_serve_stats(&service, &telemetry);
+    fold_pipeline_stats(&pipeline, &telemetry);
     telemetry.finish();
     eprintln!(
         "hbmctl: served {} quer{} ({} compressed hit{}, {} exact rescan{}, \
@@ -898,6 +937,17 @@ fn serve_loop(args: &Args) -> Result<(), CliError> {
         if stats.exact_rescans == 1 { "" } else { "s" },
         service.store().exact_column_reads(),
         stats.model_bytes
+    );
+    eprintln!(
+        "hbmctl: serve runtime: {} worker(s), queue depth high-water {}, \
+         {} rescan-cache hit(s), {} kernel rescan(s), {} eviction(s), \
+         {} single-flight wait(s)",
+        pipeline.workers,
+        pipeline.queue_depth_max,
+        stats.rescan_cache_hits,
+        stats.kernel_rescans,
+        stats.rescan_cache_evictions,
+        stats.singleflight_waits
     );
     Ok(())
 }

@@ -365,7 +365,14 @@ pub struct Metrics {
     compressed_hits: AtomicU64,
     exact_rescans: AtomicU64,
     model_bytes: AtomicU64,
+    serve_workers: AtomicU64,
+    serve_queue_depth_max: AtomicU64,
+    rescan_cache_hits: AtomicU64,
+    kernel_rescans: AtomicU64,
+    rescan_cache_evictions: AtomicU64,
+    singleflight_waits: AtomicU64,
     point_wall_ms: Mutex<Histogram>,
+    request_wall_us: Mutex<Histogram>,
 }
 
 impl Metrics {
@@ -396,7 +403,14 @@ impl Metrics {
             compressed_hits: AtomicU64::new(0),
             exact_rescans: AtomicU64::new(0),
             model_bytes: AtomicU64::new(0),
+            serve_workers: AtomicU64::new(0),
+            serve_queue_depth_max: AtomicU64::new(0),
+            rescan_cache_hits: AtomicU64::new(0),
+            kernel_rescans: AtomicU64::new(0),
+            rescan_cache_evictions: AtomicU64::new(0),
+            singleflight_waits: AtomicU64::new(0),
             point_wall_ms: Mutex::new(Histogram::new()),
+            request_wall_us: Mutex::new(Histogram::new()),
         }
     }
 
@@ -497,6 +511,52 @@ impl Metrics {
         self.model_bytes.store(n, Ordering::Relaxed);
     }
 
+    /// Overwrites the serve-worker-count gauge: pipeline workers the
+    /// serving session ran with.
+    pub fn set_serve_workers(&self, n: u64) {
+        self.serve_workers.store(n, Ordering::Relaxed);
+    }
+
+    /// Raises the serve queue-depth high-water mark (monotonic max).
+    pub fn set_serve_queue_depth_max(&self, n: u64) {
+        self.serve_queue_depth_max.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` rescan-cache hits: recommend misses answered from a
+    /// previously cached whole-row kernel rescan.
+    pub fn add_rescan_cache_hits(&self, n: u64) {
+        self.rescan_cache_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` on-demand kernel rescans actually executed by the
+    /// serving runtime (cache misses that led the single-flight group).
+    pub fn add_kernel_rescans(&self, n: u64) {
+        self.kernel_rescans.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` rescan-cache entries evicted to stay within the byte
+    /// budget.
+    pub fn add_rescan_cache_evictions(&self, n: u64) {
+        self.rescan_cache_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` single-flight waits: requests that blocked on another
+    /// worker's in-flight rescan instead of duplicating it.
+    pub fn add_singleflight_waits(&self, n: u64) {
+        self.singleflight_waits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Folds an externally accumulated per-request latency histogram
+    /// (microsecond log₂ buckets, same shape as [`WallTimeStats`]) into
+    /// the registry — the serving pipeline measures latencies itself and
+    /// merges its totals here once per session.
+    pub fn merge_request_wall_us(&self, count: u64, sum: u64, min: u64, max: u64, buckets: &[u64]) {
+        self.request_wall_us
+            .lock()
+            .expect("histogram poisoned")
+            .merge(count, sum, min, max, buckets);
+    }
+
     /// Overwrites the injector tile-cache counters with the injector's
     /// lifetime totals (folded in once at the end of an observed run).
     pub fn set_tile_cache(&self, hits: u64, misses: u64) {
@@ -528,6 +588,7 @@ impl Metrics {
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
         let wall = self.point_wall_ms.lock().expect("histogram poisoned");
+        let request = self.request_wall_us.lock().expect("histogram poisoned");
         MetricsSnapshot {
             tile_cache_hits: self.tile_cache_hits.load(Ordering::Relaxed),
             tile_cache_misses: self.tile_cache_misses.load(Ordering::Relaxed),
@@ -552,7 +613,14 @@ impl Metrics {
             compressed_hits: self.compressed_hits.load(Ordering::Relaxed),
             exact_rescans: self.exact_rescans.load(Ordering::Relaxed),
             model_bytes: self.model_bytes.load(Ordering::Relaxed),
+            serve_workers: self.serve_workers.load(Ordering::Relaxed),
+            serve_queue_depth_max: self.serve_queue_depth_max.load(Ordering::Relaxed),
+            rescan_cache_hits: self.rescan_cache_hits.load(Ordering::Relaxed),
+            kernel_rescans: self.kernel_rescans.load(Ordering::Relaxed),
+            rescan_cache_evictions: self.rescan_cache_evictions.load(Ordering::Relaxed),
+            singleflight_waits: self.singleflight_waits.load(Ordering::Relaxed),
             point_wall_ms: wall.stats(),
+            request_wall_us: request.stats(),
         }
     }
 }
@@ -614,8 +682,27 @@ pub struct MetricsSnapshot {
     pub exact_rescans: u64,
     /// Bytes of compressed MODEL column resident in the serving store.
     pub model_bytes: u64,
+    /// Pipeline workers the serving session ran with (0 when no serve ran).
+    pub serve_workers: u64,
+    /// Highest number of requests simultaneously queued for the worker
+    /// pool (serve pipeline back-pressure high-water mark).
+    pub serve_queue_depth_max: u64,
+    /// Recommend misses answered from a cached whole-row kernel rescan.
+    pub rescan_cache_hits: u64,
+    /// On-demand kernel rescans actually executed while serving.
+    pub kernel_rescans: u64,
+    /// Rescan-cache entries evicted to stay within the byte budget.
+    pub rescan_cache_evictions: u64,
+    /// Requests that blocked on another worker's in-flight rescan instead
+    /// of duplicating it.
+    pub singleflight_waits: u64,
     /// Per-point wall-time distribution.
     pub point_wall_ms: WallTimeStats,
+    /// Per-request serve latency distribution. Unlike the other
+    /// `WallTimeStats`, the unit is **microseconds** (sum/min/max and
+    /// bucket boundaries alike) — serve requests are far shorter than
+    /// sweep points.
+    pub request_wall_us: WallTimeStats,
 }
 
 /// Summary statistics plus a log₂ histogram of per-point wall times.
@@ -663,6 +750,19 @@ impl Histogram {
         self.max = self.max.max(value);
         let bucket = (u64::BITS - value.leading_zeros()) as usize;
         self.buckets[bucket.min(WALL_HISTOGRAM_BUCKETS - 1)] += 1;
+    }
+
+    fn merge(&mut self, count: u64, sum: u64, min: u64, max: u64, buckets: &[u64]) {
+        if count == 0 {
+            return;
+        }
+        self.count += count;
+        self.sum = self.sum.saturating_add(sum);
+        self.min = self.min.min(min);
+        self.max = self.max.max(max);
+        for (slot, n) in self.buckets.iter_mut().zip(buckets) {
+            *slot += n;
+        }
     }
 
     fn stats(&self) -> WallTimeStats {
@@ -914,6 +1014,28 @@ impl<W: Write + Send> Observer for ProgressSink<W> {
                 "point wall time: {} attempt(s), min {} ms, max {} ms, total {} ms",
                 wall.count, wall.min_ms, wall.max_ms, wall.sum_ms
             );
+        }
+        if snapshot.queries_served > 0 {
+            let _ = writeln!(
+                out,
+                "serving: {} query(s) at {} worker(s), queue depth max {}, \
+                 rescan cache {}/{} hit/rescan, {} eviction(s), {} single-flight wait(s)",
+                snapshot.queries_served,
+                snapshot.serve_workers,
+                snapshot.serve_queue_depth_max,
+                snapshot.rescan_cache_hits,
+                snapshot.kernel_rescans,
+                snapshot.rescan_cache_evictions,
+                snapshot.singleflight_waits,
+            );
+            if snapshot.request_wall_us.count > 0 {
+                let wall = &snapshot.request_wall_us;
+                let _ = writeln!(
+                    out,
+                    "request wall time: {} request(s), min {} us, max {} us, total {} us",
+                    wall.count, wall.min_ms, wall.max_ms, wall.sum_ms
+                );
+            }
         }
         let _ = out.flush();
     }

@@ -627,3 +627,177 @@ fn resume_reuses_checkpointed_points() {
         "second run must resume all points: {stderr}"
     );
 }
+
+/// Regression for the per-line flush fix: a request/reply client over a
+/// pipe must receive each response before it sends the next request. If
+/// serve buffered output until EOF, the first `read_line` here would
+/// block forever (bounded by the watchdog timeout) with the session open.
+#[test]
+fn serve_flushes_each_response_before_the_next_request() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::process::Stdio;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    let artifact = temp_path("fleet-serve-flush");
+    let _ = std::fs::remove_file(&artifact);
+    let out = hbmctl(&[
+        "fleet",
+        "sweep",
+        "--devices",
+        "2",
+        "--words",
+        "8",
+        "--out",
+        &artifact,
+    ]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hbmctl"))
+        .args(["serve", "--artifact", &artifact])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn hbmctl serve");
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    let stdout = child.stdout.take().expect("piped stdout");
+
+    // A reader thread feeding a channel lets each read carry a deadline:
+    // a deadlocked serve fails the test instead of hanging it.
+    let (tx, rx) = mpsc::channel::<String>();
+    let reader = std::thread::spawn(move || {
+        let mut lines = BufReader::new(stdout).lines();
+        while let Some(Ok(line)) = lines.next() {
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    let deadline = Duration::from_secs(30);
+
+    stdin
+        .write_all(b"{\"Recommend\":{\"device_id\":0,\"target_rate\":0.01,\"min_pcs\":16}}\n")
+        .expect("send first request");
+    let first = rx
+        .recv_timeout(deadline)
+        .expect("first response must arrive before the second request is sent");
+    assert!(first.contains("Recommendation"), "{first}");
+
+    stdin
+        .write_all(b"\"Summary\"\n")
+        .expect("send second request");
+    let second = rx
+        .recv_timeout(deadline)
+        .expect("second response must arrive while the session stays open");
+    assert!(second.contains("Summary"), "{second}");
+
+    drop(stdin);
+    reader.join().expect("reader thread");
+    let status = child.wait().expect("hbmctl exit");
+    assert_eq!(status.code(), Some(0));
+    let _ = std::fs::remove_file(&artifact);
+}
+
+/// The pipeline's in-order emitter makes `--serve-workers` throughput-only:
+/// the response bytes are identical at every worker count.
+#[test]
+fn serve_worker_counts_produce_identical_output() {
+    let artifact = temp_path("fleet-serve-workers");
+    let _ = std::fs::remove_file(&artifact);
+    let out = hbmctl(&[
+        "fleet",
+        "sweep",
+        "--devices",
+        "3",
+        "--words",
+        "8",
+        "--out",
+        &artifact,
+    ]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+
+    let requests = concat!(
+        "{\"Recommend\":{\"device_id\":0,\"target_rate\":0.01,\"min_pcs\":16}}\n",
+        "{\"Recommend\":{\"device_id\":1,\"target_rate\":0.001,\"min_pcs\":16}}\n",
+        "\"Summary\"\n",
+        "{\"Recommend\":{\"device_id\":9,\"target_rate\":0.01,\"min_pcs\":16}}\n",
+        "not json\n",
+        "{\"Recommend\":{\"device_id\":2,\"target_rate\":0.0001,\"min_pcs\":16}}\n",
+    );
+    let baseline = hbmctl_with_stdin(
+        &["serve", "--artifact", &artifact, "--serve-workers", "1"],
+        requests,
+    );
+    assert_eq!(exit_code(&baseline), 0, "{baseline:?}");
+    let concurrent = hbmctl_with_stdin(
+        &["serve", "--artifact", &artifact, "--serve-workers", "4"],
+        requests,
+    );
+    assert_eq!(exit_code(&concurrent), 0, "{concurrent:?}");
+    assert_eq!(
+        String::from_utf8(baseline.stdout).unwrap(),
+        String::from_utf8(concurrent.stdout).unwrap(),
+        "serve output must be byte-identical across worker counts"
+    );
+    let stderr = String::from_utf8(concurrent.stderr).unwrap();
+    assert!(
+        stderr.contains("serve runtime: 4 worker(s)"),
+        "runtime counters line must report the pool size: {stderr}"
+    );
+    let _ = std::fs::remove_file(&artifact);
+}
+
+/// `--serve-workers 0` is a usage mistake, caught before the artifact is
+/// even opened: exit 2 with the usage block.
+#[test]
+fn serve_zero_workers_exits_two_with_usage() {
+    let out = hbmctl(&["serve", "--serve-workers", "0"]);
+    assert_eq!(exit_code(&out), 2, "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("usage:"), "{stderr}");
+    assert!(stderr.contains("--serve-workers"), "{stderr}");
+}
+
+/// `fleet summary --format csv` renders one header and one data row with
+/// matching column counts, including the delivered-bandwidth roll-up.
+#[test]
+fn fleet_summary_csv_round_trips_columns() {
+    let artifact = temp_path("fleet-summary-csv");
+    let _ = std::fs::remove_file(&artifact);
+    let out = hbmctl(&[
+        "fleet",
+        "sweep",
+        "--devices",
+        "3",
+        "--words",
+        "8",
+        "--out",
+        &artifact,
+    ]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+
+    let out = hbmctl(&[
+        "fleet",
+        "summary",
+        "--artifact",
+        &artifact,
+        "--format",
+        "csv",
+    ]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "{stdout}");
+    assert!(lines[0].starts_with("devices,"), "{stdout}");
+    assert!(
+        lines[0].contains("energy_per_delivered_bit_undervolted_pj"),
+        "{stdout}"
+    );
+    assert_eq!(
+        lines[0].split(',').count(),
+        lines[1].split(',').count(),
+        "{stdout}"
+    );
+    let _ = std::fs::remove_file(&artifact);
+}

@@ -58,6 +58,7 @@ pub mod api;
 pub mod artifact;
 pub mod config;
 pub mod model;
+pub mod pipeline;
 pub mod population;
 pub mod query;
 pub mod record;
@@ -70,8 +71,9 @@ pub use artifact::{
 };
 pub use config::{DeviceSpec, FleetConfig, FleetError};
 pub use model::{DeviceModel, FidelityReport, OPERATING_TARGET_RATE};
+pub use pipeline::{serve_concurrent, LatencyStats, PipelineOptions, PipelineStats};
 pub use population::{FleetCostModel, PopulationSummary};
 pub use query::{FleetQuery, Recommendation};
 pub use record::{DeviceRecord, CRASHED_KNOT, NO_VMIN};
-pub use serve::{FleetService, ServeStats};
+pub use serve::{FleetService, ServeStats, DEFAULT_RESCAN_CACHE_BYTES};
 pub use sweep::{characterize_device, FleetReport, FleetRunStats};

@@ -5,7 +5,15 @@
 //! (SNIPPETS.md §2): 7.5 $/GB, 31.2 pJ/B at 1.2 V nominal — TDP per
 //! device is `bandwidth × pJ/B`, and undervolted power scales with the
 //! quadratic `V²` model the paper fits (via [`HbmPowerModel`]).
+//!
+//! The energy-efficiency roll-up weights by **delivered** bandwidth, not
+//! pin rate: each device's sustainable GB/s at its own setpoint comes
+//! from [`AccessTimingModel`] with the DATE'21 timing stretch applied, so
+//! a fleet running deep below nominal is charged for the throughput it
+//! actually loses to stretched timings, and the pJ-per-delivered-bit
+//! figure reflects the real efficiency trade of undervolting.
 
+use hbm_device::{AccessPattern, AccessTimingModel, TimingStretchModel};
 use hbm_power::HbmPowerModel;
 use hbm_units::{Millivolts, Ratio};
 use serde::{Deserialize, Serialize};
@@ -96,6 +104,21 @@ pub struct PopulationSummary {
     pub fleet_power_undervolted_w: f64,
     /// `1 − undervolted/nominal`.
     pub fleet_power_saving: f64,
+    /// Fleet-wide delivered bandwidth at nominal supply, in GB/s: the sum
+    /// of every device's sustainable sequential-stream rate under the
+    /// [`AccessTimingModel`].
+    pub fleet_delivered_nominal_gbps: f64,
+    /// Fleet-wide delivered bandwidth with every device at its own V_min
+    /// (timings stretched per the DATE'21 model; devices without a V_min
+    /// stay at nominal), in GB/s.
+    pub fleet_delivered_undervolted_gbps: f64,
+    /// Energy per **delivered** bit at nominal, in picojoules: fleet power
+    /// divided by fleet delivered bandwidth — a delivered-GB/s-weighted
+    /// mean, so fast devices count proportionally more.
+    pub energy_per_delivered_bit_nominal_pj: f64,
+    /// Energy per delivered bit with every device undervolted to its
+    /// V_min, in picojoules.
+    pub energy_per_delivered_bit_undervolted_pj: f64,
 }
 
 impl PopulationSummary {
@@ -110,9 +133,9 @@ impl PopulationSummary {
         records: &[DeviceRecord],
         cost: &FleetCostModel,
     ) -> PopulationSummary {
-        let scalars: Vec<(u16, u16, u32)> = records
+        let scalars: Vec<(u16, u16, u32, u64)> = records
             .iter()
-            .map(|r| (r.v_min_mv, r.crash_mv, r.weak_pcs))
+            .map(|r| (r.v_min_mv, r.crash_mv, r.weak_pcs, r.seed))
             .collect();
         Self::from_scalars(meta, &scalars, cost)
     }
@@ -126,17 +149,24 @@ impl PopulationSummary {
     /// Panics on an empty fleet — artifacts always hold ≥ 1 device.
     #[must_use]
     pub fn from_store(store: &FleetStore, cost: &FleetCostModel) -> PopulationSummary {
-        let scalars: Vec<(u16, u16, u32)> = (0..store.len())
-            .map(|i| (store.v_min_mv(i), store.crash_mv(i), store.weak_pcs(i)))
+        let scalars: Vec<(u16, u16, u32, u64)> = (0..store.len())
+            .map(|i| {
+                (
+                    store.v_min_mv(i),
+                    store.crash_mv(i),
+                    store.weak_pcs(i),
+                    store.seed(i),
+                )
+            })
             .collect();
         Self::from_scalars(store.meta(), &scalars, cost)
     }
 
-    /// Shared aggregation over per-device `(v_min, crash, weak_pcs)`
-    /// scalar triples.
+    /// Shared aggregation over per-device `(v_min, crash, weak_pcs, seed)`
+    /// scalar tuples.
     fn from_scalars(
         meta: &ArtifactMeta,
-        records: &[(u16, u16, u32)],
+        records: &[(u16, u16, u32, u64)],
         cost: &FleetCostModel,
     ) -> PopulationSummary {
         assert!(!records.is_empty(), "population of zero devices");
@@ -145,11 +175,11 @@ impl PopulationSummary {
 
         let mut v_mins: Vec<u16> = records
             .iter()
-            .map(|&(v_min, _, _)| v_min)
+            .map(|&(v_min, ..)| v_min)
             .filter(|&v| v != NO_VMIN)
             .collect();
         v_mins.sort_unstable();
-        let mut crashes: Vec<u16> = records.iter().map(|&(_, crash, _)| crash).collect();
+        let mut crashes: Vec<u16> = records.iter().map(|&(_, crash, ..)| crash).collect();
         crashes.sort_unstable();
 
         let guardbands: Vec<u16> = v_mins
@@ -168,7 +198,7 @@ impl PopulationSummary {
 
         let mut weak_census = vec![0u32; meta.pc_count as usize];
         let mut devices_with_weak = 0u32;
-        for &(_, _, weak_pcs) in records {
+        for &(_, _, weak_pcs, _) in records {
             if weak_pcs != 0 {
                 devices_with_weak += 1;
             }
@@ -183,7 +213,7 @@ impl PopulationSummary {
         let nominal_fleet_w = nominal_device_w * records.len() as f64;
         let undervolted_fleet_w: f64 = records
             .iter()
-            .map(|&(v_min_mv, _, _)| {
+            .map(|&(v_min_mv, ..)| {
                 if v_min_mv == NO_VMIN {
                     nominal_device_w
                 } else {
@@ -194,6 +224,30 @@ impl PopulationSummary {
                 }
             })
             .sum();
+
+        // Delivered-bandwidth roll-up: each device's sustainable
+        // sequential-stream rate at nominal and at its own V_min, with
+        // the DATE'21 timing stretch seeded per device so process
+        // variation shows up in throughput the same way it does in
+        // fault behaviour.
+        let timing = AccessTimingModel::vcu128();
+        let stretch = TimingStretchModel::date21();
+        let mut delivered_nominal_gbps = 0.0;
+        let mut delivered_undervolted_gbps = 0.0;
+        for &(v_min_mv, _, _, seed) in records {
+            let at_nominal = timing.at_voltage(&stretch, seed, nominal);
+            delivered_nominal_gbps += at_nominal.delivered_gbps(AccessPattern::SequentialStream);
+            let setpoint = if v_min_mv == NO_VMIN {
+                nominal
+            } else {
+                Millivolts(u32::from(v_min_mv))
+            };
+            let at_setpoint = timing.at_voltage(&stretch, seed, setpoint);
+            delivered_undervolted_gbps +=
+                at_setpoint.delivered_gbps(AccessPattern::SequentialStream);
+        }
+        // pJ per delivered bit = W / (GB/s × 8 Gbit/GB) × 10¹² pJ/J ÷ 10⁹.
+        let pj_per_bit = |watts: f64, gbps: f64| watts * 1000.0 / (gbps * 8.0);
 
         let (p1, p50, p99) = if v_mins.is_empty() {
             (NO_VMIN, NO_VMIN, NO_VMIN)
@@ -221,6 +275,16 @@ impl PopulationSummary {
             fleet_power_nominal_w: nominal_fleet_w,
             fleet_power_undervolted_w: undervolted_fleet_w,
             fleet_power_saving: 1.0 - undervolted_fleet_w / nominal_fleet_w,
+            fleet_delivered_nominal_gbps: delivered_nominal_gbps,
+            fleet_delivered_undervolted_gbps: delivered_undervolted_gbps,
+            energy_per_delivered_bit_nominal_pj: pj_per_bit(
+                nominal_fleet_w,
+                delivered_nominal_gbps,
+            ),
+            energy_per_delivered_bit_undervolted_pj: pj_per_bit(
+                undervolted_fleet_w,
+                delivered_undervolted_gbps,
+            ),
         }
     }
 
@@ -253,7 +317,51 @@ impl PopulationSummary {
             self.fleet_power_undervolted_w,
             self.fleet_power_saving * 100.0
         ));
+        out.push_str(&format!(
+            "delivered bandwidth  {:.1} GB/s nominal -> {:.1} GB/s undervolted\n",
+            self.fleet_delivered_nominal_gbps, self.fleet_delivered_undervolted_gbps
+        ));
+        out.push_str(&format!(
+            "energy/delivered bit {:.2} pJ nominal -> {:.2} pJ undervolted\n",
+            self.energy_per_delivered_bit_nominal_pj, self.energy_per_delivered_bit_undervolted_pj
+        ));
         out
+    }
+
+    /// Renders the summary as a two-line CSV (header plus one data row)
+    /// of the scalar fields; the per-PC weak census collapses to its
+    /// total flag count.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let weak_total: u32 = self.weak_census.iter().sum();
+        let header = "devices,devices_with_v_min,v_min_p1_mv,v_min_p50_mv,v_min_p99_mv,\
+                      guardband_min_mv,guardband_mean_mv,guardband_max_mv,crash_p50_mv,\
+                      weak_pc_flags,devices_with_weak_pcs,fleet_cost_usd,\
+                      fleet_power_nominal_w,fleet_power_undervolted_w,fleet_power_saving,\
+                      fleet_delivered_nominal_gbps,fleet_delivered_undervolted_gbps,\
+                      energy_per_delivered_bit_nominal_pj,energy_per_delivered_bit_undervolted_pj";
+        format!(
+            "{header}\n{},{},{},{},{},{},{:.3},{},{},{},{},{:.2},{:.3},{:.3},{:.6},{:.3},{:.3},{:.4},{:.4}\n",
+            self.devices,
+            self.devices_with_v_min,
+            self.v_min_p1_mv,
+            self.v_min_p50_mv,
+            self.v_min_p99_mv,
+            self.guardband_min_mv,
+            self.guardband_mean_mv,
+            self.guardband_max_mv,
+            self.crash_p50_mv,
+            weak_total,
+            self.devices_with_weak_pcs,
+            self.fleet_cost_usd,
+            self.fleet_power_nominal_w,
+            self.fleet_power_undervolted_w,
+            self.fleet_power_saving,
+            self.fleet_delivered_nominal_gbps,
+            self.fleet_delivered_undervolted_gbps,
+            self.energy_per_delivered_bit_nominal_pj,
+            self.energy_per_delivered_bit_undervolted_pj,
+        )
     }
 }
 
@@ -293,7 +401,44 @@ mod tests {
         assert!(summary.fleet_power_undervolted_w <= summary.fleet_power_nominal_w);
         assert!(summary.fleet_power_saving >= 0.0);
         assert!((summary.fleet_cost_usd - 12.0 * 60.0).abs() < 1e-9);
+        assert!(summary.fleet_delivered_nominal_gbps > 0.0);
+        assert!(
+            summary.fleet_delivered_undervolted_gbps <= summary.fleet_delivered_nominal_gbps,
+            "stretched timings cannot deliver more than nominal: {} vs {}",
+            summary.fleet_delivered_undervolted_gbps,
+            summary.fleet_delivered_nominal_gbps
+        );
+        assert!(summary.energy_per_delivered_bit_nominal_pj > 0.0);
+        assert!(summary.energy_per_delivered_bit_undervolted_pj > 0.0);
         let text = summary.to_text();
         assert!(text.contains("fleet devices"), "{text}");
+        assert!(text.contains("energy/delivered bit"), "{text}");
+    }
+
+    #[test]
+    fn csv_rendering_matches_the_scalar_fields() {
+        let cfg = FleetConfig {
+            devices: 3,
+            words_per_pc: 4,
+            from: Millivolts(960),
+            down_to: Millivolts(900),
+            step: Millivolts(20),
+            weak_reference: Millivolts(900),
+            ..FleetConfig::default()
+        };
+        let records = sweep::run(&cfg).unwrap().records;
+        let meta = crate::artifact::ArtifactMeta::from_config(&cfg);
+        let summary = PopulationSummary::from_records(&meta, &records, &FleetCostModel::default());
+        let csv = summary.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2, "{csv}");
+        let header_cols = lines[0].split(',').count();
+        let data_cols = lines[1].split(',').count();
+        assert_eq!(header_cols, data_cols, "{csv}");
+        assert!(
+            lines[0].starts_with("devices,") && lines[0].contains("energy_per_delivered_bit"),
+            "{csv}"
+        );
+        assert!(lines[1].starts_with("3,"), "{csv}");
     }
 }

@@ -227,9 +227,57 @@ pub(crate) fn recommend_model_raw(
     finish(store, row, k, usable)
 }
 
+/// Re-derives one device's exact fault-count row (pseudo-channel-major,
+/// every knot) with the coupled-carry kernel, from the artifact header
+/// alone. This is the expensive half of a rescan — a pure function of
+/// `(store header, device_id)`, which is what makes it safe to memoize in
+/// the serving layer's single-flight rescan cache.
+///
+/// # Errors
+///
+/// [`FleetError::Artifact`] when the store's header cannot be turned back
+/// into a sweep configuration.
+pub(crate) fn rescan_counts(store: &FleetStore, row: usize) -> Result<Vec<u16>, FleetError> {
+    let cfg = FleetConfig::from_meta(store.meta(), store.knots())?;
+    let spec = cfg.device_spec(store.device_id(row));
+    Ok(sweep::characterize_device(&cfg, spec).faults)
+}
+
+/// Answers a validated query from an already-derived exact count row
+/// (the cheap half of a rescan — the walk over memoized counts).
+///
+/// # Panics
+///
+/// Panics when `counts` is not a full `pcs × knots` row for this store.
+pub(crate) fn recommend_from_counts(
+    store: &FleetStore,
+    row: usize,
+    counts: &[u16],
+    target_rate: f64,
+    min_pcs: usize,
+) -> Recommendation {
+    let pcs = store.meta().pc_count as usize;
+    let kn = store.knots().len();
+    assert_eq!(counts.len(), pcs * kn, "count row shape");
+    let bits = store.meta().bits_per_pc() as f64;
+    let crash = Millivolts(u32::from(store.crash_mv(row)));
+    let (k, usable) = recommend_walk(store.knots(), crash, pcs, min_pcs, |pc, k| {
+        let count = counts[pc * kn + k];
+        if count != CRASHED_KNOT && f64::from(count) / bits <= target_rate {
+            CellVerdict::Usable
+        } else {
+            CellVerdict::Unusable
+        }
+    })
+    .expect("exact evidence never abstains");
+    finish(store, row, k, usable)
+}
+
 /// Answers a validated query by re-deriving the device's exact count row
 /// with the coupled-carry kernel — the fallback for compressed stores
-/// whose exact columns were dropped.
+/// whose exact columns were dropped. [`rescan_counts`] followed by
+/// [`recommend_from_counts`]; the serving layer splits the two so the
+/// expensive half can be cached.
 ///
 /// # Errors
 ///
@@ -241,23 +289,14 @@ pub(crate) fn recommend_rescan(
     target_rate: f64,
     min_pcs: usize,
 ) -> Result<Recommendation, FleetError> {
-    let cfg = FleetConfig::from_meta(store.meta(), store.knots())?;
-    let spec = cfg.device_spec(store.device_id(row));
-    let record = sweep::characterize_device(&cfg, spec);
-    let pcs = store.meta().pc_count as usize;
-    let kn = store.knots().len();
-    let bits = store.meta().bits_per_pc() as f64;
-    let crash = Millivolts(u32::from(store.crash_mv(row)));
-    let (k, usable) = recommend_walk(store.knots(), crash, pcs, min_pcs, |pc, k| {
-        let count = record.faults[pc * kn + k];
-        if count != CRASHED_KNOT && f64::from(count) / bits <= target_rate {
-            CellVerdict::Usable
-        } else {
-            CellVerdict::Unusable
-        }
-    })
-    .expect("exact evidence never abstains");
-    Ok(finish(store, row, k, usable))
+    let counts = rescan_counts(store, row)?;
+    Ok(recommend_from_counts(
+        store,
+        row,
+        &counts,
+        target_rate,
+        min_pcs,
+    ))
 }
 
 impl FleetStore {

@@ -17,14 +17,20 @@
 
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
 use crate::api::{ApiError, FleetRequest, FleetResponse};
 use crate::artifact::FleetStore;
-use crate::model::{fit_store, FidelityReport};
+use crate::config::FleetError;
+use crate::model::{fit_store, DeviceModel, FidelityReport};
+use crate::pipeline::RescanCache;
 use crate::population::{FleetCostModel, PopulationSummary};
 use crate::query;
+
+/// Default rescan-cache byte budget (`hbmctl serve --rescan-cache-mb 64`).
+pub const DEFAULT_RESCAN_CACHE_BYTES: usize = 64 * 1024 * 1024;
 
 /// Serving counters, reported once per session at EOF.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -38,6 +44,16 @@ pub struct ServeStats {
     pub exact_rescans: u64,
     /// Size of the loaded MODEL column in bytes (0 when absent).
     pub model_bytes: u64,
+    /// Rescanned count rows served from the cache instead of the kernel.
+    pub rescan_cache_hits: u64,
+    /// On-demand kernel rescans actually executed (each one derives a
+    /// whole device row; concurrent identical misses share one).
+    pub kernel_rescans: u64,
+    /// Cached rescan rows evicted to stay within the byte budget.
+    pub rescan_cache_evictions: u64,
+    /// Requests that blocked on another request's in-flight rescan
+    /// instead of duplicating it.
+    pub singleflight_waits: u64,
 }
 
 /// A loaded artifact plus the counters of everything served from it.
@@ -47,17 +63,37 @@ pub struct FleetService {
     queries_served: AtomicU64,
     compressed_hits: AtomicU64,
     exact_rescans: AtomicU64,
+    /// Single-flight LRU cache over kernel-rescanned count rows.
+    rescan_cache: RescanCache,
+    /// Per-device decoded models, decoded at most once per session.
+    models: Vec<OnceLock<Option<DeviceModel>>>,
+    /// The fidelity path's full model table (stored-column decode or a
+    /// whole-store fit), built at most once per session.
+    fitted: OnceLock<Result<Arc<Vec<DeviceModel>>, ApiError>>,
 }
 
 impl FleetService {
-    /// Wraps a loaded store for serving.
+    /// Wraps a loaded store for serving, with the default rescan-cache
+    /// budget ([`DEFAULT_RESCAN_CACHE_BYTES`]).
     #[must_use]
     pub fn new(store: FleetStore) -> FleetService {
+        FleetService::with_rescan_cache(store, DEFAULT_RESCAN_CACHE_BYTES)
+    }
+
+    /// Wraps a loaded store with an explicit rescan-cache byte budget.
+    /// A budget of 0 disables the cache (and its single-flight dedup)
+    /// entirely: every envelope miss runs the kernel.
+    #[must_use]
+    pub fn with_rescan_cache(store: FleetStore, budget_bytes: usize) -> FleetService {
+        let devices = store.len();
         FleetService {
             store,
             queries_served: AtomicU64::new(0),
             compressed_hits: AtomicU64::new(0),
             exact_rescans: AtomicU64::new(0),
+            rescan_cache: RescanCache::new(budget_bytes),
+            models: (0..devices).map(|_| OnceLock::new()).collect(),
+            fitted: OnceLock::new(),
         }
     }
 
@@ -67,14 +103,25 @@ impl FleetService {
         &self.store
     }
 
+    /// The configured rescan-cache byte budget (0 = disabled).
+    #[must_use]
+    pub fn rescan_cache_budget(&self) -> usize {
+        self.rescan_cache.budget_bytes()
+    }
+
     /// Current counter values.
     #[must_use]
     pub fn stats(&self) -> ServeStats {
+        let cache = self.rescan_cache.counters();
         ServeStats {
             queries_served: self.queries_served.load(Ordering::Relaxed),
             compressed_hits: self.compressed_hits.load(Ordering::Relaxed),
             exact_rescans: self.exact_rescans.load(Ordering::Relaxed),
             model_bytes: self.store.model_bytes(),
+            rescan_cache_hits: cache.hits,
+            kernel_rescans: cache.kernel_rescans,
+            rescan_cache_evictions: cache.evictions,
+            singleflight_waits: cache.singleflight_waits,
         }
     }
 
@@ -114,7 +161,7 @@ impl FleetService {
             Ok(row) => row,
             Err(err) => return FleetResponse::Error(ApiError::from(&err)),
         };
-        if let Some(model) = self.store.model(row) {
+        if let Some(model) = self.cached_model(row) {
             if let Some(rec) =
                 query::recommend_model(&self.store, row, &model, target_rate, min_pcs)
             {
@@ -132,10 +179,33 @@ impl FleetService {
                 min_pcs,
             ));
         }
-        match query::recommend_rescan(&self.store, row, target_rate, min_pcs) {
-            Ok(rec) => FleetResponse::Recommendation(rec),
+        match self.rescan_row(row) {
+            Ok(counts) => FleetResponse::Recommendation(query::recommend_from_counts(
+                &self.store,
+                row,
+                &counts,
+                target_rate,
+                min_pcs,
+            )),
             Err(err) => FleetResponse::Error(ApiError::from(&err)),
         }
+    }
+
+    /// The device's decoded model, decoded at most once per session.
+    fn cached_model(&self, row: usize) -> Option<DeviceModel> {
+        self.models[row]
+            .get_or_init(|| self.store.model(row))
+            .clone()
+    }
+
+    /// The device's exact count row via the single-flight rescan cache:
+    /// N concurrent misses on the same device run exactly one kernel
+    /// rescan, and repeats hit the LRU-bounded cache.
+    fn rescan_row(&self, row: usize) -> Result<Arc<Vec<u16>>, FleetError> {
+        self.rescan_cache
+            .get_or_rescan(self.store.device_id(row), || {
+                query::rescan_counts(&self.store, row)
+            })
     }
 
     fn fidelity(&self) -> FleetResponse {
@@ -149,18 +219,58 @@ impl FleetService {
         }
     }
 
-    fn stored_or_fresh_models(&self) -> Result<Vec<crate::model::DeviceModel>, ApiError> {
-        if self.store.has_model() {
-            Ok((0..self.store.len())
-                .map(|i| self.store.model(i).expect("MODEL column present"))
-                .collect())
-        } else {
-            fit_store(&self.store).map_err(|err| ApiError::from(&err))
-        }
+    /// The fidelity path's model table — stored-column decode when the
+    /// artifact carries MODEL, else a whole-store fit — built at most
+    /// once per session and shared by every subsequent fidelity call.
+    fn stored_or_fresh_models(&self) -> Result<Arc<Vec<DeviceModel>>, ApiError> {
+        self.fitted
+            .get_or_init(|| {
+                if self.store.has_model() {
+                    Ok(Arc::new(
+                        (0..self.store.len())
+                            .map(|i| self.store.model(i).expect("MODEL column present"))
+                            .collect(),
+                    ))
+                } else {
+                    fit_store(&self.store)
+                        .map(Arc::new)
+                        .map_err(|err| ApiError::from(&err))
+                }
+            })
+            .clone()
+    }
+
+    /// Answers one raw LDJSON request line: parse, handle, serialize —
+    /// the single per-line funnel shared by the sequential [`serve`] loop
+    /// and the concurrent pipeline, so the two transports produce
+    /// byte-identical response lines by construction.
+    ///
+    /// # Errors
+    ///
+    /// Only response *serialization* failures surface as `Err` (they
+    /// abort the transport); a malformed request is answered in-band as
+    /// an `Error` response line.
+    pub(crate) fn handle_line(&self, line: &str) -> Result<String, ApiError> {
+        let response = match serde_json::from_str::<FleetRequest>(line) {
+            Ok(request) => self.handle(&request),
+            Err(err) => {
+                self.queries_served.fetch_add(1, Ordering::Relaxed);
+                FleetResponse::Error(ApiError::parse(format!("bad request line: {err}")))
+            }
+        };
+        response.to_json()
     }
 }
 
-/// Runs the LDJSON request loop until EOF and returns the session stats.
+/// Runs the LDJSON request loop sequentially until EOF and returns the
+/// session stats. This is the reference implementation the concurrent
+/// pipeline ([`crate::pipeline::serve_concurrent`]) is byte-identity
+/// proptested against.
+///
+/// The output is flushed after **every** response line, not only at EOF:
+/// a request/reply client over a pipe sends its next request only after
+/// reading the previous answer, and would deadlock behind a buffered
+/// writer that holds responses until the session ends.
 ///
 /// # Errors
 ///
@@ -176,19 +286,12 @@ pub fn serve(
         if line.trim().is_empty() {
             continue;
         }
-        let response = match serde_json::from_str::<FleetRequest>(&line) {
-            Ok(request) => service.handle(&request),
-            Err(err) => {
-                service.queries_served.fetch_add(1, Ordering::Relaxed);
-                FleetResponse::Error(ApiError::parse(format!("bad request line: {err}")))
-            }
-        };
-        let json = response
-            .to_json()
+        let json = service
+            .handle_line(&line)
             .map_err(|err| std::io::Error::new(std::io::ErrorKind::InvalidData, err.message))?;
         writeln!(output, "{json}")?;
+        output.flush()?;
     }
-    output.flush()?;
     Ok(service.stats())
 }
 

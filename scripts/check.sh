@@ -140,7 +140,36 @@ printf '%s\n' \
     'not json' \
     | ./target/release/hbmctl serve --artifact "$chbfa" 2>/dev/null >"$sjson"
 cmp "$sjson" scripts/golden/serve_smoke.jsonl
-rm -f "$hbfa" "$chbfa" "$sjson"
+
+# Serve-concurrency gate: the pipeline's in-order emitter makes the
+# worker count throughput-only — the same request file must produce
+# byte-identical output at 1 and 4 workers, and the determinism
+# proptests plus the single-flight cache tests must hold.
+echo "==> serve-concurrency smoke and pipeline property tests"
+s1json="$(mktemp -u /tmp/hbmctl-serve-w1-XXXXXX.jsonl)"
+s4json="$(mktemp -u /tmp/hbmctl-serve-w4-XXXXXX.jsonl)"
+printf '%s\n' \
+    '{"Recommend":{"device_id":1,"target_rate":0.01,"min_pcs":16}}' \
+    '"Summary"' \
+    '{"Recommend":{"device_id":0,"target_rate":0.001,"min_pcs":16}}' \
+    '{"Recommend":{"device_id":2,"target_rate":0.0001,"min_pcs":16}}' \
+    'not json' \
+    '{"Recommend":{"device_id":9,"target_rate":0.01,"min_pcs":16}}' \
+    | ./target/release/hbmctl serve --artifact "$chbfa" \
+        --serve-workers 1 2>/dev/null >"$s1json"
+printf '%s\n' \
+    '{"Recommend":{"device_id":1,"target_rate":0.01,"min_pcs":16}}' \
+    '"Summary"' \
+    '{"Recommend":{"device_id":0,"target_rate":0.001,"min_pcs":16}}' \
+    '{"Recommend":{"device_id":2,"target_rate":0.0001,"min_pcs":16}}' \
+    'not json' \
+    '{"Recommend":{"device_id":9,"target_rate":0.01,"min_pcs":16}}' \
+    | ./target/release/hbmctl serve --artifact "$chbfa" \
+        --serve-workers 4 2>/dev/null >"$s4json"
+cmp "$s1json" "$s4json"
+cargo test -q -p hbm-fleet --test serve_pipeline
+cargo test -q -p hbm-fleet --lib pipeline
+rm -f "$hbfa" "$chbfa" "$sjson" "$s1json" "$s4json"
 
 # Voltage–latency coupling gate: stretch monotonicity, worker-count
 # invariance of effective timings, and governor bit-identity per
